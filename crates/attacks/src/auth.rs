@@ -1,0 +1,195 @@
+//! Credential attacks: brute-force login and insider masquerade.
+//!
+//! Brute force is a rate anomaly ("if an anomaly-based IDS detected
+//! hundreds of login attempts within a few seconds, it might generate an
+//! alert" — paper §2.1). Masquerade is the paper's insider case:
+//! "compromised passwords (masquerade)" used from the wrong place — a
+//! *successful* login whose only tell is its origin, which signature
+//! engines cannot see and origin-aware anomaly engines can.
+
+use crate::Scenario;
+use idse_net::tcp::{synthesize_session, Exchange, SessionSpec};
+use idse_net::trace::{AttackClass, GroundTruth, Trace};
+use idse_sim::{RngStream, SimDuration, SimTime};
+use idse_traffic::payload;
+use std::net::Ipv4Addr;
+
+/// Repeated failed logins against one account.
+#[derive(Debug, Clone)]
+pub struct BruteForceLogin {
+    /// Attacking host.
+    pub attacker: Ipv4Addr,
+    /// Target login server.
+    pub target: Ipv4Addr,
+    /// Account under attack.
+    pub user: String,
+    /// Number of attempts.
+    pub attempts: u32,
+    /// Attempts per second.
+    pub rate: f64,
+    /// Whether the final attempt succeeds (the attacker got in).
+    pub final_success: bool,
+}
+
+impl BruteForceLogin {
+    /// A default 120-attempt burst at 20 attempts/s that fails.
+    pub fn new(attacker: Ipv4Addr, target: Ipv4Addr, user: impl Into<String>) -> Self {
+        Self { attacker, target, user: user.into(), attempts: 120, rate: 20.0, final_success: false }
+    }
+}
+
+impl Scenario for BruteForceLogin {
+    fn class(&self) -> AttackClass {
+        AttackClass::BruteForceLogin
+    }
+
+    fn generate(&self, start: SimTime, attack_id: u32, rng: &mut RngStream) -> Trace {
+        let mut trace = Trace::new();
+        let truth = GroundTruth { attack_id, class: self.class() };
+        let gap = SimDuration::from_secs_f64(1.0 / self.rate.max(1e-6));
+        let mut t = start;
+        for i in 0..self.attempts {
+            let success = self.final_success && i == self.attempts - 1;
+            let spec = SessionSpec::new(
+                self.attacker,
+                20000 + (rng.uniform_u64(0, 40000) as u16),
+                self.target,
+                23,
+            );
+            let segs = synthesize_session(
+                &spec,
+                &[
+                    Exchange::to_server(payload::login_attempt(&self.user, success)),
+                    Exchange::to_client(if success { b"$ ".to_vec() } else { b"login: ".to_vec() }),
+                ],
+            );
+            let mut pt = t;
+            for (_, p) in segs {
+                trace.push_attack(pt, p, truth);
+                pt += SimDuration::from_micros(400);
+            }
+            t += gap;
+        }
+        trace.finish();
+        trace
+    }
+}
+
+/// A masquerade: one *successful* login with a legitimate username from a
+/// host outside the site's trusted client block.
+#[derive(Debug, Clone)]
+pub struct Masquerade {
+    /// The foreign host using stolen credentials.
+    pub attacker: Ipv4Addr,
+    /// Login server.
+    pub target: Ipv4Addr,
+    /// The compromised account (a real background user).
+    pub user: String,
+    /// Commands the intruder runs after login (keeps the session looking
+    /// ordinary).
+    pub command_count: u32,
+}
+
+impl Masquerade {
+    /// A default masquerade running three innocuous-looking commands.
+    pub fn new(attacker: Ipv4Addr, target: Ipv4Addr, user: impl Into<String>) -> Self {
+        Self { attacker, target, user: user.into(), command_count: 3 }
+    }
+}
+
+impl Scenario for Masquerade {
+    fn class(&self) -> AttackClass {
+        AttackClass::Masquerade
+    }
+
+    fn generate(&self, start: SimTime, attack_id: u32, rng: &mut RngStream) -> Trace {
+        let mut trace = Trace::new();
+        let truth = GroundTruth { attack_id, class: self.class() };
+        let mut exchanges = vec![
+            Exchange::to_server(payload::login_attempt(&self.user, true)),
+            Exchange::to_client(b"$ ".to_vec()),
+        ];
+        let commands: &[&[u8]] = &[b"ls -la /home\r\n", b"cat /etc/passwd\r\n", b"ps -ef\r\n", b"netstat -an\r\n"];
+        for i in 0..self.command_count {
+            exchanges.push(Exchange::to_server(commands[i as usize % commands.len()].to_vec()));
+            exchanges.push(Exchange::to_client(payload::random_bytes(rng, 200)));
+        }
+        let spec = SessionSpec::new(
+            self.attacker,
+            20000 + (rng.uniform_u64(0, 40000) as u16),
+            self.target,
+            23,
+        );
+        let mut t = start;
+        for (_, p) in synthesize_session(&spec, &exchanges) {
+            trace.push_attack(t, p, truth);
+            t += SimDuration::from_millis(2 + rng.uniform_u64(0, 8));
+        }
+        trace.finish();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_emits_failed_logins() {
+        let b = BruteForceLogin { attempts: 10, ..BruteForceLogin::new(
+            Ipv4Addr::new(66, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 1, 3),
+            "admin",
+        ) };
+        let mut rng = RngStream::derive(7, "bf");
+        let t = b.generate(SimTime::ZERO, 4, &mut rng);
+        let failures = t
+            .records()
+            .iter()
+            .filter(|r| {
+                idse_traffic::realism::contains(&r.packet.payload, b"Login incorrect")
+            })
+            .count();
+        assert_eq!(failures, 10);
+        assert!(t.records().iter().all(|r| r.truth.unwrap().class == AttackClass::BruteForceLogin));
+    }
+
+    #[test]
+    fn brute_force_final_success_variant() {
+        let b = BruteForceLogin {
+            attempts: 5,
+            final_success: true,
+            ..BruteForceLogin::new(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 0, 1, 3), "ops")
+        };
+        let mut rng = RngStream::derive(8, "bf2");
+        let t = b.generate(SimTime::ZERO, 1, &mut rng);
+        let successes = t
+            .records()
+            .iter()
+            .filter(|r| idse_traffic::realism::contains(&r.packet.payload, b"Last login"))
+            .count();
+        assert_eq!(successes, 1);
+    }
+
+    #[test]
+    fn masquerade_is_a_successful_session() {
+        let m = Masquerade::new(Ipv4Addr::new(198, 18, 0, 9), Ipv4Addr::new(10, 10, 0, 4), "jsmith");
+        let mut rng = RngStream::derive(9, "mq");
+        let t = m.generate(SimTime::from_secs(1), 2, &mut rng);
+        assert!(t.len() > 6);
+        let ok = t
+            .records()
+            .iter()
+            .any(|r| idse_traffic::realism::contains(&r.packet.payload, b"Last login"));
+        let failed = t
+            .records()
+            .iter()
+            .any(|r| idse_traffic::realism::contains(&r.packet.payload, b"Login incorrect"));
+        assert!(ok && !failed, "masquerade must log in cleanly");
+        // Session is ordinary telnet to port 23.
+        assert!(t.records().iter().all(|r| {
+            let h = r.packet.tcp_header().unwrap();
+            h.dst_port == 23 || h.src_port == 23
+        }));
+    }
+}

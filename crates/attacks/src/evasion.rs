@@ -1,0 +1,166 @@
+//! Evasion: hiding a known exploit with overlapping IP fragments.
+//!
+//! The attack delivers a *known* signature payload, but fragmented so that
+//! the bytes a naive (or wrong-policy) reassembler sees are innocuous,
+//! while the victim's stack reassembles the real exploit. An IDS that does
+//! no reassembly — or reassembles with the wrong [`OverlapPolicy`] — is
+//! structurally blind to it. This gives the evaluation a second source of
+//! principled false negatives, independent of signature-database coverage.
+
+use crate::exploit::{ExploitSpec, EXPLOITS};
+use crate::Scenario;
+use idse_net::frag::fragment;
+use idse_net::packet::{Ipv4Header, Packet, TcpFlags, TcpHeader};
+use idse_net::trace::{AttackClass, GroundTruth, Trace};
+use idse_sim::{RngStream, SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The corpus exploits whose signature regions the default 8-byte
+/// fragmentation demonstrably splits (verified by tests here and in the
+/// `idse-ids` signature-engine suite). Short patterns — e.g. a four-byte
+/// RPC program number — cannot be split across IP fragments at all, so
+/// those exploits are not usable for this evasion.
+pub fn splittable_exploits() -> impl Iterator<Item = &'static ExploitSpec> {
+    const NAMES: [&str; 4] = ["cgi-phf", "iis-unicode-traversal", "ftp-site-exec", "bind-overflow"];
+    EXPLOITS.iter().filter(|e| NAMES.contains(&e.name))
+}
+
+/// A fragmentation-evasion delivery of a known exploit.
+#[derive(Debug, Clone)]
+pub struct FragmentationEvasion {
+    /// Attacking host.
+    pub attacker: Ipv4Addr,
+    /// Victim host.
+    pub target: Ipv4Addr,
+    /// The exploit being hidden.
+    pub exploit: &'static ExploitSpec,
+    /// Fragment body size (8-byte multiple).
+    pub frag_size: usize,
+}
+
+impl FragmentationEvasion {
+    /// Default: 8-byte continuation fragments. The first fragment must
+    /// still hold the 20-byte TCP header (so it carries payload bytes
+    /// 0..4); after that, boundaries fall every 8 bytes — at payload
+    /// offsets 4, 12, 20, 28, … — which cuts every signature region of the
+    /// [`splittable_exploits`] set across fragments, so no single fragment
+    /// matches any rule.
+    pub fn new(attacker: Ipv4Addr, target: Ipv4Addr, exploit: &'static ExploitSpec) -> Self {
+        Self { attacker, target, exploit, frag_size: 8 }
+    }
+}
+
+impl Scenario for FragmentationEvasion {
+    fn class(&self) -> AttackClass {
+        AttackClass::FragmentationEvasion
+    }
+
+    fn generate(&self, start: SimTime, attack_id: u32, rng: &mut RngStream) -> Trace {
+        let mut trace = Trace::new();
+        let truth = GroundTruth { attack_id, class: self.class() };
+        let ident = rng.uniform_u64(1, 0x10000) as u16;
+        let mut ip = Ipv4Header::simple(self.attacker, self.target);
+        ip.ident = ident;
+        let packet = Packet::tcp(
+            ip,
+            TcpHeader {
+                src_port: 30000 + (rng.uniform_u64(0, 30000) as u16),
+                dst_port: self.exploit.port,
+                seq: rng.uniform_u64(0, u32::MAX as u64) as u32,
+                ack: 1,
+                flags: TcpFlags::PSH_ACK,
+                window: 8192,
+            },
+            self.exploit.payload.to_vec(),
+        );
+
+        let frags = fragment(&packet, self.frag_size);
+        let mut t = start;
+        // Decoy pass: before each genuine fragment (except the first), send
+        // an overlapping fragment at the same offset whose bytes are benign
+        // padding. A FirstWins reassembler keeps the decoy bytes and never
+        // sees the exploit; a LastWins reassembler (matching the victim)
+        // recovers it.
+        for (i, f) in frags.iter().enumerate() {
+            if i > 0 {
+                let mut decoy = f.clone();
+                decoy.payload = Arc::from(vec![0x20u8; f.payload.len()].into_boxed_slice());
+                trace.push_attack(t, decoy, truth);
+                t += SimDuration::from_micros(150);
+            }
+            trace.push_attack(t, f.clone(), truth);
+            t += SimDuration::from_micros(150);
+        }
+        trace.finish();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exploit::exploit_by_name;
+    use idse_net::frag::{OverlapPolicy, Reassembler};
+
+    fn scenario() -> FragmentationEvasion {
+        FragmentationEvasion::new(
+            Ipv4Addr::new(66, 4, 4, 4),
+            Ipv4Addr::new(10, 0, 1, 2),
+            exploit_by_name("cgi-phf").unwrap(),
+        )
+    }
+
+    fn reassemble(trace: &Trace, policy: OverlapPolicy) -> Option<Packet> {
+        let mut r = Reassembler::new(policy);
+        let mut done = None;
+        for rec in trace.records() {
+            if let Some(p) = r.push(&rec.packet) {
+                done = Some(p);
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn lastwins_victim_sees_exploit() {
+        let mut rng = RngStream::derive(21, "ev");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        let victim_view = reassemble(&t, OverlapPolicy::LastWins).expect("completes");
+        assert!(idse_traffic::realism::contains(&victim_view.payload, b"/cgi-bin/phf"));
+    }
+
+    #[test]
+    fn firstwins_ids_is_blinded() {
+        let mut rng = RngStream::derive(21, "ev");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        let ids_view = reassemble(&t, OverlapPolicy::FirstWins).expect("completes");
+        assert!(
+            !idse_traffic::realism::contains(&ids_view.payload, b"/cgi-bin/phf"),
+            "FirstWins reassembly must not reveal the exploit"
+        );
+    }
+
+    #[test]
+    fn no_single_fragment_contains_the_signature() {
+        let mut rng = RngStream::derive(22, "ev2");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        for rec in t.records() {
+            assert!(
+                !idse_traffic::realism::contains(&rec.packet.payload, b"/cgi-bin/phf"),
+                "signature must be split across fragments"
+            );
+        }
+    }
+
+    #[test]
+    fn all_packets_are_labeled() {
+        let mut rng = RngStream::derive(23, "ev3");
+        let t = scenario().generate(SimTime::from_secs(9), 77, &mut rng);
+        assert!(t.len() >= 4);
+        assert!(t
+            .records()
+            .iter()
+            .all(|r| r.truth == Some(GroundTruth { attack_id: 77, class: AttackClass::FragmentationEvasion })));
+    }
+}

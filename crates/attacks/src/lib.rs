@@ -1,0 +1,50 @@
+//! # idse-attacks — attack scenarios with ground truth
+//!
+//! "To overcome this [unobservability of false negatives] we replayed
+//! canned data with known attack content on the test network" (paper §4).
+//! Every scenario here emits a labeled [`idse_net::Trace`]: each packet
+//! carries the attack-instance id and class, so `idse-eval` can compute the
+//! paper's observed false-negative ratio `|A − D| / |T|` exactly.
+//!
+//! The scenario families mirror the 2002-era threat classes the paper's
+//! introduction motivates:
+//!
+//! * reconnaissance — [`scan::PortScan`], [`scan::HostSweep`]
+//! * denial of service — [`flood::SynFlood`]
+//! * credential attack — [`auth::BruteForceLogin`], [`auth::Masquerade`]
+//! * exploitation — [`exploit::PayloadExploit`] with a small exploit corpus
+//! * evasion — [`evasion::FragmentationEvasion`] (overlapping fragments)
+//! * covert channels — [`tunnel::Tunneling`] (DNS/ICMP exfiltration)
+//! * the paper's hardest case — [`trust::TrustExploit`]: lateral movement
+//!   between mutually trusting cluster hosts that "may look like normal
+//!   interactions between hosts".
+//!
+//! [`campaign::Campaign`] composes scenario instances over a time span into
+//! one attack trace ready to merge with background traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod campaign;
+pub mod evasion;
+pub mod exploit;
+pub mod flood;
+pub mod scan;
+pub mod trust;
+pub mod tunnel;
+
+use idse_net::trace::Trace;
+use idse_sim::{RngStream, SimTime};
+
+/// A generator of one attack instance.
+pub trait Scenario {
+    /// The attack class this scenario emits.
+    fn class(&self) -> idse_net::trace::AttackClass;
+
+    /// Emit the instance's packets starting at `start`, labeling them with
+    /// `attack_id`.
+    fn generate(&self, start: SimTime, attack_id: u32, rng: &mut RngStream) -> Trace;
+}
+
+pub use campaign::{Campaign, CampaignConfig};

@@ -1,0 +1,144 @@
+//! The paper's hardest case: trust exploitation between cluster hosts.
+//!
+//! §3.3: "When one host is compromised, other systems that trust it may be
+//! very easily compromised in ways that may look like normal interactions
+//! between hosts. The result is an exploit that is difficult to detect and
+//! nearly impossible to root out." The scenario emits NFS-RPC-shaped
+//! sessions between two *inside* hosts that are byte-for-byte plausible
+//! cluster traffic except for their intent markers (privileged paths,
+//! slightly elevated fan-in). By construction it defeats signature engines
+//! and sits near the noise floor of anomaly engines — which is why the
+//! paper argues distributed systems must bias toward low false negatives
+//! and accept more false positives (experiment X4).
+
+use crate::Scenario;
+use idse_net::tcp::{synthesize_session, Exchange, SessionSpec};
+use idse_net::trace::{AttackClass, GroundTruth, Trace};
+use idse_sim::{RngStream, SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// Lateral movement from a compromised cluster host to a peer that
+/// trusts it.
+#[derive(Debug, Clone)]
+pub struct TrustExploit {
+    /// The already-compromised inside host.
+    pub compromised: Ipv4Addr,
+    /// The trusting peer being moved into.
+    pub peer: Ipv4Addr,
+    /// Number of RPC sessions in the movement.
+    pub sessions: u32,
+}
+
+impl TrustExploit {
+    /// A default three-session movement.
+    pub fn new(compromised: Ipv4Addr, peer: Ipv4Addr) -> Self {
+        Self { compromised, peer, sessions: 3 }
+    }
+
+    /// The subtle tell: privileged paths no benign session touches.
+    pub const PRIVILEGED_PATHS: &'static [&'static str] =
+        &["/export/.ssh/authorized_keys", "/export/etc/shadow.bak", "/export/root/.rhosts"];
+}
+
+impl Scenario for TrustExploit {
+    fn class(&self) -> AttackClass {
+        AttackClass::TrustExploit
+    }
+
+    fn generate(&self, start: SimTime, attack_id: u32, rng: &mut RngStream) -> Trace {
+        let mut trace = Trace::new();
+        let truth = GroundTruth { attack_id, class: self.class() };
+        let mut t = start;
+        for s in 0..self.sessions {
+            // An RPC write targeting a privileged path, framed exactly like
+            // benign NFS traffic.
+            let path = Self::PRIVILEGED_PATHS[s as usize % Self::PRIVILEGED_PATHS.len()];
+            let mut body = Vec::with_capacity(64);
+            let xid = rng.uniform_u64(0, u32::MAX as u64) as u32;
+            body.extend_from_slice(&xid.to_be_bytes());
+            body.extend_from_slice(&0u32.to_be_bytes()); // CALL
+            body.extend_from_slice(&2u32.to_be_bytes());
+            body.extend_from_slice(&100003u32.to_be_bytes());
+            body.extend_from_slice(&3u32.to_be_bytes());
+            body.extend_from_slice(&7u32.to_be_bytes()); // WRITE
+            body.extend_from_slice(&(path.len() as u32).to_be_bytes());
+            body.extend_from_slice(path.as_bytes());
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+
+            let spec = SessionSpec::new(
+                self.compromised,
+                1000 + (rng.uniform_u64(0, 200) as u16), // low "trusted" port
+                self.peer,
+                2049,
+            );
+            let segs = synthesize_session(
+                &spec,
+                &[
+                    Exchange::to_server(body),
+                    Exchange::to_client(vec![0u8; 24]), // terse RPC reply
+                ],
+            );
+            let mut pt = t;
+            for (_, p) in segs {
+                trace.push_attack(pt, p, truth);
+                pt += SimDuration::from_micros(300 + rng.uniform_u64(0, 500));
+            }
+            t += SimDuration::from_secs(1 + rng.uniform_u64(0, 4));
+        }
+        trace.finish();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> TrustExploit {
+        TrustExploit::new(Ipv4Addr::new(10, 10, 0, 7), Ipv4Addr::new(10, 10, 0, 12))
+    }
+
+    #[test]
+    fn stays_inside_the_trust_domain() {
+        let mut rng = RngStream::derive(41, "trust");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        let block: idse_net::Cidr = "10.10.0.0/24".parse().unwrap();
+        for r in t.records() {
+            assert!(block.contains(r.packet.ip.src) && block.contains(r.packet.ip.dst));
+        }
+    }
+
+    #[test]
+    fn looks_like_nfs_traffic() {
+        let mut rng = RngStream::derive(42, "trust2");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        assert!(t.records().iter().all(|r| {
+            let h = r.packet.tcp_header().unwrap();
+            h.dst_port == 2049 || h.src_port == 2049
+        }));
+        // The NFS program number appears, just like benign RPC.
+        let shaped = t.records().iter().any(|r| {
+            idse_traffic::realism::contains(&r.packet.payload, &100003u32.to_be_bytes())
+        });
+        assert!(shaped);
+    }
+
+    #[test]
+    fn carries_the_privileged_path_tell() {
+        let mut rng = RngStream::derive(43, "trust3");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        let tell = t.records().iter().any(|r| {
+            idse_traffic::realism::contains(&r.packet.payload, b"authorized_keys")
+        });
+        assert!(tell, "the subtle intent marker must exist for ground truth to be meaningful");
+    }
+
+    #[test]
+    fn sessions_are_spread_over_time() {
+        let mut rng = RngStream::derive(44, "trust4");
+        let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
+        assert!(t.span() >= SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for attack scenarios: every generated packet is
+//! labeled, timing respects the scenario parameters, and campaigns are
+//! pure functions of their seeds.
+
+use idse_attacks::campaign::{Campaign, CampaignConfig};
+use idse_attacks::flood::SynFlood;
+use idse_attacks::scan::{HostSweep, PortScan};
+use idse_attacks::tunnel::{TunnelCarrier, Tunneling};
+use idse_attacks::Scenario;
+use idse_sim::{RngStream, SimDuration, SimTime};
+use idse_traffic::SiteProfile;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every packet of every scenario instance carries the right label and
+    /// starts no earlier than the scheduled time.
+    #[test]
+    fn scenarios_label_everything(seed in any::<u64>(), start_ms in 0u64..5_000, id in 1u32..1000) {
+        let start = SimTime::from_millis(start_ms);
+        let scenarios: Vec<Box<dyn Scenario>> = vec![
+            Box::new(PortScan { port_count: 30, ..PortScan::new(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 0, 1, 1)) }),
+            Box::new(HostSweep {
+                attacker: Ipv4Addr::new(66, 1, 1, 2),
+                block: "10.0.1.0/24".parse().expect("static"),
+                host_count: 10,
+                port: 22,
+                rate: 40.0,
+            }),
+            Box::new(SynFlood { rate: 500.0, duration: SimDuration::from_millis(400), ..SynFlood::new(Ipv4Addr::new(10, 0, 1, 1)) }),
+            Box::new(Tunneling { carrier: TunnelCarrier::IcmpEcho, bytes: 2048, ..Tunneling::new(Ipv4Addr::new(10, 0, 0, 4), Ipv4Addr::new(198, 18, 1, 1)) }),
+        ];
+        for s in &scenarios {
+            let mut rng = RngStream::derive(seed, "label");
+            let t = s.generate(start, id, &mut rng);
+            prop_assert!(!t.is_empty());
+            for r in t.records() {
+                let truth = r.truth.expect("attack packets are labeled");
+                prop_assert_eq!(truth.attack_id, id);
+                prop_assert_eq!(truth.class, s.class());
+                prop_assert!(r.at >= start);
+            }
+        }
+    }
+
+    /// Scenario generation is deterministic in (seed, start, id).
+    #[test]
+    fn scenarios_are_deterministic(seed in any::<u64>()) {
+        let scan = PortScan::new(Ipv4Addr::new(66, 2, 2, 2), Ipv4Addr::new(10, 0, 1, 5));
+        let mut r1 = RngStream::derive(seed, "det");
+        let mut r2 = RngStream::derive(seed, "det");
+        let a = scan.generate(SimTime::ZERO, 7, &mut r1);
+        let b = scan.generate(SimTime::ZERO, 7, &mut r2);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.records().iter().zip(b.records().iter()) {
+            prop_assert_eq!(x.at, y.at);
+            prop_assert_eq!(&x.packet, &y.packet);
+        }
+    }
+
+    /// Campaigns assign dense, unique attack ids starting at 1, whatever
+    /// the seed and intensity.
+    #[test]
+    fn campaign_ids_are_dense(seed in any::<u64>(), intensity in 1u32..4) {
+        let cfg = CampaignConfig { span: SimDuration::from_secs(30), seed, intensity };
+        let c = Campaign::standard_mix(&SiteProfile::office_lan(), &cfg);
+        let trace = c.generate(&cfg);
+        let ids: std::collections::BTreeSet<u32> =
+            trace.attack_instances().iter().map(|g| g.attack_id).collect();
+        prop_assert_eq!(ids.len(), c.len());
+        prop_assert_eq!(*ids.iter().next().expect("nonempty"), 1);
+        prop_assert_eq!(*ids.iter().last().expect("nonempty"), c.len() as u32);
+    }
+
+    /// Flood packet counts follow rate × duration exactly.
+    #[test]
+    fn flood_count_formula(rate in 100.0f64..5_000.0, ms in 100u64..2_000) {
+        let f = SynFlood {
+            rate,
+            duration: SimDuration::from_millis(ms),
+            ..SynFlood::new(Ipv4Addr::new(10, 0, 1, 1))
+        };
+        let mut rng = RngStream::derive(1, "fc");
+        let t = f.generate(SimTime::ZERO, 1, &mut rng);
+        prop_assert_eq!(t.len() as u64, f.packet_count());
+    }
+}

@@ -1,0 +1,35 @@
+//! Scorecard-methodology benchmarks: catalog construction, weight
+//! derivation (Figure 6), and the weighted-score computation (Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idse_core::catalog::catalog;
+use idse_core::{DiscreteScore, RequirementSet, Scorecard, WeightSet};
+
+fn filled_card() -> Scorecard {
+    let mut c = Scorecard::new("bench-product");
+    for (i, m) in catalog().into_iter().enumerate() {
+        c.set(m.id, DiscreteScore::new((i % 5) as u8));
+    }
+    c
+}
+
+fn bench_scorecard(c: &mut Criterion) {
+    let card = filled_card();
+    let weights = RequirementSet::realtime_distributed().derive();
+    let uniform = WeightSet::uniform();
+
+    c.bench_function("catalog_build", |b| b.iter(|| catalog().len()));
+    c.bench_function("derive_weights_realtime", |b| {
+        b.iter(|| RequirementSet::realtime_distributed().derive().ideal_total())
+    });
+    c.bench_function("weighted_total", |b| b.iter(|| weights.weighted_total(&card)));
+    c.bench_function("weighted_total_uniform", |b| b.iter(|| uniform.weighted_total(&card)));
+    c.bench_function("render_comparison_4_products", |b| {
+        let cards = [filled_card(), filled_card(), filled_card(), filled_card()];
+        let refs: Vec<&Scorecard> = cards.iter().collect();
+        b.iter(|| idse_core::report::render_comparison(&refs, &weights).len())
+    });
+}
+
+criterion_group!(benches, bench_scorecard);
+criterion_main!(benches);

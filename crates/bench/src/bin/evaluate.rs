@@ -1,0 +1,165 @@
+//! `evaluate` — the full methodology as a command-line tool.
+//!
+//! ```text
+//! evaluate [--profile cluster|web|office] [--seed N] [--rate SESSIONS_PER_SEC]
+//!          [--weighting realtime|ecommerce|uniform] [--sweep STEPS]
+//!          [--intensity N] [--json PATH]
+//! ```
+//!
+//! Runs the canned-feed evaluation of all four products, prints the
+//! comparison and ranking under the chosen weighting, and optionally dumps
+//! a machine-readable JSON report (scorecards with notes, measurements,
+//! curves) for downstream tooling.
+
+use idse_core::report::{render_comparison, render_ranking};
+use idse_core::{RequirementSet, Scorecard, WeightSet};
+use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::harness::{evaluate_all, EvaluationConfig};
+use idse_eval::measure::EnvironmentNeeds;
+use idse_sim::SimDuration;
+use idse_traffic::SiteProfile;
+
+#[derive(Debug)]
+struct Args {
+    profile: String,
+    seed: u64,
+    rate: f64,
+    weighting: String,
+    sweep: usize,
+    intensity: u32,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        profile: "cluster".into(),
+        seed: 0x2002_0415,
+        rate: 25.0,
+        weighting: "realtime".into(),
+        sweep: 7,
+        intensity: 2,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--profile" => args.profile = value("--profile")?,
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--rate" => args.rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--weighting" => args.weighting = value("--weighting")?,
+            "--sweep" => {
+                args.sweep = value("--sweep")?.parse().map_err(|e| format!("--sweep: {e}"))?
+            }
+            "--intensity" => {
+                args.intensity =
+                    value("--intensity")?.parse().map_err(|e| format!("--intensity: {e}"))?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: evaluate [--profile cluster|web|office] [--seed N] [--rate R]\n\
+                     \x20               [--weighting realtime|ecommerce|uniform] [--sweep STEPS]\n\
+                     \x20               [--intensity N] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.sweep < 2 {
+        return Err("--sweep must be at least 2".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let (profile, needs) = match args.profile.as_str() {
+        "cluster" => (SiteProfile::realtime_cluster(), EnvironmentNeeds::realtime_cluster(3_000.0)),
+        "web" => (SiteProfile::ecommerce_web(), EnvironmentNeeds::ecommerce(3_000.0)),
+        "office" => (SiteProfile::office_lan(), EnvironmentNeeds::ecommerce(1_500.0)),
+        other => {
+            eprintln!("error: unknown profile {other:?} (cluster|web|office)");
+            std::process::exit(2);
+        }
+    };
+    let weights: WeightSet = match args.weighting.as_str() {
+        "realtime" => RequirementSet::realtime_distributed().derive(),
+        "ecommerce" => RequirementSet::ecommerce_site().derive(),
+        "uniform" => WeightSet::uniform(),
+        other => {
+            eprintln!("error: unknown weighting {other:?} (realtime|ecommerce|uniform)");
+            std::process::exit(2);
+        }
+    };
+
+    let config = EvaluationConfig {
+        feed: FeedConfig {
+            session_rate: args.rate,
+            training_span: SimDuration::from_secs(20),
+            test_span: SimDuration::from_secs(45),
+            campaign_intensity: args.intensity,
+            seed: args.seed,
+        },
+        needs,
+        sweep_steps: args.sweep,
+        max_throughput_factor: 4096.0,
+        fp_budget: 0.15,
+    };
+
+    eprintln!(
+        "evaluating 4 products on the {:?} profile (seed {:#x}, {} sweep steps)…",
+        profile.name, args.seed, args.sweep
+    );
+    let feed = TestFeed::build(profile, &config.feed);
+    let evals = evaluate_all(&feed, &config);
+    let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
+
+    println!("{}", render_comparison(&cards, &weights));
+    println!("{}", render_ranking(&cards, &weights));
+
+    if let Some(path) = args.json {
+        let report = serde_json::json!({
+            "profile": feed.profile.name,
+            "seed": args.seed,
+            "weighting": weights.name,
+            "standard": weights.ideal_total(),
+            "products": evals.iter().map(|e| serde_json::json!({
+                "name": e.scorecard.system,
+                "weighted_total": weights.weighted_total(&e.scorecard),
+                "operating_sensitivity": e.operating_sensitivity,
+                "scorecard": e.scorecard,
+                "curve": e.curve,
+                "throughput": e.throughput,
+                "confusion": {
+                    "transactions": e.confusion.transactions,
+                    "actual_attacks": e.confusion.actual_attacks,
+                    "detected_attacks": e.confusion.detected_attacks,
+                    "false_positives": e.confusion.false_positives,
+                    "fp_ratio": e.confusion.false_positive_ratio(),
+                    "fn_ratio": e.confusion.false_negative_ratio(),
+                },
+                "timing": e.timing,
+                "host_impact": e.host_impact,
+            })).collect::<Vec<_>>(),
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
+            .unwrap_or_else(|e| {
+                eprintln!("error: writing {path:?}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote {path}");
+    }
+}

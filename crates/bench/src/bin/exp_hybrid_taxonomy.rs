@@ -1,0 +1,99 @@
+//! §2.1 taxonomy ablation — "An IDS may be categorized by its detection
+//! mechanism: anomaly-based, signature-based, or hybrid. … many of the
+//! research endeavors have implemented a hybrid design."
+//!
+//! Same architecture (the distributed 4-sensor deployment), three engine
+//! suites: signature-only, anomaly-only, and the parallel hybrid. The
+//! hybrid unions the detection coverage and pays for it in per-packet
+//! inspection cost — measurably lower zero-loss throughput.
+
+use idse_bench::{standard_setup, table};
+use idse_eval::confusion::TransactionLedger;
+use idse_eval::throughput::throughput_search;
+use idse_ids::engine::anomaly::AnomalyConfig;
+use idse_ids::engine::signature::SignatureConfig;
+use idse_ids::pipeline::{PipelineRunner, RunConfig};
+use idse_ids::products::{EngineSuite, IdsProduct, ProductId};
+use idse_ids::Sensitivity;
+use idse_net::trace::AttackClass;
+
+fn variant(engines: EngineSuite) -> IdsProduct {
+    let mut p = IdsProduct::model(ProductId::FlowHunter);
+    p.engines = engines;
+    p
+}
+
+fn main() {
+    println!("=== §2.1 taxonomy: signature vs anomaly vs parallel hybrid ===\n");
+    println!("Identical architecture (4 load-balanced sensors); only the detection");
+    println!("mechanism differs. Sensitivity 0.8, cluster feed.\n");
+    let (feed, config) = standard_setup();
+    let ledger = TransactionLedger::of(&feed.test);
+
+    let suites = [
+        ("signature-only", EngineSuite {
+            signature: Some(SignatureConfig::default()),
+            anomaly: None,
+            host_agents: false,
+        }),
+        ("anomaly-only", EngineSuite {
+            signature: None,
+            anomaly: Some(AnomalyConfig::default()),
+            host_agents: false,
+        }),
+        ("hybrid (parallel)", EngineSuite {
+            signature: Some(SignatureConfig::default()),
+            anomaly: Some(AnomalyConfig::default()),
+            host_agents: false,
+        }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut class_rows: Vec<Vec<String>> = AttackClass::ALL
+        .iter()
+        .map(|c| vec![c.name().to_owned()])
+        .collect();
+
+    for (label, engines) in suites {
+        let product = variant(engines);
+        let out = PipelineRunner::new(
+            product.clone(),
+            RunConfig {
+                sensitivity: Sensitivity::new(0.8),
+                monitored_hosts: feed.servers.clone(),
+                ..RunConfig::default()
+            },
+        )
+        .with_training(feed.training.clone())
+        .run(&feed.test);
+        let c = ledger.score(&out.alerts);
+        let tp = throughput_search(&product, &feed, config.max_throughput_factor);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.2}", c.detection_rate()),
+            format!("{:.4}", c.false_positive_ratio()),
+            format!("{:.0}", tp.zero_loss_pps),
+            c.alert_count.to_string(),
+        ]);
+        for (row, class) in class_rows.iter_mut().zip(AttackClass::ALL.iter()) {
+            row.push(match c.class_detection_rate(*class) {
+                Some(r) => format!("{r:.2}"),
+                None => "-".into(),
+            });
+        }
+    }
+
+    println!(
+        "{}",
+        table(&["Mechanism", "Detection", "FP ratio", "Zero-loss pps", "Alerts"], &rows)
+    );
+    println!("Per-class detection rates:\n");
+    println!(
+        "{}",
+        table(&["Class", "signature", "anomaly", "hybrid"], &class_rows)
+    );
+    println!("The hybrid unions the two coverage sets (the signature engine's known");
+    println!("exploits + the anomaly engine's behavioral classes) and inherits both");
+    println!("false-positive sources, while its per-packet cost — both engines run on");
+    println!("every packet — buys the lowest zero-loss throughput of the three.");
+}

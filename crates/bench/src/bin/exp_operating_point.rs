@@ -1,0 +1,47 @@
+//! Experiment X4 — operating-point selection (§3.3): "Distributed systems
+//! … should put emphasis on reducing the false negative ratio to the
+//! lowest possible level accepting an increased false positive alert ratio
+//! in the process."
+
+use idse_bench::table;
+use idse_eval::experiments::operating_point_experiment;
+use idse_ids::products::{IdsProduct, ProductId};
+
+fn main() {
+    println!("=== Experiment X4: EER vs low-FN operating points on the cluster feed ===\n");
+    for id in [ProductId::FlowHunter, ProductId::GuardSecure, ProductId::AgentWatch] {
+        let report = operating_point_experiment(&IdsProduct::model(id), 0.2, 0x0b35);
+        println!("--- {} ---", report.product);
+        let rows: Vec<Vec<String>> = report
+            .curve
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.2}", p.sensitivity),
+                    format!("{:.4}", p.false_positive_ratio),
+                    format!("{:.4}", p.false_negative_ratio),
+                ]
+            })
+            .collect();
+        println!("{}", table(&["Sensitivity", "FP ratio", "FN ratio"], &rows));
+        match report.eer_point {
+            Some((s, r)) => println!("  EER point: rate {:.4} at sensitivity {:.2}", r, s),
+            None => println!("  EER point: no crossing in range"),
+        }
+        match report.low_fn_point {
+            Some(p) => println!(
+                "  §3.3 low-FN point (FP budget 0.20): sensitivity {:.2}, FP {:.4}, FN {:.4}",
+                p.sensitivity, p.false_positive_ratio, p.false_negative_ratio
+            ),
+            None => println!("  §3.3 low-FN point: no setting within the FP budget"),
+        }
+        println!(
+            "  trust-exploit detection: at EER {:?}, at low-FN point {:?}\n",
+            report.trust_detection_at_eer, report.trust_detection_at_low_fn
+        );
+    }
+    println!("The hardest case — trust exploitation between cluster hosts — is exactly what");
+    println!("the higher-sensitivity operating point buys: \"it is critical to catch the");
+    println!("initial compromise of the first component host and isolate it\" (§3.3).");
+}

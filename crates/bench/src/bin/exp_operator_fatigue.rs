@@ -1,0 +1,65 @@
+//! Future-work experiment — the human dimension (§4: "expand the scorecard
+//! metrics to capture the human dimension of IDS"): operator triage
+//! capacity turns the monotone machine detection curve into a humped
+//! *effective* detection curve, because "frequent alerts on trivial or
+//! normal events … lead to the IDS being ignored by the operators" (§2.2).
+
+use idse_bench::{standard_setup, table};
+use idse_eval::operator::{fatigue_sweep, OperatorModel};
+use idse_ids::products::{IdsProduct, ProductId};
+
+fn main() {
+    println!("=== Future work: operator fatigue and the human-constrained operating point ===\n");
+    let (feed, _config) = standard_setup();
+
+    // The 45-second canned feed stands for one watch hour of traffic.
+    for (label, operator) in [
+        ("single watchstander (40 triage/hour)", OperatorModel::single_watchstander()),
+        ("staffed floor (200 triage/hour)", OperatorModel::staffed_floor()),
+    ] {
+        println!("--- {} — GuardSecure GS-5 ---", label);
+        let rows = fatigue_sweep(&IdsProduct::model(ProductId::GuardSecure), &feed, operator, 1.0, 7);
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.2}", r.sensitivity),
+                    r.alerts.to_string(),
+                    r.triaged.to_string(),
+                    format!("{:.2}", r.machine_detection),
+                    format!("{:.2}", r.effective_detection),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                &["Sensitivity", "Alerts", "Triaged", "Machine detect", "Effective detect"],
+                &table_rows
+            )
+        );
+        let best_machine = rows
+            .iter()
+            .max_by(|a, b| a.machine_detection.partial_cmp(&b.machine_detection).expect("finite"))
+            .expect("rows");
+        let best_effective = rows
+            .iter()
+            .max_by(|a, b| {
+                a.effective_detection
+                    .partial_cmp(&b.effective_detection)
+                    .expect("finite")
+            })
+            .expect("rows");
+        println!(
+            "  machine-optimal sensitivity {:.2} (detect {:.2}); human-constrained optimum {:.2} (effective {:.2})\n",
+            best_machine.sensitivity,
+            best_machine.machine_detection,
+            best_effective.sensitivity,
+            best_effective.effective_detection,
+        );
+    }
+    println!("When the alert stream exceeds the triage budget, added sensitivity buys");
+    println!("machine detections that no human ever reads. A procurer sizing a watch floor");
+    println!("should weight Observed False Positive Ratio by this capacity — the human");
+    println!("dimension the paper left for future work, as a measurable quantity.");
+}

@@ -1,0 +1,60 @@
+//! Experiment X2 — payload realism (§4 lesson 1): "a simple flooding of
+//! the network … with meaningless data is not sufficient … the data portion
+//! of an IP packet should have realistic content."
+
+use idse_bench::table;
+use idse_eval::experiments::payload_realism_experiment;
+use idse_ids::products::IdsProduct;
+use idse_sim::RngStream;
+use idse_traffic::realism::{byte_entropy, printable_fraction, realism_score};
+
+fn main() {
+    println!("=== Experiment X2: random-byte flood vs realistic-content load ===\n");
+
+    // First show the content statistics that separate the two loads.
+    let mut rng = RngStream::derive(0x0b35, "x2-content");
+    let real: Vec<Vec<u8>> = (0..200).map(|_| idse_traffic::payload::http_request(&mut rng)).collect();
+    let rand: Vec<Vec<u8>> = real.iter().map(|p| idse_traffic::payload::random_bytes(&mut rng, p.len())).collect();
+    let stats = |ps: &[Vec<u8>]| {
+        let all: Vec<u8> = ps.iter().flatten().copied().collect();
+        (byte_entropy(&all), printable_fraction(&all), realism_score(ps.iter().map(|v| v.as_slice())))
+    };
+    let (re, rp, rs) = stats(&real);
+    let (ne, np, ns) = stats(&rand);
+    println!(
+        "{}",
+        table(
+            &["Load", "Byte entropy (bits)", "Printable fraction", "Realism score"],
+            &[
+                vec!["realistic".into(), format!("{re:.2}"), format!("{rp:.2}"), format!("{rs:.2}")],
+                vec!["random bytes".into(), format!("{ne:.2}"), format!("{np:.2}"), format!("{ns:.2}")],
+            ]
+        )
+    );
+
+    println!("IDS behaviour under the two loads (same session timing and sizes):\n");
+    let products = IdsProduct::all_models();
+    let rows = payload_realism_experiment(&products, 0.8, 0x0b35);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.product.clone(),
+                format!("{:.2}", r.alerts_per_kpkt_realistic),
+                format!("{:.2}", r.alerts_per_kpkt_random),
+                format!("{:.0}", r.cost_realistic),
+                format!("{:.0}", r.cost_random),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Product", "Alerts/kpkt (realistic)", "Alerts/kpkt (random)", "ops/pkt (realistic)", "ops/pkt (random)"],
+            &table_rows
+        )
+    );
+    println!("A payload-inspecting IDS behaves differently under the two loads — the anomaly");
+    println!("product drowns in alarms under the random flood, while the signature products'");
+    println!("content matches vanish. A random flood therefore measures neither correctly.");
+}

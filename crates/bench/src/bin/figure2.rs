@@ -1,0 +1,43 @@
+//! Figure 2 — relational cardinality of IDS subprocesses, plus conformance
+//! of each simulated product.
+
+use idse_bench::table;
+use idse_ids::cardinality::{figure2_relations, SubprocessCounts};
+use idse_ids::products::IdsProduct;
+
+fn main() {
+    println!("=== Paper Figure 2: Relational cardinality of IDS subprocesses ===\n");
+    for rel in figure2_relations() {
+        println!("  {}", rel.notation());
+    }
+    println!("\n  (\"1c\" marks the conditional — optional — side; subprocesses 2–4 are essential.)\n");
+
+    println!("=== Product architectures vs the Figure 2 relations ===\n");
+    let rows: Vec<Vec<String>> = IdsProduct::all_models()
+        .iter()
+        .map(|p| {
+            let c = SubprocessCounts::of(p);
+            let v = c.validate();
+            vec![
+                p.id.name().to_owned(),
+                c.load_balancers.to_string(),
+                c.sensors.to_string(),
+                c.analyzers.to_string(),
+                c.monitors.to_string(),
+                c.managers.to_string(),
+                if v.is_empty() { "conformant".to_owned() } else { v.join("; ") },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["Product", "LB", "Sensors", "Analyzers", "Monitors", "Consoles", "Figure-2 check"], &rows)
+    );
+
+    // A deliberately malformed architecture, to show the validator bites.
+    let bad = SubprocessCounts { load_balancers: 1, sensors: 0, analyzers: 0, monitors: 2, managers: 1 };
+    println!("Counter-example (sensors=0, monitors=2):");
+    for v in bad.validate() {
+        println!("  violation: {v}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 3 — False Positive (Type I) and False Negative (Type II) errors:
+//! the confusion quantities and the paper's ratio formulas, per product.
+
+use idse_bench::{standard_evaluation, table};
+
+fn main() {
+    println!("=== Paper Figure 3: FP (Type I) / FN (Type II) errors ===\n");
+    println!("  Transactions (T) ⊇ Actual Intrusions (A), IDS Detections (D)");
+    println!("  False Positive Ratio = |D - A| / |T|");
+    println!("  False Negative Ratio = |A - D| / |T|\n");
+
+    let (_feed, _config, evals) = standard_evaluation();
+    let rows: Vec<Vec<String>> = evals
+        .iter()
+        .map(|e| {
+            let c = &e.confusion;
+            vec![
+                e.scorecard.system.clone(),
+                c.transactions.to_string(),
+                c.actual_attacks.to_string(),
+                c.detected_attacks.to_string(),
+                c.false_positives.to_string(),
+                c.missed_attacks.len().to_string(),
+                format!("{:.4}", c.false_positive_ratio()),
+                format!("{:.4}", c.false_negative_ratio()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Product", "|T|", "|A|", "|A∩D|", "|D-A|", "|A-D|", "FP ratio", "FN ratio"],
+            &rows
+        )
+    );
+
+    println!("\nMissed attack instances (A - D), the Type II region:");
+    for e in &evals {
+        let missed: Vec<String> = e
+            .confusion
+            .missed_attacks
+            .iter()
+            .map(|(id, class)| format!("#{id}:{}", class.name()))
+            .collect();
+        println!(
+            "  {:20} {}",
+            e.scorecard.system,
+            if missed.is_empty() { "(none)".to_owned() } else { missed.join(", ") }
+        );
+    }
+}

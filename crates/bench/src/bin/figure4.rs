@@ -1,0 +1,38 @@
+//! Figure 4 — error-rate curves vs sensitivity and the Equal Error Rate,
+//! per product.
+
+use idse_bench::{standard_setup, table};
+use idse_eval::sweep::sweep_product;
+use idse_ids::products::IdsProduct;
+
+fn main() {
+    println!("=== Paper Figure 4: Error rate curves and Equal Error Rate ===\n");
+    let (feed, config) = standard_setup();
+    for product in IdsProduct::all_models() {
+        let curve = sweep_product(&product, &feed, config.sweep_steps);
+        println!("--- {} ---", curve.product);
+        let rows: Vec<Vec<String>> = curve
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.2}", p.sensitivity),
+                    format!("{:.4}", p.false_positive_ratio),
+                    format!("{:.4}", p.false_negative_ratio),
+                    p.alerts.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(&["Sensitivity", "FP ratio (Type I)", "FN ratio (Type II)", "Alerts"], &rows)
+        );
+        match curve.equal_error_rate() {
+            Some((s, r)) => println!("  Equal Error Rate: {:.4} at sensitivity {:.2}\n", r, s),
+            None => println!("  Equal Error Rate: curves do not cross in the swept range\n"),
+        }
+    }
+    println!("(\"Of course the equal error rate is not always ideal. Given the choice, users");
+    println!(" might prefer to have lower Type II error at the expense of higher Type I\" — §2.2;");
+    println!(" see exp_operating_point for that trade.)");
+}

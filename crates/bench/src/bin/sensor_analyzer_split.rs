@@ -1,0 +1,69 @@
+//! Ablation — combined vs separated sensing/analysis (§2.2): "Separating
+//! sensing from analysis may allow better throughput by offloading the
+//! analysis burden, but separation adds network overhead."
+
+use idse_bench::{standard_setup, table};
+use idse_eval::throughput::throughput_search;
+use idse_eval::timing::timing_report;
+use idse_ids::pipeline::{PipelineRunner, RunConfig};
+use idse_ids::products::{IdsProduct, ProductId};
+use idse_ids::Sensitivity;
+
+fn main() {
+    println!("=== Ablation: combined vs separated sensor/analyzer (§2.2) ===\n");
+    let (feed, config) = standard_setup();
+
+    // An alert-storm hot run: hundreds of distinct scanning sources, each
+    // tripping its own anomaly alert, so analysis work genuinely contends
+    // with sensing (per-source cooldowns make one big attack cheap to
+    // analyze — many small ones are the expensive case).
+    use idse_attacks::scan::PortScan;
+    use idse_attacks::Scenario;
+    let mut storm = feed.test.time_scaled(2000.0).repeated(2);
+    let mut rng = idse_sim::RngStream::derive(0xab1e, "storm");
+    for k in 0..600u32 {
+        let attacker = std::net::Ipv4Addr::new(67, (k / 250) as u8 + 1, (k % 250) as u8 + 1, 7);
+        let scan = PortScan {
+            attacker,
+            target: feed.servers[(k as usize) % feed.servers.len()],
+            first_port: 1,
+            port_count: 40,
+            rate: 4000.0,
+        };
+        let start = idse_sim::SimTime::from_millis(rng.uniform_u64(0, 50));
+        storm.merge(scan.generate(start, 1000 + k, &mut rng));
+    }
+    let hot = storm;
+    let mut rows = Vec::new();
+    for (label, combined) in [("separated (M:M)", false), ("combined (1:1)", true)] {
+        let mut product = IdsProduct::model(ProductId::FlowHunter);
+        product.architecture.combined_sensor_analyzer = combined;
+        let tp = throughput_search(&product, &feed, config.max_throughput_factor);
+        let run_config = RunConfig {
+            sensitivity: Sensitivity::new(0.8),
+            monitored_hosts: feed.servers.clone(),
+            ..RunConfig::default()
+        };
+        let out = PipelineRunner::new(product, run_config)
+            .with_training(feed.training.clone())
+            .run(&hot);
+        let timing = timing_report(&hot, &out);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.0}", tp.zero_loss_pps),
+            format!("{:.4}", out.loss_ratio()),
+            format!("{}", timing.timeliness_mean),
+            out.alerts.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["Configuration", "Zero-loss pps", "Loss (hot)", "Timeliness mean", "Alerts (hot)"],
+            &rows
+        )
+    );
+    println!("\nCombining analysis onto the sensor steals sensing capacity exactly when");
+    println!("alerts surge (the hot column); the separated tier keeps the sensor's");
+    println!("headroom at the price of the extra analyzer hop (§2.2's trade).");
+}

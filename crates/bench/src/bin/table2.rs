@@ -1,0 +1,55 @@
+//! Table 2 — Selected Architectural Metrics, with per-product scores.
+
+use idse_bench::{standard_evaluation, table};
+use idse_core::catalog::metrics_of_class;
+use idse_core::report::render_metric_table;
+use idse_core::MetricClass;
+
+fn main() {
+    println!("=== Paper Table 2: Selected Architectural Metrics ===\n");
+    println!("{}", render_metric_table(MetricClass::Architectural, true));
+    println!("--- Metrics defined but not shown in the paper's table ---\n");
+    let named: Vec<String> = metrics_of_class(MetricClass::Architectural)
+        .into_iter()
+        .filter(|m| !m.in_paper_table)
+        .map(|m| m.name.to_owned())
+        .collect();
+    println!("{}\n", named.join(", "));
+
+    println!("=== Scores ===\n");
+    let (_feed, _config, evals) = standard_evaluation();
+    let metrics = metrics_of_class(MetricClass::Architectural);
+    let mut headers: Vec<&str> = vec!["Metric"];
+    let names: Vec<String> = evals.iter().map(|e| e.scorecard.system.clone()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            let mut row = vec![m.name.to_owned()];
+            for e in &evals {
+                row.push(
+                    e.scorecard
+                        .get(m.id)
+                        .map(|s| s.value().to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        })
+        .collect();
+    println!("{}", table(&headers, &rows));
+
+    println!("\nMeasured backing (throughput search):");
+    for e in &evals {
+        println!(
+            "  {:20} zero-loss {:>9.0} pps ({} simultaneous TCP streams)   lethal dose {}",
+            e.scorecard.system,
+            e.throughput.zero_loss_pps,
+            e.throughput.zero_loss_streams,
+            match e.throughput.lethal_dose_pps {
+                Some(p) => format!("{p:>9.0} pps"),
+                None => "none found (graceful)".to_owned(),
+            }
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 3 — Selected Performance Metrics, with per-product scores and the
+//! measured values behind them.
+
+use idse_bench::{standard_evaluation, table};
+use idse_core::catalog::metrics_of_class;
+use idse_core::report::render_metric_table;
+use idse_core::MetricClass;
+
+fn main() {
+    println!("=== Paper Table 3: Selected Performance Metrics ===\n");
+    println!("{}", render_metric_table(MetricClass::Performance, true));
+    println!("--- Metrics defined but not shown in the paper's table ---\n");
+    let named: Vec<String> = metrics_of_class(MetricClass::Performance)
+        .into_iter()
+        .filter(|m| !m.in_paper_table)
+        .map(|m| m.name.to_owned())
+        .collect();
+    println!("{}\n", named.join(", "));
+
+    println!("=== Scores ===\n");
+    let (_feed, _config, evals) = standard_evaluation();
+    let metrics = metrics_of_class(MetricClass::Performance);
+    let mut headers: Vec<&str> = vec!["Metric"];
+    let names: Vec<String> = evals.iter().map(|e| e.scorecard.system.clone()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            let mut row = vec![m.name.to_owned()];
+            for e in &evals {
+                row.push(
+                    e.scorecard
+                        .get(m.id)
+                        .map(|s| s.value().to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        })
+        .collect();
+    println!("{}", table(&headers, &rows));
+
+    println!("\nMeasured values at each product's operating point:");
+    for e in &evals {
+        println!("\n  {} (operating sensitivity {:.2})", e.scorecard.system, e.operating_sensitivity);
+        println!(
+            "    FP ratio {:.4}   FN ratio {:.4}   detection rate {:.2}   alerts {}",
+            e.confusion.false_positive_ratio(),
+            e.confusion.false_negative_ratio(),
+            e.confusion.detection_rate(),
+            e.confusion.alert_count
+        );
+        println!(
+            "    timeliness mean {} / max {}   induced latency mean {}",
+            e.timing.timeliness_mean, e.timing.timeliness_max, e.timing.induced_latency_mean
+        );
+        println!(
+            "    host impact {:.2}%   state {} KiB   zero-loss {:.0} pps",
+            100.0 * e.host_impact,
+            e.state_bytes / 1024,
+            e.throughput.zero_loss_pps
+        );
+        println!("    per-class detection:");
+        for (class, (d, t)) in &e.confusion.per_class {
+            println!("      {:20} {d}/{t}", class.name());
+        }
+    }
+}

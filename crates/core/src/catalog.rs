@@ -1,0 +1,773 @@
+//! The full metric catalog: all 52 metrics the paper defines.
+//!
+//! Descriptions for the table-selected metrics are the paper's own (Tables
+//! 1–3). The paper lists the remaining metrics by name only ("for
+//! brevity's sake we have not included examples for each metric. The
+//! current complete scorecard is available from the authors"); their
+//! descriptions and anchors here are reconstructions consistent with the
+//! paper's style, flagged `in_paper_table: false`.
+
+use crate::metric::{Anchors, MetricClass, MetricDef, MetricId, ObservationMethod};
+
+use MetricClass::{Architectural, Logistical, Performance};
+use ObservationMethod::{Analysis, OpenSource};
+
+const BOTH: &[ObservationMethod] = &[Analysis, OpenSource];
+const ANALYSIS: &[ObservationMethod] = &[Analysis];
+const OPEN: &[ObservationMethod] = &[OpenSource];
+
+/// The complete catalog, in class order then paper order.
+pub fn catalog() -> Vec<MetricDef> {
+    vec![
+        // ================= Logistical (Table 1) =================
+        MetricDef {
+            id: MetricId::DistributedManagement,
+            name: "Distributed Management",
+            class: Logistical,
+            description: "Capability of managing and monitoring the IDS securely from multiple possibly remote systems.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Management of each node must be done at the node.",
+                average: "Nodes may be remotely managed, but either security, or degree of administrative control is limited.",
+                high: "Complete management of all nodes may be done from any node or remotely. Appropriate encryption and authentication are employed.",
+            },
+        },
+        MetricDef {
+            id: MetricId::EaseOfConfiguration,
+            name: "Ease of Configuration",
+            class: Logistical,
+            description: "Difficulty in initially installing and subsequently configuring the IDS.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Vendor engineers must install and every change requires expert intervention.",
+                average: "A trained administrator can install and reconfigure with vendor documentation.",
+                high: "Turnkey installation; routine reconfiguration through a guided interface.",
+            },
+        },
+        MetricDef {
+            id: MetricId::EaseOfPolicyMaintenance,
+            name: "Ease of Policy Maintenance",
+            class: Logistical,
+            description: "The ease of creating, updating, and managing IDS detection and reaction policies.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Policies are hand-edited files with no validation.",
+                average: "Policy editing is tool-assisted but per-sensor.",
+                high: "Central policy authoring, validation, versioning and push to all sensors.",
+            },
+        },
+        MetricDef {
+            id: MetricId::LicenseManagement,
+            name: "License Management",
+            class: Logistical,
+            description: "The difficulty of obtaining, updating, and extending licenses for the IDS.",
+            methods: OPEN,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Per-component keys that must be renegotiated for every change.",
+                average: "Standard commercial licensing with periodic renewal.",
+                high: "Site licensing or unencumbered use; growth requires no license action.",
+            },
+        },
+        MetricDef {
+            id: MetricId::OutsourcedSolution,
+            name: "Outsourced Solution",
+            class: Logistical,
+            description: "The degree to which the IDS services are provided by an external entity.",
+            methods: OPEN,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Fully outsourced monitoring including uncontrollable external scanning.",
+                average: "Optional managed service; local operation fully possible.",
+                high: "Entirely locally operable; no external dependency.",
+            },
+        },
+        MetricDef {
+            id: MetricId::PlatformRequirements,
+            name: "Platform Requirements",
+            class: Logistical,
+            description: "System resources actually required to implement the IDS in the expected environment.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Dedicated high-end hardware per sensor plus heavy host footprints.",
+                average: "Moderate dedicated hardware or noticeable host resources.",
+                high: "Runs on existing hardware with negligible footprint.",
+            },
+        },
+        // --- Logistical, named only ---
+        MetricDef {
+            id: MetricId::QualityOfDocumentation,
+            name: "Quality of Documentation",
+            class: Logistical,
+            description: "Completeness, accuracy and usability of the product documentation.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No usable documentation.",
+                average: "Complete reference but weak procedures.",
+                high: "Complete, accurate, task-oriented documentation.",
+            },
+        },
+        MetricDef {
+            id: MetricId::EaseOfAttackFilterGeneration,
+            name: "Ease of Attack Filter Generation",
+            class: Logistical,
+            description: "Effort required to write or generate a new attack filter/signature.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Filters require vendor engagement.",
+                average: "Administrators can write filters in a documented language.",
+                high: "Guided or automatic filter generation from observed traffic.",
+            },
+        },
+        MetricDef {
+            id: MetricId::EvaluationCopyAvailability,
+            name: "Evaluation Copy Availability",
+            class: Logistical,
+            description: "Availability of evaluation copies to prospective procurers.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No evaluation possible before purchase.",
+                average: "Time-limited or feature-limited evaluation.",
+                high: "Full-function evaluation freely available.",
+            },
+        },
+        MetricDef {
+            id: MetricId::LevelOfAdministration,
+            name: "Level of Administration",
+            class: Logistical,
+            description: "Ongoing administrator effort required to keep the IDS effective.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Requires a dedicated full-time expert.",
+                average: "Part-time attention from a trained administrator.",
+                high: "Largely self-maintaining.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ProductLifetime,
+            name: "Product Lifetime",
+            class: Logistical,
+            description: "Expected supported lifetime of the product and its signature updates.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Unsupported or end-of-life.",
+                average: "Supported with uncertain roadmap.",
+                high: "Long-term support commitment with frequent updates.",
+            },
+        },
+        MetricDef {
+            id: MetricId::QualityOfTechnicalSupport,
+            name: "Quality of Technical Support",
+            class: Logistical,
+            description: "Responsiveness and competence of vendor technical support.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No support channel.",
+                average: "Business-hours support with variable quality.",
+                high: "24/7 expert support with escalation.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ThreeYearCostOfOwnership,
+            name: "Three Year Cost of Ownership",
+            class: Logistical,
+            description: "Total procurement, licensing, hardware and staffing cost over three years.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Cost prohibitive for the intended deployment scale.",
+                average: "Comparable to peer products.",
+                high: "Minimal cost relative to coverage.",
+            },
+        },
+        MetricDef {
+            id: MetricId::TrainingSupport,
+            name: "Training Support",
+            class: Logistical,
+            description: "Availability and quality of operator/administrator training.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No training offered.",
+                average: "Vendor courses at extra cost.",
+                high: "Comprehensive training included, with materials for self-study.",
+            },
+        },
+        // ================= Architectural (Table 2) =================
+        MetricDef {
+            id: MetricId::AdjustableSensitivity,
+            name: "Adjustable Sensitivity",
+            class: Architectural,
+            description: "Ability to change the sensitivity of the IDS to compensate for high false positive or false negative ratios.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Fixed sensitivity.",
+                average: "Coarse global levels (low/medium/high).",
+                high: "Continuous, per-detector sensitivity adjustable at runtime.",
+            },
+        },
+        MetricDef {
+            id: MetricId::DataPoolSelectability,
+            name: "Data Pool Selectability",
+            class: Architectural,
+            description: "Ability to define the source data to be analyzed for intrusions (by protocol, source and dest addresses, etc).",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Analyzes everything; no filtering.",
+                average: "Coarse include/exclude filters.",
+                high: "Arbitrary protocol/address/port predicates on the analyzed pool.",
+            },
+        },
+        MetricDef {
+            id: MetricId::DataStorage,
+            name: "Data Storage",
+            class: Architectural,
+            description: "Average required amount of storage per megabyte of source data.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Stores a large multiple of the source data.",
+                average: "Stores a bounded, configurable fraction.",
+                high: "Stores compact summaries only.",
+            },
+        },
+        MetricDef {
+            id: MetricId::HostBased,
+            name: "Host-based",
+            class: Architectural,
+            description: "Proportion of IDS input from log files, audit trails and other host data.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No host data input.",
+                average: "Host data from key servers only.",
+                high: "Comprehensive host instrumentation across the enclave.",
+            },
+        },
+        MetricDef {
+            id: MetricId::MultiSensorSupport,
+            name: "Multi-sensor Support",
+            class: Architectural,
+            description: "Ability of an IDS to integrate management and input of multiple sensors or analyzers.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Single sensor only.",
+                average: "Multiple sensors with separate consoles.",
+                high: "Many sensors integrated under one management and analysis view.",
+            },
+        },
+        MetricDef {
+            id: MetricId::NetworkBased,
+            name: "Network-based",
+            class: Architectural,
+            description: "Proportion of IDS input from packet analysis and other network data.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No network visibility.",
+                average: "Key segments monitored.",
+                high: "Full network visibility at all relevant aggregation points.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ScalableLoadBalancing,
+            name: "Scalable Load-balancing",
+            class: Architectural,
+            description: "Ability to partition traffic into independent, balanced sensor loads, and ability of the load-balancing subprocess to scale upwards and downwards.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No load balancing",
+                average: "Load balancing via static methods such as placement",
+                high: "Intelligent, dynamic load balancing",
+            },
+        },
+        MetricDef {
+            id: MetricId::SystemThroughput,
+            name: "System Throughput",
+            class: Architectural,
+            description: "Maximal data input rate that can be processed successfully by the IDS. Measured in packets per second for network-based IDSs and Mbps for host-based IDSs.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Saturates below the protected network's nominal load.",
+                average: "Handles nominal load with little headroom.",
+                high: "Handles the network's peak load with margin.",
+            },
+        },
+        // --- Architectural, named only ---
+        MetricDef {
+            id: MetricId::AnomalyBased,
+            name: "Anomaly Based",
+            class: Architectural,
+            description: "Degree to which detection relies on behavior-based (anomaly) mechanisms.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No anomaly detection.",
+                average: "Limited statistical detectors.",
+                high: "Comprehensive trained behavioral models.",
+            },
+        },
+        MetricDef {
+            id: MetricId::AutonomousLearning,
+            name: "Autonomous Learning",
+            class: Architectural,
+            description: "Ability of the IDS to learn or adapt its model of normal behavior without operator effort.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "All knowledge hand-configured.",
+                average: "Assisted baselining during commissioning.",
+                high: "Continuous unsupervised adaptation with drift safeguards.",
+            },
+        },
+        MetricDef {
+            id: MetricId::HostOsSecurity,
+            name: "Host/OS Security",
+            class: Architectural,
+            description: "Hardening of the platforms the IDS components themselves run on.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Components run on unhardened general-purpose hosts.",
+                average: "Vendor hardening guidance applied.",
+                high: "Dedicated minimized platforms with mutual authentication.",
+            },
+        },
+        MetricDef {
+            id: MetricId::Interoperability,
+            name: "Interoperability",
+            class: Architectural,
+            description: "Ability to exchange data and control with other security and network management systems.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Closed formats only.",
+                average: "Export via logs/SNMP.",
+                high: "Open documented interfaces for alerts, control and data.",
+            },
+        },
+        MetricDef {
+            id: MetricId::PackageContents,
+            name: "Package Contents",
+            class: Architectural,
+            description: "Completeness of the delivered package relative to a working deployment.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Essential components sold separately.",
+                average: "Core deployment included; options extra.",
+                high: "Everything needed for the reference deployment included.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ProcessSecurity,
+            name: "Process Security",
+            class: Architectural,
+            description: "Resistance of the IDS's own processes to tampering or subversion.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Components run with excess privilege and no integrity checks.",
+                average: "Least-privilege components.",
+                high: "Privilege separation, integrity checking and secure failure.",
+            },
+        },
+        MetricDef {
+            id: MetricId::SignatureBased,
+            name: "Signature Based",
+            class: Architectural,
+            description: "Degree to which detection relies on knowledge-based (signature) mechanisms.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No signature detection.",
+                average: "Static database with periodic vendor updates.",
+                high: "Rich database with rapid updates and local extension.",
+            },
+        },
+        MetricDef {
+            id: MetricId::Visibility,
+            name: "Visibility",
+            class: Architectural,
+            description: "Detectability of the IDS itself by an adversary on the monitored network.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "IDS announces itself (addresses, probes, latency).",
+                average: "Passive but fingerprintable.",
+                high: "Entirely passive and unaddressable.",
+            },
+        },
+        // ================= Performance (Table 3) =================
+        MetricDef {
+            id: MetricId::AnalysisOfCompromise,
+            name: "Analysis of Compromise",
+            class: Performance,
+            description: "Ability to report the extent of damage and compromise due to intrusions.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Reports nothing beyond the triggering event.",
+                average: "Identifies affected hosts.",
+                high: "Identifies affected hosts, accounts and data with confidence levels.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ErrorReportingAndRecovery,
+            name: "Error Reporting and Recovery",
+            class: Performance,
+            description: "Appropriateness of the behavior of the IDS under error/failure conditions.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No notification, no log, no indication that an error has occurred. Fatal errors cause system to hang indefinitely.",
+                average: "Failure is logged and user is notified at some point in the future when the IDS is able. Fatal errors cause cold reboot of entire machine.",
+                high: "Failure is reported near real time via attack notification channels. Fatal errors cause restart of application(s) or service(s).",
+            },
+        },
+        MetricDef {
+            id: MetricId::FirewallInteraction,
+            name: "Firewall Interaction",
+            class: Performance,
+            description: "Ability to interact with a firewall. Perhaps to update a firewall's block list.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No firewall interaction.",
+                average: "Manual export of block lists.",
+                high: "Automatic, policy-driven block-list updates.",
+            },
+        },
+        MetricDef {
+            id: MetricId::InducedTrafficLatency,
+            name: "Induced Traffic Latency",
+            class: Performance,
+            description: "Degree to which traffic is delayed by the IDS's presence or operation.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "In-line processing adds delay visible to real-time traffic.",
+                average: "Small bounded delay.",
+                high: "No measurable delay (passive tap).",
+            },
+        },
+        MetricDef {
+            id: MetricId::MaximalThroughputZeroLoss,
+            name: "Maximal Throughput with Zero Loss",
+            class: Performance,
+            description: "Observed level of traffic that results in a sustained average of zero lost packets or streams. Measured in packets/sec or # of simultaneous TCP streams.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Loses packets below nominal network load.",
+                average: "Zero loss at nominal load.",
+                high: "Zero loss at peak load with margin.",
+            },
+        },
+        MetricDef {
+            id: MetricId::NetworkLethalDose,
+            name: "Network Lethal Dose",
+            class: Performance,
+            description: "Observed level of network or host traffic that results in a shutdown/malfunction of IDS. Measured in packets/sec or # of simultaneous TCP streams.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Dies at loads the network can reach routinely.",
+                average: "Dies only under deliberate flooding.",
+                high: "Degrades gracefully; no observed lethal dose.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ObservedFalseNegativeRatio,
+            name: "Observed False Negative Ratio",
+            class: Performance,
+            description: "Ratio of actual attacks that are not detected to the total transactions.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Misses most replayed attacks.",
+                average: "Misses a minority of replayed attacks.",
+                high: "Detects essentially all replayed attacks.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ObservedFalsePositiveRatio,
+            name: "Observed False Positive Ratio",
+            class: Performance,
+            description: "Ratio of alarms raised that do not correspond to actual attacks to the total transactions.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Alarms constantly on benign traffic.",
+                average: "Occasional benign alarms.",
+                high: "Essentially no benign alarms at the operating point.",
+            },
+        },
+        MetricDef {
+            id: MetricId::OperationalPerformanceImpact,
+            name: "Operational Performance Impact",
+            class: Performance,
+            description: "Negative impact on the host processing capacity due to the operation of the IDS. Expressed as a percentage of processing power.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Consumes 20% or more of monitored hosts (C2-level audit burden).",
+                average: "Consumes the nominal 3–5% event-logging share.",
+                high: "No measurable host impact (network-only).",
+            },
+        },
+        MetricDef {
+            id: MetricId::RouterInteraction,
+            name: "Router Interaction",
+            class: Performance,
+            description: "Degree to which the IDS can interact with a router. Perhaps it might redirect attacker traffic to a honeypot.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No router interaction.",
+                average: "Manual reconfiguration suggestions.",
+                high: "Automatic policy-driven redirection/filtering.",
+            },
+        },
+        MetricDef {
+            id: MetricId::SnmpInteraction,
+            name: "SNMP Interaction",
+            class: Performance,
+            description: "Ability of the IDS to send an SNMP trap to one or more network devices in response to a detected attack.",
+            methods: BOTH,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "No SNMP capability.",
+                average: "Traps to a single configured manager.",
+                high: "Configurable traps to multiple devices with standard MIBs.",
+            },
+        },
+        MetricDef {
+            id: MetricId::Timeliness,
+            name: "Timeliness",
+            class: Performance,
+            description: "Average/maximal time between an intrusion's occurrence and its being reported.",
+            methods: ANALYSIS,
+            in_paper_table: true,
+            anchors: Anchors {
+                low: "Reports minutes or more after the intrusion.",
+                average: "Reports within seconds.",
+                high: "Reports within milliseconds — inside a real-time response window.",
+            },
+        },
+        // --- Performance, named only ---
+        MetricDef {
+            id: MetricId::AnalysisOfIntruderIntent,
+            name: "Analysis of Intruder Intent",
+            class: Performance,
+            description: "Ability to characterize what the intruder was trying to accomplish.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No intent analysis.",
+                average: "Class-level characterization.",
+                high: "Correlated campaign-level intent assessment.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ClarityOfReports,
+            name: "Clarity of Reports",
+            class: Performance,
+            description: "Understandability and actionability of generated reports.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Raw event dumps.",
+                average: "Structured summaries.",
+                high: "Actionable, prioritized reporting with drill-down.",
+            },
+        },
+        MetricDef {
+            id: MetricId::EffectivenessOfGeneratedFilters,
+            name: "Effectiveness of Generated Filters",
+            class: Performance,
+            description: "Accuracy of automatically generated attack filters (blocking attacks without blocking legitimate users).",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Generated filters block legitimate users.",
+                average: "Filters block attackers with occasional collateral.",
+                high: "Filters surgically block attack traffic only.",
+            },
+        },
+        MetricDef {
+            id: MetricId::EvidenceCollection,
+            name: "Evidence Collection",
+            class: Performance,
+            description: "Ability to preserve forensically useful records of intrusions.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No evidence retained.",
+                average: "Alert-adjacent packet capture.",
+                high: "Tamper-evident full-session evidence with chain of custody.",
+            },
+        },
+        MetricDef {
+            id: MetricId::InformationSharing,
+            name: "Information Sharing",
+            class: Performance,
+            description: "Ability to share threat information with other IDSs or organizations.",
+            methods: OPEN,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No sharing.",
+                average: "Manual export.",
+                high: "Automated standard-format sharing.",
+            },
+        },
+        MetricDef {
+            id: MetricId::NotificationUserAlerts,
+            name: "Notification: User Alerts",
+            class: Performance,
+            description: "Variety and reliability of operator notification channels (console, email, pager…).",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Console-only, easily missed.",
+                average: "Console plus email.",
+                high: "Multiple prioritized channels with acknowledgment tracking.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ProgramInteraction,
+            name: "Program Interaction",
+            class: Performance,
+            description: "Ability to invoke external programs in response to detections.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No hooks.",
+                average: "Fixed response scripts.",
+                high: "Arbitrary parameterized response programs with safeguards.",
+            },
+        },
+        MetricDef {
+            id: MetricId::SessionRecordingAndPlayback,
+            name: "Session Recording and Playback",
+            class: Performance,
+            description: "Ability to record suspect sessions and replay them for analysis.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No recording.",
+                average: "Packet capture without reconstruction.",
+                high: "Full session reconstruction and interactive playback.",
+            },
+        },
+        MetricDef {
+            id: MetricId::ThreatCorrelation,
+            name: "Threat Correlation",
+            class: Performance,
+            description: "Ability to correlate one attack with another or determine that no such correlation is appropriate.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Every alert independent.",
+                average: "Time/source grouping.",
+                high: "Cross-sensor, cross-time campaign correlation.",
+            },
+        },
+        MetricDef {
+            id: MetricId::TrendAnalysis,
+            name: "Trend Analysis",
+            class: Performance,
+            description: "Ability to report threat trends over time.",
+            methods: BOTH,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No historical view.",
+                average: "Fixed-period summaries.",
+                high: "Flexible historical querying and trend detection.",
+            },
+        },
+    ]
+}
+
+/// Look up one metric's definition.
+pub fn metric_def(id: MetricId) -> MetricDef {
+    catalog()
+        .into_iter()
+        .find(|m| m.id == id)
+        .expect("catalog covers every MetricId")
+}
+
+/// All metrics of a class, in catalog order.
+pub fn metrics_of_class(class: MetricClass) -> Vec<MetricDef> {
+    catalog().into_iter().filter(|m| m.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_size_matches_paper_inventory() {
+        // 6+8 logistical, 8+8 architectural, 12+10 performance = 52.
+        let all = catalog();
+        assert_eq!(all.len(), 52);
+        assert_eq!(metrics_of_class(Logistical).len(), 14);
+        assert_eq!(metrics_of_class(Architectural).len(), 16);
+        assert_eq!(metrics_of_class(Performance).len(), 22);
+    }
+
+    #[test]
+    fn table_selected_counts_match_paper_tables() {
+        let shown = |c: MetricClass| {
+            metrics_of_class(c).into_iter().filter(|m| m.in_paper_table).count()
+        };
+        assert_eq!(shown(Logistical), 6, "Table 1 shows 6 metrics");
+        assert_eq!(shown(Architectural), 8, "Table 2 shows 8 metrics");
+        assert_eq!(shown(Performance), 12, "Table 3 shows 12 metrics");
+    }
+
+    #[test]
+    fn ids_are_unique_and_total() {
+        let all = catalog();
+        let ids: std::collections::BTreeSet<MetricId> = all.iter().map(|m| m.id).collect();
+        assert_eq!(ids.len(), all.len(), "no duplicate ids");
+        // Every id can be looked up.
+        for m in &all {
+            assert_eq!(metric_def(m.id).name, m.name);
+        }
+    }
+
+    #[test]
+    fn every_metric_is_fully_defined() {
+        for m in catalog() {
+            assert!(!m.name.is_empty());
+            assert!(!m.description.is_empty(), "{}", m.name);
+            assert!(!m.methods.is_empty(), "{}", m.name);
+            assert!(!m.anchors.low.is_empty() && !m.anchors.high.is_empty(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn paper_verbatim_anchors_survive() {
+        let d = metric_def(MetricId::ScalableLoadBalancing);
+        assert_eq!(d.anchors.low, "No load balancing");
+        assert_eq!(d.anchors.high, "Intelligent, dynamic load balancing");
+        let e = metric_def(MetricId::ErrorReportingAndRecovery);
+        assert!(e.anchors.average.contains("cold reboot"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Metric identities, classes, and definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three metric classes (§3.1). The numeric values are the
+/// class indices `j` in the Figure 5 formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricClass {
+    /// Class 1: expense, maintainability, manageability.
+    Logistical,
+    /// Class 2: fit between intended and deployment architecture.
+    Architectural,
+    /// Class 3: ability to do the job within performance constraints.
+    Performance,
+}
+
+impl MetricClass {
+    /// All classes in index order.
+    pub const ALL: [MetricClass; 3] =
+        [MetricClass::Logistical, MetricClass::Architectural, MetricClass::Performance];
+
+    /// The paper's class index (logistical = 1, …).
+    pub fn index(self) -> usize {
+        match self {
+            MetricClass::Logistical => 1,
+            MetricClass::Architectural => 2,
+            MetricClass::Performance => 3,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricClass::Logistical => "Logistical",
+            MetricClass::Architectural => "Architectural",
+            MetricClass::Performance => "Performance",
+        }
+    }
+}
+
+/// How a metric value is observed (§3.1): laboratory analysis or
+/// open-source material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservationMethod {
+    /// "Direct observation in a laboratory setting or source code
+    /// analysis."
+    Analysis,
+    /// "Specifications, white papers or reviews provided by the vendor or
+    /// users."
+    OpenSource,
+}
+
+/// Every metric in the paper — the selected metrics of Tables 1–3 plus
+/// the metrics the paper defines but does not show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // names are self-describing; prose lives in the catalog
+pub enum MetricId {
+    // --- Logistical, shown in Table 1 ---
+    DistributedManagement,
+    EaseOfConfiguration,
+    EaseOfPolicyMaintenance,
+    LicenseManagement,
+    OutsourcedSolution,
+    PlatformRequirements,
+    // --- Logistical, defined but not shown ---
+    QualityOfDocumentation,
+    EaseOfAttackFilterGeneration,
+    EvaluationCopyAvailability,
+    LevelOfAdministration,
+    ProductLifetime,
+    QualityOfTechnicalSupport,
+    ThreeYearCostOfOwnership,
+    TrainingSupport,
+    // --- Architectural, shown in Table 2 ---
+    AdjustableSensitivity,
+    DataPoolSelectability,
+    DataStorage,
+    HostBased,
+    MultiSensorSupport,
+    NetworkBased,
+    ScalableLoadBalancing,
+    SystemThroughput,
+    // --- Architectural, defined but not shown ---
+    AnomalyBased,
+    AutonomousLearning,
+    HostOsSecurity,
+    Interoperability,
+    PackageContents,
+    ProcessSecurity,
+    SignatureBased,
+    Visibility,
+    // --- Performance, shown in Table 3 ---
+    AnalysisOfCompromise,
+    ErrorReportingAndRecovery,
+    FirewallInteraction,
+    InducedTrafficLatency,
+    MaximalThroughputZeroLoss,
+    NetworkLethalDose,
+    ObservedFalseNegativeRatio,
+    ObservedFalsePositiveRatio,
+    OperationalPerformanceImpact,
+    RouterInteraction,
+    SnmpInteraction,
+    Timeliness,
+    // --- Performance, defined but not shown ---
+    AnalysisOfIntruderIntent,
+    ClarityOfReports,
+    EffectivenessOfGeneratedFilters,
+    EvidenceCollection,
+    InformationSharing,
+    NotificationUserAlerts,
+    ProgramInteraction,
+    SessionRecordingAndPlayback,
+    ThreatCorrelation,
+    TrendAnalysis,
+}
+
+/// Scoring anchors: the paper's definition style gives examples of low
+/// (0), average (2) and high (4) scores for each metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct Anchors {
+    /// What a score of 0 looks like.
+    pub low: &'static str,
+    /// What a score of 2 looks like.
+    pub average: &'static str,
+    /// What a score of 4 looks like.
+    pub high: &'static str,
+}
+
+/// A complete metric definition. (Serialize-only: the catalog is static
+/// data; scorecards, not definitions, round-trip through serde.)
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricDef {
+    /// Identity.
+    pub id: MetricId,
+    /// Human-readable name as printed in the paper's tables.
+    pub name: &'static str,
+    /// Class (1–3).
+    pub class: MetricClass,
+    /// The paper's one-line definition (verbatim where the paper gives
+    /// one).
+    pub description: &'static str,
+    /// Observation methods applicable to this metric.
+    pub methods: &'static [ObservationMethod],
+    /// Whether this metric appears in the paper's selected-metric tables
+    /// (vs being listed by name only).
+    pub in_paper_table: bool,
+    /// Scoring anchors.
+    pub anchors: Anchors,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_match_paper() {
+        assert_eq!(MetricClass::Logistical.index(), 1);
+        assert_eq!(MetricClass::Architectural.index(), 2);
+        assert_eq!(MetricClass::Performance.index(), 3);
+    }
+
+    #[test]
+    fn metric_ids_are_ordered_and_hashable() {
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(MetricId::Timeliness);
+        set.insert(MetricId::DistributedManagement);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let j = serde_json::to_string(&MetricId::NetworkLethalDose).unwrap();
+        let back: MetricId = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, MetricId::NetworkLethalDose);
+    }
+}

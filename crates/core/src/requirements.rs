@@ -1,0 +1,348 @@
+//! Requirements → weights (paper §3.3, Figure 6).
+//!
+//! "The user first lists his IDS requirements in a partial ordering from
+//! least important to most … the first requirement (least important)
+//! should be assigned the lowest weight (e.g., one). Other requirements
+//! may then be assigned increasing weights in proportion to their relative
+//! importance … After the requirements are weighted, each metric is
+//! assigned a weight equal to the sum of the weights of the requirements
+//! it contributes to."
+
+use crate::metric::MetricId;
+use crate::score::WeightSet;
+use serde::{Deserialize, Serialize};
+
+/// One formalized user requirement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Short name.
+    pub name: String,
+    /// The stated requirement (positive form, per §3.3).
+    pub statement: String,
+    /// Importance weight (higher = more important; duplicates allowed
+    /// since the ordering is partial).
+    pub weight: f64,
+    /// The metrics this requirement contributes to.
+    pub contributes: Vec<MetricId>,
+}
+
+/// A procurer's requirement set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequirementSet {
+    /// Name of the procuring organization/system profile.
+    pub name: String,
+    /// The requirements.
+    pub requirements: Vec<Requirement>,
+}
+
+impl RequirementSet {
+    /// An empty set.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), requirements: Vec::new() }
+    }
+
+    /// Add a requirement.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        statement: impl Into<String>,
+        weight: f64,
+        contributes: Vec<MetricId>,
+    ) -> &mut Self {
+        self.requirements.push(Requirement {
+            name: name.into(),
+            statement: statement.into(),
+            weight,
+            contributes,
+        });
+        self
+    }
+
+    /// Assign weights from a partial ordering (least → most important):
+    /// requirement `k` gets weight `k + 1`. This is the paper's suggested
+    /// starting algorithm; weights can then be tuned by hand.
+    pub fn weights_from_order(&mut self) {
+        for (k, r) in self.requirements.iter_mut().enumerate() {
+            r.weight = (k + 1) as f64;
+        }
+    }
+
+    /// Derive the metric weighting: each metric's weight is the sum of the
+    /// weights of the requirements contributing to it (Figure 6).
+    pub fn derive(&self) -> WeightSet {
+        let mut w = WeightSet::new(self.name.clone());
+        for r in &self.requirements {
+            for &m in &r.contributes {
+                w.add(m, r.weight);
+            }
+        }
+        w
+    }
+
+    /// Sanity issues with the set (non-positive weights, requirements
+    /// contributing to nothing). Empty = consistent.
+    pub fn validate(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        for r in &self.requirements {
+            if r.weight <= 0.0 {
+                issues.push(format!(
+                    "requirement {:?} has non-positive weight {} (state requirements positively; use negative *metric* weights for counterproductive features)",
+                    r.name, r.weight
+                ));
+            }
+            if r.contributes.is_empty() {
+                issues.push(format!("requirement {:?} contributes to no metric", r.name));
+            }
+        }
+        issues
+    }
+
+    /// The paper's Figure 6 worked example: requirement weights including
+    /// 1, 2.5 and 3 mapping onto six metrics with derived weights
+    /// 3, 6.5, 5, 0, 0, 8. The six metrics are stand-ins (the figure is
+    /// schematic); what the example demonstrates is the sum rule.
+    pub fn figure6_example() -> (RequirementSet, [MetricId; 6]) {
+        let metrics = [
+            MetricId::SystemThroughput,         // derived 3
+            MetricId::Timeliness,               // derived 6.5
+            MetricId::ScalableLoadBalancing,    // derived 5
+            MetricId::OutsourcedSolution,       // derived 0
+            MetricId::TrainingSupport,          // derived 0
+            MetricId::ObservedFalseNegativeRatio, // derived 8
+        ];
+        let mut set = RequirementSet::new("figure-6-example");
+        set.push("R1", "Lowest-importance requirement", 1.0, vec![metrics[0], metrics[1]]);
+        set.push("R2", "Low-mid importance requirement", 2.5, vec![metrics[1]]);
+        set.push("R3", "Mid importance requirement", 3.0, vec![metrics[1], metrics[2], metrics[5]]);
+        set.push("R4", "Second-lowest importance", 2.0, vec![metrics[0], metrics[2]]);
+        set.push("R5", "Most important requirement", 5.0, vec![metrics[5]]);
+        // Derived: m0 = 1+2 = 3, m1 = 1+2.5+3 = 6.5, m2 = 3+2 = 5,
+        // m3 = m4 = 0, m5 = 3+5 = 8 — the figure's metric weights.
+        (set, metrics)
+    }
+
+    /// The §3.3 real-time distributed weighting: "For real-time systems,
+    /// emphasis should be placed on speed and accuracy of attack
+    /// recognition and on the ability of the IDS to automatically react
+    /// via firewall, router, SNMP, etc. … Distributed systems then, should
+    /// put emphasis on reducing the false negative ratio to the lowest
+    /// possible level accepting an increased false positive alert ratio in
+    /// the process. Logging of historical traffic is also key."
+    pub fn realtime_distributed() -> RequirementSet {
+        let mut set = RequirementSet::new("realtime-distributed-cluster");
+        set.push(
+            "evaluation-support",
+            "The product must be evaluable and supportable within the program office's acquisition process",
+            1.0,
+            vec![
+                MetricId::EvaluationCopyAvailability,
+                MetricId::QualityOfDocumentation,
+                MetricId::QualityOfTechnicalSupport,
+                MetricId::TrainingSupport,
+            ],
+        );
+        set.push(
+            "affordable-at-scale",
+            "Procurement and operation must be affordable across many platforms",
+            2.0,
+            vec![
+                MetricId::ThreeYearCostOfOwnership,
+                MetricId::LicenseManagement,
+                MetricId::LevelOfAdministration,
+            ],
+        );
+        set.push(
+            "local-control",
+            "All monitoring must be operable and controllable locally (no external entity may scan or observe the enclave)",
+            3.0,
+            vec![MetricId::OutsourcedSolution, MetricId::ProcessSecurity, MetricId::HostOsSecurity],
+        );
+        set.push(
+            "manageable-distributed",
+            "The IDS must be securely manageable across a distributed multi-host enclave",
+            4.0,
+            vec![
+                MetricId::DistributedManagement,
+                MetricId::MultiSensorSupport,
+                MetricId::EaseOfConfiguration,
+                MetricId::EaseOfPolicyMaintenance,
+            ],
+        );
+        set.push(
+            "grow-with-system",
+            "Monitoring must scale up and down as the cluster grows or degrades",
+            4.0, // duplicate weights are acceptable (partial ordering)
+            vec![
+                MetricId::ScalableLoadBalancing,
+                MetricId::MultiSensorSupport,
+                MetricId::SystemThroughput,
+            ],
+        );
+        set.push(
+            "bounded-resource-overhead",
+            "The IDS must not consume resources needed by the real-time mission computing",
+            5.0,
+            vec![
+                MetricId::OperationalPerformanceImpact,
+                MetricId::PlatformRequirements,
+                MetricId::InducedTrafficLatency,
+                MetricId::DataStorage,
+            ],
+        );
+        set.push(
+            "graceful-failure",
+            "The IDS must fail in a mode that does not hamper system performance and must report its own failures",
+            6.0,
+            vec![
+                MetricId::ErrorReportingAndRecovery,
+                MetricId::NetworkLethalDose,
+                MetricId::MaximalThroughputZeroLoss,
+            ],
+        );
+        set.push(
+            "automated-response",
+            "Detected attacks must trigger automated, near-real-time response through the network infrastructure",
+            7.0,
+            vec![
+                MetricId::FirewallInteraction,
+                MetricId::RouterInteraction,
+                MetricId::SnmpInteraction,
+                MetricId::EffectivenessOfGeneratedFilters,
+                MetricId::ProgramInteraction,
+            ],
+        );
+        set.push(
+            "forensic-history",
+            "Historical traffic must be retained to unravel trust-chain compromises after the fact",
+            7.0,
+            vec![
+                MetricId::EvidenceCollection,
+                MetricId::SessionRecordingAndPlayback,
+                MetricId::ThreatCorrelation,
+                MetricId::AnalysisOfCompromise,
+                MetricId::TrendAnalysis,
+            ],
+        );
+        set.push(
+            "fast-recognition",
+            "Attacks must be recognized within a real-time response window",
+            8.0,
+            vec![MetricId::Timeliness, MetricId::SystemThroughput, MetricId::AdjustableSensitivity],
+        );
+        set.push(
+            "minimal-false-negatives",
+            "The false negative ratio must be as low as possible, accepting an increased false positive ratio",
+            9.0,
+            vec![
+                MetricId::ObservedFalseNegativeRatio,
+                MetricId::AdjustableSensitivity,
+                MetricId::AnomalyBased,
+                MetricId::HostBased,
+            ],
+        );
+        set
+    }
+
+    /// A contrasting e-commerce weighting: uptime and operator workload
+    /// dominate; false positives are costlier than an occasional miss.
+    pub fn ecommerce_site() -> RequirementSet {
+        let mut set = RequirementSet::new("ecommerce-web-site");
+        set.push(
+            "cheap-to-run",
+            "One part-time administrator must be able to run the IDS",
+            3.0,
+            vec![
+                MetricId::LevelOfAdministration,
+                MetricId::EaseOfConfiguration,
+                MetricId::ClarityOfReports,
+            ],
+        );
+        set.push(
+            "low-false-alarms",
+            "Alarms must be rare enough to stay credible to operators",
+            5.0,
+            vec![MetricId::ObservedFalsePositiveRatio, MetricId::AdjustableSensitivity],
+        );
+        set.push(
+            "web-throughput",
+            "Monitoring must keep up with seasonal web traffic peaks",
+            4.0,
+            vec![MetricId::SystemThroughput, MetricId::MaximalThroughputZeroLoss],
+        );
+        set.push(
+            "managed-service-ok",
+            "Outsourced monitoring is acceptable and even desirable",
+            2.0,
+            vec![MetricId::OutsourcedSolution, MetricId::QualityOfTechnicalSupport],
+        );
+        set.push(
+            "signature-coverage",
+            "Known web attacks must be recognized by name",
+            4.0,
+            vec![MetricId::SignatureBased, MetricId::ObservedFalseNegativeRatio],
+        );
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_derivation_matches_paper_numbers() {
+        let (set, metrics) = RequirementSet::figure6_example();
+        let w = set.derive();
+        assert_eq!(w.get(metrics[0]), 3.0);
+        assert_eq!(w.get(metrics[1]), 6.5);
+        assert_eq!(w.get(metrics[2]), 5.0);
+        assert_eq!(w.get(metrics[3]), 0.0);
+        assert_eq!(w.get(metrics[4]), 0.0);
+        assert_eq!(w.get(metrics[5]), 8.0);
+    }
+
+    #[test]
+    fn ordering_assigns_increasing_weights() {
+        let mut set = RequirementSet::new("t");
+        set.push("least", "s", 0.0, vec![MetricId::Timeliness]);
+        set.push("mid", "s", 0.0, vec![MetricId::Timeliness]);
+        set.push("most", "s", 0.0, vec![MetricId::SystemThroughput]);
+        set.weights_from_order();
+        assert_eq!(set.requirements[0].weight, 1.0);
+        assert_eq!(set.requirements[2].weight, 3.0);
+        let w = set.derive();
+        assert_eq!(w.get(MetricId::Timeliness), 3.0); // 1 + 2
+        assert_eq!(w.get(MetricId::SystemThroughput), 3.0);
+    }
+
+    #[test]
+    fn validation_flags_problems() {
+        let mut set = RequirementSet::new("t");
+        set.push("bad-weight", "s", -1.0, vec![MetricId::Timeliness]);
+        set.push("dangling", "s", 2.0, vec![]);
+        let issues = set.validate();
+        assert_eq!(issues.len(), 2);
+        assert!(RequirementSet::realtime_distributed().validate().is_empty());
+        assert!(RequirementSet::ecommerce_site().validate().is_empty());
+    }
+
+    #[test]
+    fn realtime_weighting_reflects_section_3_3() {
+        let w = RequirementSet::realtime_distributed().derive();
+        // FN ratio must outweigh FP ratio for the distributed profile.
+        assert!(w.get(MetricId::ObservedFalseNegativeRatio) > w.get(MetricId::ObservedFalsePositiveRatio));
+        // Timeliness and automated response are heavily weighted.
+        assert!(w.get(MetricId::Timeliness) >= 8.0);
+        assert!(w.get(MetricId::FirewallInteraction) >= 7.0);
+        // Requirements sharing a metric accumulate.
+        assert!(w.get(MetricId::SystemThroughput) >= 12.0);
+    }
+
+    #[test]
+    fn contrasting_profiles_rank_fp_fn_oppositely() {
+        let rt = RequirementSet::realtime_distributed().derive();
+        let ec = RequirementSet::ecommerce_site().derive();
+        assert!(rt.get(MetricId::ObservedFalseNegativeRatio) > rt.get(MetricId::ObservedFalsePositiveRatio));
+        assert!(ec.get(MetricId::ObservedFalsePositiveRatio) > ec.get(MetricId::ObservedFalseNegativeRatio));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the scorecard algebra (Figure 5 / Figure 6).
+
+use idse_core::catalog::catalog;
+use idse_core::{DiscreteScore, MetricClass, MetricId, RequirementSet, Scorecard, WeightSet};
+use proptest::prelude::*;
+
+fn all_ids() -> Vec<MetricId> {
+    catalog().into_iter().map(|m| m.id).collect()
+}
+
+fn arb_card() -> impl Strategy<Value = Scorecard> {
+    prop::collection::vec(0u8..=4, 52).prop_map(|scores| {
+        let mut c = Scorecard::new("prop");
+        for (id, s) in all_ids().into_iter().zip(scores) {
+            c.set(id, DiscreteScore::new(s));
+        }
+        c
+    })
+}
+
+fn arb_weights() -> impl Strategy<Value = WeightSet> {
+    prop::collection::vec(-5.0f64..5.0, 52).prop_map(|ws| {
+        let mut w = WeightSet::new("prop");
+        for (id, x) in all_ids().into_iter().zip(ws) {
+            w.set(id, x);
+        }
+        w
+    })
+}
+
+proptest! {
+    /// Figure 5 as written: the weighted total equals the naive sum over
+    /// the catalog.
+    #[test]
+    fn weighted_total_equals_naive_sum(card in arb_card(), weights in arb_weights()) {
+        let naive: f64 = all_ids()
+            .into_iter()
+            .map(|id| f64::from(card.get(id).unwrap().value()) * weights.get(id))
+            .sum();
+        prop_assert!((weights.weighted_total(&card) - naive).abs() < 1e-9);
+    }
+
+    /// Class subtotals partition the total: S = S_1 + S_2 + S_3.
+    #[test]
+    fn class_scores_partition_total(card in arb_card(), weights in arb_weights()) {
+        let parts: f64 = MetricClass::ALL
+            .iter()
+            .map(|&c| weights.class_score(&card, c))
+            .sum();
+        prop_assert!((weights.weighted_total(&card) - parts).abs() < 1e-9);
+    }
+
+    /// Weighting is linear: total under (w1 + w2) = total(w1) + total(w2).
+    #[test]
+    fn weighting_is_linear(card in arb_card(), w1 in arb_weights(), w2 in arb_weights()) {
+        let mut sum = WeightSet::new("sum");
+        for id in all_ids() {
+            sum.set(id, w1.get(id) + w2.get(id));
+        }
+        let lhs = sum.weighted_total(&card);
+        let rhs = w1.weighted_total(&card) + w2.weighted_total(&card);
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    /// No scorecard beats the ideal standard under non-negative weights,
+    /// and a perfect card achieves it exactly.
+    #[test]
+    fn ideal_bounds_all_cards(card in arb_card(), weights in arb_weights()) {
+        let mut nonneg = WeightSet::new("nn");
+        for id in all_ids() {
+            nonneg.set(id, weights.get(id).abs());
+        }
+        prop_assert!(nonneg.weighted_total(&card) <= nonneg.ideal_total() + 1e-9);
+        let mut perfect = Scorecard::new("perfect");
+        for id in all_ids() {
+            perfect.set(id, DiscreteScore::MAX);
+        }
+        prop_assert!((nonneg.weighted_total(&perfect) - nonneg.ideal_total()).abs() < 1e-9);
+    }
+
+    /// Figure 6: the derived weight of each metric is exactly the sum of
+    /// contributing requirement weights.
+    #[test]
+    fn requirement_derivation_is_additive(
+        weights in prop::collection::vec(0.5f64..10.0, 1..10),
+        edges in prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..5), 1..10),
+    ) {
+        let ids = all_ids();
+        let n = weights.len().min(edges.len());
+        let mut set = RequirementSet::new("prop");
+        let mut expected: std::collections::BTreeMap<MetricId, f64> = Default::default();
+        for k in 0..n {
+            let contributes: Vec<MetricId> = {
+                // Dedup: a requirement contributes to a metric at most once.
+                let mut seen = std::collections::BTreeSet::new();
+                edges[k]
+                    .iter()
+                    .map(|ix| ids[ix.index(ids.len())])
+                    .filter(|m| seen.insert(*m))
+                    .collect()
+            };
+            for &m in &contributes {
+                *expected.entry(m).or_insert(0.0) += weights[k];
+            }
+            set.push(format!("r{k}"), "s", weights[k], contributes);
+        }
+        let derived = set.derive();
+        for id in ids {
+            let want = expected.get(&id).copied().unwrap_or(0.0);
+            prop_assert!((derived.get(id) - want).abs() < 1e-9);
+        }
+    }
+
+    /// Discrete scores clamp and round stably.
+    #[test]
+    fn discrete_score_from_f64_is_clamped(x in -100.0f64..100.0) {
+        let s = DiscreteScore::from_f64(x);
+        prop_assert!(s.value() <= 4);
+        if (0.0..=4.0).contains(&x) {
+            prop_assert!((f64::from(s.value()) - x).abs() <= 0.5);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Figure 3: confusion quantities and the paper's ratio formulas.
+//!
+//! The paper defines, over transactions `T`, actual intrusions `A` and
+//! IDS-detected intrusions `D`:
+//!
+//! ```text
+//! False Positive Ratio = |D − A| / |T|
+//! False Negative Ratio = |A − D| / |T|
+//! ```
+//!
+//! The paper itself notes that "even the definition of an attack is not
+//! always clear". We adopt the transaction ledger: a *transaction* is
+//! either one attack instance (all packets a scenario emitted) or one
+//! benign canonical flow. `D` is the set of transactions the IDS flagged
+//! (an alert's trigger packet belongs to exactly one transaction), so
+//! `|D − A|` counts benign flows falsely flagged and `|A − D|` counts
+//! attack instances missed — the Venn regions of Figure 3.
+
+use idse_ids::Alert;
+use idse_net::trace::{AttackClass, Trace};
+use idse_net::FlowKey;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The transaction universe of one test trace.
+#[derive(Debug)]
+pub struct TransactionLedger {
+    /// Benign canonical flows.
+    benign_flows: HashSet<FlowKey>,
+    /// Attack instance ids with class.
+    attacks: BTreeMap<u32, AttackClass>,
+    /// Per-record lookup: record index → transaction.
+    record_txn: Vec<Txn>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Txn {
+    Benign(FlowKey),
+    Attack(u32),
+}
+
+impl TransactionLedger {
+    /// Build the ledger for a labeled trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut benign_flows = HashSet::new();
+        let mut attacks = BTreeMap::new();
+        let mut record_txn = Vec::with_capacity(trace.len());
+        for rec in trace.records() {
+            match rec.truth {
+                Some(t) => {
+                    attacks.insert(t.attack_id, t.class);
+                    record_txn.push(Txn::Attack(t.attack_id));
+                }
+                None => {
+                    let flow = FlowKey::of(&rec.packet).canonical();
+                    benign_flows.insert(flow);
+                    record_txn.push(Txn::Benign(flow));
+                }
+            }
+        }
+        Self { benign_flows, attacks, record_txn }
+    }
+
+    /// Total transactions `|T|`.
+    pub fn total(&self) -> usize {
+        self.benign_flows.len() + self.attacks.len()
+    }
+
+    /// Actual intrusions `|A|`.
+    pub fn attack_count(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// Benign transaction count.
+    pub fn benign_count(&self) -> usize {
+        self.benign_flows.len()
+    }
+
+    /// Score a run's alerts into confusion counts.
+    pub fn score(&self, alerts: &[Alert]) -> ConfusionCounts {
+        let mut detected_attacks: HashSet<u32> = HashSet::new();
+        let mut flagged_benign: HashSet<FlowKey> = HashSet::new();
+        for a in alerts {
+            match self.record_txn.get(a.trigger) {
+                Some(Txn::Attack(id)) => {
+                    detected_attacks.insert(*id);
+                }
+                Some(Txn::Benign(flow)) => {
+                    flagged_benign.insert(*flow);
+                }
+                None => {}
+            }
+        }
+        let missed: Vec<(u32, AttackClass)> = self
+            .attacks
+            .iter()
+            .filter(|(id, _)| !detected_attacks.contains(id))
+            .map(|(&id, &c)| (id, c))
+            .collect();
+
+        let mut per_class: BTreeMap<AttackClass, (u32, u32)> = BTreeMap::new();
+        for (&id, &class) in &self.attacks {
+            let e = per_class.entry(class).or_insert((0, 0));
+            e.1 += 1;
+            if detected_attacks.contains(&id) {
+                e.0 += 1;
+            }
+        }
+
+        ConfusionCounts {
+            transactions: self.total(),
+            actual_attacks: self.attacks.len(),
+            detected_attacks: detected_attacks.len(),
+            false_positives: flagged_benign.len(),
+            missed_attacks: missed,
+            per_class,
+            alert_count: alerts.len(),
+        }
+    }
+}
+
+/// The Figure 3 quantities for one run.
+#[derive(Debug, Clone)]
+pub struct ConfusionCounts {
+    /// `|T|`: total transactions.
+    pub transactions: usize,
+    /// `|A|`: actual attack instances.
+    pub actual_attacks: usize,
+    /// `|A ∩ D|`: attack instances with at least one attributable alert.
+    pub detected_attacks: usize,
+    /// `|D − A|`: benign flows falsely flagged.
+    pub false_positives: usize,
+    /// The missed instances `A − D`, with class.
+    pub missed_attacks: Vec<(u32, AttackClass)>,
+    /// Per-class `(detected, total)` instance counts.
+    pub per_class: BTreeMap<AttackClass, (u32, u32)>,
+    /// Raw alert volume (operator workload).
+    pub alert_count: usize,
+}
+
+impl ConfusionCounts {
+    /// The paper's false positive ratio `|D − A| / |T|`.
+    pub fn false_positive_ratio(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.transactions as f64
+        }
+    }
+
+    /// The paper's false negative ratio `|A − D| / |T|`.
+    pub fn false_negative_ratio(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.missed_attacks.len() as f64 / self.transactions as f64
+        }
+    }
+
+    /// Detection rate over attack instances (recall), a convenient
+    /// complement for the per-class table.
+    pub fn detection_rate(&self) -> f64 {
+        if self.actual_attacks == 0 {
+            1.0
+        } else {
+            self.detected_attacks as f64 / self.actual_attacks as f64
+        }
+    }
+
+    /// Detection rate for one class, `None` if the class was absent.
+    pub fn class_detection_rate(&self, class: AttackClass) -> Option<f64> {
+        self.per_class.get(&class).map(|&(d, t)| if t == 0 { 1.0 } else { f64::from(d) / f64::from(t) })
+    }
+}
+
+/// Aggregate alerts by detector name (diagnostics for noisy rules).
+pub fn alerts_by_detector(alerts: &[Alert]) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for a in alerts {
+        *m.entry(a.detector.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_ids::alert::{DetectionSource, Severity};
+    use idse_net::packet::{Ipv4Header, Packet, TcpFlags, TcpHeader};
+    use idse_net::trace::GroundTruth;
+    use idse_sim::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn pkt(sport: u16) -> Packet {
+        Packet::tcp(
+            Ipv4Header::simple(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)),
+            TcpHeader { src_port: sport, dst_port: 80, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            Vec::new(),
+        )
+    }
+
+    fn alert_on(trigger: usize) -> Alert {
+        Alert {
+            raised_at: SimTime::from_millis(1),
+            observed_at: SimTime::ZERO,
+            trigger,
+            flow: FlowKey::of(&pkt(1)),
+            class_guess: AttackClass::PortScan,
+            severity: Severity::Warning,
+            source: DetectionSource::Signature,
+            sensor: 0,
+            detector: "t".into(),
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        // Two benign flows (two packets each), two attack instances.
+        t.push_benign(SimTime::from_millis(0), pkt(1000));
+        t.push_benign(SimTime::from_millis(1), pkt(1000));
+        t.push_benign(SimTime::from_millis(2), pkt(2000));
+        t.push_benign(SimTime::from_millis(3), pkt(2000));
+        let g1 = GroundTruth { attack_id: 1, class: AttackClass::PortScan };
+        let g2 = GroundTruth { attack_id: 2, class: AttackClass::SynFlood };
+        t.push_attack(SimTime::from_millis(4), pkt(3000), g1);
+        t.push_attack(SimTime::from_millis(5), pkt(3001), g1);
+        t.push_attack(SimTime::from_millis(6), pkt(4000), g2);
+        t
+    }
+
+    #[test]
+    fn ledger_counts_transactions() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        assert_eq!(ledger.benign_count(), 2);
+        assert_eq!(ledger.attack_count(), 2);
+        assert_eq!(ledger.total(), 4);
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        // Alerts on records 4 (attack 1) and 6 (attack 2).
+        let c = ledger.score(&[alert_on(4), alert_on(6)]);
+        assert_eq!(c.detected_attacks, 2);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.false_positive_ratio(), 0.0);
+        assert_eq!(c.false_negative_ratio(), 0.0);
+        assert_eq!(c.detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn miss_and_false_alarm() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        // One alert on a benign record, none on attacks.
+        let c = ledger.score(&[alert_on(0)]);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.missed_attacks.len(), 2);
+        assert!((c.false_positive_ratio() - 0.25).abs() < 1e-12); // 1/4
+        assert!((c.false_negative_ratio() - 0.5).abs() < 1e-12); // 2/4
+        assert_eq!(c.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_alerts_do_not_double_count() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        let c = ledger.score(&[alert_on(4), alert_on(5), alert_on(0), alert_on(1)]);
+        // Records 4,5 are the same attack; 0,1 the same benign flow.
+        assert_eq!(c.detected_attacks, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.alert_count, 4);
+    }
+
+    #[test]
+    fn per_class_rates() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        let c = ledger.score(&[alert_on(4)]);
+        assert_eq!(c.class_detection_rate(AttackClass::PortScan), Some(1.0));
+        assert_eq!(c.class_detection_rate(AttackClass::SynFlood), Some(0.0));
+        assert_eq!(c.class_detection_rate(AttackClass::Tunneling), None);
+    }
+
+    #[test]
+    fn out_of_range_trigger_is_ignored() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        let c = ledger.score(&[alert_on(999)]);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.detected_attacks, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Experiments X2–X4: the paper's lessons learned, reproduced.
+
+use crate::confusion::TransactionLedger;
+use crate::feeds::{FeedConfig, TestFeed};
+use crate::sweep::{sweep_product, ErrorCurve, SweepPoint};
+use idse_ids::pipeline::{PipelineRunner, RunConfig};
+use idse_ids::products::IdsProduct;
+use idse_ids::Sensitivity;
+use idse_net::trace::AttackClass;
+use idse_sim::SimDuration;
+use idse_traffic::generator::PayloadMode;
+use idse_traffic::{ArrivalProcess, BackgroundGenerator, GeneratorConfig, SiteProfile};
+use serde::Serialize;
+
+/// X2 — payload realism. "A simple flooding of the network … with
+/// meaningless data is not sufficient … the data portion of an IP packet
+/// should have realistic content", because content-inspecting IDSes
+/// behave differently under the two loads.
+#[derive(Debug, Clone, Serialize)]
+pub struct RealismRow {
+    /// Product name.
+    pub product: String,
+    /// Alerts per 1000 packets under realistic payloads.
+    pub alerts_per_kpkt_realistic: f64,
+    /// Alerts per 1000 packets under random-byte payloads at identical
+    /// timing and sizes.
+    pub alerts_per_kpkt_random: f64,
+    /// Mean per-packet inspection cost (ops) under realistic payloads.
+    pub cost_realistic: f64,
+    /// Mean per-packet inspection cost (ops) under random payloads.
+    pub cost_random: f64,
+}
+
+/// Run X2 for the given products at one sensitivity.
+pub fn payload_realism_experiment(
+    products: &[IdsProduct],
+    sensitivity: f64,
+    seed: u64,
+) -> Vec<RealismRow> {
+    let span = SimDuration::from_secs(25);
+    let rate = 25.0;
+    let mk = |mode: PayloadMode, seed_off: u64| {
+        let mut cfg = GeneratorConfig::new(
+            SiteProfile::ecommerce_web(),
+            ArrivalProcess::Poisson { rate },
+            span,
+            seed ^ seed_off,
+        );
+        cfg.payload_mode = mode;
+        BackgroundGenerator::new(cfg).generate()
+    };
+    let training = mk(PayloadMode::Realistic, 0x7261);
+    let realistic = mk(PayloadMode::Realistic, 0);
+    let random = mk(PayloadMode::RandomBytes, 0);
+
+    let mut rows = Vec::new();
+    for p in products {
+        let run = |trace: &idse_net::trace::Trace| {
+            let config = RunConfig {
+                sensitivity: Sensitivity::new(sensitivity),
+                ..RunConfig::default()
+            };
+            PipelineRunner::new(p.clone(), config)
+                .with_training(training.clone())
+                .run(trace)
+        };
+        let out_real = run(&realistic);
+        let out_rand = run(&random);
+        let mean_cost = |trace: &idse_net::trace::Trace| -> f64 {
+            // Engine cost model, averaged over the trace.
+            let mut sig = p
+                .engines
+                .signature
+                .clone()
+                .map(idse_ids::engine::signature::SignatureEngine::standard);
+            let ano = p
+                .engines
+                .anomaly
+                .clone()
+                .map(idse_ids::engine::anomaly::AnomalyEngine::new);
+            let mut total = 0.0;
+            for r in trace.records() {
+                if let Some(e) = sig.as_mut() {
+                    total += idse_ids::engine::DetectionEngine::cost_ops(e, &r.packet);
+                }
+                if let Some(e) = ano.as_ref() {
+                    total += idse_ids::engine::DetectionEngine::cost_ops(e, &r.packet);
+                }
+            }
+            total / trace.len().max(1) as f64
+        };
+        rows.push(RealismRow {
+            product: p.id.name().to_owned(),
+            alerts_per_kpkt_realistic: 1000.0 * out_real.alerts.len() as f64 / realistic.len() as f64,
+            alerts_per_kpkt_random: 1000.0 * out_rand.alerts.len() as f64 / random.len() as f64,
+            cost_realistic: mean_cost(&realistic),
+            cost_random: mean_cost(&random),
+        });
+    }
+    rows
+}
+
+/// X3 — site profile mismatch. "Commercial IDSs will often be geared
+/// toward [e-commerce traffic] and not perform well in [the high-trust
+/// cluster] situation. The best way to evaluate any IDS is to use real
+/// traffic … from the site where the IDS is expected to be deployed."
+#[derive(Debug, Clone, Serialize)]
+pub struct SiteProfileRow {
+    /// Product name.
+    pub product: String,
+    /// False-positive ratio on cluster traffic when trained/tuned on
+    /// cluster traffic (the matched case).
+    pub fp_matched: f64,
+    /// False-positive ratio on cluster traffic when trained/tuned on
+    /// e-commerce traffic (the mismatched, "commercial default" case).
+    pub fp_mismatched: f64,
+    /// Attack-instance detection rate in the matched case.
+    pub detection_matched: f64,
+    /// Attack-instance detection rate in the mismatched case.
+    pub detection_mismatched: f64,
+}
+
+/// Run X3 for the given products at one sensitivity.
+pub fn site_profile_experiment(
+    products: &[IdsProduct],
+    sensitivity: f64,
+    seed: u64,
+) -> Vec<SiteProfileRow> {
+    let fc = FeedConfig {
+        session_rate: 25.0,
+        training_span: SimDuration::from_secs(25),
+        test_span: SimDuration::from_secs(50),
+        campaign_intensity: 1,
+        seed,
+    };
+    let cluster = TestFeed::realtime_cluster(&fc);
+    let web = TestFeed::ecommerce(&fc);
+    let ledger = TransactionLedger::of(&cluster.test);
+
+    let mut rows = Vec::new();
+    for p in products {
+        let run = |training: &idse_net::trace::Trace| {
+            let config = RunConfig {
+                sensitivity: Sensitivity::new(sensitivity),
+                monitored_hosts: cluster.servers.clone(),
+                ..RunConfig::default()
+            };
+            let out = PipelineRunner::new(p.clone(), config)
+                .with_training(training.clone())
+                .run(&cluster.test);
+            ledger.score(&out.alerts)
+        };
+        let matched = run(&cluster.training);
+        let mismatched = run(&web.training);
+        rows.push(SiteProfileRow {
+            product: p.id.name().to_owned(),
+            fp_matched: matched.false_positive_ratio(),
+            fp_mismatched: mismatched.false_positive_ratio(),
+            detection_matched: matched.detection_rate(),
+            detection_mismatched: mismatched.detection_rate(),
+        });
+    }
+    rows
+}
+
+/// X4 — operating-point selection (§3.3). "Distributed systems … should
+/// put emphasis on reducing the false negative ratio to the lowest
+/// possible level accepting an increased false positive alert ratio."
+/// The experiment compares the EER operating point against the
+/// min-FN-within-FP-budget point, reporting what each buys on the
+/// hardest class (trust exploitation).
+#[derive(Debug, Clone, Serialize)]
+pub struct OperatingPointReport {
+    /// Product name.
+    pub product: String,
+    /// The full sweep the points come from.
+    pub curve: ErrorCurve,
+    /// The equal-error-rate point, if the curves cross.
+    pub eer_point: Option<(f64, f64)>,
+    /// The §3.3 distributed operating point.
+    pub low_fn_point: Option<SweepPoint>,
+    /// Trust-exploit detection rate at (approximately) the EER sensitivity.
+    pub trust_detection_at_eer: Option<f64>,
+    /// Trust-exploit detection rate at the low-FN point.
+    pub trust_detection_at_low_fn: Option<f64>,
+}
+
+/// Run X4 for one product on the cluster feed.
+pub fn operating_point_experiment(
+    product: &IdsProduct,
+    fp_budget: f64,
+    seed: u64,
+) -> OperatingPointReport {
+    let fc = FeedConfig {
+        session_rate: 25.0,
+        training_span: SimDuration::from_secs(25),
+        test_span: SimDuration::from_secs(50),
+        campaign_intensity: 2,
+        seed,
+    };
+    let feed = TestFeed::realtime_cluster(&fc);
+    let curve = sweep_product(product, &feed, 9);
+    let eer_point = curve.equal_error_rate();
+    let low_fn_point = curve.min_fn_within_fp_budget(fp_budget);
+
+    let ledger = TransactionLedger::of(&feed.test);
+    let trust_rate_at = |s: f64| -> Option<f64> {
+        let config = RunConfig {
+            sensitivity: Sensitivity::new(s),
+            monitored_hosts: feed.servers.clone(),
+            ..RunConfig::default()
+        };
+        let out = PipelineRunner::new(product.clone(), config)
+            .with_training(feed.training.clone())
+            .run(&feed.test);
+        ledger.score(&out.alerts).class_detection_rate(AttackClass::TrustExploit)
+    };
+
+    let trust_detection_at_eer = eer_point.and_then(|(s, _)| trust_rate_at(s));
+    let trust_detection_at_low_fn = low_fn_point.and_then(|p| trust_rate_at(p.sensitivity));
+
+    OperatingPointReport {
+        product: product.id.name().to_owned(),
+        curve,
+        eer_point,
+        low_fn_point,
+        trust_detection_at_eer,
+        trust_detection_at_low_fn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_ids::products::ProductId;
+
+    #[test]
+    fn x2_realism_changes_behaviour() {
+        let products = [
+            IdsProduct::model(ProductId::NidSentry),
+            IdsProduct::model(ProductId::FlowHunter),
+        ];
+        let rows = payload_realism_experiment(&products, 0.8, 11);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                (r.alerts_per_kpkt_realistic - r.alerts_per_kpkt_random).abs() > 1e-9,
+                "{}: payload realism must change alert behaviour: {r:?}",
+                r.product
+            );
+        }
+        // The anomaly product must alarm far MORE under a random-byte
+        // flood (binary content on text ports everywhere).
+        let fh = rows.iter().find(|r| r.product.contains("FlowHunter")).unwrap();
+        assert!(
+            fh.alerts_per_kpkt_random > fh.alerts_per_kpkt_realistic * 3.0,
+            "random flood should drown the anomaly engine in alarms: {fh:?}"
+        );
+    }
+
+    #[test]
+    fn x3_mismatched_training_hurts() {
+        let products = [IdsProduct::model(ProductId::FlowHunter)];
+        let rows = site_profile_experiment(&products, 0.7, 13);
+        let r = &rows[0];
+        assert!(
+            r.fp_mismatched > r.fp_matched,
+            "training on the wrong site must raise false positives: {r:?}"
+        );
+    }
+
+    #[test]
+    fn x4_low_fn_point_catches_more_trust_exploits() {
+        let report = operating_point_experiment(&IdsProduct::model(ProductId::FlowHunter), 0.2, 17);
+        let low_fn = report.low_fn_point.expect("a low-FN point exists");
+        // The chosen point trades FP for FN per §3.3.
+        if let Some((_, eer_rate)) = report.eer_point {
+            assert!(low_fn.false_negative_ratio <= eer_rate + 1e-9);
+        }
+        if let (Some(at_eer), Some(at_low)) =
+            (report.trust_detection_at_eer, report.trust_detection_at_low_fn)
+        {
+            assert!(
+                at_low >= at_eer,
+                "the distributed operating point must not catch fewer trust exploits"
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Test feeds: the canned datasets an evaluation replays.
+//!
+//! A feed is a `(training, test)` pair: a known-benign training trace for
+//! baseline learning, and a test trace of background + campaign with
+//! ground truth. Feeds are pure functions of `(profile, rates, seeds)` —
+//! the reproducibility requirement — and the seeds for training, test
+//! background, and campaign are all independent streams.
+
+use idse_attacks::{Campaign, CampaignConfig};
+use idse_net::trace::Trace;
+use idse_sim::SimDuration;
+use idse_traffic::{ArrivalProcess, BackgroundGenerator, GeneratorConfig, SiteProfile};
+use std::net::Ipv4Addr;
+
+/// A complete canned dataset.
+#[derive(Debug, Clone)]
+pub struct TestFeed {
+    /// Site profile the feed models.
+    pub profile: SiteProfile,
+    /// Known-benign training trace.
+    pub training: Trace,
+    /// The benign background of the test window, before the campaign is
+    /// merged in (the load-test replay source: realistic traffic, per the
+    /// paper's lesson 1).
+    pub background: Trace,
+    /// Test trace: background merged with the labeled campaign.
+    pub test: Trace,
+    /// Server hosts (host-agent deployment points).
+    pub servers: Vec<Ipv4Addr>,
+}
+
+/// Feed parameters.
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// Session arrivals per second in both traces.
+    pub session_rate: f64,
+    /// Training trace length.
+    pub training_span: SimDuration,
+    /// Test trace length.
+    pub test_span: SimDuration,
+    /// Campaign intensity (instances of each attack family).
+    pub campaign_intensity: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        Self {
+            session_rate: 25.0,
+            training_span: SimDuration::from_secs(30),
+            test_span: SimDuration::from_secs(60),
+            campaign_intensity: 2,
+            seed: 0x1d5e,
+        }
+    }
+}
+
+impl TestFeed {
+    /// Build a feed for `profile` under `config`.
+    pub fn build(profile: SiteProfile, config: &FeedConfig) -> Self {
+        let training = BackgroundGenerator::new(GeneratorConfig::new(
+            profile.clone(),
+            ArrivalProcess::Poisson { rate: config.session_rate },
+            config.training_span,
+            config.seed ^ 0x7261_696e, // "rain" — training stream
+        ))
+        .generate();
+
+        let background = BackgroundGenerator::new(GeneratorConfig::new(
+            profile.clone(),
+            ArrivalProcess::Poisson { rate: config.session_rate },
+            config.test_span,
+            config.seed ^ 0x7465_7374, // "test" — test background stream
+        ))
+        .generate();
+        let mut test = background.clone();
+
+        let ccfg = CampaignConfig {
+            span: config.test_span,
+            seed: config.seed ^ 0x6174_6b73, // "atks" — campaign stream
+            intensity: config.campaign_intensity,
+        };
+        let campaign = Campaign::standard_mix(&profile, &ccfg);
+        test.merge(campaign.generate(&ccfg));
+
+        let servers = (1..=profile.server_hosts.min(8))
+            .map(|i| profile.servers.host(i))
+            .collect();
+
+        Self { profile, training, background, test, servers }
+    }
+
+    /// The standard e-commerce feed.
+    pub fn ecommerce(config: &FeedConfig) -> Self {
+        Self::build(SiteProfile::ecommerce_web(), config)
+    }
+
+    /// The standard real-time cluster feed.
+    pub fn realtime_cluster(config: &FeedConfig) -> Self {
+        Self::build(SiteProfile::realtime_cluster(), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_is_deterministic() {
+        let cfg = FeedConfig { test_span: SimDuration::from_secs(20), ..FeedConfig::default() };
+        let a = TestFeed::ecommerce(&cfg);
+        let b = TestFeed::ecommerce(&cfg);
+        assert_eq!(a.test.len(), b.test.len());
+        assert_eq!(a.training.len(), b.training.len());
+        assert_eq!(a.test.attack_packets(), b.test.attack_packets());
+    }
+
+    #[test]
+    fn training_is_clean_test_is_mixed() {
+        let cfg = FeedConfig { test_span: SimDuration::from_secs(20), ..FeedConfig::default() };
+        let f = TestFeed::ecommerce(&cfg);
+        assert_eq!(f.training.attack_packets(), 0);
+        assert!(f.test.attack_packets() > 0);
+        assert!(!f.servers.is_empty());
+        // All nine attack classes present at intensity ≥ 1.
+        let classes: std::collections::HashSet<_> =
+            f.test.attack_instances().iter().map(|g| g.class).collect();
+        assert_eq!(classes.len(), 9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TestFeed::ecommerce(&FeedConfig { seed: 1, test_span: SimDuration::from_secs(10), ..FeedConfig::default() });
+        let b = TestFeed::ecommerce(&FeedConfig { seed: 2, test_span: SimDuration::from_secs(10), ..FeedConfig::default() });
+        assert_ne!(a.test.len(), b.test.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! Experiment X1: host-based monitoring overhead (§2.1).
+//!
+//! The paper cites [3, 10]: "Nominal event-logging support for host IDSs
+//! has been shown to consume three to five percent of the monitored host's
+//! resources. Logging compliant with Department of Defense C2-level
+//! (Controlled Access Protection) security requires as much as twenty
+//! percent of the host's processing power." The experiment loads a host
+//! with a production event stream under each audit level and measures the
+//! share of capacity the logging consumes, then optionally stacks a host
+//! agent on top.
+
+use idse_sim::{AuditLevel, HostCpu, RngStream, SimDuration, SimTime};
+use serde::Serialize;
+
+/// One audit level's measured overhead.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Audit level name.
+    pub level: &'static str,
+    /// Measured fraction of host capacity consumed by audit logging.
+    pub audit_share: f64,
+    /// Fraction consumed with an IDS host agent also installed.
+    pub with_agent_share: f64,
+    /// Production work completed per second (events/s) — shows the
+    /// capacity actually lost to monitoring.
+    pub production_events_per_sec: f64,
+}
+
+/// Run X1: a host at ~`load` utilization for `span`, under each audit
+/// level, with and without an agent charging `agent_ops` per event.
+pub fn host_overhead_experiment(
+    load: f64,
+    span: SimDuration,
+    agent_ops: f64,
+    seed: u64,
+) -> Vec<OverheadRow> {
+    let capacity = 500e6;
+    let event_ops = 5_000.0; // one production transaction
+    let target_rate = load * capacity / event_ops; // events/sec at `load`
+
+    let mut rows = Vec::new();
+    for level in [AuditLevel::Off, AuditLevel::Nominal, AuditLevel::C2] {
+        let run = |agent: bool| -> (f64, f64) {
+            let mut cpu = HostCpu::new(capacity, SimDuration::from_millis(200));
+            cpu.set_audit_level(level);
+            let mut rng = RngStream::derive(seed, &format!("x1-{}-{agent}", level.name()));
+            let mut t = SimTime::ZERO;
+            let end = SimTime::ZERO + span;
+            let mut produced = 0u64;
+            while t < end {
+                if let idse_sim::host::CpuVerdict::Completed { .. } =
+                    cpu.execute_production(t, event_ops)
+                {
+                    produced += 1;
+                }
+                if agent {
+                    let _ = cpu.execute_ids(t, agent_ops);
+                }
+                t += SimDuration::from_secs_f64(rng.exponential(target_rate));
+            }
+            (cpu.ids_impact(end), produced as f64 / span.as_secs_f64())
+        };
+        let (audit_share, production_rate) = run(false);
+        let (with_agent_share, _) = run(true);
+        rows.push(OverheadRow {
+            level: level.name(),
+            audit_share,
+            with_agent_share,
+            production_events_per_sec: production_rate,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_shares_match_the_cited_ranges() {
+        let rows = host_overhead_experiment(0.5, SimDuration::from_secs(30), 500.0, 1);
+        let by_level: std::collections::HashMap<&str, &OverheadRow> =
+            rows.iter().map(|r| (r.level, r)).collect();
+        assert!(by_level["off"].audit_share < 1e-9);
+        // Audit shares scale with utilization: at 50% production load the
+        // nominal share is ~half the saturated 4%.
+        let nominal = by_level["nominal"].audit_share;
+        assert!(nominal > 0.01 && nominal < 0.05, "nominal share {nominal}");
+        let c2 = by_level["C2"].audit_share;
+        assert!(c2 > 0.08 && c2 < 0.20, "C2 share {c2}");
+        assert!(c2 > 3.0 * nominal, "C2 must dwarf nominal (paper: 20% vs 3–5%)");
+    }
+
+    #[test]
+    fn agent_adds_measurable_share() {
+        let rows = host_overhead_experiment(0.5, SimDuration::from_secs(20), 1_000.0, 2);
+        for r in &rows {
+            assert!(
+                r.with_agent_share > r.audit_share,
+                "{}: agent share {} must exceed bare audit {}",
+                r.level,
+                r.with_agent_share,
+                r.audit_share
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_audit_reduces_production_headroom() {
+        // At near-saturation load, C2 auditing must cost visible production
+        // throughput.
+        let rows = host_overhead_experiment(1.2, SimDuration::from_secs(20), 0.0, 3);
+        let by_level: std::collections::HashMap<&str, &OverheadRow> =
+            rows.iter().map(|r| (r.level, r)).collect();
+        assert!(
+            by_level["C2"].production_events_per_sec
+                < by_level["off"].production_events_per_sec * 0.9,
+            "C2 {} vs off {}",
+            by_level["C2"].production_events_per_sec,
+            by_level["off"].production_events_per_sec
+        );
+    }
+}

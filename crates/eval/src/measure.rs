@@ -1,0 +1,312 @@
+//! Rubrics: measured quantities → discrete 0–4 scores.
+//!
+//! The scorecard's *analysis* observation method produces continuous
+//! measurements; the methodology requires discrete scoring ("discrete
+//! scoring simplifies the process of assigning values"). Each rubric here
+//! is an explicit, documented threshold ladder, so a score is always
+//! reproducible from its measurement — the paper's "observable,
+//! reproducible, quantifiable" requirement. Thresholds are expressed
+//! relative to the procurer's stated needs (required packet rate, response
+//! window) where the metric is need-relative.
+
+use idse_core::DiscreteScore;
+use idse_ids::components::FailureBehavior;
+use idse_sim::SimDuration;
+
+/// What the protected network requires (the procurer's environment facts
+/// that need-relative rubrics compare against).
+#[derive(Debug, Clone)]
+pub struct EnvironmentNeeds {
+    /// Nominal offered load the IDS must monitor, packets/second.
+    pub nominal_pps: f64,
+    /// Latency budget real-time traffic can tolerate from an in-line
+    /// element.
+    pub latency_budget: SimDuration,
+    /// The response window within which a report is "timely".
+    pub response_window: SimDuration,
+}
+
+impl EnvironmentNeeds {
+    /// The distributed real-time cluster environment: milliseconds matter.
+    pub fn realtime_cluster(nominal_pps: f64) -> Self {
+        Self {
+            nominal_pps,
+            latency_budget: SimDuration::from_micros(500),
+            response_window: SimDuration::from_millis(500),
+        }
+    }
+
+    /// An e-commerce site: seconds are fine.
+    pub fn ecommerce(nominal_pps: f64) -> Self {
+        Self {
+            nominal_pps,
+            latency_budget: SimDuration::from_millis(20),
+            response_window: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Observed False Positive Ratio (`|D − A| / |T|`): lower is better.
+pub fn score_false_positive_ratio(fpr: f64) -> DiscreteScore {
+    DiscreteScore::new(match fpr {
+        x if x < 0.001 => 4,
+        x if x < 0.005 => 3,
+        x if x < 0.02 => 2,
+        x if x < 0.10 => 1,
+        _ => 0,
+    })
+}
+
+/// Observed False Negative Ratio, scored through the detection rate over
+/// replayed attack instances (the ratio's numerator normalized by attacks
+/// rather than transactions, so the score does not reward busy benign
+/// traffic).
+pub fn score_detection_rate(rate: f64) -> DiscreteScore {
+    DiscreteScore::new(match rate {
+        x if x >= 0.95 => 4,
+        x if x >= 0.80 => 3,
+        x if x >= 0.60 => 2,
+        x if x >= 0.30 => 1,
+        _ => 0,
+    })
+}
+
+/// System Throughput / Maximal Throughput with Zero Loss, relative to the
+/// environment's nominal load.
+pub fn score_throughput(zero_loss_pps: f64, needs: &EnvironmentNeeds) -> DiscreteScore {
+    let headroom = zero_loss_pps / needs.nominal_pps.max(1.0);
+    DiscreteScore::new(match headroom {
+        x if x >= 4.0 => 4,
+        x if x >= 2.0 => 3,
+        x if x >= 1.2 => 2,
+        x if x >= 1.0 => 1,
+        _ => 0,
+    })
+}
+
+/// Network Lethal Dose: how far beyond nominal load the IDS survives.
+/// `None` means no failure was provoked within the search ceiling.
+pub fn score_lethal_dose(lethal_pps: Option<f64>, needs: &EnvironmentNeeds) -> DiscreteScore {
+    match lethal_pps {
+        None => DiscreteScore::new(4),
+        Some(pps) => {
+            let margin = pps / needs.nominal_pps.max(1.0);
+            DiscreteScore::new(match margin {
+                x if x >= 32.0 => 3,
+                x if x >= 12.0 => 2,
+                x if x >= 4.0 => 1,
+                _ => 0,
+            })
+        }
+    }
+}
+
+/// Induced Traffic Latency relative to the environment's budget.
+pub fn score_induced_latency(mean: SimDuration, needs: &EnvironmentNeeds) -> DiscreteScore {
+    if mean == SimDuration::ZERO {
+        return DiscreteScore::new(4); // passive tap
+    }
+    let ratio = mean.as_secs_f64() / needs.latency_budget.as_secs_f64().max(1e-12);
+    DiscreteScore::new(match ratio {
+        x if x <= 0.1 => 4,
+        x if x <= 0.5 => 3,
+        x if x <= 1.0 => 2,
+        x if x <= 4.0 => 1,
+        _ => 0,
+    })
+}
+
+/// Timeliness relative to the environment's response window.
+pub fn score_timeliness(mean: SimDuration, needs: &EnvironmentNeeds) -> DiscreteScore {
+    let ratio = mean.as_secs_f64() / needs.response_window.as_secs_f64().max(1e-12);
+    DiscreteScore::new(match ratio {
+        x if x <= 0.25 => 4,
+        x if x <= 1.0 => 3,
+        x if x <= 4.0 => 2,
+        x if x <= 20.0 => 1,
+        _ => 0,
+    })
+}
+
+/// Operational Performance Impact (fraction of monitored-host CPU).
+/// Anchored on the paper's cited figures: the nominal 3–5 % logging share
+/// scores 2; C2's 20 % scores 0; no impact scores 4.
+pub fn score_host_impact(fraction: f64) -> DiscreteScore {
+    DiscreteScore::new(match fraction {
+        x if x < 0.005 => 4,
+        x if x < 0.03 => 3,
+        x if x < 0.06 => 2,
+        x if x < 0.15 => 1,
+        _ => 0,
+    })
+}
+
+/// Error Reporting and Recovery: the paper's anchors name these exact
+/// behaviors (hang / cold reboot / service restart).
+pub fn score_error_recovery(behavior: FailureBehavior) -> DiscreteScore {
+    DiscreteScore::new(match behavior {
+        FailureBehavior::Hang => 0,
+        FailureBehavior::ColdReboot { .. } => 2,
+        FailureBehavior::RestartService { .. } => 4,
+    })
+}
+
+/// Data Storage: retained engine state per megabyte of monitored source
+/// data (lower is better).
+pub fn score_data_storage(state_bytes: usize, source_bytes: u64) -> DiscreteScore {
+    let per_mb = state_bytes as f64 / (source_bytes as f64 / 1e6).max(1e-9);
+    DiscreteScore::new(match per_mb {
+        x if x < 1_000.0 => 4,
+        x if x < 10_000.0 => 3,
+        x if x < 100_000.0 => 2,
+        x if x < 1_000_000.0 => 1,
+        _ => 0,
+    })
+}
+
+/// Firewall/Router interaction measured end-to-end: capability plus the
+/// observed effectiveness of automated blocking (attack packets stopped
+/// vs benign sources collaterally blocked — "faulty policy risks shutting
+/// out legitimate users").
+pub fn score_response_interaction(
+    capable: bool,
+    blocked_attack_packets: u64,
+    collateral_sources: usize,
+) -> DiscreteScore {
+    if !capable {
+        return DiscreteScore::new(0);
+    }
+    if blocked_attack_packets == 0 {
+        return DiscreteScore::new(1); // capability unproven in test
+    }
+    DiscreteScore::new(match collateral_sources {
+        0 => 4,
+        1..=2 => 3,
+        _ => 2,
+    })
+}
+
+/// Evidence Collection, measured as mean forensic coverage of detected
+/// attack instances (fraction of their packets preserved under the
+/// product's retention budget).
+pub fn score_evidence_coverage(coverage: f64) -> DiscreteScore {
+    DiscreteScore::new(match coverage {
+        c if c >= 0.9 => 4,
+        c if c >= 0.6 => 3,
+        c if c >= 0.3 => 2,
+        c if c > 0.0 => 1,
+        _ => 0,
+    })
+}
+
+/// SNMP interaction: capability with observed trap volume.
+pub fn score_snmp(capable: bool, traps_sent: u32) -> DiscreteScore {
+    match (capable, traps_sent) {
+        (false, _) => DiscreteScore::new(0),
+        (true, 0) => DiscreteScore::new(2),
+        (true, _) => DiscreteScore::new(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_ladder_is_monotone() {
+        let scores: Vec<u8> = [0.0, 0.003, 0.01, 0.05, 0.5]
+            .iter()
+            .map(|&x| score_false_positive_ratio(x).value())
+            .collect();
+        assert_eq!(scores, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn detection_ladder() {
+        assert_eq!(score_detection_rate(1.0).value(), 4);
+        assert_eq!(score_detection_rate(0.85).value(), 3);
+        assert_eq!(score_detection_rate(0.65).value(), 2);
+        assert_eq!(score_detection_rate(0.4).value(), 1);
+        assert_eq!(score_detection_rate(0.1).value(), 0);
+    }
+
+    #[test]
+    fn throughput_is_need_relative() {
+        let modest = EnvironmentNeeds::ecommerce(1_000.0);
+        let heavy = EnvironmentNeeds::realtime_cluster(50_000.0);
+        assert_eq!(score_throughput(5_000.0, &modest).value(), 4);
+        assert_eq!(score_throughput(5_000.0, &heavy).value(), 0);
+    }
+
+    #[test]
+    fn lethal_dose_none_is_graceful() {
+        let needs = EnvironmentNeeds::ecommerce(1_000.0);
+        assert_eq!(score_lethal_dose(None, &needs).value(), 4);
+        assert_eq!(score_lethal_dose(Some(40_000.0), &needs).value(), 3);
+        assert_eq!(score_lethal_dose(Some(2_000.0), &needs).value(), 0);
+    }
+
+    #[test]
+    fn latency_zero_is_passive_four() {
+        let needs = EnvironmentNeeds::realtime_cluster(10_000.0);
+        assert_eq!(score_induced_latency(SimDuration::ZERO, &needs).value(), 4);
+        assert_eq!(
+            score_induced_latency(SimDuration::from_micros(500), &needs).value(),
+            2
+        );
+        assert_eq!(score_induced_latency(SimDuration::from_millis(10), &needs).value(), 0);
+    }
+
+    #[test]
+    fn timeliness_windows() {
+        let rt = EnvironmentNeeds::realtime_cluster(1_000.0); // 500 ms window
+        assert_eq!(score_timeliness(SimDuration::from_millis(100), &rt).value(), 4);
+        assert_eq!(score_timeliness(SimDuration::from_millis(400), &rt).value(), 3);
+        assert_eq!(score_timeliness(SimDuration::from_secs(30), &rt).value(), 0);
+        let ec = EnvironmentNeeds::ecommerce(1_000.0); // 10 s window
+        assert_eq!(score_timeliness(SimDuration::from_secs(2), &ec).value(), 4);
+    }
+
+    #[test]
+    fn host_impact_matches_cited_anchors() {
+        assert_eq!(score_host_impact(0.0).value(), 4);
+        assert_eq!(score_host_impact(0.04).value(), 2, "nominal 3–5% is 'average'");
+        assert_eq!(score_host_impact(0.20).value(), 0, "C2's 20% is the low anchor");
+    }
+
+    #[test]
+    fn error_recovery_matches_paper_anchors() {
+        assert_eq!(score_error_recovery(FailureBehavior::Hang).value(), 0);
+        assert_eq!(
+            score_error_recovery(FailureBehavior::ColdReboot { downtime: SimDuration::from_secs(30) }).value(),
+            2
+        );
+        assert_eq!(
+            score_error_recovery(FailureBehavior::RestartService { downtime: SimDuration::from_secs(1) }).value(),
+            4
+        );
+    }
+
+    #[test]
+    fn response_interaction_penalizes_collateral() {
+        assert_eq!(score_response_interaction(false, 100, 0).value(), 0);
+        assert_eq!(score_response_interaction(true, 0, 0).value(), 1);
+        assert_eq!(score_response_interaction(true, 500, 0).value(), 4);
+        assert_eq!(score_response_interaction(true, 500, 5).value(), 2);
+    }
+
+    #[test]
+    fn evidence_ladder() {
+        assert_eq!(score_evidence_coverage(1.0).value(), 4);
+        assert_eq!(score_evidence_coverage(0.7).value(), 3);
+        assert_eq!(score_evidence_coverage(0.4).value(), 2);
+        assert_eq!(score_evidence_coverage(0.05).value(), 1);
+        assert_eq!(score_evidence_coverage(0.0).value(), 0);
+    }
+
+    #[test]
+    fn storage_ladder() {
+        assert_eq!(score_data_storage(100, 10_000_000).value(), 4);
+        assert_eq!(score_data_storage(50_000_000, 10_000_000).value(), 0);
+    }
+}

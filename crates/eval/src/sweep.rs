@@ -1,0 +1,198 @@
+//! Figure 4: error-rate curves vs sensitivity, and the Equal Error Rate.
+//!
+//! "Users should look for systems where the IDS's monitoring sensitivity
+//! can be adjusted so equality between false positive and false negative
+//! error rates can be achieved." The sweep runs the same feed through a
+//! product at a ladder of sensitivity settings, records both ratios, and
+//! locates the crossover by linear interpolation.
+
+use crate::confusion::TransactionLedger;
+use crate::feeds::TestFeed;
+use idse_ids::pipeline::{PipelineRunner, RunConfig};
+use idse_ids::products::IdsProduct;
+use idse_ids::Sensitivity;
+use serde::Serialize;
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SweepPoint {
+    /// Sensitivity setting.
+    pub sensitivity: f64,
+    /// `|D − A| / |T|`.
+    pub false_positive_ratio: f64,
+    /// `|A − D| / |T|`.
+    pub false_negative_ratio: f64,
+    /// Raw alert volume at this setting.
+    pub alerts: usize,
+}
+
+/// A full error-rate curve for one product.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorCurve {
+    /// Product name.
+    pub product: String,
+    /// Samples in increasing sensitivity order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ErrorCurve {
+    /// The Equal Error Rate operating point `(sensitivity, rate)`, found
+    /// by interpolating the sign change of `fp − fn`. `None` when the
+    /// curves never cross in the swept range.
+    pub fn equal_error_rate(&self) -> Option<(f64, f64)> {
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let da = a.false_positive_ratio - a.false_negative_ratio;
+            let db = b.false_positive_ratio - b.false_negative_ratio;
+            if da == 0.0 {
+                return Some((a.sensitivity, a.false_positive_ratio));
+            }
+            if da * db < 0.0 {
+                // Interpolate the crossing.
+                let t = da / (da - db);
+                let s = a.sensitivity + t * (b.sensitivity - a.sensitivity);
+                let rate = a.false_positive_ratio
+                    + t * (b.false_positive_ratio - a.false_positive_ratio);
+                return Some((s, rate));
+            }
+        }
+        self.points.last().and_then(|p| {
+            (p.false_positive_ratio == p.false_negative_ratio)
+                .then_some((p.sensitivity, p.false_positive_ratio))
+        })
+    }
+
+    /// The sensitivity minimizing the false-negative ratio subject to the
+    /// false-positive ratio staying at or below `fp_budget` — the §3.3
+    /// operating-point rule for distributed systems ("reduce the false
+    /// negative ratio … accepting an increased false positive ratio").
+    pub fn min_fn_within_fp_budget(&self, fp_budget: f64) -> Option<SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.false_positive_ratio <= fp_budget)
+            .min_by(|a, b| {
+                a.false_negative_ratio
+                    .partial_cmp(&b.false_negative_ratio)
+                    .expect("ratios are finite")
+                    .then(
+                        a.false_positive_ratio
+                            .partial_cmp(&b.false_positive_ratio)
+                            .expect("ratios are finite"),
+                    )
+            })
+            .copied()
+    }
+}
+
+/// Sweep one product over `steps` sensitivity settings in `[0, 1]`.
+pub fn sweep_product(product: &IdsProduct, feed: &TestFeed, steps: usize) -> ErrorCurve {
+    assert!(steps >= 2, "a sweep needs at least two settings");
+    let ledger = TransactionLedger::of(&feed.test);
+    let mut points = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let s = k as f64 / (steps - 1) as f64;
+        let config = RunConfig {
+            sensitivity: Sensitivity::new(s),
+            monitored_hosts: feed.servers.clone(),
+            ..RunConfig::default()
+        };
+        let runner =
+            PipelineRunner::new(product.clone(), config).with_training(feed.training.clone());
+        let outcome = runner.run(&feed.test);
+        let counts = ledger.score(&outcome.alerts);
+        points.push(SweepPoint {
+            sensitivity: s,
+            false_positive_ratio: counts.false_positive_ratio(),
+            false_negative_ratio: counts.false_negative_ratio(),
+            alerts: counts.alert_count,
+        });
+    }
+    ErrorCurve { product: product.id.name().to_owned(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feeds::FeedConfig;
+    use idse_ids::products::ProductId;
+    use idse_sim::SimDuration;
+
+    fn small_feed() -> TestFeed {
+        TestFeed::ecommerce(&FeedConfig {
+            session_rate: 15.0,
+            training_span: SimDuration::from_secs(15),
+            test_span: SimDuration::from_secs(30),
+            campaign_intensity: 1,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn fn_ratio_decreases_with_sensitivity() {
+        let feed = small_feed();
+        let curve = sweep_product(&IdsProduct::model(ProductId::NidSentry), &feed, 5);
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert!(
+            last.false_negative_ratio <= first.false_negative_ratio,
+            "higher sensitivity must not miss more: {first:?} -> {last:?}"
+        );
+        assert!(last.alerts >= first.alerts);
+    }
+
+    #[test]
+    fn fp_ratio_increases_with_sensitivity() {
+        let feed = small_feed();
+        let curve = sweep_product(&IdsProduct::model(ProductId::GuardSecure), &feed, 5);
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert!(last.false_positive_ratio >= first.false_positive_ratio);
+    }
+
+    #[test]
+    fn eer_interpolation_on_synthetic_curve() {
+        let curve = ErrorCurve {
+            product: "synthetic".into(),
+            points: vec![
+                SweepPoint { sensitivity: 0.0, false_positive_ratio: 0.0, false_negative_ratio: 0.4, alerts: 0 },
+                SweepPoint { sensitivity: 0.5, false_positive_ratio: 0.1, false_negative_ratio: 0.3, alerts: 10 },
+                SweepPoint { sensitivity: 1.0, false_positive_ratio: 0.5, false_negative_ratio: 0.1, alerts: 50 },
+            ],
+        };
+        let (s, r) = curve.equal_error_rate().expect("curves cross");
+        assert!(s > 0.5 && s < 1.0, "crossing between the last two samples, got {s}");
+        assert!(r > 0.1 && r < 0.5);
+    }
+
+    #[test]
+    fn no_crossing_yields_none() {
+        let curve = ErrorCurve {
+            product: "synthetic".into(),
+            points: vec![
+                SweepPoint { sensitivity: 0.0, false_positive_ratio: 0.0, false_negative_ratio: 0.5, alerts: 0 },
+                SweepPoint { sensitivity: 1.0, false_positive_ratio: 0.1, false_negative_ratio: 0.2, alerts: 5 },
+            ],
+        };
+        assert!(curve.equal_error_rate().is_none());
+    }
+
+    #[test]
+    fn fp_budget_operating_point() {
+        let curve = ErrorCurve {
+            product: "synthetic".into(),
+            points: vec![
+                SweepPoint { sensitivity: 0.0, false_positive_ratio: 0.0, false_negative_ratio: 0.5, alerts: 0 },
+                SweepPoint { sensitivity: 0.5, false_positive_ratio: 0.05, false_negative_ratio: 0.2, alerts: 9 },
+                SweepPoint { sensitivity: 1.0, false_positive_ratio: 0.4, false_negative_ratio: 0.05, alerts: 80 },
+            ],
+        };
+        let p = curve.min_fn_within_fp_budget(0.1).unwrap();
+        assert_eq!(p.sensitivity, 0.5);
+        // With a generous budget, the minimum-FN point wins.
+        let p = curve.min_fn_within_fp_budget(1.0).unwrap();
+        assert_eq!(p.sensitivity, 1.0);
+        // With a zero budget only the first point qualifies.
+        let p = curve.min_fn_within_fp_budget(0.0).unwrap();
+        assert_eq!(p.sensitivity, 0.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Rubrics: vendor facts → discrete scores (the "open source material"
+//! observation method).
+//!
+//! These score the logistical metrics, the qualitative architectural
+//! metrics, and the named-only performance metrics whose values come from
+//! product capability sheets rather than testbed runs. Every rule is a
+//! deterministic function of the product definition, so re-scoring a
+//! product is reproducible — the property the paper demands of its
+//! metrics.
+
+use idse_core::{DiscreteScore, MetricId, Scorecard};
+use idse_ids::components::BalanceStrategy;
+use idse_ids::products::{EffortTier, IdsProduct, ManagementTier, QualityTier};
+
+fn tier_mgmt(t: ManagementTier) -> u8 {
+    match t {
+        ManagementTier::NodeOnly => 0,
+        ManagementTier::LimitedRemote => 2,
+        ManagementTier::FullSecureRemote => 4,
+    }
+}
+
+fn tier_effort(t: EffortTier) -> u8 {
+    match t {
+        EffortTier::Heavy => 0,
+        EffortTier::Moderate => 2,
+        EffortTier::Light => 4,
+    }
+}
+
+fn tier_quality(t: QualityTier) -> u8 {
+    match t {
+        QualityTier::Poor => 0,
+        QualityTier::Fair => 2,
+        QualityTier::Good => 4,
+    }
+}
+
+/// Score every vendor-observable metric into `card`.
+pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
+    let v = &product.vendor;
+    let arch = &product.architecture;
+    let set = |card: &mut Scorecard, id: MetricId, s: u8, note: &str| {
+        card.set_with_note(id, DiscreteScore::new(s), note);
+    };
+
+    // ---- Logistical ----
+    set(card, MetricId::DistributedManagement, tier_mgmt(v.remote_management), "management tier from vendor profile");
+    set(card, MetricId::EaseOfConfiguration, tier_effort(v.configuration), "configuration effort tier");
+    set(card, MetricId::EaseOfPolicyMaintenance, tier_effort(v.policy_tooling), "policy tooling tier");
+    set(card, MetricId::LicenseManagement, tier_effort(v.licensing), "licensing burden tier");
+    // Anchors: high score = fully locally operable.
+    set(
+        card,
+        MetricId::OutsourcedSolution,
+        DiscreteScore::from_f64(4.0 * (1.0 - v.outsourced_degree)).value(),
+        "4·(1 − outsourced degree)",
+    );
+    let platform = match (v.dedicated_hardware, v.platform_footprint_mb) {
+        (false, mb) if mb < 128 => 4,
+        (false, mb) if mb < 512 => 3,
+        (false, _) => 2,
+        (true, mb) if mb < 512 => 2,
+        (true, mb) if mb < 1024 => 1,
+        (true, _) => 0,
+    };
+    set(card, MetricId::PlatformRequirements, platform, "dedicated hardware + footprint");
+    set(card, MetricId::QualityOfDocumentation, tier_quality(v.documentation), "doc tier");
+    set(
+        card,
+        MetricId::EaseOfAttackFilterGeneration,
+        if product.engines.signature.is_some() { tier_effort(v.policy_tooling) } else { 1 },
+        "filter authoring follows policy tooling; anomaly products need baselines instead",
+    );
+    set(card, MetricId::EvaluationCopyAvailability, if v.evaluation_copy { 4 } else { 0 }, "availability fact");
+    let admin = match (v.configuration, product.engines.anomaly.is_some()) {
+        // Anomaly products demand baseline upkeep on top of configuration.
+        (EffortTier::Light, false) => 4,
+        (EffortTier::Light, true) => 3,
+        (EffortTier::Moderate, false) => 3,
+        (EffortTier::Moderate, true) => 2,
+        (EffortTier::Heavy, false) => 1,
+        (EffortTier::Heavy, true) => 0,
+    };
+    set(card, MetricId::LevelOfAdministration, admin, "config effort + baseline upkeep");
+    set(
+        card,
+        MetricId::ProductLifetime,
+        match v.support {
+            QualityTier::Good => 3,
+            QualityTier::Fair => 2,
+            QualityTier::Poor => 1,
+        },
+        "support tier proxies roadmap commitment",
+    );
+    set(card, MetricId::QualityOfTechnicalSupport, tier_quality(v.support), "support tier");
+    let cost = match v.cost_3yr_usd {
+        c if c < 20_000 => 4,
+        c if c < 60_000 => 3,
+        c if c < 100_000 => 2,
+        c if c < 150_000 => 1,
+        _ => 0,
+    };
+    set(card, MetricId::ThreeYearCostOfOwnership, cost, "2002-USD cost ladder");
+    set(card, MetricId::TrainingSupport, tier_quality(v.training), "training tier");
+
+    // ---- Architectural (qualitative) ----
+    set(
+        card,
+        MetricId::AdjustableSensitivity,
+        if v.adjustable_sensitivity { 4 } else { 0 },
+        "runtime sensitivity knob",
+    );
+    set(
+        card,
+        MetricId::DataPoolSelectability,
+        if v.data_pool_selectable { 3 } else { 0 },
+        "protocol/address filters",
+    );
+    let host_frac = product.host_based_fraction();
+    set(
+        card,
+        MetricId::HostBased,
+        DiscreteScore::from_f64(4.0 * host_frac).value(),
+        "host-based input fraction",
+    );
+    set(
+        card,
+        MetricId::NetworkBased,
+        DiscreteScore::from_f64(4.0 * (1.0 - host_frac).max(if arch.sensors > 0 && (product.engines.signature.is_some() || product.engines.anomaly.is_some()) { 0.75 } else { 0.0 })).value(),
+        "network-based input fraction",
+    );
+    let multi = match (arch.sensors, arch.lb_capacity_ops.is_some(), product.engines.host_agents) {
+        (1, false, false) => 1,
+        (1, false, true) => 2, // many agents behind one aggregation point
+        (n, false, _) if n > 1 => 3,
+        (_, true, _) => 4,
+        _ => 1,
+    };
+    set(card, MetricId::MultiSensorSupport, multi, "sensor count + integration");
+    let lb = match arch.balance {
+        BalanceStrategy::None => 0,
+        BalanceStrategy::StaticPartition => 2,
+        BalanceStrategy::RoundRobin => 3,
+        BalanceStrategy::SessionHash => 4,
+    };
+    set(card, MetricId::ScalableLoadBalancing, lb, "paper anchor ladder: none/static/dynamic");
+    set(
+        card,
+        MetricId::AnomalyBased,
+        match (&product.engines.anomaly, product.engines.host_agents) {
+            (Some(_), _) => 4,
+            (None, true) => 2, // origin learning in host agents
+            (None, false) => 0,
+        },
+        "behavior-based coverage",
+    );
+    set(
+        card,
+        MetricId::AutonomousLearning,
+        if v.autonomous_learning { 4 } else { 0 },
+        "vendor fact",
+    );
+    set(
+        card,
+        MetricId::HostOsSecurity,
+        match (v.dedicated_hardware, v.support) {
+            (true, QualityTier::Good) => 4,
+            (true, _) => 3,
+            (false, QualityTier::Good) => 2,
+            (false, QualityTier::Fair) => 2,
+            (false, QualityTier::Poor) => 1,
+        },
+        "dedicated minimized platform beats shared hosts",
+    );
+    set(card, MetricId::Interoperability, tier_quality(v.interoperability), "interop tier");
+    set(
+        card,
+        MetricId::PackageContents,
+        match v.cost_3yr_usd {
+            c if c > 100_000 => 4, // full-stack commercial package
+            c if c > 30_000 => 3,
+            _ => 1,
+        },
+        "delivered completeness proxies the commercial tier",
+    );
+    set(
+        card,
+        MetricId::ProcessSecurity,
+        match v.support {
+            QualityTier::Good => 3,
+            QualityTier::Fair => 2,
+            QualityTier::Poor => 1,
+        },
+        "hardening maturity follows product maturity",
+    );
+    set(
+        card,
+        MetricId::SignatureBased,
+        match (&product.engines.signature, product.engines.host_agents) {
+            (Some(_), _) => 4,
+            (None, true) => 1, // fixed host integrity markers
+            (None, false) => 0,
+        },
+        "knowledge-based coverage",
+    );
+    set(
+        card,
+        MetricId::Visibility,
+        match arch.tap {
+            idse_ids::components::TapMode::Inline => 1, // addressable in-path element
+            idse_ids::components::TapMode::Mirrored => {
+                if product.engines.host_agents { 2 } else { 4 } // agents are on-host software
+            }
+        },
+        "in-line elements are fingerprintable; passive taps are not",
+    );
+
+    // ---- Performance (capability-sheet subset) ----
+    set(
+        card,
+        MetricId::AnalysisOfCompromise,
+        match (product.engines.host_agents, v.storage_kb_per_mb) {
+            (true, _) => 3, // host vantage sees what was touched
+            (false, s) if s >= 200 => 2, // deep flow history supports reconstruction
+            (false, _) => 1,
+        },
+        "host vantage / retained history",
+    );
+    set(
+        card,
+        MetricId::AnalysisOfIntruderIntent,
+        if arch.analyzers > 1 && !arch.combined_sensor_analyzer { 2 } else { 1 },
+        "second-order analysis requires a separate analysis tier",
+    );
+    set(card, MetricId::ClarityOfReports, tier_quality(v.documentation), "report quality follows doc maturity");
+    set(
+        card,
+        MetricId::EvidenceCollection,
+        match v.storage_kb_per_mb {
+            s if s >= 250 => 4,
+            s if s >= 120 => 3,
+            s if s >= 60 => 2,
+            _ => 1,
+        },
+        "retention per source MB",
+    );
+    set(card, MetricId::InformationSharing, tier_quality(v.interoperability), "follows interoperability");
+    let channels = (arch.response.snmp as u8) + (arch.response.firewall as u8) + (arch.response.router as u8);
+    set(
+        card,
+        MetricId::NotificationUserAlerts,
+        (1 + channels).min(4),
+        "console plus each automated channel",
+    );
+    set(
+        card,
+        MetricId::ProgramInteraction,
+        if channels > 0 { 3 } else { 1 },
+        "response hooks exist iff any automated channel does",
+    );
+    set(
+        card,
+        MetricId::SessionRecordingAndPlayback,
+        match v.storage_kb_per_mb {
+            s if s >= 250 => 3,
+            s if s >= 120 => 2,
+            _ => 1,
+        },
+        "recording depth follows retention",
+    );
+    set(
+        card,
+        MetricId::ThreatCorrelation,
+        match (!arch.combined_sensor_analyzer, v.autonomous_learning) {
+            (true, true) => 3,
+            (true, false) | (false, true) => 2,
+            (false, false) => 1,
+        },
+        "separate analysis tier + learning enables correlation",
+    );
+    set(
+        card,
+        MetricId::TrendAnalysis,
+        if channels > 0 { 2 } else { 1 },
+        "console products keep history views",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_ids::products::ProductId;
+
+    fn card_for(id: ProductId) -> Scorecard {
+        let p = IdsProduct::model(id);
+        let mut c = Scorecard::new(p.id.name());
+        score_vendor_metrics(&p, &mut c);
+        c
+    }
+
+    #[test]
+    fn scores_land_for_all_products() {
+        for id in ProductId::ALL {
+            let c = card_for(id);
+            // All logistical (14) + architectural qualitative (14 of 16)
+            // + performance capability subset (10) land here.
+            assert!(c.len() >= 35, "{}: only {} scored", id.name(), c.len());
+        }
+    }
+
+    #[test]
+    fn distributed_management_anchors() {
+        assert_eq!(
+            card_for(ProductId::AgentWatch).get(MetricId::DistributedManagement).unwrap().value(),
+            0,
+            "research prototype: node-only management"
+        );
+        assert_eq!(
+            card_for(ProductId::GuardSecure).get(MetricId::DistributedManagement).unwrap().value(),
+            4
+        );
+    }
+
+    #[test]
+    fn load_balancing_ladder_matches_paper_anchors() {
+        assert_eq!(card_for(ProductId::NidSentry).get(MetricId::ScalableLoadBalancing).unwrap().value(), 0);
+        assert_eq!(card_for(ProductId::GuardSecure).get(MetricId::ScalableLoadBalancing).unwrap().value(), 2);
+        assert_eq!(card_for(ProductId::FlowHunter).get(MetricId::ScalableLoadBalancing).unwrap().value(), 4);
+    }
+
+    #[test]
+    fn detection_mechanism_metrics_differentiate() {
+        let nid = card_for(ProductId::NidSentry);
+        let fh = card_for(ProductId::FlowHunter);
+        assert_eq!(nid.get(MetricId::SignatureBased).unwrap().value(), 4);
+        assert_eq!(nid.get(MetricId::AnomalyBased).unwrap().value(), 0);
+        assert_eq!(fh.get(MetricId::SignatureBased).unwrap().value(), 0);
+        assert_eq!(fh.get(MetricId::AnomalyBased).unwrap().value(), 4);
+    }
+
+    #[test]
+    fn host_network_fractions() {
+        let aw = card_for(ProductId::AgentWatch);
+        assert_eq!(aw.get(MetricId::HostBased).unwrap().value(), 4);
+        assert_eq!(aw.get(MetricId::NetworkBased).unwrap().value(), 0);
+        let nid = card_for(ProductId::NidSentry);
+        assert_eq!(nid.get(MetricId::HostBased).unwrap().value(), 0);
+        assert_eq!(nid.get(MetricId::NetworkBased).unwrap().value(), 4);
+    }
+
+    #[test]
+    fn notes_explain_scores() {
+        let c = card_for(ProductId::FlowHunter);
+        assert!(c.note(MetricId::ScalableLoadBalancing).is_some());
+    }
+
+    #[test]
+    fn cost_ladder() {
+        // AgentWatch is integration-labor only: best cost score.
+        assert_eq!(card_for(ProductId::AgentWatch).get(MetricId::ThreeYearCostOfOwnership).unwrap().value(), 4);
+        assert_eq!(card_for(ProductId::FlowHunter).get(MetricId::ThreeYearCostOfOwnership).unwrap().value(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Alerts: what the IDS tells the operator.
+//!
+//! An alert's `trigger` indexes the trace record that crossed the
+//! detection threshold. The IDS never sees ground truth — attribution
+//! happens in `idse-eval`, which joins trigger indices back to the labeled
+//! trace to score the paper's Figure 3 confusion quantities.
+
+use idse_net::trace::AttackClass;
+use idse_net::FlowKey;
+use idse_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Alert severity, as presented to the monitoring console.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: worth logging, not paging anyone.
+    Info,
+    /// Suspicious activity needing review.
+    Warning,
+    /// Confirmed-pattern attack.
+    High,
+    /// Attack against critical infrastructure / in-progress compromise.
+    Critical,
+}
+
+/// Which detection mechanism raised the alert (the §2.1 taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectionSource {
+    /// Signature (knowledge-based) match.
+    Signature,
+    /// Anomaly (behavior-based) detection.
+    Anomaly,
+    /// Host-based agent observation.
+    HostAgent,
+}
+
+/// One alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// When the *monitor* surfaced the alert to the operator (end of the
+    /// pipeline) — the paper's Timeliness endpoint.
+    pub raised_at: SimTime,
+    /// When the triggering packet was observed by the sensor.
+    pub observed_at: SimTime,
+    /// Index of the triggering record in the input trace.
+    pub trigger: usize,
+    /// Flow the alert concerns.
+    pub flow: FlowKey,
+    /// What the IDS believes this is.
+    pub class_guess: AttackClass,
+    /// Severity level.
+    pub severity: Severity,
+    /// Which mechanism fired.
+    pub source: DetectionSource,
+    /// Sensor that observed the trigger (index within the deployment).
+    pub sensor: usize,
+    /// Short rule/detector name for reports.
+    pub detector: String,
+}
+
+impl Alert {
+    /// Detection latency: trigger observation → operator visibility.
+    pub fn report_latency(&self) -> idse_sim::SimDuration {
+        self.raised_at.saturating_since(self.observed_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_net::packet::IpProtocol;
+    use std::net::Ipv4Addr;
+
+    fn flow() -> FlowKey {
+        FlowKey {
+            protocol: IpProtocol::Tcp,
+            src: Ipv4Addr::new(1, 1, 1, 1),
+            src_port: 1000,
+            dst: Ipv4Addr::new(2, 2, 2, 2),
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Critical > Severity::High);
+        assert!(Severity::High > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_latency_computes() {
+        let a = Alert {
+            raised_at: SimTime::from_millis(105),
+            observed_at: SimTime::from_millis(100),
+            trigger: 7,
+            flow: flow(),
+            class_guess: AttackClass::PortScan,
+            severity: Severity::Warning,
+            source: DetectionSource::Signature,
+            sensor: 0,
+            detector: "scan-threshold".into(),
+        };
+        assert_eq!(a.report_latency(), idse_sim::SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Alert {
+            raised_at: SimTime::from_millis(105),
+            observed_at: SimTime::from_millis(100),
+            trigger: 7,
+            flow: flow(),
+            class_guess: AttackClass::SynFlood,
+            severity: Severity::Critical,
+            source: DetectionSource::Anomaly,
+            sensor: 2,
+            detector: "half-open".into(),
+        };
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Alert = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

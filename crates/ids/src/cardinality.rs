@@ -1,0 +1,270 @@
+//! Figure 2: relational cardinality of the IDS subprocesses, as data.
+//!
+//! The paper specifies: Load Balancer **1c:M** Sensor, Sensor **M:M**
+//! Analyzer, Analyzer **M:1** Monitor, Monitor **1:1c** Management
+//! Console, and Console **1c:M** the other components ("c" marking the
+//! conditional/optional side). This module encodes those relations and
+//! validates any [`IdsProduct`]'s architecture against them — which is
+//! also how the `figure2` bench regenerates the figure.
+
+use crate::products::IdsProduct;
+use serde::{Deserialize, Serialize};
+
+/// The five subprocesses (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subprocess {
+    /// 1. Distributing traffic among sensors (optional).
+    LoadBalancer,
+    /// 2. Separating suspicious from normal traffic (essential).
+    Sensor,
+    /// 3. Determining the nature and threat of suspicious traffic
+    ///    (essential).
+    Analyzer,
+    /// 4. Operator visibility, reports, notification (essential).
+    Monitor,
+    /// 5. Configuration and response management (optional).
+    Manager,
+}
+
+impl Subprocess {
+    /// All five, in sequential-process order.
+    pub const ALL: [Subprocess; 5] = [
+        Subprocess::LoadBalancer,
+        Subprocess::Sensor,
+        Subprocess::Analyzer,
+        Subprocess::Monitor,
+        Subprocess::Manager,
+    ];
+
+    /// Whether the paper marks this subprocess optional.
+    pub fn is_optional(self) -> bool {
+        matches!(self, Subprocess::LoadBalancer | Subprocess::Manager)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subprocess::LoadBalancer => "Load Balancer",
+            Subprocess::Sensor => "Sensor",
+            Subprocess::Analyzer => "Analyzer",
+            Subprocess::Monitor => "Monitor",
+            Subprocess::Manager => "Management Console",
+        }
+    }
+}
+
+/// One side of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// Exactly one.
+    One,
+    /// Zero or one ("1c" in the paper's notation).
+    ConditionalOne,
+    /// One or more.
+    Many,
+}
+
+impl Side {
+    /// Whether `count` instances satisfy this side.
+    pub fn admits(self, count: usize) -> bool {
+        match self {
+            Side::One => count == 1,
+            Side::ConditionalOne => count <= 1,
+            Side::Many => count >= 1,
+        }
+    }
+
+    /// Paper notation.
+    pub fn notation(self) -> &'static str {
+        match self {
+            Side::One => "1",
+            Side::ConditionalOne => "1c",
+            Side::Many => "M",
+        }
+    }
+}
+
+/// A cardinality relation between two subprocesses.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Relation {
+    /// Left subprocess.
+    pub from: Subprocess,
+    /// Left-side cardinality.
+    pub from_side: Side,
+    /// Right subprocess.
+    pub to: Subprocess,
+    /// Right-side cardinality.
+    pub to_side: Side,
+}
+
+impl Relation {
+    /// Paper notation, e.g. `Load Balancer 1c:M Sensor`.
+    pub fn notation(&self) -> String {
+        format!(
+            "{} {}:{} {}",
+            self.from.name(),
+            self.from_side.notation(),
+            self.to_side.notation(),
+            self.to.name()
+        )
+    }
+}
+
+/// The Figure 2 relation set.
+pub fn figure2_relations() -> Vec<Relation> {
+    use Side::*;
+    use Subprocess::*;
+    vec![
+        Relation { from: LoadBalancer, from_side: ConditionalOne, to: Sensor, to_side: Many },
+        Relation { from: Sensor, from_side: Many, to: Analyzer, to_side: Many },
+        Relation { from: Analyzer, from_side: Many, to: Monitor, to_side: One },
+        Relation { from: Monitor, from_side: One, to: Manager, to_side: ConditionalOne },
+        Relation { from: Manager, from_side: ConditionalOne, to: Sensor, to_side: Many },
+        Relation { from: Manager, from_side: ConditionalOne, to: Analyzer, to_side: Many },
+        Relation { from: Manager, from_side: ConditionalOne, to: Monitor, to_side: Many },
+    ]
+}
+
+/// Instance counts of each subprocess in a product's architecture.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SubprocessCounts {
+    /// Load balancers present.
+    pub load_balancers: usize,
+    /// Sensors present.
+    pub sensors: usize,
+    /// Analyzers present.
+    pub analyzers: usize,
+    /// Monitors present.
+    pub monitors: usize,
+    /// Management consoles present.
+    pub managers: usize,
+}
+
+impl SubprocessCounts {
+    /// Extract counts from a product.
+    pub fn of(product: &IdsProduct) -> Self {
+        let arch = &product.architecture;
+        let has_console =
+            arch.response.firewall || arch.response.router || arch.response.snmp;
+        Self {
+            load_balancers: arch.lb_capacity_ops.is_some() as usize,
+            sensors: arch.sensors,
+            analyzers: if arch.combined_sensor_analyzer { arch.sensors } else { arch.analyzers },
+            monitors: 1,
+            managers: has_console as usize,
+        }
+    }
+
+    fn count(&self, s: Subprocess) -> usize {
+        match s {
+            Subprocess::LoadBalancer => self.load_balancers,
+            Subprocess::Sensor => self.sensors,
+            Subprocess::Analyzer => self.analyzers,
+            Subprocess::Monitor => self.monitors,
+            Subprocess::Manager => self.managers,
+        }
+    }
+
+    /// Validate against the Figure 2 relations; returns violations in
+    /// notation form (empty = conformant).
+    pub fn validate(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        // Essential subprocesses must exist.
+        for s in Subprocess::ALL {
+            if !s.is_optional() && self.count(s) == 0 {
+                violations.push(format!("{} is essential but absent", s.name()));
+            }
+        }
+        for rel in figure2_relations() {
+            let from_n = self.count(rel.from);
+            let to_n = self.count(rel.to);
+            // A relation involving an absent optional side is vacuous.
+            if (from_n == 0 && rel.from.is_optional()) || (to_n == 0 && rel.to.is_optional()) {
+                continue;
+            }
+            if !rel.from_side.admits(from_n) || !rel.to_side.admits(to_n) {
+                violations.push(format!(
+                    "{} violated by counts {}:{}",
+                    rel.notation(),
+                    from_n,
+                    to_n
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::products::IdsProduct;
+
+    #[test]
+    fn all_products_conform_to_figure2() {
+        for p in IdsProduct::all_models() {
+            let counts = SubprocessCounts::of(&p);
+            let violations = counts.validate();
+            assert!(violations.is_empty(), "{}: {violations:?}", p.id.name());
+        }
+    }
+
+    #[test]
+    fn missing_essential_subprocess_is_flagged() {
+        let counts = SubprocessCounts {
+            load_balancers: 0,
+            sensors: 0,
+            analyzers: 1,
+            monitors: 1,
+            managers: 0,
+        };
+        let v = counts.validate();
+        assert!(v.iter().any(|m| m.contains("Sensor is essential")));
+    }
+
+    #[test]
+    fn two_monitors_violate_m_to_1() {
+        let counts = SubprocessCounts {
+            load_balancers: 1,
+            sensors: 4,
+            analyzers: 2,
+            monitors: 2,
+            managers: 1,
+        };
+        let v = counts.validate();
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn optional_subprocesses_may_be_absent() {
+        let counts = SubprocessCounts {
+            load_balancers: 0,
+            sensors: 1,
+            analyzers: 1,
+            monitors: 1,
+            managers: 0,
+        };
+        assert!(counts.validate().is_empty());
+    }
+
+    #[test]
+    fn notation_matches_paper() {
+        let rels = figure2_relations();
+        let notations: Vec<String> = rels.iter().map(|r| r.notation()).collect();
+        assert!(notations.contains(&"Load Balancer 1c:M Sensor".to_owned()));
+        assert!(notations.contains(&"Sensor M:M Analyzer".to_owned()));
+        assert!(notations.contains(&"Analyzer M:1 Monitor".to_owned()));
+        assert!(notations.contains(&"Monitor 1:1c Management Console".to_owned()));
+    }
+
+    #[test]
+    fn side_admission_rules() {
+        assert!(Side::One.admits(1));
+        assert!(!Side::One.admits(0));
+        assert!(Side::ConditionalOne.admits(0));
+        assert!(Side::ConditionalOne.admits(1));
+        assert!(!Side::ConditionalOne.admits(2));
+        assert!(Side::Many.admits(5));
+        assert!(!Side::Many.admits(0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Data pool selection (Table 2: *Data Pool Selectability* — "ability to
+//! define the source data to be analyzed for intrusions (by protocol,
+//! source and dest addresses, etc)").
+//!
+//! A [`DataPoolFilter`] is evaluated at the sensor input: packets outside
+//! the selected pool are not inspected (and not charged to the sensor).
+//! The paper's own use case: "Data Pool Selectivity would allow the IDS to
+//! consider only protocols outside those typically used within the
+//! distributed cluster" — i.e. spend the inspection budget on the traffic
+//! most likely to be hostile, at the price of blindness inside the
+//! excluded pool. Both effects are measurable in the pipeline.
+
+use idse_net::packet::{IpProtocol, Packet};
+use idse_net::Cidr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A predicate over packets selecting the analyzed data pool.
+///
+/// Empty clauses are permissive: a default filter selects everything.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataPoolFilter {
+    /// If non-empty, only these IP protocols are analyzed.
+    pub protocols: Vec<IpProtocol>,
+    /// If non-empty, a packet must have its source OR destination inside
+    /// one of these blocks.
+    pub include_blocks: Vec<Cidr>,
+    /// Packets with source AND destination inside one of these blocks are
+    /// excluded (the intra-cluster trust domain carve-out).
+    pub exclude_internal: Vec<Cidr>,
+    /// If non-empty, only traffic to/from these service ports is analyzed.
+    pub service_ports: Vec<u16>,
+}
+
+impl DataPoolFilter {
+    /// The permissive filter: analyze everything.
+    pub fn everything() -> Self {
+        Self::default()
+    }
+
+    /// The paper's cluster use case: ignore traffic that stays inside the
+    /// trust domain, analyze everything crossing its boundary.
+    pub fn boundary_of(trust_domain: Cidr) -> Self {
+        Self { exclude_internal: vec![trust_domain], ..Self::default() }
+    }
+
+    /// Whether `packet` is inside the analyzed pool.
+    pub fn selects(&self, packet: &Packet) -> bool {
+        if !self.protocols.is_empty() && !self.protocols.contains(&packet.transport.protocol()) {
+            return false;
+        }
+        if !self.include_blocks.is_empty()
+            && !self
+                .include_blocks
+                .iter()
+                .any(|b| b.contains(packet.ip.src) || b.contains(packet.ip.dst))
+        {
+            return false;
+        }
+        if self
+            .exclude_internal
+            .iter()
+            .any(|b| b.contains(packet.ip.src) && b.contains(packet.ip.dst))
+        {
+            return false;
+        }
+        if !self.service_ports.is_empty() {
+            let ports: BTreeSet<u16> = self.service_ports.iter().copied().collect();
+            let hit = packet.transport.src_port().is_some_and(|p| ports.contains(&p))
+                || packet.transport.dst_port().is_some_and(|p| ports.contains(&p));
+            if !hit {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the filter is the permissive default.
+    pub fn is_permissive(&self) -> bool {
+        self.protocols.is_empty()
+            && self.include_blocks.is_empty()
+            && self.exclude_internal.is_empty()
+            && self.service_ports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_net::packet::{Ipv4Header, TcpFlags, TcpHeader, UdpHeader};
+    use std::net::Ipv4Addr;
+
+    fn tcp(src: Ipv4Addr, dst: Ipv4Addr, dport: u16) -> Packet {
+        Packet::tcp(
+            Ipv4Header::simple(src, dst),
+            TcpHeader { src_port: 40000, dst_port: dport, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn permissive_selects_everything() {
+        let f = DataPoolFilter::everything();
+        assert!(f.is_permissive());
+        assert!(f.selects(&tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80)));
+    }
+
+    #[test]
+    fn protocol_clause_filters() {
+        let f = DataPoolFilter { protocols: vec![IpProtocol::Udp], ..Default::default() };
+        assert!(!f.selects(&tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80)));
+        let udp = Packet::udp(
+            Ipv4Header::simple(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)),
+            UdpHeader { src_port: 1, dst_port: 53 },
+            Vec::new(),
+        );
+        assert!(f.selects(&udp));
+    }
+
+    #[test]
+    fn boundary_filter_excludes_intra_domain_traffic() {
+        let domain: Cidr = "10.10.0.0/24".parse().unwrap();
+        let f = DataPoolFilter::boundary_of(domain);
+        let inside = tcp(Ipv4Addr::new(10, 10, 0, 5), Ipv4Addr::new(10, 10, 0, 9), 2049);
+        let crossing = tcp(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 10, 0, 9), 80);
+        let outgoing = tcp(Ipv4Addr::new(10, 10, 0, 5), Ipv4Addr::new(198, 18, 0, 1), 53);
+        assert!(!f.selects(&inside), "intra-domain traffic is out of pool");
+        assert!(f.selects(&crossing));
+        assert!(f.selects(&outgoing));
+    }
+
+    #[test]
+    fn include_blocks_require_membership() {
+        let f = DataPoolFilter {
+            include_blocks: vec!["10.0.1.0/24".parse().unwrap()],
+            ..Default::default()
+        };
+        assert!(f.selects(&tcp(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 0, 1, 5), 80)));
+        assert!(!f.selects(&tcp(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 9, 9, 9), 80)));
+    }
+
+    #[test]
+    fn service_port_clause() {
+        let f = DataPoolFilter { service_ports: vec![80, 443], ..Default::default() };
+        assert!(f.selects(&tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80)));
+        assert!(!f.selects(&tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 23)));
+    }
+
+    #[test]
+    fn clauses_conjoin() {
+        let f = DataPoolFilter {
+            protocols: vec![IpProtocol::Tcp],
+            service_ports: vec![80],
+            ..Default::default()
+        };
+        assert!(f.selects(&tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 80)));
+        assert!(!f.selects(&tcp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 22)));
+    }
+}

@@ -1,0 +1,782 @@
+//! The pipeline: a labeled trace through a deployed product, on the
+//! discrete-event kernel.
+//!
+//! This is the testbed run the paper's performance metrics come from. For
+//! every trace record the packet walks the Figure 1 subprocess chain —
+//! (load balance) → sense → analyze → monitor → (manage) — with each stage
+//! a finite-capacity [`ServiceStation`]. Everything Table 3 measures falls
+//! out of one run:
+//!
+//! * **System Throughput / Maximal Throughput with Zero Loss** — packets
+//!   monitored vs offered as the replay rate rises;
+//! * **Network Lethal Dose** — the offered rate at which a station's
+//!   failure behavior trips;
+//! * **Induced Traffic Latency** — in-line tap delay per forwarded packet;
+//! * **Timeliness** — trace-record time → alert visibility;
+//! * **Operational Performance Impact** — host-agent CPU charged to the
+//!   monitored hosts' [`HostCpu`]s;
+//! * **Observed False Positive/Negative Ratio** — alerts joined back to
+//!   ground truth by `idse-eval`.
+
+use crate::alert::Alert;
+use crate::components::{
+    BalanceStrategy, LoadBalancer, ManagementConsole, Monitor, ServeOutcome, ServiceStation,
+    TapMode,
+};
+use crate::engine::anomaly::AnomalyEngine;
+use crate::engine::host_agent::{HostAgentConfig, HostAgentEngine};
+use crate::engine::signature::SignatureEngine;
+use crate::engine::{Detection, DetectionEngine, Sensitivity};
+use crate::products::IdsProduct;
+use idse_net::trace::Trace;
+use idse_net::FlowKey;
+use idse_sim::stats::{DurationSummary, StageCounters};
+use idse_sim::{AuditLevel, EventQueue, HostCpu, SimDuration, SimTime, Simulation, World};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Operator-visible alerts.
+    pub alerts: Vec<Alert>,
+    /// Total packets offered.
+    pub offered: u64,
+    /// Packets inspected by at least one engine.
+    pub monitored: u64,
+    /// Packets lost before inspection (stage sheds + failure windows).
+    pub missed: u64,
+    /// Packets suppressed by automated perimeter blocking, by truth:
+    /// `(attack_packets_blocked, benign_packets_blocked)`.
+    pub blocked: (u64, u64),
+    /// Packets excluded by the data-pool filter (deliberately unanalyzed —
+    /// not counted as loss).
+    pub pool_excluded: u64,
+    /// Benign sources collaterally blocked by false-positive responses.
+    pub collateral_blocked_sources: usize,
+    /// Per-stage counters.
+    pub lb_counters: Option<StageCounters>,
+    /// Per-sensor counters.
+    pub sensor_counters: Vec<StageCounters>,
+    /// Analyzer counters.
+    pub analyzer_counters: Vec<StageCounters>,
+    /// In-line induced latency per forwarded packet (empty for mirrored
+    /// taps).
+    pub induced_latency: DurationSummary,
+    /// Component failures observed.
+    pub failures: u32,
+    /// Whether any component was still down when the run ended.
+    pub ended_down: bool,
+    /// Mean IDS share of monitored-host CPU (Operational Performance
+    /// Impact), 0 when no host agents.
+    pub host_impact: f64,
+    /// Approximate engine state footprint in bytes (Data Storage).
+    pub state_bytes: usize,
+    /// Virtual time the run finished.
+    pub finished_at: SimTime,
+}
+
+impl PipelineOutcome {
+    /// Fraction of offered packets that were never inspected.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Engine sensitivity for the run.
+    pub sensitivity: Sensitivity,
+    /// Server hosts that host agents deploy on (and whose CPU is charged).
+    pub monitored_hosts: Vec<Ipv4Addr>,
+    /// Audit level on monitored hosts.
+    pub audit_level: AuditLevel,
+    /// Whether the console's automated responses are armed.
+    pub auto_response: bool,
+    /// The analyzed data pool (Table 2's Data Pool Selectability).
+    /// Packets outside the pool bypass the network sensors entirely: no
+    /// inspection, no inspection cost — and no detection.
+    pub data_pool: crate::datapool::DataPoolFilter,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            sensitivity: Sensitivity::DEFAULT,
+            monitored_hosts: Vec::new(),
+            audit_level: AuditLevel::Nominal,
+            auto_response: false,
+            data_pool: crate::datapool::DataPoolFilter::everything(),
+        }
+    }
+}
+
+/// Builds deployments and runs traces through them.
+pub struct PipelineRunner {
+    product: IdsProduct,
+    config: RunConfig,
+    training: Option<Trace>,
+}
+
+impl PipelineRunner {
+    /// A runner for `product` under `config`.
+    pub fn new(product: IdsProduct, config: RunConfig) -> Self {
+        Self { product, config, training: None }
+    }
+
+    /// Provide the known-benign training trace (anomaly/host-agent
+    /// baselines).
+    pub fn with_training(mut self, training: Trace) -> Self {
+        self.training = Some(training);
+        self
+    }
+
+    /// Run `trace` through the deployment.
+    pub fn run(&self, trace: &Trace) -> PipelineOutcome {
+        let mut world = DeploymentWorld::build(&self.product, &self.config, self.training.as_ref(), trace);
+        let mut sim = Simulation::new();
+        for (i, rec) in trace.records().iter().enumerate() {
+            sim.queue_mut().schedule(rec.at, Ev::Arrive(i as u32));
+        }
+        sim.run_to_completion(&mut world);
+        world.finish(sim.now())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// A trace record reaches the tap.
+    Arrive(u32),
+    /// The sensor station finishes a record; engines inspect now.
+    SensorDone { sensor: u8, rec: u32 },
+    /// A host agent finishes inspecting a record.
+    AgentDone { rec: u32 },
+    /// Analysis of a detection completes; monitor presents it.
+    AnalyzerDone { rec: u32, observed: SimTime, det: Detection },
+}
+
+struct DeploymentWorld<'a> {
+    trace: &'a Trace,
+    tap: TapMode,
+    lb: Option<LoadBalancer>,
+    /// Routing used when no LB station exists.
+    fallback_route: BalanceStrategy,
+    sensors: Vec<ServiceStation>,
+    sensor_sig: Vec<Option<SignatureEngine>>,
+    sensor_ano: Vec<Option<AnomalyEngine>>,
+    agents: Option<HostAgentEngine>,
+    host_cpus: HashMap<Ipv4Addr, HostCpu>,
+    analyzers: Vec<ServiceStation>,
+    combined: bool,
+    monitor: Monitor,
+    console: ManagementConsole,
+    auto_response: bool,
+    sensitivity: Sensitivity,
+    data_pool: crate::datapool::DataPoolFilter,
+    /// Whether any network-side engine exists. Host-agent-only products
+    /// monitor only traffic touching their hosts; everything else is out
+    /// of the product's monitoring scope (a host IDS's throughput is
+    /// denominated in host data, per Table 2's System Throughput note).
+    has_network_engines: bool,
+    // accounting
+    in_scope: Vec<bool>,
+    monitored_flags: Vec<bool>,
+    pool_excluded: u64,
+    induced_latency: DurationSummary,
+    blocked_attack: u64,
+    blocked_benign: u64,
+    rr_next: usize,
+}
+
+impl<'a> DeploymentWorld<'a> {
+    fn build(
+        product: &IdsProduct,
+        config: &RunConfig,
+        training: Option<&Trace>,
+        trace: &'a Trace,
+    ) -> Self {
+        let arch = &product.architecture;
+        let mk_station = |name: &'static str, cap: f64, backlog: SimDuration| {
+            ServiceStation::new(name, cap, backlog, arch.lethal_drop_ratio, arch.failure)
+        };
+
+        let lb = arch.lb_capacity_ops.map(|cap| {
+            LoadBalancer::new(
+                mk_station("load-balancer", cap, SimDuration::from_millis(20)),
+                arch.balance,
+                arch.sensors,
+            )
+        });
+
+        let sensors: Vec<ServiceStation> = (0..arch.sensors)
+            .map(|_| mk_station("sensor", arch.sensor_capacity_ops, arch.sensor_backlog))
+            .collect();
+
+        let mut sensor_sig: Vec<Option<SignatureEngine>> = (0..arch.sensors)
+            .map(|_| product.engines.signature.clone().map(SignatureEngine::standard))
+            .collect();
+        let mut sensor_ano: Vec<Option<AnomalyEngine>> = (0..arch.sensors)
+            .map(|_| product.engines.anomaly.clone().map(AnomalyEngine::new))
+            .collect();
+
+        let mut agents = product.engines.host_agents.then(|| {
+            HostAgentEngine::new(HostAgentConfig { monitored: config.monitored_hosts.clone() })
+        });
+
+        // Train and set sensitivity on every engine instance.
+        for engine in sensor_sig.iter_mut().flatten() {
+            if let Some(t) = training {
+                engine.train(t);
+            }
+            engine.set_sensitivity(config.sensitivity);
+        }
+        for engine in sensor_ano.iter_mut().flatten() {
+            if let Some(t) = training {
+                engine.train(t);
+            }
+            engine.set_sensitivity(config.sensitivity);
+        }
+        if let Some(agent) = agents.as_mut() {
+            if let Some(t) = training {
+                agent.train(t);
+            }
+            agent.set_sensitivity(config.sensitivity);
+        }
+
+        let mut host_cpus = HashMap::new();
+        for &h in &config.monitored_hosts {
+            // 2002-era server: ~500M abstract ops/s, 100 ms scheduling slack.
+            let mut cpu = HostCpu::new(500e6, SimDuration::from_millis(100));
+            cpu.set_audit_level(config.audit_level);
+            host_cpus.insert(h, cpu);
+        }
+
+        let analyzers: Vec<ServiceStation> = (0..arch.analyzers.max(1))
+            .map(|_| mk_station("analyzer", arch.analyzer_capacity_ops, SimDuration::from_millis(200)))
+            .collect();
+
+        let monitor = Monitor::new(
+            mk_station("monitor", arch.monitor_capacity_ops, SimDuration::from_secs(2)),
+            arch.notification_delay,
+        );
+        let console = ManagementConsole::new(arch.response, arch.response_delay);
+
+        let has_network_engines =
+            product.engines.signature.is_some() || product.engines.anomaly.is_some();
+        let monitored_set: std::collections::HashSet<Ipv4Addr> =
+            config.monitored_hosts.iter().copied().collect();
+        let in_scope: Vec<bool> = trace
+            .records()
+            .iter()
+            .map(|r| {
+                has_network_engines
+                    || monitored_set.contains(&r.packet.ip.dst)
+                    || monitored_set.contains(&r.packet.ip.src)
+            })
+            .collect();
+
+        Self {
+            trace,
+            tap: arch.tap,
+            lb,
+            fallback_route: arch.balance,
+            sensors,
+            sensor_sig,
+            sensor_ano,
+            agents,
+            host_cpus,
+            analyzers,
+            combined: arch.combined_sensor_analyzer,
+            monitor,
+            console,
+            auto_response: config.auto_response,
+            sensitivity: config.sensitivity,
+            data_pool: config.data_pool.clone(),
+            has_network_engines,
+            in_scope,
+            monitored_flags: vec![false; trace.len()],
+            pool_excluded: 0,
+            induced_latency: DurationSummary::new(),
+            blocked_attack: 0,
+            blocked_benign: 0,
+            rr_next: 0,
+        }
+    }
+
+    fn route(&mut self, packet: &idse_net::Packet) -> usize {
+        if let Some(lb) = self.lb.as_mut() {
+            return lb.route(packet);
+        }
+        let n = self.sensors.len();
+        match self.fallback_route {
+            BalanceStrategy::None => 0,
+            BalanceStrategy::StaticPartition => (u32::from(packet.ip.dst) as usize) % n,
+            BalanceStrategy::SessionHash => (FlowKey::of(packet).session_hash() as usize) % n,
+            BalanceStrategy::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                s
+            }
+        }
+    }
+
+    fn sensor_cost(&self, sensor: usize, packet: &idse_net::Packet) -> f64 {
+        let mut cost = 10.0;
+        if let Some(e) = &self.sensor_sig[sensor] {
+            cost += e.cost_ops(packet);
+        }
+        if let Some(e) = &self.sensor_ano[sensor] {
+            cost += e.cost_ops(packet);
+        }
+        cost
+    }
+
+    fn dispatch_detections(
+        &mut self,
+        now: SimTime,
+        rec: u32,
+        sensor: usize,
+        detections: Vec<Detection>,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        for det in detections {
+            if self.combined {
+                // Analysis runs on the same station as sensing.
+                match self.sensors[sensor].serve(now, 400.0) {
+                    ServeOutcome::Done(t) => {
+                        queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
+                    }
+                    _ => { /* analysis backlog shed: detection lost */ }
+                }
+            } else {
+                let a = sensor % self.analyzers.len();
+                if let ServeOutcome::Done(t) = self.analyzers[a].serve(now, 400.0) {
+                    queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
+                }
+            }
+        }
+    }
+
+    fn finish(mut self, finished_at: SimTime) -> PipelineOutcome {
+        let monitored = self
+            .monitored_flags
+            .iter()
+            .zip(self.in_scope.iter())
+            .filter(|&(&m, &s)| m && s)
+            .count() as u64;
+        let offered = self.in_scope.iter().filter(|&&s| s).count() as u64;
+        let blocked_total = self.blocked_attack + self.blocked_benign + self.pool_excluded;
+        let missed = offered - monitored - blocked_total.min(offered - monitored);
+
+        let host_impact = if self.host_cpus.is_empty() {
+            0.0
+        } else {
+            self.host_cpus.values().map(|c| c.ids_impact(finished_at)).sum::<f64>()
+                / self.host_cpus.len() as f64
+        };
+
+        let mut state_bytes = 0;
+        for e in self.sensor_sig.iter().flatten() {
+            state_bytes += e.state_bytes();
+        }
+        for e in self.sensor_ano.iter().flatten() {
+            state_bytes += e.state_bytes();
+        }
+        if let Some(a) = &self.agents {
+            state_bytes += a.state_bytes();
+        }
+
+        let failures = self.sensors.iter().map(|s| s.failures()).sum::<u32>()
+            + self.analyzers.iter().map(|s| s.failures()).sum::<u32>()
+            + self.lb.as_ref().map(|l| l.station.failures()).unwrap_or(0)
+            + self.monitor.station.failures();
+        let ended_down = self.sensors.iter().any(|s| s.is_down(finished_at))
+            || self.analyzers.iter().any(|s| s.is_down(finished_at))
+            || self.lb.as_ref().is_some_and(|l| l.station.is_down(finished_at));
+
+        // Collateral damage: blocked sources that never sent attack
+        // packets.
+        let mut attack_sources = std::collections::HashSet::new();
+        for r in self.trace.records() {
+            if r.truth.is_some() {
+                attack_sources.insert(r.packet.ip.src);
+            }
+        }
+        let collateral = self
+            .console
+            .blocked_sources()
+            .iter()
+            .filter(|(src, _)| !attack_sources.contains(src))
+            .count();
+
+        PipelineOutcome {
+            alerts: self.monitor.take_alerts(),
+            offered,
+            monitored,
+            missed,
+            blocked: (self.blocked_attack, self.blocked_benign),
+            pool_excluded: self.pool_excluded,
+            collateral_blocked_sources: collateral,
+            lb_counters: self.lb.as_ref().map(|l| l.station.counters()),
+            sensor_counters: self.sensors.iter().map(|s| s.counters()).collect(),
+            analyzer_counters: self.analyzers.iter().map(|s| s.counters()).collect(),
+            induced_latency: self.induced_latency,
+            failures,
+            ended_down,
+            host_impact,
+            state_bytes,
+            finished_at,
+        }
+    }
+}
+
+impl World for DeploymentWorld<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Arrive(rec) => {
+                let record = &self.trace.records()[rec as usize];
+                let packet = &record.packet;
+
+                // Perimeter auto-response: blocked sources never reach the
+                // protected network (nor the IDS).
+                if self.auto_response && self.console.is_blocked(now, packet.ip.src) {
+                    if self.in_scope[rec as usize] {
+                        if record.truth.is_some() {
+                            self.blocked_attack += 1;
+                        } else {
+                            self.blocked_benign += 1;
+                        }
+                    }
+                    return;
+                }
+
+                // Host agents observe from the host vantage, independent of
+                // the network sensor path.
+                if let Some(agent) = self.agents.as_mut() {
+                    let cost = agent.cost_ops(packet);
+                    if cost > 0.0 {
+                        let charge_host = if self.host_cpus.contains_key(&packet.ip.dst) {
+                            Some(packet.ip.dst)
+                        } else if self.host_cpus.contains_key(&packet.ip.src) {
+                            Some(packet.ip.src)
+                        } else {
+                            None
+                        };
+                        if let Some(h) = charge_host {
+                            let cpu = self.host_cpus.get_mut(&h).expect("host exists");
+                            if let idse_sim::host::CpuVerdict::Completed { at } =
+                                cpu.execute_ids(now, cost)
+                            {
+                                queue.schedule(at, Ev::AgentDone { rec });
+                            }
+                            // Overloaded host: the agent misses this event.
+                        }
+                    }
+                }
+
+                if self.sensors.is_empty() || !self.in_scope[rec as usize] {
+                    return;
+                }
+                // Data-pool selection: out-of-pool packets are neither
+                // inspected nor charged (Table 2's selectability, made
+                // functional). They count as unmonitored-by-choice, not
+                // as loss.
+                if !self.data_pool.selects(packet) {
+                    self.pool_excluded += 1;
+                    return;
+                }
+                let sensor = self.route(packet);
+                // The LB station (if any) is the in-line element.
+                let deliver_at = if let Some(lb) = self.lb.as_mut() {
+                    let cost = 20.0 + 0.05 * packet.payload.len() as f64;
+                    match lb.station.serve(now, cost) {
+                        ServeOutcome::Done(t) => {
+                            if self.tap == TapMode::Inline {
+                                self.induced_latency.record(t.saturating_since(now));
+                            }
+                            Some(t)
+                        }
+                        _ => None, // LB shed: packet unmonitored (fail-open)
+                    }
+                } else {
+                    Some(now)
+                };
+                if let Some(t) = deliver_at {
+                    let cost = self.sensor_cost(sensor, packet);
+                    match self.sensors[sensor].serve(t, cost) {
+                        ServeOutcome::Done(done) => {
+                            queue.schedule(done, Ev::SensorDone { sensor: sensor as u8, rec });
+                        }
+                        _ => { /* sensor shed or down: packet unmonitored */ }
+                    }
+                }
+            }
+
+            Ev::SensorDone { sensor, rec } => {
+                let record = &self.trace.records()[rec as usize];
+                // For host-agent-only products the network station is just
+                // the report aggregation point — passing it is not
+                // inspection.
+                if self.has_network_engines {
+                    self.monitored_flags[rec as usize] = true;
+                }
+                let sensor = sensor as usize;
+                let mut detections = Vec::new();
+                if let Some(e) = self.sensor_sig[sensor].as_mut() {
+                    detections.extend(e.inspect(now, &record.packet));
+                }
+                if let Some(e) = self.sensor_ano[sensor].as_mut() {
+                    detections.extend(e.inspect(now, &record.packet));
+                }
+                self.dispatch_detections(now, rec, sensor, detections, queue);
+            }
+
+            Ev::AgentDone { rec } => {
+                let record = &self.trace.records()[rec as usize];
+                self.monitored_flags[rec as usize] = true;
+                let detections = match self.agents.as_mut() {
+                    Some(agent) => agent.inspect(now, &record.packet),
+                    None => Vec::new(),
+                };
+                // Agent reports go to analyzer 0 (the aggregation point).
+                if !detections.is_empty() {
+                    let sensor = 0;
+                    self.dispatch_detections(now, rec, sensor, detections, queue);
+                }
+            }
+
+            Ev::AnalyzerDone { rec, observed, det } => {
+                let record = &self.trace.records()[rec as usize];
+                let alert = Alert {
+                    raised_at: now, // monitor re-stamps on presentation
+                    observed_at: observed,
+                    trigger: rec as usize,
+                    flow: FlowKey::of(&record.packet),
+                    class_guess: det.class,
+                    severity: det.severity,
+                    source: det.source,
+                    sensor: 0,
+                    detector: det.detector.to_owned(),
+                };
+                if self.monitor.present(now, alert).is_some()
+                    && self.auto_response {
+                        let presented = self
+                            .monitor
+                            .alerts()
+                            .last()
+                            .cloned()
+                            .expect("just presented");
+                        self.console.react(&presented);
+                    }
+                let _ = self.sensitivity;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::products::ProductId;
+    use idse_attacks::{Campaign, CampaignConfig, Scenario};
+    use idse_sim::SimDuration;
+    use idse_traffic::{ArrivalProcess, BackgroundGenerator, GeneratorConfig, SiteProfile};
+
+    fn benign(seed: u64, secs: u64, rate: f64) -> Trace {
+        BackgroundGenerator::new(GeneratorConfig::new(
+            SiteProfile::ecommerce_web(),
+            ArrivalProcess::Poisson { rate },
+            SimDuration::from_secs(secs),
+            seed,
+        ))
+        .generate()
+    }
+
+    fn mixed(seed: u64, secs: u64) -> Trace {
+        let mut t = benign(seed, secs, 25.0);
+        let cfg = CampaignConfig::new(SimDuration::from_secs(secs), seed ^ 0xa77ac);
+        let c = Campaign::standard_mix(&SiteProfile::ecommerce_web(), &cfg);
+        t.merge(c.generate(&cfg));
+        t
+    }
+
+    fn servers() -> Vec<Ipv4Addr> {
+        let block: idse_net::Cidr = "10.0.1.0/24".parse().unwrap();
+        (1..=6).map(|i| block.host(i)).collect()
+    }
+
+    #[test]
+    fn benign_run_produces_few_alerts_and_no_loss() {
+        let product = IdsProduct::model(ProductId::NidSentry);
+        let runner = PipelineRunner::new(product, RunConfig::default())
+            .with_training(benign(1, 10, 20.0));
+        let out = runner.run(&benign(2, 10, 20.0));
+        assert_eq!(out.offered, out.monitored, "moderate load must be lossless");
+        assert_eq!(out.failures, 0);
+        let ratio = out.alerts.len() as f64 / out.offered as f64;
+        assert!(ratio < 0.01, "benign alert ratio {ratio}");
+    }
+
+    #[test]
+    fn attacks_generate_alerts() {
+        let product = IdsProduct::model(ProductId::NidSentry);
+        let runner = PipelineRunner::new(
+            product,
+            RunConfig { sensitivity: Sensitivity::new(0.7), ..RunConfig::default() },
+        )
+        .with_training(benign(1, 10, 20.0));
+        let out = runner.run(&mixed(3, 30));
+        assert!(!out.alerts.is_empty(), "campaign must trigger alerts");
+        // Alerts attribute to attack packets (mostly).
+        let trace = mixed(3, 30);
+        let attributed = out
+            .alerts
+            .iter()
+            .filter(|a| trace.records()[a.trigger].truth.is_some())
+            .count();
+        assert!(attributed > 0);
+    }
+
+    #[test]
+    fn anomaly_product_requires_training() {
+        let product = IdsProduct::model(ProductId::FlowHunter);
+        // No training: the anomaly engine stays silent.
+        let runner = PipelineRunner::new(product.clone(), RunConfig::default());
+        let out = runner.run(&mixed(4, 20));
+        assert!(out.alerts.is_empty());
+        // With training it detects.
+        let runner = PipelineRunner::new(
+            product,
+            RunConfig { sensitivity: Sensitivity::new(0.8), ..RunConfig::default() },
+        )
+        .with_training(benign(5, 15, 25.0));
+        let out = runner.run(&mixed(4, 20));
+        assert!(!out.alerts.is_empty());
+    }
+
+    #[test]
+    fn host_agents_charge_host_cpu() {
+        let product = IdsProduct::model(ProductId::AgentWatch);
+        let cfg = RunConfig {
+            monitored_hosts: servers(),
+            sensitivity: Sensitivity::new(0.6),
+            ..RunConfig::default()
+        };
+        let runner = PipelineRunner::new(product, cfg).with_training(benign(1, 10, 20.0));
+        let out = runner.run(&benign(2, 10, 30.0));
+        assert!(out.host_impact > 0.0, "agents must consume host CPU");
+        assert!(out.host_impact < 0.5, "impact {} should be a modest fraction", out.host_impact);
+    }
+
+    #[test]
+    fn inline_product_induces_latency_mirrored_does_not() {
+        let fh = IdsProduct::model(ProductId::FlowHunter);
+        let runner = PipelineRunner::new(fh, RunConfig::default()).with_training(benign(1, 10, 20.0));
+        let out = runner.run(&benign(2, 10, 20.0));
+        assert!(out.induced_latency.count() > 0);
+        assert!(out.induced_latency.mean() > SimDuration::ZERO);
+
+        let nid = IdsProduct::model(ProductId::NidSentry);
+        let runner = PipelineRunner::new(nid, RunConfig::default());
+        let out = runner.run(&benign(2, 10, 20.0));
+        assert_eq!(out.induced_latency.count(), 0, "mirrored tap induces nothing");
+    }
+
+    #[test]
+    fn overload_causes_loss_and_eventually_failure() {
+        let product = IdsProduct::model(ProductId::AgentWatch); // weakest station
+        // A dense SYN flood at extreme rate against a monitored host.
+        let flood = idse_attacks::flood::SynFlood {
+            rate: 2_000_000.0,
+            duration: SimDuration::from_secs(1),
+            ..idse_attacks::flood::SynFlood::new(Ipv4Addr::new(10, 0, 1, 1))
+        };
+        let mut rng = idse_sim::RngStream::derive(9, "lethal");
+        let trace = flood.generate(SimTime::ZERO, 1, &mut rng);
+        let cfg = RunConfig { monitored_hosts: servers(), ..RunConfig::default() };
+        let runner = PipelineRunner::new(product, cfg);
+        let out = runner.run(&trace);
+        assert!(out.loss_ratio() > 0.25, "loss {}", out.loss_ratio());
+        assert!(out.failures > 0, "extreme overload must trip the failure behavior");
+        assert!(out.ended_down, "AgentWatch hangs and stays down");
+    }
+
+    #[test]
+    fn data_pool_filter_trades_cost_for_blindness() {
+        // The paper's cluster use case: exclude intra-cluster traffic from
+        // the pool. Inspection load falls; attacks that stay inside the
+        // trust domain become invisible — both effects measurable.
+        let product = IdsProduct::model(ProductId::FlowHunter);
+        let cluster_profile = idse_traffic::SiteProfile::realtime_cluster();
+        let training = BackgroundGenerator::new(GeneratorConfig::new(
+            cluster_profile.clone(),
+            ArrivalProcess::Poisson { rate: 20.0 },
+            SimDuration::from_secs(10),
+            61,
+        ))
+        .generate();
+        let mut test = BackgroundGenerator::new(GeneratorConfig::new(
+            cluster_profile.clone(),
+            ArrivalProcess::Poisson { rate: 20.0 },
+            SimDuration::from_secs(15),
+            62,
+        ))
+        .generate();
+        // An intra-domain trust exploit.
+        let te = idse_attacks::trust::TrustExploit::new(
+            cluster_profile.clients.host(3),
+            cluster_profile.clients.host(9),
+        );
+        let mut rng = idse_sim::RngStream::derive(63, "te");
+        test.merge(idse_attacks::Scenario::generate(&te, SimTime::from_secs(2), 1, &mut rng));
+
+        let run = |pool: crate::datapool::DataPoolFilter| {
+            let cfg = RunConfig {
+                sensitivity: Sensitivity::new(0.9),
+                data_pool: pool,
+                ..RunConfig::default()
+            };
+            PipelineRunner::new(product.clone(), cfg)
+                .with_training(training.clone())
+                .run(&test)
+        };
+        let full = run(crate::datapool::DataPoolFilter::everything());
+        let boundary = run(crate::datapool::DataPoolFilter::boundary_of(cluster_profile.clients));
+        assert_eq!(full.pool_excluded, 0);
+        assert!(boundary.pool_excluded > 0, "intra-domain traffic must be carved out");
+        // Sensing load falls with the pool.
+        let load = |o: &PipelineOutcome| o.sensor_counters.iter().map(|c| c.offered).sum::<u64>();
+        assert!(load(&boundary) < load(&full));
+        // The intra-domain attack is visible only in the full pool.
+        let saw_trust = |o: &PipelineOutcome| {
+            o.alerts.iter().any(|a| {
+                test.records()[a.trigger]
+                    .truth
+                    .is_some_and(|t| t.class == idse_net::trace::AttackClass::TrustExploit)
+            })
+        };
+        assert!(saw_trust(&full), "full pool sees the trust exploit");
+        assert!(!saw_trust(&boundary), "the carve-out is blind to it");
+    }
+
+    #[test]
+    fn auto_response_blocks_attackers() {
+        let product = IdsProduct::model(ProductId::GuardSecure); // has firewall
+        let cfg = RunConfig {
+            sensitivity: Sensitivity::new(0.6),
+            monitored_hosts: servers(),
+            auto_response: true,
+            ..RunConfig::default()
+        };
+        let runner = PipelineRunner::new(product, cfg).with_training(benign(1, 10, 20.0));
+        let out = runner.run(&mixed(6, 40));
+        assert!(out.blocked.0 > 0, "sustained attacks should get their sources blocked");
+    }
+}

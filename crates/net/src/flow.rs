@@ -1,0 +1,168 @@
+//! Five-tuple flows with canonical orientation.
+//!
+//! The paper notes (§2.2) that load balancers "typically must be aware of
+//! TCP sessions so they can consistently send connection-oriented traffic to
+//! the appropriate sensor". That requires both directions of a connection
+//! to hash identically, which is what the canonical form here provides.
+
+use crate::packet::{IpProtocol, Packet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A directed five-tuple: protocol, source and destination endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// IP protocol.
+    pub protocol: IpProtocol,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Source port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Destination port (0 for ICMP).
+    pub dst_port: u16,
+}
+
+// Manual Ord support: IpProtocol needs an ordering for canonicalization.
+impl PartialOrd for IpProtocol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IpProtocol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.number().cmp(&other.number())
+    }
+}
+
+impl FlowKey {
+    /// Extract the directed flow key of a packet.
+    pub fn of(packet: &Packet) -> Self {
+        Self {
+            protocol: packet.transport.protocol(),
+            src: packet.ip.src,
+            src_port: packet.transport.src_port().unwrap_or(0),
+            dst: packet.ip.dst,
+            dst_port: packet.transport.dst_port().unwrap_or(0),
+        }
+    }
+
+    /// The same flow viewed from the other direction.
+    pub fn reversed(&self) -> Self {
+        Self {
+            protocol: self.protocol,
+            src: self.dst,
+            src_port: self.dst_port,
+            dst: self.src,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// Direction-independent canonical form: both directions of a
+    /// connection map to the same value (the lexicographically smaller
+    /// endpoint becomes the "source").
+    pub fn canonical(&self) -> Self {
+        let a = (self.src, self.src_port);
+        let b = (self.dst, self.dst_port);
+        if a <= b {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// A stable 64-bit hash of the canonical form, used by session-aware
+    /// load balancers to pick a sensor. FNV-1a over the tuple bytes:
+    /// platform-independent, so sensor assignment is reproducible.
+    pub fn session_hash(&self) -> u64 {
+        let c = self.canonical();
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &x in bytes {
+                h ^= x as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(&[c.protocol.number()]);
+        eat(&c.src.octets());
+        eat(&c.src_port.to_be_bytes());
+        eat(&c.dst.octets());
+        eat(&c.dst_port.to_be_bytes());
+        h
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}:{} -> {}:{}",
+            self.protocol, self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Ipv4Header, Packet, TcpFlags, TcpHeader};
+
+    fn key(sp: u16, dp: u16) -> FlowKey {
+        FlowKey {
+            protocol: IpProtocol::Tcp,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: sp,
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: dp,
+        }
+    }
+
+    #[test]
+    fn canonical_is_direction_independent() {
+        let k = key(40000, 80);
+        assert_eq!(k.canonical(), k.reversed().canonical());
+        assert_eq!(k.session_hash(), k.reversed().session_hash());
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        let k = key(1, 2);
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn different_flows_hash_differently() {
+        // Not a guarantee for all inputs, but these must differ in practice.
+        assert_ne!(key(40000, 80).session_hash(), key(40001, 80).session_hash());
+        assert_ne!(key(40000, 80).session_hash(), key(40000, 443).session_hash());
+    }
+
+    #[test]
+    fn extraction_from_packet() {
+        let p = Packet::tcp(
+            Ipv4Header::simple(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)),
+            TcpHeader {
+                src_port: 5555,
+                dst_port: 22,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 0,
+            },
+            Vec::new(),
+        );
+        let k = FlowKey::of(&p);
+        assert_eq!(k.src_port, 5555);
+        assert_eq!(k.dst_port, 22);
+        assert_eq!(k.protocol, IpProtocol::Tcp);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = key(1234, 80).to_string();
+        assert!(s.contains("10.0.0.1:1234"));
+        assert!(s.contains("10.0.0.2:80"));
+    }
+}

@@ -1,0 +1,140 @@
+//! The event queue: a binary heap with deterministic tie-breaking.
+//!
+//! Two events scheduled for the same virtual instant are dispatched in the
+//! order they were scheduled. `BinaryHeap` alone does not guarantee that, so
+//! every entry carries a monotonically increasing sequence number that breaks
+//! ties. This is what makes whole-testbed runs bit-reproducible across
+//! processes and platforms.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload together with its dispatch time.
+#[derive(Debug)]
+pub struct Scheduled<E> {
+    /// Virtual time at which the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number; unique per queue, used to break ties.
+    pub seq: u64,
+    /// The application event.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of future events ordered by `(time, insertion seq)`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// The earliest pending event, if any.
+    pub fn peek(&self) -> Option<&Scheduled<E>> {
+        self.heap.peek()
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "c");
+        q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 10);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().event, 2);
+        q.schedule(SimTime::from_secs(2) + SimDuration::from_nanos(1), 3);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop().unwrap().event, 10);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 3);
+    }
+}

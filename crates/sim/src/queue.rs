@@ -1,0 +1,166 @@
+//! Bounded FIFO queues with drop accounting.
+//!
+//! Finite buffers are where the paper's *Maximal Throughput with Zero Loss*
+//! and *Network Lethal Dose* metrics come from: once a stage's queue is full,
+//! offered load is shed and the loss is observable. Every queue in the
+//! testbed (link buffers, sensor input rings, analyzer backlogs) is an
+//! instance of [`BoundedFifo`] so drops are counted uniformly.
+
+use crate::stats::StageCounters;
+use std::collections::VecDeque;
+
+/// What happened when an item was offered to a bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// The item was enqueued.
+    Accepted,
+    /// The queue was full; the item was dropped (tail drop).
+    Dropped,
+}
+
+/// A bounded FIFO with tail-drop semantics and offered/processed/dropped
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    counters: StageCounters,
+    peak_depth: usize,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Create a queue holding at most `capacity` items. Panics if
+    /// `capacity == 0` — a zero-capacity stage would silently drop all load,
+    /// which is always a configuration error in this testbed.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            counters: StageCounters::default(),
+            peak_depth: 0,
+        }
+    }
+
+    /// Offer an item; on overflow the item is dropped and counted.
+    pub fn offer(&mut self, item: T) -> OfferOutcome {
+        self.counters.offered += 1;
+        if self.items.len() >= self.capacity {
+            self.counters.dropped += 1;
+            OfferOutcome::Dropped
+        } else {
+            self.items.push_back(item);
+            self.peak_depth = self.peak_depth.max(self.items.len());
+            OfferOutcome::Accepted
+        }
+    }
+
+    /// Dequeue the oldest item and count it as processed.
+    pub fn take(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.counters.processed += 1;
+        }
+        item
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Offered/processed/dropped counters.
+    pub fn counters(&self) -> StageCounters {
+        self.counters
+    }
+
+    /// Discard all queued items, counting them as dropped. Models a
+    /// component failure that loses its backlog (the paper's *Error
+    /// Reporting and Recovery* failure modes).
+    pub fn fail_and_flush(&mut self) -> usize {
+        let lost = self.items.len();
+        self.counters.dropped += lost as u64;
+        self.items.clear();
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedFifo::new(8);
+        for i in 0..5 {
+            assert_eq!(q.offer(i), OfferOutcome::Accepted);
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.take()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.counters().processed, 5);
+    }
+
+    #[test]
+    fn tail_drop_on_overflow() {
+        let mut q = BoundedFifo::new(2);
+        assert_eq!(q.offer('a'), OfferOutcome::Accepted);
+        assert_eq!(q.offer('b'), OfferOutcome::Accepted);
+        assert_eq!(q.offer('c'), OfferOutcome::Dropped);
+        assert!(q.is_full());
+        let c = q.counters();
+        assert_eq!((c.offered, c.dropped), (3, 1));
+        // The surviving items are the oldest ones (tail drop).
+        assert_eq!(q.take(), Some('a'));
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut q = BoundedFifo::new(10);
+        for i in 0..7 {
+            q.offer(i);
+        }
+        for _ in 0..7 {
+            q.take();
+        }
+        q.offer(99);
+        assert_eq!(q.peak_depth(), 7);
+    }
+
+    #[test]
+    fn fail_and_flush_counts_losses() {
+        let mut q = BoundedFifo::new(10);
+        for i in 0..4 {
+            q.offer(i);
+        }
+        assert_eq!(q.fail_and_flush(), 4);
+        assert!(q.is_empty());
+        assert_eq!(q.counters().dropped, 4);
+        assert!((q.counters().drop_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedFifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Reproducible, independently-seeded random streams.
+//!
+//! Every stochastic element of the testbed — arrival processes, payload
+//! synthesis, attack timing — draws from its own named stream derived from a
+//! single master seed. Adding a new consumer therefore never perturbs the
+//! draws seen by existing consumers, which keeps regression baselines stable
+//! (the paper's "scientific repeatability" requirement).
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A named, deterministic random stream.
+///
+/// Streams are derived as `master_seed ⊕ fnv1a(label)` fed through
+/// SplitMix64, so distinct labels give statistically independent streams and
+/// the same `(seed, label)` pair always reproduces the same sequence.
+///
+/// ```
+/// use idse_sim::RngStream;
+/// let mut a = RngStream::derive(42, "traffic");
+/// let mut b = RngStream::derive(42, "traffic");
+/// assert_eq!(a.uniform_u64(0, 100), b.uniform_u64(0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+    label: String,
+}
+
+impl RngStream {
+    /// Derive the stream named `label` from `master_seed`.
+    pub fn derive(master_seed: u64, label: &str) -> Self {
+        let mixed = splitmix64(master_seed ^ fnv1a(label.as_bytes()));
+        Self {
+            rng: StdRng::seed_from_u64(mixed),
+            label: label.to_owned(),
+        }
+    }
+
+    /// Derive a child stream, e.g. one per simulated host.
+    pub fn child(&self, sub_label: &str) -> Self {
+        let combined = format!("{}/{}", self.label, sub_label);
+        // The child is a pure function of the parent's label lineage, not of
+        // how many draws the parent has made.
+        let mixed = splitmix64(fnv1a(combined.as_bytes()));
+        Self {
+            rng: StdRng::seed_from_u64(mixed),
+            label: combined,
+        }
+    }
+
+    /// The stream's label lineage (for diagnostics).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty uniform range {lo}..{hi}");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed draw with the given rate (events per unit).
+    /// Used for Poisson inter-arrival times.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1]
+        -u.ln() / rate
+    }
+
+    /// Pareto-distributed draw (heavy-tailed sizes), with scale `xm > 0` and
+    /// shape `alpha > 0`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        let u = 1.0 - self.unit();
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Normal draw via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Draw from any `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.rng)
+    }
+
+    /// Pick a reference uniformly from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Pick an index according to the given non-negative weights. Panics if
+    /// all weights are zero or the slice is empty.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        assert!(total > 0.0, "weights must include a positive entry");
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        // Floating point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive weight exists")
+    }
+
+    /// Fill a byte buffer with uniform random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.rng.fill_bytes(buf);
+    }
+}
+
+/// FNV-1a hash of a byte string: stable across platforms and Rust versions
+/// (unlike `DefaultHasher`), which keeps seed derivation reproducible.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates structurally similar seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = RngStream::derive(42, "traffic");
+        let mut b = RngStream::derive(42, "traffic");
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = RngStream::derive(42, "traffic");
+        let mut b = RngStream::derive(42, "attacks");
+        let same = (0..64)
+            .filter(|_| a.uniform_u64(0, u64::MAX - 1) == b.uniform_u64(0, u64::MAX - 1))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn child_streams_are_stable() {
+        let parent = RngStream::derive(7, "hosts");
+        let mut c1 = parent.child("host-3");
+        let mut c2 = RngStream::derive(7, "hosts").child("host-3");
+        assert_eq!(c1.uniform_u64(0, 1 << 40), c2.uniform_u64(0, 1 << 40));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = RngStream::derive(1, "exp");
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean} should be ~0.25");
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut r = RngStream::derive(9, "w");
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[r.pick_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.35, "ratio {ratio} should be ~3");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = RngStream::derive(5, "norm");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn empty_uniform_range_panics() {
+        RngStream::derive(0, "x").uniform_u64(5, 5);
+    }
+}

@@ -1,0 +1,383 @@
+//! Online statistics for experiment measurement.
+//!
+//! Every performance metric in the paper's Table 3 is a summary statistic of
+//! a stream of observations (latencies, report delays, rates, utilizations).
+//! These accumulators are single-pass, O(1)-memory (except the histogram and
+//! quantile reservoir) and numerically stable (Welford's method).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford mean/variance accumulator with min/max tracking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance, or 0 if fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Summary of durations, stored in seconds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DurationSummary(Summary);
+
+impl DurationSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self(Summary::new())
+    }
+    /// Record a duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.0.record(d.as_secs_f64());
+    }
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+    /// Mean duration.
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0.mean())
+    }
+    /// Maximum duration, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0.max().unwrap_or(0.0))
+    }
+    /// Minimum duration, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0.min().unwrap_or(0.0))
+    }
+    /// Underlying scalar summary (seconds).
+    pub fn as_summary(&self) -> &Summary {
+        &self.0
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. CPU
+/// utilization or queue depth over virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        Self {
+            last_change: start,
+            current: value,
+            weighted_sum: 0.0,
+            start,
+            peak: value,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time-weighted updates must be monotonic");
+        let dt = now.saturating_since(self.last_change).as_secs_f64();
+        self.weighted_sum += self.current * dt;
+        self.last_change = now;
+        self.current = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let settled = self.weighted_sum
+            + self.current * now.saturating_since(self.last_change).as_secs_f64();
+        let span = now.saturating_since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            self.current
+        } else {
+            settled / span
+        }
+    }
+}
+
+/// Fixed-bucket histogram with logarithmic bucket edges, for latency
+/// distributions spanning several orders of magnitude.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Lower edge of the first bucket.
+    lo: f64,
+    /// Multiplicative bucket width.
+    ratio: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Buckets cover `[lo, lo * ratio^n)` with `n` buckets. Panics unless
+    /// `lo > 0`, `ratio > 1` and `n > 0`.
+    pub fn new(lo: f64, ratio: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && ratio > 1.0 && n > 0, "invalid histogram shape");
+        Self {
+            lo,
+            ratio,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        // NaN and below-range both land in the underflow bucket.
+        if x.partial_cmp(&self.lo).is_none_or(|o| o == std::cmp::Ordering::Less) {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (x / self.lo).ln() / self.ratio.ln();
+        let idx = idx as usize; // floor for x >= lo
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) using bucket upper edges;
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo * self.ratio.powi(i as i32 + 1));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Per-bucket `(lower_edge, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
+    }
+}
+
+/// A monotone counter bundle used by pipeline stages: offered, processed,
+/// dropped.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageCounters {
+    /// Items presented to the stage.
+    pub offered: u64,
+    /// Items the stage completed.
+    pub processed: u64,
+    /// Items lost (queue overflow, overload shedding, failure).
+    pub dropped: u64,
+}
+
+impl StageCounters {
+    /// Fraction of offered items that were dropped, 0 when nothing offered.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    /// Merge another counter bundle into this one.
+    pub fn merge(&mut self, other: &StageCounters) {
+        self.offered += other.offered;
+        self.processed += other.processed;
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        xs[..37].iter().for_each(|&x| left.record(x));
+        xs[37..].iter().for_each(|&x| right.record(x));
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+        u.set(SimTime::from_secs(10), 1.0); // 0.0 for 10s
+        u.set(SimTime::from_secs(20), 0.5); // 1.0 for 10s
+        // then 0.5 for 10s
+        let mean = u.mean(SimTime::from_secs(30));
+        assert!((mean - 0.5).abs() < 1e-12, "mean was {mean}");
+        assert_eq!(u.peak(), 1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LogHistogram::new(1e-6, 2.0, 30);
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-5);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        // True median is 5e-3; bucket edges quantize upward.
+        assert!((5e-3..=2e-2).contains(&p50), "p50 {p50}");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= 1e-2);
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2); // [1,10), [10,100)
+        h.record(0.5);
+        h.record(5.0);
+        h.record(5000.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn stage_counters() {
+        let mut c = StageCounters { offered: 10, processed: 8, dropped: 2 };
+        assert!((c.drop_ratio() - 0.2).abs() < 1e-12);
+        c.merge(&StageCounters { offered: 10, processed: 10, dropped: 0 });
+        assert!((c.drop_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(StageCounters::default().drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn duration_summary() {
+        let mut d = DurationSummary::new();
+        d.record(SimDuration::from_millis(10));
+        d.record(SimDuration::from_millis(30));
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean(), SimDuration::from_millis(20));
+        assert_eq!(d.max(), SimDuration::from_millis(30));
+        assert_eq!(d.min(), SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the simulation kernel's invariants.
+
+use idse_sim::stats::{LogHistogram, Summary};
+use idse_sim::{EventQueue, RngStream, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Time arithmetic: (t + a) + b == (t + b) + a for in-range values.
+    #[test]
+    fn time_addition_commutes(t in 0u64..1u64 << 40, a in 0u64..1u64 << 30, b in 0u64..1u64 << 30) {
+        let base = SimTime::from_nanos(t);
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((base + da) + db, (base + db) + da);
+    }
+
+    /// Subtraction inverts addition within range.
+    #[test]
+    fn time_sub_inverts_add(t in 0u64..1u64 << 40, d in 0u64..1u64 << 30) {
+        let base = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((base + dur) - base, dur);
+        prop_assert_eq!((base + dur).saturating_since(base), dur);
+    }
+
+    /// Seconds round trip within one nanosecond of quantization error.
+    #[test]
+    fn seconds_round_trip(ns in 0u64..1u64 << 50) {
+        let d = SimDuration::from_nanos(ns);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        let diff = back.as_nanos().abs_diff(d.as_nanos());
+        // f64 has 52 mantissa bits; below 2^50 ns we stay within ~256 ns.
+        prop_assert!(diff <= 256, "{ns} -> {diff}");
+    }
+
+    /// The event queue is a stable priority queue: pops are sorted by time
+    /// and, within a time, by insertion order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.at >= lt);
+                if ev.at == lt {
+                    prop_assert!(ev.event > li, "same-time events must pop in insertion order");
+                }
+            }
+            last = Some((ev.at, ev.event));
+        }
+    }
+
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::new();
+        xs.iter().for_each(|&x| s.record(x));
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
+    }
+
+    /// Merging arbitrary splits of a sample equals the whole.
+    #[test]
+    fn summary_merge_is_split_invariant(
+        xs in prop::collection::vec(-1e5f64..1e5, 2..150),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cut = ((xs.len() as f64 * cut_frac) as usize).min(xs.len());
+        let mut whole = Summary::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        xs[..cut].iter().for_each(|&x| a.record(x));
+        xs[cut..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    /// Histogram quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_monotone(xs in prop::collection::vec(1e-6f64..1e3, 1..200)) {
+        let mut h = LogHistogram::new(1e-6, 2.0, 40);
+        xs.iter().for_each(|&x| h.record(x));
+        let mut prev = 0.0;
+        for k in 0..=10 {
+            let q = h.quantile(k as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev, "quantiles must be monotone");
+            prev = q;
+        }
+    }
+
+    /// Derived RNG streams are reproducible and label-sensitive.
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = RngStream::derive(seed, &label);
+        let mut b = RngStream::derive(seed, &label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.uniform_u64(0, u64::MAX - 1), b.uniform_u64(0, u64::MAX - 1));
+        }
+    }
+
+    /// Weighted pick never selects a zero-weight entry.
+    #[test]
+    fn pick_weighted_avoids_zero_weights(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let mut rng = RngStream::derive(seed, "pw");
+        for _ in 0..32 {
+            let idx = rng.pick_weighted(&weights);
+            prop_assert!(weights[idx] > 0.0);
+        }
+    }
+}

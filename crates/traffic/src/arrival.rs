@@ -1,0 +1,176 @@
+//! Arrival processes: when sessions start.
+//!
+//! Three models cover the evaluation's needs: Poisson arrivals for
+//! open-loop background load, constant spacing for calibrated throughput
+//! sweeps (the zero-loss and lethal-dose searches need precisely controlled
+//! offered rates), and a two-state ON/OFF process for the bursty phases of
+//! real-time cluster traffic.
+
+use idse_sim::{RngStream, SimDuration, SimTime};
+
+/// A session/packet arrival process.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` per second.
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Deterministic arrivals every `1/rate` seconds.
+    Constant {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Markov-modulated ON/OFF: bursts of `on_rate` arrivals during ON
+    /// periods, silence during OFF periods. Period lengths are exponential.
+    OnOff {
+        /// Arrival rate while ON, per second.
+        on_rate: f64,
+        /// Mean ON period length, seconds.
+        mean_on: f64,
+        /// Mean OFF period length, seconds.
+        mean_off: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean arrival rate of the process.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Constant { rate } => rate,
+            ArrivalProcess::OnOff { on_rate, mean_on, mean_off } => {
+                on_rate * mean_on / (mean_on + mean_off)
+            }
+        }
+    }
+
+    /// Generate all arrival instants in `[start, start + span)`.
+    pub fn arrivals(
+        &self,
+        start: SimTime,
+        span: SimDuration,
+        rng: &mut RngStream,
+    ) -> Vec<SimTime> {
+        let end = start + span;
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "rate must be positive");
+                let mut t = start;
+                loop {
+                    t += SimDuration::from_secs_f64(rng.exponential(rate));
+                    if t >= end {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Constant { rate } => {
+                assert!(rate > 0.0, "rate must be positive");
+                let gap = SimDuration::from_secs_f64(1.0 / rate);
+                let mut t = start + gap;
+                while t < end {
+                    out.push(t);
+                    t += gap;
+                }
+            }
+            ArrivalProcess::OnOff { on_rate, mean_on, mean_off } => {
+                assert!(
+                    on_rate > 0.0 && mean_on > 0.0 && mean_off > 0.0,
+                    "ON/OFF parameters must be positive"
+                );
+                let mut t = start;
+                let mut on = true;
+                while t < end {
+                    let period = if on { mean_on } else { mean_off };
+                    let period_end =
+                        (t + SimDuration::from_secs_f64(rng.exponential(1.0 / period))).min(end);
+                    if on {
+                        let mut a = t;
+                        loop {
+                            a += SimDuration::from_secs_f64(rng.exponential(on_rate));
+                            if a >= period_end {
+                                break;
+                            }
+                            out.push(a);
+                        }
+                    }
+                    t = period_end;
+                    on = !on;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_honoured() {
+        let p = ArrivalProcess::Poisson { rate: 100.0 };
+        let mut rng = RngStream::derive(11, "arrivals");
+        let arr = p.arrivals(SimTime::ZERO, SimDuration::from_secs(50), &mut rng);
+        let rate = arr.len() as f64 / 50.0;
+        assert!((rate - 100.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn constant_is_evenly_spaced() {
+        let p = ArrivalProcess::Constant { rate: 10.0 };
+        let mut rng = RngStream::derive(11, "arrivals");
+        let arr = p.arrivals(SimTime::ZERO, SimDuration::from_secs(1), &mut rng);
+        assert_eq!(arr.len(), 9); // t = 0.1 .. 0.9
+        for w in arr.windows(2) {
+            assert_eq!(w[1].saturating_since(w[0]), SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn onoff_mean_rate_formula() {
+        let p = ArrivalProcess::OnOff { on_rate: 200.0, mean_on: 1.0, mean_off: 3.0 };
+        assert!((p.mean_rate() - 50.0).abs() < 1e-12);
+        let mut rng = RngStream::derive(3, "onoff");
+        let arr = p.arrivals(SimTime::ZERO, SimDuration::from_secs(200), &mut rng);
+        let rate = arr.len() as f64 / 200.0;
+        assert!((rate - 50.0).abs() < 10.0, "rate {rate}");
+    }
+
+    #[test]
+    fn onoff_is_bursty() {
+        // Compare inter-arrival variance against Poisson at the same mean
+        // rate: ON/OFF must have a higher coefficient of variation.
+        let mut rng1 = RngStream::derive(5, "a");
+        let mut rng2 = RngStream::derive(5, "b");
+        let onoff = ArrivalProcess::OnOff { on_rate: 400.0, mean_on: 0.5, mean_off: 1.5 };
+        let poisson = ArrivalProcess::Poisson { rate: onoff.mean_rate() };
+        let span = SimDuration::from_secs(100);
+        let cv = |arr: &[SimTime]| {
+            let gaps: Vec<f64> = arr
+                .windows(2)
+                .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
+                .collect();
+            let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let v = gaps.iter().map(|g| (g - m).powi(2)).sum::<f64>() / gaps.len() as f64;
+            v.sqrt() / m
+        };
+        let cv_onoff = cv(&onoff.arrivals(SimTime::ZERO, span, &mut rng1));
+        let cv_poisson = cv(&poisson.arrivals(SimTime::ZERO, span, &mut rng2));
+        assert!(
+            cv_onoff > cv_poisson * 1.5,
+            "ON/OFF CV {cv_onoff} should exceed Poisson CV {cv_poisson}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_window() {
+        let p = ArrivalProcess::Poisson { rate: 50.0 };
+        let mut rng = RngStream::derive(8, "win");
+        let start = SimTime::from_secs(10);
+        let arr = p.arrivals(start, SimDuration::from_secs(5), &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| t >= start && t < SimTime::from_secs(15)));
+    }
+}

@@ -1,0 +1,38 @@
+//! # idse-traffic — background workload and payload-content generators
+//!
+//! The paper's first lesson learned (§4): "to collect performance related
+//! metrics of an IDS, a simple flooding of the network being monitored with
+//! meaningless data is not sufficient … the data portion of an IP packet
+//! should have realistic content", because payload-inspecting IDSes behave
+//! differently under realistic content than under random bytes. And: "IDSs
+//! perform differently in the presence of different kinds of network
+//! traffic. Distributed systems with high levels of inter-host trust on a
+//! high-speed LAN will have distinctive traffic compared to that of a web
+//! server in an e-commerce shop."
+//!
+//! This crate therefore provides:
+//!
+//! * application-layer payload synthesis with protocol-plausible content
+//!   ([`payload`]) plus a deliberately unrealistic random-bytes mode for the
+//!   flooding-vs-realism experiment,
+//! * arrival processes — Poisson, constant-rate, bursty ON/OFF
+//!   ([`arrival`]),
+//! * site profiles capturing the e-commerce vs. real-time-cluster contrast
+//!   ([`profiles`]),
+//! * a session-level background generator that emits labeled-benign traces
+//!   ([`generator`]),
+//! * content-realism measures used to verify the generators do what the
+//!   methodology demands ([`realism`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod generator;
+pub mod payload;
+pub mod profiles;
+pub mod realism;
+
+pub use arrival::ArrivalProcess;
+pub use generator::{BackgroundGenerator, GeneratorConfig};
+pub use profiles::{AppProtocol, SiteProfile};

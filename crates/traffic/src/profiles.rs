@@ -1,0 +1,221 @@
+//! Site profiles: what kind of network the IDS is protecting.
+//!
+//! The paper's second lesson (§4): "Distributed systems with high levels of
+//! inter-host trust on a high-speed LAN will have distinctive traffic
+//! compared to that of a web server in an e-commerce shop. Commercial IDSs
+//! will often be geared toward the latter and not perform well in the
+//! former situation." A [`SiteProfile`] captures that contrast as data —
+//! a protocol mix over address blocks — so experiment X3 can swap profiles
+//! under the same IDS and watch the false-positive ratio move.
+
+use idse_net::Cidr;
+use serde::{Deserialize, Serialize};
+
+/// Application protocols the generators can speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppProtocol {
+    /// HTTP/1.0 over TCP 80.
+    Http,
+    /// SMTP over TCP 25.
+    Smtp,
+    /// DNS over UDP 53.
+    Dns,
+    /// FTP control channel over TCP 21.
+    Ftp,
+    /// Telnet-style interactive login over TCP 23.
+    Auth,
+    /// Binary cluster telemetry over UDP 7100.
+    ClusterTelemetry,
+    /// NFS-flavoured RPC over TCP 2049.
+    NfsRpc,
+    /// ICMP echo (keepalive / reachability probes).
+    IcmpEcho,
+}
+
+impl AppProtocol {
+    /// Conventional server port (0 for ICMP).
+    pub fn server_port(self) -> u16 {
+        match self {
+            AppProtocol::Http => 80,
+            AppProtocol::Smtp => 25,
+            AppProtocol::Dns => 53,
+            AppProtocol::Ftp => 21,
+            AppProtocol::Auth => 23,
+            AppProtocol::ClusterTelemetry => 7100,
+            AppProtocol::NfsRpc => 2049,
+            AppProtocol::IcmpEcho => 0,
+        }
+    }
+
+    /// Whether the protocol runs over TCP (vs UDP/ICMP).
+    pub fn is_tcp(self) -> bool {
+        matches!(
+            self,
+            AppProtocol::Http | AppProtocol::Smtp | AppProtocol::Ftp | AppProtocol::Auth | AppProtocol::NfsRpc
+        )
+    }
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppProtocol::Http => "http",
+            AppProtocol::Smtp => "smtp",
+            AppProtocol::Dns => "dns",
+            AppProtocol::Ftp => "ftp",
+            AppProtocol::Auth => "auth",
+            AppProtocol::ClusterTelemetry => "cluster-telemetry",
+            AppProtocol::NfsRpc => "nfs-rpc",
+            AppProtocol::IcmpEcho => "icmp-echo",
+        }
+    }
+}
+
+/// A site's traffic character.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteProfile {
+    /// Profile name for reports.
+    pub name: String,
+    /// Protocol mix: `(protocol, relative weight)`. Weights need not sum
+    /// to one.
+    pub mix: Vec<(AppProtocol, f64)>,
+    /// Address block clients come from.
+    pub clients: Cidr,
+    /// Address block servers live in.
+    pub servers: Cidr,
+    /// Number of distinct client hosts in play.
+    pub client_hosts: u32,
+    /// Number of distinct server hosts in play.
+    pub server_hosts: u32,
+    /// Probability that a benign login attempt fails (typo rate).
+    pub benign_login_failure_rate: f64,
+    /// Mean HTTP response body size in bytes (Pareto-tailed around this).
+    pub mean_response_bytes: usize,
+}
+
+impl SiteProfile {
+    /// The e-commerce web-shop profile: HTTP-dominated, many external
+    /// clients, modest mail/DNS/FTP sidecar traffic. This is the traffic
+    /// commercial IDSes of the era were tuned for.
+    pub fn ecommerce_web() -> Self {
+        Self {
+            name: "ecommerce-web".into(),
+            mix: vec![
+                (AppProtocol::Http, 0.72),
+                (AppProtocol::Dns, 0.12),
+                (AppProtocol::Smtp, 0.08),
+                (AppProtocol::Ftp, 0.04),
+                (AppProtocol::Auth, 0.04),
+            ],
+            clients: "198.51.0.0/16".parse().expect("static CIDR"),
+            servers: "10.0.1.0/24".parse().expect("static CIDR"),
+            client_hosts: 2000,
+            server_hosts: 6,
+            benign_login_failure_rate: 0.05,
+            mean_response_bytes: 4096,
+        }
+    }
+
+    /// The distributed real-time cluster profile: high-rate binary
+    /// telemetry and RPC between mutually trusting hosts on a fast LAN,
+    /// almost no web traffic. This is the environment the paper's naval
+    /// systems live in.
+    pub fn realtime_cluster() -> Self {
+        Self {
+            name: "realtime-cluster".into(),
+            mix: vec![
+                (AppProtocol::ClusterTelemetry, 0.55),
+                (AppProtocol::NfsRpc, 0.25),
+                (AppProtocol::IcmpEcho, 0.08),
+                (AppProtocol::Auth, 0.06),
+                (AppProtocol::Http, 0.06),
+            ],
+            clients: "10.10.0.0/24".parse().expect("static CIDR"),
+            servers: "10.10.0.0/24".parse().expect("static CIDR"),
+            client_hosts: 32,
+            server_hosts: 32,
+            benign_login_failure_rate: 0.02,
+            mean_response_bytes: 512,
+        }
+    }
+
+    /// A general office LAN: balanced mix, moderate host counts.
+    pub fn office_lan() -> Self {
+        Self {
+            name: "office-lan".into(),
+            mix: vec![
+                (AppProtocol::Http, 0.40),
+                (AppProtocol::Smtp, 0.18),
+                (AppProtocol::Dns, 0.15),
+                (AppProtocol::Ftp, 0.09),
+                (AppProtocol::Auth, 0.10),
+                (AppProtocol::IcmpEcho, 0.08),
+            ],
+            clients: "192.168.0.0/22".parse().expect("static CIDR"),
+            servers: "192.168.4.0/24".parse().expect("static CIDR"),
+            client_hosts: 250,
+            server_hosts: 10,
+            benign_login_failure_rate: 0.05,
+            mean_response_bytes: 2048,
+        }
+    }
+
+    /// Protocol weights as parallel vectors for weighted sampling.
+    pub fn mix_weights(&self) -> (Vec<AppProtocol>, Vec<f64>) {
+        let protos = self.mix.iter().map(|&(p, _)| p).collect();
+        let weights = self.mix.iter().map(|&(_, w)| w).collect();
+        (protos, weights)
+    }
+
+    /// Fraction of the mix carried over TCP.
+    pub fn tcp_fraction(&self) -> f64 {
+        let total: f64 = self.mix.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.mix.iter().filter(|&&(p, _)| p.is_tcp()).map(|&(_, w)| w).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_positive_mixes() {
+        for p in [SiteProfile::ecommerce_web(), SiteProfile::realtime_cluster(), SiteProfile::office_lan()] {
+            assert!(!p.mix.is_empty());
+            assert!(p.mix.iter().all(|&(_, w)| w > 0.0));
+            let total: f64 = p.mix.iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} mix sums to {total}", p.name);
+        }
+    }
+
+    #[test]
+    fn profiles_contrast_as_the_paper_describes() {
+        let web = SiteProfile::ecommerce_web();
+        let cluster = SiteProfile::realtime_cluster();
+        // Web is TCP/HTTP-heavy; cluster is UDP/binary-heavy.
+        assert!(web.tcp_fraction() > 0.8);
+        assert!(cluster.tcp_fraction() < 0.5);
+        // Cluster is an intra-LAN trust domain: clients == servers block.
+        assert_eq!(cluster.clients, cluster.servers);
+        assert_ne!(web.clients, web.servers);
+    }
+
+    #[test]
+    fn ports_and_transports() {
+        assert_eq!(AppProtocol::Http.server_port(), 80);
+        assert!(AppProtocol::Http.is_tcp());
+        assert!(!AppProtocol::Dns.is_tcp());
+        assert_eq!(AppProtocol::IcmpEcho.server_port(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = SiteProfile::realtime_cluster();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SiteProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, p.name);
+        assert_eq!(back.mix.len(), p.mix.len());
+    }
+}

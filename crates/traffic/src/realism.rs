@@ -1,0 +1,146 @@
+//! Content-realism measures.
+//!
+//! Used by experiment X2 to *verify* the generator honours the paper's
+//! realism lesson: realistic payloads must be statistically distinguishable
+//! from the random-bytes flood (lower byte entropy, higher printable
+//! fraction, protocol keywords present), because that distinction is
+//! exactly what makes payload-inspecting IDS engines behave differently
+//! under the two loads.
+
+/// Shannon entropy of the byte distribution, in bits per byte (0–8).
+pub fn byte_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Fraction of bytes that are printable ASCII (incl. CR/LF/TAB).
+pub fn printable_fraction(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let printable = data
+        .iter()
+        .filter(|&&b| (0x20..0x7f).contains(&b) || b == b'\r' || b == b'\n' || b == b'\t')
+        .count();
+    printable as f64 / data.len() as f64
+}
+
+/// Protocol keywords a payload-inspecting engine of the era would key on.
+pub const PROTOCOL_KEYWORDS: &[&[u8]] = &[
+    b"GET ", b"POST ", b"HTTP/1.", b"Host: ", b"HELO ", b"MAIL FROM", b"RCPT TO", b"USER ",
+    b"PASS ", b"RETR ", b"STOR ", b"login:", b"CTLM",
+];
+
+/// Whether any protocol keyword occurs in the payload.
+pub fn has_protocol_keyword(data: &[u8]) -> bool {
+    PROTOCOL_KEYWORDS.iter().any(|kw| contains(data, kw))
+}
+
+/// Naive substring search (payloads are small; the IDS signature engine has
+/// the real multi-pattern matcher).
+pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return needle.is_empty();
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Aggregate realism score over a set of payloads: mean of
+/// `printable_fraction`, keyword hit rate, and normalized entropy margin
+/// below random (8 bits). 1.0 ≈ clearly realistic, ~0 ≈ random flood.
+pub fn realism_score<'a>(payloads: impl IntoIterator<Item = &'a [u8]>) -> f64 {
+    let mut n = 0u32;
+    let mut total = 0.0;
+    for p in payloads {
+        if p.is_empty() {
+            continue;
+        }
+        let printable = printable_fraction(p);
+        let keyword = has_protocol_keyword(p) as u32 as f64;
+        let entropy_margin = ((8.0 - byte_entropy(p)) / 8.0).clamp(0.0, 1.0);
+        total += (printable + keyword + entropy_margin) / 3.0;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload;
+    use idse_sim::RngStream;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(byte_entropy(&[]), 0.0);
+        assert_eq!(byte_entropy(&[7u8; 100]), 0.0);
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert!((byte_entropy(&all) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn printable_classification() {
+        assert_eq!(printable_fraction(b"hello\r\n"), 1.0);
+        assert_eq!(printable_fraction(&[0u8, 1, 2, 3]), 0.0);
+        assert_eq!(printable_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn substring_search() {
+        assert!(contains(b"GET /index HTTP/1.0", b"GET "));
+        assert!(!contains(b"short", b"longer-needle"));
+        assert!(contains(b"anything", b""));
+    }
+
+    #[test]
+    fn realistic_beats_random_on_score() {
+        let mut rng = RngStream::derive(42, "realism");
+        let real: Vec<Vec<u8>> = (0..50)
+            .map(|_| payload::http_request(&mut rng))
+            .collect();
+        let rand: Vec<Vec<u8>> = real
+            .iter()
+            .map(|p| payload::random_bytes(&mut rng, p.len()))
+            .collect();
+        let score_real = realism_score(real.iter().map(|v| v.as_slice()));
+        let score_rand = realism_score(rand.iter().map(|v| v.as_slice()));
+        assert!(
+            score_real > score_rand + 0.3,
+            "realistic {score_real} vs random {score_rand}"
+        );
+        assert!(score_real > 0.7);
+    }
+
+    #[test]
+    fn random_bytes_have_high_entropy() {
+        let mut rng = RngStream::derive(1, "ent");
+        let b = payload::random_bytes(&mut rng, 8192);
+        assert!(byte_entropy(&b) > 7.5);
+    }
+
+    #[test]
+    fn keywords_detected_in_generated_protocols() {
+        let mut rng = RngStream::derive(9, "kw");
+        assert!(has_protocol_keyword(&payload::http_request(&mut rng)));
+        assert!(has_protocol_keyword(&payload::login_attempt("ops", false)));
+        assert!(has_protocol_keyword(&payload::cluster_telemetry(&mut rng, 1, 2)));
+    }
+}

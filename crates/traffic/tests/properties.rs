@@ -1,0 +1,108 @@
+//! Property-based tests for the traffic generators: determinism, content
+//! realism, and structural invariants over arbitrary seeds and rates.
+
+use idse_sim::{RngStream, SimDuration, SimTime};
+use idse_traffic::generator::PayloadMode;
+use idse_traffic::{ArrivalProcess, BackgroundGenerator, GeneratorConfig, SiteProfile};
+use proptest::prelude::*;
+
+fn profiles() -> impl Strategy<Value = SiteProfile> {
+    prop_oneof![
+        Just(SiteProfile::ecommerce_web()),
+        Just(SiteProfile::realtime_cluster()),
+        Just(SiteProfile::office_lan()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The generator is a pure function of (profile, rate, span, seed).
+    #[test]
+    fn generation_is_deterministic(profile in profiles(), seed in any::<u64>(), rate in 5.0f64..40.0) {
+        let cfg = GeneratorConfig::new(
+            profile,
+            ArrivalProcess::Poisson { rate },
+            SimDuration::from_secs(5),
+            seed,
+        );
+        let a = BackgroundGenerator::new(cfg.clone()).generate();
+        let b = BackgroundGenerator::new(cfg).generate();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.records().iter().zip(b.records().iter()) {
+            prop_assert_eq!(x.at, y.at);
+            prop_assert_eq!(&x.packet, &y.packet);
+        }
+    }
+
+    /// Background traffic is benign, sorted, within the window, and never
+    /// self-addressed, for any seed.
+    #[test]
+    fn background_invariants(profile in profiles(), seed in any::<u64>()) {
+        let cfg = GeneratorConfig::new(
+            profile,
+            ArrivalProcess::Poisson { rate: 20.0 },
+            SimDuration::from_secs(5),
+            seed,
+        );
+        let t = BackgroundGenerator::new(cfg).generate();
+        prop_assert_eq!(t.attack_packets(), 0);
+        let mut last = SimTime::ZERO;
+        for r in t.records() {
+            prop_assert!(r.at >= last);
+            last = r.at;
+            prop_assert_ne!(r.packet.ip.src, r.packet.ip.dst);
+        }
+    }
+
+    /// Random-byte mode preserves timing and sizes exactly.
+    #[test]
+    fn payload_mode_preserves_shape(seed in any::<u64>()) {
+        let mut cfg = GeneratorConfig::new(
+            SiteProfile::ecommerce_web(),
+            ArrivalProcess::Poisson { rate: 15.0 },
+            SimDuration::from_secs(4),
+            seed,
+        );
+        let real = BackgroundGenerator::new(cfg.clone()).generate();
+        cfg.payload_mode = PayloadMode::RandomBytes;
+        let rand = BackgroundGenerator::new(cfg).generate();
+        prop_assert_eq!(real.len(), rand.len());
+        for (a, b) in real.records().iter().zip(rand.records().iter()) {
+            prop_assert_eq!(a.at, b.at);
+            prop_assert_eq!(a.packet.payload.len(), b.packet.payload.len());
+            prop_assert_eq!(a.packet.transport.protocol(), b.packet.transport.protocol());
+        }
+    }
+
+    /// Arrival processes stay inside their window and are sorted, for all
+    /// three models.
+    #[test]
+    fn arrival_windows(seed in any::<u64>(), start_s in 0u64..100, span_s in 1u64..20) {
+        let start = SimTime::from_secs(start_s);
+        let span = SimDuration::from_secs(span_s);
+        for process in [
+            ArrivalProcess::Poisson { rate: 30.0 },
+            ArrivalProcess::Constant { rate: 30.0 },
+            ArrivalProcess::OnOff { on_rate: 90.0, mean_on: 1.0, mean_off: 2.0 },
+        ] {
+            let mut rng = RngStream::derive(seed, "win");
+            let arr = process.arrivals(start, span, &mut rng);
+            prop_assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(arr.iter().all(|&t| t >= start && t < start + span));
+        }
+    }
+
+    /// Realism scoring separates generated protocol content from noise for
+    /// any seed.
+    #[test]
+    fn realism_separates_content(seed in any::<u64>()) {
+        use idse_traffic::{payload, realism};
+        let mut rng = RngStream::derive(seed, "rl");
+        let real: Vec<Vec<u8>> = (0..20).map(|_| payload::http_request(&mut rng)).collect();
+        let noise: Vec<Vec<u8>> = real.iter().map(|p| payload::random_bytes(&mut rng, p.len())).collect();
+        let sr = realism::realism_score(real.iter().map(|v| v.as_slice()));
+        let sn = realism::realism_score(noise.iter().map(|v| v.as_slice()));
+        prop_assert!(sr > sn, "realistic {sr} must beat noise {sn}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Tuning sensitivity with error-rate curves (paper Figure 4 and §3.3):
+//! sweep a product, locate the Equal Error Rate, then pick the operating
+//! point the deployment actually needs — EER for a workload-limited web
+//! site, lowest-FN-within-budget for a distributed real-time cluster.
+//!
+//! ```text
+//! cargo run --release -p idse-bench --example error_rate_tuning
+//! ```
+
+use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::sweep::sweep_product;
+use idse_ids::products::{IdsProduct, ProductId};
+use idse_sim::SimDuration;
+
+fn main() {
+    let feed = TestFeed::realtime_cluster(&FeedConfig {
+        session_rate: 20.0,
+        training_span: SimDuration::from_secs(15),
+        test_span: SimDuration::from_secs(40),
+        campaign_intensity: 2,
+        seed: 99,
+    });
+    let product = IdsProduct::model(ProductId::FlowHunter);
+    let curve = sweep_product(&product, &feed, 9);
+
+    println!("{} on {}:", curve.product, feed.profile.name);
+    println!("{:>11}  {:>9}  {:>9}  {:>7}", "sensitivity", "FP ratio", "FN ratio", "alerts");
+    for p in &curve.points {
+        let marker = "#".repeat((400.0 * p.false_positive_ratio) as usize);
+        println!(
+            "{:>11.2}  {:>9.4}  {:>9.4}  {:>7}  {marker}",
+            p.sensitivity, p.false_positive_ratio, p.false_negative_ratio, p.alerts
+        );
+    }
+
+    match curve.equal_error_rate() {
+        Some((s, r)) => println!("\nEqual Error Rate: {r:.4} at sensitivity {s:.2}"),
+        None => println!("\nNo EER crossing in the swept range."),
+    }
+
+    // The §3.3 rule for distributed systems: minimize false negatives,
+    // accept more false positives.
+    for budget in [0.02, 0.1, 0.3] {
+        match curve.min_fn_within_fp_budget(budget) {
+            Some(p) => println!(
+                "FP budget {budget:>4}: operate at sensitivity {:.2} (FP {:.4}, FN {:.4})",
+                p.sensitivity, p.false_positive_ratio, p.false_negative_ratio
+            ),
+            None => println!("FP budget {budget:>4}: no setting qualifies"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: evaluate one IDS product against the real-time distributed
+//! standard, end to end.
+//!
+//! ```text
+//! cargo run --release -p idse-bench --example quickstart
+//! ```
+
+use idse_core::RequirementSet;
+use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::harness::{evaluate_product, EvaluationConfig};
+use idse_eval::measure::EnvironmentNeeds;
+use idse_ids::products::{IdsProduct, ProductId};
+use idse_sim::SimDuration;
+
+fn main() {
+    // 1. A canned test feed: benign training traffic plus a labeled
+    //    attack campaign over a real-time cluster profile.
+    let feed_config = FeedConfig {
+        session_rate: 20.0,
+        training_span: SimDuration::from_secs(15),
+        test_span: SimDuration::from_secs(30),
+        campaign_intensity: 1,
+        seed: 7,
+    };
+    let feed = TestFeed::realtime_cluster(&feed_config);
+    println!(
+        "feed: {} training packets, {} test packets ({} attack instances)",
+        feed.training.len(),
+        feed.test.len(),
+        feed.test.attack_instances().len()
+    );
+
+    // 2. Evaluate a product: runs the Figure 4 sweep, accuracy, timing and
+    //    throughput experiments, and fills a 52-metric scorecard.
+    let config = EvaluationConfig {
+        feed: feed_config,
+        needs: EnvironmentNeeds::realtime_cluster(2_000.0),
+        sweep_steps: 5,
+        max_throughput_factor: 64.0,
+        fp_budget: 0.2,
+    };
+    let product = IdsProduct::model(ProductId::GuardSecure);
+    let eval = evaluate_product(&product, &feed, &config);
+    println!(
+        "\n{}: operating sensitivity {:.2}, detection rate {:.2}, FP ratio {:.4}",
+        eval.scorecard.system,
+        eval.operating_sensitivity,
+        eval.confusion.detection_rate(),
+        eval.confusion.false_positive_ratio()
+    );
+
+    // 3. Score against the procurer's standard: requirements → weights →
+    //    the Figure 5 weighted sum.
+    let weights = RequirementSet::realtime_distributed().derive();
+    let total = weights.weighted_total(&eval.scorecard);
+    let ideal = weights.ideal_total();
+    println!(
+        "weighted score {total:.1} of standard {ideal:.1} ({:.1}%)",
+        100.0 * total / ideal
+    );
+    for class in idse_core::MetricClass::ALL {
+        println!(
+            "  S_{} ({}) = {:.1}",
+            class.index(),
+            class.name(),
+            weights.class_score(&eval.scorecard, class)
+        );
+    }
+}

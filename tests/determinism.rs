@@ -1,0 +1,69 @@
+//! Scientific repeatability, end to end: the paper's methodology demands
+//! that evaluating the same product against the same standard twice gives
+//! the same answer — including across parallel execution.
+
+use idse_core::RequirementSet;
+use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::harness::{evaluate_all, evaluate_product, EvaluationConfig};
+use idse_eval::measure::EnvironmentNeeds;
+use idse_ids::products::{IdsProduct, ProductId};
+use idse_sim::SimDuration;
+
+fn config() -> EvaluationConfig {
+    EvaluationConfig {
+        feed: FeedConfig {
+            session_rate: 12.0,
+            training_span: SimDuration::from_secs(8),
+            test_span: SimDuration::from_secs(18),
+            campaign_intensity: 1,
+            seed: 4242,
+        },
+        needs: EnvironmentNeeds::realtime_cluster(1_000.0),
+        sweep_steps: 3,
+        max_throughput_factor: 16.0,
+        fp_budget: 0.2,
+    }
+}
+
+#[test]
+fn sequential_and_parallel_evaluations_agree() {
+    let cfg = config();
+    let feed = TestFeed::realtime_cluster(&cfg.feed);
+
+    let parallel = evaluate_all(&feed, &cfg);
+    for id in ProductId::ALL {
+        let sequential = evaluate_product(&IdsProduct::model(id), &feed, &cfg);
+        let from_parallel = parallel
+            .iter()
+            .find(|e| e.scorecard.system == sequential.scorecard.system)
+            .expect("present");
+        for (metric, score) in sequential.scorecard.iter() {
+            assert_eq!(
+                Some(score),
+                from_parallel.scorecard.get(metric),
+                "{id:?}/{metric:?} differs between sequential and parallel runs"
+            );
+        }
+        assert_eq!(sequential.operating_sensitivity, from_parallel.operating_sensitivity);
+        assert_eq!(
+            sequential.confusion.detected_attacks,
+            from_parallel.confusion.detected_attacks
+        );
+    }
+}
+
+#[test]
+fn weighted_totals_are_bit_stable_across_runs() {
+    let cfg = config();
+    let weights = RequirementSet::realtime_distributed().derive();
+    let totals = |()| -> Vec<f64> {
+        let feed = TestFeed::realtime_cluster(&cfg.feed);
+        evaluate_all(&feed, &cfg)
+            .iter()
+            .map(|e| weights.weighted_total(&e.scorecard))
+            .collect()
+    };
+    let a = totals(());
+    let b = totals(());
+    assert_eq!(a, b, "identical inputs must give bit-identical verdicts");
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: the whole methodology from traffic generation
+//! to the Figure 5 weighted verdict, across every crate in the workspace.
+
+use idse_core::{RequirementSet, Scorecard, WeightSet};
+use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::harness::{evaluate_all, EvaluationConfig};
+use idse_eval::measure::EnvironmentNeeds;
+use idse_sim::SimDuration;
+
+fn quick_config() -> EvaluationConfig {
+    EvaluationConfig {
+        feed: FeedConfig {
+            session_rate: 15.0,
+            training_span: SimDuration::from_secs(10),
+            test_span: SimDuration::from_secs(22),
+            campaign_intensity: 1,
+            seed: 2002,
+        },
+        needs: EnvironmentNeeds::realtime_cluster(1_500.0),
+        sweep_steps: 4,
+        max_throughput_factor: 32.0,
+        fp_budget: 0.2,
+    }
+}
+
+#[test]
+fn full_methodology_produces_complete_weighted_verdicts() {
+    let config = quick_config();
+    let feed = TestFeed::realtime_cluster(&config.feed);
+    let evals = evaluate_all(&feed, &config);
+    assert_eq!(evals.len(), 4);
+
+    // Every scorecard covers the whole 52-metric catalog.
+    for e in &evals {
+        assert!(e.scorecard.unscored().is_empty(), "{} incomplete", e.scorecard.system);
+    }
+
+    // Weighted totals are finite, positive, and below the standard.
+    let weights = RequirementSet::realtime_distributed().derive();
+    let ideal = weights.ideal_total();
+    assert!(ideal > 0.0);
+    for e in &evals {
+        let total = weights.weighted_total(&e.scorecard);
+        assert!(total.is_finite() && total > 0.0, "{}: total {total}", e.scorecard.system);
+        assert!(total <= ideal, "{}: total {total} exceeds the standard {ideal}", e.scorecard.system);
+    }
+
+    // The ranking is reusable under a different weighting without
+    // re-testing (the methodology's headline property).
+    let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
+    let rt_rank = rank(&cards, &weights);
+    let ec_rank = rank(&cards, &RequirementSet::ecommerce_site().derive());
+    assert_eq!(rt_rank.len(), 4);
+    assert_eq!(ec_rank.len(), 4);
+    // Both orderings contain the same systems (whatever the order).
+    let a: std::collections::BTreeSet<_> = rt_rank.iter().collect();
+    let b: std::collections::BTreeSet<_> = ec_rank.iter().collect();
+    assert_eq!(a, b);
+}
+
+fn rank(cards: &[&Scorecard], w: &WeightSet) -> Vec<String> {
+    let mut rows: Vec<(String, f64)> = cards
+        .iter()
+        .map(|c| (c.system.clone(), w.weighted_total(c)))
+        .collect();
+    rows.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
+    rows.into_iter().map(|(n, _)| n).collect()
+}
+
+#[test]
+fn research_prototype_scores_below_commercial_products_on_logistics() {
+    let config = quick_config();
+    let feed = TestFeed::realtime_cluster(&config.feed);
+    let evals = evaluate_all(&feed, &config);
+    let by_name = |needle: &str| {
+        evals
+            .iter()
+            .find(|e| e.scorecard.system.contains(needle))
+            .expect("product present")
+    };
+    let agentwatch = by_name("AgentWatch");
+    let guardsecure = by_name("GuardSecure");
+    // The research prototype's logistical class mean trails the mature
+    // commercial product's — the paper's AAFID observation.
+    assert!(
+        agentwatch.scorecard.class_mean(idse_core::MetricClass::Logistical)
+            < guardsecure.scorecard.class_mean(idse_core::MetricClass::Logistical),
+        "AgentWatch {} vs GuardSecure {}",
+        agentwatch.scorecard.class_mean(idse_core::MetricClass::Logistical),
+        guardsecure.scorecard.class_mean(idse_core::MetricClass::Logistical)
+    );
+}
+
+#[test]
+fn negative_weights_flip_a_preference() {
+    let config = quick_config();
+    let feed = TestFeed::realtime_cluster(&config.feed);
+    let evals = evaluate_all(&feed, &config);
+    let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
+
+    // Weight only Outsourced Solution, positively then negatively: the
+    // ordering must invert for systems that differ on that metric.
+    let mut pos = WeightSet::new("pro-local");
+    pos.set(idse_core::MetricId::OutsourcedSolution, 2.0);
+    let mut neg = WeightSet::new("anti-local");
+    neg.set(idse_core::MetricId::OutsourcedSolution, -2.0);
+    let totals_pos: Vec<f64> = cards.iter().map(|c| pos.weighted_total(c)).collect();
+    let totals_neg: Vec<f64> = cards.iter().map(|c| neg.weighted_total(c)).collect();
+    for (p, n) in totals_pos.iter().zip(totals_neg.iter()) {
+        assert!((p + n).abs() < 1e-9, "negation must mirror the totals");
+    }
+    assert!(totals_pos.iter().any(|&t| t > 0.0));
+}
