@@ -34,7 +34,14 @@ pub struct BruteForceLogin {
 impl BruteForceLogin {
     /// A default 120-attempt burst at 20 attempts/s that fails.
     pub fn new(attacker: Ipv4Addr, target: Ipv4Addr, user: impl Into<String>) -> Self {
-        Self { attacker, target, user: user.into(), attempts: 120, rate: 20.0, final_success: false }
+        Self {
+            attacker,
+            target,
+            user: user.into(),
+            attempts: 120,
+            rate: 20.0,
+            final_success: false,
+        }
     }
 }
 
@@ -109,7 +116,8 @@ impl Scenario for Masquerade {
             Exchange::to_server(payload::login_attempt(&self.user, true)),
             Exchange::to_client(b"$ ".to_vec()),
         ];
-        let commands: &[&[u8]] = &[b"ls -la /home\r\n", b"cat /etc/passwd\r\n", b"ps -ef\r\n", b"netstat -an\r\n"];
+        let commands: &[&[u8]] =
+            &[b"ls -la /home\r\n", b"cat /etc/passwd\r\n", b"ps -ef\r\n", b"netstat -an\r\n"];
         for i in 0..self.command_count {
             exchanges.push(Exchange::to_server(commands[i as usize % commands.len()].to_vec()));
             exchanges.push(Exchange::to_client(payload::random_bytes(rng, 200)));
@@ -136,19 +144,16 @@ mod tests {
 
     #[test]
     fn brute_force_emits_failed_logins() {
-        let b = BruteForceLogin { attempts: 10, ..BruteForceLogin::new(
-            Ipv4Addr::new(66, 1, 1, 1),
-            Ipv4Addr::new(10, 0, 1, 3),
-            "admin",
-        ) };
+        let b = BruteForceLogin {
+            attempts: 10,
+            ..BruteForceLogin::new(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 0, 1, 3), "admin")
+        };
         let mut rng = RngStream::derive(7, "bf");
         let t = b.generate(SimTime::ZERO, 4, &mut rng);
         let failures = t
             .records()
             .iter()
-            .filter(|r| {
-                idse_traffic::realism::contains(&r.packet.payload, b"Login incorrect")
-            })
+            .filter(|r| idse_traffic::realism::contains(&r.packet.payload, b"Login incorrect"))
             .count();
         assert_eq!(failures, 10);
         assert!(t.records().iter().all(|r| r.truth.unwrap().class == AttackClass::BruteForceLogin));
@@ -173,7 +178,8 @@ mod tests {
 
     #[test]
     fn masquerade_is_a_successful_session() {
-        let m = Masquerade::new(Ipv4Addr::new(198, 18, 0, 9), Ipv4Addr::new(10, 10, 0, 4), "jsmith");
+        let m =
+            Masquerade::new(Ipv4Addr::new(198, 18, 0, 9), Ipv4Addr::new(10, 10, 0, 4), "jsmith");
         let mut rng = RngStream::derive(9, "mq");
         let t = m.generate(SimTime::from_secs(1), 2, &mut rng);
         assert!(t.len() > 6);

@@ -110,7 +110,12 @@ impl Campaign {
         let mut rng = RngStream::derive(config.seed, "campaign/mix");
         let mut c = Campaign::new();
         let external = |rng: &mut RngStream| {
-            std::net::Ipv4Addr::new(66, 33, rng.uniform_u64(1, 250) as u8, rng.uniform_u64(1, 250) as u8)
+            std::net::Ipv4Addr::new(
+                66,
+                33,
+                rng.uniform_u64(1, 250) as u8,
+                rng.uniform_u64(1, 250) as u8,
+            )
         };
         for step in 0..config.intensity {
             // Attacks aim at the primary servers — the same hosts an
@@ -118,8 +123,12 @@ impl Campaign {
             let server = profile
                 .servers
                 .host(1 + (rng.uniform_u64(0, profile.server_hosts.clamp(1, 8) as u64) as u32));
-            let inside = profile.clients.host(1 + (rng.uniform_u64(0, profile.client_hosts.max(2) as u64) as u32));
-            let mut inside2 = profile.clients.host(1 + (rng.uniform_u64(0, profile.client_hosts.max(2) as u64) as u32));
+            let inside = profile
+                .clients
+                .host(1 + (rng.uniform_u64(0, profile.client_hosts.max(2) as u64) as u32));
+            let mut inside2 = profile
+                .clients
+                .host(1 + (rng.uniform_u64(0, profile.client_hosts.max(2) as u64) as u32));
             if inside2 == inside {
                 inside2 = profile.clients.host(u32::from(inside2).wrapping_add(1) & 0x7f | 1);
             }

@@ -158,9 +158,7 @@ mod tests {
         let mut rng = RngStream::derive(23, "ev3");
         let t = scenario().generate(SimTime::from_secs(9), 77, &mut rng);
         assert!(t.len() >= 4);
-        assert!(t
-            .records()
-            .iter()
-            .all(|r| r.truth == Some(GroundTruth { attack_id: 77, class: AttackClass::FragmentationEvasion })));
+        assert!(t.records().iter().all(|r| r.truth
+            == Some(GroundTruth { attack_id: 77, class: AttackClass::FragmentationEvasion })));
     }
 }

@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn flood_rate_and_count() {
-        let f = SynFlood { rate: 1000.0, duration: SimDuration::from_secs(3), ..SynFlood::new(Ipv4Addr::new(10, 0, 1, 1)) };
+        let f = SynFlood {
+            rate: 1000.0,
+            duration: SimDuration::from_secs(3),
+            ..SynFlood::new(Ipv4Addr::new(10, 0, 1, 1))
+        };
         assert_eq!(f.packet_count(), 3000);
         let mut rng = RngStream::derive(4, "flood");
         let t = f.generate(SimTime::ZERO, 1, &mut rng);

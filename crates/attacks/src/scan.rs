@@ -313,11 +313,8 @@ mod tests {
         let scan = DistributedScan::new(Ipv4Addr::new(10, 0, 1, 9));
         let mut rng = RngStream::derive(7, "dist");
         let t = scan.generate(SimTime::ZERO, 5, &mut rng);
-        let ports: std::collections::HashSet<u16> = t
-            .records()
-            .iter()
-            .filter_map(|r| r.packet.tcp_header().map(|h| h.dst_port))
-            .collect();
+        let ports: std::collections::HashSet<u16> =
+            t.records().iter().filter_map(|r| r.packet.tcp_header().map(|h| h.dst_port)).collect();
         assert_eq!(ports.len(), 256, "full coverage");
         // Each source touches few ports — under per-source thresholds.
         let mut per_src: std::collections::HashMap<Ipv4Addr, usize> = Default::default();
@@ -343,9 +340,10 @@ mod tests {
         let hosts: std::collections::HashSet<Ipv4Addr> =
             t.records().iter().map(|r| r.packet.ip.dst).collect();
         assert_eq!(hosts.len(), 30);
-        assert!(t.records().iter().all(|r| {
-            r.packet.tcp_header().map(|h| h.dst_port) == Some(22)
-        }));
+        assert!(t
+            .records()
+            .iter()
+            .all(|r| { r.packet.tcp_header().map(|h| h.dst_port) == Some(22) }));
         assert!(t.records()[0].at >= SimTime::from_secs(5));
     }
 }

@@ -119,9 +119,10 @@ mod tests {
             h.dst_port == 2049 || h.src_port == 2049
         }));
         // The NFS program number appears, just like benign RPC.
-        let shaped = t.records().iter().any(|r| {
-            idse_traffic::realism::contains(&r.packet.payload, &100003u32.to_be_bytes())
-        });
+        let shaped = t
+            .records()
+            .iter()
+            .any(|r| idse_traffic::realism::contains(&r.packet.payload, &100003u32.to_be_bytes()));
         assert!(shaped);
     }
 
@@ -129,9 +130,10 @@ mod tests {
     fn carries_the_privileged_path_tell() {
         let mut rng = RngStream::derive(43, "trust3");
         let t = scenario().generate(SimTime::ZERO, 1, &mut rng);
-        let tell = t.records().iter().any(|r| {
-            idse_traffic::realism::contains(&r.packet.payload, b"authorized_keys")
-        });
+        let tell = t
+            .records()
+            .iter()
+            .any(|r| idse_traffic::realism::contains(&r.packet.payload, b"authorized_keys"));
         assert!(tell, "the subtle intent marker must exist for ground truth to be meaningful");
     }
 

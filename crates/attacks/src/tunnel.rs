@@ -101,13 +101,20 @@ impl Scenario for Tunneling {
                     body.extend_from_slice(&[0, 16, 0, 1]); // TXT IN
                     Packet::udp(
                         Ipv4Header::simple(self.inside, self.outside),
-                        UdpHeader { src_port: 1024 + (rng.uniform_u64(0, 60000) as u16), dst_port: 53 },
+                        UdpHeader {
+                            src_port: 1024 + (rng.uniform_u64(0, 60000) as u16),
+                            dst_port: 53,
+                        },
                         body,
                     )
                 }
                 TunnelCarrier::IcmpEcho => Packet::icmp(
                     Ipv4Header::simple(self.inside, self.outside),
-                    IcmpHeader { kind: IcmpKind::EchoRequest, ident: attack_id as u16, seq: i as u16 },
+                    IcmpHeader {
+                        kind: IcmpKind::EchoRequest,
+                        ident: attack_id as u16,
+                        seq: i as u16,
+                    },
                     data,
                 ),
             };
@@ -126,7 +133,11 @@ mod tests {
 
     #[test]
     fn dns_tunnel_emits_expected_packet_count() {
-        let tun = Tunneling { bytes: 3200, rate: 100.0, ..Tunneling::new(Ipv4Addr::new(10, 10, 0, 5), Ipv4Addr::new(198, 18, 1, 1)) };
+        let tun = Tunneling {
+            bytes: 3200,
+            rate: 100.0,
+            ..Tunneling::new(Ipv4Addr::new(10, 10, 0, 5), Ipv4Addr::new(198, 18, 1, 1))
+        };
         let mut rng = RngStream::derive(31, "tun");
         let t = tun.generate(SimTime::ZERO, 1, &mut rng);
         assert_eq!(t.len(), 50); // 3200 / 64
@@ -144,7 +155,8 @@ mod tests {
         };
         let mut rng = RngStream::derive(32, "tun2");
         let t = tun.generate(SimTime::ZERO, 2, &mut rng);
-        let all: Vec<u8> = t.records().iter().flat_map(|r| r.packet.payload.iter().copied()).collect();
+        let all: Vec<u8> =
+            t.records().iter().flat_map(|r| r.packet.payload.iter().copied()).collect();
         assert!(byte_entropy(&all) > 7.0, "exfil data must look encrypted");
     }
 

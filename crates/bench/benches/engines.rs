@@ -144,11 +144,5 @@ fn bench_automaton_build(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_multipattern,
-    bench_engines,
-    bench_training,
-    bench_automaton_build
-);
+criterion_group!(benches, bench_multipattern, bench_engines, bench_training, bench_automaton_build);
 criterion_main!(benches);

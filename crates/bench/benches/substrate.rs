@@ -77,10 +77,7 @@ fn bench_session_hash(c: &mut Criterion) {
     group.throughput(Throughput::Elements(packets.len() as u64));
     group.bench_function("session_hash", |b| {
         b.iter(|| {
-            packets
-                .iter()
-                .map(|p| FlowKey::of(p).session_hash())
-                .fold(0u64, u64::wrapping_add)
+            packets.iter().map(|p| FlowKey::of(p).session_hash()).fold(0u64, u64::wrapping_add)
         })
     });
     group.finish();

@@ -4,12 +4,18 @@
 //! evaluate [--profile cluster|web|office] [--seed N] [--rate SESSIONS_PER_SEC]
 //!          [--weighting realtime|ecommerce|uniform] [--sweep STEPS]
 //!          [--intensity N] [--json PATH]
+//!          [--telemetry-out PATH] [--telemetry-summary]
 //! ```
 //!
 //! Runs the canned-feed evaluation of all four products, prints the
 //! comparison and ranking under the chosen weighting, and optionally dumps
 //! a machine-readable JSON report (scorecards with notes, measurements,
-//! curves) for downstream tooling.
+//! curves, run provenance) for downstream tooling.
+//!
+//! With `--telemetry-out` the run streams every recorded sim-time event
+//! (per-stage spans, shed/alert counters, queue-depth and CPU gauges) as
+//! JSONL; with `--telemetry-summary` it prints a per-product per-stage
+//! aggregation after the ranking.
 
 use idse_core::report::{render_comparison, render_ranking};
 use idse_core::{RequirementSet, Scorecard, WeightSet};
@@ -17,7 +23,12 @@ use idse_eval::feeds::{FeedConfig, TestFeed};
 use idse_eval::harness::{evaluate_all, EvaluationConfig};
 use idse_eval::measure::EnvironmentNeeds;
 use idse_sim::SimDuration;
+use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 use idse_traffic::SiteProfile;
+
+/// Ring-buffer capacity for `--telemetry-out`/`--telemetry-summary`: four
+/// products' instrumented operating runs, with headroom.
+const TELEMETRY_CAPACITY: usize = 1 << 21;
 
 #[derive(Debug)]
 struct Args {
@@ -28,6 +39,8 @@ struct Args {
     sweep: usize,
     intensity: u32,
     json: Option<String>,
+    telemetry_out: Option<String>,
+    telemetry_summary: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,17 +52,15 @@ fn parse_args() -> Result<Args, String> {
         sweep: 7,
         intensity: 2,
         json: None,
+        telemetry_out: None,
+        telemetry_summary: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--profile" => args.profile = value("--profile")?,
-            "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
-            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--rate" => args.rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
             "--weighting" => args.weighting = value("--weighting")?,
             "--sweep" => {
@@ -60,11 +71,14 @@ fn parse_args() -> Result<Args, String> {
                     value("--intensity")?.parse().map_err(|e| format!("--intensity: {e}"))?
             }
             "--json" => args.json = Some(value("--json")?),
+            "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
+            "--telemetry-summary" => args.telemetry_summary = true,
             "--help" | "-h" => {
                 println!(
                     "usage: evaluate [--profile cluster|web|office] [--seed N] [--rate R]\n\
                      \x20               [--weighting realtime|ecommerce|uniform] [--sweep STEPS]\n\
-                     \x20               [--intensity N] [--json PATH]"
+                     \x20               [--intensity N] [--json PATH]\n\
+                     \x20               [--telemetry-out PATH] [--telemetry-summary]"
                 );
                 std::process::exit(0);
             }
@@ -105,6 +119,11 @@ fn main() {
         }
     };
 
+    // One shared ring buffer receives all four products' event streams;
+    // scopes keep them separable, and a post-run stable sort by scope
+    // makes the JSONL independent of thread interleaving.
+    let telemetry_wanted = args.telemetry_out.is_some() || args.telemetry_summary;
+    let sink = telemetry_wanted.then(|| MemorySink::new(TELEMETRY_CAPACITY));
     let config = EvaluationConfig {
         feed: FeedConfig {
             session_rate: args.rate,
@@ -117,6 +136,10 @@ fn main() {
         sweep_steps: args.sweep,
         max_throughput_factor: 4096.0,
         fp_budget: 0.15,
+        telemetry: sink
+            .as_ref()
+            .map(|s| Telemetry::new(s.clone()))
+            .unwrap_or_else(Telemetry::disabled),
     };
 
     eprintln!(
@@ -130,12 +153,77 @@ fn main() {
     println!("{}", render_comparison(&cards, &weights));
     println!("{}", render_ranking(&cards, &weights));
 
+    let mut telemetry_events_recorded = 0u64;
+    let mut telemetry_events_dropped = 0u64;
+    if let Some(sink) = &sink {
+        // Each product's stream is in deterministic program order; a
+        // stable sort by scope removes the only nondeterminism (thread
+        // interleaving between products).
+        let mut events = sink.events();
+        events.sort_by_key(|e| e.scope);
+        telemetry_events_recorded = events.len() as u64;
+        telemetry_events_dropped = sink.dropped();
+        if telemetry_events_dropped > 0 {
+            eprintln!(
+                "warning: telemetry ring buffer evicted {telemetry_events_dropped} events \
+                 (capacity {TELEMETRY_CAPACITY})"
+            );
+        }
+
+        if let Some(path) = &args.telemetry_out {
+            let mut out = String::with_capacity(events.len() * 80);
+            for ev in &events {
+                out.push_str(&ev.to_jsonl());
+                out.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("error: writing {path:?}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} telemetry events to {path}", events.len());
+        }
+
+        if args.telemetry_summary {
+            for eval in &evals {
+                let scoped: Vec<idse_telemetry::Event> =
+                    events.iter().filter(|e| e.scope == eval.scorecard.system).copied().collect();
+                println!("=== {} ===", eval.scorecard.system);
+                print!("{}", summarize(&scoped).render_text());
+                println!();
+            }
+        }
+    }
+
     if let Some(path) = args.json {
         let report = serde_json::json!({
             "profile": feed.profile.name,
             "seed": args.seed,
             "weighting": weights.name,
             "standard": weights.ideal_total(),
+            "provenance": serde_json::json!({
+                "crate_version": env!("CARGO_PKG_VERSION"),
+                "seed": args.seed,
+                "profile": feed.profile.name,
+                "weighting": weights.name,
+                "feed": serde_json::json!({
+                    "session_rate": config.feed.session_rate,
+                    "training_span_s": config.feed.training_span.as_secs_f64(),
+                    "test_span_s": config.feed.test_span.as_secs_f64(),
+                    "campaign_intensity": config.feed.campaign_intensity,
+                    "seed": config.feed.seed,
+                }),
+                "sensitivity_policy": serde_json::json!({
+                    "rule": "min false-negative ratio within the false-positive budget",
+                    "fp_budget": config.fp_budget,
+                    "sweep_steps": config.sweep_steps,
+                }),
+                "timebase": "sim-time (deterministic virtual clock; wall time never enters a measurement)",
+                "telemetry": serde_json::json!({
+                    "enabled": telemetry_wanted,
+                    "events_recorded": telemetry_events_recorded,
+                    "events_dropped": telemetry_events_dropped,
+                }),
+            }),
             "products": evals.iter().map(|e| serde_json::json!({
                 "name": e.scorecard.system,
                 "weighted_total": weights.weighted_total(&e.scorecard),
@@ -143,14 +231,14 @@ fn main() {
                 "scorecard": e.scorecard,
                 "curve": e.curve,
                 "throughput": e.throughput,
-                "confusion": {
+                "confusion": serde_json::json!({
                     "transactions": e.confusion.transactions,
                     "actual_attacks": e.confusion.actual_attacks,
                     "detected_attacks": e.confusion.detected_attacks,
                     "false_positives": e.confusion.false_positives,
                     "fp_ratio": e.confusion.false_positive_ratio(),
                     "fn_ratio": e.confusion.false_negative_ratio(),
-                },
+                }),
                 "timing": e.timing,
                 "host_impact": e.host_impact,
             })).collect::<Vec<_>>(),

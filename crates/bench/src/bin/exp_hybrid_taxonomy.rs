@@ -31,28 +31,35 @@ fn main() {
     let ledger = TransactionLedger::of(&feed.test);
 
     let suites = [
-        ("signature-only", EngineSuite {
-            signature: Some(SignatureConfig::default()),
-            anomaly: None,
-            host_agents: false,
-        }),
-        ("anomaly-only", EngineSuite {
-            signature: None,
-            anomaly: Some(AnomalyConfig::default()),
-            host_agents: false,
-        }),
-        ("hybrid (parallel)", EngineSuite {
-            signature: Some(SignatureConfig::default()),
-            anomaly: Some(AnomalyConfig::default()),
-            host_agents: false,
-        }),
+        (
+            "signature-only",
+            EngineSuite {
+                signature: Some(SignatureConfig::default()),
+                anomaly: None,
+                host_agents: false,
+            },
+        ),
+        (
+            "anomaly-only",
+            EngineSuite {
+                signature: None,
+                anomaly: Some(AnomalyConfig::default()),
+                host_agents: false,
+            },
+        ),
+        (
+            "hybrid (parallel)",
+            EngineSuite {
+                signature: Some(SignatureConfig::default()),
+                anomaly: Some(AnomalyConfig::default()),
+                host_agents: false,
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
-    let mut class_rows: Vec<Vec<String>> = AttackClass::ALL
-        .iter()
-        .map(|c| vec![c.name().to_owned()])
-        .collect();
+    let mut class_rows: Vec<Vec<String>> =
+        AttackClass::ALL.iter().map(|c| vec![c.name().to_owned()]).collect();
 
     for (label, engines) in suites {
         let product = variant(engines);
@@ -88,10 +95,7 @@ fn main() {
         table(&["Mechanism", "Detection", "FP ratio", "Zero-loss pps", "Alerts"], &rows)
     );
     println!("Per-class detection rates:\n");
-    println!(
-        "{}",
-        table(&["Class", "signature", "anomaly", "hybrid"], &class_rows)
-    );
+    println!("{}", table(&["Class", "signature", "anomaly", "hybrid"], &class_rows));
     println!("The hybrid unions the two coverage sets (the signature engine's known");
     println!("exploits + the anomaly engine's behavioral classes) and inherits both");
     println!("false-positive sources, while its per-packet cost — both engines run on");

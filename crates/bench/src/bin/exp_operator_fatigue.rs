@@ -18,7 +18,8 @@ fn main() {
         ("staffed floor (200 triage/hour)", OperatorModel::staffed_floor()),
     ] {
         println!("--- {} — GuardSecure GS-5 ---", label);
-        let rows = fatigue_sweep(&IdsProduct::model(ProductId::GuardSecure), &feed, operator, 1.0, 7);
+        let rows =
+            fatigue_sweep(&IdsProduct::model(ProductId::GuardSecure), &feed, operator, 1.0, 7);
         let table_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -45,9 +46,7 @@ fn main() {
         let best_effective = rows
             .iter()
             .max_by(|a, b| {
-                a.effective_detection
-                    .partial_cmp(&b.effective_detection)
-                    .expect("finite")
+                a.effective_detection.partial_cmp(&b.effective_detection).expect("finite")
             })
             .expect("rows");
         println!(

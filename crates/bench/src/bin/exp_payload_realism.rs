@@ -13,11 +13,17 @@ fn main() {
 
     // First show the content statistics that separate the two loads.
     let mut rng = RngStream::derive(0x0b35, "x2-content");
-    let real: Vec<Vec<u8>> = (0..200).map(|_| idse_traffic::payload::http_request(&mut rng)).collect();
-    let rand: Vec<Vec<u8>> = real.iter().map(|p| idse_traffic::payload::random_bytes(&mut rng, p.len())).collect();
+    let real: Vec<Vec<u8>> =
+        (0..200).map(|_| idse_traffic::payload::http_request(&mut rng)).collect();
+    let rand: Vec<Vec<u8>> =
+        real.iter().map(|p| idse_traffic::payload::random_bytes(&mut rng, p.len())).collect();
     let stats = |ps: &[Vec<u8>]| {
         let all: Vec<u8> = ps.iter().flatten().copied().collect();
-        (byte_entropy(&all), printable_fraction(&all), realism_score(ps.iter().map(|v| v.as_slice())))
+        (
+            byte_entropy(&all),
+            printable_fraction(&all),
+            realism_score(ps.iter().map(|v| v.as_slice())),
+        )
     };
     let (re, rp, rs) = stats(&real);
     let (ne, np, ns) = stats(&rand);
@@ -26,8 +32,18 @@ fn main() {
         table(
             &["Load", "Byte entropy (bits)", "Printable fraction", "Realism score"],
             &[
-                vec!["realistic".into(), format!("{re:.2}"), format!("{rp:.2}"), format!("{rs:.2}")],
-                vec!["random bytes".into(), format!("{ne:.2}"), format!("{np:.2}"), format!("{ns:.2}")],
+                vec![
+                    "realistic".into(),
+                    format!("{re:.2}"),
+                    format!("{rp:.2}"),
+                    format!("{rs:.2}")
+                ],
+                vec![
+                    "random bytes".into(),
+                    format!("{ne:.2}"),
+                    format!("{np:.2}"),
+                    format!("{ns:.2}")
+                ],
             ]
         )
     );
@@ -50,7 +66,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Product", "Alerts/kpkt (realistic)", "Alerts/kpkt (random)", "ops/pkt (realistic)", "ops/pkt (random)"],
+            &[
+                "Product",
+                "Alerts/kpkt (realistic)",
+                "Alerts/kpkt (random)",
+                "ops/pkt (realistic)",
+                "ops/pkt (random)"
+            ],
             &table_rows
         )
     );

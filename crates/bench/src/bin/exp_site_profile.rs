@@ -30,7 +30,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Product", "FP (matched)", "FP (mismatched)", "Detect (matched)", "Detect (mismatched)"],
+            &[
+                "Product",
+                "FP (matched)",
+                "FP (mismatched)",
+                "Detect (matched)",
+                "Detect (mismatched)"
+            ],
             &table_rows
         )
     );

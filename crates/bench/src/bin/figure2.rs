@@ -10,7 +10,9 @@ fn main() {
     for rel in figure2_relations() {
         println!("  {}", rel.notation());
     }
-    println!("\n  (\"1c\" marks the conditional — optional — side; subprocesses 2–4 are essential.)\n");
+    println!(
+        "\n  (\"1c\" marks the conditional — optional — side; subprocesses 2–4 are essential.)\n"
+    );
 
     println!("=== Product architectures vs the Figure 2 relations ===\n");
     let rows: Vec<Vec<String>> = IdsProduct::all_models()
@@ -31,11 +33,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table(&["Product", "LB", "Sensors", "Analyzers", "Monitors", "Consoles", "Figure-2 check"], &rows)
+        table(
+            &["Product", "LB", "Sensors", "Analyzers", "Monitors", "Consoles", "Figure-2 check"],
+            &rows
+        )
     );
 
     // A deliberately malformed architecture, to show the validator bites.
-    let bad = SubprocessCounts { load_balancers: 1, sensors: 0, analyzers: 0, monitors: 2, managers: 1 };
+    let bad =
+        SubprocessCounts { load_balancers: 1, sensors: 0, analyzers: 0, monitors: 2, managers: 1 };
     println!("Counter-example (sensors=0, monitors=2):");
     for v in bad.validate() {
         println!("  violation: {v}");

@@ -28,10 +28,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table(
-            &["Product", "|T|", "|A|", "|A∩D|", "|D-A|", "|A-D|", "FP ratio", "FN ratio"],
-            &rows
-        )
+        table(&["Product", "|T|", "|A|", "|A∩D|", "|D-A|", "|A-D|", "FP ratio", "FN ratio"], &rows)
     );
 
     println!("\nMissed attack instances (A - D), the Type II region:");

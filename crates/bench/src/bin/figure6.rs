@@ -11,8 +11,7 @@ fn main() {
     let (set, metrics) = RequirementSet::figure6_example();
     println!("Requirements (importance-ordered, duplicates allowed):");
     for r in &set.requirements {
-        let contributes: Vec<&str> =
-            r.contributes.iter().map(|&m| metric_def(m).name).collect();
+        let contributes: Vec<&str> = r.contributes.iter().map(|&m| metric_def(m).name).collect();
         println!("  {:4} weight {:>4}  -> {}", r.name, r.weight, contributes.join(", "));
     }
     let w = set.derive();
@@ -34,15 +33,10 @@ fn main() {
     }
     let w = rt.derive();
     println!("\nTop-weighted metrics under this requirement set:");
-    let mut weights: Vec<(String, f64)> = w
-        .iter()
-        .map(|(id, wt)| (metric_def(id).name.to_owned(), wt))
-        .collect();
+    let mut weights: Vec<(String, f64)> =
+        w.iter().map(|(id, wt)| (metric_def(id).name.to_owned(), wt)).collect();
     weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    let rows: Vec<Vec<String>> = weights
-        .iter()
-        .take(12)
-        .map(|(n, wt)| vec![n.clone(), format!("{wt}")])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        weights.iter().take(12).map(|(n, wt)| vec![n.clone(), format!("{wt}")]).collect();
     println!("{}", table(&["Metric", "Derived weight"], &rows));
 }

@@ -42,7 +42,10 @@ fn main() {
 
     println!("\nMeasured values at each product's operating point:");
     for e in &evals {
-        println!("\n  {} (operating sensitivity {:.2})", e.scorecard.system, e.operating_sensitivity);
+        println!(
+            "\n  {} (operating sensitivity {:.2})",
+            e.scorecard.system, e.operating_sensitivity
+        );
         println!(
             "    FP ratio {:.4}   FN ratio {:.4}   detection rate {:.2}   alerts {}",
             e.confusion.false_positive_ratio(),

@@ -23,8 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use idse_eval::harness::{evaluate_all, EvaluationConfig, ProductEvaluation};
 use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::harness::{evaluate_all, EvaluationConfig, ProductEvaluation};
 use idse_eval::measure::EnvironmentNeeds;
 use idse_sim::SimDuration;
 
@@ -43,6 +43,7 @@ pub fn standard_setup() -> (TestFeed, EvaluationConfig) {
         sweep_steps: 7,
         max_throughput_factor: 4096.0,
         fp_budget: 0.15,
+        ..EvaluationConfig::default()
     };
     let feed = TestFeed::realtime_cluster(&config.feed);
     (feed, config)

@@ -706,10 +706,7 @@ pub fn catalog() -> Vec<MetricDef> {
 
 /// Look up one metric's definition.
 pub fn metric_def(id: MetricId) -> MetricDef {
-    catalog()
-        .into_iter()
-        .find(|m| m.id == id)
-        .expect("catalog covers every MetricId")
+    catalog().into_iter().find(|m| m.id == id).expect("catalog covers every MetricId")
 }
 
 /// All metrics of a class, in catalog order.
@@ -733,9 +730,8 @@ mod tests {
 
     #[test]
     fn table_selected_counts_match_paper_tables() {
-        let shown = |c: MetricClass| {
-            metrics_of_class(c).into_iter().filter(|m| m.in_paper_table).count()
-        };
+        let shown =
+            |c: MetricClass| metrics_of_class(c).into_iter().filter(|m| m.in_paper_table).count();
         assert_eq!(shown(Logistical), 6, "Table 1 shows 6 metrics");
         assert_eq!(shown(Architectural), 8, "Table 2 shows 8 metrics");
         assert_eq!(shown(Performance), 12, "Table 3 shows 12 metrics");

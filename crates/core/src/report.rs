@@ -78,7 +78,11 @@ pub fn render_comparison(cards: &[&Scorecard], weights: &WeightSet) -> String {
             }
             out.push('\n');
         }
-        out.push_str(&format!("{:name_w$}  {:>6}", format!("S_{} (class subtotal)", class.index()), ""));
+        out.push_str(&format!(
+            "{:name_w$}  {:>6}",
+            format!("S_{} (class subtotal)", class.index()),
+            ""
+        ));
         for c in cards {
             out.push_str(&format!("  {:>col_w$.1}", weights.class_score(c, class)));
         }
@@ -92,7 +96,9 @@ pub fn render_comparison(cards: &[&Scorecard], weights: &WeightSet) -> String {
     out.push('\n');
     out.push_str(&format!(
         "{:name_w$}  {:>6}  (ideal standard: {:.1})\n",
-        "", "", weights.ideal_total()
+        "",
+        "",
+        weights.ideal_total()
     ));
     out
 }
@@ -102,16 +108,19 @@ pub fn render_comparison(cards: &[&Scorecard], weights: &WeightSet) -> String {
 /// not systems against each other — the percentage column is the verdict.
 pub fn render_ranking(cards: &[&Scorecard], weights: &WeightSet) -> String {
     let ideal = weights.ideal_total();
-    let mut rows: Vec<(String, f64)> = cards
-        .iter()
-        .map(|c| (c.system.clone(), weights.weighted_total(c)))
-        .collect();
+    let mut rows: Vec<(String, f64)> =
+        cards.iter().map(|c| (c.system.clone(), weights.weighted_total(c))).collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("totals are finite"));
     let mut out = String::new();
     out.push_str(&format!("Ranking under {:?} (standard = {ideal:.1})\n", weights.name));
     for (i, (name, total)) in rows.iter().enumerate() {
         let pct = if ideal > 0.0 { 100.0 * total / ideal } else { 0.0 };
-        out.push_str(&format!("{}. {:24} {:>9.1}  ({pct:>5.1}% of standard)\n", i + 1, name, total));
+        out.push_str(&format!(
+            "{}. {:24} {:>9.1}  ({pct:>5.1}% of standard)\n",
+            i + 1,
+            name,
+            total
+        ));
     }
     out
 }

@@ -103,11 +103,11 @@ impl RequirementSet {
     /// schematic); what the example demonstrates is the sum rule.
     pub fn figure6_example() -> (RequirementSet, [MetricId; 6]) {
         let metrics = [
-            MetricId::SystemThroughput,         // derived 3
-            MetricId::Timeliness,               // derived 6.5
-            MetricId::ScalableLoadBalancing,    // derived 5
-            MetricId::OutsourcedSolution,       // derived 0
-            MetricId::TrainingSupport,          // derived 0
+            MetricId::SystemThroughput,           // derived 3
+            MetricId::Timeliness,                 // derived 6.5
+            MetricId::ScalableLoadBalancing,      // derived 5
+            MetricId::OutsourcedSolution,         // derived 0
+            MetricId::TrainingSupport,            // derived 0
             MetricId::ObservedFalseNegativeRatio, // derived 8
         ];
         let mut set = RequirementSet::new("figure-6-example");
@@ -330,7 +330,10 @@ mod tests {
     fn realtime_weighting_reflects_section_3_3() {
         let w = RequirementSet::realtime_distributed().derive();
         // FN ratio must outweigh FP ratio for the distributed profile.
-        assert!(w.get(MetricId::ObservedFalseNegativeRatio) > w.get(MetricId::ObservedFalsePositiveRatio));
+        assert!(
+            w.get(MetricId::ObservedFalseNegativeRatio)
+                > w.get(MetricId::ObservedFalsePositiveRatio)
+        );
         // Timeliness and automated response are heavily weighted.
         assert!(w.get(MetricId::Timeliness) >= 8.0);
         assert!(w.get(MetricId::FirewallInteraction) >= 7.0);
@@ -342,7 +345,13 @@ mod tests {
     fn contrasting_profiles_rank_fp_fn_oppositely() {
         let rt = RequirementSet::realtime_distributed().derive();
         let ec = RequirementSet::ecommerce_site().derive();
-        assert!(rt.get(MetricId::ObservedFalseNegativeRatio) > rt.get(MetricId::ObservedFalsePositiveRatio));
-        assert!(ec.get(MetricId::ObservedFalsePositiveRatio) > ec.get(MetricId::ObservedFalseNegativeRatio));
+        assert!(
+            rt.get(MetricId::ObservedFalseNegativeRatio)
+                > rt.get(MetricId::ObservedFalsePositiveRatio)
+        );
+        assert!(
+            ec.get(MetricId::ObservedFalsePositiveRatio)
+                > ec.get(MetricId::ObservedFalseNegativeRatio)
+        );
     }
 }

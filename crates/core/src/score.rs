@@ -111,11 +111,8 @@ impl Scorecard {
     /// Unweighted mean score per class (quick-look summary).
     pub fn class_mean(&self, class: MetricClass) -> f64 {
         let ms = catalog::metrics_of_class(class);
-        let scored: Vec<f64> = ms
-            .iter()
-            .filter_map(|m| self.get(m.id))
-            .map(|s| f64::from(s.value()))
-            .collect();
+        let scored: Vec<f64> =
+            ms.iter().filter_map(|m| self.get(m.id)).map(|s| f64::from(s.value())).collect();
         if scored.is_empty() {
             0.0
         } else {

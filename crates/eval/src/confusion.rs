@@ -168,7 +168,9 @@ impl ConfusionCounts {
 
     /// Detection rate for one class, `None` if the class was absent.
     pub fn class_detection_rate(&self, class: AttackClass) -> Option<f64> {
-        self.per_class.get(&class).map(|&(d, t)| if t == 0 { 1.0 } else { f64::from(d) / f64::from(t) })
+        self.per_class
+            .get(&class)
+            .map(|&(d, t)| if t == 0 { 1.0 } else { f64::from(d) / f64::from(t) })
     }
 }
 
@@ -193,7 +195,14 @@ mod tests {
     fn pkt(sport: u16) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)),
-            TcpHeader { src_port: sport, dst_port: 80, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            TcpHeader {
+                src_port: sport,
+                dst_port: 80,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 0,
+            },
             Vec::new(),
         )
     }

@@ -97,10 +97,8 @@ impl EvidenceStore {
 
     /// Mean forensic coverage over the detected attack instances.
     pub fn mean_coverage(&self, trace: &Trace, detected_ids: &[u32]) -> f64 {
-        let covs: Vec<f64> = detected_ids
-            .iter()
-            .filter_map(|&id| self.coverage_of(trace, id))
-            .collect();
+        let covs: Vec<f64> =
+            detected_ids.iter().filter_map(|&id| self.coverage_of(trace, id)).collect();
         if covs.is_empty() {
             0.0
         } else {
@@ -123,7 +121,14 @@ mod tests {
     fn pkt(n: u16) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)),
-            TcpHeader { src_port: 1000 + n, dst_port: 80, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            TcpHeader {
+                src_port: 1000 + n,
+                dst_port: 80,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 0,
+            },
             vec![0u8; 100],
         )
     }

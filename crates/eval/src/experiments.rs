@@ -56,13 +56,9 @@ pub fn payload_realism_experiment(
     let mut rows = Vec::new();
     for p in products {
         let run = |trace: &idse_net::trace::Trace| {
-            let config = RunConfig {
-                sensitivity: Sensitivity::new(sensitivity),
-                ..RunConfig::default()
-            };
-            PipelineRunner::new(p.clone(), config)
-                .with_training(training.clone())
-                .run(trace)
+            let config =
+                RunConfig { sensitivity: Sensitivity::new(sensitivity), ..RunConfig::default() };
+            PipelineRunner::new(p.clone(), config).with_training(training.clone()).run(trace)
         };
         let out_real = run(&realistic);
         let out_rand = run(&random);
@@ -73,11 +69,7 @@ pub fn payload_realism_experiment(
                 .signature
                 .clone()
                 .map(idse_ids::engine::signature::SignatureEngine::standard);
-            let ano = p
-                .engines
-                .anomaly
-                .clone()
-                .map(idse_ids::engine::anomaly::AnomalyEngine::new);
+            let ano = p.engines.anomaly.clone().map(idse_ids::engine::anomaly::AnomalyEngine::new);
             let mut total = 0.0;
             for r in trace.records() {
                 if let Some(e) = sig.as_mut() {
@@ -91,7 +83,8 @@ pub fn payload_realism_experiment(
         };
         rows.push(RealismRow {
             product: p.id.name().to_owned(),
-            alerts_per_kpkt_realistic: 1000.0 * out_real.alerts.len() as f64 / realistic.len() as f64,
+            alerts_per_kpkt_realistic: 1000.0 * out_real.alerts.len() as f64
+                / realistic.len() as f64,
             alerts_per_kpkt_random: 1000.0 * out_rand.alerts.len() as f64 / random.len() as f64,
             cost_realistic: mean_cost(&realistic),
             cost_random: mean_cost(&random),
@@ -236,10 +229,8 @@ mod tests {
 
     #[test]
     fn x2_realism_changes_behaviour() {
-        let products = [
-            IdsProduct::model(ProductId::NidSentry),
-            IdsProduct::model(ProductId::FlowHunter),
-        ];
+        let products =
+            [IdsProduct::model(ProductId::NidSentry), IdsProduct::model(ProductId::FlowHunter)];
         let rows = payload_realism_experiment(&products, 0.8, 11);
         assert_eq!(rows.len(), 2);
         for r in &rows {

@@ -84,9 +84,7 @@ impl TestFeed {
         let campaign = Campaign::standard_mix(&profile, &ccfg);
         test.merge(campaign.generate(&ccfg));
 
-        let servers = (1..=profile.server_hosts.min(8))
-            .map(|i| profile.servers.host(i))
-            .collect();
+        let servers = (1..=profile.server_hosts.min(8)).map(|i| profile.servers.host(i)).collect();
 
         Self { profile, training, background, test, servers }
     }
@@ -131,8 +129,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = TestFeed::ecommerce(&FeedConfig { seed: 1, test_span: SimDuration::from_secs(10), ..FeedConfig::default() });
-        let b = TestFeed::ecommerce(&FeedConfig { seed: 2, test_span: SimDuration::from_secs(10), ..FeedConfig::default() });
+        let a = TestFeed::ecommerce(&FeedConfig {
+            seed: 1,
+            test_span: SimDuration::from_secs(10),
+            ..FeedConfig::default()
+        });
+        let b = TestFeed::ecommerce(&FeedConfig {
+            seed: 2,
+            test_span: SimDuration::from_secs(10),
+            ..FeedConfig::default()
+        });
         assert_ne!(a.test.len(), b.test.len());
     }
 }

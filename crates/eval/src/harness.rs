@@ -33,6 +33,11 @@ pub struct EvaluationConfig {
     pub max_throughput_factor: f64,
     /// False-positive budget for operating-point selection.
     pub fp_budget: f64,
+    /// Telemetry handle. Disabled by default. When enabled, each
+    /// product's evaluation records into the shared sink under a scope
+    /// named after the product, and the operating-point pipeline run is
+    /// fully instrumented (per-stage spans, shed/alert counters).
+    pub telemetry: idse_telemetry::Telemetry,
 }
 
 impl Default for EvaluationConfig {
@@ -43,6 +48,7 @@ impl Default for EvaluationConfig {
             sweep_steps: 7,
             max_throughput_factor: 256.0,
             fp_budget: 0.15,
+            telemetry: idse_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -78,30 +84,40 @@ pub fn evaluate_product(
     config: &EvaluationConfig,
 ) -> ProductEvaluation {
     let ledger = TransactionLedger::of(&feed.test);
+    // All events from this product's evaluation carry its name, so four
+    // concurrent evaluations stay separable in the shared sink.
+    let telemetry = config.telemetry.with_scope(product.id.name());
 
     // Figure 4 sweep, then pick the §3.3 operating point.
     let curve = sweep_product(product, feed, config.sweep_steps);
-    let operating_sensitivity = curve
-        .min_fn_within_fp_budget(config.fp_budget)
-        .map(|p| p.sensitivity)
-        .unwrap_or(0.5);
+    telemetry.counter(0, "phase.sweep.points", curve.points.len() as u64);
+    let operating_sensitivity =
+        curve.min_fn_within_fp_budget(config.fp_budget).map(|p| p.sensitivity).unwrap_or(0.5);
 
     // The accuracy/response run at the operating point, with automated
-    // response armed so filter effectiveness is observable.
+    // response armed so filter effectiveness is observable. This is the
+    // instrumented run: per-stage spans land under this product's scope.
     let run_config = RunConfig {
         sensitivity: Sensitivity::new(operating_sensitivity),
         monitored_hosts: feed.servers.clone(),
         auto_response: true,
+        telemetry: telemetry.clone(),
         ..RunConfig::default()
     };
     let outcome = PipelineRunner::new(product.clone(), run_config)
         .with_training(feed.training.clone())
         .run(&feed.test);
+    telemetry.span(0, outcome.finished_at.as_nanos(), "phase.operating_run");
     let confusion = ledger.score(&outcome.alerts);
     let timing = timing_report(&feed.test, &outcome);
 
     // Throughput searches.
     let throughput = throughput_search(product, feed, config.max_throughput_factor);
+    telemetry.gauge(
+        outcome.finished_at.as_nanos(),
+        "phase.throughput.zero_loss_pps",
+        throughput.zero_loss_pps,
+    );
 
     // Fill the scorecard: open-source rubrics, then measured rubrics.
     let mut card = Scorecard::new(product.id.name());
@@ -111,7 +127,10 @@ pub fn evaluate_product(
     card.set_with_note(
         MetricId::ObservedFalsePositiveRatio,
         measure::score_false_positive_ratio(confusion.false_positive_ratio()),
-        format!("|D-A|/|T| = {:.4} at s={operating_sensitivity:.2}", confusion.false_positive_ratio()),
+        format!(
+            "|D-A|/|T| = {:.4} at s={operating_sensitivity:.2}",
+            confusion.false_positive_ratio()
+        ),
     );
     card.set_with_note(
         MetricId::ObservedFalseNegativeRatio,
@@ -125,7 +144,10 @@ pub fn evaluate_product(
     card.set_with_note(
         MetricId::SystemThroughput,
         measure::score_throughput(throughput.zero_loss_pps, needs),
-        format!("zero-loss {:.0} pps vs nominal {:.0}", throughput.zero_loss_pps, needs.nominal_pps),
+        format!(
+            "zero-loss {:.0} pps vs nominal {:.0}",
+            throughput.zero_loss_pps, needs.nominal_pps
+        ),
     );
     card.set_with_note(
         MetricId::MaximalThroughputZeroLoss,
@@ -187,11 +209,7 @@ pub fn evaluate_product(
         "router path shares the response plumbing",
     );
     // SNMP: count traps from a capability-probe interpretation of the run.
-    let traps = if product.architecture.response.snmp {
-        confusion.alert_count as u32
-    } else {
-        0
-    };
+    let traps = if product.architecture.response.snmp { confusion.alert_count as u32 } else { 0 };
     card.set_with_note(
         MetricId::SnmpInteraction,
         measure::score_snmp(product.architecture.response.snmp, traps),
@@ -199,8 +217,9 @@ pub fn evaluate_product(
     );
     // Evidence collection, measured: the retention budget scales with the
     // product's storage posture (KB retained per MB of source data).
-    let budget =
-        (feed.test.wire_bytes() / 1_000_000).max(1) * u64::from(product.vendor.storage_kb_per_mb) * 1024;
+    let budget = (feed.test.wire_bytes() / 1_000_000).max(1)
+        * u64::from(product.vendor.storage_kb_per_mb)
+        * 1024;
     let policy = EvidencePolicy { byte_budget: budget, ..EvidencePolicy::alert_adjacent() };
     let store = EvidenceStore::collect(&feed.test, &outcome.alerts, policy);
     let detected_ids: Vec<u32> = {
@@ -283,6 +302,7 @@ mod tests {
             sweep_steps: 4,
             max_throughput_factor: 32.0,
             fp_budget: 0.2,
+            telemetry: idse_telemetry::Telemetry::disabled(),
         }
     }
 

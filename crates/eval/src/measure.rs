@@ -250,10 +250,7 @@ mod tests {
     fn latency_zero_is_passive_four() {
         let needs = EnvironmentNeeds::realtime_cluster(10_000.0);
         assert_eq!(score_induced_latency(SimDuration::ZERO, &needs).value(), 4);
-        assert_eq!(
-            score_induced_latency(SimDuration::from_micros(500), &needs).value(),
-            2
-        );
+        assert_eq!(score_induced_latency(SimDuration::from_micros(500), &needs).value(), 2);
         assert_eq!(score_induced_latency(SimDuration::from_millis(10), &needs).value(), 0);
     }
 
@@ -278,11 +275,17 @@ mod tests {
     fn error_recovery_matches_paper_anchors() {
         assert_eq!(score_error_recovery(FailureBehavior::Hang).value(), 0);
         assert_eq!(
-            score_error_recovery(FailureBehavior::ColdReboot { downtime: SimDuration::from_secs(30) }).value(),
+            score_error_recovery(FailureBehavior::ColdReboot {
+                downtime: SimDuration::from_secs(30)
+            })
+            .value(),
             2
         );
         assert_eq!(
-            score_error_recovery(FailureBehavior::RestartService { downtime: SimDuration::from_secs(1) }).value(),
+            score_error_recovery(FailureBehavior::RestartService {
+                downtime: SimDuration::from_secs(1)
+            })
+            .value(),
             4
         );
     }

@@ -51,8 +51,8 @@ impl ErrorCurve {
                 // Interpolate the crossing.
                 let t = da / (da - db);
                 let s = a.sensitivity + t * (b.sensitivity - a.sensitivity);
-                let rate = a.false_positive_ratio
-                    + t * (b.false_positive_ratio - a.false_positive_ratio);
+                let rate =
+                    a.false_positive_ratio + t * (b.false_positive_ratio - a.false_positive_ratio);
                 return Some((s, rate));
             }
         }
@@ -154,9 +154,24 @@ mod tests {
         let curve = ErrorCurve {
             product: "synthetic".into(),
             points: vec![
-                SweepPoint { sensitivity: 0.0, false_positive_ratio: 0.0, false_negative_ratio: 0.4, alerts: 0 },
-                SweepPoint { sensitivity: 0.5, false_positive_ratio: 0.1, false_negative_ratio: 0.3, alerts: 10 },
-                SweepPoint { sensitivity: 1.0, false_positive_ratio: 0.5, false_negative_ratio: 0.1, alerts: 50 },
+                SweepPoint {
+                    sensitivity: 0.0,
+                    false_positive_ratio: 0.0,
+                    false_negative_ratio: 0.4,
+                    alerts: 0,
+                },
+                SweepPoint {
+                    sensitivity: 0.5,
+                    false_positive_ratio: 0.1,
+                    false_negative_ratio: 0.3,
+                    alerts: 10,
+                },
+                SweepPoint {
+                    sensitivity: 1.0,
+                    false_positive_ratio: 0.5,
+                    false_negative_ratio: 0.1,
+                    alerts: 50,
+                },
             ],
         };
         let (s, r) = curve.equal_error_rate().expect("curves cross");
@@ -169,8 +184,18 @@ mod tests {
         let curve = ErrorCurve {
             product: "synthetic".into(),
             points: vec![
-                SweepPoint { sensitivity: 0.0, false_positive_ratio: 0.0, false_negative_ratio: 0.5, alerts: 0 },
-                SweepPoint { sensitivity: 1.0, false_positive_ratio: 0.1, false_negative_ratio: 0.2, alerts: 5 },
+                SweepPoint {
+                    sensitivity: 0.0,
+                    false_positive_ratio: 0.0,
+                    false_negative_ratio: 0.5,
+                    alerts: 0,
+                },
+                SweepPoint {
+                    sensitivity: 1.0,
+                    false_positive_ratio: 0.1,
+                    false_negative_ratio: 0.2,
+                    alerts: 5,
+                },
             ],
         };
         assert!(curve.equal_error_rate().is_none());
@@ -181,9 +206,24 @@ mod tests {
         let curve = ErrorCurve {
             product: "synthetic".into(),
             points: vec![
-                SweepPoint { sensitivity: 0.0, false_positive_ratio: 0.0, false_negative_ratio: 0.5, alerts: 0 },
-                SweepPoint { sensitivity: 0.5, false_positive_ratio: 0.05, false_negative_ratio: 0.2, alerts: 9 },
-                SweepPoint { sensitivity: 1.0, false_positive_ratio: 0.4, false_negative_ratio: 0.05, alerts: 80 },
+                SweepPoint {
+                    sensitivity: 0.0,
+                    false_positive_ratio: 0.0,
+                    false_negative_ratio: 0.5,
+                    alerts: 0,
+                },
+                SweepPoint {
+                    sensitivity: 0.5,
+                    false_positive_ratio: 0.05,
+                    false_negative_ratio: 0.2,
+                    alerts: 9,
+                },
+                SweepPoint {
+                    sensitivity: 1.0,
+                    false_positive_ratio: 0.4,
+                    false_negative_ratio: 0.05,
+                    alerts: 80,
+                },
             ],
         };
         let p = curve.min_fn_within_fp_budget(0.1).unwrap();

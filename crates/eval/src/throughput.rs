@@ -54,9 +54,7 @@ fn run_at(product: &IdsProduct, feed: &TestFeed, factor: f64) -> PipelineOutcome
     let copies = if span > 0.0 { (1.0 / span).ceil().max(1.0) as u32 } else { 1 };
     let test = scaled.repeated(copies);
     let config = RunConfig { monitored_hosts: feed.servers.clone(), ..RunConfig::default() };
-    PipelineRunner::new(product.clone(), config)
-        .with_training(feed.training.clone())
-        .run(&test)
+    PipelineRunner::new(product.clone(), config).with_training(feed.training.clone()).run(&test)
 }
 
 /// Binary-search the zero-loss maximum and escalate to the lethal dose.
@@ -65,7 +63,11 @@ fn run_at(product: &IdsProduct, feed: &TestFeed, factor: f64) -> PipelineOutcome
 /// the product graceful). Tolerance: a run counts as lossless when less
 /// than 0.1% of packets go unmonitored (the paper's "sustained average of
 /// zero lost packets" over a finite replay).
-pub fn throughput_search(product: &IdsProduct, feed: &TestFeed, max_factor: f64) -> ThroughputReport {
+pub fn throughput_search(
+    product: &IdsProduct,
+    feed: &TestFeed,
+    max_factor: f64,
+) -> ThroughputReport {
     let base_pps = feed.background.mean_pps();
     const LOSSLESS: f64 = 0.001;
 

@@ -68,7 +68,11 @@ mod tests {
         let f = feed();
         let runner = PipelineRunner::new(
             IdsProduct::model(ProductId::NidSentry),
-            RunConfig { sensitivity: Sensitivity::new(0.7), monitored_hosts: f.servers.clone(), ..RunConfig::default() },
+            RunConfig {
+                sensitivity: Sensitivity::new(0.7),
+                monitored_hosts: f.servers.clone(),
+                ..RunConfig::default()
+            },
         )
         .with_training(f.training.clone());
         let out = runner.run(&f.test);

@@ -45,9 +45,24 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
     };
 
     // ---- Logistical ----
-    set(card, MetricId::DistributedManagement, tier_mgmt(v.remote_management), "management tier from vendor profile");
-    set(card, MetricId::EaseOfConfiguration, tier_effort(v.configuration), "configuration effort tier");
-    set(card, MetricId::EaseOfPolicyMaintenance, tier_effort(v.policy_tooling), "policy tooling tier");
+    set(
+        card,
+        MetricId::DistributedManagement,
+        tier_mgmt(v.remote_management),
+        "management tier from vendor profile",
+    );
+    set(
+        card,
+        MetricId::EaseOfConfiguration,
+        tier_effort(v.configuration),
+        "configuration effort tier",
+    );
+    set(
+        card,
+        MetricId::EaseOfPolicyMaintenance,
+        tier_effort(v.policy_tooling),
+        "policy tooling tier",
+    );
     set(card, MetricId::LicenseManagement, tier_effort(v.licensing), "licensing burden tier");
     // Anchors: high score = fully locally operable.
     set(
@@ -72,7 +87,12 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
         if product.engines.signature.is_some() { tier_effort(v.policy_tooling) } else { 1 },
         "filter authoring follows policy tooling; anomaly products need baselines instead",
     );
-    set(card, MetricId::EvaluationCopyAvailability, if v.evaluation_copy { 4 } else { 0 }, "availability fact");
+    set(
+        card,
+        MetricId::EvaluationCopyAvailability,
+        if v.evaluation_copy { 4 } else { 0 },
+        "availability fact",
+    );
     let admin = match (v.configuration, product.engines.anomaly.is_some()) {
         // Anomaly products demand baseline upkeep on top of configuration.
         (EffortTier::Light, false) => 4,
@@ -127,7 +147,18 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
     set(
         card,
         MetricId::NetworkBased,
-        DiscreteScore::from_f64(4.0 * (1.0 - host_frac).max(if arch.sensors > 0 && (product.engines.signature.is_some() || product.engines.anomaly.is_some()) { 0.75 } else { 0.0 })).value(),
+        DiscreteScore::from_f64(
+            4.0 * (1.0 - host_frac).max(
+                if arch.sensors > 0
+                    && (product.engines.signature.is_some() || product.engines.anomaly.is_some())
+                {
+                    0.75
+                } else {
+                    0.0
+                },
+            ),
+        )
+        .value(),
         "network-based input fraction",
     );
     let multi = match (arch.sensors, arch.lb_capacity_ops.is_some(), product.engines.host_agents) {
@@ -210,7 +241,11 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
         match arch.tap {
             idse_ids::components::TapMode::Inline => 1, // addressable in-path element
             idse_ids::components::TapMode::Mirrored => {
-                if product.engines.host_agents { 2 } else { 4 } // agents are on-host software
+                if product.engines.host_agents {
+                    2
+                } else {
+                    4
+                } // agents are on-host software
             }
         },
         "in-line elements are fingerprintable; passive taps are not",
@@ -221,7 +256,7 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
         card,
         MetricId::AnalysisOfCompromise,
         match (product.engines.host_agents, v.storage_kb_per_mb) {
-            (true, _) => 3, // host vantage sees what was touched
+            (true, _) => 3,              // host vantage sees what was touched
             (false, s) if s >= 200 => 2, // deep flow history supports reconstruction
             (false, _) => 1,
         },
@@ -233,7 +268,12 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
         if arch.analyzers > 1 && !arch.combined_sensor_analyzer { 2 } else { 1 },
         "second-order analysis requires a separate analysis tier",
     );
-    set(card, MetricId::ClarityOfReports, tier_quality(v.documentation), "report quality follows doc maturity");
+    set(
+        card,
+        MetricId::ClarityOfReports,
+        tier_quality(v.documentation),
+        "report quality follows doc maturity",
+    );
     set(
         card,
         MetricId::EvidenceCollection,
@@ -245,8 +285,14 @@ pub fn score_vendor_metrics(product: &IdsProduct, card: &mut Scorecard) {
         },
         "retention per source MB",
     );
-    set(card, MetricId::InformationSharing, tier_quality(v.interoperability), "follows interoperability");
-    let channels = (arch.response.snmp as u8) + (arch.response.firewall as u8) + (arch.response.router as u8);
+    set(
+        card,
+        MetricId::InformationSharing,
+        tier_quality(v.interoperability),
+        "follows interoperability",
+    );
+    let channels =
+        (arch.response.snmp as u8) + (arch.response.firewall as u8) + (arch.response.router as u8);
     set(
         card,
         MetricId::NotificationUserAlerts,
@@ -324,9 +370,18 @@ mod tests {
 
     #[test]
     fn load_balancing_ladder_matches_paper_anchors() {
-        assert_eq!(card_for(ProductId::NidSentry).get(MetricId::ScalableLoadBalancing).unwrap().value(), 0);
-        assert_eq!(card_for(ProductId::GuardSecure).get(MetricId::ScalableLoadBalancing).unwrap().value(), 2);
-        assert_eq!(card_for(ProductId::FlowHunter).get(MetricId::ScalableLoadBalancing).unwrap().value(), 4);
+        assert_eq!(
+            card_for(ProductId::NidSentry).get(MetricId::ScalableLoadBalancing).unwrap().value(),
+            0
+        );
+        assert_eq!(
+            card_for(ProductId::GuardSecure).get(MetricId::ScalableLoadBalancing).unwrap().value(),
+            2
+        );
+        assert_eq!(
+            card_for(ProductId::FlowHunter).get(MetricId::ScalableLoadBalancing).unwrap().value(),
+            4
+        );
     }
 
     #[test]
@@ -358,7 +413,19 @@ mod tests {
     #[test]
     fn cost_ladder() {
         // AgentWatch is integration-labor only: best cost score.
-        assert_eq!(card_for(ProductId::AgentWatch).get(MetricId::ThreeYearCostOfOwnership).unwrap().value(), 4);
-        assert_eq!(card_for(ProductId::FlowHunter).get(MetricId::ThreeYearCostOfOwnership).unwrap().value(), 0);
+        assert_eq!(
+            card_for(ProductId::AgentWatch)
+                .get(MetricId::ThreeYearCostOfOwnership)
+                .unwrap()
+                .value(),
+            4
+        );
+        assert_eq!(
+            card_for(ProductId::FlowHunter)
+                .get(MetricId::ThreeYearCostOfOwnership)
+                .unwrap()
+                .value(),
+            0
+        );
     }
 }

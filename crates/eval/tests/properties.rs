@@ -20,7 +20,10 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         let mut t = Trace::new();
         for (i, (is_attack, flow, id)) in specs.into_iter().enumerate() {
             let p = Packet::tcp(
-                Ipv4Header::simple(Ipv4Addr::new(1, 1, 0, flow as u8 + 1), Ipv4Addr::new(2, 2, 2, 2)),
+                Ipv4Header::simple(
+                    Ipv4Addr::new(1, 1, 0, flow as u8 + 1),
+                    Ipv4Addr::new(2, 2, 2, 2),
+                ),
                 TcpHeader {
                     src_port: 1000 + flow,
                     dst_port: 80,

@@ -1,0 +1,67 @@
+//! Telemetry must be a pure observer: the same seeded evaluation with
+//! recording enabled produces a byte-identical scorecard to one with it
+//! disabled, and the recorded stream itself is deterministic.
+
+use idse_eval::feeds::{FeedConfig, TestFeed};
+use idse_eval::harness::{evaluate_product, EvaluationConfig};
+use idse_ids::products::{IdsProduct, ProductId};
+use idse_sim::SimDuration;
+use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
+
+fn config(telemetry: Telemetry) -> EvaluationConfig {
+    EvaluationConfig {
+        feed: FeedConfig {
+            session_rate: 12.0,
+            training_span: SimDuration::from_secs(8),
+            test_span: SimDuration::from_secs(18),
+            campaign_intensity: 1,
+            seed: 20_020_415,
+        },
+        sweep_steps: 3,
+        max_throughput_factor: 16.0,
+        telemetry,
+        ..EvaluationConfig::default()
+    }
+}
+
+#[test]
+fn telemetry_enabled_run_matches_disabled_run_byte_for_byte() {
+    let off_cfg = config(Telemetry::disabled());
+    let feed = TestFeed::realtime_cluster(&off_cfg.feed);
+    let product = IdsProduct::model(ProductId::GuardSecure);
+
+    let off = evaluate_product(&product, &feed, &off_cfg);
+    let sink = MemorySink::new(1 << 20);
+    let on = evaluate_product(&product, &feed, &config(Telemetry::new(sink.clone())));
+
+    let off_json = serde_json::to_string(&off.scorecard).expect("scorecard serializes");
+    let on_json = serde_json::to_string(&on.scorecard).expect("scorecard serializes");
+    assert_eq!(off_json, on_json, "recording changed the scorecard");
+    assert_eq!(off.operating_sensitivity, on.operating_sensitivity);
+    assert_eq!(sink.dropped(), 0, "test-sized run must fit the buffer");
+    assert!(!sink.is_empty(), "enabled run must record events");
+}
+
+#[test]
+fn recorded_stream_is_deterministic_and_scoped() {
+    let product = IdsProduct::model(ProductId::NidSentry);
+    let run = || {
+        let sink = MemorySink::new(1 << 20);
+        let cfg = config(Telemetry::new(sink.clone()));
+        let feed = TestFeed::realtime_cluster(&cfg.feed);
+        evaluate_product(&product, &feed, &cfg);
+        sink.events()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y), "event streams differ");
+    assert!(a.iter().all(|e| e.scope == product.id.name()));
+
+    let summary = summarize(&a);
+    assert!(summary.span("stage.sense").is_some());
+    assert!(summary.span("phase.operating_run").is_some());
+    assert!(summary.counter("phase.sweep.points").is_some());
+    assert!(summary.gauge("phase.throughput.zero_loss_pps").is_some());
+    assert!(summary.gauge("sim.queue_depth").is_some(), "kernel queue-depth samples missing");
+}

@@ -55,10 +55,7 @@ impl AhoCorasick {
     /// Build the automaton over the given patterns. Empty patterns are
     /// rejected (they would match everywhere).
     pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
-        assert!(
-            patterns.iter().all(|p| !p.as_ref().is_empty()),
-            "empty patterns are not allowed"
-        );
+        assert!(patterns.iter().all(|p| !p.as_ref().is_empty()), "empty patterns are not allowed");
         // Trie construction. goto_[node][byte] = child or u32::MAX.
         let mut goto_: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
         let mut out: Vec<Vec<u32>> = vec![Vec::new()];
@@ -237,9 +234,8 @@ mod tests {
     #[test]
     fn exploit_corpus_compiles_and_matches() {
         // Realistic-scale rule set: a few dozen patterns.
-        let patterns: Vec<Vec<u8>> = (0..50)
-            .map(|i| format!("exploit-pattern-{i:02}").into_bytes())
-            .collect();
+        let patterns: Vec<Vec<u8>> =
+            (0..50).map(|i| format!("exploit-pattern-{i:02}").into_bytes()).collect();
         let ac = AhoCorasick::new(&patterns);
         assert_eq!(ac.pattern_count(), 50);
         let hay = b"prefix exploit-pattern-31 suffix";

@@ -144,8 +144,7 @@ impl SubprocessCounts {
     /// Extract counts from a product.
     pub fn of(product: &IdsProduct) -> Self {
         let arch = &product.architecture;
-        let has_console =
-            arch.response.firewall || arch.response.router || arch.response.snmp;
+        let has_console = arch.response.firewall || arch.response.router || arch.response.snmp;
         Self {
             load_balancers: arch.lb_capacity_ops.is_some() as usize,
             sensors: arch.sensors,

@@ -60,7 +60,8 @@ impl FailureBehavior {
     pub fn downtime(self) -> SimDuration {
         match self {
             FailureBehavior::Hang => SimDuration::MAX,
-            FailureBehavior::ColdReboot { downtime } | FailureBehavior::RestartService { downtime } => downtime,
+            FailureBehavior::ColdReboot { downtime }
+            | FailureBehavior::RestartService { downtime } => downtime,
         }
     }
 }
@@ -359,6 +360,11 @@ impl ManagementConsole {
         self.caps
     }
 
+    /// Latency from alert visibility to filter installation.
+    pub fn response_delay(&self) -> SimDuration {
+        self.response_delay
+    }
+
     /// React to a visible alert: block the offending source (if a firewall
     /// is attached) and emit an SNMP trap. Only High/Critical alerts
     /// trigger blocking — the policy maps threats to automated actions.
@@ -378,11 +384,7 @@ impl ManagementConsole {
 
     /// Whether `src` is blocked as of `now`.
     pub fn is_blocked(&self, now: SimTime, src: Ipv4Addr) -> bool {
-        self.blocked_set.contains(&src)
-            && self
-                .blocked
-                .iter()
-                .any(|&(a, t)| a == src && now >= t)
+        self.blocked_set.contains(&src) && self.blocked.iter().any(|&(a, t)| a == src && now >= t)
     }
 
     /// All blocked sources with install times.
@@ -418,7 +420,8 @@ mod tests {
 
     #[test]
     fn station_sheds_beyond_backlog() {
-        let mut s = station(FailureBehavior::RestartService { downtime: SimDuration::from_secs(1) });
+        let mut s =
+            station(FailureBehavior::RestartService { downtime: SimDuration::from_secs(1) });
         // 100 ops = 100 ms service; backlog bound 10 ms.
         assert!(matches!(s.serve(SimTime::ZERO, 100.0), ServeOutcome::Done(_)));
         assert!(matches!(s.serve(SimTime::ZERO, 100.0), ServeOutcome::Dropped));
@@ -427,19 +430,17 @@ mod tests {
 
     #[test]
     fn sustained_overload_trips_failure_then_recovers() {
-        let mut s = station(FailureBehavior::RestartService { downtime: SimDuration::from_secs(1) });
+        let mut s =
+            station(FailureBehavior::RestartService { downtime: SimDuration::from_secs(1) });
         s.serve(SimTime::ZERO, 10_000.0); // 10 s of work: station saturated
-        // A lethal second: >1000 offers, nearly all shed.
+                                          // A lethal second: >1000 offers, nearly all shed.
         for i in 0..2500u64 {
             s.serve(SimTime::from_micros(i * 10), 10.0);
         }
         assert_eq!(s.failures(), 1);
         assert!(s.is_down(SimTime::from_millis(500)));
         // After downtime it serves again (backlog flushed).
-        assert!(matches!(
-            s.serve(SimTime::from_millis(1200), 10.0),
-            ServeOutcome::Done(_)
-        ));
+        assert!(matches!(s.serve(SimTime::from_millis(1200), 10.0), ServeOutcome::Done(_)));
         assert!(!s.is_down(SimTime::from_millis(1200)));
     }
 
@@ -459,14 +460,22 @@ mod tests {
     fn pkt(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(src, dst),
-            TcpHeader { src_port: sport, dst_port: dport, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            TcpHeader {
+                src_port: sport,
+                dst_port: dport,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 0,
+            },
             Vec::new(),
         )
     }
 
     #[test]
     fn session_hash_routes_both_directions_together() {
-        let mut lb = LoadBalancer::new(station(FailureBehavior::Hang), BalanceStrategy::SessionHash, 4);
+        let mut lb =
+            LoadBalancer::new(station(FailureBehavior::Hang), BalanceStrategy::SessionHash, 4);
         let a = pkt(Ipv4Addr::new(1, 1, 1, 1), 1000, Ipv4Addr::new(2, 2, 2, 2), 80);
         let b = pkt(Ipv4Addr::new(2, 2, 2, 2), 80, Ipv4Addr::new(1, 1, 1, 1), 1000);
         assert_eq!(lb.route(&a), lb.route(&b));
@@ -474,7 +483,8 @@ mod tests {
 
     #[test]
     fn round_robin_breaks_affinity_but_spreads() {
-        let mut lb = LoadBalancer::new(station(FailureBehavior::Hang), BalanceStrategy::RoundRobin, 4);
+        let mut lb =
+            LoadBalancer::new(station(FailureBehavior::Hang), BalanceStrategy::RoundRobin, 4);
         let a = pkt(Ipv4Addr::new(1, 1, 1, 1), 1000, Ipv4Addr::new(2, 2, 2, 2), 80);
         let routes: Vec<usize> = (0..8).map(|_| lb.route(&a)).collect();
         assert_eq!(routes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
@@ -482,10 +492,16 @@ mod tests {
 
     #[test]
     fn session_hash_spreads_distinct_flows() {
-        let mut lb = LoadBalancer::new(station(FailureBehavior::Hang), BalanceStrategy::SessionHash, 4);
+        let mut lb =
+            LoadBalancer::new(station(FailureBehavior::Hang), BalanceStrategy::SessionHash, 4);
         let mut used = std::collections::HashSet::new();
         for i in 0..64u16 {
-            let p = pkt(Ipv4Addr::new(1, 1, 1, (i % 250) as u8 + 1), 1000 + i, Ipv4Addr::new(2, 2, 2, 2), 80);
+            let p = pkt(
+                Ipv4Addr::new(1, 1, 1, (i % 250) as u8 + 1),
+                1000 + i,
+                Ipv4Addr::new(2, 2, 2, 2),
+                80,
+            );
             used.insert(lb.route(&p));
         }
         assert_eq!(used.len(), 4, "64 flows should hit all 4 sensors");
@@ -514,7 +530,13 @@ mod tests {
     #[test]
     fn monitor_stamps_visibility_time() {
         let mut m = Monitor::new(
-            ServiceStation::new("mon", 10_000.0, SimDuration::from_secs(1), 0.9, FailureBehavior::Hang),
+            ServiceStation::new(
+                "mon",
+                10_000.0,
+                SimDuration::from_secs(1),
+                0.9,
+                FailureBehavior::Hang,
+            ),
             SimDuration::from_millis(50),
         );
         let t = m.present(SimTime::from_millis(10), alert(Severity::High)).unwrap();

@@ -93,7 +93,14 @@ mod tests {
     fn tcp(src: Ipv4Addr, dst: Ipv4Addr, dport: u16) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(src, dst),
-            TcpHeader { src_port: 40000, dst_port: dport, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            TcpHeader {
+                src_port: 40000,
+                dst_port: dport,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 0,
+            },
             Vec::new(),
         )
     }

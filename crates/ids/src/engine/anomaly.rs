@@ -188,9 +188,11 @@ impl DetectionEngine for AnomalyEngine {
             let now = rec.at;
             if p.is_syn() {
                 if let Some(t) = p.tcp_header() {
-                    b.scan_ports = b.scan_ports.max(f64::from(scan.record(now, p.ip.src, t.dst_port)));
+                    b.scan_ports =
+                        b.scan_ports.max(f64::from(scan.record(now, p.ip.src, t.dst_port)));
                 }
-                b.fanout_hosts = b.fanout_hosts.max(f64::from(fanout.record(now, p.ip.src, p.ip.dst)));
+                b.fanout_hosts =
+                    b.fanout_hosts.max(f64::from(fanout.record(now, p.ip.src, p.ip.dst)));
                 b.syn_rate = b.syn_rate.max(f64::from(syn.record(now, p.ip.dst)));
             }
             if crate::aho::contains(&p.payload, b"Login incorrect") {
@@ -203,10 +205,7 @@ impl DetectionEngine for AnomalyEngine {
             if !p.payload.is_empty() {
                 if let Some(port) = p.transport.dst_port() {
                     let frac = printable_fraction(&p.payload);
-                    b.min_printable
-                        .entry(port)
-                        .and_modify(|m| *m = m.min(frac))
-                        .or_insert(frac);
+                    b.min_printable.entry(port).and_modify(|m| *m = m.min(frac)).or_insert(frac);
                 }
             }
             if p.transport.dst_port() == Some(53) {
@@ -355,7 +354,8 @@ impl DetectionEngine for AnomalyEngine {
             && self.base.dns_size_std > 0.0
         {
             let k = self.sensitivity.threshold(12.0, 4.0);
-            let z = (packet.payload.len() as f64 - self.base.dns_size_mean) / self.base.dns_size_std;
+            let z =
+                (packet.payload.len() as f64 - self.base.dns_size_mean) / self.base.dns_size_std;
             if z > k && self.cooldown.try_fire(now, ("dns", src)) {
                 out.push(Detection {
                     class: AttackClass::Tunneling,
@@ -375,7 +375,8 @@ impl DetectionEngine for AnomalyEngine {
             && self.base.icmp_size_std > 0.0
         {
             let k = self.sensitivity.threshold(12.0, 4.0);
-            let z = (packet.payload.len() as f64 - self.base.icmp_size_mean) / self.base.icmp_size_std;
+            let z =
+                (packet.payload.len() as f64 - self.base.icmp_size_mean) / self.base.icmp_size_std;
             if z > k && self.cooldown.try_fire(now, ("icmp", src)) {
                 out.push(Detection {
                     class: AttackClass::Tunneling,
@@ -393,9 +394,8 @@ impl DetectionEngine for AnomalyEngine {
             && self.sensitivity.value() >= 0.55
             && !packet.payload.is_empty()
         {
-            let novel = tokens(&packet.payload)
-                .into_iter()
-                .any(|t| !self.base.rpc_tokens.contains(&t));
+            let novel =
+                tokens(&packet.payload).into_iter().any(|t| !self.base.rpc_tokens.contains(&t));
             if novel && self.cooldown.try_fire(now, ("rpc", src)) {
                 out.push(Detection {
                     class: AttackClass::TrustExploit,
@@ -447,7 +447,14 @@ mod tests {
     fn syn(src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(src, dst),
-            TcpHeader { src_port: 40000, dst_port: port, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 512 },
+            TcpHeader {
+                src_port: 40000,
+                dst_port: port,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 512,
+            },
             Vec::new(),
         )
     }
@@ -481,7 +488,8 @@ mod tests {
             let attacker = Ipv4Addr::new(66, 6, 6, 6);
             let target = Ipv4Addr::new(10, 10, 0, 9);
             for port in 1..500u16 {
-                let d = e.inspect(SimTime::from_micros(port as u64 * 100), &syn(attacker, target, port));
+                let d = e
+                    .inspect(SimTime::from_micros(port as u64 * 100), &syn(attacker, target, port));
                 if d.iter().any(|d| d.class == AttackClass::PortScan) {
                     return Some(port);
                 }
@@ -501,7 +509,14 @@ mod tests {
         // Login payload from a host far outside the cluster block.
         let p = Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(198, 18, 5, 7), Ipv4Addr::new(10, 10, 0, 4)),
-            TcpHeader { src_port: 20001, dst_port: 23, seq: 1, ack: 1, flags: TcpFlags::PSH_ACK, window: 512 },
+            TcpHeader {
+                src_port: 20001,
+                dst_port: 23,
+                seq: 1,
+                ack: 1,
+                flags: TcpFlags::PSH_ACK,
+                window: 512,
+            },
             b"login: jsmith\r\npassword: ********\r\nLast login: Tue Apr 16\r\n".to_vec(),
         );
         let d = e.inspect(SimTime::ZERO, &p);
@@ -516,9 +531,17 @@ mod tests {
         let mut e = trained_engine(0.9);
         let p = Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(66, 1, 2, 3), Ipv4Addr::new(10, 10, 0, 3)),
-            TcpHeader { src_port: 31000, dst_port: 80, seq: 1, ack: 1, flags: TcpFlags::PSH_ACK, window: 512 },
+            TcpHeader {
+                src_port: 31000,
+                dst_port: 80,
+                seq: 1,
+                ack: 1,
+                flags: TcpFlags::PSH_ACK,
+                window: 512,
+            },
             // Not in any signature DB, but visibly binary.
-            b"\xeb\x1f\x5e\x89\x76\x08\x31\xc0\x88\x46\x07\x89\x46\x0c\xb0\x0b\x01\x02\x03\x04".to_vec(),
+            b"\xeb\x1f\x5e\x89\x76\x08\x31\xc0\x88\x46\x07\x89\x46\x0c\xb0\x0b\x01\x02\x03\x04"
+                .to_vec(),
         );
         let d = e.inspect(SimTime::ZERO, &p);
         assert!(
@@ -548,7 +571,14 @@ mod tests {
             body.extend_from_slice(b"/export/.ssh/authorized_keys");
             let p = Packet::tcp(
                 Ipv4Header::simple(Ipv4Addr::new(10, 10, 0, 7), Ipv4Addr::new(10, 10, 0, 12)),
-                TcpHeader { src_port: 1023, dst_port: 2049, seq: 1, ack: 1, flags: TcpFlags::PSH_ACK, window: 512 },
+                TcpHeader {
+                    src_port: 1023,
+                    dst_port: 2049,
+                    seq: 1,
+                    ack: 1,
+                    flags: TcpFlags::PSH_ACK,
+                    window: 512,
+                },
                 body,
             );
             e.inspect(SimTime::ZERO, &p)

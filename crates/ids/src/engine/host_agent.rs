@@ -53,8 +53,7 @@ impl std::fmt::Debug for HostAgentEngine {
 }
 
 /// Privileged file markers a 2002-era host integrity monitor watches.
-const PRIVILEGED_MARKERS: &[&[u8]] =
-    &[b"authorized_keys", b".rhosts", b"shadow", b"/etc/passwd"];
+const PRIVILEGED_MARKERS: &[&[u8]] = &[b"authorized_keys", b".rhosts", b"shadow", b"/etc/passwd"];
 
 impl HostAgentEngine {
     /// Create agents for the given hosts.
@@ -213,7 +212,14 @@ mod tests {
     fn packet_to(dst: Ipv4Addr, payload: &[u8]) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(66, 1, 1, 1), dst),
-            TcpHeader { src_port: 31000, dst_port: 23, seq: 1, ack: 1, flags: TcpFlags::PSH_ACK, window: 512 },
+            TcpHeader {
+                src_port: 31000,
+                dst_port: 23,
+                seq: 1,
+                ack: 1,
+                flags: TcpFlags::PSH_ACK,
+                window: 512,
+            },
             payload.to_vec(),
         )
     }
@@ -251,14 +257,22 @@ mod tests {
         let mut benign = idse_net::Trace::new();
         let known = Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(10, 0, 5, 5), Ipv4Addr::new(10, 0, 1, 1)),
-            TcpHeader { src_port: 2000, dst_port: 23, seq: 0, ack: 0, flags: TcpFlags::PSH_ACK, window: 512 },
+            TcpHeader {
+                src_port: 2000,
+                dst_port: 23,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::PSH_ACK,
+                window: 512,
+            },
             b"login: ops\r\nLast login: yesterday\r\n".to_vec(),
         );
         benign.push_benign(SimTime::ZERO, known.clone());
         a.train(&benign);
 
         // Same credentials from a foreign host.
-        let foreign = packet_to(Ipv4Addr::new(10, 0, 1, 1), b"login: ops\r\nLast login: yesterday\r\n");
+        let foreign =
+            packet_to(Ipv4Addr::new(10, 0, 1, 1), b"login: ops\r\nLast login: yesterday\r\n");
         let d = a.inspect(SimTime::from_secs(1), &foreign);
         assert!(d.iter().any(|d| d.class == AttackClass::Masquerade));
 
@@ -274,7 +288,9 @@ mod tests {
         let mut a = agent();
         let p = packet_to(Ipv4Addr::new(10, 0, 1, 2), b"WRITE /export/.ssh/authorized_keys");
         let d = a.inspect(SimTime::ZERO, &p);
-        assert!(d.iter().any(|d| d.class == AttackClass::TrustExploit && d.severity == Severity::Critical));
+        assert!(d
+            .iter()
+            .any(|d| d.class == AttackClass::TrustExploit && d.severity == Severity::Critical));
     }
 
     #[test]
@@ -282,7 +298,14 @@ mod tests {
         let mut a = agent();
         let p = Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(66, 1, 1, 1)),
-            TcpHeader { src_port: 80, dst_port: 31000, seq: 1, ack: 1, flags: TcpFlags::PSH_ACK, window: 512 },
+            TcpHeader {
+                src_port: 80,
+                dst_port: 31000,
+                seq: 1,
+                ack: 1,
+                flags: TcpFlags::PSH_ACK,
+                window: 512,
+            },
             b"uid=0(root) gid=0(root)\r\n".to_vec(),
         );
         let d = a.inspect(SimTime::ZERO, &p);
@@ -292,7 +315,10 @@ mod tests {
     #[test]
     fn sees_through_fragmentation() {
         use idse_net::frag::fragment;
-        let exploit = packet_to(Ipv4Addr::new(10, 0, 1, 1), b"WRITE-TO /export/.ssh/authorized_keys NOW PLEASE");
+        let exploit = packet_to(
+            Ipv4Addr::new(10, 0, 1, 1),
+            b"WRITE-TO /export/.ssh/authorized_keys NOW PLEASE",
+        );
         let frags = fragment(&exploit, 32);
         assert!(frags.len() > 1);
         let mut a = agent();

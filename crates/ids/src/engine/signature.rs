@@ -51,19 +51,103 @@ pub struct Rule {
 /// blind spot the paper describes.
 pub fn standard_rule_db() -> Vec<Rule> {
     vec![
-        Rule { name: "http-cgi-phf", pattern: b"/cgi-bin/phf?", dst_port: Some(80), class: AttackClass::PayloadExploit, severity: Severity::Critical, noisy: false },
-        Rule { name: "http-iis-unicode", pattern: b"..%c0%af..", dst_port: Some(80), class: AttackClass::PayloadExploit, severity: Severity::Critical, noisy: false },
-        Rule { name: "http-cmdexe", pattern: b"cmd.exe", dst_port: Some(80), class: AttackClass::PayloadExploit, severity: Severity::High, noisy: false },
-        Rule { name: "ftp-site-exec", pattern: b"SITE EXEC", dst_port: Some(21), class: AttackClass::PayloadExploit, severity: Severity::Critical, noisy: false },
-        Rule { name: "generic-nop-sled", pattern: b"\x90\x90\x90\x90\x90\x90\x90\x90", dst_port: None, class: AttackClass::PayloadExploit, severity: Severity::High, noisy: false },
-        Rule { name: "generic-binsh", pattern: b"/bin/sh", dst_port: None, class: AttackClass::PayloadExploit, severity: Severity::High, noisy: false },
-        Rule { name: "generic-format-string", pattern: b"%n%n%n", dst_port: None, class: AttackClass::PayloadExploit, severity: Severity::High, noisy: false },
-        Rule { name: "generic-etc-passwd", pattern: b"/etc/passwd", dst_port: None, class: AttackClass::PayloadExploit, severity: Severity::High, noisy: false },
-        Rule { name: "compromise-uid-root", pattern: b"uid=0(root)", dst_port: None, class: AttackClass::PayloadExploit, severity: Severity::Critical, noisy: false },
+        Rule {
+            name: "http-cgi-phf",
+            pattern: b"/cgi-bin/phf?",
+            dst_port: Some(80),
+            class: AttackClass::PayloadExploit,
+            severity: Severity::Critical,
+            noisy: false,
+        },
+        Rule {
+            name: "http-iis-unicode",
+            pattern: b"..%c0%af..",
+            dst_port: Some(80),
+            class: AttackClass::PayloadExploit,
+            severity: Severity::Critical,
+            noisy: false,
+        },
+        Rule {
+            name: "http-cmdexe",
+            pattern: b"cmd.exe",
+            dst_port: Some(80),
+            class: AttackClass::PayloadExploit,
+            severity: Severity::High,
+            noisy: false,
+        },
+        Rule {
+            name: "ftp-site-exec",
+            pattern: b"SITE EXEC",
+            dst_port: Some(21),
+            class: AttackClass::PayloadExploit,
+            severity: Severity::Critical,
+            noisy: false,
+        },
+        Rule {
+            name: "generic-nop-sled",
+            pattern: b"\x90\x90\x90\x90\x90\x90\x90\x90",
+            dst_port: None,
+            class: AttackClass::PayloadExploit,
+            severity: Severity::High,
+            noisy: false,
+        },
+        Rule {
+            name: "generic-binsh",
+            pattern: b"/bin/sh",
+            dst_port: None,
+            class: AttackClass::PayloadExploit,
+            severity: Severity::High,
+            noisy: false,
+        },
+        Rule {
+            name: "generic-format-string",
+            pattern: b"%n%n%n",
+            dst_port: None,
+            class: AttackClass::PayloadExploit,
+            severity: Severity::High,
+            noisy: false,
+        },
+        Rule {
+            name: "generic-etc-passwd",
+            pattern: b"/etc/passwd",
+            dst_port: None,
+            class: AttackClass::PayloadExploit,
+            severity: Severity::High,
+            noisy: false,
+        },
+        Rule {
+            name: "compromise-uid-root",
+            pattern: b"uid=0(root)",
+            dst_port: None,
+            class: AttackClass::PayloadExploit,
+            severity: Severity::Critical,
+            noisy: false,
+        },
         // Noisy tier: informational rules that also match benign traffic.
-        Rule { name: "info-failed-login", pattern: b"Login incorrect", dst_port: Some(23), class: AttackClass::BruteForceLogin, severity: Severity::Info, noisy: true },
-        Rule { name: "info-cleartext-pass", pattern: b"PASS ", dst_port: Some(21), class: AttackClass::BruteForceLogin, severity: Severity::Info, noisy: true },
-        Rule { name: "info-rpc-call", pattern: b"\x00\x01\x86\xb8", dst_port: None, class: AttackClass::PayloadExploit, severity: Severity::Info, noisy: true },
+        Rule {
+            name: "info-failed-login",
+            pattern: b"Login incorrect",
+            dst_port: Some(23),
+            class: AttackClass::BruteForceLogin,
+            severity: Severity::Info,
+            noisy: true,
+        },
+        Rule {
+            name: "info-cleartext-pass",
+            pattern: b"PASS ",
+            dst_port: Some(21),
+            class: AttackClass::BruteForceLogin,
+            severity: Severity::Info,
+            noisy: true,
+        },
+        Rule {
+            name: "info-rpc-call",
+            pattern: b"\x00\x01\x86\xb8",
+            dst_port: None,
+            class: AttackClass::PayloadExploit,
+            severity: Severity::Info,
+            noisy: true,
+        },
     ]
 }
 
@@ -142,7 +226,8 @@ impl SignatureEngine {
             let dst_port = packet.tcp_header().map(|t| t.dst_port).unwrap_or(0);
             let ports = self.scan_ports.record(now, src, dst_port);
             let scan_th = self.sensitivity.threshold(60.0, 8.0);
-            if f64::from(ports) >= scan_th && self.preproc_cooldown.try_fire(now, ("portscan", src)) {
+            if f64::from(ports) >= scan_th && self.preproc_cooldown.try_fire(now, ("portscan", src))
+            {
                 out.push(Detection {
                     class: AttackClass::PortScan,
                     severity: Severity::Warning,
@@ -152,7 +237,9 @@ impl SignatureEngine {
             }
             let hosts = self.sweep_hosts.record(now, src, packet.ip.dst);
             let sweep_th = self.sensitivity.threshold(40.0, 6.0);
-            if f64::from(hosts) >= sweep_th && self.preproc_cooldown.try_fire(now, ("hostsweep", src)) {
+            if f64::from(hosts) >= sweep_th
+                && self.preproc_cooldown.try_fire(now, ("hostsweep", src))
+            {
                 out.push(Detection {
                     class: AttackClass::HostSweep,
                     severity: Severity::Warning,
@@ -177,7 +264,8 @@ impl SignatureEngine {
         if crate::aho::contains(&packet.payload, b"Login incorrect") {
             let fails = self.failed_logins.record(now, src);
             let bf_th = self.sensitivity.threshold(30.0, 3.0);
-            if f64::from(fails) >= bf_th && self.preproc_cooldown.try_fire(now, ("bruteforce", src)) {
+            if f64::from(fails) >= bf_th && self.preproc_cooldown.try_fire(now, ("bruteforce", src))
+            {
                 out.push(Detection {
                     class: AttackClass::BruteForceLogin,
                     severity: Severity::High,
@@ -271,7 +359,14 @@ mod tests {
     fn tcp_packet(dst_port: u16, payload: &[u8]) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(66, 1, 1, 1), Ipv4Addr::new(10, 0, 1, 1)),
-            TcpHeader { src_port: 31000, dst_port, seq: 1, ack: 1, flags: TcpFlags::PSH_ACK, window: 1024 },
+            TcpHeader {
+                src_port: 31000,
+                dst_port,
+                seq: 1,
+                ack: 1,
+                flags: TcpFlags::PSH_ACK,
+                window: 1024,
+            },
             payload.to_vec(),
         )
     }
@@ -388,7 +483,8 @@ mod tests {
     #[test]
     fn reassembly_policy_decides_evasion_outcome() {
         use idse_net::frag::fragment;
-        let exploit = tcp_packet(80, b"GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0\r\n\r\n");
+        let exploit =
+            tcp_packet(80, b"GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0\r\n\r\n");
         let frags = fragment(&exploit, 32);
         assert!(frags.len() > 1);
         // Decoys at each continuation offset, sent first.
@@ -401,7 +497,10 @@ mod tests {
         }
 
         let run = |policy: Option<OverlapPolicy>| -> bool {
-            let mut e = SignatureEngine::standard(SignatureConfig { reassembly: policy, preprocessors: false });
+            let mut e = SignatureEngine::standard(SignatureConfig {
+                reassembly: policy,
+                preprocessors: false,
+            });
             let mut hit = false;
             for (i, p) in feed.iter().enumerate() {
                 let d = e.inspect(SimTime::from_millis(i as u64), p);
@@ -426,18 +525,17 @@ mod tests {
             );
             let mut rng = idse_sim::RngStream::derive(77, exploit.name);
             let trace = scenario.generate(SimTime::ZERO, 1, &mut rng);
-            let run = |policy: Option<OverlapPolicy>| -> bool {
-                let mut e = SignatureEngine::standard(SignatureConfig {
-                    reassembly: policy,
-                    preprocessors: false,
-                });
-                e.set_sensitivity(Sensitivity::new(0.5)); // noisy tier off
-                trace
-                    .records()
-                    .iter()
-                    .enumerate()
-                    .any(|(i, r)| !e.inspect(SimTime::from_millis(i as u64), &r.packet).is_empty())
-            };
+            let run =
+                |policy: Option<OverlapPolicy>| -> bool {
+                    let mut e = SignatureEngine::standard(SignatureConfig {
+                        reassembly: policy,
+                        preprocessors: false,
+                    });
+                    e.set_sensitivity(Sensitivity::new(0.5)); // noisy tier off
+                    trace.records().iter().enumerate().any(|(i, r)| {
+                        !e.inspect(SimTime::from_millis(i as u64), &r.packet).is_empty()
+                    })
+                };
             assert!(!run(None), "{}: per-fragment matching must be blind", exploit.name);
             assert!(
                 !run(Some(OverlapPolicy::FirstWins)),

@@ -86,10 +86,7 @@ impl<K: Eq + Hash + Clone, V: Eq + Hash> DistinctCounter<K, V> {
 
     /// Approximate retained bytes (rough: 64 per key + 16 per value).
     pub fn approx_bytes(&self) -> usize {
-        self.buckets
-            .values()
-            .map(|(_, set)| 64 + set.len() * 16)
-            .sum()
+        self.buckets.values().map(|(_, set)| 64 + set.len() * 16).sum()
     }
 }
 

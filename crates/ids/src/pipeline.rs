@@ -32,7 +32,8 @@ use idse_net::trace::Trace;
 use idse_net::FlowKey;
 use idse_sim::stats::{DurationSummary, StageCounters};
 use idse_sim::{AuditLevel, EventQueue, HostCpu, SimDuration, SimTime, Simulation, World};
-use std::collections::HashMap;
+use idse_telemetry::Telemetry;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Everything a run produces.
@@ -102,6 +103,11 @@ pub struct RunConfig {
     /// Packets outside the pool bypass the network sensors entirely: no
     /// inspection, no inspection cost — and no detection.
     pub data_pool: crate::datapool::DataPoolFilter,
+    /// Telemetry handle. Disabled by default; when enabled the run emits
+    /// per-stage spans (`stage.load_balance` … `stage.manage`), shed and
+    /// alert counters, engine match-latency spans and host-CPU samples.
+    /// Recording is observation-only: it never changes the run.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunConfig {
@@ -112,6 +118,7 @@ impl Default for RunConfig {
             audit_level: AuditLevel::Nominal,
             auto_response: false,
             data_pool: crate::datapool::DataPoolFilter::everything(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -138,8 +145,10 @@ impl PipelineRunner {
 
     /// Run `trace` through the deployment.
     pub fn run(&self, trace: &Trace) -> PipelineOutcome {
-        let mut world = DeploymentWorld::build(&self.product, &self.config, self.training.as_ref(), trace);
+        let mut world =
+            DeploymentWorld::build(&self.product, &self.config, self.training.as_ref(), trace);
         let mut sim = Simulation::new();
+        sim.set_telemetry(self.config.telemetry.clone());
         for (i, rec) in trace.records().iter().enumerate() {
             sim.queue_mut().schedule(rec.at, Ev::Arrive(i as u32));
         }
@@ -170,7 +179,9 @@ struct DeploymentWorld<'a> {
     sensor_sig: Vec<Option<SignatureEngine>>,
     sensor_ano: Vec<Option<AnomalyEngine>>,
     agents: Option<HostAgentEngine>,
-    host_cpus: HashMap<Ipv4Addr, HostCpu>,
+    // Ordered map: `host_impact` sums floats over the values, and the
+    // addition order must not depend on a hash seed.
+    host_cpus: BTreeMap<Ipv4Addr, HostCpu>,
     analyzers: Vec<ServiceStation>,
     combined: bool,
     monitor: Monitor,
@@ -191,6 +202,7 @@ struct DeploymentWorld<'a> {
     blocked_attack: u64,
     blocked_benign: u64,
     rr_next: usize,
+    telemetry: Telemetry,
 }
 
 impl<'a> DeploymentWorld<'a> {
@@ -248,7 +260,7 @@ impl<'a> DeploymentWorld<'a> {
             agent.set_sensitivity(config.sensitivity);
         }
 
-        let mut host_cpus = HashMap::new();
+        let mut host_cpus = BTreeMap::new();
         for &h in &config.monitored_hosts {
             // 2002-era server: ~500M abstract ops/s, 100 ms scheduling slack.
             let mut cpu = HostCpu::new(500e6, SimDuration::from_millis(100));
@@ -257,7 +269,9 @@ impl<'a> DeploymentWorld<'a> {
         }
 
         let analyzers: Vec<ServiceStation> = (0..arch.analyzers.max(1))
-            .map(|_| mk_station("analyzer", arch.analyzer_capacity_ops, SimDuration::from_millis(200)))
+            .map(|_| {
+                mk_station("analyzer", arch.analyzer_capacity_ops, SimDuration::from_millis(200))
+            })
             .collect();
 
         let monitor = Monitor::new(
@@ -305,6 +319,7 @@ impl<'a> DeploymentWorld<'a> {
             blocked_attack: 0,
             blocked_benign: 0,
             rr_next: 0,
+            telemetry: config.telemetry.clone(),
         }
     }
 
@@ -349,14 +364,24 @@ impl<'a> DeploymentWorld<'a> {
                 // Analysis runs on the same station as sensing.
                 match self.sensors[sensor].serve(now, 400.0) {
                     ServeOutcome::Done(t) => {
+                        self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.analyze");
                         queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
                     }
-                    _ => { /* analysis backlog shed: detection lost */ }
+                    _ => {
+                        // Analysis backlog shed: detection lost.
+                        self.telemetry.counter(now.as_nanos(), "shed.analyze", 1);
+                    }
                 }
             } else {
                 let a = sensor % self.analyzers.len();
-                if let ServeOutcome::Done(t) = self.analyzers[a].serve(now, 400.0) {
-                    queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
+                match self.analyzers[a].serve(now, 400.0) {
+                    ServeOutcome::Done(t) => {
+                        self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.analyze");
+                        queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
+                    }
+                    _ => {
+                        self.telemetry.counter(now.as_nanos(), "shed.analyze", 1);
+                    }
                 }
             }
         }
@@ -398,6 +423,13 @@ impl<'a> DeploymentWorld<'a> {
         let ended_down = self.sensors.iter().any(|s| s.is_down(finished_at))
             || self.analyzers.iter().any(|s| s.is_down(finished_at))
             || self.lb.as_ref().is_some_and(|l| l.station.is_down(finished_at));
+        if failures > 0 {
+            self.telemetry.counter(
+                finished_at.as_nanos(),
+                "pipeline.failures",
+                u64::from(failures),
+            );
+        }
 
         // Collateral damage: blocked sources that never sent attack
         // packets.
@@ -471,12 +503,16 @@ impl World for DeploymentWorld<'_> {
                         };
                         if let Some(h) = charge_host {
                             let cpu = self.host_cpus.get_mut(&h).expect("host exists");
-                            if let idse_sim::host::CpuVerdict::Completed { at } =
-                                cpu.execute_ids(now, cost)
-                            {
-                                queue.schedule(at, Ev::AgentDone { rec });
+                            match cpu.execute_ids(now, cost) {
+                                idse_sim::host::CpuVerdict::Completed { at } => {
+                                    queue.schedule(at, Ev::AgentDone { rec });
+                                }
+                                idse_sim::host::CpuVerdict::Overloaded => {
+                                    // Overloaded host: the agent misses this event.
+                                    self.telemetry.counter(now.as_nanos(), "shed.host_agent", 1);
+                                }
                             }
-                            // Overloaded host: the agent misses this event.
+                            cpu.sample_telemetry(&self.telemetry, now);
                         }
                     }
                 }
@@ -501,9 +537,14 @@ impl World for DeploymentWorld<'_> {
                             if self.tap == TapMode::Inline {
                                 self.induced_latency.record(t.saturating_since(now));
                             }
+                            self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.load_balance");
                             Some(t)
                         }
-                        _ => None, // LB shed: packet unmonitored (fail-open)
+                        _ => {
+                            // LB shed: packet unmonitored (fail-open).
+                            self.telemetry.counter(now.as_nanos(), "shed.load_balance", 1);
+                            None
+                        }
                     }
                 } else {
                     Some(now)
@@ -512,9 +553,13 @@ impl World for DeploymentWorld<'_> {
                     let cost = self.sensor_cost(sensor, packet);
                     match self.sensors[sensor].serve(t, cost) {
                         ServeOutcome::Done(done) => {
+                            self.telemetry.span(t.as_nanos(), done.as_nanos(), "stage.sense");
                             queue.schedule(done, Ev::SensorDone { sensor: sensor as u8, rec });
                         }
-                        _ => { /* sensor shed or down: packet unmonitored */ }
+                        _ => {
+                            // Sensor shed or down: packet unmonitored.
+                            self.telemetry.counter(t.as_nanos(), "shed.sense", 1);
+                        }
                     }
                 }
             }
@@ -528,6 +573,8 @@ impl World for DeploymentWorld<'_> {
                     self.monitored_flags[rec as usize] = true;
                 }
                 let sensor = sensor as usize;
+                // Match latency: trace-record timestamp → engines run.
+                self.telemetry.span(record.at.as_nanos(), now.as_nanos(), "engine.match");
                 let mut detections = Vec::new();
                 if let Some(e) = self.sensor_sig[sensor].as_mut() {
                     detections.extend(e.inspect(now, &record.packet));
@@ -565,16 +612,32 @@ impl World for DeploymentWorld<'_> {
                     sensor: 0,
                     detector: det.detector.to_owned(),
                 };
-                if self.monitor.present(now, alert).is_some()
-                    && self.auto_response {
-                        let presented = self
-                            .monitor
-                            .alerts()
-                            .last()
-                            .cloned()
-                            .expect("just presented");
-                        self.console.react(&presented);
+                match self.monitor.present(now, alert) {
+                    Some(visible) => {
+                        self.telemetry.span(now.as_nanos(), visible.as_nanos(), "stage.monitor");
+                        self.telemetry.counter(visible.as_nanos(), "pipeline.alert", 1);
+                        if self.auto_response {
+                            let presented =
+                                self.monitor.alerts().last().cloned().expect("just presented");
+                            let blocked_before = self.console.blocked_sources().len();
+                            self.console.react(&presented);
+                            // The managing subprocess evaluates the
+                            // response policy for every visible alert.
+                            let installed = visible + self.console.response_delay();
+                            self.telemetry.span(
+                                visible.as_nanos(),
+                                installed.as_nanos(),
+                                "stage.manage",
+                            );
+                            if self.console.blocked_sources().len() > blocked_before {
+                                self.telemetry.counter(installed.as_nanos(), "manage.block", 1);
+                            }
+                        }
                     }
+                    None => {
+                        self.telemetry.counter(now.as_nanos(), "shed.monitor", 1);
+                    }
+                }
                 let _ = self.sensitivity;
             }
         }
@@ -615,8 +678,8 @@ mod tests {
     #[test]
     fn benign_run_produces_few_alerts_and_no_loss() {
         let product = IdsProduct::model(ProductId::NidSentry);
-        let runner = PipelineRunner::new(product, RunConfig::default())
-            .with_training(benign(1, 10, 20.0));
+        let runner =
+            PipelineRunner::new(product, RunConfig::default()).with_training(benign(1, 10, 20.0));
         let out = runner.run(&benign(2, 10, 20.0));
         assert_eq!(out.offered, out.monitored, "moderate load must be lossless");
         assert_eq!(out.failures, 0);
@@ -636,11 +699,8 @@ mod tests {
         assert!(!out.alerts.is_empty(), "campaign must trigger alerts");
         // Alerts attribute to attack packets (mostly).
         let trace = mixed(3, 30);
-        let attributed = out
-            .alerts
-            .iter()
-            .filter(|a| trace.records()[a.trigger].truth.is_some())
-            .count();
+        let attributed =
+            out.alerts.iter().filter(|a| trace.records()[a.trigger].truth.is_some()).count();
         assert!(attributed > 0);
     }
 
@@ -678,7 +738,8 @@ mod tests {
     #[test]
     fn inline_product_induces_latency_mirrored_does_not() {
         let fh = IdsProduct::model(ProductId::FlowHunter);
-        let runner = PipelineRunner::new(fh, RunConfig::default()).with_training(benign(1, 10, 20.0));
+        let runner =
+            PipelineRunner::new(fh, RunConfig::default()).with_training(benign(1, 10, 20.0));
         let out = runner.run(&benign(2, 10, 20.0));
         assert!(out.induced_latency.count() > 0);
         assert!(out.induced_latency.mean() > SimDuration::ZERO);
@@ -692,7 +753,7 @@ mod tests {
     #[test]
     fn overload_causes_loss_and_eventually_failure() {
         let product = IdsProduct::model(ProductId::AgentWatch); // weakest station
-        // A dense SYN flood at extreme rate against a monitored host.
+                                                                // A dense SYN flood at extreme rate against a monitored host.
         let flood = idse_attacks::flood::SynFlood {
             rate: 2_000_000.0,
             duration: SimDuration::from_secs(1),
@@ -743,9 +804,7 @@ mod tests {
                 data_pool: pool,
                 ..RunConfig::default()
             };
-            PipelineRunner::new(product.clone(), cfg)
-                .with_training(training.clone())
-                .run(&test)
+            PipelineRunner::new(product.clone(), cfg).with_training(training.clone()).run(&test)
         };
         let full = run(crate::datapool::DataPoolFilter::everything());
         let boundary = run(crate::datapool::DataPoolFilter::boundary_of(cluster_profile.clients));
@@ -764,6 +823,46 @@ mod tests {
         };
         assert!(saw_trust(&full), "full pool sees the trust exploit");
         assert!(!saw_trust(&boundary), "the carve-out is blind to it");
+    }
+
+    #[test]
+    fn telemetry_observes_all_stages_without_changing_outcomes() {
+        use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
+        let product = IdsProduct::model(ProductId::GuardSecure);
+        let base_cfg = RunConfig {
+            sensitivity: Sensitivity::new(0.7),
+            monitored_hosts: servers(),
+            auto_response: true,
+            ..RunConfig::default()
+        };
+        let plain = PipelineRunner::new(product.clone(), base_cfg.clone())
+            .with_training(benign(1, 10, 20.0))
+            .run(&mixed(3, 30));
+        let sink = MemorySink::new(1 << 16);
+        let cfg = RunConfig { telemetry: Telemetry::new(sink.clone()), ..base_cfg };
+        let observed =
+            PipelineRunner::new(product, cfg).with_training(benign(1, 10, 20.0)).run(&mixed(3, 30));
+        // Observation must not perturb the run.
+        assert_eq!(plain.alerts.len(), observed.alerts.len());
+        assert_eq!(plain.monitored, observed.monitored);
+        assert_eq!(plain.missed, observed.missed);
+        assert_eq!(plain.blocked, observed.blocked);
+
+        let s = summarize(&sink.events());
+        for stage in ["stage.sense", "stage.analyze", "stage.monitor", "stage.manage"] {
+            assert!(s.span(stage).is_some(), "{stage} missing from summary");
+        }
+        assert!(s.span("engine.match").is_some());
+        assert!(s.counter("pipeline.alert").is_some());
+
+        // The load-balanced product also exposes the fifth stage.
+        let lb_sink = MemorySink::new(1 << 16);
+        let cfg = RunConfig { telemetry: Telemetry::new(lb_sink.clone()), ..RunConfig::default() };
+        PipelineRunner::new(IdsProduct::model(ProductId::FlowHunter), cfg)
+            .with_training(benign(1, 10, 20.0))
+            .run(&benign(2, 10, 20.0));
+        let s = summarize(&lb_sink.events());
+        assert!(s.span("stage.load_balance").is_some(), "LB stage missing");
     }
 
     #[test]

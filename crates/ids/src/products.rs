@@ -391,11 +391,7 @@ fn agent_watch() -> IdsProduct {
             lethal_drop_ratio: 0.35,
             response: ResponseCapabilities { firewall: false, router: false, snmp: false },
         },
-        engines: EngineSuite {
-            signature: None,
-            anomaly: None,
-            host_agents: true,
-        },
+        engines: EngineSuite { signature: None, anomaly: None, host_agents: true },
         vendor: VendorProfile {
             remote_management: ManagementTier::NodeOnly,
             configuration: EffortTier::Heavy,
@@ -462,10 +458,8 @@ mod tests {
 
     #[test]
     fn failure_behaviors_span_the_rubric() {
-        let behaviors: Vec<FailureBehavior> = IdsProduct::all_models()
-            .iter()
-            .map(|p| p.architecture.failure)
-            .collect();
+        let behaviors: Vec<FailureBehavior> =
+            IdsProduct::all_models().iter().map(|p| p.architecture.failure).collect();
         assert!(behaviors.iter().any(|b| matches!(b, FailureBehavior::Hang)));
         assert!(behaviors.iter().any(|b| matches!(b, FailureBehavior::ColdReboot { .. })));
         assert!(behaviors.iter().any(|b| matches!(b, FailureBehavior::RestartService { .. })));

@@ -35,11 +35,7 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
     }
 }
 
@@ -77,10 +73,7 @@ impl Cidr {
             return Err(CidrError::PrefixTooLong(prefix));
         }
         let mask = Self::mask_bits(prefix);
-        Ok(Self {
-            network: Ipv4Addr::from(u32::from(addr) & mask),
-            prefix,
-        })
+        Ok(Self { network: Ipv4Addr::from(u32::from(addr) & mask), prefix })
     }
 
     fn mask_bits(prefix: u8) -> u32 {
@@ -130,15 +123,9 @@ impl Cidr {
 impl FromStr for Cidr {
     type Err = CidrError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, prefix) = s
-            .split_once('/')
-            .ok_or_else(|| CidrError::Malformed(s.to_owned()))?;
-        let addr: Ipv4Addr = addr
-            .parse()
-            .map_err(|_| CidrError::Malformed(s.to_owned()))?;
-        let prefix: u8 = prefix
-            .parse()
-            .map_err(|_| CidrError::Malformed(s.to_owned()))?;
+        let (addr, prefix) = s.split_once('/').ok_or_else(|| CidrError::Malformed(s.to_owned()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| CidrError::Malformed(s.to_owned()))?;
+        let prefix: u8 = prefix.parse().map_err(|_| CidrError::Malformed(s.to_owned()))?;
         Cidr::new(addr, prefix)
     }
 }

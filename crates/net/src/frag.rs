@@ -58,7 +58,11 @@ pub fn fragment(packet: &Packet, frag_payload: usize) -> Vec<Packet> {
     frags.push(Packet {
         ip,
         transport: packet.transport,
-        payload: Arc::from(packet.payload[..first_payload_len.min(packet.payload.len())].to_vec().into_boxed_slice()),
+        payload: Arc::from(
+            packet.payload[..first_payload_len.min(packet.payload.len())]
+                .to_vec()
+                .into_boxed_slice(),
+        ),
     });
 
     // Continuation fragments: raw payload slices carried with the same
@@ -291,7 +295,7 @@ mod tests {
         // with different content.
         let p = data_packet((0..100u8).collect());
         let frags = fragment(&p, 32); // unit 32: offsets 0, 32, 64, 96
-        // Duplicate the second fragment with altered content.
+                                      // Duplicate the second fragment with altered content.
         let mut overlap = frags[1].clone();
         let altered: Vec<u8> = overlap.payload.iter().map(|b| b ^ 0xff).collect();
         overlap.payload = Arc::from(altered.into_boxed_slice());

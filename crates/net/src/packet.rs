@@ -102,17 +102,23 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Only SYN.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false, urg: false };
+    pub const SYN: TcpFlags =
+        TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false, urg: false };
     /// SYN+ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false, urg: false };
+    pub const SYN_ACK: TcpFlags =
+        TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false, urg: false };
     /// Only ACK.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false, urg: false };
+    pub const ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false, urg: false };
     /// FIN+ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false, urg: false };
+    pub const FIN_ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false, urg: false };
     /// Only RST.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false, urg: false };
+    pub const RST: TcpFlags =
+        TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false, urg: false };
     /// PSH+ACK (data segment).
-    pub const PSH_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: true, urg: false };
+    pub const PSH_ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: true, urg: false };
 
     /// Pack into the low 6 bits of a byte (URG..FIN order per RFC 793).
     pub fn to_bits(self) -> u8 {
@@ -393,11 +399,7 @@ mod tests {
         let p = sample_tcp();
         assert_eq!(p.ip_len(), 40);
         assert_eq!(p.wire_len(), 64); // padded to minimum frame
-        let big = Packet::udp(
-            p.ip,
-            UdpHeader { src_port: 1, dst_port: 53 },
-            vec![0u8; 1000],
-        );
+        let big = Packet::udp(p.ip, UdpHeader { src_port: 1, dst_port: 53 }, vec![0u8; 1000]);
         assert_eq!(big.ip_len(), 1028);
         assert_eq!(big.wire_len(), 1046);
     }

@@ -105,17 +105,29 @@ pub fn synthesize_session(spec: &SessionSpec, exchanges: &[Exchange]) -> Vec<(Di
     // Handshake.
     out.push((
         Direction::ToServer,
-        Packet::tcp(spec.header(Direction::ToServer), spec.tcp(Direction::ToServer, client_seq, 0, TcpFlags::SYN), Vec::new()),
+        Packet::tcp(
+            spec.header(Direction::ToServer),
+            spec.tcp(Direction::ToServer, client_seq, 0, TcpFlags::SYN),
+            Vec::new(),
+        ),
     ));
     client_seq = client_seq.wrapping_add(1);
     out.push((
         Direction::ToClient,
-        Packet::tcp(spec.header(Direction::ToClient), spec.tcp(Direction::ToClient, server_seq, client_seq, TcpFlags::SYN_ACK), Vec::new()),
+        Packet::tcp(
+            spec.header(Direction::ToClient),
+            spec.tcp(Direction::ToClient, server_seq, client_seq, TcpFlags::SYN_ACK),
+            Vec::new(),
+        ),
     ));
     server_seq = server_seq.wrapping_add(1);
     out.push((
         Direction::ToServer,
-        Packet::tcp(spec.header(Direction::ToServer), spec.tcp(Direction::ToServer, client_seq, server_seq, TcpFlags::ACK), Vec::new()),
+        Packet::tcp(
+            spec.header(Direction::ToServer),
+            spec.tcp(Direction::ToServer, client_seq, server_seq, TcpFlags::ACK),
+            Vec::new(),
+        ),
     ));
 
     // Data exchanges.
@@ -127,7 +139,11 @@ pub fn synthesize_session(spec: &SessionSpec, exchanges: &[Exchange]) -> Vec<(Di
             };
             out.push((
                 dir,
-                Packet::tcp(spec.header(dir), spec.tcp(dir, seq, ack, TcpFlags::PSH_ACK), chunk.to_vec()),
+                Packet::tcp(
+                    spec.header(dir),
+                    spec.tcp(dir, seq, ack, TcpFlags::PSH_ACK),
+                    chunk.to_vec(),
+                ),
             ));
             match ex.dir {
                 Direction::ToServer => client_seq = client_seq.wrapping_add(chunk.len() as u32),
@@ -144,7 +160,11 @@ pub fn synthesize_session(spec: &SessionSpec, exchanges: &[Exchange]) -> Vec<(Di
             };
             out.push((
                 rdir,
-                Packet::tcp(spec.header(rdir), spec.tcp(rdir, rseq, rack, TcpFlags::ACK), Vec::new()),
+                Packet::tcp(
+                    spec.header(rdir),
+                    spec.tcp(rdir, rseq, rack, TcpFlags::ACK),
+                    Vec::new(),
+                ),
             ));
         }
     }
@@ -152,17 +172,29 @@ pub fn synthesize_session(spec: &SessionSpec, exchanges: &[Exchange]) -> Vec<(Di
     // Teardown: client FIN, server FIN-ACK, client ACK.
     out.push((
         Direction::ToServer,
-        Packet::tcp(spec.header(Direction::ToServer), spec.tcp(Direction::ToServer, client_seq, server_seq, TcpFlags::FIN_ACK), Vec::new()),
+        Packet::tcp(
+            spec.header(Direction::ToServer),
+            spec.tcp(Direction::ToServer, client_seq, server_seq, TcpFlags::FIN_ACK),
+            Vec::new(),
+        ),
     ));
     client_seq = client_seq.wrapping_add(1);
     out.push((
         Direction::ToClient,
-        Packet::tcp(spec.header(Direction::ToClient), spec.tcp(Direction::ToClient, server_seq, client_seq, TcpFlags::FIN_ACK), Vec::new()),
+        Packet::tcp(
+            spec.header(Direction::ToClient),
+            spec.tcp(Direction::ToClient, server_seq, client_seq, TcpFlags::FIN_ACK),
+            Vec::new(),
+        ),
     ));
     server_seq = server_seq.wrapping_add(1);
     out.push((
         Direction::ToServer,
-        Packet::tcp(spec.header(Direction::ToServer), spec.tcp(Direction::ToServer, client_seq, server_seq, TcpFlags::ACK), Vec::new()),
+        Packet::tcp(
+            spec.header(Direction::ToServer),
+            spec.tcp(Direction::ToServer, client_seq, server_seq, TcpFlags::ACK),
+            Vec::new(),
+        ),
     ));
     out
 }
@@ -326,20 +358,17 @@ mod tests {
     use super::*;
 
     fn spec() -> SessionSpec {
-        SessionSpec::new(
-            Ipv4Addr::new(10, 0, 0, 5),
-            40123,
-            Ipv4Addr::new(10, 0, 1, 9),
-            80,
-        )
+        SessionSpec::new(Ipv4Addr::new(10, 0, 0, 5), 40123, Ipv4Addr::new(10, 0, 1, 9), 80)
     }
 
     #[test]
     fn handshake_then_data_then_teardown() {
         let segs = synthesize_session(
             &spec(),
-            &[Exchange::to_server(b"GET / HTTP/1.0\r\n\r\n".to_vec()),
-              Exchange::to_client(b"HTTP/1.0 200 OK\r\n\r\nhello".to_vec())],
+            &[
+                Exchange::to_server(b"GET / HTTP/1.0\r\n\r\n".to_vec()),
+                Exchange::to_client(b"HTTP/1.0 200 OK\r\n\r\nhello".to_vec()),
+            ],
         );
         // 3 handshake + 2*(data+ack) + 3 teardown.
         assert_eq!(segs.len(), 10);
@@ -361,10 +390,8 @@ mod tests {
         let reassembled = reassemble_stream(&segs, Direction::ToServer);
         assert_eq!(reassembled, data);
         // 4 data segments of ≤10 bytes.
-        let data_segs = segs
-            .iter()
-            .filter(|(d, p)| *d == Direction::ToServer && !p.payload.is_empty())
-            .count();
+        let data_segs =
+            segs.iter().filter(|(d, p)| *d == Direction::ToServer && !p.payload.is_empty()).count();
         assert_eq!(data_segs, 4);
     }
 

@@ -226,7 +226,11 @@ impl Trace {
         for k in 0..times {
             let shift = idse_sim::SimDuration::from_secs_f64(period.as_secs_f64() * k as f64);
             for r in &self.records {
-                out.push(TraceRecord { at: r.at + shift, packet: r.packet.clone(), truth: r.truth });
+                out.push(TraceRecord {
+                    at: r.at + shift,
+                    packet: r.packet.clone(),
+                    truth: r.truth,
+                });
             }
         }
         out.finish();
@@ -264,7 +268,14 @@ mod tests {
     fn pkt(n: u8) -> Packet {
         Packet::tcp(
             Ipv4Header::simple(Ipv4Addr::new(10, 0, 0, n), Ipv4Addr::new(10, 0, 1, 1)),
-            TcpHeader { src_port: 1000 + n as u16, dst_port: 80, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 0 },
+            TcpHeader {
+                src_port: 1000 + n as u16,
+                dst_port: 80,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 0,
+            },
             Vec::new(),
         )
     }

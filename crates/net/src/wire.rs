@@ -271,11 +271,7 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, DecodeError> {
         }
     };
 
-    Ok(Packet {
-        ip,
-        transport,
-        payload: Arc::from(payload.to_vec().into_boxed_slice()),
-    })
+    Ok(Packet { ip, transport, payload: Arc::from(payload.to_vec().into_boxed_slice()) })
 }
 
 #[cfg(test)]
@@ -345,10 +341,7 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let bytes = encode(&tcp_packet(b"abc"));
-        assert_eq!(
-            decode(&bytes[..10]),
-            Err(DecodeError::Truncated)
-        );
+        assert_eq!(decode(&bytes[..10]), Err(DecodeError::Truncated));
         // Cutting the buffer but leaving the header intact → length mismatch.
         let cut = &bytes[..bytes.len() - 2];
         assert!(matches!(decode(cut), Err(DecodeError::LengthMismatch { .. })));

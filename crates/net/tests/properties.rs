@@ -2,9 +2,7 @@
 //! checksum integrity, fragmentation, and flow canonicalization.
 
 use idse_net::frag::{fragment, OverlapPolicy, Reassembler};
-use idse_net::packet::{
-    IcmpHeader, IcmpKind, Ipv4Header, Packet, TcpFlags, TcpHeader, UdpHeader,
-};
+use idse_net::packet::{IcmpHeader, IcmpKind, Ipv4Header, Packet, TcpFlags, TcpHeader, UdpHeader};
 use idse_net::{wire, FlowKey};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -43,13 +41,25 @@ fn arb_tcp_packet() -> impl Strategy<Value = Packet> {
 fn arb_packet() -> impl Strategy<Value = Packet> {
     prop_oneof![
         arb_tcp_packet(),
-        (arb_addr(), arb_addr(), any::<u16>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..600))
+        (
+            arb_addr(),
+            arb_addr(),
+            any::<u16>(),
+            any::<u16>(),
+            prop::collection::vec(any::<u8>(), 0..600)
+        )
             .prop_map(|(src, dst, sp, dp, payload)| Packet::udp(
                 Ipv4Header::simple(src, dst),
                 UdpHeader { src_port: sp, dst_port: dp },
                 payload
             )),
-        (arb_addr(), arb_addr(), any::<u16>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..600))
+        (
+            arb_addr(),
+            arb_addr(),
+            any::<u16>(),
+            any::<u16>(),
+            prop::collection::vec(any::<u8>(), 0..600)
+        )
             .prop_map(|(src, dst, ident, seq, payload)| Packet::icmp(
                 Ipv4Header::simple(src, dst),
                 IcmpHeader { kind: IcmpKind::EchoRequest, ident, seq },

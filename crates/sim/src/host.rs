@@ -173,6 +173,12 @@ impl HostCpu {
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
     }
+
+    /// Sample the cumulative CPU utilization over `[0, now]` into
+    /// `telemetry` as gauge `host.cpu.util`. Observation-only.
+    pub fn sample_telemetry(&self, telemetry: &idse_telemetry::Telemetry, now: SimTime) {
+        telemetry.gauge(now.as_nanos(), "host.cpu.util", self.utilization(now));
+    }
 }
 
 /// Extra ops per production op at each audit level, calibrated so that a
@@ -191,11 +197,9 @@ mod tests {
     fn audit_overhead_matches_cited_percentages() {
         // Saturate a host with production work under each audit level and
         // check the audit share of consumed capacity.
-        for (level, expect) in [
-            (AuditLevel::Off, 0.0),
-            (AuditLevel::Nominal, 0.04),
-            (AuditLevel::C2, 0.20),
-        ] {
+        for (level, expect) in
+            [(AuditLevel::Off, 0.0), (AuditLevel::Nominal, 0.04), (AuditLevel::C2, 0.20)]
+        {
             let mut cpu = HostCpu::new(1000.0, SimDuration::from_secs(1000));
             cpu.set_audit_level(level);
             let mut t = SimTime::ZERO;
@@ -236,10 +240,7 @@ mod tests {
             cpu.execute_production(SimTime::ZERO, 100.0),
             CpuVerdict::Completed { .. }
         ));
-        assert!(matches!(
-            cpu.execute_production(SimTime::ZERO, 100.0),
-            CpuVerdict::Overloaded
-        ));
+        assert!(matches!(cpu.execute_production(SimTime::ZERO, 100.0), CpuVerdict::Overloaded));
         assert_eq!(cpu.rejected(), 1);
     }
 

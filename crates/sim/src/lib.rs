@@ -60,6 +60,7 @@ pub struct Simulation<E> {
     queue: EventQueue<E>,
     now: SimTime,
     dispatched: u64,
+    telemetry: idse_telemetry::Telemetry,
 }
 
 impl<E> Default for Simulation<E> {
@@ -75,7 +76,20 @@ impl<E> Simulation<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             dispatched: 0,
+            telemetry: idse_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// How often (in dispatched events) the kernel samples its own
+    /// event-queue depth when telemetry is attached.
+    pub const QUEUE_DEPTH_SAMPLE_EVERY: u64 = 1024;
+
+    /// Attach a telemetry handle. The kernel samples the pending
+    /// event-queue depth (gauge `sim.queue_depth`) every
+    /// [`Self::QUEUE_DEPTH_SAMPLE_EVERY`] dispatched events. Recording is
+    /// observation-only: it never changes event order or timing.
+    pub fn set_telemetry(&mut self, telemetry: idse_telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Current virtual time (the timestamp of the last dispatched event).
@@ -113,6 +127,13 @@ impl<E> Simulation<E> {
             world.handle(self.now, ev.event, &mut self.queue);
             self.dispatched += 1;
             count += 1;
+            if self.telemetry.enabled() && self.dispatched % Self::QUEUE_DEPTH_SAMPLE_EVERY == 0 {
+                self.telemetry.gauge(
+                    self.now.as_nanos(),
+                    "sim.queue_depth",
+                    self.queue.len() as f64,
+                );
+            }
         }
         count
     }
@@ -184,6 +205,27 @@ mod tests {
         let n = sim.run_until(&mut w, SimTime::from_micros(15));
         assert_eq!(n, 1);
         assert_eq!(sim.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_samples_queue_depth_without_changing_dispatch() {
+        let sample_every = Simulation::<u32>::QUEUE_DEPTH_SAMPLE_EVERY;
+        let sink = idse_telemetry::MemorySink::new(64);
+        let mut sim = Simulation::new();
+        sim.set_telemetry(idse_telemetry::Telemetry::new(sink.clone()));
+        let mut plain = Simulation::new();
+        for i in 0..2 * sample_every {
+            sim.queue_mut().schedule(SimTime::from_micros(i), 1);
+            plain.queue_mut().schedule(SimTime::from_micros(i), 1);
+        }
+        let mut w = Counter { fired: vec![], respawn: false };
+        sim.run_to_completion(&mut w);
+        let mut w2 = Counter { fired: vec![], respawn: false };
+        plain.run_to_completion(&mut w2);
+        assert_eq!(w.fired, w2.fired, "observation must not change dispatch");
+        let events = sink.events();
+        assert_eq!(events.len(), 2, "one sample per {sample_every} dispatches");
+        assert!(events.iter().all(|e| e.name == "sim.queue_depth"));
     }
 
     #[test]

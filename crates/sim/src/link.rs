@@ -125,9 +125,7 @@ impl Link {
         self.busy_until = done;
         self.counters.processed += 1;
         self.bytes_sent += bytes as u64;
-        LinkVerdict::Delivered {
-            arrives_at: done + self.config.propagation,
-        }
+        LinkVerdict::Delivered { arrives_at: done + self.config.propagation }
     }
 
     /// When the transmitter becomes idle.
@@ -158,6 +156,12 @@ impl Link {
             return 0.0;
         }
         (self.bytes_sent as f64 * 8.0 / self.config.bandwidth_bps / span).min(1.0)
+    }
+
+    /// Sample the link's cumulative occupancy over `[0, now]` into
+    /// `telemetry` as gauge `link.occupancy`. Observation-only.
+    pub fn sample_telemetry(&self, telemetry: &idse_telemetry::Telemetry, now: SimTime) {
+        telemetry.gauge(now.as_nanos(), "link.occupancy", self.utilization(now));
     }
 }
 
@@ -191,9 +195,10 @@ mod tests {
         let first = l.offer(SimTime::ZERO, 125);
         let second = l.offer(SimTime::ZERO, 125);
         let (a, b) = match (first, second) {
-            (LinkVerdict::Delivered { arrives_at: a }, LinkVerdict::Delivered { arrives_at: b }) => {
-                (a, b)
-            }
+            (
+                LinkVerdict::Delivered { arrives_at: a },
+                LinkVerdict::Delivered { arrives_at: b },
+            ) => (a, b),
             _ => panic!("both frames fit the buffer"),
         };
         assert_eq!(b.saturating_since(a), SimDuration::from_millis(1));
@@ -245,7 +250,9 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        assert!(LinkConfig::gigabit_cluster().bandwidth_bps > LinkConfig::fast_ethernet().bandwidth_bps);
+        assert!(
+            LinkConfig::gigabit_cluster().bandwidth_bps > LinkConfig::fast_ethernet().bandwidth_bps
+        );
         let d = LinkConfig::fast_ethernet().serialization_delay(1500);
         assert_eq!(d, SimDuration::from_micros(120));
     }

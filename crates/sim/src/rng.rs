@@ -32,10 +32,7 @@ impl RngStream {
     /// Derive the stream named `label` from `master_seed`.
     pub fn derive(master_seed: u64, label: &str) -> Self {
         let mixed = splitmix64(master_seed ^ fnv1a(label.as_bytes()));
-        Self {
-            rng: StdRng::seed_from_u64(mixed),
-            label: label.to_owned(),
-        }
+        Self { rng: StdRng::seed_from_u64(mixed), label: label.to_owned() }
     }
 
     /// Derive a child stream, e.g. one per simulated host.
@@ -44,10 +41,7 @@ impl RngStream {
         // The child is a pure function of the parent's label lineage, not of
         // how many draws the parent has made.
         let mixed = splitmix64(fnv1a(combined.as_bytes()));
-        Self {
-            rng: StdRng::seed_from_u64(mixed),
-            label: combined,
-        }
+        Self { rng: StdRng::seed_from_u64(mixed), label: combined }
     }
 
     /// The stream's label lineage (for diagnostics).
@@ -127,10 +121,7 @@ impl RngStream {
             x -= w;
         }
         // Floating point slack: return the last positive-weight index.
-        weights
-            .iter()
-            .rposition(|&w| w > 0.0)
-            .expect("positive weight exists")
+        weights.iter().rposition(|&w| w > 0.0).expect("positive weight exists")
     }
 
     /// Fill a byte buffer with uniform random bytes.

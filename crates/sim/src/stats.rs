@@ -22,17 +22,16 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Self {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
-    /// Record one observation.
+    /// Record one observation. NaN observations are ignored — a single
+    /// NaN would otherwise poison every downstream moment (and with it a
+    /// whole scorecard).
     pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -144,13 +143,7 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Start tracking at `start` with initial value `value`.
     pub fn new(start: SimTime, value: f64) -> Self {
-        Self {
-            last_change: start,
-            current: value,
-            weighted_sum: 0.0,
-            start,
-            peak: value,
-        }
+        Self { last_change: start, current: value, weighted_sum: 0.0, start, peak: value }
     }
 
     /// Record that the signal changed to `value` at time `now`.
@@ -175,8 +168,8 @@ impl TimeWeighted {
 
     /// Time-weighted mean over `[start, now]`.
     pub fn mean(&self, now: SimTime) -> f64 {
-        let settled = self.weighted_sum
-            + self.current * now.saturating_since(self.last_change).as_secs_f64();
+        let settled =
+            self.weighted_sum + self.current * now.saturating_since(self.last_change).as_secs_f64();
         let span = now.saturating_since(self.start).as_secs_f64();
         if span <= 0.0 {
             self.current
@@ -204,13 +197,7 @@ impl LogHistogram {
     /// `lo > 0`, `ratio > 1` and `n > 0`.
     pub fn new(lo: f64, ratio: f64, n: usize) -> Self {
         assert!(lo > 0.0 && ratio > 1.0 && n > 0, "invalid histogram shape");
-        Self {
-            lo,
-            ratio,
-            buckets: vec![0; n],
-            underflow: 0,
-            overflow: 0,
-        }
+        Self { lo, ratio, buckets: vec![0; n], underflow: 0, overflow: 0 }
     }
 
     /// Record one observation.
@@ -257,10 +244,7 @@ impl LogHistogram {
 
     /// Per-bucket `(lower_edge, count)` pairs.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
+        self.buckets.iter().enumerate().map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
     }
 }
 
@@ -327,11 +311,45 @@ mod tests {
     }
 
     #[test]
+    fn summary_ignores_nan() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        s.record(f64::NAN);
+        s.record(3.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        // A summary fed only NaN stays empty and mean() stays finite.
+        let mut n = Summary::new();
+        n.record(f64::NAN);
+        assert_eq!(n.count(), 0);
+        assert_eq!(n.mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_handles_empty_sides() {
+        let mut a = Summary::new();
+        let b = Summary::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        let mut filled = Summary::new();
+        filled.record(4.0);
+        a.merge(&filled);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 4.0);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+    }
+
+    #[test]
     fn time_weighted_mean() {
         let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
         u.set(SimTime::from_secs(10), 1.0); // 0.0 for 10s
         u.set(SimTime::from_secs(20), 0.5); // 1.0 for 10s
-        // then 0.5 for 10s
+                                            // then 0.5 for 10s
         let mean = u.mean(SimTime::from_secs(30));
         assert!((mean - 0.5).abs() < 1e-12, "mean was {mean}");
         assert_eq!(u.peak(), 1.0);

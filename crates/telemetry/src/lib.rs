@@ -1,0 +1,496 @@
+//! Deterministic, sim-time-stamped telemetry for the evaluation pipeline.
+//!
+//! The paper's methodology lives or dies on *scientific repeatability*:
+//! the same seed must produce the same run, whether or not anyone is
+//! watching. This crate therefore provides observability that is
+//!
+//! * **sim-time native** — every event carries the simulation clock
+//!   (nanoseconds), never the wall clock, so traces from two machines
+//!   with the same seed are byte-identical;
+//! * **zero-effect** — recording never influences the run. A disabled
+//!   handle ([`Telemetry::disabled`]) is a single `Option` check per
+//!   call site, and no instrumented code path branches on what was
+//!   recorded;
+//! * **bounded** — the in-memory sink is a fixed-capacity ring buffer
+//!   that drops its oldest events (and counts the drops) instead of
+//!   growing without limit during long sweeps.
+//!
+//! The crate is dependency-free: it cannot depend on `idse-sim` (which
+//! itself records into it), so timestamps are raw [`SimNanos`] — the
+//! same `u64` nanosecond value `idse_sim::SimTime::as_nanos` yields.
+//!
+//! # Anatomy
+//!
+//! [`Telemetry`] is a cheaply cloneable handle shared by every layer of
+//! a run (simulation kernel, IDS pipeline, evaluation harness). Events
+//! flow into a swappable [`Sink`]:
+//!
+//! * [`NoopSink`] — discards everything (useful to measure the cost of
+//!   the enabled path itself);
+//! * [`MemorySink`] — bounded ring buffer, readable back for
+//!   aggregation via [`summary::summarize`];
+//! * [`JsonlSink`] — streams one JSON object per line to a writer.
+//!
+//! ```
+//! use idse_telemetry::{MemorySink, Telemetry};
+//!
+//! let sink = MemorySink::new(1024);
+//! let tel = Telemetry::new(sink.clone());
+//! tel.span(500, 1_500, "stage.sense");
+//! tel.counter(1_500, "pipeline.alert", 1);
+//! tel.gauge(2_000, "queue.depth", 3.0);
+//! assert_eq!(sink.events().len(), 4); // enter + exit + counter + gauge
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Simulation-clock nanoseconds (`idse_sim::SimTime::as_nanos`).
+pub type SimNanos = u64;
+
+/// What a single telemetry event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A named region of sim-time began (`value` is 0).
+    SpanEnter,
+    /// The region ended; `value` is its duration in nanoseconds.
+    SpanExit,
+    /// A monotonic counter advanced; `value` is the (positive) delta.
+    Counter,
+    /// A sampled instantaneous level; `value` is the sample.
+    Gauge,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in JSONL output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit => "span_exit",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One recorded telemetry event.
+///
+/// Names are `&'static str` by design: keys are a closed, compile-time
+/// vocabulary (e.g. `"stage.sense"`), which keeps recording
+/// allocation-free and makes aggregation a pointer-cheap group-by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    pub at: SimNanos,
+    pub name: &'static str,
+    /// Which stream the event belongs to (e.g. the product under
+    /// evaluation when four evaluations share one sink). `""` when the
+    /// recording handle was never scoped.
+    pub scope: &'static str,
+    pub kind: EventKind,
+    pub value: f64,
+}
+
+impl Event {
+    /// Render as a single JSON object (one JSONL line, no trailing
+    /// newline). Field order is fixed, so output is deterministic.
+    pub fn to_jsonl(&self) -> String {
+        // Names and scopes are static identifiers (no quotes/control
+        // characters), so they embed without escaping.
+        format!(
+            r#"{{"at":{},"kind":"{}","name":"{}","scope":"{}","value":{}}}"#,
+            self.at,
+            self.kind.label(),
+            self.name,
+            self.scope,
+            fmt_value(self.value)
+        )
+    }
+}
+
+/// Format an f64 the way serde_json would: integral values keep `.0`.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Destination for recorded events.
+pub trait Sink: Send {
+    fn record(&mut self, event: &Event);
+
+    /// Flush any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards every event. Lets benchmarks measure the overhead of the
+/// *enabled* telemetry path separate from sink costs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Bounded ring buffer of events, shared across clones.
+///
+/// When full, the oldest event is dropped and counted — a long sweep
+/// can never exhaust memory through observability.
+#[derive(Debug, Clone)]
+pub struct MemorySink {
+    shared: Arc<Mutex<MemoryBuffer>>,
+}
+
+#[derive(Debug)]
+struct MemoryBuffer {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MemorySink {
+    /// A ring buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        MemorySink {
+            shared: Arc::new(Mutex::new(MemoryBuffer {
+                events: std::collections::VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let buf = self.shared.lock().expect("telemetry buffer lock");
+        buf.events.iter().copied().collect()
+    }
+
+    /// How many events were evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.lock().expect("telemetry buffer lock").dropped
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("telemetry buffer lock").events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.shared.lock().expect("telemetry buffer lock");
+        if buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(*event);
+    }
+}
+
+/// Streams each event as one JSON line to any writer.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        // Telemetry must never abort a run; I/O errors degrade to
+        // silently dropped lines.
+        let _ = writeln!(self.out, "{}", event.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A sink that duplicates every event into two sinks (e.g. JSONL file
+/// plus in-memory buffer for the end-of-run summary).
+pub struct TeeSink<A: Sink, B: Sink> {
+    a: A,
+    b: B,
+}
+
+impl<A: Sink, B: Sink> TeeSink<A, B> {
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
+    fn record(&mut self, event: &Event) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
+/// Shared recording handle. Clone freely; all clones feed one sink.
+///
+/// The default handle is disabled: every record call reduces to one
+/// `Option` discriminant check and the event is never constructed.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Box<dyn Sink>>>>,
+    scope: &'static str,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A handle that records nothing and costs (almost) nothing.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None, scope: "" }
+    }
+
+    /// A handle recording into `sink`.
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        Telemetry { inner: Some(Arc::new(Mutex::new(Box::new(sink)))), scope: "" }
+    }
+
+    /// A clone of this handle whose events carry `scope` — used to keep
+    /// concurrent streams (one per evaluated product) separable in a
+    /// shared sink.
+    pub fn with_scope(&self, scope: &'static str) -> Self {
+        Telemetry { inner: self.inner.clone(), scope }
+    }
+
+    /// The scope attached to events from this handle (`""` = unscoped).
+    pub fn scope(&self) -> &'static str {
+        self.scope
+    }
+
+    /// Whether events are being recorded at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn record(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("telemetry sink lock").record(&event);
+        }
+    }
+
+    /// Mark entry into a named sim-time region.
+    #[inline]
+    pub fn span_enter(&self, at: SimNanos, name: &'static str) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(Event { at, name, scope: self.scope, kind: EventKind::SpanEnter, value: 0.0 });
+    }
+
+    /// Mark exit from a named region entered at `entered`.
+    #[inline]
+    pub fn span_exit(&self, at: SimNanos, entered: SimNanos, name: &'static str) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(Event {
+            at,
+            name,
+            scope: self.scope,
+            kind: EventKind::SpanExit,
+            value: at.saturating_sub(entered) as f64,
+        });
+    }
+
+    /// Record a completed region in one call (enter + exit pair).
+    #[inline]
+    pub fn span(&self, start: SimNanos, end: SimNanos, name: &'static str) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.span_enter(start, name);
+        self.span_exit(end, start, name);
+    }
+
+    /// Advance a monotonic counter by `delta`.
+    #[inline]
+    pub fn counter(&self, at: SimNanos, name: &'static str, delta: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(Event {
+            at,
+            name,
+            scope: self.scope,
+            kind: EventKind::Counter,
+            value: delta as f64,
+        });
+    }
+
+    /// Record an instantaneous sampled level (queue depth, utilization).
+    #[inline]
+    pub fn gauge(&self, at: SimNanos, name: &'static str, value: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record(Event { at, name, scope: self.scope, kind: EventKind::Gauge, value });
+    }
+
+    /// Flush the underlying sink (e.g. the JSONL writer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("telemetry sink lock").flush();
+        }
+    }
+}
+
+pub mod summary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing_and_is_cheap() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        tel.counter(1, "x", 1);
+        tel.gauge(2, "y", 3.0);
+        tel.span(0, 5, "z");
+        // Nothing to observe — the point is simply that none of the
+        // calls panic or allocate a sink.
+        tel.flush();
+    }
+
+    #[test]
+    fn memory_sink_round_trip() {
+        let sink = MemorySink::new(16);
+        let tel = Telemetry::new(sink.clone());
+        assert!(tel.enabled());
+        tel.span(100, 250, "stage.sense");
+        tel.counter(250, "pipeline.alert", 2);
+        tel.gauge(300, "queue.depth", 7.0);
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, EventKind::SpanEnter);
+        assert_eq!(events[1].kind, EventKind::SpanExit);
+        assert_eq!(events[1].value, 150.0);
+        assert_eq!(events[2].name, "pipeline.alert");
+        assert_eq!(events[3].value, 7.0);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_counts_drops() {
+        let sink = MemorySink::new(4);
+        let tel = Telemetry::new(sink.clone());
+        for i in 0..10u64 {
+            tel.counter(i, "c", 1);
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        // Oldest events were evicted: the survivors are the last four.
+        assert_eq!(sink.events()[0].at, 6);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let sink = MemorySink::new(64);
+        let tel = Telemetry::new(sink.clone());
+        let tel2 = tel.clone();
+        tel.counter(1, "a", 1);
+        tel2.counter(2, "b", 1);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_lines_are_deterministic() {
+        let ev = Event {
+            at: 1_500,
+            name: "stage.analyze",
+            scope: "NidSentry NS-5",
+            kind: EventKind::SpanExit,
+            value: 250.0,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"at":1500,"kind":"span_exit","name":"stage.analyze","scope":"NidSentry NS-5","value":250.0}"#
+        );
+    }
+
+    #[test]
+    fn scoped_clones_tag_events_and_share_the_sink() {
+        let sink = MemorySink::new(16);
+        let tel = Telemetry::new(sink.clone());
+        let scoped = tel.with_scope("product-a");
+        tel.counter(1, "c", 1);
+        scoped.counter(2, "c", 1);
+        let events = sink.events();
+        assert_eq!(events[0].scope, "");
+        assert_eq!(events[1].scope, "product-a");
+        assert_eq!(scoped.scope(), "product-a");
+        assert!(scoped.enabled());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = SharedBuf::default();
+        let tel = Telemetry::new(JsonlSink::new(shared.clone()));
+        tel.counter(10, "c", 3);
+        tel.gauge(20, "g", 0.5);
+        tel.flush();
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""kind":"counter""#));
+        assert!(lines[1].contains(r#""value":0.5"#));
+    }
+
+    #[test]
+    fn tee_sink_duplicates() {
+        let a = MemorySink::new(8);
+        let b = MemorySink::new(8);
+        let tel = Telemetry::new(TeeSink::new(a.clone(), b.clone()));
+        tel.counter(1, "x", 1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

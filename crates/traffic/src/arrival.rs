@@ -45,12 +45,7 @@ impl ArrivalProcess {
     }
 
     /// Generate all arrival instants in `[start, start + span)`.
-    pub fn arrivals(
-        &self,
-        start: SimTime,
-        span: SimDuration,
-        rng: &mut RngStream,
-    ) -> Vec<SimTime> {
+    pub fn arrivals(&self, start: SimTime, span: SimDuration, rng: &mut RngStream) -> Vec<SimTime> {
         let end = start + span;
         let mut out = Vec::new();
         match *self {
@@ -148,10 +143,8 @@ mod tests {
         let poisson = ArrivalProcess::Poisson { rate: onoff.mean_rate() };
         let span = SimDuration::from_secs(100);
         let cv = |arr: &[SimTime]| {
-            let gaps: Vec<f64> = arr
-                .windows(2)
-                .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
-                .collect();
+            let gaps: Vec<f64> =
+                arr.windows(2).map(|w| w[1].saturating_since(w[0]).as_secs_f64()).collect();
             let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
             let v = gaps.iter().map(|g| (g - m).powi(2)).sum::<f64>() / gaps.len() as f64;
             v.sqrt() / m

@@ -46,7 +46,12 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A config with conventional defaults: realistic payloads, 1 ms mean
     /// turnaround.
-    pub fn new(profile: SiteProfile, arrivals: ArrivalProcess, span: SimDuration, seed: u64) -> Self {
+    pub fn new(
+        profile: SiteProfile,
+        arrivals: ArrivalProcess,
+        span: SimDuration,
+        seed: u64,
+    ) -> Self {
         Self {
             profile,
             arrivals,
@@ -121,9 +126,7 @@ impl BackgroundGenerator {
         // In the intra-cluster case client and server blocks coincide;
         // avoid degenerate self-talk.
         if server == client {
-            server = self.config.profile.servers.host(
-                u32::from(server).wrapping_add(1) & 0xff | 1,
-            );
+            server = self.config.profile.servers.host(u32::from(server).wrapping_add(1) & 0xff | 1);
         }
         let turnaround = || -> SimDuration {
             SimDuration::from_secs_f64(
@@ -141,7 +144,8 @@ impl BackgroundGenerator {
             AppProtocol::Dns => {
                 let q = self.maybe_randomize(payload::dns_query(rng), &mut noise_rng);
                 let resp_len = q.len() + 16;
-                let resp = self.maybe_randomize(payload::random_bytes(rng, resp_len), &mut noise_rng);
+                let resp =
+                    self.maybe_randomize(payload::random_bytes(rng, resp_len), &mut noise_rng);
                 let sport = 1024 + (rng.uniform_u64(0, 60000) as u16).min(60000);
                 let fwd = Packet::udp(
                     Ipv4Header::simple(client, server),
@@ -162,8 +166,10 @@ impl BackgroundGenerator {
                 let source_id = rng.uniform_u64(0, 64) as u16;
                 let mut t = start;
                 for k in 0..n {
-                    let body = self
-                        .maybe_randomize(payload::cluster_telemetry(rng, session_idx * 100 + k as u32, source_id), &mut noise_rng);
+                    let body = self.maybe_randomize(
+                        payload::cluster_telemetry(rng, session_idx * 100 + k as u32, source_id),
+                        &mut noise_rng,
+                    );
                     let p = Packet::udp(
                         Ipv4Header::simple(client, server),
                         UdpHeader { src_port: 7100, dst_port: 7100 },
@@ -210,7 +216,12 @@ impl BackgroundGenerator {
         }
     }
 
-    fn tcp_exchanges(&self, proto: AppProtocol, rng: &mut RngStream, noise: &mut RngStream) -> Vec<Exchange> {
+    fn tcp_exchanges(
+        &self,
+        proto: AppProtocol,
+        rng: &mut RngStream,
+        noise: &mut RngStream,
+    ) -> Vec<Exchange> {
         // Collect raw exchanges first, then apply the payload mode in one
         // pass (avoids aliasing `rng` between a closure and direct draws).
         let mut ex: Vec<Exchange> = match proto {

@@ -14,19 +14,23 @@ use idse_sim::RngStream;
 /// era-appropriate vocabulary is enough: what matters is printable,
 /// keyword-bearing structure, not linguistic richness.
 const WORDS: &[&str] = &[
-    "index", "catalog", "order", "status", "report", "engine", "track", "sensor", "radar",
-    "nav", "update", "batch", "query", "results", "images", "store", "cart", "checkout",
-    "account", "profile", "search", "news", "main", "data", "archive", "log", "summary",
+    "index", "catalog", "order", "status", "report", "engine", "track", "sensor", "radar", "nav",
+    "update", "batch", "query", "results", "images", "store", "cart", "checkout", "account",
+    "profile", "search", "news", "main", "data", "archive", "log", "summary",
 ];
 
 const HOSTS: &[&str] = &[
-    "www.example.com", "shop.example.com", "mail.example.org", "ns1.example.net",
-    "cluster-fs.local", "telemetry.local", "ops.example.mil",
+    "www.example.com",
+    "shop.example.com",
+    "mail.example.org",
+    "ns1.example.net",
+    "cluster-fs.local",
+    "telemetry.local",
+    "ops.example.mil",
 ];
 
-const USERS: &[&str] = &[
-    "jsmith", "mbrown", "ops", "admin", "backup", "clee", "rjones", "operator", "watch1",
-];
+const USERS: &[&str] =
+    &["jsmith", "mbrown", "ops", "admin", "backup", "clee", "rjones", "operator", "watch1"];
 
 fn word(rng: &mut RngStream) -> &'static str {
     WORDS[rng.index(WORDS.len())]
@@ -83,7 +87,13 @@ pub fn smtp_command(rng: &mut RngStream) -> Vec<u8> {
         format!("MAIL FROM:<{user}@{host}>\r\n"),
         format!("RCPT TO:<{user}@{host}>\r\n"),
         "DATA\r\n".to_owned(),
-        format!("Subject: {} {}\r\n\r\nSee attached {} {}.\r\n.\r\n", word(rng), word(rng), word(rng), word(rng)),
+        format!(
+            "Subject: {} {}\r\n\r\nSee attached {} {}.\r\n.\r\n",
+            word(rng),
+            word(rng),
+            word(rng),
+            word(rng)
+        ),
     ];
     cmds[rng.index(cmds.len())].clone().into_bytes()
 }
@@ -204,12 +214,8 @@ mod tests {
         let resp = http_response(&mut r, 500);
         let text = String::from_utf8(resp).unwrap();
         let (head, body) = text.split_once("\r\n\r\n").unwrap();
-        let declared: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .unwrap()
-            .parse()
-            .unwrap();
+        let declared: usize =
+            head.lines().find_map(|l| l.strip_prefix("Content-Length: ")).unwrap().parse().unwrap();
         assert_eq!(declared, body.len());
         assert!(body.len() >= 500);
     }
@@ -220,7 +226,7 @@ mod tests {
         let q = dns_query(&mut r);
         assert!(q.len() > 16);
         assert_eq!(q[4..6], [0, 1]); // one question
-        // Trailing QTYPE/QCLASS.
+                                     // Trailing QTYPE/QCLASS.
         assert_eq!(&q[q.len() - 4..], &[0, 1, 0, 1]);
     }
 
@@ -270,7 +276,10 @@ mod tests {
             ftp_command(&mut r),
         ];
         for s in samples {
-            let printable = s.iter().filter(|&&b| (0x20..0x7f).contains(&b) || b == b'\r' || b == b'\n').count();
+            let printable = s
+                .iter()
+                .filter(|&&b| (0x20..0x7f).contains(&b) || b == b'\r' || b == b'\n')
+                .count();
             assert!(printable as f64 / s.len() as f64 > 0.95);
         }
     }

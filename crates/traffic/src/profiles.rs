@@ -51,7 +51,11 @@ impl AppProtocol {
     pub fn is_tcp(self) -> bool {
         matches!(
             self,
-            AppProtocol::Http | AppProtocol::Smtp | AppProtocol::Ftp | AppProtocol::Auth | AppProtocol::NfsRpc
+            AppProtocol::Http
+                | AppProtocol::Smtp
+                | AppProtocol::Ftp
+                | AppProtocol::Auth
+                | AppProtocol::NfsRpc
         )
     }
 
@@ -182,7 +186,11 @@ mod tests {
 
     #[test]
     fn presets_have_positive_mixes() {
-        for p in [SiteProfile::ecommerce_web(), SiteProfile::realtime_cluster(), SiteProfile::office_lan()] {
+        for p in [
+            SiteProfile::ecommerce_web(),
+            SiteProfile::realtime_cluster(),
+            SiteProfile::office_lan(),
+        ] {
             assert!(!p.mix.is_empty());
             assert!(p.mix.iter().all(|&(_, w)| w > 0.0));
             let total: f64 = p.mix.iter().map(|&(_, w)| w).sum();

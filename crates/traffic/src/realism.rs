@@ -41,8 +41,19 @@ pub fn printable_fraction(data: &[u8]) -> f64 {
 
 /// Protocol keywords a payload-inspecting engine of the era would key on.
 pub const PROTOCOL_KEYWORDS: &[&[u8]] = &[
-    b"GET ", b"POST ", b"HTTP/1.", b"Host: ", b"HELO ", b"MAIL FROM", b"RCPT TO", b"USER ",
-    b"PASS ", b"RETR ", b"STOR ", b"login:", b"CTLM",
+    b"GET ",
+    b"POST ",
+    b"HTTP/1.",
+    b"Host: ",
+    b"HELO ",
+    b"MAIL FROM",
+    b"RCPT TO",
+    b"USER ",
+    b"PASS ",
+    b"RETR ",
+    b"STOR ",
+    b"login:",
+    b"CTLM",
 ];
 
 /// Whether any protocol keyword occurs in the payload.
@@ -113,19 +124,12 @@ mod tests {
     #[test]
     fn realistic_beats_random_on_score() {
         let mut rng = RngStream::derive(42, "realism");
-        let real: Vec<Vec<u8>> = (0..50)
-            .map(|_| payload::http_request(&mut rng))
-            .collect();
-        let rand: Vec<Vec<u8>> = real
-            .iter()
-            .map(|p| payload::random_bytes(&mut rng, p.len()))
-            .collect();
+        let real: Vec<Vec<u8>> = (0..50).map(|_| payload::http_request(&mut rng)).collect();
+        let rand: Vec<Vec<u8>> =
+            real.iter().map(|p| payload::random_bytes(&mut rng, p.len())).collect();
         let score_real = realism_score(real.iter().map(|v| v.as_slice()));
         let score_rand = realism_score(rand.iter().map(|v| v.as_slice()));
-        assert!(
-            score_real > score_rand + 0.3,
-            "realistic {score_real} vs random {score_rand}"
-        );
+        assert!(score_real > score_rand + 0.3, "realistic {score_real} vs random {score_rand}");
         assert!(score_real > 0.7);
     }
 

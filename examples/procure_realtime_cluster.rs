@@ -39,6 +39,7 @@ fn main() {
         sweep_steps: 5,
         max_throughput_factor: 64.0,
         fp_budget: 0.2,
+        ..EvaluationConfig::default()
     };
     let feed = TestFeed::realtime_cluster(&config.feed);
     let evals = evaluate_all(&feed, &config);

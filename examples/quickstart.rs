@@ -38,6 +38,7 @@ fn main() {
         sweep_steps: 5,
         max_throughput_factor: 64.0,
         fp_budget: 0.2,
+        ..EvaluationConfig::default()
     };
     let product = IdsProduct::model(ProductId::GuardSecure);
     let eval = evaluate_product(&product, &feed, &config);
@@ -54,10 +55,7 @@ fn main() {
     let weights = RequirementSet::realtime_distributed().derive();
     let total = weights.weighted_total(&eval.scorecard);
     let ideal = weights.ideal_total();
-    println!(
-        "weighted score {total:.1} of standard {ideal:.1} ({:.1}%)",
-        100.0 * total / ideal
-    );
+    println!("weighted score {total:.1} of standard {ideal:.1} ({:.1}%)", 100.0 * total / ideal);
     for class in idse_core::MetricClass::ALL {
         println!(
             "  S_{} ({}) = {:.1}",

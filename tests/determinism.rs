@@ -22,6 +22,7 @@ fn config() -> EvaluationConfig {
         sweep_steps: 3,
         max_throughput_factor: 16.0,
         fp_budget: 0.2,
+        ..EvaluationConfig::default()
     }
 }
 
@@ -45,10 +46,7 @@ fn sequential_and_parallel_evaluations_agree() {
             );
         }
         assert_eq!(sequential.operating_sensitivity, from_parallel.operating_sensitivity);
-        assert_eq!(
-            sequential.confusion.detected_attacks,
-            from_parallel.confusion.detected_attacks
-        );
+        assert_eq!(sequential.confusion.detected_attacks, from_parallel.confusion.detected_attacks);
     }
 }
 
@@ -58,10 +56,7 @@ fn weighted_totals_are_bit_stable_across_runs() {
     let weights = RequirementSet::realtime_distributed().derive();
     let totals = |()| -> Vec<f64> {
         let feed = TestFeed::realtime_cluster(&cfg.feed);
-        evaluate_all(&feed, &cfg)
-            .iter()
-            .map(|e| weights.weighted_total(&e.scorecard))
-            .collect()
+        evaluate_all(&feed, &cfg).iter().map(|e| weights.weighted_total(&e.scorecard)).collect()
     };
     let a = totals(());
     let b = totals(());

@@ -20,6 +20,7 @@ fn quick_config() -> EvaluationConfig {
         sweep_steps: 4,
         max_throughput_factor: 32.0,
         fp_budget: 0.2,
+        ..EvaluationConfig::default()
     }
 }
 
@@ -42,7 +43,11 @@ fn full_methodology_produces_complete_weighted_verdicts() {
     for e in &evals {
         let total = weights.weighted_total(&e.scorecard);
         assert!(total.is_finite() && total > 0.0, "{}: total {total}", e.scorecard.system);
-        assert!(total <= ideal, "{}: total {total} exceeds the standard {ideal}", e.scorecard.system);
+        assert!(
+            total <= ideal,
+            "{}: total {total} exceeds the standard {ideal}",
+            e.scorecard.system
+        );
     }
 
     // The ranking is reusable under a different weighting without
@@ -59,10 +64,8 @@ fn full_methodology_produces_complete_weighted_verdicts() {
 }
 
 fn rank(cards: &[&Scorecard], w: &WeightSet) -> Vec<String> {
-    let mut rows: Vec<(String, f64)> = cards
-        .iter()
-        .map(|c| (c.system.clone(), w.weighted_total(c)))
-        .collect();
+    let mut rows: Vec<(String, f64)> =
+        cards.iter().map(|c| (c.system.clone(), w.weighted_total(c))).collect();
     rows.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
     rows.into_iter().map(|(n, _)| n).collect()
 }
@@ -73,10 +76,7 @@ fn research_prototype_scores_below_commercial_products_on_logistics() {
     let feed = TestFeed::realtime_cluster(&config.feed);
     let evals = evaluate_all(&feed, &config);
     let by_name = |needle: &str| {
-        evals
-            .iter()
-            .find(|e| e.scorecard.system.contains(needle))
-            .expect("product present")
+        evals.iter().find(|e| e.scorecard.system.contains(needle)).expect("product present")
     };
     let agentwatch = by_name("AgentWatch");
     let guardsecure = by_name("GuardSecure");

@@ -256,7 +256,8 @@ fn novel_exploits_separate_the_detection_mechanisms() {
 
     let f = feed();
     let exploit = exploit_by_name("novel-telnetd-overflow").expect("in corpus");
-    let spec = SessionSpec::new(std::net::Ipv4Addr::new(66, 7, 7, 7), 31111, f.servers[0], exploit.port);
+    let spec =
+        SessionSpec::new(std::net::Ipv4Addr::new(66, 7, 7, 7), 31111, f.servers[0], exploit.port);
     let mut trace = f.background.clone();
     let mut t = SimTime::from_secs(5);
     let truth = GroundTruth { attack_id: 1, class: AttackClass::PayloadExploit };

@@ -1,0 +1,268 @@
+//! Minimal offline subset of the `criterion` benchmark API.
+//!
+//! Provides the types and macros this workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_with_setup`, `Throughput`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`, `black_box` — backed by a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery.
+//! Results are printed as mean time per iteration (plus a derived
+//! element/byte rate when a throughput is declared).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per `iter` call, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark label with an attached parameter, e.g.
+/// `BenchmarkId::new("product", "fh-anomaly")`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Anything `bench_function` accepts as a label.
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+/// Drives the measured routine; handed to the bench closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean wall-clock time per iteration, filled in by `iter*`.
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, mean: None, iters: 0 }
+    }
+
+    /// Measure `routine` repeatedly. The iteration count adapts to the
+    /// routine's cost: fast routines run up to `sample_size` times, slow
+    /// ones as few as once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and cost estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let warmup = start.elapsed();
+
+        let iters = self.plan_iters(warmup);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.record(total, iters);
+    }
+
+    /// Like `iter`, but runs `setup` outside the measured region before
+    /// every invocation of `routine`.
+    pub fn iter_with_setup<S, O, Setup, R>(&mut self, mut setup: Setup, mut routine: R)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let warmup = start.elapsed();
+
+        let iters = self.plan_iters(warmup);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.record(total, iters);
+    }
+
+    fn plan_iters(&self, warmup: Duration) -> u64 {
+        if warmup > Duration::from_millis(250) {
+            return 1;
+        }
+        // Aim for ~100ms of measured time, capped by the sample size.
+        let budget = Duration::from_millis(100);
+        let per_iter = warmup.max(Duration::from_nanos(10));
+        let fit = (budget.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+        fit.min(self.sample_size as u64).max(1)
+    }
+
+    fn record(&mut self, total: Duration, iters: u64) {
+        self.iters = iters;
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean = match bencher.mean {
+        Some(m) => m,
+        None => {
+            println!("{label:48} (no measurement)");
+            return;
+        }
+    };
+    let mut line =
+        format!("{label:48} time: {:>12}/iter  ({} iters)", format_duration(mean), bencher.iters);
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark driver; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, label: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        report(&label.into_label(), &bencher, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing sample-size and
+/// throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, label: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, label.into_label());
+        report(&full, &bencher, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and any filter) to the binary;
+            // this simple harness runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("param", 3), |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

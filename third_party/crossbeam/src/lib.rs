@@ -1,0 +1,70 @@
+//! Minimal offline subset of the `crossbeam` API.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Differences from real
+//! crossbeam: child-thread panics propagate when the scope unwinds
+//! instead of being collected into the returned `Err` — callers in this
+//! workspace immediately `.expect()` the result, so the observable
+//! behavior (panic on child panic) is identical.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of running a scope: `Ok` unless a child thread panicked.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning further scoped threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives
+        /// the scope itself (so it can spawn nested threads).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins all of them before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_mutate_borrowed_slots() {
+        let mut slots: Vec<Option<usize>> = vec![None; 4];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = Some(i * i);
+                });
+            }
+        })
+        .expect("threads do not panic");
+        assert_eq!(slots, vec![Some(0), Some(1), Some(4), Some(9)]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,696 @@
+//! Minimal offline subset of `serde`.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the handful of external crates it uses as small API-compatible
+//! shims (see `third_party/README.md`). This shim keeps serde's public
+//! *shape* — `Serialize`/`Deserialize` traits generic over
+//! `Serializer`/`Deserializer`, derive macros, field attributes
+//! (`skip`, `transparent`, `with`, `rename`) — but collapses the data model
+//! to a single JSON-like [`Value`] tree: serializers receive a fully-built
+//! `Value`, deserializers surrender one. That is exactly the power
+//! `serde_json` needs, which is the only data format the workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The universal data-model value: a JSON-shaped tree.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map) so that
+/// serialized output is deterministic and mirrors declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 if it is an unsigned or non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64 if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Short tag for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization-side error bound, mirroring `serde::ser::Error`.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Serializer`] may produce.
+    pub trait Error: Sized + Display {
+        /// Construct from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error bound, mirroring `serde::de::Error`.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Deserializer`] may produce.
+    pub trait Error: Sized + Display {
+        /// Construct from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub use crate::DeserializeOwned;
+}
+
+/// The concrete error used by the in-crate `Value` round-trip.
+#[derive(Debug, Clone)]
+pub struct SimpleError(pub String);
+
+impl fmt::Display for SimpleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl ser::Error for SimpleError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+impl de::Error for SimpleError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+/// A sink for one fully-built [`Value`].
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// The error type.
+    type Error: ser::Error;
+
+    /// Consume the serializer with a finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can describe itself to any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A source that yields one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: de::Error;
+
+    /// Surrender the value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can reconstruct itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` without borrowed data — all this shim ever produces.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The identity serializer: yields the built [`Value`].
+pub struct ValueSink;
+
+impl Serializer for ValueSink {
+    type Ok = Value;
+    type Error = SimpleError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SimpleError> {
+        Ok(value)
+    }
+}
+
+/// The identity deserializer: wraps an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SimpleError;
+
+    fn take_value(self) -> Result<Value, SimpleError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize anything into a [`Value`]. Panics only if a hand-written
+/// `Serialize` impl raises a custom error (none in this workspace do).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSink) {
+        Ok(v) => v,
+        Err(e) => panic!("serialization to Value failed: {e}"),
+    }
+}
+
+/// Reconstruct a `T` from a [`Value`].
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, SimpleError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Support helpers the derive macros expand to. Not public API.
+pub mod __private {
+    use super::*;
+
+    /// Unwrap an object or fail with a type-mismatch error.
+    pub fn expect_object<E: de::Error>(value: Value, ty: &str) -> Result<Vec<(String, Value)>, E> {
+        match value {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(E::custom(format!("expected object for {ty}, found {}", other.kind()))),
+        }
+    }
+
+    /// Pull `key` out of an object and deserialize it. Missing keys
+    /// deserialize from `Null` so `Option` fields tolerate omission.
+    pub fn field<T: DeserializeOwned, E: de::Error>(
+        pairs: &mut Vec<(String, Value)>,
+        key: &str,
+        ty: &str,
+    ) -> Result<T, E> {
+        let value = match pairs.iter().position(|(k, _)| k == key) {
+            Some(i) => pairs.swap_remove(i).1,
+            None => Value::Null,
+        };
+        from_value(value).map_err(|e| E::custom(format!("{ty}.{key}: {e}")))
+    }
+
+    /// Deserialize a plain value with error-type conversion.
+    pub fn value_into<T: DeserializeOwned, E: de::Error>(value: Value, ty: &str) -> Result<T, E> {
+        from_value(value).map_err(|e| E::custom(format!("{ty}: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for primitives and std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        let len = v.len();
+        v.try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Array(vec![$(to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Render a map key as a JSON object key. Any key whose serialized form
+/// is a string, integer, or bool is accepted (matching serde_json, which
+/// stringifies scalar keys).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match to_value(key) {
+        Value::Str(s) => s,
+        Value::U64(u) => u.to_string(),
+        Value::I64(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a scalar, found {}", other.kind()),
+    }
+}
+
+/// Reconstruct a map key from its JSON object-key string: try the
+/// string form first (covers String, unit enums, Ipv4Addr), then fall
+/// back to numeric re-parsing for integer keys.
+fn key_from_string<K: DeserializeOwned>(key: &str) -> Result<K, SimpleError> {
+    match from_value(Value::Str(key.to_owned())) {
+        Ok(k) => Ok(k),
+        Err(first) => {
+            if let Ok(u) = key.parse::<u64>() {
+                if let Ok(k) = from_value(Value::U64(u)) {
+                    return Ok(k);
+                }
+            }
+            if let Ok(i) = key.parse::<i64>() {
+                if let Ok(k) = from_value(Value::I64(i)) {
+                    return Ok(k);
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(k), to_value(v))).collect(),
+        ))
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output regardless of hash order.
+        let mut pairs: Vec<(&K, &V)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        s.serialize_value(Value::Object(
+            pairs.into_iter().map(|(k, v)| (key_to_string(k), to_value(v))).collect(),
+        ))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = key_from_string(&k).map_err(|e| de::Error::custom(e.to_string()))?;
+                    let value = from_value(v).map_err(|e| de::Error::custom(e.to_string()))?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => {
+                Err(de::Error::custom(format!("expected object for map, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: DeserializeOwned + Eq + std::hash::Hash,
+    V: DeserializeOwned,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = key_from_string(&k).map_err(|e| de::Error::custom(e.to_string()))?;
+                    let value = from_value(v).map_err(|e| de::Error::custom(e.to_string()))?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => {
+                Err(de::Error::custom(format!("expected object for map, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Object(vec![
+            ("secs".to_owned(), Value::U64(self.as_secs())),
+            ("nanos".to_owned(), Value::U64(u64::from(self.subsec_nanos()))),
+        ]))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let out = match v {
+                    Value::I64(x) => <$t>::try_from(x).ok(),
+                    Value::U64(x) => <$t>::try_from(x).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| de::Error::custom(format!(
+                    concat!("expected ", stringify!($t), ", found {:?}"), v
+                )))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_f64().ok_or_else(|| de::Error::custom(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(|e| de::Error::custom(e.to_string())))
+                .collect(),
+            other => Err(de::Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(|e| de::Error::custom(e.to_string())),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(|e| de::Error::custom(format!("invalid IPv4 address {s:?}: {e}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                match d.take_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            {
+                                let _ = $n; // positional marker
+                                from_value::<$t>(it.next().expect("length checked"))
+                                    .map_err(|e| de::Error::custom(e.to_string()))?
+                            },
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected {}-element array, found {}", $len, other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_value(&42u64), Value::U64(42));
+        assert_eq!(to_value(&-3i32), Value::I64(-3));
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value("hi"), Value::Str("hi".to_owned()));
+        let v: u16 = from_value(Value::U64(9)).unwrap();
+        assert_eq!(v, 9);
+        let none: Option<u8> = from_value(Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![1u32, 2, 3];
+        let v = to_value(&xs);
+        let back: Vec<u32> = from_value(v).unwrap();
+        assert_eq!(back, xs);
+        let ip: std::net::Ipv4Addr =
+            from_value(to_value(&std::net::Ipv4Addr::new(10, 0, 0, 1))).unwrap();
+        assert_eq!(ip, std::net::Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let r: Result<u8, _> = from_value(Value::Str("no".into()));
+        assert!(r.is_err());
+        let r: Result<Vec<u8>, _> = from_value(Value::Bool(true));
+        assert!(r.is_err());
+    }
+}

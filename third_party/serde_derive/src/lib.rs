@@ -1,0 +1,563 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! the item shapes this workspace actually uses: non-generic structs with
+//! named fields, tuple structs, and enums whose variants are unit, newtype,
+//! tuple, or struct-like. Honored attributes: container-level
+//! `#[serde(transparent)]`; field-level `#[serde(skip)]`,
+//! `#[serde(with = "module")]`, `#[serde(rename = "name")]`,
+//! `#[serde(default)]`. Anything else fails loudly with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    with: Option<String>,
+    rename: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    /// The key this field serializes under.
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Consume `#[...]` runs, returning accumulated serde attributes.
+    fn parse_attrs(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("malformed attribute".to_owned()),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => return Err("malformed #[serde(...)] attribute".to_owned()),
+            };
+            let mut it = args.into_iter().peekable();
+            while let Some(tok) = it.next() {
+                let word = match &tok {
+                    TokenTree::Ident(i) => i.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                    other => return Err(format!("unsupported serde attribute token `{other}`")),
+                };
+                match word.as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                    "transparent" => {
+                        // Container-level; smuggled through `with` slot is
+                        // wrong, so use rename slot? No — handled by caller
+                        // via a sentinel.
+                        attrs.rename = Some("__transparent__".to_owned());
+                    }
+                    "default" => { /* shim always defaults missing fields */ }
+                    "with" | "rename" => match (it.next(), it.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let raw = lit.to_string();
+                            let value = raw.trim_matches('"').to_owned();
+                            if word == "with" {
+                                attrs.with = Some(value);
+                            } else {
+                                attrs.rename = Some(value);
+                            }
+                        }
+                        _ => return Err(format!("malformed #[serde({word} = ...)]")),
+                    },
+                    other => return Err(format!("unsupported serde attribute `{other}`")),
+                }
+            }
+        }
+        Ok(attrs)
+    }
+
+    /// Skip a visibility qualifier if present.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consume a type, stopping at a top-level `,` (angle-bracket aware).
+    fn skip_type(&mut self) -> Result<(), String> {
+        let mut depth = 0i32;
+        loop {
+            match self.peek() {
+                None => return Ok(()),
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        return Ok(());
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                        if depth < 0 {
+                            return Err("unbalanced angle brackets in type".to_owned());
+                        }
+                    }
+                    self.next();
+                }
+                Some(_) => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    let container_attrs = cur.parse_attrs()?;
+    let transparent = container_attrs.rename.as_deref() == Some("__transparent__");
+    cur.skip_vis();
+
+    let keyword = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    if cur.at_punct('<') {
+        return Err(format!("serde shim derive does not support generics (on `{name}`)"));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream())?)
+            }
+            other => return Err(format!("unsupported struct body `{other:?}`")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body `{other:?}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Input { name, transparent, kind })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let attrs = cur.parse_attrs()?;
+        cur.skip_vis();
+        let name = match cur.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found `{other:?}`")),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found `{other:?}`")),
+        }
+        cur.skip_type()?;
+        // Consume the separating comma if present.
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.parse_attrs()?;
+        cur.skip_vis();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_type()?;
+        count += 1;
+        if cur.at_punct(',') {
+            cur.next();
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.parse_attrs()?;
+        let name = match cur.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found `{other:?}`")),
+        };
+        let body = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantBody::Struct(fields?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantBody::Tuple(n?)
+            }
+            _ => VariantBody::Unit,
+        };
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+            if item.transparent {
+                let f = live.first().map(|f| f.name.clone()).unwrap_or_default();
+                format!("serializer.serialize_value(serde::to_value(&self.{f}))")
+            } else {
+                let mut s =
+                    String::from("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+                for f in &live {
+                    s.push_str(&push_field_value(f, &format!("self.{}", f.name)));
+                }
+                s.push_str("serializer.serialize_value(serde::Value::Object(__fields))");
+                s
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if *n == 1 || item.transparent {
+                "serializer.serialize_value(serde::to_value(&self.0))".to_owned()
+            } else {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("serde::to_value(&self.{i})")).collect();
+                format!(
+                    "serializer.serialize_value(serde::Value::Array(vec![{}]))",
+                    items.join(", ")
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => serializer.serialize_value(serde::Value::Str({vn:?}.to_string())),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => serializer.serialize_value(serde::Value::Object(vec![({vn:?}.to_string(), serde::to_value(__f0))])),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> =
+                            binds.iter().map(|b| format!("serde::to_value({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serializer.serialize_value(serde::Value::Object(vec![({vn:?}.to_string(), serde::Value::Array(vec![{}]))])),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n",
+                        );
+                        for f in &live {
+                            inner.push_str(&push_field_value(f, &f.name.clone()));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} serializer.serialize_value(serde::Value::Object(vec![({vn:?}.to_string(), serde::Value::Object(__fields))])) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         #[allow(unused_mut, clippy::vec_init_then_push, clippy::redundant_field_names)]\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Generated statement pushing one field's `(key, Value)` pair.
+fn push_field_value(f: &Field, access: &str) -> String {
+    let key = f.key();
+    match &f.attrs.with {
+        Some(module) => format!(
+            "__fields.push(({key:?}.to_string(), match {module}::serialize(&{access}, serde::ValueSink) {{ \
+             Ok(v) => v, Err(e) => return Err(serde::ser::Error::custom(e)) }}));\n"
+        ),
+        None => format!("__fields.push(({key:?}.to_string(), serde::to_value(&{access})));\n"),
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            if item.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_default();
+                let mut s =
+                    format!("Ok({name} {{ {f}: serde::__private::value_into(__value, {name:?})?, ");
+                for skipped in fields.iter().filter(|x| x.attrs.skip) {
+                    s.push_str(&format!("{}: ::core::default::Default::default(), ", skipped.name));
+                }
+                s.push_str("})");
+                s
+            } else {
+                let mut s = format!(
+                    "let mut __obj = serde::__private::expect_object::<D::Error>(__value, {name:?})?;\n"
+                );
+                s.push_str(&format!("Ok({name} {{\n"));
+                for f in fields {
+                    s.push_str(&field_from_obj(f, name));
+                }
+                s.push_str("})");
+                s
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if *n == 1 {
+                format!("Ok({name}(serde::__private::value_into(__value, {name:?})?))")
+            } else {
+                let mut s = format!(
+                    "let __items = match __value {{ serde::Value::Array(a) if a.len() == {n} => a, \
+                     _ => return Err(serde::de::Error::custom(concat!(\"expected \", {n}, \"-element array for \", {name:?}))) }};\n\
+                     let mut __it = __items.into_iter();\n"
+                );
+                let parts: Vec<String> = (0..*n)
+                    .map(|_| {
+                        format!(
+                            "serde::__private::value_into(__it.next().expect(\"length checked\"), {name:?})?"
+                        )
+                    })
+                    .collect();
+                s.push_str(&format!("Ok({name}({}))", parts.join(", ")));
+                s
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        str_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantBody::Tuple(1) => {
+                        obj_arms.push_str(&format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::__private::value_into(__v, {name:?})?)),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(n) => {
+                        let mut inner = format!(
+                            "let __items = match __v {{ serde::Value::Array(a) if a.len() == {n} => a, \
+                             _ => return Err(serde::de::Error::custom(\"bad tuple variant payload\")) }};\n\
+                             let mut __it = __items.into_iter();\n"
+                        );
+                        let parts: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "serde::__private::value_into(__it.next().expect(\"length checked\"), {name:?})?"
+                                )
+                            })
+                            .collect();
+                        inner.push_str(&format!("Ok({name}::{vn}({}))", parts.join(", ")));
+                        obj_arms.push_str(&format!("{vn:?} => {{ {inner} }}\n"));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let mut inner = format!(
+                            "let mut __obj = serde::__private::expect_object::<D::Error>(__v, {name:?})?;\n"
+                        );
+                        inner.push_str(&format!("Ok({name}::{vn} {{\n"));
+                        for f in fields {
+                            inner.push_str(&field_from_obj(f, name));
+                        }
+                        inner.push_str("})");
+                        obj_arms.push_str(&format!("{vn:?} => {{ {inner} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err(serde::de::Error::custom(format!(\"unknown variant {{__other:?}} of {name}\"))),\n}},\n\
+                 serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.into_iter().next().expect(\"length checked\");\n\
+                 match __k.as_str() {{\n{obj_arms}\
+                 __other => Err(serde::de::Error::custom(format!(\"unknown variant {{__other:?}} of {name}\"))),\n}}\n}},\n\
+                 __other => Err(serde::de::Error::custom(concat!(\"invalid representation for enum \", {name:?}))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         #[allow(unused_variables, unused_mut, clippy::redundant_field_names)]\n\
+         fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n\
+         let __value = deserializer.take_value()?;\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Generated `name: <expr>,` initializer for one named field.
+fn field_from_obj(f: &Field, ty: &str) -> String {
+    let fname = &f.name;
+    if f.attrs.skip {
+        return format!("{fname}: ::core::default::Default::default(),\n");
+    }
+    let key = f.key();
+    match &f.attrs.with {
+        Some(module) => format!(
+            "{fname}: {{\n\
+             let __v = match __obj.iter().position(|(k, _)| k == {key:?}) {{\n\
+             Some(i) => __obj.swap_remove(i).1, None => serde::Value::Null }};\n\
+             {module}::deserialize(serde::ValueDeserializer(__v))\
+             .map_err(|e| serde::de::Error::custom(format!(\"{ty}.{key}: {{e}}\")))?\n\
+             }},\n"
+        ),
+        None => format!("{fname}: serde::__private::field(&mut __obj, {key:?}, {ty:?})?,\n"),
+    }
+}
