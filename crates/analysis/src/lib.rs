@@ -1,0 +1,487 @@
+//! # idse-lint — workspace static analysis for determinism and real-time safety
+//!
+//! A self-contained, line-level static-analysis pass over the workspace
+//! source. No rustc plugin, no network dependencies — the same vendored-shim
+//! philosophy as `third_party/`: a small lexer (see [`source`]) feeds a rule
+//! engine (see [`rules`]) that enforces the properties the paper's scorecard
+//! methodology depends on. Identical inputs must yield byte-identical
+//! scores; these rules make the hazard classes that broke that property in
+//! PR 1 (hash-seeded iteration order) unrepresentable going forward.
+//!
+//! ## Escape hatch
+//!
+//! A finding can be suppressed with an allow comment that *requires* a
+//! written reason, either trailing the offending line or on the line above:
+//!
+//! ```text
+//! // idse-lint: allow(float-eq-comparison, reason = "exact-zero sentinel")
+//! if weight == 0.0 { continue; }
+//! ```
+//!
+//! A directive with an unknown rule name or a missing/empty reason is
+//! itself an error (`invalid-allow`), and a directive that suppresses
+//! nothing is flagged (`unused-allow`) so stale suppressions get deleted.
+//!
+//! ## Determinism of the lint itself
+//!
+//! The lint practices what it enforces: the workspace walk is sorted, all
+//! aggregation uses ordered containers, and two runs over the same tree
+//! emit byte-identical JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod source;
+
+use rules::{FileKind, LineCtx, RuleId, Severity};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One reported finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Rule name (kebab-case, as used in allow directives).
+    pub rule: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// Owning crate package name (`workspace` for root tests/examples).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable message.
+    pub message: String,
+    /// The offending source line (masked code channel), trimmed.
+    pub excerpt: String,
+}
+
+impl Finding {
+    fn severity(&self) -> Severity {
+        if self.severity == "error" {
+            Severity::Error
+        } else {
+            Severity::Warn
+        }
+    }
+}
+
+/// A finding suppressed by a valid allow directive.
+#[derive(Debug, Clone, Serialize)]
+pub struct Suppressed {
+    /// The finding that would have been reported.
+    pub finding: Finding,
+    /// The written justification from the allow directive.
+    pub reason: String,
+}
+
+/// Result of analyzing one file or a whole workspace.
+#[derive(Debug, Default, Serialize)]
+pub struct Report {
+    /// Active findings (not suppressed), in file/line order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by allow directives, with their reasons.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether any active finding is error severity.
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity() == Severity::Error)
+    }
+
+    /// Count of active error findings.
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity() == Severity::Error).count()
+    }
+
+    /// Count of active warning findings.
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
+    }
+
+    /// Merge another report into this one.
+    pub fn absorb(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.suppressed.extend(other.suppressed);
+        self.files_scanned += other.files_scanned;
+    }
+
+    /// Per-crate, per-rule counts: the suppression-debt ledger.
+    pub fn stats(&self) -> Stats {
+        let mut per_crate: BTreeMap<String, BTreeMap<String, RuleCounts>> = BTreeMap::new();
+        fn slot<'m>(
+            per_crate: &'m mut BTreeMap<String, BTreeMap<String, RuleCounts>>,
+            crate_name: &str,
+            rule: &str,
+        ) -> &'m mut RuleCounts {
+            per_crate
+                .entry(crate_name.to_string())
+                .or_default()
+                .entry(rule.to_string())
+                .or_default()
+        }
+        for f in &self.findings {
+            let c = slot(&mut per_crate, &f.crate_name, &f.rule);
+            match f.severity() {
+                Severity::Error => c.errors += 1,
+                Severity::Warn => c.warnings += 1,
+            }
+        }
+        for s in &self.suppressed {
+            slot(&mut per_crate, &s.finding.crate_name, &s.finding.rule).suppressed += 1;
+        }
+        let mut totals = RuleCounts::default();
+        for counts in per_crate.values().flat_map(|m| m.values()) {
+            totals.errors += counts.errors;
+            totals.warnings += counts.warnings;
+            totals.suppressed += counts.suppressed;
+        }
+        Stats { files_scanned: self.files_scanned, per_crate, totals }
+    }
+}
+
+/// Error/warning/suppression counts for one (crate, rule) cell.
+#[derive(Debug, Default, Clone, Copy, Serialize)]
+pub struct RuleCounts {
+    /// Active error findings.
+    pub errors: usize,
+    /// Active warning findings.
+    pub warnings: usize,
+    /// Findings suppressed by allow directives (the debt to track).
+    pub suppressed: usize,
+}
+
+/// The `--stats` / baseline payload: per-crate rule-hit counts.
+#[derive(Debug, Serialize)]
+pub struct Stats {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// crate → rule → counts, both levels sorted.
+    pub per_crate: BTreeMap<String, BTreeMap<String, RuleCounts>>,
+    /// Workspace-wide totals.
+    pub totals: RuleCounts,
+}
+
+impl Stats {
+    /// Render the fixed-width table `--stats` prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:<32} {:>6} {:>6} {:>10}",
+            "crate", "rule", "err", "warn", "suppressed"
+        );
+        for (crate_name, rules) in &self.per_crate {
+            for (rule, c) in rules {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<32} {:>6} {:>6} {:>10}",
+                    crate_name, rule, c.errors, c.warnings, c.suppressed
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:<32} {:>6} {:>6} {:>10}",
+            "TOTAL", "", self.totals.errors, self.totals.warnings, self.totals.suppressed
+        );
+        out
+    }
+}
+
+/// Analyze one file's text. `file` is the workspace-relative display path.
+pub fn analyze_source(file: &str, crate_name: &str, kind: FileKind, text: &str) -> Report {
+    let lines = source::mask(text);
+    let test_flags = source::test_regions(&lines);
+    let directives = source::allow_directives(&lines);
+
+    let mut report = Report { files_scanned: 1, ..Report::default() };
+
+    // Validate directives first: bad ones are findings in their own right
+    // and never suppress anything.
+    let mut valid: Vec<(usize, RuleId, String, bool)> = Vec::new(); // (target, rule, reason, used)
+    for d in &directives {
+        match (RuleId::parse(&d.rule_name), &d.reason) {
+            (Some(rule), Some(reason)) if !reason.trim().is_empty() => {
+                valid.push((d.target_line, rule, reason.clone(), false));
+            }
+            (None, _) => report.findings.push(finding_at(
+                RuleId::InvalidAllow,
+                Severity::Error,
+                crate_name,
+                file,
+                d.on_line,
+                0,
+                format!("allow directive names unknown rule `{}`", d.rule_name),
+                &lines,
+            )),
+            (Some(_), _) => report.findings.push(finding_at(
+                RuleId::InvalidAllow,
+                Severity::Error,
+                crate_name,
+                file,
+                d.on_line,
+                0,
+                "allow directive requires a non-empty reason: \
+                 idse-lint: allow(rule, reason = \"...\")"
+                    .to_string(),
+                &lines,
+            )),
+        }
+    }
+
+    for (i, line) in lines.iter().enumerate() {
+        let ctx = LineCtx {
+            crate_name,
+            kind,
+            in_test: test_flags.get(i).copied().unwrap_or(false),
+            code: &line.code,
+        };
+        for hit in rules::check_line(&ctx) {
+            let f = finding_at(
+                hit.rule,
+                hit.severity,
+                crate_name,
+                file,
+                i,
+                hit.column,
+                hit.message,
+                &lines,
+            );
+            match valid.iter_mut().find(|(target, rule, _, _)| *target == i && *rule == hit.rule) {
+                Some((_, _, reason, used)) => {
+                    *used = true;
+                    report.suppressed.push(Suppressed { finding: f, reason: reason.clone() });
+                }
+                None => report.findings.push(f),
+            }
+        }
+    }
+
+    for (target, rule, _, used) in &valid {
+        if !used {
+            report.findings.push(finding_at(
+                RuleId::UnusedAllow,
+                Severity::Warn,
+                crate_name,
+                file,
+                *target,
+                0,
+                format!("allow({}) suppressed no finding: delete it", rule.name()),
+                &lines,
+            ));
+        }
+    }
+
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finding_at(
+    rule: RuleId,
+    severity: Severity,
+    crate_name: &str,
+    file: &str,
+    line0: usize,
+    column0: usize,
+    message: String,
+    lines: &[source::Line],
+) -> Finding {
+    Finding {
+        rule: rule.name().to_string(),
+        severity: severity.label().to_string(),
+        crate_name: crate_name.to_string(),
+        file: file.to_string(),
+        line: line0 + 1,
+        column: column0 + 1,
+        message,
+        excerpt: lines.get(line0).map(|l| l.code.trim().to_string()).unwrap_or_default(),
+    }
+}
+
+/// Classify a file path (relative to its crate root) into a [`FileKind`].
+fn classify(rel_in_crate: &Path) -> FileKind {
+    let mut components = rel_in_crate.components().filter_map(|c| c.as_os_str().to_str());
+    match components.next() {
+        Some("tests") => FileKind::IntegrationTest,
+        Some("benches") => FileKind::Bench,
+        Some("examples") => FileKind::Example,
+        Some("src") => {
+            if components.next() == Some("bin") {
+                FileKind::Bin
+            } else {
+                FileKind::Library
+            }
+        }
+        _ => FileKind::Library,
+    }
+}
+
+/// Read the `name = "..."` field of a crate's Cargo.toml; falls back to the
+/// directory name.
+fn crate_package_name(crate_dir: &Path) -> String {
+    let manifest = crate_dir.join("Cargo.toml");
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        for line in text.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("name") {
+                if let Some(v) = rest.trim_start().strip_prefix('=') {
+                    return v.trim().trim_matches('"').to_string();
+                }
+            }
+        }
+    }
+    crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or("unknown").to_string()
+}
+
+fn walk_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // Fixture corpora are violation samples by design, never
+            // workspace code.
+            if path.file_name().and_then(|n| n.to_str()) == Some("fixtures") {
+                continue;
+            }
+            walk_rust_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn analyze_tree(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    crate_root: &Path,
+    report: &mut Report,
+) -> std::io::Result<()> {
+    let mut files = Vec::new();
+    walk_rust_files(dir, &mut files)?;
+    for path in files {
+        let rel_in_crate = path.strip_prefix(crate_root).unwrap_or(&path);
+        let kind = classify(rel_in_crate);
+        let display = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+        let text = std::fs::read_to_string(&path)?;
+        report.absorb(analyze_source(&display, crate_name, kind, &text));
+    }
+    Ok(())
+}
+
+/// Run the full pass over a workspace rooted at `root`: every crate under
+/// `crates/` (its `src/`, `tests/`, `benches/`), plus the root `examples/`
+/// and `tests/` trees. `third_party/` shims and fixture corpora are out of
+/// scope by construction.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> =
+        std::fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs.into_iter().filter(|p| p.is_dir()) {
+        let name = crate_package_name(&crate_dir);
+        for sub in ["src", "tests", "benches"] {
+            analyze_tree(root, &crate_dir.join(sub), &name, &crate_dir, &mut report)?;
+        }
+    }
+    for sub in ["examples", "tests"] {
+        analyze_tree(root, &root.join(sub), "workspace", root, &mut report)?;
+    }
+
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
+    });
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.finding.file, a.finding.line).cmp(&(&b.finding.file, b.finding.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify(Path::new("src/lib.rs")), FileKind::Library);
+        assert_eq!(classify(Path::new("src/bin/lint.rs")), FileKind::Bin);
+        assert_eq!(classify(Path::new("tests/engine.rs")), FileKind::IntegrationTest);
+        assert_eq!(classify(Path::new("benches/scorecard.rs")), FileKind::Bench);
+    }
+
+    #[test]
+    fn allow_suppresses_and_records_reason() {
+        let src = "use std::collections::HashMap; // idse-lint: allow(unordered-iteration-in-report, reason = \"membership only, order never observed\")\n";
+        let r = analyze_source("x.rs", "idse-eval", FileKind::Library, src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason, "membership only, order never observed");
+    }
+
+    #[test]
+    fn allow_without_reason_is_invalid() {
+        let src =
+            "// idse-lint: allow(unordered-iteration-in-report)\nuse std::collections::HashMap;\n";
+        let r = analyze_source("x.rs", "idse-eval", FileKind::Library, src);
+        assert!(r.findings.iter().any(|f| f.rule == "invalid-allow"));
+        // The underlying finding still fires: an invalid allow suppresses nothing.
+        assert!(r.findings.iter().any(|f| f.rule == "unordered-iteration-in-report"));
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// idse-lint: allow(wall-clock-in-sim, reason = \"speculative\")\nlet x = 1;\n";
+        let r = analyze_source("x.rs", "idse-sim", FileKind::Library, src);
+        assert!(r.findings.iter().any(|f| f.rule == "unused-allow"));
+    }
+
+    #[test]
+    fn stats_counts_by_crate_and_rule() {
+        let mut r = analyze_source(
+            "a.rs",
+            "idse-eval",
+            FileKind::Library,
+            "use std::collections::HashMap;\n",
+        );
+        r.absorb(analyze_source(
+            "b.rs",
+            "idse-sim",
+            FileKind::Library,
+            "let t = Instant::now();\n",
+        ));
+        let stats = r.stats();
+        assert_eq!(stats.totals.errors, 2);
+        assert_eq!(stats.per_crate["idse-eval"]["unordered-iteration-in-report"].errors, 1);
+        assert_eq!(stats.per_crate["idse-sim"]["wall-clock-in-sim"].errors, 1);
+    }
+
+    #[test]
+    fn json_report_is_deterministic() {
+        let run = || {
+            let r = analyze_source(
+                "a.rs",
+                "idse-eval",
+                FileKind::Library,
+                "use std::collections::HashMap;\nlet x = y == 0.5;\n",
+            );
+            serde_json::to_string(&r.stats()).expect("stats serialize")
+        };
+        assert_eq!(run(), run());
+    }
+}

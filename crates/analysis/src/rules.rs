@@ -1,0 +1,480 @@
+//! The rule set. Each rule is a line-level predicate over the masked
+//! code channel, scoped by crate, file kind, and test-region flag, with
+//! a severity that can be tiered per crate.
+//!
+//! Every rule here is grounded in a hazard this repo has actually hit or
+//! must structurally prevent:
+//!
+//! - `unordered-iteration-in-report` — PR 1 shipped a real bug where a
+//!   `HashMap` float-summation order leaked the hash seed into the
+//!   reported `host_impact` ulp. Report paths (`idse-eval`, `idse-core`)
+//!   must use ordered containers.
+//! - `wall-clock-in-sim` — sim time is the only clock in `idse-sim`,
+//!   `idse-ids`, `idse-net` (and `idse-telemetry`, which timestamps with
+//!   sim nanos). `Instant`/`SystemTime` would make runs unrepeatable.
+//! - `unseeded-entropy` — every random draw must come from a seeded,
+//!   named `RngStream`; ambient entropy destroys reproducibility.
+//! - `panic-in-library` — library code must not `unwrap()`/`panic!`;
+//!   `expect("invariant message")` is the sanctioned form for true
+//!   invariants. Severity is tiered: substrate crates error, harness
+//!   crates warn.
+//! - `float-eq-comparison` — exact `==`/`!=` on floats is almost always
+//!   a latent ulp bug in a scoring pipeline; exact-zero sentinels must
+//!   be allowlisted with a reason.
+//! - `sink-side-effect` — telemetry is observation-only: the telemetry
+//!   crate must never reach back into the simulator, and no record call
+//!   may share a statement with event scheduling.
+
+use serde::Serialize;
+
+/// Finding severity. Errors fail the build; warnings are debt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Reported, counted, but does not fail the run.
+    Warn,
+    /// Fails the run (nonzero exit).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label for display.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Identity of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum RuleId {
+    /// HashMap/HashSet in `idse-eval`/`idse-core` report paths.
+    UnorderedIterationInReport,
+    /// `Instant`/`SystemTime` in simulation-clock crates.
+    WallClockInSim,
+    /// `thread_rng`/`from_entropy`/`RandomState`/`OsRng` outside tests.
+    UnseededEntropy,
+    /// `unwrap()`/`panic!`/`todo!`/`unimplemented!` in library code.
+    PanicInLibrary,
+    /// `==`/`!=` against a float operand.
+    FloatEqComparison,
+    /// Telemetry recording entangled with event scheduling.
+    SinkSideEffect,
+    /// Malformed allow directive (unknown rule or missing reason).
+    InvalidAllow,
+    /// Allow directive that suppressed nothing.
+    UnusedAllow,
+}
+
+impl RuleId {
+    /// Every rule, in stable display order.
+    pub const ALL: [RuleId; 8] = [
+        RuleId::UnorderedIterationInReport,
+        RuleId::WallClockInSim,
+        RuleId::UnseededEntropy,
+        RuleId::PanicInLibrary,
+        RuleId::FloatEqComparison,
+        RuleId::SinkSideEffect,
+        RuleId::InvalidAllow,
+        RuleId::UnusedAllow,
+    ];
+
+    /// Kebab-case rule name as written in allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnorderedIterationInReport => "unordered-iteration-in-report",
+            RuleId::WallClockInSim => "wall-clock-in-sim",
+            RuleId::UnseededEntropy => "unseeded-entropy",
+            RuleId::PanicInLibrary => "panic-in-library",
+            RuleId::FloatEqComparison => "float-eq-comparison",
+            RuleId::SinkSideEffect => "sink-side-effect",
+            RuleId::InvalidAllow => "invalid-allow",
+            RuleId::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Parse a rule name as written in an allow directive.
+    pub fn parse(name: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `--help`-style output.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::UnorderedIterationInReport => {
+                "HashMap/HashSet in a report path: iteration order leaks the hash seed \
+                 into reported values; use BTreeMap/BTreeSet or sort before reducing"
+            }
+            RuleId::WallClockInSim => {
+                "wall-clock time in a simulation crate: sim time is the only clock; \
+                 Instant/SystemTime make runs unrepeatable"
+            }
+            RuleId::UnseededEntropy => {
+                "ambient entropy outside test code: draw from a seeded, named RngStream"
+            }
+            RuleId::PanicInLibrary => {
+                "panicking call in library code: return Result, or use \
+                 expect(\"invariant message\") for true invariants"
+            }
+            RuleId::FloatEqComparison => {
+                "exact equality on a float operand: compare within a tolerance, or \
+                 allowlist exact-zero sentinels with a reason"
+            }
+            RuleId::SinkSideEffect => {
+                "telemetry entangled with event scheduling: observation must stay \
+                 observation-only"
+            }
+            RuleId::InvalidAllow => {
+                "malformed idse-lint allow directive: unknown rule name or missing \
+                 non-empty reason"
+            }
+            RuleId::UnusedAllow => "allow directive that suppressed no finding: delete it",
+        }
+    }
+}
+
+/// What part of a crate a file belongs to. Rules scope themselves by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FileKind {
+    /// `src/**` (excluding `src/bin`): the library proper.
+    Library,
+    /// `src/bin/**`: CLI entry points.
+    Bin,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+    /// `tests/**`: integration tests (whole file is test code).
+    IntegrationTest,
+}
+
+impl FileKind {
+    fn is_test(self) -> bool {
+        matches!(self, FileKind::IntegrationTest)
+    }
+}
+
+/// Crate strictness tier for `panic-in-library`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Substrate crates: determinism and panic-freedom are load-bearing.
+    Strict,
+    /// Harness/model crates: same rules, warn severity for panics.
+    Standard,
+    /// Binaries-only crates (figures, benches): panic rules do not apply.
+    Tooling,
+}
+
+/// Tier of a crate by package name.
+pub fn crate_tier(crate_name: &str) -> Tier {
+    match crate_name {
+        "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" => Tier::Strict,
+        "idse-ids" | "idse-eval" | "idse-traffic" | "idse-attacks" => Tier::Standard,
+        _ => Tier::Tooling,
+    }
+}
+
+/// Crates whose report paths must iterate deterministically.
+const REPORT_CRATES: [&str; 2] = ["idse-eval", "idse-core"];
+/// Crates where sim time is the only legal clock.
+const SIM_CLOCK_CRATES: [&str; 4] = ["idse-sim", "idse-ids", "idse-net", "idse-telemetry"];
+
+/// Context for one line of one file.
+pub struct LineCtx<'a> {
+    /// Package name of the owning crate (`workspace` for root tests/examples).
+    pub crate_name: &'a str,
+    /// File kind.
+    pub kind: FileKind,
+    /// Whether the line is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Masked code channel of the line.
+    pub code: &'a str,
+}
+
+/// A raw rule hit on one line (before allow-directive resolution).
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Severity after crate tiering.
+    pub severity: Severity,
+    /// Column (0-based char offset) of the offending token.
+    pub column: usize,
+    /// Human message.
+    pub message: String,
+}
+
+fn word_at(code: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || code[..at].chars().next_back().is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        let after = at + word.len();
+        let after_ok = after >= code.len()
+            || code[after..].chars().next().is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = after;
+    }
+    None
+}
+
+fn first_word(code: &str, words: &'static [&'static str]) -> Option<(usize, &'static str)> {
+    let mut best: Option<(usize, &'static str)> = None;
+    for w in words {
+        if let Some(at) = word_at(code, w) {
+            if best.is_none_or(|(b, _)| at < b) {
+                best = Some((at, w));
+            }
+        }
+    }
+    best
+}
+
+fn is_floatish_token(tok: &str) -> bool {
+    if tok.is_empty() {
+        return false;
+    }
+    if tok.ends_with("f64") || tok.ends_with("f32") {
+        return true;
+    }
+    // A float literal: digits, underscores, exactly the chars of a number,
+    // containing a decimal point.
+    tok.contains('.')
+        && tok.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '_')
+        && tok.chars().any(|c| c.is_ascii_digit())
+}
+
+fn operand_before(code: &str, op_at: usize) -> &str {
+    let head = code[..op_at].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .map_or(0, |p| p + 1);
+    &head[start..]
+}
+
+fn operand_after(code: &str, after_op: usize) -> &str {
+    let tail = code[after_op..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .unwrap_or(tail.len());
+    &tail[..end]
+}
+
+fn float_eq_hit(code: &str) -> Option<usize> {
+    let mut from = 0;
+    while from + 1 < code.len() {
+        let rel = code[from..].find(['=', '!'])?;
+        let at = from + rel;
+        let two = code.get(at..at + 2).unwrap_or("");
+        if two != "==" && two != "!=" {
+            from = at + 1;
+            continue;
+        }
+        // Exclude `<=`, `>=`, `=>`, `..=` style neighbors.
+        let prev = code[..at].chars().next_back();
+        let next2 = code.get(at + 2..at + 3).and_then(|s| s.chars().next());
+        if matches!(prev, Some('<') | Some('>') | Some('=') | Some('!'))
+            || matches!(next2, Some('='))
+        {
+            from = at + 2;
+            continue;
+        }
+        if is_floatish_token(operand_before(code, at))
+            || is_floatish_token(operand_after(code, at + 2))
+        {
+            return Some(at);
+        }
+        from = at + 2;
+    }
+    None
+}
+
+const TELEMETRY_RECORD_CALLS: [&str; 5] =
+    [".span_enter(", ".span_exit(", ".span(", ".counter(", ".gauge("];
+
+/// Run every applicable rule against one line.
+pub fn check_line(ctx: &LineCtx<'_>) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let code = ctx.code;
+    if code.trim().is_empty() {
+        return hits;
+    }
+    let in_test_code = ctx.in_test || ctx.kind.is_test();
+    let tier = crate_tier(ctx.crate_name);
+
+    // unordered-iteration-in-report: library, non-test, report crates.
+    if REPORT_CRATES.contains(&ctx.crate_name) && ctx.kind == FileKind::Library && !in_test_code {
+        if let Some((at, w)) = first_word(code, &["HashMap", "HashSet"]) {
+            hits.push(Hit {
+                rule: RuleId::UnorderedIterationInReport,
+                severity: Severity::Error,
+                column: at,
+                message: format!(
+                    "`{w}` in a report path of `{}`: hash-seed iteration order can leak \
+                     into reported values; use BTreeMap/BTreeSet or sort before reducing",
+                    ctx.crate_name
+                ),
+            });
+        }
+    }
+
+    // wall-clock-in-sim: every file of the sim-clock crates, tests included —
+    // timing assertions there must also be expressed in sim time.
+    if SIM_CLOCK_CRATES.contains(&ctx.crate_name) {
+        if let Some((at, w)) = first_word(code, &["Instant", "SystemTime", "UNIX_EPOCH"]) {
+            hits.push(Hit {
+                rule: RuleId::WallClockInSim,
+                severity: Severity::Error,
+                column: at,
+                message: format!(
+                    "`{w}` in `{}`: sim time is the only clock in simulation crates",
+                    ctx.crate_name
+                ),
+            });
+        }
+    }
+
+    // unseeded-entropy: any non-test code in any crate.
+    if !in_test_code {
+        if let Some((at, w)) =
+            first_word(code, &["thread_rng", "from_entropy", "RandomState", "OsRng"])
+        {
+            hits.push(Hit {
+                rule: RuleId::UnseededEntropy,
+                severity: Severity::Error,
+                column: at,
+                message: format!(
+                    "`{w}` draws ambient entropy: derive a seeded RngStream instead so \
+                     identical inputs yield byte-identical runs"
+                ),
+            });
+        }
+    }
+
+    // panic-in-library: library code outside tests, tiered by crate.
+    if ctx.kind == FileKind::Library && !in_test_code && tier != Tier::Tooling {
+        let token = first_word(code, &["panic!", "todo!", "unimplemented!"])
+            .or_else(|| code.find(".unwrap()").map(|at| (at, ".unwrap()")));
+        if let Some((at, w)) = token {
+            let severity = if tier == Tier::Strict { Severity::Error } else { Severity::Warn };
+            hits.push(Hit {
+                rule: RuleId::PanicInLibrary,
+                severity,
+                column: at,
+                message: format!(
+                    "`{w}` in library code: return Result, or use expect(\"invariant \
+                     message\") for a true invariant"
+                ),
+            });
+        }
+    }
+
+    // float-eq-comparison: library/bin code outside tests. Exact compares
+    // are legitimate in tests (byte-identical determinism assertions).
+    if matches!(ctx.kind, FileKind::Library | FileKind::Bin) && !in_test_code {
+        if let Some(at) = float_eq_hit(code) {
+            hits.push(Hit {
+                rule: RuleId::FloatEqComparison,
+                severity: Severity::Warn,
+                column: at,
+                message: "exact `==`/`!=` on a float operand: compare within a tolerance, \
+                          or allowlist an exact-zero sentinel with a reason"
+                    .to_string(),
+            });
+        }
+    }
+
+    // sink-side-effect, structural half: the telemetry crate must never
+    // reference the simulator or scheduling machinery.
+    if ctx.crate_name == "idse-telemetry" {
+        if let Some((at, w)) = first_word(code, &["idse_sim", "EventQueue"]) {
+            hits.push(Hit {
+                rule: RuleId::SinkSideEffect,
+                severity: Severity::Error,
+                column: at,
+                message: format!(
+                    "`{w}` inside idse-telemetry: telemetry is observation-only and must \
+                     not reach back into the simulator"
+                ),
+            });
+        }
+    }
+    // sink-side-effect, call-site half: a record call entangled with
+    // scheduling in one statement.
+    if ctx.crate_name != "idse-telemetry" && !in_test_code {
+        let records = TELEMETRY_RECORD_CALLS.iter().any(|t| code.contains(t));
+        if records {
+            if let Some(at) = code.find(".schedule(") {
+                hits.push(Hit {
+                    rule: RuleId::SinkSideEffect,
+                    severity: Severity::Error,
+                    column: at,
+                    message: "telemetry record call entangled with event scheduling: \
+                              observation must stay observation-only"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx<'a>(crate_name: &'a str, code: &'a str) -> LineCtx<'a> {
+        LineCtx { crate_name, kind: FileKind::Library, in_test: false, code }
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn unordered_only_fires_in_report_crates() {
+        let code = "use std::collections::HashMap;";
+        assert!(check_line(&lib_ctx("idse-eval", code))
+            .iter()
+            .any(|h| h.rule == RuleId::UnorderedIterationInReport));
+        assert!(check_line(&lib_ctx("idse-ids", code))
+            .iter()
+            .all(|h| h.rule != RuleId::UnorderedIterationInReport));
+    }
+
+    #[test]
+    fn float_eq_detects_literals_and_casts() {
+        assert!(float_eq_hit("if da == 0.0 {").is_some());
+        assert!(float_eq_hit("while 1.5 != x {").is_some());
+        assert!(float_eq_hit("a as f64 == b").is_some());
+        assert!(float_eq_hit("n == 0").is_none());
+        assert!(float_eq_hit("x.len() == 0").is_none());
+        assert!(float_eq_hit("a <= 0.5").is_none());
+        assert!(float_eq_hit("let y = t.0 == u;").is_none());
+    }
+
+    #[test]
+    fn panic_severity_is_tiered() {
+        let strict = check_line(&lib_ctx("idse-sim", "x.unwrap();"));
+        assert_eq!(strict[0].severity, Severity::Error);
+        let standard = check_line(&lib_ctx("idse-eval", "x.unwrap();"));
+        assert_eq!(standard[0].severity, Severity::Warn);
+        let tooling = check_line(&lib_ctx("idse-bench", "x.unwrap();"));
+        assert!(tooling.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(check_line(&lib_ctx("idse-sim", "x.unwrap_or(0);")).is_empty());
+        assert!(check_line(&lib_ctx("idse-sim", "x.expect(\"invariant\");")).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+// Positive: exact equality against float operands in library code —
+// a literal, and an `as f64` cast on the left-hand side.
+// Linted as crate `idse-eval`, FileKind::Library.
+
+pub fn is_zero(w: f64) -> bool {
+    w == 0.0
+}
+
+pub fn drifted(n: usize, target: f64) -> bool {
+    n as f64 != target
+}

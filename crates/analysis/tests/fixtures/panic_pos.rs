@@ -1,0 +1,17 @@
+// Positive: panicking calls in non-test library code.
+// Linted as crate `idse-sim` (Strict tier), FileKind::Library.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn unreachable_branch(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => panic!("unhandled"),
+    }
+}
+
+pub fn later() -> u32 {
+    todo!()
+}

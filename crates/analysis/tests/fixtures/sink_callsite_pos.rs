@@ -1,0 +1,7 @@
+// Positive, call-site half: a telemetry record call sharing a statement
+// with event scheduling.
+// Linted as crate `idse-ids`, FileKind::Library.
+
+pub fn alert_and_reschedule(tele: &mut Telemetry, queue: &mut EventQueue, ev: Event) {
+    tele.counter("ids.alerts", 1); queue.schedule(ev);
+}

@@ -1,0 +1,9 @@
+// Negative: recording and scheduling kept in separate statements on
+// separate lines — observation stays observation-only.
+// Linted as crate `idse-ids`, FileKind::Library.
+
+pub fn alert_then_continue(tele: &mut Telemetry, queue: &mut EventQueue, ev: Event) {
+    tele.counter("ids.alerts", 1);
+    let verdict = classify(&ev);
+    queue.schedule(next_event(verdict));
+}

@@ -1,0 +1,8 @@
+// Positive, structural half: the telemetry crate referencing the
+// simulator's scheduling machinery.
+// Linted as crate `idse-telemetry`, FileKind::Library.
+use idse_sim::event::EventQueue;
+
+pub fn record_and_nudge(queue: &mut EventQueue) {
+    queue.len();
+}

@@ -1,0 +1,15 @@
+// Positive: hash-ordered containers in a report-path library file.
+// Linted as crate `idse-eval`, FileKind::Library.
+use std::collections::HashMap;
+
+pub fn histogram(names: &[String]) -> HashMap<String, usize> {
+    let mut h = HashMap::new();
+    for n in names {
+        *h.entry(n.clone()).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn flagged() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,16 @@
+// Negative: seeded, named streams in library code; ambient entropy only
+// inside the test module, where it is allowed.
+// Linted as crate `idse-traffic`, FileKind::Library.
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = RngStream::derive(seed, "traffic-jitter");
+    rng.uniform()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_ambient_entropy() {
+        let _rng = rand::thread_rng();
+    }
+}

@@ -1,0 +1,11 @@
+// Positive: ambient entropy in non-test library code.
+// Linted as crate `idse-traffic`, FileKind::Library.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn table() -> std::collections::hash_map::RandomState {
+    Default::default()
+}

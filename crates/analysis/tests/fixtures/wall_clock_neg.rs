@@ -1,0 +1,11 @@
+// Negative: sim-time arithmetic only; `Instant` appears solely inside a
+// string literal, which the masked code channel hides.
+// Linted as crate `idse-sim`, FileKind::Library.
+
+pub fn advance(now_nanos: u64, step_nanos: u64) -> u64 {
+    now_nanos + step_nanos
+}
+
+pub fn label() -> &'static str {
+    "wall-clock types like Instant are banned here"
+}

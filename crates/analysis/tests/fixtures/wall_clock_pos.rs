@@ -1,0 +1,18 @@
+// Positive: wall-clock time in a simulation crate. Fires even inside the
+// test module — timing assertions must also be in sim time.
+// Linted as crate `idse-sim`, FileKind::Library.
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_with_wall_clock() {
+        let t = std::time::SystemTime::now();
+        assert!(t.elapsed().is_ok());
+    }
+}

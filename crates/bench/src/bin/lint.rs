@@ -1,0 +1,136 @@
+//! `lint` — run the idse-lint workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p idse-bench --bin lint                  # human output, exit 1 on errors
+//! cargo run -p idse-bench --bin lint -- --json out.json
+//! cargo run -p idse-bench --bin lint -- --stats       # per-crate rule-hit counts
+//! cargo run -p idse-bench --bin lint -- --write-baseline lint-baseline.json
+//! ```
+//!
+//! Runs in CI between clippy and the test suite; exits nonzero when any
+//! error-severity finding is active. `--stats` prints the suppression-debt
+//! ledger (per-crate, per-rule error/warning/suppressed counts) so
+//! allowlist growth is visible over time; `--write-baseline` snapshots it
+//! to the committed `lint-baseline.json`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    stats: bool,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint [--root DIR] [--json FILE|-] [--stats] [--write-baseline FILE] [--rules]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: workspace_root(),
+        json: None,
+        stats: false,
+        write_baseline: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--json" => args.json = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--stats" => args.stats = true,
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--rules" => args.list_rules = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The workspace root: walk up from the current directory to the first
+/// Cargo.toml containing a `[workspace]` table.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.list_rules {
+        for rule in idse_lint::rules::RuleId::ALL {
+            println!("{:<32} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match idse_lint::run_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        let payload = serde_json::to_string_pretty(&report).expect("report serializes");
+        if path == Path::new("-") {
+            println!("{payload}");
+        } else if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &args.write_baseline {
+        let payload = serde_json::to_string_pretty(&report.stats()).expect("stats serialize");
+        if let Err(e) = std::fs::write(path, payload + "\n") {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        println!("{}[{}] {}:{}:{} — {}", f.severity, f.rule, f.file, f.line, f.column, f.message);
+        if !f.excerpt.is_empty() {
+            println!("    | {}", f.excerpt);
+        }
+    }
+
+    if args.stats {
+        print!("{}", report.stats().render_table());
+    }
+
+    println!(
+        "lint: {} files scanned, {} errors, {} warnings, {} suppressed by allow",
+        report.files_scanned,
+        report.error_count(),
+        report.warning_count(),
+        report.suppressed.len()
+    );
+
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

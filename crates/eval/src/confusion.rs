@@ -19,13 +19,17 @@
 use idse_ids::Alert;
 use idse_net::trace::{AttackClass, Trace};
 use idse_net::FlowKey;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The transaction universe of one test trace.
+///
+/// Every container here is ordered (`BTreeMap`/`BTreeSet`): these counts
+/// feed the reported FP/FN ratios, and hash-seeded iteration order must
+/// never be observable in a report path (the PR 1 `host_impact` bug class).
 #[derive(Debug)]
 pub struct TransactionLedger {
     /// Benign canonical flows.
-    benign_flows: HashSet<FlowKey>,
+    benign_flows: BTreeSet<FlowKey>,
     /// Attack instance ids with class.
     attacks: BTreeMap<u32, AttackClass>,
     /// Per-record lookup: record index → transaction.
@@ -41,7 +45,7 @@ enum Txn {
 impl TransactionLedger {
     /// Build the ledger for a labeled trace.
     pub fn of(trace: &Trace) -> Self {
-        let mut benign_flows = HashSet::new();
+        let mut benign_flows = BTreeSet::new();
         let mut attacks = BTreeMap::new();
         let mut record_txn = Vec::with_capacity(trace.len());
         for rec in trace.records() {
@@ -77,8 +81,8 @@ impl TransactionLedger {
 
     /// Score a run's alerts into confusion counts.
     pub fn score(&self, alerts: &[Alert]) -> ConfusionCounts {
-        let mut detected_attacks: HashSet<u32> = HashSet::new();
-        let mut flagged_benign: HashSet<FlowKey> = HashSet::new();
+        let mut detected_attacks: BTreeSet<u32> = BTreeSet::new();
+        let mut flagged_benign: BTreeSet<FlowKey> = BTreeSet::new();
         for a in alerts {
             match self.record_txn.get(a.trigger) {
                 Some(Txn::Attack(id)) => {
@@ -175,8 +179,9 @@ impl ConfusionCounts {
 }
 
 /// Aggregate alerts by detector name (diagnostics for noisy rules).
-pub fn alerts_by_detector(alerts: &[Alert]) -> HashMap<String, usize> {
-    let mut m = HashMap::new();
+/// Ordered so serialized output is byte-stable across processes.
+pub fn alerts_by_detector(alerts: &[Alert]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
     for a in alerts {
         *m.entry(a.detector.clone()).or_insert(0) += 1;
     }
@@ -290,6 +295,41 @@ mod tests {
         assert_eq!(c.class_detection_rate(AttackClass::PortScan), Some(1.0));
         assert_eq!(c.class_detection_rate(AttackClass::SynFlood), Some(0.0));
         assert_eq!(c.class_detection_rate(AttackClass::Tunneling), None);
+    }
+
+    #[test]
+    fn detector_histogram_is_byte_stable() {
+        // Regression guard for the PR 1 bug class: with a HashMap, the
+        // serialized histogram order depended on the per-instance hash
+        // seed. Ordered aggregation must serialize byte-identically
+        // regardless of alert arrival order.
+        let mut forward = Vec::new();
+        let mut reverse = Vec::new();
+        for (i, name) in ["zeta", "alpha", "mid", "alpha", "zeta"].iter().enumerate() {
+            let mut a = alert_on(i);
+            a.detector = (*name).into();
+            forward.push(a);
+        }
+        reverse.extend(forward.iter().rev().cloned());
+        let fwd_json = serde_json::to_string(&alerts_by_detector(&forward)).expect("serializes");
+        let rev_json = serde_json::to_string(&alerts_by_detector(&reverse)).expect("serializes");
+        assert_eq!(fwd_json, rev_json);
+        assert_eq!(fwd_json, r#"{"alpha":2,"mid":1,"zeta":2}"#);
+    }
+
+    #[test]
+    fn confusion_counts_are_byte_stable_across_runs() {
+        // Two independently built ledgers over the same trace must agree
+        // byte-for-byte on every derived quantity, including the ordered
+        // missed-attack list.
+        let t = sample_trace();
+        let alerts = [alert_on(0), alert_on(4)];
+        let a = TransactionLedger::of(&t).score(&alerts);
+        let b = TransactionLedger::of(&t).score(&alerts);
+        assert_eq!(format!("{:?}", a.missed_attacks), format!("{:?}", b.missed_attacks));
+        assert_eq!(format!("{:?}", a.per_class), format!("{:?}", b.per_class));
+        assert_eq!(a.false_positive_ratio().to_bits(), b.false_positive_ratio().to_bits());
+        assert_eq!(a.false_negative_ratio().to_bits(), b.false_negative_ratio().to_bits());
     }
 
     #[test]

@@ -79,7 +79,7 @@ mod tests {
     #[test]
     fn audit_shares_match_the_cited_ranges() {
         let rows = host_overhead_experiment(0.5, SimDuration::from_secs(30), 500.0, 1);
-        let by_level: std::collections::HashMap<&str, &OverheadRow> =
+        let by_level: std::collections::BTreeMap<&str, &OverheadRow> =
             rows.iter().map(|r| (r.level, r)).collect();
         assert!(by_level["off"].audit_share < 1e-9);
         // Audit shares scale with utilization: at 50% production load the
@@ -106,11 +106,24 @@ mod tests {
     }
 
     #[test]
+    fn overhead_rows_are_byte_stable_across_runs() {
+        // Regression guard for the PR 1 `host_impact` bug class: the
+        // serialized experiment output must be byte-identical run to run —
+        // no container in the pipeline may let hash-seeded iteration order
+        // reach the report.
+        let run = || {
+            let rows = host_overhead_experiment(0.7, SimDuration::from_secs(10), 750.0, 42);
+            serde_json::to_string(&rows).expect("rows serialize")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn heavier_audit_reduces_production_headroom() {
         // At near-saturation load, C2 auditing must cost visible production
         // throughput.
         let rows = host_overhead_experiment(1.2, SimDuration::from_secs(20), 0.0, 3);
-        let by_level: std::collections::HashMap<&str, &OverheadRow> =
+        let by_level: std::collections::BTreeMap<&str, &OverheadRow> =
             rows.iter().map(|r| (r.level, r)).collect();
         assert!(
             by_level["C2"].production_events_per_sec

@@ -44,6 +44,7 @@ impl ErrorCurve {
             let (a, b) = (w[0], w[1]);
             let da = a.false_positive_ratio - a.false_negative_ratio;
             let db = b.false_positive_ratio - b.false_negative_ratio;
+            // idse-lint: allow(float-eq-comparison, reason = "exact-zero crossing: the EER point is returned verbatim only when the curves touch exactly; near-misses take the interpolation branch")
             if da == 0.0 {
                 return Some((a.sensitivity, a.false_positive_ratio));
             }

@@ -345,6 +345,13 @@ mod tests {
         c
     }
 
+    /// Fetch a score that `score_vendor_metrics` is contractually required
+    /// to have set — the single place the "metric was scored" invariant is
+    /// asserted, instead of an `unwrap()` per call site.
+    fn score_of(card: &Scorecard, id: MetricId) -> u8 {
+        card.get(id).unwrap_or_else(|| panic!("score_vendor_metrics must score {id:?}")).value()
+    }
+
     #[test]
     fn scores_land_for_all_products() {
         for id in ProductId::ALL {
@@ -358,50 +365,38 @@ mod tests {
     #[test]
     fn distributed_management_anchors() {
         assert_eq!(
-            card_for(ProductId::AgentWatch).get(MetricId::DistributedManagement).unwrap().value(),
+            score_of(&card_for(ProductId::AgentWatch), MetricId::DistributedManagement),
             0,
             "research prototype: node-only management"
         );
-        assert_eq!(
-            card_for(ProductId::GuardSecure).get(MetricId::DistributedManagement).unwrap().value(),
-            4
-        );
+        assert_eq!(score_of(&card_for(ProductId::GuardSecure), MetricId::DistributedManagement), 4);
     }
 
     #[test]
     fn load_balancing_ladder_matches_paper_anchors() {
-        assert_eq!(
-            card_for(ProductId::NidSentry).get(MetricId::ScalableLoadBalancing).unwrap().value(),
-            0
-        );
-        assert_eq!(
-            card_for(ProductId::GuardSecure).get(MetricId::ScalableLoadBalancing).unwrap().value(),
-            2
-        );
-        assert_eq!(
-            card_for(ProductId::FlowHunter).get(MetricId::ScalableLoadBalancing).unwrap().value(),
-            4
-        );
+        assert_eq!(score_of(&card_for(ProductId::NidSentry), MetricId::ScalableLoadBalancing), 0);
+        assert_eq!(score_of(&card_for(ProductId::GuardSecure), MetricId::ScalableLoadBalancing), 2);
+        assert_eq!(score_of(&card_for(ProductId::FlowHunter), MetricId::ScalableLoadBalancing), 4);
     }
 
     #[test]
     fn detection_mechanism_metrics_differentiate() {
         let nid = card_for(ProductId::NidSentry);
         let fh = card_for(ProductId::FlowHunter);
-        assert_eq!(nid.get(MetricId::SignatureBased).unwrap().value(), 4);
-        assert_eq!(nid.get(MetricId::AnomalyBased).unwrap().value(), 0);
-        assert_eq!(fh.get(MetricId::SignatureBased).unwrap().value(), 0);
-        assert_eq!(fh.get(MetricId::AnomalyBased).unwrap().value(), 4);
+        assert_eq!(score_of(&nid, MetricId::SignatureBased), 4);
+        assert_eq!(score_of(&nid, MetricId::AnomalyBased), 0);
+        assert_eq!(score_of(&fh, MetricId::SignatureBased), 0);
+        assert_eq!(score_of(&fh, MetricId::AnomalyBased), 4);
     }
 
     #[test]
     fn host_network_fractions() {
         let aw = card_for(ProductId::AgentWatch);
-        assert_eq!(aw.get(MetricId::HostBased).unwrap().value(), 4);
-        assert_eq!(aw.get(MetricId::NetworkBased).unwrap().value(), 0);
+        assert_eq!(score_of(&aw, MetricId::HostBased), 4);
+        assert_eq!(score_of(&aw, MetricId::NetworkBased), 0);
         let nid = card_for(ProductId::NidSentry);
-        assert_eq!(nid.get(MetricId::HostBased).unwrap().value(), 0);
-        assert_eq!(nid.get(MetricId::NetworkBased).unwrap().value(), 4);
+        assert_eq!(score_of(&nid, MetricId::HostBased), 0);
+        assert_eq!(score_of(&nid, MetricId::NetworkBased), 4);
     }
 
     #[test]
@@ -414,17 +409,11 @@ mod tests {
     fn cost_ladder() {
         // AgentWatch is integration-labor only: best cost score.
         assert_eq!(
-            card_for(ProductId::AgentWatch)
-                .get(MetricId::ThreeYearCostOfOwnership)
-                .unwrap()
-                .value(),
+            score_of(&card_for(ProductId::AgentWatch), MetricId::ThreeYearCostOfOwnership),
             4
         );
         assert_eq!(
-            card_for(ProductId::FlowHunter)
-                .get(MetricId::ThreeYearCostOfOwnership)
-                .unwrap()
-                .value(),
+            score_of(&card_for(ProductId::FlowHunter), MetricId::ThreeYearCostOfOwnership),
             0
         );
     }

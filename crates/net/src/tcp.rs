@@ -361,6 +361,12 @@ mod tests {
         SessionSpec::new(Ipv4Addr::new(10, 0, 0, 5), 40123, Ipv4Addr::new(10, 0, 1, 9), 80)
     }
 
+    /// Every segment `synthesize_session` emits is TCP by construction —
+    /// the one place that invariant is asserted.
+    fn tcp_of(p: &Packet) -> &TcpHeader {
+        p.tcp_header().expect("synthesized segments are TCP")
+    }
+
     #[test]
     fn handshake_then_data_then_teardown() {
         let segs = synthesize_session(
@@ -373,12 +379,12 @@ mod tests {
         // 3 handshake + 2*(data+ack) + 3 teardown.
         assert_eq!(segs.len(), 10);
         assert!(segs[0].1.is_syn());
-        let t = segs[1].1.tcp_header().unwrap();
+        let t = tcp_of(&segs[1].1);
         assert!(t.flags.syn && t.flags.ack);
         // Last three are FIN-ACK, FIN-ACK, ACK.
-        assert!(segs[7].1.tcp_header().unwrap().flags.fin);
-        assert!(segs[8].1.tcp_header().unwrap().flags.fin);
-        assert!(segs[9].1.tcp_header().unwrap().flags.ack);
+        assert!(tcp_of(&segs[7].1).flags.fin);
+        assert!(tcp_of(&segs[8].1).flags.fin);
+        assert!(tcp_of(&segs[9].1).flags.ack);
     }
 
     #[test]
@@ -403,7 +409,7 @@ mod tests {
         let seqs: Vec<u32> = segs
             .iter()
             .filter(|(d, p)| *d == Direction::ToServer && !p.payload.is_empty())
-            .map(|(_, p)| p.tcp_header().unwrap().seq)
+            .map(|(_, p)| tcp_of(p).seq)
             .collect();
         assert_eq!(seqs, vec![s.client_isn + 1, s.client_isn + 101, s.client_isn + 201]);
     }
@@ -414,12 +420,12 @@ mod tests {
         let mut tracker = ConnTracker::new();
         let mut states = Vec::new();
         for (_, p) in &segs {
-            states.push(tracker.observe(p).unwrap());
+            states.push(tracker.observe(p).expect("segments are TCP"));
         }
         assert_eq!(states[0], ConnState::SynSent);
         assert_eq!(states[1], ConnState::SynReceived);
         assert_eq!(states[2], ConnState::Established);
-        assert_eq!(*states.last().unwrap(), ConnState::Closed);
+        assert_eq!(*states.last().expect("session has segments"), ConnState::Closed);
         assert_eq!(tracker.completed(), 1);
         assert_eq!(tracker.open_connections(), 0);
     }
@@ -435,7 +441,7 @@ mod tests {
             tracker.observe(p);
         }
         let key = FlowKey::of(&segs[0].1);
-        let rec = tracker.get(&key).unwrap();
+        let rec = tracker.get(&key).expect("flow was observed");
         assert_eq!(rec.bytes_to_server + rec.bytes_to_client, 400);
         assert!(!rec.reset);
     }
@@ -452,7 +458,7 @@ mod tests {
             Vec::new(),
         );
         assert_eq!(tracker.observe(&rst), Some(ConnState::Closed));
-        let rec = tracker.get(&FlowKey::of(&segs[0].1)).unwrap();
+        let rec = tracker.get(&FlowKey::of(&segs[0].1)).expect("flow was observed");
         assert!(rec.reset);
     }
 
