@@ -24,6 +24,10 @@
 //! - `sink-side-effect` — telemetry is observation-only: the telemetry
 //!   crate must never reach back into the simulator, and no record call
 //!   may share a statement with event scheduling.
+//! - `thread-outside-exec` — all parallelism flows through the
+//!   `idse-exec` executor, whose canonical-order reduce is what makes
+//!   `--jobs N` byte-identical. Ad-hoc `thread::spawn`/channel use
+//!   anywhere else reintroduces scheduling-dependent behavior.
 
 use serde::Serialize;
 
@@ -61,6 +65,8 @@ pub enum RuleId {
     FloatEqComparison,
     /// Telemetry recording entangled with event scheduling.
     SinkSideEffect,
+    /// Raw threads/channels anywhere but the executor crate.
+    ThreadOutsideExec,
     /// Malformed allow directive (unknown rule or missing reason).
     InvalidAllow,
     /// Allow directive that suppressed nothing.
@@ -69,13 +75,14 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in stable display order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::UnorderedIterationInReport,
         RuleId::WallClockInSim,
         RuleId::UnseededEntropy,
         RuleId::PanicInLibrary,
         RuleId::FloatEqComparison,
         RuleId::SinkSideEffect,
+        RuleId::ThreadOutsideExec,
         RuleId::InvalidAllow,
         RuleId::UnusedAllow,
     ];
@@ -89,6 +96,7 @@ impl RuleId {
             RuleId::PanicInLibrary => "panic-in-library",
             RuleId::FloatEqComparison => "float-eq-comparison",
             RuleId::SinkSideEffect => "sink-side-effect",
+            RuleId::ThreadOutsideExec => "thread-outside-exec",
             RuleId::InvalidAllow => "invalid-allow",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -124,6 +132,10 @@ impl RuleId {
             RuleId::SinkSideEffect => {
                 "telemetry entangled with event scheduling: observation must stay \
                  observation-only"
+            }
+            RuleId::ThreadOutsideExec => {
+                "raw thread or channel use outside idse-exec: route parallelism \
+                 through the executor so results merge in canonical job order"
             }
             RuleId::InvalidAllow => {
                 "malformed idse-lint allow directive: unknown rule name or missing \
@@ -169,7 +181,9 @@ pub enum Tier {
 /// Tier of a crate by package name.
 pub fn crate_tier(crate_name: &str) -> Tier {
     match crate_name {
-        "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" => Tier::Strict,
+        "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" | "idse-exec" => {
+            Tier::Strict
+        }
         "idse-ids" | "idse-eval" | "idse-traffic" | "idse-attacks" => Tier::Standard,
         _ => Tier::Tooling,
     }
@@ -296,6 +310,22 @@ fn float_eq_hit(code: &str) -> Option<usize> {
 const TELEMETRY_RECORD_CALLS: [&str; 5] =
     [".span_enter(", ".span_exit(", ".span(", ".counter(", ".gauge("];
 
+/// Threading/channel tokens that are only legal inside `idse-exec`.
+const THREAD_TOKENS: [&str; 5] =
+    ["thread::spawn", "thread::scope", "mpsc::channel", "mpsc::sync_channel", "crossbeam::thread"];
+
+fn first_substring(code: &str, tokens: &'static [&'static str]) -> Option<(usize, &'static str)> {
+    let mut best: Option<(usize, &'static str)> = None;
+    for t in tokens {
+        if let Some(at) = code.find(t) {
+            if best.is_none_or(|(b, _)| at < b) {
+                best = Some((at, t));
+            }
+        }
+    }
+    best
+}
+
 /// Run every applicable rule against one line.
 pub fn check_line(ctx: &LineCtx<'_>) -> Vec<Hit> {
     let mut hits = Vec::new();
@@ -388,6 +418,25 @@ pub fn check_line(ctx: &LineCtx<'_>) -> Vec<Hit> {
         }
     }
 
+    // thread-outside-exec: every crate and file kind, tests included —
+    // a test that spawns its own threads can observe (and then encode)
+    // scheduling-dependent behavior. Only the executor crate, whose whole
+    // job is the deterministic fan-out/reduce, may touch these.
+    if ctx.crate_name != "idse-exec" {
+        if let Some((at, w)) = first_substring(code, &THREAD_TOKENS) {
+            hits.push(Hit {
+                rule: RuleId::ThreadOutsideExec,
+                severity: Severity::Error,
+                column: at,
+                message: format!(
+                    "`{w}` outside idse-exec: route parallelism through the executor \
+                     (Executor::par_map / ExperimentPlan::run) so results and telemetry \
+                     merge in canonical job order"
+                ),
+            });
+        }
+    }
+
     // sink-side-effect, structural half: the telemetry crate must never
     // reference the simulator or scheduling machinery.
     if ctx.crate_name == "idse-telemetry" {
@@ -470,6 +519,24 @@ mod tests {
         assert_eq!(standard[0].severity, Severity::Warn);
         let tooling = check_line(&lib_ctx("idse-bench", "x.unwrap();"));
         assert!(tooling.is_empty());
+    }
+
+    #[test]
+    fn threads_are_confined_to_the_executor_crate() {
+        let code = "std::thread::spawn(move || work());";
+        let hit = check_line(&lib_ctx("idse-eval", code));
+        assert_eq!(hit[0].rule, RuleId::ThreadOutsideExec);
+        assert_eq!(hit[0].severity, Severity::Error);
+        assert!(check_line(&lib_ctx("idse-exec", code)).is_empty());
+        // Fires even in test code: scheduling-dependent tests are how
+        // nondeterminism gets encoded as "expected" behavior.
+        let test_ctx = LineCtx {
+            crate_name: "idse-ids",
+            kind: FileKind::IntegrationTest,
+            in_test: true,
+            code: "let (tx, rx) = mpsc::channel();",
+        };
+        assert_eq!(check_line(&test_ctx)[0].rule, RuleId::ThreadOutsideExec);
     }
 
     #[test]

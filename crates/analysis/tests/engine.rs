@@ -146,6 +146,30 @@ fn sink_side_effect_negative() {
 }
 
 #[test]
+fn thread_outside_exec_positive_fires_even_in_tests() {
+    let r = lint_fixture("thread_outside_exec_pos.rs", "idse-eval", FileKind::Library);
+    assert!(r.has_errors());
+    assert!(r.findings.iter().all(|f| f.rule == "thread-outside-exec"), "{:?}", rules_of(&r));
+    let excerpts: Vec<&str> = r.findings.iter().map(|f| f.excerpt.as_str()).collect();
+    assert!(excerpts.iter().any(|e| e.contains("thread::spawn")));
+    assert!(excerpts.iter().any(|e| e.contains("mpsc::channel")));
+    // The thread::scope inside #[cfg(test)] is among the findings.
+    assert!(excerpts.iter().any(|e| e.contains("thread::scope")));
+    // Integration tests are no refuge either.
+    let t = lint_fixture("thread_outside_exec_pos.rs", "idse-ids", FileKind::IntegrationTest);
+    assert!(t.has_errors(), "{:?}", rules_of(&t));
+}
+
+#[test]
+fn thread_outside_exec_negative_and_exemption() {
+    let r = lint_fixture("thread_outside_exec_neg.rs", "idse-eval", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+    // The executor crate itself is the one legal home for these tokens.
+    let exec = lint_fixture("thread_outside_exec_pos.rs", "idse-exec", FileKind::Library);
+    assert!(exec.findings.iter().all(|f| f.rule != "thread-outside-exec"), "{:?}", rules_of(&exec));
+}
+
+#[test]
 fn valid_allow_suppresses_and_keeps_reason() {
     let r = lint_fixture("allow_valid.rs", "idse-eval", FileKind::Library);
     assert!(r.findings.is_empty(), "{:?}", rules_of(&r));

@@ -1,0 +1,11 @@
+// Negative: parallelism routed through the executor; thread tokens appear
+// only inside a string literal, which the masked code channel hides.
+// Linted as crate `idse-eval`, FileKind::Library.
+
+pub fn fan_out(exec: &idse_exec::Executor, items: &[u64]) -> Vec<u64> {
+    exec.par_map(items, |_, item| item * 2)
+}
+
+pub fn label() -> &'static str {
+    "raw thread::spawn and mpsc::channel calls are banned here"
+}

@@ -1,0 +1,26 @@
+// Positive: raw threading and channel primitives outside idse-exec.
+// Fires even inside the test module — scheduling-dependent tests encode
+// nondeterminism as "expected" behavior.
+// Linted as crate `idse-eval`, FileKind::Library.
+use std::sync::mpsc;
+use std::thread;
+
+pub fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    let (tx, rx) = mpsc::channel();
+    for item in items {
+        let tx = tx.clone();
+        thread::spawn(move || tx.send(item * 2));
+    }
+    drop(tx);
+    rx.iter().collect() // completion order, not input order!
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_worker() {
+        std::thread::scope(|s| {
+            s.spawn(|| 1 + 1);
+        });
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! evaluate [--profile cluster|web|office] [--seed N] [--rate SESSIONS_PER_SEC]
 //!          [--weighting realtime|ecommerce|uniform] [--sweep STEPS]
-//!          [--intensity N] [--json PATH]
+//!          [--intensity N] [--jobs N] [--json PATH]
 //!          [--telemetry-out PATH] [--telemetry-summary]
 //! ```
 //!
@@ -12,16 +12,24 @@
 //! a machine-readable JSON report (scorecards with notes, measurements,
 //! curves, run provenance) for downstream tooling.
 //!
+//! `--jobs N` fans the independent experiment jobs (sweep points,
+//! operating runs, throughput searches) out over N workers. Every output
+//! byte — ranking, JSON report, telemetry stream — is identical for any
+//! `N`; the flag only changes wall time, so it is deliberately absent
+//! from the report provenance.
+//!
 //! With `--telemetry-out` the run streams every recorded sim-time event
 //! (per-stage spans, shed/alert counters, queue-depth and CPU gauges) as
 //! JSONL; with `--telemetry-summary` it prints a per-product per-stage
 //! aggregation after the ranking.
 
+use idse_bench::cli;
+use idse_bench::STANDARD_SEED;
 use idse_core::report::{render_comparison, render_ranking};
 use idse_core::{RequirementSet, Scorecard, WeightSet};
 use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_all, EvaluationConfig};
 use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::EvaluationRequest;
 use idse_sim::SimDuration;
 use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 use idse_traffic::SiteProfile;
@@ -30,77 +38,28 @@ use idse_traffic::SiteProfile;
 /// products' instrumented operating runs, with headroom.
 const TELEMETRY_CAPACITY: usize = 1 << 21;
 
-#[derive(Debug)]
-struct Args {
-    profile: String,
-    seed: u64,
-    rate: f64,
-    weighting: String,
-    sweep: usize,
-    intensity: u32,
-    json: Option<String>,
-    telemetry_out: Option<String>,
-    telemetry_summary: bool,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        profile: "cluster".into(),
-        seed: 0x2002_0415,
-        rate: 25.0,
-        weighting: "realtime".into(),
-        sweep: 7,
-        intensity: 2,
-        json: None,
-        telemetry_out: None,
-        telemetry_summary: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
-        match flag.as_str() {
-            "--profile" => args.profile = value("--profile")?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--rate" => args.rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
-            "--weighting" => args.weighting = value("--weighting")?,
-            "--sweep" => {
-                args.sweep = value("--sweep")?.parse().map_err(|e| format!("--sweep: {e}"))?
-            }
-            "--intensity" => {
-                args.intensity =
-                    value("--intensity")?.parse().map_err(|e| format!("--intensity: {e}"))?
-            }
-            "--json" => args.json = Some(value("--json")?),
-            "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
-            "--telemetry-summary" => args.telemetry_summary = true,
-            "--help" | "-h" => {
-                println!(
-                    "usage: evaluate [--profile cluster|web|office] [--seed N] [--rate R]\n\
+const USAGE: &str = "usage: evaluate [--profile cluster|web|office] [--seed N] [--rate R]\n\
                      \x20               [--weighting realtime|ecommerce|uniform] [--sweep STEPS]\n\
-                     \x20               [--intensity N] [--json PATH]\n\
-                     \x20               [--telemetry-out PATH] [--telemetry-summary]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other:?} (try --help)")),
-        }
-    }
-    if args.sweep < 2 {
-        return Err("--sweep must be at least 2".into());
-    }
-    Ok(args)
-}
+                     \x20               [--intensity N] [--jobs N] [--json PATH]\n\
+                     \x20               [--telemetry-out PATH] [--telemetry-summary]";
 
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
+    let mut args = cli::Args::parse(USAGE);
+    let profile_name = args.opt("--profile").unwrap_or_else(|| "cluster".into());
+    let rate: f64 = args.opt_parsed("--rate").unwrap_or(25.0);
+    let weighting = args.opt("--weighting").unwrap_or_else(|| "realtime".into());
+    let sweep: usize = args.opt_parsed("--sweep").unwrap_or(7);
+    let intensity: u32 = args.opt_parsed("--intensity").unwrap_or(2);
+    let telemetry_out = args.opt("--telemetry-out");
+    let telemetry_summary = args.flag("--telemetry-summary");
+    let common = args.finish();
+    let seed = common.seed_or(STANDARD_SEED);
 
-    let (profile, needs) = match args.profile.as_str() {
+    if sweep < 2 {
+        eprintln!("error: --sweep must be at least 2");
+        std::process::exit(2);
+    }
+    let (profile, needs) = match profile_name.as_str() {
         "cluster" => (SiteProfile::realtime_cluster(), EnvironmentNeeds::realtime_cluster(3_000.0)),
         "web" => (SiteProfile::ecommerce_web(), EnvironmentNeeds::ecommerce(3_000.0)),
         "office" => (SiteProfile::office_lan(), EnvironmentNeeds::ecommerce(1_500.0)),
@@ -109,7 +68,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let weights: WeightSet = match args.weighting.as_str() {
+    let weights: WeightSet = match weighting.as_str() {
         "realtime" => RequirementSet::realtime_distributed().derive(),
         "ecommerce" => RequirementSet::ecommerce_site().derive(),
         "uniform" => WeightSet::uniform(),
@@ -119,46 +78,47 @@ fn main() {
         }
     };
 
-    // One shared ring buffer receives all four products' event streams;
-    // scopes keep them separable, and a post-run stable sort by scope
-    // makes the JSONL independent of thread interleaving.
-    let telemetry_wanted = args.telemetry_out.is_some() || args.telemetry_summary;
+    // One shared ring buffer receives all four products' event streams.
+    // Scopes keep them separable; the executor merges each job's buffer in
+    // canonical job-key order, and a post-run stable sort by scope keeps
+    // the JSONL layout identical to the historical per-product grouping.
+    let telemetry_wanted = telemetry_out.is_some() || telemetry_summary;
     let sink = telemetry_wanted.then(|| MemorySink::new(TELEMETRY_CAPACITY));
-    let config = EvaluationConfig {
-        feed: FeedConfig {
-            session_rate: args.rate,
+    let request = EvaluationRequest::new()
+        .with_feed(FeedConfig {
+            session_rate: rate,
             training_span: SimDuration::from_secs(20),
             test_span: SimDuration::from_secs(45),
-            campaign_intensity: args.intensity,
-            seed: args.seed,
-        },
-        needs,
-        sweep_steps: args.sweep,
-        max_throughput_factor: 4096.0,
-        fp_budget: 0.15,
-        telemetry: sink
-            .as_ref()
-            .map(|s| Telemetry::new(s.clone()))
-            .unwrap_or_else(Telemetry::disabled),
-    };
+            campaign_intensity: intensity,
+            seed,
+        })
+        .with_needs(needs)
+        .with_sweep_steps(sweep)
+        .with_max_throughput_factor(4096.0)
+        .with_fp_budget(0.15)
+        .with_telemetry(
+            sink.as_ref().map(|s| Telemetry::new(s.clone())).unwrap_or_else(Telemetry::disabled),
+        )
+        .with_jobs(common.jobs);
 
     eprintln!(
-        "evaluating 4 products on the {:?} profile (seed {:#x}, {} sweep steps)…",
-        profile.name, args.seed, args.sweep
+        "evaluating 4 products on the {:?} profile (seed {:#x}, {} sweep steps, {} worker(s))…",
+        profile.name,
+        seed,
+        sweep,
+        request.executor().workers()
     );
-    let feed = TestFeed::build(profile, &config.feed);
-    let evals = evaluate_all(&feed, &config);
+    let feed = TestFeed::build(profile, &request.feed);
+    let evals = request.evaluate_all(&feed);
     let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
 
-    println!("{}", render_comparison(&cards, &weights));
-    println!("{}", render_ranking(&cards, &weights));
+    let mut out = cli::Out::new(&common);
+    idse_bench::outln!(out, "{}", render_comparison(&cards, &weights));
+    idse_bench::outln!(out, "{}", render_ranking(&cards, &weights));
 
     let mut telemetry_events_recorded = 0u64;
     let mut telemetry_events_dropped = 0u64;
     if let Some(sink) = &sink {
-        // Each product's stream is in deterministic program order; a
-        // stable sort by scope removes the only nondeterminism (thread
-        // interleaving between products).
         let mut events = sink.events();
         events.sort_by_key(|e| e.scope);
         telemetry_events_recorded = events.len() as u64;
@@ -170,84 +130,79 @@ fn main() {
             );
         }
 
-        if let Some(path) = &args.telemetry_out {
-            let mut out = String::with_capacity(events.len() * 80);
+        if let Some(path) = &telemetry_out {
+            let mut body = String::with_capacity(events.len() * 80);
             for ev in &events {
-                out.push_str(&ev.to_jsonl());
-                out.push('\n');
+                body.push_str(&ev.to_jsonl());
+                body.push('\n');
             }
-            if let Err(e) = std::fs::write(path, out) {
+            if let Err(e) = std::fs::write(path, body) {
                 eprintln!("error: writing {path:?}: {e}");
                 std::process::exit(1);
             }
             eprintln!("wrote {} telemetry events to {path}", events.len());
         }
 
-        if args.telemetry_summary {
+        if telemetry_summary {
             for eval in &evals {
                 let scoped: Vec<idse_telemetry::Event> =
                     events.iter().filter(|e| e.scope == eval.scorecard.system).copied().collect();
-                println!("=== {} ===", eval.scorecard.system);
-                print!("{}", summarize(&scoped).render_text());
-                println!();
+                idse_bench::outln!(out, "=== {} ===", eval.scorecard.system);
+                idse_bench::outln!(out, "{}", summarize(&scoped).render_text());
             }
         }
     }
+    out.finish();
 
-    if let Some(path) = args.json {
-        let report = serde_json::json!({
+    // The report deliberately omits the worker count: `--jobs` must never
+    // change a single output byte, so it is not provenance.
+    let report = serde_json::json!({
+        "profile": feed.profile.name,
+        "seed": seed,
+        "weighting": weights.name,
+        "standard": weights.ideal_total(),
+        "provenance": serde_json::json!({
+            "crate_version": env!("CARGO_PKG_VERSION"),
+            "seed": seed,
             "profile": feed.profile.name,
-            "seed": args.seed,
             "weighting": weights.name,
-            "standard": weights.ideal_total(),
-            "provenance": serde_json::json!({
-                "crate_version": env!("CARGO_PKG_VERSION"),
-                "seed": args.seed,
-                "profile": feed.profile.name,
-                "weighting": weights.name,
-                "feed": serde_json::json!({
-                    "session_rate": config.feed.session_rate,
-                    "training_span_s": config.feed.training_span.as_secs_f64(),
-                    "test_span_s": config.feed.test_span.as_secs_f64(),
-                    "campaign_intensity": config.feed.campaign_intensity,
-                    "seed": config.feed.seed,
-                }),
-                "sensitivity_policy": serde_json::json!({
-                    "rule": "min false-negative ratio within the false-positive budget",
-                    "fp_budget": config.fp_budget,
-                    "sweep_steps": config.sweep_steps,
-                }),
-                "timebase": "sim-time (deterministic virtual clock; wall time never enters a measurement)",
-                "telemetry": serde_json::json!({
-                    "enabled": telemetry_wanted,
-                    "events_recorded": telemetry_events_recorded,
-                    "events_dropped": telemetry_events_dropped,
-                }),
+            "feed": serde_json::json!({
+                "session_rate": request.feed.session_rate,
+                "training_span_s": request.feed.training_span.as_secs_f64(),
+                "test_span_s": request.feed.test_span.as_secs_f64(),
+                "campaign_intensity": request.feed.campaign_intensity,
+                "seed": request.feed.seed,
             }),
-            "products": evals.iter().map(|e| serde_json::json!({
-                "name": e.scorecard.system,
-                "weighted_total": weights.weighted_total(&e.scorecard),
-                "operating_sensitivity": e.operating_sensitivity,
-                "scorecard": e.scorecard,
-                "curve": e.curve,
-                "throughput": e.throughput,
-                "confusion": serde_json::json!({
-                    "transactions": e.confusion.transactions,
-                    "actual_attacks": e.confusion.actual_attacks,
-                    "detected_attacks": e.confusion.detected_attacks,
-                    "false_positives": e.confusion.false_positives,
-                    "fp_ratio": e.confusion.false_positive_ratio(),
-                    "fn_ratio": e.confusion.false_negative_ratio(),
-                }),
-                "timing": e.timing,
-                "host_impact": e.host_impact,
-            })).collect::<Vec<_>>(),
-        });
-        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
-            .unwrap_or_else(|e| {
-                eprintln!("error: writing {path:?}: {e}");
-                std::process::exit(1);
-            });
-        eprintln!("wrote {path}");
-    }
+            "sensitivity_policy": serde_json::json!({
+                "rule": "min false-negative ratio within the false-positive budget",
+                "fp_budget": request.sweep.fp_budget,
+                "sweep_steps": request.sweep.steps,
+            }),
+            "timebase": "sim-time (deterministic virtual clock; wall time never enters a measurement)",
+            "telemetry": serde_json::json!({
+                "enabled": telemetry_wanted,
+                "events_recorded": telemetry_events_recorded,
+                "events_dropped": telemetry_events_dropped,
+            }),
+        }),
+        "products": evals.iter().map(|e| serde_json::json!({
+            "name": e.scorecard.system,
+            "weighted_total": weights.weighted_total(&e.scorecard),
+            "operating_sensitivity": e.operating_sensitivity,
+            "scorecard": e.scorecard,
+            "curve": e.curve,
+            "throughput": e.throughput,
+            "confusion": serde_json::json!({
+                "transactions": e.confusion.transactions,
+                "actual_attacks": e.confusion.actual_attacks,
+                "detected_attacks": e.confusion.detected_attacks,
+                "false_positives": e.confusion.false_positives,
+                "fp_ratio": e.confusion.false_positive_ratio(),
+                "fn_ratio": e.confusion.false_negative_ratio(),
+            }),
+            "timing": e.timing,
+            "host_impact": e.host_impact,
+        })).collect::<Vec<_>>(),
+    });
+    common.write_json(&report);
 }

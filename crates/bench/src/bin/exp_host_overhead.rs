@@ -2,15 +2,19 @@
 //! event-logging … three to five percent"; "C2-level … as much as twenty
 //! percent of the host's processing power".
 
-use idse_bench::table;
+use idse_bench::{cli, outln, table};
 use idse_eval::host_overhead::host_overhead_experiment;
 use idse_sim::SimDuration;
 
 fn main() {
-    println!("=== Experiment X1: host audit/monitoring overhead (§2.1) ===\n");
+    let (common, mut out) = cli::shell("usage: exp_host_overhead [--seed N] [--out PATH]");
+    common.deny_json("exp_host_overhead");
+    let seed = common.seed_or(0x0b35);
+
+    outln!(out, "=== Experiment X1: host audit/monitoring overhead (§2.1) ===\n");
     for load in [0.3, 0.6, 0.95] {
-        println!("--- production load ≈ {:.0}% of host capacity ---", load * 100.0);
-        let rows = host_overhead_experiment(load, SimDuration::from_secs(40), 800.0, 0x0b35);
+        outln!(out, "--- production load ≈ {:.0}% of host capacity ---", load * 100.0);
+        let rows = host_overhead_experiment(load, SimDuration::from_secs(40), 800.0, seed);
         let table_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -22,7 +26,8 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        outln!(
+            out,
             "{}",
             table(
                 &["Audit level", "Audit share", "Audit+agent share", "Production events/s"],
@@ -30,8 +35,9 @@ fn main() {
             )
         );
     }
-    println!("Paper's cited figures: nominal logging 3–5% of host resources; DoD C2-level");
-    println!("(Controlled Access Protection) up to 20% — 'obviously a concern for real-time");
-    println!("systems'. The saturated-host rows reproduce those shares; lighter loads scale");
-    println!("them proportionally.");
+    outln!(out, "Paper's cited figures: nominal logging 3–5% of host resources; DoD C2-level");
+    outln!(out, "(Controlled Access Protection) up to 20% — 'obviously a concern for real-time");
+    outln!(out, "systems'. The saturated-host rows reproduce those shares; lighter loads scale");
+    outln!(out, "them proportionally.");
+    out.finish();
 }

@@ -7,7 +7,7 @@
 //! hybrid unions the detection coverage and pays for it in per-packet
 //! inspection cost — measurably lower zero-loss throughput.
 
-use idse_bench::{standard_setup, table};
+use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
 use idse_eval::confusion::TransactionLedger;
 use idse_eval::throughput::throughput_search;
 use idse_ids::engine::anomaly::AnomalyConfig;
@@ -24,10 +24,14 @@ fn variant(engines: EngineSuite) -> IdsProduct {
 }
 
 fn main() {
-    println!("=== §2.1 taxonomy: signature vs anomaly vs parallel hybrid ===\n");
-    println!("Identical architecture (4 load-balanced sensors); only the detection");
-    println!("mechanism differs. Sensitivity 0.8, cluster feed.\n");
-    let (feed, config) = standard_setup();
+    let (common, mut out) =
+        cli::shell("usage: exp_hybrid_taxonomy [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("exp_hybrid_taxonomy");
+
+    outln!(out, "=== §2.1 taxonomy: signature vs anomaly vs parallel hybrid ===\n");
+    outln!(out, "Identical architecture (4 load-balanced sensors); only the detection");
+    outln!(out, "mechanism differs. Sensitivity 0.8, cluster feed.\n");
+    let (feed, request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
     let ledger = TransactionLedger::of(&feed.test);
 
     let suites = [
@@ -57,12 +61,9 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
-    let mut class_rows: Vec<Vec<String>> =
-        AttackClass::ALL.iter().map(|c| vec![c.name().to_owned()]).collect();
-
-    for (label, engines) in suites {
-        let product = variant(engines);
+    let exec = request.executor();
+    let probes = exec.par_map(&suites, |_, (_, engines)| {
+        let product = variant(engines.clone());
         let out = PipelineRunner::new(
             product.clone(),
             RunConfig {
@@ -74,9 +75,16 @@ fn main() {
         .with_training(feed.training.clone())
         .run(&feed.test);
         let c = ledger.score(&out.alerts);
-        let tp = throughput_search(&product, &feed, config.max_throughput_factor);
+        let tp = throughput_search(&product, &feed, request.max_throughput_factor);
+        (c, tp)
+    });
+
+    let mut rows = Vec::new();
+    let mut class_rows: Vec<Vec<String>> =
+        AttackClass::ALL.iter().map(|c| vec![c.name().to_owned()]).collect();
+    for ((label, _), (c, tp)) in suites.iter().zip(&probes) {
         rows.push(vec![
-            label.to_owned(),
+            (*label).to_owned(),
             format!("{:.2}", c.detection_rate()),
             format!("{:.4}", c.false_positive_ratio()),
             format!("{:.0}", tp.zero_loss_pps),
@@ -90,14 +98,16 @@ fn main() {
         }
     }
 
-    println!(
+    outln!(
+        out,
         "{}",
         table(&["Mechanism", "Detection", "FP ratio", "Zero-loss pps", "Alerts"], &rows)
     );
-    println!("Per-class detection rates:\n");
-    println!("{}", table(&["Class", "signature", "anomaly", "hybrid"], &class_rows));
-    println!("The hybrid unions the two coverage sets (the signature engine's known");
-    println!("exploits + the anomaly engine's behavioral classes) and inherits both");
-    println!("false-positive sources, while its per-packet cost — both engines run on");
-    println!("every packet — buys the lowest zero-loss throughput of the three.");
+    outln!(out, "Per-class detection rates:\n");
+    outln!(out, "{}", table(&["Class", "signature", "anomaly", "hybrid"], &class_rows));
+    outln!(out, "The hybrid unions the two coverage sets (the signature engine's known");
+    outln!(out, "exploits + the anomaly engine's behavioral classes) and inherits both");
+    outln!(out, "false-positive sources, while its per-packet cost — both engines run on");
+    outln!(out, "every packet — buys the lowest zero-loss throughput of the three.");
+    out.finish();
 }

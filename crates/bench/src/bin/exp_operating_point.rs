@@ -3,15 +3,21 @@
 //! lowest possible level accepting an increased false positive alert ratio
 //! in the process."
 
-use idse_bench::table;
+use idse_bench::{cli, outln, table};
 use idse_eval::experiments::operating_point_experiment;
 use idse_ids::products::{IdsProduct, ProductId};
 
 fn main() {
-    println!("=== Experiment X4: EER vs low-FN operating points on the cluster feed ===\n");
+    let (common, mut out) =
+        cli::shell("usage: exp_operating_point [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let seed = common.seed_or(0x0b35);
+    let exec = common.executor();
+
+    outln!(out, "=== Experiment X4: EER vs low-FN operating points on the cluster feed ===\n");
+    let mut reports = Vec::new();
     for id in [ProductId::FlowHunter, ProductId::GuardSecure, ProductId::AgentWatch] {
-        let report = operating_point_experiment(&IdsProduct::model(id), 0.2, 0x0b35);
-        println!("--- {} ---", report.product);
+        let report = operating_point_experiment(&IdsProduct::model(id), 0.2, seed, &exec);
+        outln!(out, "--- {} ---", report.product);
         let rows: Vec<Vec<String>> = report
             .curve
             .points
@@ -24,24 +30,35 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", table(&["Sensitivity", "FP ratio", "FN ratio"], &rows));
+        outln!(out, "{}", table(&["Sensitivity", "FP ratio", "FN ratio"], &rows));
         match report.eer_point {
-            Some((s, r)) => println!("  EER point: rate {:.4} at sensitivity {:.2}", r, s),
-            None => println!("  EER point: no crossing in range"),
+            Some((s, r)) => outln!(out, "  EER point: rate {:.4} at sensitivity {:.2}", r, s),
+            None => outln!(out, "  EER point: no crossing in range"),
         }
         match report.low_fn_point {
-            Some(p) => println!(
+            Some(p) => outln!(
+                out,
                 "  §3.3 low-FN point (FP budget 0.20): sensitivity {:.2}, FP {:.4}, FN {:.4}",
-                p.sensitivity, p.false_positive_ratio, p.false_negative_ratio
+                p.sensitivity,
+                p.false_positive_ratio,
+                p.false_negative_ratio
             ),
-            None => println!("  §3.3 low-FN point: no setting within the FP budget"),
+            None => outln!(out, "  §3.3 low-FN point: no setting within the FP budget"),
         }
-        println!(
+        outln!(
+            out,
             "  trust-exploit detection: at EER {:?}, at low-FN point {:?}\n",
-            report.trust_detection_at_eer, report.trust_detection_at_low_fn
+            report.trust_detection_at_eer,
+            report.trust_detection_at_low_fn
         );
+        reports.push(report);
     }
-    println!("The hardest case — trust exploitation between cluster hosts — is exactly what");
-    println!("the higher-sensitivity operating point buys: \"it is critical to catch the");
-    println!("initial compromise of the first component host and isolate it\" (§3.3).");
+    outln!(out, "The hardest case — trust exploitation between cluster hosts — is exactly what");
+    outln!(out, "the higher-sensitivity operating point buys: \"it is critical to catch the");
+    outln!(out, "initial compromise of the first component host and isolate it\" (§3.3).");
+    out.finish();
+
+    if common.json.is_some() {
+        common.write_json(&serde_json::json!({ "seed": seed, "reports": reports }));
+    }
 }

@@ -4,20 +4,27 @@
 //! *effective* detection curve, because "frequent alerts on trivial or
 //! normal events … lead to the IDS being ignored by the operators" (§2.2).
 
-use idse_bench::{standard_setup, table};
+use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
 use idse_eval::operator::{fatigue_sweep, OperatorModel};
 use idse_ids::products::{IdsProduct, ProductId};
 
 fn main() {
-    println!("=== Future work: operator fatigue and the human-constrained operating point ===\n");
-    let (feed, _config) = standard_setup();
+    let (common, mut out) =
+        cli::shell("usage: exp_operator_fatigue [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("exp_operator_fatigue");
+
+    outln!(
+        out,
+        "=== Future work: operator fatigue and the human-constrained operating point ===\n"
+    );
+    let (feed, _request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
 
     // The 45-second canned feed stands for one watch hour of traffic.
     for (label, operator) in [
         ("single watchstander (40 triage/hour)", OperatorModel::single_watchstander()),
         ("staffed floor (200 triage/hour)", OperatorModel::staffed_floor()),
     ] {
-        println!("--- {} — GuardSecure GS-5 ---", label);
+        outln!(out, "--- {} — GuardSecure GS-5 ---", label);
         let rows =
             fatigue_sweep(&IdsProduct::model(ProductId::GuardSecure), &feed, operator, 1.0, 7);
         let table_rows: Vec<Vec<String>> = rows
@@ -32,7 +39,8 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        outln!(
+            out,
             "{}",
             table(
                 &["Sensitivity", "Alerts", "Triaged", "Machine detect", "Effective detect"],
@@ -49,7 +57,8 @@ fn main() {
                 a.effective_detection.partial_cmp(&b.effective_detection).expect("finite")
             })
             .expect("rows");
-        println!(
+        outln!(
+            out,
             "  machine-optimal sensitivity {:.2} (detect {:.2}); human-constrained optimum {:.2} (effective {:.2})\n",
             best_machine.sensitivity,
             best_machine.machine_detection,
@@ -57,8 +66,9 @@ fn main() {
             best_effective.effective_detection,
         );
     }
-    println!("When the alert stream exceeds the triage budget, added sensitivity buys");
-    println!("machine detections that no human ever reads. A procurer sizing a watch floor");
-    println!("should weight Observed False Positive Ratio by this capacity — the human");
-    println!("dimension the paper left for future work, as a measurable quantity.");
+    outln!(out, "When the alert stream exceeds the triage budget, added sensitivity buys");
+    outln!(out, "machine detections that no human ever reads. A procurer sizing a watch floor");
+    outln!(out, "should weight Observed False Positive Ratio by this capacity — the human");
+    outln!(out, "dimension the paper left for future work, as a measurable quantity.");
+    out.finish();
 }

@@ -2,17 +2,22 @@
 //! the network … with meaningless data is not sufficient … the data portion
 //! of an IP packet should have realistic content."
 
-use idse_bench::table;
+use idse_bench::{cli, outln, table};
 use idse_eval::experiments::payload_realism_experiment;
 use idse_ids::products::IdsProduct;
 use idse_sim::RngStream;
 use idse_traffic::realism::{byte_entropy, printable_fraction, realism_score};
 
 fn main() {
-    println!("=== Experiment X2: random-byte flood vs realistic-content load ===\n");
+    let (common, mut out) =
+        cli::shell("usage: exp_payload_realism [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let seed = common.seed_or(0x0b35);
+    let exec = common.executor();
+
+    outln!(out, "=== Experiment X2: random-byte flood vs realistic-content load ===\n");
 
     // First show the content statistics that separate the two loads.
-    let mut rng = RngStream::derive(0x0b35, "x2-content");
+    let mut rng = RngStream::derive(seed, "x2-content");
     let real: Vec<Vec<u8>> =
         (0..200).map(|_| idse_traffic::payload::http_request(&mut rng)).collect();
     let rand: Vec<Vec<u8>> =
@@ -27,7 +32,8 @@ fn main() {
     };
     let (re, rp, rs) = stats(&real);
     let (ne, np, ns) = stats(&rand);
-    println!(
+    outln!(
+        out,
         "{}",
         table(
             &["Load", "Byte entropy (bits)", "Printable fraction", "Realism score"],
@@ -48,9 +54,9 @@ fn main() {
         )
     );
 
-    println!("IDS behaviour under the two loads (same session timing and sizes):\n");
+    outln!(out, "IDS behaviour under the two loads (same session timing and sizes):\n");
     let products = IdsProduct::all_models();
-    let rows = payload_realism_experiment(&products, 0.8, 0x0b35);
+    let rows = payload_realism_experiment(&products, 0.8, seed, &exec);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -63,7 +69,8 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    outln!(
+        out,
         "{}",
         table(
             &[
@@ -76,7 +83,12 @@ fn main() {
             &table_rows
         )
     );
-    println!("A payload-inspecting IDS behaves differently under the two loads — the anomaly");
-    println!("product drowns in alarms under the random flood, while the signature products'");
-    println!("content matches vanish. A random flood therefore measures neither correctly.");
+    outln!(out, "A payload-inspecting IDS behaves differently under the two loads — the anomaly");
+    outln!(out, "product drowns in alarms under the random flood, while the signature products'");
+    outln!(out, "content matches vanish. A random flood therefore measures neither correctly.");
+    out.finish();
+
+    if common.json.is_some() {
+        common.write_json(&serde_json::json!({ "seed": seed, "rows": rows }));
+    }
 }

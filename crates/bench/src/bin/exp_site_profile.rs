@@ -4,17 +4,22 @@
 //! is to use real traffic … from the site where the IDS is expected to be
 //! deployed."
 
-use idse_bench::table;
+use idse_bench::{cli, outln, table};
 use idse_eval::experiments::site_profile_experiment;
 use idse_ids::products::IdsProduct;
 
 fn main() {
-    println!("=== Experiment X3: e-commerce-tuned IDS on cluster traffic ===\n");
-    println!("Both runs replay the SAME real-time cluster test feed; only the");
-    println!("training/tuning traffic differs (matched = cluster, mismatched = e-commerce).\n");
+    let (common, mut out) =
+        cli::shell("usage: exp_site_profile [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let seed = common.seed_or(0x0b35);
+    let exec = common.executor();
+
+    outln!(out, "=== Experiment X3: e-commerce-tuned IDS on cluster traffic ===\n");
+    outln!(out, "Both runs replay the SAME real-time cluster test feed; only the");
+    outln!(out, "training/tuning traffic differs (matched = cluster, mismatched = e-commerce).\n");
 
     let products = IdsProduct::all_models();
-    let rows = site_profile_experiment(&products, 0.7, 0x0b35);
+    let rows = site_profile_experiment(&products, 0.7, seed, &exec);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -27,7 +32,8 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    outln!(
+        out,
         "{}",
         table(
             &[
@@ -40,8 +46,13 @@ fn main() {
             &table_rows
         )
     );
-    println!("Behavior-based products trained on web traffic misread the cluster's binary,");
-    println!("high-trust protocols as anomalous — the false-positive column moves exactly as");
-    println!("the paper's lesson predicts. Signature products barely move: their knowledge");
-    println!("base, not a baseline, decides what fires.");
+    outln!(out, "Behavior-based products trained on web traffic misread the cluster's binary,");
+    outln!(out, "high-trust protocols as anomalous — the false-positive column moves exactly as");
+    outln!(out, "the paper's lesson predicts. Signature products barely move: their knowledge");
+    outln!(out, "base, not a baseline, decides what fires.");
+    out.finish();
+
+    if common.json.is_some() {
+        common.write_json(&serde_json::json!({ "seed": seed, "rows": rows }));
+    }
 }

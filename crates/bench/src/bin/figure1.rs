@@ -1,14 +1,18 @@
 //! Figure 1 — the generalized network IDS architecture, instantiated per
 //! product, with per-stage packet counts from a short run.
 
-use idse_bench::standard_setup;
+use idse_bench::{cli, outln, standard_setup_with, STANDARD_SEED};
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
 
 fn main() {
-    println!("=== Paper Figure 1: Generalized network IDS architecture ===\n");
-    println!(
+    let (common, mut out) = cli::shell("usage: figure1 [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("figure1");
+
+    outln!(out, "=== Paper Figure 1: Generalized network IDS architecture ===\n");
+    outln!(
+        out,
         r#"  Internet --- Border Router --- [Load Balancer] --+-- Sensor --+
                                   (1c)             +-- Sensor --+--> Analyzer(s) --> Monitoring
                                                    +-- Sensor --+         |            Console
@@ -17,14 +21,27 @@ fn main() {
                                                               (traffic control / response)
 "#
     );
-    println!("Subprocesses: 1. load balancing (optional)  2. sensing  3. analyzing");
-    println!("              4. monitoring  5. managing (optional)\n");
+    outln!(out, "Subprocesses: 1. load balancing (optional)  2. sensing  3. analyzing");
+    outln!(out, "              4. monitoring  5. managing (optional)\n");
 
-    let (feed, _config) = standard_setup();
-    for product in IdsProduct::all_models() {
+    let (feed, request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
+    let exec = request.executor();
+    let products = IdsProduct::all_models();
+    let walks = exec.par_map(&products, |_, product| {
+        let run_config = RunConfig {
+            sensitivity: Sensitivity::new(0.6),
+            monitored_hosts: feed.servers.clone(),
+            ..RunConfig::default()
+        };
+        PipelineRunner::new(product.clone(), run_config)
+            .with_training(feed.training.clone())
+            .run(&feed.test)
+    });
+    for (product, walk) in products.iter().zip(&walks) {
         let arch = &product.architecture;
-        println!("--- {} ---", product.id.name());
-        println!(
+        outln!(out, "--- {} ---", product.id.name());
+        outln!(
+            out,
             "  tap {:?} | balance {:?} | sensors {} | analyzers {}{} | console {}",
             arch.tap,
             arch.balance,
@@ -37,39 +54,42 @@ fn main() {
                 "no"
             }
         );
-        let run_config = RunConfig {
-            sensitivity: Sensitivity::new(0.6),
-            monitored_hosts: feed.servers.clone(),
-            ..RunConfig::default()
-        };
-        let out = PipelineRunner::new(product.clone(), run_config)
-            .with_training(feed.training.clone())
-            .run(&feed.test);
-        if let Some(lb) = out.lb_counters {
-            println!(
+        if let Some(lb) = walk.lb_counters {
+            outln!(
+                out,
                 "  load balancer: offered {} processed {} dropped {}",
-                lb.offered, lb.processed, lb.dropped
+                lb.offered,
+                lb.processed,
+                lb.dropped
             );
         }
-        for (i, s) in out.sensor_counters.iter().enumerate() {
-            println!(
+        for (i, s) in walk.sensor_counters.iter().enumerate() {
+            outln!(
+                out,
                 "  sensor[{i}]: offered {} processed {} dropped {}",
-                s.offered, s.processed, s.dropped
+                s.offered,
+                s.processed,
+                s.dropped
             );
         }
-        for (i, a) in out.analyzer_counters.iter().enumerate() {
+        for (i, a) in walk.analyzer_counters.iter().enumerate() {
             if a.offered > 0 {
-                println!(
+                outln!(
+                    out,
                     "  analyzer[{i}]: offered {} processed {} dropped {}",
-                    a.offered, a.processed, a.dropped
+                    a.offered,
+                    a.processed,
+                    a.dropped
                 );
             }
         }
-        println!(
+        outln!(
+            out,
             "  monitor: {} alerts surfaced | monitored {}/{} in-scope packets\n",
-            out.alerts.len(),
-            out.monitored,
-            out.offered
+            walk.alerts.len(),
+            walk.monitored,
+            walk.offered
         );
     }
+    out.finish();
 }

@@ -1,20 +1,24 @@
 //! Figure 2 — relational cardinality of IDS subprocesses, plus conformance
 //! of each simulated product.
 
-use idse_bench::table;
+use idse_bench::{cli, outln, table};
 use idse_ids::cardinality::{figure2_relations, SubprocessCounts};
 use idse_ids::products::IdsProduct;
 
 fn main() {
-    println!("=== Paper Figure 2: Relational cardinality of IDS subprocesses ===\n");
+    let (common, mut out) = cli::shell("usage: figure2 [--out PATH]");
+    common.deny_json("figure2");
+
+    outln!(out, "=== Paper Figure 2: Relational cardinality of IDS subprocesses ===\n");
     for rel in figure2_relations() {
-        println!("  {}", rel.notation());
+        outln!(out, "  {}", rel.notation());
     }
-    println!(
+    outln!(
+        out,
         "\n  (\"1c\" marks the conditional — optional — side; subprocesses 2–4 are essential.)\n"
     );
 
-    println!("=== Product architectures vs the Figure 2 relations ===\n");
+    outln!(out, "=== Product architectures vs the Figure 2 relations ===\n");
     let rows: Vec<Vec<String>> = IdsProduct::all_models()
         .iter()
         .map(|p| {
@@ -31,7 +35,8 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    outln!(
+        out,
         "{}",
         table(
             &["Product", "LB", "Sensors", "Analyzers", "Monitors", "Consoles", "Figure-2 check"],
@@ -42,8 +47,9 @@ fn main() {
     // A deliberately malformed architecture, to show the validator bites.
     let bad =
         SubprocessCounts { load_balancers: 1, sensors: 0, analyzers: 0, monitors: 2, managers: 1 };
-    println!("Counter-example (sensors=0, monitors=2):");
+    outln!(out, "Counter-example (sensors=0, monitors=2):");
     for v in bad.validate() {
-        println!("  violation: {v}");
+        outln!(out, "  violation: {v}");
     }
+    out.finish();
 }

@@ -1,15 +1,19 @@
 //! Figure 3 — False Positive (Type I) and False Negative (Type II) errors:
 //! the confusion quantities and the paper's ratio formulas, per product.
 
-use idse_bench::{standard_evaluation, table};
+use idse_bench::{cli, outln, standard_evaluation_with, table, STANDARD_SEED};
 
 fn main() {
-    println!("=== Paper Figure 3: FP (Type I) / FN (Type II) errors ===\n");
-    println!("  Transactions (T) ⊇ Actual Intrusions (A), IDS Detections (D)");
-    println!("  False Positive Ratio = |D - A| / |T|");
-    println!("  False Negative Ratio = |A - D| / |T|\n");
+    let (common, mut out) = cli::shell("usage: figure3 [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("figure3");
 
-    let (_feed, _config, evals) = standard_evaluation();
+    outln!(out, "=== Paper Figure 3: FP (Type I) / FN (Type II) errors ===\n");
+    outln!(out, "  Transactions (T) ⊇ Actual Intrusions (A), IDS Detections (D)");
+    outln!(out, "  False Positive Ratio = |D - A| / |T|");
+    outln!(out, "  False Negative Ratio = |A - D| / |T|\n");
+
+    let (_feed, _request, evals) =
+        standard_evaluation_with(common.seed_or(STANDARD_SEED), common.jobs);
     let rows: Vec<Vec<String>> = evals
         .iter()
         .map(|e| {
@@ -26,12 +30,13 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    outln!(
+        out,
         "{}",
         table(&["Product", "|T|", "|A|", "|A∩D|", "|D-A|", "|A-D|", "FP ratio", "FN ratio"], &rows)
     );
 
-    println!("\nMissed attack instances (A - D), the Type II region:");
+    outln!(out, "\nMissed attack instances (A - D), the Type II region:");
     for e in &evals {
         let missed: Vec<String> = e
             .confusion
@@ -39,10 +44,12 @@ fn main() {
             .iter()
             .map(|(id, class)| format!("#{id}:{}", class.name()))
             .collect();
-        println!(
+        outln!(
+            out,
             "  {:20} {}",
             e.scorecard.system,
             if missed.is_empty() { "(none)".to_owned() } else { missed.join(", ") }
         );
     }
+    out.finish();
 }

@@ -1,16 +1,21 @@
 //! Figure 4 — error-rate curves vs sensitivity and the Equal Error Rate,
 //! per product.
 
-use idse_bench::{standard_setup, table};
-use idse_eval::sweep::sweep_product;
+use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
+use idse_eval::sweep::sweep;
 use idse_ids::products::IdsProduct;
 
 fn main() {
-    println!("=== Paper Figure 4: Error rate curves and Equal Error Rate ===\n");
-    let (feed, config) = standard_setup();
+    let (common, mut out) =
+        cli::shell("usage: figure4 [--seed N] [--jobs N] [--out PATH] [--json PATH]");
+    let (feed, request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
+    let exec = request.executor();
+
+    outln!(out, "=== Paper Figure 4: Error rate curves and Equal Error Rate ===\n");
+    let mut curves = Vec::new();
     for product in IdsProduct::all_models() {
-        let curve = sweep_product(&product, &feed, config.sweep_steps);
-        println!("--- {} ---", curve.product);
+        let curve = sweep(&product, &feed, &request.sweep, &exec);
+        outln!(out, "--- {} ---", curve.product);
         let rows: Vec<Vec<String>> = curve
             .points
             .iter()
@@ -23,16 +28,28 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        outln!(
+            out,
             "{}",
             table(&["Sensitivity", "FP ratio (Type I)", "FN ratio (Type II)", "Alerts"], &rows)
         );
         match curve.equal_error_rate() {
-            Some((s, r)) => println!("  Equal Error Rate: {:.4} at sensitivity {:.2}\n", r, s),
-            None => println!("  Equal Error Rate: curves do not cross in the swept range\n"),
+            Some((s, r)) => outln!(out, "  Equal Error Rate: {:.4} at sensitivity {:.2}\n", r, s),
+            None => outln!(out, "  Equal Error Rate: curves do not cross in the swept range\n"),
         }
+        curves.push(curve);
     }
-    println!("(\"Of course the equal error rate is not always ideal. Given the choice, users");
-    println!(" might prefer to have lower Type II error at the expense of higher Type I\" — §2.2;");
-    println!(" see exp_operating_point for that trade.)");
+    outln!(out, "(\"Of course the equal error rate is not always ideal. Given the choice, users");
+    outln!(
+        out,
+        " might prefer to have lower Type II error at the expense of higher Type I\" — §2.2;"
+    );
+    outln!(out, " see exp_operating_point for that trade.)");
+    out.finish();
+
+    common.write_json(&serde_json::json!({
+        "seed": common.seed_or(STANDARD_SEED),
+        "sweep_steps": request.sweep.steps,
+        "curves": curves,
+    }));
 }

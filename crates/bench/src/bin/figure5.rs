@@ -1,31 +1,36 @@
 //! Figure 5 — the weighted score computation `S_j = Σ_i (U_ij · W_ij)`,
 //! applied to the four filled scorecards under contrasting weightings.
 
-use idse_bench::standard_evaluation;
+use idse_bench::{cli, outln, standard_evaluation_with, STANDARD_SEED};
 use idse_core::report::{render_comparison, render_ranking};
 use idse_core::{RequirementSet, Scorecard, WeightSet};
 
 fn main() {
-    println!("=== Paper Figure 5: Calculation of weighted scores ===\n");
-    println!("  S = Σ_j=1..3 [ Σ_i=1..n_j ( U_ij · W_ij ) ]");
-    println!("  U_ij: unweighted 0–4 score of metric i in class j");
-    println!("  W_ij: real-valued weight (negative allowed)\n");
+    let (common, mut out) = cli::shell("usage: figure5 [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("figure5");
 
-    let (_feed, _config, evals) = standard_evaluation();
+    outln!(out, "=== Paper Figure 5: Calculation of weighted scores ===\n");
+    outln!(out, "  S = Σ_j=1..3 [ Σ_i=1..n_j ( U_ij · W_ij ) ]");
+    outln!(out, "  U_ij: unweighted 0–4 score of metric i in class j");
+    outln!(out, "  W_ij: real-valued weight (negative allowed)\n");
+
+    let (_feed, _request, evals) =
+        standard_evaluation_with(common.seed_or(STANDARD_SEED), common.jobs);
     let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
 
     let realtime = RequirementSet::realtime_distributed().derive();
-    println!("{}", render_comparison(&cards, &realtime));
-    println!("{}", render_ranking(&cards, &realtime));
+    outln!(out, "{}", render_comparison(&cards, &realtime));
+    outln!(out, "{}", render_ranking(&cards, &realtime));
 
     // The same scorecards, re-weighted for a different customer — the
     // methodology's headline feature ("the evaluation may be reused with
     // the metrics given different weighting").
     let ecommerce = RequirementSet::ecommerce_site().derive();
-    println!("--- Same scorecards, e-commerce weighting (no re-testing needed) ---\n");
-    println!("{}", render_ranking(&cards, &ecommerce));
+    outln!(out, "--- Same scorecards, e-commerce weighting (no re-testing needed) ---\n");
+    outln!(out, "{}", render_ranking(&cards, &ecommerce));
 
     let uniform = WeightSet::uniform();
-    println!("--- Uniform weighting (no stated requirements) ---\n");
-    println!("{}", render_ranking(&cards, &uniform));
+    outln!(out, "--- Uniform weighting (no stated requirements) ---\n");
+    outln!(out, "{}", render_ranking(&cards, &uniform));
+    out.finish();
 }

@@ -2,41 +2,45 @@
 //! example with its exact derived weights, and the full real-time
 //! distributed requirement set.
 
-use idse_bench::table;
+use idse_bench::{cli, outln, table};
 use idse_core::catalog::metric_def;
 use idse_core::RequirementSet;
 
 fn main() {
-    println!("=== Paper Figure 6: Requirement to Metric Weighting Example ===\n");
+    let (common, mut out) = cli::shell("usage: figure6 [--out PATH]");
+    common.deny_json("figure6");
+
+    outln!(out, "=== Paper Figure 6: Requirement to Metric Weighting Example ===\n");
     let (set, metrics) = RequirementSet::figure6_example();
-    println!("Requirements (importance-ordered, duplicates allowed):");
+    outln!(out, "Requirements (importance-ordered, duplicates allowed):");
     for r in &set.requirements {
         let contributes: Vec<&str> = r.contributes.iter().map(|&m| metric_def(m).name).collect();
-        println!("  {:4} weight {:>4}  -> {}", r.name, r.weight, contributes.join(", "));
+        outln!(out, "  {:4} weight {:>4}  -> {}", r.name, r.weight, contributes.join(", "));
     }
     let w = set.derive();
-    println!("\nDerived metric weights (each = sum of contributing requirement weights):");
+    outln!(out, "\nDerived metric weights (each = sum of contributing requirement weights):");
     let rows: Vec<Vec<String>> = metrics
         .iter()
         .map(|&m| vec![metric_def(m).name.to_owned(), format!("{}", w.get(m))])
         .collect();
-    println!("{}", table(&["Metric", "Weight"], &rows));
-    println!("(The figure's derived weights: 3, 6.5, 5, 0, 0, 8.)\n");
+    outln!(out, "{}", table(&["Metric", "Weight"], &rows));
+    outln!(out, "(The figure's derived weights: 3, 6.5, 5, 0, 0, 8.)\n");
 
-    println!("=== §3.3 worked requirement set: distributed real-time cluster ===\n");
+    outln!(out, "=== §3.3 worked requirement set: distributed real-time cluster ===\n");
     let rt = RequirementSet::realtime_distributed();
     for issue in rt.validate() {
-        println!("  WARNING: {issue}");
+        outln!(out, "  WARNING: {issue}");
     }
     for r in &rt.requirements {
-        println!("  [{:>4}] {:26} {}", r.weight, r.name, r.statement);
+        outln!(out, "  [{:>4}] {:26} {}", r.weight, r.name, r.statement);
     }
     let w = rt.derive();
-    println!("\nTop-weighted metrics under this requirement set:");
+    outln!(out, "\nTop-weighted metrics under this requirement set:");
     let mut weights: Vec<(String, f64)> =
         w.iter().map(|(id, wt)| (metric_def(id).name.to_owned(), wt)).collect();
     weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let rows: Vec<Vec<String>> =
         weights.iter().take(12).map(|(n, wt)| vec![n.clone(), format!("{wt}")]).collect();
-    println!("{}", table(&["Metric", "Derived weight"], &rows));
+    outln!(out, "{}", table(&["Metric", "Derived weight"], &rows));
+    out.finish();
 }

@@ -3,7 +3,7 @@
 //! 4-sensor product. "Individual, statically placed sensors may overload
 //! or starve, and the protection of the network will be uneven" (§2.2).
 
-use idse_bench::{standard_setup, table};
+use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
 use idse_eval::confusion::TransactionLedger;
 use idse_ids::components::BalanceStrategy;
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
@@ -11,23 +11,27 @@ use idse_ids::products::{IdsProduct, ProductId};
 use idse_ids::Sensitivity;
 
 fn main() {
-    println!("=== Ablation: load-balancing strategies on a 4-sensor deployment ===\n");
-    let (feed, _config) = standard_setup();
+    let (common, mut out) = cli::shell("usage: lb_ablation [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("lb_ablation");
+
+    outln!(out, "=== Ablation: load-balancing strategies on a 4-sensor deployment ===\n");
+    let (feed, request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
     let ledger = TransactionLedger::of(&feed.test);
     // Offered load well above one sensor's capacity so the strategy
     // matters (tiled so buffers cannot absorb the burst).
     let hot = feed.test.time_scaled(1200.0).repeated(4);
     let hot_ledger = TransactionLedger::of(&hot);
 
-    let mut rows = Vec::new();
-    for strategy in [
+    let strategies = [
         BalanceStrategy::None,
         BalanceStrategy::StaticPartition,
         BalanceStrategy::RoundRobin,
         BalanceStrategy::SessionHash,
-    ] {
+    ];
+    let exec = request.executor();
+    let rows = exec.par_map(&strategies, |_, strategy| {
         let mut product = IdsProduct::model(ProductId::FlowHunter);
-        product.architecture.balance = strategy;
+        product.architecture.balance = *strategy;
         let run_config = RunConfig {
             sensitivity: Sensitivity::new(0.7),
             monitored_hosts: feed.servers.clone(),
@@ -49,16 +53,17 @@ fn main() {
             .run(&feed.test);
         let normal_counts = ledger.score(&out_normal.alerts);
 
-        rows.push(vec![
+        vec![
             format!("{strategy:?}"),
             loads.iter().map(|l| l.to_string()).collect::<Vec<_>>().join("/"),
             if imbalance.is_finite() { format!("{imbalance:.1}x") } else { "∞".into() },
             format!("{:.3}", out.loss_ratio()),
             format!("{:.2}", counts.detection_rate()),
             format!("{:.2}", normal_counts.detection_rate()),
-        ]);
-    }
-    println!(
+        ]
+    });
+    outln!(
+        out,
         "{}",
         table(
             &[
@@ -72,11 +77,15 @@ fn main() {
             &rows
         )
     );
-    println!("\nNone: one sensor takes the whole offered load — overload, loss, missed attacks.");
-    println!("StaticPartition: placement spreads load unevenly (subnets differ in traffic),");
-    println!("matching the paper's 'statically placed sensors may overload or starve'.");
-    println!("RoundRobin: even load, but both directions of a session land on different");
-    println!("sensors, splitting the stateful detectors' per-source view.");
-    println!("SessionHash: even load AND session affinity — the paper's 'intelligent,");
-    println!("dynamic' high anchor.");
+    outln!(
+        out,
+        "\nNone: one sensor takes the whole offered load — overload, loss, missed attacks."
+    );
+    outln!(out, "StaticPartition: placement spreads load unevenly (subnets differ in traffic),");
+    outln!(out, "matching the paper's 'statically placed sensors may overload or starve'.");
+    outln!(out, "RoundRobin: even load, but both directions of a session land on different");
+    outln!(out, "sensors, splitting the stateful detectors' per-source view.");
+    outln!(out, "SessionHash: even load AND session affinity — the paper's 'intelligent,");
+    outln!(out, "dynamic' high anchor.");
+    out.finish();
 }

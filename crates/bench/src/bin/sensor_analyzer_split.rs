@@ -2,7 +2,7 @@
 //! sensing from analysis may allow better throughput by offloading the
 //! analysis burden, but separation adds network overhead."
 
-use idse_bench::{standard_setup, table};
+use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
 use idse_eval::throughput::throughput_search;
 use idse_eval::timing::timing_report;
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
@@ -10,8 +10,12 @@ use idse_ids::products::{IdsProduct, ProductId};
 use idse_ids::Sensitivity;
 
 fn main() {
-    println!("=== Ablation: combined vs separated sensor/analyzer (§2.2) ===\n");
-    let (feed, config) = standard_setup();
+    let (common, mut out) =
+        cli::shell("usage: sensor_analyzer_split [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("sensor_analyzer_split");
+
+    outln!(out, "=== Ablation: combined vs separated sensor/analyzer (§2.2) ===\n");
+    let (feed, request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
 
     // An alert-storm hot run: hundreds of distinct scanning sources, each
     // tripping its own anomaly alert, so analysis work genuinely contends
@@ -34,11 +38,12 @@ fn main() {
         storm.merge(scan.generate(start, 1000 + k, &mut rng));
     }
     let hot = storm;
-    let mut rows = Vec::new();
-    for (label, combined) in [("separated (M:M)", false), ("combined (1:1)", true)] {
+    let variants = [("separated (M:M)", false), ("combined (1:1)", true)];
+    let exec = request.executor();
+    let rows = exec.par_map(&variants, |_, (label, combined)| {
         let mut product = IdsProduct::model(ProductId::FlowHunter);
-        product.architecture.combined_sensor_analyzer = combined;
-        let tp = throughput_search(&product, &feed, config.max_throughput_factor);
+        product.architecture.combined_sensor_analyzer = *combined;
+        let tp = throughput_search(&product, &feed, request.max_throughput_factor);
         let run_config = RunConfig {
             sensitivity: Sensitivity::new(0.8),
             monitored_hosts: feed.servers.clone(),
@@ -47,22 +52,24 @@ fn main() {
         let out =
             PipelineRunner::new(product, run_config).with_training(feed.training.clone()).run(&hot);
         let timing = timing_report(&hot, &out);
-        rows.push(vec![
-            label.to_owned(),
+        vec![
+            (*label).to_owned(),
             format!("{:.0}", tp.zero_loss_pps),
             format!("{:.4}", out.loss_ratio()),
             format!("{}", timing.timeliness_mean),
             out.alerts.len().to_string(),
-        ]);
-    }
-    println!(
+        ]
+    });
+    outln!(
+        out,
         "{}",
         table(
             &["Configuration", "Zero-loss pps", "Loss (hot)", "Timeliness mean", "Alerts (hot)"],
             &rows
         )
     );
-    println!("\nCombining analysis onto the sensor steals sensing capacity exactly when");
-    println!("alerts surge (the hot column); the separated tier keeps the sensor's");
-    println!("headroom at the price of the extra analyzer hop (§2.2's trade).");
+    outln!(out, "\nCombining analysis onto the sensor steals sensing capacity exactly when");
+    outln!(out, "alerts surge (the hot column); the separated tier keeps the sensor's");
+    outln!(out, "headroom at the price of the extra analyzer hop (§2.2's trade).");
+    out.finish();
 }

@@ -1,23 +1,27 @@
 //! Table 1 — Selected Logistical Metrics, with per-product scores.
 
-use idse_bench::{standard_evaluation, table};
+use idse_bench::{cli, outln, standard_evaluation_with, table, STANDARD_SEED};
 use idse_core::catalog::metrics_of_class;
 use idse_core::report::render_metric_table;
 use idse_core::MetricClass;
 
 fn main() {
-    println!("=== Paper Table 1: Selected Logistical Metrics ===\n");
-    println!("{}", render_metric_table(MetricClass::Logistical, true));
-    println!("--- Metrics defined but not shown in the paper's table ---\n");
+    let (common, mut out) = cli::shell("usage: table1 [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("table1");
+
+    outln!(out, "=== Paper Table 1: Selected Logistical Metrics ===\n");
+    outln!(out, "{}", render_metric_table(MetricClass::Logistical, true));
+    outln!(out, "--- Metrics defined but not shown in the paper's table ---\n");
     let named: Vec<String> = metrics_of_class(MetricClass::Logistical)
         .into_iter()
         .filter(|m| !m.in_paper_table)
         .map(|m| m.name.to_owned())
         .collect();
-    println!("{}\n", named.join(", "));
+    outln!(out, "{}\n", named.join(", "));
 
-    println!("=== Scores (prototype scorecard applied to the four simulated products) ===\n");
-    let (_feed, _config, evals) = standard_evaluation();
+    outln!(out, "=== Scores (prototype scorecard applied to the four simulated products) ===\n");
+    let (_feed, _request, evals) =
+        standard_evaluation_with(common.seed_or(STANDARD_SEED), common.jobs);
     let metrics = metrics_of_class(MetricClass::Logistical);
     let mut headers: Vec<&str> = vec!["Metric"];
     let names: Vec<String> = evals.iter().map(|e| e.scorecard.system.clone()).collect();
@@ -37,12 +41,13 @@ fn main() {
             row
         })
         .collect();
-    println!("{}", table(&headers, &rows));
+    outln!(out, "{}", table(&headers, &rows));
 
-    println!("\nObservation notes (scoring provenance):");
+    outln!(out, "\nObservation notes (scoring provenance):");
     for m in &metrics {
         if let Some(note) = evals[0].scorecard.note(m.id) {
-            println!("  {:28} {}", m.name, note);
+            outln!(out, "  {:28} {}", m.name, note);
         }
     }
+    out.finish();
 }

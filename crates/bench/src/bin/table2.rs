@@ -1,23 +1,27 @@
 //! Table 2 — Selected Architectural Metrics, with per-product scores.
 
-use idse_bench::{standard_evaluation, table};
+use idse_bench::{cli, outln, standard_evaluation_with, table, STANDARD_SEED};
 use idse_core::catalog::metrics_of_class;
 use idse_core::report::render_metric_table;
 use idse_core::MetricClass;
 
 fn main() {
-    println!("=== Paper Table 2: Selected Architectural Metrics ===\n");
-    println!("{}", render_metric_table(MetricClass::Architectural, true));
-    println!("--- Metrics defined but not shown in the paper's table ---\n");
+    let (common, mut out) = cli::shell("usage: table2 [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("table2");
+
+    outln!(out, "=== Paper Table 2: Selected Architectural Metrics ===\n");
+    outln!(out, "{}", render_metric_table(MetricClass::Architectural, true));
+    outln!(out, "--- Metrics defined but not shown in the paper's table ---\n");
     let named: Vec<String> = metrics_of_class(MetricClass::Architectural)
         .into_iter()
         .filter(|m| !m.in_paper_table)
         .map(|m| m.name.to_owned())
         .collect();
-    println!("{}\n", named.join(", "));
+    outln!(out, "{}\n", named.join(", "));
 
-    println!("=== Scores ===\n");
-    let (_feed, _config, evals) = standard_evaluation();
+    outln!(out, "=== Scores ===\n");
+    let (_feed, _request, evals) =
+        standard_evaluation_with(common.seed_or(STANDARD_SEED), common.jobs);
     let metrics = metrics_of_class(MetricClass::Architectural);
     let mut headers: Vec<&str> = vec!["Metric"];
     let names: Vec<String> = evals.iter().map(|e| e.scorecard.system.clone()).collect();
@@ -37,11 +41,12 @@ fn main() {
             row
         })
         .collect();
-    println!("{}", table(&headers, &rows));
+    outln!(out, "{}", table(&headers, &rows));
 
-    println!("\nMeasured backing (throughput search):");
+    outln!(out, "\nMeasured backing (throughput search):");
     for e in &evals {
-        println!(
+        outln!(
+            out,
             "  {:20} zero-loss {:>9.0} pps ({} simultaneous TCP streams)   lethal dose {}",
             e.scorecard.system,
             e.throughput.zero_loss_pps,
@@ -52,4 +57,5 @@ fn main() {
             }
         );
     }
+    out.finish();
 }

@@ -1,24 +1,28 @@
 //! Table 3 — Selected Performance Metrics, with per-product scores and the
 //! measured values behind them.
 
-use idse_bench::{standard_evaluation, table};
+use idse_bench::{cli, outln, standard_evaluation_with, table, STANDARD_SEED};
 use idse_core::catalog::metrics_of_class;
 use idse_core::report::render_metric_table;
 use idse_core::MetricClass;
 
 fn main() {
-    println!("=== Paper Table 3: Selected Performance Metrics ===\n");
-    println!("{}", render_metric_table(MetricClass::Performance, true));
-    println!("--- Metrics defined but not shown in the paper's table ---\n");
+    let (common, mut out) = cli::shell("usage: table3 [--seed N] [--jobs N] [--out PATH]");
+    common.deny_json("table3");
+
+    outln!(out, "=== Paper Table 3: Selected Performance Metrics ===\n");
+    outln!(out, "{}", render_metric_table(MetricClass::Performance, true));
+    outln!(out, "--- Metrics defined but not shown in the paper's table ---\n");
     let named: Vec<String> = metrics_of_class(MetricClass::Performance)
         .into_iter()
         .filter(|m| !m.in_paper_table)
         .map(|m| m.name.to_owned())
         .collect();
-    println!("{}\n", named.join(", "));
+    outln!(out, "{}\n", named.join(", "));
 
-    println!("=== Scores ===\n");
-    let (_feed, _config, evals) = standard_evaluation();
+    outln!(out, "=== Scores ===\n");
+    let (_feed, _request, evals) =
+        standard_evaluation_with(common.seed_or(STANDARD_SEED), common.jobs);
     let metrics = metrics_of_class(MetricClass::Performance);
     let mut headers: Vec<&str> = vec!["Metric"];
     let names: Vec<String> = evals.iter().map(|e| e.scorecard.system.clone()).collect();
@@ -38,34 +42,42 @@ fn main() {
             row
         })
         .collect();
-    println!("{}", table(&headers, &rows));
+    outln!(out, "{}", table(&headers, &rows));
 
-    println!("\nMeasured values at each product's operating point:");
+    outln!(out, "\nMeasured values at each product's operating point:");
     for e in &evals {
-        println!(
+        outln!(
+            out,
             "\n  {} (operating sensitivity {:.2})",
-            e.scorecard.system, e.operating_sensitivity
+            e.scorecard.system,
+            e.operating_sensitivity
         );
-        println!(
+        outln!(
+            out,
             "    FP ratio {:.4}   FN ratio {:.4}   detection rate {:.2}   alerts {}",
             e.confusion.false_positive_ratio(),
             e.confusion.false_negative_ratio(),
             e.confusion.detection_rate(),
             e.confusion.alert_count
         );
-        println!(
+        outln!(
+            out,
             "    timeliness mean {} / max {}   induced latency mean {}",
-            e.timing.timeliness_mean, e.timing.timeliness_max, e.timing.induced_latency_mean
+            e.timing.timeliness_mean,
+            e.timing.timeliness_max,
+            e.timing.induced_latency_mean
         );
-        println!(
+        outln!(
+            out,
             "    host impact {:.2}%   state {} KiB   zero-loss {:.0} pps",
             100.0 * e.host_impact,
             e.state_bytes / 1024,
             e.throughput.zero_loss_pps
         );
-        println!("    per-class detection:");
+        outln!(out, "    per-class detection:");
         for (class, (d, t)) in &e.confusion.per_class {
-            println!("      {:20} {d}/{t}", class.name());
+            outln!(out, "      {:20} {d}/{t}", class.name());
         }
     }
+    out.finish();
 }

@@ -1,0 +1,312 @@
+//! Shared command-line plumbing for the artifact binaries.
+//!
+//! Every `figure*`, `table*` and `exp_*` binary speaks the same dialect:
+//!
+//! ```text
+//! <bin> [--seed N] [--jobs N] [--out PATH] [--json PATH]
+//! ```
+//!
+//! * `--seed N` — override the feed master seed (default: the binary's
+//!   canonical seed, usually [`crate::STANDARD_SEED`]).
+//! * `--jobs N` — executor width for the parallel experiment jobs
+//!   (`0` = one worker per core; output is byte-identical for any `N`).
+//! * `--out PATH` — write the rendered artifact to a file instead of
+//!   stdout.
+//! * `--json PATH` — where a binary has a machine-readable report, write
+//!   it there; binaries without one reject the flag.
+//!
+//! Binaries with extra flags (`evaluate`) parse them off an [`Args`]
+//! before calling [`Args::finish`]; plain binaries call [`shell`] and get
+//! back the parsed [`Common`] plus an [`Out`] sink for the [`outln!`]
+//! macro.
+
+use idse_exec::Executor;
+
+/// The flags every artifact binary shares.
+#[derive(Debug, Clone)]
+pub struct Common {
+    /// `--seed N`: feed master-seed override.
+    pub seed: Option<u64>,
+    /// `--jobs N`: executor width (`0` = auto, default `1`).
+    pub jobs: usize,
+    /// `--json PATH`: machine-readable report destination.
+    pub json: Option<String>,
+    /// `--out PATH`: rendered-text destination (stdout when absent).
+    pub out: Option<String>,
+}
+
+impl Default for Common {
+    /// No overrides: default seed, serial executor, stdout output.
+    fn default() -> Self {
+        Common { seed: None, jobs: 1, json: None, out: None }
+    }
+}
+
+impl Common {
+    /// The seed to run with: the `--seed` override or `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The executor `--jobs` asked for (default 1, serial; 0 = auto).
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs)
+    }
+
+    /// Exit with usage error if `--json` was passed to a binary that has
+    /// no machine-readable report.
+    pub fn deny_json(&self, bin: &str) {
+        if self.json.is_some() {
+            eprintln!("error: {bin} has no JSON report (--json is not supported here)");
+            std::process::exit(2);
+        }
+    }
+
+    /// If `--json PATH` was given, pretty-print `value` there (`-` means
+    /// stdout) and note it on stderr.
+    pub fn write_json(&self, value: &serde_json::Value) {
+        let Some(path) = &self.json else { return };
+        let body = serde_json::to_string_pretty(value).expect("report serializes");
+        if path == "-" {
+            println!("{body}");
+            return;
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: writing {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+/// A partially-consumed argument list. Binaries pull their own flags off
+/// it with [`Args::flag`]/[`Args::opt`], then [`Args::finish`] consumes
+/// the shared flags and rejects anything left over.
+#[derive(Debug)]
+pub struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments. `--help`/`-h` prints `usage` (plus
+    /// the shared-flag reference) and exits.
+    pub fn parse(usage: &str) -> Args {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!(
+                "{usage}\n\nshared flags:\n  --seed N   feed master-seed override\n  \
+                 --jobs N   parallel executor width (0 = one per core; output is byte-identical)\n  \
+                 --out PATH write rendered text to PATH instead of stdout\n  \
+                 --json PATH write the machine-readable report to PATH (- for stdout)"
+            );
+            std::process::exit(0);
+        }
+        Args { rest: args }
+    }
+
+    /// An `Args` over an explicit vector (no `--help` handling) — the
+    /// testable constructor.
+    pub fn from_vec(args: Vec<String>) -> Args {
+        Args { rest: args }
+    }
+
+    /// Consume a boolean `name` flag; true if it was present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        match self.rest.iter().position(|a| a == name) {
+            Some(i) => {
+                self.rest.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consume `name VALUE`; `None` if absent. Exits with a usage error
+    /// if the flag is present without a value.
+    pub fn opt(&mut self, name: &str) -> Option<String> {
+        let i = self.rest.iter().position(|a| a == name)?;
+        if i + 1 >= self.rest.len() {
+            eprintln!("error: {name} requires a value (try --help)");
+            std::process::exit(2);
+        }
+        let value = self.rest.remove(i + 1);
+        self.rest.remove(i);
+        Some(value)
+    }
+
+    /// Consume `name VALUE` and parse it; exits with a usage error when
+    /// the value does not parse.
+    pub fn opt_parsed<T>(&mut self, name: &str) -> Option<T>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.opt(name)?;
+        match raw.parse() {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("error: {name} {raw:?}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Consume the shared flags; error out on anything still unclaimed.
+    pub fn finish(self) -> Common {
+        match self.try_finish() {
+            Ok(common) => common,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Args::finish`] without the process exit — the testable core.
+    pub fn try_finish(mut self) -> Result<Common, String> {
+        let mut common = Common::default();
+        if let Some(raw) = self.opt_checked("--seed")? {
+            common.seed = Some(raw.parse().map_err(|e| format!("--seed {raw:?}: {e}"))?);
+        }
+        if let Some(raw) = self.opt_checked("--jobs")? {
+            common.jobs = raw.parse().map_err(|e| format!("--jobs {raw:?}: {e}"))?;
+        }
+        common.json = self.opt_checked("--json")?;
+        common.out = self.opt_checked("--out")?;
+        match self.rest.first() {
+            Some(unknown) => Err(format!("unknown flag {unknown:?} (try --help)")),
+            None => Ok(common),
+        }
+    }
+
+    fn opt_checked(&mut self, name: &str) -> Result<Option<String>, String> {
+        let Some(i) = self.rest.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.rest.len() {
+            return Err(format!("{name} requires a value (try --help)"));
+        }
+        let value = self.rest.remove(i + 1);
+        self.rest.remove(i);
+        Ok(Some(value))
+    }
+}
+
+/// Buffered text output honoring `--out`: lines accumulate via
+/// [`outln!`] and land on stdout or in the file when [`Out::finish`]
+/// runs.
+#[derive(Debug)]
+pub struct Out {
+    buf: String,
+    path: Option<String>,
+}
+
+impl Out {
+    /// An output sink honoring `common.out`.
+    pub fn new(common: &Common) -> Out {
+        Out { buf: String::new(), path: common.out.clone() }
+    }
+
+    /// Append one formatted line (use through [`outln!`]).
+    pub fn line(&mut self, args: std::fmt::Arguments<'_>) {
+        use std::fmt::Write;
+        writeln!(self.buf, "{args}").expect("string write is infallible");
+    }
+
+    /// The accumulated text so far.
+    pub fn text(&self) -> &str {
+        &self.buf
+    }
+
+    /// Deliver the buffer: print to stdout, or write the `--out` file.
+    pub fn finish(self) {
+        match self.path {
+            None => print!("{}", self.buf),
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &self.buf) {
+                    eprintln!("error: writing {path:?}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}
+
+/// Append one formatted line to an [`Out`](crate::cli::Out) sink.
+#[macro_export]
+macro_rules! outln {
+    ($out:expr) => {
+        $out.line(format_args!(""))
+    };
+    ($out:expr, $($arg:tt)*) => {
+        $out.line(format_args!($($arg)*))
+    };
+}
+
+/// The one-call front door for plain binaries: parse the shared flags,
+/// reject everything else, and hand back the output sink.
+pub fn shell(usage: &str) -> (Common, Out) {
+    let common = Args::parse(usage).finish();
+    let out = Out::new(&common);
+    (common, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn common_flags_parse_anywhere_in_the_line() {
+        let common = Args::from_vec(vec_of(&["--jobs", "4", "--seed", "99", "--out", "x.txt"]))
+            .try_finish()
+            .expect("valid args");
+        assert_eq!(common.seed_or(1), 99);
+        assert_eq!(common.jobs, 4);
+        assert_eq!(common.out.as_deref(), Some("x.txt"));
+        assert_eq!(common.json, None);
+        assert_eq!(common.executor().workers(), 4);
+    }
+
+    #[test]
+    fn defaults_are_serial_and_seedless() {
+        let common = Args::from_vec(vec![]).try_finish().expect("empty args");
+        assert_eq!(common.jobs, 1);
+        assert_eq!(common.seed_or(7), 7);
+        assert_eq!(common.executor().workers(), 1);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = Args::from_vec(vec_of(&["--bogus"])).try_finish().unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        let err = Args::from_vec(vec_of(&["--seed"])).try_finish().unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err = Args::from_vec(vec_of(&["--jobs", "many"])).try_finish().unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn bin_specific_flags_come_off_before_finish() {
+        let mut args = Args::from_vec(vec_of(&["--sweep", "9", "--jobs", "2", "--verbose"]));
+        assert_eq!(args.opt("--sweep").as_deref(), Some("9"));
+        assert!(args.flag("--verbose"));
+        assert!(!args.flag("--verbose"), "flags consume");
+        let common = args.try_finish().expect("only shared flags remain");
+        assert_eq!(common.jobs, 2);
+    }
+
+    #[test]
+    fn outln_buffers_lines_in_order() {
+        let common = Common::default();
+        let mut out = Out::new(&common);
+        outln!(out, "a {}", 1);
+        outln!(out);
+        outln!(out, "b");
+        assert_eq!(out.text(), "a 1\n\nb\n");
+    }
+}

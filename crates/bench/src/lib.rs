@@ -23,37 +23,56 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_all, EvaluationConfig, ProductEvaluation};
+pub mod cli;
+
+use idse_eval::feeds::FeedConfig;
+use idse_eval::harness::{EvaluationRequest, ProductEvaluation};
 use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::TestFeed;
 use idse_sim::SimDuration;
 
+/// The canonical master seed for the paper artifacts (the workshop date).
+pub const STANDARD_SEED: u64 = 0x2002_0415;
+
 /// The standard evaluation setup shared by the table/figure binaries so
-/// every artifact is computed from the same canned feed.
-pub fn standard_setup() -> (TestFeed, EvaluationConfig) {
-    let config = EvaluationConfig {
-        feed: FeedConfig {
+/// every artifact is computed from the same canned feed, parameterized by
+/// the shared `--seed`/`--jobs` flags.
+pub fn standard_setup_with(seed: u64, jobs: usize) -> (TestFeed, EvaluationRequest) {
+    let request = EvaluationRequest::new()
+        .with_feed(FeedConfig {
             session_rate: 25.0,
             training_span: SimDuration::from_secs(20),
             test_span: SimDuration::from_secs(45),
             campaign_intensity: 2,
-            seed: 0x2002_0415, // the workshop date
-        },
-        needs: EnvironmentNeeds::realtime_cluster(3_000.0),
-        sweep_steps: 7,
-        max_throughput_factor: 4096.0,
-        fp_budget: 0.15,
-        ..EvaluationConfig::default()
-    };
-    let feed = TestFeed::realtime_cluster(&config.feed);
-    (feed, config)
+            seed,
+        })
+        .with_needs(EnvironmentNeeds::realtime_cluster(3_000.0))
+        .with_sweep_steps(7)
+        .with_max_throughput_factor(4096.0)
+        .with_fp_budget(0.15)
+        .with_jobs(jobs);
+    let feed = request.build_feed();
+    (feed, request)
 }
 
-/// Run the full standard evaluation (all four products, in parallel).
-pub fn standard_evaluation() -> (TestFeed, EvaluationConfig, Vec<ProductEvaluation>) {
-    let (feed, config) = standard_setup();
-    let evals = evaluate_all(&feed, &config);
-    (feed, config, evals)
+/// [`standard_setup_with`] at the canonical seed, serial.
+pub fn standard_setup() -> (TestFeed, EvaluationRequest) {
+    standard_setup_with(STANDARD_SEED, 1)
+}
+
+/// Run the full standard evaluation (all four products).
+pub fn standard_evaluation_with(
+    seed: u64,
+    jobs: usize,
+) -> (TestFeed, EvaluationRequest, Vec<ProductEvaluation>) {
+    let (feed, request) = standard_setup_with(seed, jobs);
+    let evals = request.evaluate_all(&feed);
+    (feed, request, evals)
+}
+
+/// [`standard_evaluation_with`] at the canonical seed, serial.
+pub fn standard_evaluation() -> (TestFeed, EvaluationRequest, Vec<ProductEvaluation>) {
+    standard_evaluation_with(STANDARD_SEED, 1)
 }
 
 /// Render a compact fixed-width table.

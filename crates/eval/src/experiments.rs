@@ -2,7 +2,8 @@
 
 use crate::confusion::TransactionLedger;
 use crate::feeds::{FeedConfig, TestFeed};
-use crate::sweep::{sweep_product, ErrorCurve, SweepPoint};
+use crate::sweep::{sweep, ErrorCurve, SweepPlan, SweepPoint};
+use idse_exec::Executor;
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
@@ -31,11 +32,13 @@ pub struct RealismRow {
     pub cost_random: f64,
 }
 
-/// Run X2 for the given products at one sensitivity.
+/// Run X2 for the given products at one sensitivity. Products are probed
+/// in parallel on `exec`; rows come back in input order.
 pub fn payload_realism_experiment(
     products: &[IdsProduct],
     sensitivity: f64,
     seed: u64,
+    exec: &Executor,
 ) -> Vec<RealismRow> {
     let span = SimDuration::from_secs(25);
     let rate = 25.0;
@@ -53,8 +56,7 @@ pub fn payload_realism_experiment(
     let realistic = mk(PayloadMode::Realistic, 0);
     let random = mk(PayloadMode::RandomBytes, 0);
 
-    let mut rows = Vec::new();
-    for p in products {
+    exec.par_map(products, |_, p| {
         let run = |trace: &idse_net::trace::Trace| {
             let config =
                 RunConfig { sensitivity: Sensitivity::new(sensitivity), ..RunConfig::default() };
@@ -81,16 +83,15 @@ pub fn payload_realism_experiment(
             }
             total / trace.len().max(1) as f64
         };
-        rows.push(RealismRow {
+        RealismRow {
             product: p.id.name().to_owned(),
             alerts_per_kpkt_realistic: 1000.0 * out_real.alerts.len() as f64
                 / realistic.len() as f64,
             alerts_per_kpkt_random: 1000.0 * out_rand.alerts.len() as f64 / random.len() as f64,
             cost_realistic: mean_cost(&realistic),
             cost_random: mean_cost(&random),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// X3 — site profile mismatch. "Commercial IDSs will often be geared
@@ -113,11 +114,13 @@ pub struct SiteProfileRow {
     pub detection_mismatched: f64,
 }
 
-/// Run X3 for the given products at one sensitivity.
+/// Run X3 for the given products at one sensitivity. Products are probed
+/// in parallel on `exec`; rows come back in input order.
 pub fn site_profile_experiment(
     products: &[IdsProduct],
     sensitivity: f64,
     seed: u64,
+    exec: &Executor,
 ) -> Vec<SiteProfileRow> {
     let fc = FeedConfig {
         session_rate: 25.0,
@@ -130,8 +133,7 @@ pub fn site_profile_experiment(
     let web = TestFeed::ecommerce(&fc);
     let ledger = TransactionLedger::of(&cluster.test);
 
-    let mut rows = Vec::new();
-    for p in products {
+    exec.par_map(products, |_, p| {
         let run = |training: &idse_net::trace::Trace| {
             let config = RunConfig {
                 sensitivity: Sensitivity::new(sensitivity),
@@ -145,15 +147,14 @@ pub fn site_profile_experiment(
         };
         let matched = run(&cluster.training);
         let mismatched = run(&web.training);
-        rows.push(SiteProfileRow {
+        SiteProfileRow {
             product: p.id.name().to_owned(),
             fp_matched: matched.false_positive_ratio(),
             fp_mismatched: mismatched.false_positive_ratio(),
             detection_matched: matched.detection_rate(),
             detection_mismatched: mismatched.detection_rate(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// X4 — operating-point selection (§3.3). "Distributed systems … should
@@ -178,11 +179,13 @@ pub struct OperatingPointReport {
     pub trust_detection_at_low_fn: Option<f64>,
 }
 
-/// Run X4 for one product on the cluster feed.
+/// Run X4 for one product on the cluster feed. The nine-step sweep fans
+/// out on `exec`; the two follow-up runs at the chosen points are serial.
 pub fn operating_point_experiment(
     product: &IdsProduct,
     fp_budget: f64,
     seed: u64,
+    exec: &Executor,
 ) -> OperatingPointReport {
     let fc = FeedConfig {
         session_rate: 25.0,
@@ -192,9 +195,10 @@ pub fn operating_point_experiment(
         seed,
     };
     let feed = TestFeed::realtime_cluster(&fc);
-    let curve = sweep_product(product, &feed, 9);
+    let plan = SweepPlan::with_steps(9).with_fp_budget(fp_budget);
+    let curve = sweep(product, &feed, &plan, exec);
     let eer_point = curve.equal_error_rate();
-    let low_fn_point = curve.min_fn_within_fp_budget(fp_budget);
+    let low_fn_point = curve.operating_point(&plan);
 
     let ledger = TransactionLedger::of(&feed.test);
     let trust_rate_at = |s: f64| -> Option<f64> {
@@ -231,7 +235,7 @@ mod tests {
     fn x2_realism_changes_behaviour() {
         let products =
             [IdsProduct::model(ProductId::NidSentry), IdsProduct::model(ProductId::FlowHunter)];
-        let rows = payload_realism_experiment(&products, 0.8, 11);
+        let rows = payload_realism_experiment(&products, 0.8, 11, &Executor::new(2));
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(
@@ -252,7 +256,7 @@ mod tests {
     #[test]
     fn x3_mismatched_training_hurts() {
         let products = [IdsProduct::model(ProductId::FlowHunter)];
-        let rows = site_profile_experiment(&products, 0.7, 13);
+        let rows = site_profile_experiment(&products, 0.7, 13, &Executor::serial());
         let r = &rows[0];
         assert!(
             r.fp_mismatched > r.fp_matched,
@@ -262,7 +266,12 @@ mod tests {
 
     #[test]
     fn x4_low_fn_point_catches_more_trust_exploits() {
-        let report = operating_point_experiment(&IdsProduct::model(ProductId::FlowHunter), 0.2, 17);
+        let report = operating_point_experiment(
+            &IdsProduct::model(ProductId::FlowHunter),
+            0.2,
+            17,
+            &Executor::new(3),
+        );
         let low_fn = report.low_fn_point.expect("a low-FN point exists");
         // The chosen point trades FP for FN per §3.3.
         if let Some((_, eer_rate)) = report.eer_point {

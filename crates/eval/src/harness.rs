@@ -1,54 +1,509 @@
 //! The full evaluation: every product, every metric, one scorecard each.
 //!
-//! This is the methodology end-to-end: build the canned feed, run the
-//! measured experiments (analysis method), apply the vendor rubrics
-//! (open-source method), convert measurements through the `measure`
-//! rubrics, and emit a complete [`Scorecard`] per product ready for any
-//! weighting. Products evaluate in parallel (crossbeam scoped threads) —
-//! each evaluation is independent and deterministic.
+//! This is the methodology end-to-end, split into the three phases the
+//! executor makes explicit:
+//!
+//! 1. **Plan construction** — enumerate every independent experiment as a
+//!    job: one per (product, sweep point), then one operating-point run
+//!    and one throughput search per product.
+//! 2. **Parallel execution** — run the jobs on an [`idse_exec::Executor`]
+//!    sized by [`EvaluationRequest::jobs`]. Each job is a pure function of
+//!    the feed and its key, with its own buffered telemetry recorder.
+//! 3. **Deterministic reduce** — assemble curves, pick operating points,
+//!    convert measurements through the `measure` rubrics, and fill one
+//!    [`Scorecard`] per product, always in canonical job-key order.
+//!
+//! Because no phase ever observes scheduling, the scorecards, curves and
+//! telemetry streams are byte-identical at any worker count — the serial
+//! path is just `jobs = 1`.
+
+use std::collections::BTreeMap;
 
 use crate::confusion::{ConfusionCounts, TransactionLedger};
 use crate::evidence::{EvidencePolicy, EvidenceStore};
 use crate::feeds::{FeedConfig, TestFeed};
 use crate::measure::{self, EnvironmentNeeds};
-use crate::sweep::{sweep_product, ErrorCurve};
+use crate::sweep::{measure_sweep_point, ErrorCurve, SweepPlan};
 use crate::throughput::{throughput_search, ThroughputReport};
 use crate::timing::{timing_report, TimingReport};
 use crate::vendor::score_vendor_metrics;
 use idse_core::{MetricId, Scorecard};
-use idse_ids::pipeline::{PipelineRunner, RunConfig};
+use idse_exec::{Executor, ExperimentPlan, JobKey};
+use idse_ids::pipeline::{PipelineOutcome, PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
 
-/// Evaluation parameters.
+/// A full evaluation request: what to measure, against which needs, and
+/// how wide to run.
+///
+/// This is the front door of the harness. Build one with the `with_*`
+/// methods (or struct update syntax off [`EvaluationRequest::default`]),
+/// then call [`EvaluationRequest::evaluate`],
+/// [`EvaluationRequest::evaluate_products`] or
+/// [`EvaluationRequest::evaluate_all`].
+///
+/// ```no_run
+/// use idse_eval::EvaluationRequest;
+///
+/// let request = EvaluationRequest::new().with_sweep_steps(5).with_jobs(4);
+/// let feed = request.build_feed();
+/// let evals = request.evaluate_all(&feed);
+/// assert_eq!(evals.len(), 4);
+/// ```
 #[derive(Debug, Clone)]
-pub struct EvaluationConfig {
+#[non_exhaustive]
+pub struct EvaluationRequest {
     /// Feed parameters.
     pub feed: FeedConfig,
     /// Environment the rubrics compare against.
     pub needs: EnvironmentNeeds,
-    /// Sensitivity steps in the Figure 4 sweep.
-    pub sweep_steps: usize,
+    /// Figure 4 sweep shape and the §3.3 operating-point budget.
+    pub sweep: SweepPlan,
     /// Ceiling for the throughput searches (time-compression factor).
     pub max_throughput_factor: f64,
-    /// False-positive budget for operating-point selection.
-    pub fp_budget: f64,
     /// Telemetry handle. Disabled by default. When enabled, each
     /// product's evaluation records into the shared sink under a scope
     /// named after the product, and the operating-point pipeline run is
     /// fully instrumented (per-stage spans, shed/alert counters).
     pub telemetry: idse_telemetry::Telemetry,
+    /// Worker count for the parallel executor: `1` runs everything inline
+    /// on the calling thread, `0` auto-sizes to the machine, any `N`
+    /// produces byte-identical results.
+    pub jobs: usize,
 }
 
-impl Default for EvaluationConfig {
+impl Default for EvaluationRequest {
     fn default() -> Self {
         Self {
             feed: FeedConfig::default(),
             needs: EnvironmentNeeds::realtime_cluster(2_000.0),
-            sweep_steps: 7,
+            sweep: SweepPlan::default(),
             max_throughput_factor: 256.0,
-            fp_budget: 0.15,
             telemetry: idse_telemetry::Telemetry::disabled(),
+            jobs: 1,
+        }
+    }
+}
+
+impl EvaluationRequest {
+    /// The default request (serial, paper-default sweep and budget).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This request with different feed parameters.
+    pub fn with_feed(mut self, feed: FeedConfig) -> Self {
+        self.feed = feed;
+        self
+    }
+
+    /// This request with different environment needs.
+    pub fn with_needs(mut self, needs: EnvironmentNeeds) -> Self {
+        self.needs = needs;
+        self
+    }
+
+    /// This request with a different sweep plan.
+    pub fn with_sweep(mut self, sweep: SweepPlan) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// This request with a different sweep step count (range and budget
+    /// unchanged).
+    pub fn with_sweep_steps(mut self, steps: usize) -> Self {
+        self.sweep.steps = steps;
+        self
+    }
+
+    /// This request with a different false-positive budget for
+    /// operating-point selection.
+    pub fn with_fp_budget(mut self, fp_budget: f64) -> Self {
+        self.sweep.fp_budget = fp_budget;
+        self
+    }
+
+    /// This request with a different throughput-search ceiling.
+    pub fn with_max_throughput_factor(mut self, factor: f64) -> Self {
+        self.max_throughput_factor = factor;
+        self
+    }
+
+    /// This request recording into `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: idse_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// This request running on `jobs` workers (`0` = one per core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The executor this request's experiments run on.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs)
+    }
+
+    /// Generate the real-time-cluster feed this request describes.
+    pub fn build_feed(&self) -> TestFeed {
+        TestFeed::realtime_cluster(&self.feed)
+    }
+
+    /// Evaluate one product against a feed.
+    pub fn evaluate(&self, product: &IdsProduct, feed: &TestFeed) -> ProductEvaluation {
+        self.evaluate_products(std::slice::from_ref(product), feed)
+            .pop()
+            .expect("one product in, one evaluation out")
+    }
+
+    /// Evaluate all four modeled products against one feed.
+    pub fn evaluate_all(&self, feed: &TestFeed) -> Vec<ProductEvaluation> {
+        self.evaluate_products(&IdsProduct::all_models(), feed)
+    }
+
+    /// Evaluate the given products against one feed.
+    ///
+    /// The returned evaluations are in input product order; every number
+    /// in them — and every telemetry event recorded along the way — is
+    /// byte-identical for any [`EvaluationRequest::jobs`] setting.
+    pub fn evaluate_products(
+        &self,
+        products: &[IdsProduct],
+        feed: &TestFeed,
+    ) -> Vec<ProductEvaluation> {
+        self.sweep.validate();
+        let exec = self.executor();
+        let ledger = TransactionLedger::of(&feed.test);
+
+        // Phase 1+2a: the sweep fan-out — one job per (product, step).
+        let mut sweep_jobs: ExperimentPlan<(usize, f64)> = ExperimentPlan::new(self.feed.seed);
+        for product in products {
+            for k in 0..self.sweep.steps {
+                sweep_jobs.push_scoped(
+                    JobKey::new(product.id.name(), "sweep", k as u32),
+                    product.id.name(),
+                    (k, self.sweep.sensitivity_at(k)),
+                );
+            }
+        }
+        let sweep_results = sweep_jobs.run(&exec, &self.telemetry, |ctx, &(_, s)| {
+            let product = products
+                .iter()
+                .find(|p| p.id.name() == ctx.key.subject)
+                .expect("job subject names an input product");
+            measure_sweep_point(product, feed, &ledger, s)
+        });
+
+        // Reduce 2a: assemble each product's curve (results arrive keyed
+        // and ordered, so this is a grouping, not a sort) and pick the
+        // §3.3 operating point.
+        let mut curves: BTreeMap<&str, ErrorCurve> = BTreeMap::new();
+        for r in sweep_results {
+            let product = products
+                .iter()
+                .find(|p| p.id.name() == r.key.subject)
+                .expect("job subject names an input product");
+            curves
+                .entry(product.id.name())
+                .or_insert_with(|| ErrorCurve {
+                    product: product.id.name().to_owned(),
+                    points: Vec::with_capacity(self.sweep.steps),
+                })
+                .points
+                .push(r.output);
+        }
+        let mut operating: BTreeMap<&str, f64> = BTreeMap::new();
+        for product in products {
+            let name = product.id.name();
+            let curve = &curves[name];
+            self.telemetry.with_scope(name).counter(
+                0,
+                "phase.sweep.points",
+                curve.points.len() as u64,
+            );
+            let s = curve.operating_point(&self.sweep).map(|p| p.sensitivity).unwrap_or(0.5);
+            operating.insert(name, s);
+        }
+
+        // Phase 1+2b: the measured probes — per product, one instrumented
+        // operating-point run and one throughput search. The throughput
+        // search is a sequential bisection per product (each probe depends
+        // on the previous bracket), so the product is the unit of work.
+        let mut probe_jobs: ExperimentPlan<ProbeJob> = ExperimentPlan::new(self.feed.seed);
+        for (index, product) in products.iter().enumerate() {
+            let name = product.id.name();
+            probe_jobs.push_scoped(
+                JobKey::new(name, "operate", 0),
+                name,
+                ProbeJob::Operate { index, sensitivity: operating[name] },
+            );
+            probe_jobs.push_scoped(
+                JobKey::new(name, "throughput", 0),
+                name,
+                ProbeJob::Throughput { index },
+            );
+        }
+        let probe_results = probe_jobs.run(&exec, &self.telemetry, |ctx, job| match *job {
+            ProbeJob::Operate { index, sensitivity } => {
+                // The accuracy/response run at the operating point, with
+                // automated response armed so filter effectiveness is
+                // observable. Per-stage spans land in this job's buffer
+                // under the product's scope.
+                let run_config = RunConfig {
+                    sensitivity: Sensitivity::new(sensitivity),
+                    monitored_hosts: feed.servers.clone(),
+                    auto_response: true,
+                    telemetry: ctx.telemetry.clone(),
+                    ..RunConfig::default()
+                };
+                let outcome = PipelineRunner::new(products[index].clone(), run_config)
+                    .with_training(feed.training.clone())
+                    .run(&feed.test);
+                ctx.telemetry.span(0, outcome.finished_at.as_nanos(), "phase.operating_run");
+                ProbeOutput::Operate(Box::new(outcome))
+            }
+            ProbeJob::Throughput { index } => ProbeOutput::Throughput(throughput_search(
+                &products[index],
+                feed,
+                self.max_throughput_factor,
+            )),
+        });
+        let mut probes: BTreeMap<JobKey, ProbeOutput> =
+            probe_results.into_iter().map(|r| (r.key, r.output)).collect();
+
+        // Reduce 2b: fill the scorecards in input product order.
+        products
+            .iter()
+            .map(|product| {
+                let name = product.id.name();
+                let outcome = probes
+                    .remove(&JobKey::new(name, "operate", 0))
+                    .and_then(ProbeOutput::into_operate)
+                    .expect("operate probe completed under its key");
+                let throughput = probes
+                    .remove(&JobKey::new(name, "throughput", 0))
+                    .and_then(ProbeOutput::into_throughput)
+                    .expect("throughput probe completed under its key");
+                self.telemetry.with_scope(name).gauge(
+                    outcome.finished_at.as_nanos(),
+                    "phase.throughput.zero_loss_pps",
+                    throughput.zero_loss_pps,
+                );
+                let curve = curves.remove(name).expect("every product swept");
+                self.fill_scorecard(
+                    product,
+                    feed,
+                    &ledger,
+                    curve,
+                    operating[name],
+                    *outcome,
+                    throughput,
+                )
+            })
+            .collect()
+    }
+
+    /// The scorecard fill: convert one product's measurements through the
+    /// `measure` rubrics. Pure aggregation — no simulation happens here.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_scorecard(
+        &self,
+        product: &IdsProduct,
+        feed: &TestFeed,
+        ledger: &TransactionLedger,
+        curve: ErrorCurve,
+        operating_sensitivity: f64,
+        outcome: PipelineOutcome,
+        throughput: ThroughputReport,
+    ) -> ProductEvaluation {
+        let confusion = ledger.score(&outcome.alerts);
+        let timing = timing_report(&feed.test, &outcome);
+
+        // Fill the scorecard: open-source rubrics, then measured rubrics.
+        let mut card = Scorecard::new(product.id.name());
+        score_vendor_metrics(product, &mut card);
+
+        let needs = &self.needs;
+        card.set_with_note(
+            MetricId::ObservedFalsePositiveRatio,
+            measure::score_false_positive_ratio(confusion.false_positive_ratio()),
+            format!(
+                "|D-A|/|T| = {:.4} at s={operating_sensitivity:.2}",
+                confusion.false_positive_ratio()
+            ),
+        );
+        card.set_with_note(
+            MetricId::ObservedFalseNegativeRatio,
+            measure::score_detection_rate(confusion.detection_rate()),
+            format!(
+                "|A-D|/|T| = {:.4}; detection rate {:.2}",
+                confusion.false_negative_ratio(),
+                confusion.detection_rate()
+            ),
+        );
+        card.set_with_note(
+            MetricId::SystemThroughput,
+            measure::score_throughput(throughput.zero_loss_pps, needs),
+            format!(
+                "zero-loss {:.0} pps vs nominal {:.0}",
+                throughput.zero_loss_pps, needs.nominal_pps
+            ),
+        );
+        card.set_with_note(
+            MetricId::MaximalThroughputZeroLoss,
+            measure::score_throughput(throughput.zero_loss_pps, needs),
+            format!("measured {:.0} pps", throughput.zero_loss_pps),
+        );
+        card.set_with_note(
+            MetricId::NetworkLethalDose,
+            measure::score_lethal_dose(throughput.lethal_dose_pps, needs),
+            match throughput.lethal_dose_pps {
+                Some(pps) => format!("failure at {pps:.0} pps"),
+                None => "no failure provoked within search ceiling".to_owned(),
+            },
+        );
+        card.set_with_note(
+            MetricId::InducedTrafficLatency,
+            measure::score_induced_latency(timing.induced_latency_mean, needs),
+            format!("mean {}", timing.induced_latency_mean),
+        );
+        card.set_with_note(
+            MetricId::Timeliness,
+            measure::score_timeliness(timing.timeliness_mean, needs),
+            format!("mean {} / max {}", timing.timeliness_mean, timing.timeliness_max),
+        );
+        card.set_with_note(
+            MetricId::OperationalPerformanceImpact,
+            measure::score_host_impact(outcome.host_impact),
+            format!("{:.2}% of monitored-host CPU", 100.0 * outcome.host_impact),
+        );
+        card.set_with_note(
+            MetricId::ErrorReportingAndRecovery,
+            measure::score_error_recovery(product.architecture.failure),
+            format!("{:?}", product.architecture.failure),
+        );
+        card.set_with_note(
+            MetricId::DataStorage,
+            measure::score_data_storage(outcome.state_bytes, feed.test.wire_bytes()),
+            format!(
+                "{} state bytes over {} source bytes",
+                outcome.state_bytes,
+                feed.test.wire_bytes()
+            ),
+        );
+        card.set_with_note(
+            MetricId::FirewallInteraction,
+            measure::score_response_interaction(
+                product.architecture.response.firewall,
+                outcome.blocked.0,
+                outcome.collateral_blocked_sources,
+            ),
+            format!(
+                "blocked {} attack pkts, {} collateral sources",
+                outcome.blocked.0, outcome.collateral_blocked_sources
+            ),
+        );
+        card.set_with_note(
+            MetricId::RouterInteraction,
+            measure::score_response_interaction(
+                product.architecture.response.router,
+                outcome.blocked.0,
+                outcome.collateral_blocked_sources,
+            ),
+            "router path shares the response plumbing",
+        );
+        // SNMP: count traps from a capability-probe interpretation of the run.
+        let traps =
+            if product.architecture.response.snmp { confusion.alert_count as u32 } else { 0 };
+        card.set_with_note(
+            MetricId::SnmpInteraction,
+            measure::score_snmp(product.architecture.response.snmp, traps),
+            format!("{traps} trap-eligible alerts"),
+        );
+        // Evidence collection, measured: the retention budget scales with the
+        // product's storage posture (KB retained per MB of source data).
+        let budget = (feed.test.wire_bytes() / 1_000_000).max(1)
+            * u64::from(product.vendor.storage_kb_per_mb)
+            * 1024;
+        let policy = EvidencePolicy { byte_budget: budget, ..EvidencePolicy::alert_adjacent() };
+        let store = EvidenceStore::collect(&feed.test, &outcome.alerts, policy);
+        let detected_ids: Vec<u32> = {
+            let mut ids: Vec<u32> = outcome
+                .alerts
+                .iter()
+                .filter_map(|a| feed.test.records()[a.trigger].truth.map(|t| t.attack_id))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        let coverage = store.mean_coverage(&feed.test, &detected_ids);
+        card.set_with_note(
+            MetricId::EvidenceCollection,
+            measure::score_evidence_coverage(coverage),
+            format!(
+                "forensic coverage {:.2} over {} detected instances ({} KiB retained, {} truncated)",
+                coverage,
+                detected_ids.len(),
+                store.bytes_used / 1024,
+                store.truncated_alerts
+            ),
+        );
+
+        card.set_with_note(
+            MetricId::EffectivenessOfGeneratedFilters,
+            measure::score_response_interaction(
+                product.architecture.response.firewall || product.architecture.response.router,
+                outcome.blocked.0,
+                outcome.collateral_blocked_sources,
+            ),
+            "generated-filter surgical accuracy",
+        );
+
+        ProductEvaluation {
+            product: product.clone(),
+            scorecard: card,
+            curve,
+            operating_sensitivity,
+            confusion,
+            throughput,
+            timing,
+            host_impact: outcome.host_impact,
+            state_bytes: outcome.state_bytes,
+        }
+    }
+}
+
+/// One measured probe: the unit of work in phase 2b.
+#[derive(Debug, Clone, Copy)]
+enum ProbeJob {
+    /// The instrumented accuracy/response run at the operating point.
+    Operate { index: usize, sensitivity: f64 },
+    /// The zero-loss / lethal-dose throughput searches.
+    Throughput { index: usize },
+}
+
+/// What a probe produced.
+#[derive(Debug)]
+enum ProbeOutput {
+    Operate(Box<PipelineOutcome>),
+    Throughput(ThroughputReport),
+}
+
+impl ProbeOutput {
+    fn into_operate(self) -> Option<Box<PipelineOutcome>> {
+        match self {
+            ProbeOutput::Operate(outcome) => Some(outcome),
+            ProbeOutput::Throughput(_) => None,
+        }
+    }
+
+    fn into_throughput(self) -> Option<ThroughputReport> {
+        match self {
+            ProbeOutput::Throughput(report) => Some(report),
+            ProbeOutput::Operate(_) => None,
         }
     }
 }
@@ -77,210 +532,72 @@ pub struct ProductEvaluation {
     pub state_bytes: usize,
 }
 
-/// Evaluate one product against a feed.
+/// Evaluation parameters (pre-executor API).
+#[deprecated(since = "0.2.0", note = "use `EvaluationRequest`")]
+#[derive(Debug, Clone)]
+pub struct EvaluationConfig {
+    /// Feed parameters.
+    pub feed: FeedConfig,
+    /// Environment the rubrics compare against.
+    pub needs: EnvironmentNeeds,
+    /// Sensitivity steps in the Figure 4 sweep.
+    pub sweep_steps: usize,
+    /// Ceiling for the throughput searches (time-compression factor).
+    pub max_throughput_factor: f64,
+    /// False-positive budget for operating-point selection.
+    pub fp_budget: f64,
+    /// Telemetry handle.
+    pub telemetry: idse_telemetry::Telemetry,
+}
+
+#[allow(deprecated)]
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        Self {
+            feed: FeedConfig::default(),
+            needs: EnvironmentNeeds::realtime_cluster(2_000.0),
+            sweep_steps: 7,
+            max_throughput_factor: 256.0,
+            fp_budget: 0.15,
+            telemetry: idse_telemetry::Telemetry::disabled(),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<&EvaluationConfig> for EvaluationRequest {
+    fn from(config: &EvaluationConfig) -> Self {
+        EvaluationRequest {
+            feed: config.feed.clone(),
+            needs: config.needs.clone(),
+            sweep: SweepPlan {
+                steps: config.sweep_steps,
+                fp_budget: config.fp_budget,
+                ..SweepPlan::default()
+            },
+            max_throughput_factor: config.max_throughput_factor,
+            telemetry: config.telemetry.clone(),
+            jobs: 1,
+        }
+    }
+}
+
+/// Evaluate one product against a feed (serial legacy path).
+#[deprecated(since = "0.2.0", note = "use `EvaluationRequest::evaluate`")]
+#[allow(deprecated)]
 pub fn evaluate_product(
     product: &IdsProduct,
     feed: &TestFeed,
     config: &EvaluationConfig,
 ) -> ProductEvaluation {
-    let ledger = TransactionLedger::of(&feed.test);
-    // All events from this product's evaluation carry its name, so four
-    // concurrent evaluations stay separable in the shared sink.
-    let telemetry = config.telemetry.with_scope(product.id.name());
-
-    // Figure 4 sweep, then pick the §3.3 operating point.
-    let curve = sweep_product(product, feed, config.sweep_steps);
-    telemetry.counter(0, "phase.sweep.points", curve.points.len() as u64);
-    let operating_sensitivity =
-        curve.min_fn_within_fp_budget(config.fp_budget).map(|p| p.sensitivity).unwrap_or(0.5);
-
-    // The accuracy/response run at the operating point, with automated
-    // response armed so filter effectiveness is observable. This is the
-    // instrumented run: per-stage spans land under this product's scope.
-    let run_config = RunConfig {
-        sensitivity: Sensitivity::new(operating_sensitivity),
-        monitored_hosts: feed.servers.clone(),
-        auto_response: true,
-        telemetry: telemetry.clone(),
-        ..RunConfig::default()
-    };
-    let outcome = PipelineRunner::new(product.clone(), run_config)
-        .with_training(feed.training.clone())
-        .run(&feed.test);
-    telemetry.span(0, outcome.finished_at.as_nanos(), "phase.operating_run");
-    let confusion = ledger.score(&outcome.alerts);
-    let timing = timing_report(&feed.test, &outcome);
-
-    // Throughput searches.
-    let throughput = throughput_search(product, feed, config.max_throughput_factor);
-    telemetry.gauge(
-        outcome.finished_at.as_nanos(),
-        "phase.throughput.zero_loss_pps",
-        throughput.zero_loss_pps,
-    );
-
-    // Fill the scorecard: open-source rubrics, then measured rubrics.
-    let mut card = Scorecard::new(product.id.name());
-    score_vendor_metrics(product, &mut card);
-
-    let needs = &config.needs;
-    card.set_with_note(
-        MetricId::ObservedFalsePositiveRatio,
-        measure::score_false_positive_ratio(confusion.false_positive_ratio()),
-        format!(
-            "|D-A|/|T| = {:.4} at s={operating_sensitivity:.2}",
-            confusion.false_positive_ratio()
-        ),
-    );
-    card.set_with_note(
-        MetricId::ObservedFalseNegativeRatio,
-        measure::score_detection_rate(confusion.detection_rate()),
-        format!(
-            "|A-D|/|T| = {:.4}; detection rate {:.2}",
-            confusion.false_negative_ratio(),
-            confusion.detection_rate()
-        ),
-    );
-    card.set_with_note(
-        MetricId::SystemThroughput,
-        measure::score_throughput(throughput.zero_loss_pps, needs),
-        format!(
-            "zero-loss {:.0} pps vs nominal {:.0}",
-            throughput.zero_loss_pps, needs.nominal_pps
-        ),
-    );
-    card.set_with_note(
-        MetricId::MaximalThroughputZeroLoss,
-        measure::score_throughput(throughput.zero_loss_pps, needs),
-        format!("measured {:.0} pps", throughput.zero_loss_pps),
-    );
-    card.set_with_note(
-        MetricId::NetworkLethalDose,
-        measure::score_lethal_dose(throughput.lethal_dose_pps, needs),
-        match throughput.lethal_dose_pps {
-            Some(pps) => format!("failure at {pps:.0} pps"),
-            None => "no failure provoked within search ceiling".to_owned(),
-        },
-    );
-    card.set_with_note(
-        MetricId::InducedTrafficLatency,
-        measure::score_induced_latency(timing.induced_latency_mean, needs),
-        format!("mean {}", timing.induced_latency_mean),
-    );
-    card.set_with_note(
-        MetricId::Timeliness,
-        measure::score_timeliness(timing.timeliness_mean, needs),
-        format!("mean {} / max {}", timing.timeliness_mean, timing.timeliness_max),
-    );
-    card.set_with_note(
-        MetricId::OperationalPerformanceImpact,
-        measure::score_host_impact(outcome.host_impact),
-        format!("{:.2}% of monitored-host CPU", 100.0 * outcome.host_impact),
-    );
-    card.set_with_note(
-        MetricId::ErrorReportingAndRecovery,
-        measure::score_error_recovery(product.architecture.failure),
-        format!("{:?}", product.architecture.failure),
-    );
-    card.set_with_note(
-        MetricId::DataStorage,
-        measure::score_data_storage(outcome.state_bytes, feed.test.wire_bytes()),
-        format!("{} state bytes over {} source bytes", outcome.state_bytes, feed.test.wire_bytes()),
-    );
-    card.set_with_note(
-        MetricId::FirewallInteraction,
-        measure::score_response_interaction(
-            product.architecture.response.firewall,
-            outcome.blocked.0,
-            outcome.collateral_blocked_sources,
-        ),
-        format!(
-            "blocked {} attack pkts, {} collateral sources",
-            outcome.blocked.0, outcome.collateral_blocked_sources
-        ),
-    );
-    card.set_with_note(
-        MetricId::RouterInteraction,
-        measure::score_response_interaction(
-            product.architecture.response.router,
-            outcome.blocked.0,
-            outcome.collateral_blocked_sources,
-        ),
-        "router path shares the response plumbing",
-    );
-    // SNMP: count traps from a capability-probe interpretation of the run.
-    let traps = if product.architecture.response.snmp { confusion.alert_count as u32 } else { 0 };
-    card.set_with_note(
-        MetricId::SnmpInteraction,
-        measure::score_snmp(product.architecture.response.snmp, traps),
-        format!("{traps} trap-eligible alerts"),
-    );
-    // Evidence collection, measured: the retention budget scales with the
-    // product's storage posture (KB retained per MB of source data).
-    let budget = (feed.test.wire_bytes() / 1_000_000).max(1)
-        * u64::from(product.vendor.storage_kb_per_mb)
-        * 1024;
-    let policy = EvidencePolicy { byte_budget: budget, ..EvidencePolicy::alert_adjacent() };
-    let store = EvidenceStore::collect(&feed.test, &outcome.alerts, policy);
-    let detected_ids: Vec<u32> = {
-        let mut ids: Vec<u32> = outcome
-            .alerts
-            .iter()
-            .filter_map(|a| feed.test.records()[a.trigger].truth.map(|t| t.attack_id))
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
-    };
-    let coverage = store.mean_coverage(&feed.test, &detected_ids);
-    card.set_with_note(
-        MetricId::EvidenceCollection,
-        measure::score_evidence_coverage(coverage),
-        format!(
-            "forensic coverage {:.2} over {} detected instances ({} KiB retained, {} truncated)",
-            coverage,
-            detected_ids.len(),
-            store.bytes_used / 1024,
-            store.truncated_alerts
-        ),
-    );
-
-    card.set_with_note(
-        MetricId::EffectivenessOfGeneratedFilters,
-        measure::score_response_interaction(
-            product.architecture.response.firewall || product.architecture.response.router,
-            outcome.blocked.0,
-            outcome.collateral_blocked_sources,
-        ),
-        "generated-filter surgical accuracy",
-    );
-
-    ProductEvaluation {
-        product: product.clone(),
-        scorecard: card,
-        curve,
-        operating_sensitivity,
-        confusion,
-        throughput,
-        timing,
-        host_impact: outcome.host_impact,
-        state_bytes: outcome.state_bytes,
-    }
+    EvaluationRequest::from(config).evaluate(product, feed)
 }
 
-/// Evaluate all four products in parallel against one feed.
+/// Evaluate all four products against one feed (serial legacy path).
+#[deprecated(since = "0.2.0", note = "use `EvaluationRequest::evaluate_all`")]
+#[allow(deprecated)]
 pub fn evaluate_all(feed: &TestFeed, config: &EvaluationConfig) -> Vec<ProductEvaluation> {
-    let products = IdsProduct::all_models();
-    let mut results: Vec<Option<ProductEvaluation>> = (0..products.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, product) in results.iter_mut().zip(products.iter()) {
-            scope.spawn(move |_| {
-                *slot = Some(evaluate_product(product, feed, config));
-            });
-        }
-    })
-    .expect("evaluation threads do not panic");
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    EvaluationRequest::from(config).evaluate_all(feed)
 }
 
 #[cfg(test)]
@@ -289,28 +606,26 @@ mod tests {
     use idse_ids::products::ProductId;
     use idse_sim::SimDuration;
 
-    fn quick_config() -> EvaluationConfig {
-        EvaluationConfig {
-            feed: FeedConfig {
+    fn quick_request() -> EvaluationRequest {
+        EvaluationRequest::new()
+            .with_feed(FeedConfig {
                 session_rate: 15.0,
                 training_span: SimDuration::from_secs(12),
                 test_span: SimDuration::from_secs(25),
                 campaign_intensity: 1,
                 seed: 42,
-            },
-            needs: EnvironmentNeeds::realtime_cluster(1_500.0),
-            sweep_steps: 4,
-            max_throughput_factor: 32.0,
-            fp_budget: 0.2,
-            telemetry: idse_telemetry::Telemetry::disabled(),
-        }
+            })
+            .with_needs(EnvironmentNeeds::realtime_cluster(1_500.0))
+            .with_sweep_steps(4)
+            .with_max_throughput_factor(32.0)
+            .with_fp_budget(0.2)
     }
 
     #[test]
     fn full_evaluation_fills_every_metric() {
-        let cfg = quick_config();
-        let feed = TestFeed::realtime_cluster(&cfg.feed);
-        let eval = evaluate_product(&IdsProduct::model(ProductId::GuardSecure), &feed, &cfg);
+        let request = quick_request();
+        let feed = request.build_feed();
+        let eval = request.evaluate(&IdsProduct::model(ProductId::GuardSecure), &feed);
         let unscored = eval.scorecard.unscored();
         assert!(unscored.is_empty(), "unscored metrics: {unscored:?}");
         assert_eq!(eval.scorecard.len(), 52);
@@ -318,10 +633,10 @@ mod tests {
 
     #[test]
     fn evaluations_are_deterministic() {
-        let cfg = quick_config();
-        let feed = TestFeed::realtime_cluster(&cfg.feed);
-        let a = evaluate_product(&IdsProduct::model(ProductId::NidSentry), &feed, &cfg);
-        let b = evaluate_product(&IdsProduct::model(ProductId::NidSentry), &feed, &cfg);
+        let request = quick_request();
+        let feed = request.build_feed();
+        let a = request.evaluate(&IdsProduct::model(ProductId::NidSentry), &feed);
+        let b = request.evaluate(&IdsProduct::model(ProductId::NidSentry), &feed);
         for (id, s) in a.scorecard.iter() {
             assert_eq!(Some(s), b.scorecard.get(id), "{id:?} differs between runs");
         }
@@ -330,15 +645,63 @@ mod tests {
 
     #[test]
     fn parallel_evaluation_covers_all_products() {
-        let cfg = quick_config();
-        let feed = TestFeed::realtime_cluster(&cfg.feed);
-        let evals = evaluate_all(&feed, &cfg);
+        let request = quick_request().with_jobs(8);
+        let feed = request.build_feed();
+        let evals = request.evaluate_all(&feed);
         assert_eq!(evals.len(), 4);
         let names: std::collections::HashSet<String> =
             evals.iter().map(|e| e.scorecard.system.clone()).collect();
         assert_eq!(names.len(), 4);
         for e in &evals {
             assert_eq!(e.scorecard.len(), 52, "{}", e.scorecard.system);
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_scores() {
+        let feed = quick_request().build_feed();
+        let render = |jobs: usize| {
+            quick_request()
+                .with_jobs(jobs)
+                .evaluate_all(&feed)
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} s={} tp={} ld={:?} {:?}",
+                        e.scorecard.system,
+                        e.operating_sensitivity,
+                        e.throughput.zero_loss_pps,
+                        e.throughput.lethal_dose_pps,
+                        e.scorecard.iter().collect::<Vec<_>>()
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = render(1);
+        assert_eq!(serial, render(3));
+        assert_eq!(serial, render(8));
+    }
+
+    #[test]
+    fn deprecated_config_path_matches_request_path() {
+        #[allow(deprecated)]
+        let config = EvaluationConfig {
+            feed: quick_request().feed,
+            needs: EnvironmentNeeds::realtime_cluster(1_500.0),
+            sweep_steps: 4,
+            max_throughput_factor: 32.0,
+            fp_budget: 0.2,
+            telemetry: idse_telemetry::Telemetry::disabled(),
+        };
+        let request = quick_request();
+        let feed = request.build_feed();
+        let product = IdsProduct::model(ProductId::FlowHunter);
+        #[allow(deprecated)]
+        let legacy = evaluate_product(&product, &feed, &config);
+        let current = request.evaluate(&product, &feed);
+        assert_eq!(legacy.operating_sensitivity, current.operating_sensitivity);
+        for (id, s) in legacy.scorecard.iter() {
+            assert_eq!(Some(s), current.scorecard.get(id), "{id:?} differs across API paths");
         }
     }
 }

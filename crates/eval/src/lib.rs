@@ -47,4 +47,8 @@ pub mod vendor;
 
 pub use confusion::{ConfusionCounts, TransactionLedger};
 pub use feeds::TestFeed;
-pub use harness::{evaluate_all, evaluate_product, EvaluationConfig, ProductEvaluation};
+pub use harness::{EvaluationRequest, ProductEvaluation};
+pub use sweep::SweepPlan;
+
+#[allow(deprecated)]
+pub use harness::{evaluate_all, evaluate_product, EvaluationConfig};

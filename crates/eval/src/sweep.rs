@@ -8,10 +8,62 @@
 
 use crate::confusion::TransactionLedger;
 use crate::feeds::TestFeed;
+use idse_exec::{Executor, ExperimentPlan, JobKey};
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
 use serde::Serialize;
+
+/// Sweep configuration shared by the Figure 4 curve and operating-point
+/// selection: how many settings to sample, over what sensitivity range,
+/// and which false-positive budget the §3.3 rule applies.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SweepPlan {
+    /// Number of sensitivity settings to sample (≥ 2).
+    pub steps: usize,
+    /// Inclusive sensitivity range swept, low to high.
+    pub sensitivity_range: (f64, f64),
+    /// False-positive budget for [`ErrorCurve::min_fn_within_fp_budget`].
+    pub fp_budget: f64,
+}
+
+impl Default for SweepPlan {
+    /// Seven steps over the full `[0, 1]` range with the paper-default
+    /// 15 % false-positive budget.
+    fn default() -> Self {
+        SweepPlan { steps: 7, sensitivity_range: (0.0, 1.0), fp_budget: 0.15 }
+    }
+}
+
+impl SweepPlan {
+    /// A plan sampling `steps` settings over the default full range.
+    pub fn with_steps(steps: usize) -> Self {
+        SweepPlan { steps, ..SweepPlan::default() }
+    }
+
+    /// This plan with a different false-positive budget.
+    pub fn with_fp_budget(mut self, fp_budget: f64) -> Self {
+        self.fp_budget = fp_budget;
+        self
+    }
+
+    /// The sensitivity of sample `k` (evenly spaced endpoints-inclusive).
+    ///
+    /// For the default `(0.0, 1.0)` range this reduces to exactly
+    /// `k / (steps - 1)` — bit-identical to the historical sweep ladder.
+    pub fn sensitivity_at(&self, k: usize) -> f64 {
+        let (lo, hi) = self.sensitivity_range;
+        lo + (k as f64 / (self.steps - 1) as f64) * (hi - lo)
+    }
+
+    /// Panics (via `assert!`) unless the plan is well-formed.
+    pub fn validate(&self) {
+        assert!(self.steps >= 2, "a sweep needs at least two settings");
+        let (lo, hi) = self.sensitivity_range;
+        assert!(lo <= hi, "sweep range must be ordered: {lo} > {hi}");
+        assert!(self.fp_budget >= 0.0, "fp budget must be non-negative");
+    }
+}
 
 /// One sweep sample.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -63,6 +115,12 @@ impl ErrorCurve {
         })
     }
 
+    /// The operating point this curve's [`SweepPlan`] selects: the §3.3
+    /// min-FN-within-budget rule under `plan.fp_budget`.
+    pub fn operating_point(&self, plan: &SweepPlan) -> Option<SweepPoint> {
+        self.min_fn_within_fp_budget(plan.fp_budget)
+    }
+
     /// The sensitivity minimizing the false-negative ratio subject to the
     /// false-positive ratio staying at or below `fp_budget` — the §3.3
     /// operating-point rule for distributed systems ("reduce the false
@@ -85,30 +143,62 @@ impl ErrorCurve {
     }
 }
 
-/// Sweep one product over `steps` sensitivity settings in `[0, 1]`.
-pub fn sweep_product(product: &IdsProduct, feed: &TestFeed, steps: usize) -> ErrorCurve {
-    assert!(steps >= 2, "a sweep needs at least two settings");
-    let ledger = TransactionLedger::of(&feed.test);
-    let mut points = Vec::with_capacity(steps);
-    for k in 0..steps {
-        let s = k as f64 / (steps - 1) as f64;
-        let config = RunConfig {
-            sensitivity: Sensitivity::new(s),
-            monitored_hosts: feed.servers.clone(),
-            ..RunConfig::default()
-        };
-        let runner =
-            PipelineRunner::new(product.clone(), config).with_training(feed.training.clone());
-        let outcome = runner.run(&feed.test);
-        let counts = ledger.score(&outcome.alerts);
-        points.push(SweepPoint {
-            sensitivity: s,
-            false_positive_ratio: counts.false_positive_ratio(),
-            false_negative_ratio: counts.false_negative_ratio(),
-            alerts: counts.alert_count,
-        });
+/// Measure one sweep sample: run the pipeline at `sensitivity` and score
+/// the alerts against the ledger. Pure function of its arguments — the
+/// unit of work one sweep job executes.
+pub(crate) fn measure_sweep_point(
+    product: &IdsProduct,
+    feed: &TestFeed,
+    ledger: &TransactionLedger,
+    sensitivity: f64,
+) -> SweepPoint {
+    let config = RunConfig {
+        sensitivity: Sensitivity::new(sensitivity),
+        monitored_hosts: feed.servers.clone(),
+        ..RunConfig::default()
+    };
+    let runner = PipelineRunner::new(product.clone(), config).with_training(feed.training.clone());
+    let outcome = runner.run(&feed.test);
+    let counts = ledger.score(&outcome.alerts);
+    SweepPoint {
+        sensitivity,
+        false_positive_ratio: counts.false_positive_ratio(),
+        false_negative_ratio: counts.false_negative_ratio(),
+        alerts: counts.alert_count,
     }
+}
+
+/// Sweep one product over the plan's sensitivity ladder, sampling points
+/// in parallel on `exec`. Points come back in ladder order regardless of
+/// worker count, so the curve is byte-identical at any `--jobs N`.
+pub fn sweep(
+    product: &IdsProduct,
+    feed: &TestFeed,
+    plan: &SweepPlan,
+    exec: &Executor,
+) -> ErrorCurve {
+    plan.validate();
+    let ledger = TransactionLedger::of(&feed.test);
+    // Sweep jobs are pure replays of the feed — they never draw from
+    // ctx.seed — so the plan's master seed is immaterial.
+    let mut jobs = ExperimentPlan::new(0);
+    for k in 0..plan.steps {
+        jobs.push(JobKey::new(product.id.name(), "sweep", k as u32), plan.sensitivity_at(k));
+    }
+    let points = jobs
+        .run(exec, &idse_telemetry::Telemetry::disabled(), |_, &s| {
+            measure_sweep_point(product, feed, &ledger, s)
+        })
+        .into_iter()
+        .map(|r| r.output)
+        .collect();
     ErrorCurve { product: product.id.name().to_owned(), points }
+}
+
+/// Sweep one product over `steps` sensitivity settings in `[0, 1]`.
+#[deprecated(since = "0.2.0", note = "use `sweep` with a `SweepPlan` and an `idse_exec::Executor`")]
+pub fn sweep_product(product: &IdsProduct, feed: &TestFeed, steps: usize) -> ErrorCurve {
+    sweep(product, feed, &SweepPlan::with_steps(steps), &Executor::serial())
 }
 
 #[cfg(test)]
@@ -129,9 +219,39 @@ mod tests {
     }
 
     #[test]
+    fn plan_ladder_matches_historical_spacing() {
+        let plan = SweepPlan::with_steps(5);
+        for k in 0..5 {
+            assert_eq!(plan.sensitivity_at(k), k as f64 / 4.0);
+        }
+        let narrow = SweepPlan { steps: 3, sensitivity_range: (0.2, 0.6), fp_budget: 0.1 };
+        assert_eq!(narrow.sensitivity_at(0), 0.2);
+        assert_eq!(narrow.sensitivity_at(2), 0.6);
+    }
+
+    #[test]
+    fn deprecated_sweep_product_matches_planned_sweep() {
+        let feed = small_feed();
+        let product = IdsProduct::model(ProductId::NidSentry);
+        #[allow(deprecated)]
+        let legacy = sweep_product(&product, &feed, 4);
+        let planned = sweep(&product, &feed, &SweepPlan::with_steps(4), &Executor::new(4));
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&planned).unwrap(),
+            "parallel sweep must be byte-identical to the legacy serial sweep"
+        );
+    }
+
+    #[test]
     fn fn_ratio_decreases_with_sensitivity() {
         let feed = small_feed();
-        let curve = sweep_product(&IdsProduct::model(ProductId::NidSentry), &feed, 5);
+        let curve = sweep(
+            &IdsProduct::model(ProductId::NidSentry),
+            &feed,
+            &SweepPlan::with_steps(5),
+            &Executor::new(2),
+        );
         let first = curve.points.first().unwrap();
         let last = curve.points.last().unwrap();
         assert!(
@@ -144,7 +264,12 @@ mod tests {
     #[test]
     fn fp_ratio_increases_with_sensitivity() {
         let feed = small_feed();
-        let curve = sweep_product(&IdsProduct::model(ProductId::GuardSecure), &feed, 5);
+        let curve = sweep(
+            &IdsProduct::model(ProductId::GuardSecure),
+            &feed,
+            &SweepPlan::with_steps(5),
+            &Executor::serial(),
+        );
         let first = curve.points.first().unwrap();
         let last = curve.points.last().unwrap();
         assert!(last.false_positive_ratio >= first.false_positive_ratio);
@@ -229,6 +354,9 @@ mod tests {
         };
         let p = curve.min_fn_within_fp_budget(0.1).unwrap();
         assert_eq!(p.sensitivity, 0.5);
+        let via_plan =
+            curve.operating_point(&SweepPlan { fp_budget: 0.1, ..SweepPlan::default() }).unwrap();
+        assert_eq!(via_plan.sensitivity, p.sensitivity);
         // With a generous budget, the minimum-FN point wins.
         let p = curve.min_fn_within_fp_budget(1.0).unwrap();
         assert_eq!(p.sensitivity, 1.0);

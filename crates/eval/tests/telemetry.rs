@@ -1,38 +1,37 @@
 //! Telemetry must be a pure observer: the same seeded evaluation with
 //! recording enabled produces a byte-identical scorecard to one with it
-//! disabled, and the recorded stream itself is deterministic.
+//! disabled, and the recorded stream itself is deterministic — at any
+//! executor width.
 
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_product, EvaluationConfig};
+use idse_eval::feeds::FeedConfig;
+use idse_eval::EvaluationRequest;
 use idse_ids::products::{IdsProduct, ProductId};
 use idse_sim::SimDuration;
 use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 
-fn config(telemetry: Telemetry) -> EvaluationConfig {
-    EvaluationConfig {
-        feed: FeedConfig {
+fn request(telemetry: Telemetry) -> EvaluationRequest {
+    EvaluationRequest::new()
+        .with_feed(FeedConfig {
             session_rate: 12.0,
             training_span: SimDuration::from_secs(8),
             test_span: SimDuration::from_secs(18),
             campaign_intensity: 1,
             seed: 20_020_415,
-        },
-        sweep_steps: 3,
-        max_throughput_factor: 16.0,
-        telemetry,
-        ..EvaluationConfig::default()
-    }
+        })
+        .with_sweep_steps(3)
+        .with_max_throughput_factor(16.0)
+        .with_telemetry(telemetry)
 }
 
 #[test]
 fn telemetry_enabled_run_matches_disabled_run_byte_for_byte() {
-    let off_cfg = config(Telemetry::disabled());
-    let feed = TestFeed::realtime_cluster(&off_cfg.feed);
+    let off_req = request(Telemetry::disabled());
+    let feed = off_req.build_feed();
     let product = IdsProduct::model(ProductId::GuardSecure);
 
-    let off = evaluate_product(&product, &feed, &off_cfg);
+    let off = off_req.evaluate(&product, &feed);
     let sink = MemorySink::new(1 << 20);
-    let on = evaluate_product(&product, &feed, &config(Telemetry::new(sink.clone())));
+    let on = request(Telemetry::new(sink.clone())).evaluate(&product, &feed);
 
     let off_json = serde_json::to_string(&off.scorecard).expect("scorecard serializes");
     let on_json = serde_json::to_string(&on.scorecard).expect("scorecard serializes");
@@ -45,18 +44,25 @@ fn telemetry_enabled_run_matches_disabled_run_byte_for_byte() {
 #[test]
 fn recorded_stream_is_deterministic_and_scoped() {
     let product = IdsProduct::model(ProductId::NidSentry);
-    let run = || {
+    let run = |jobs: usize| {
         let sink = MemorySink::new(1 << 20);
-        let cfg = config(Telemetry::new(sink.clone()));
-        let feed = TestFeed::realtime_cluster(&cfg.feed);
-        evaluate_product(&product, &feed, &cfg);
+        let req = request(Telemetry::new(sink.clone())).with_jobs(jobs);
+        let feed = req.build_feed();
+        req.evaluate(&product, &feed);
         sink.events()
     };
-    let a = run();
-    let b = run();
+    let a = run(1);
+    let b = run(1);
     assert_eq!(a.len(), b.len());
     assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y), "event streams differ");
     assert!(a.iter().all(|e| e.scope == product.id.name()));
+
+    // The recorded stream — not just the scorecard — is identical when the
+    // same evaluation fans out across workers: per-job buffers merge in
+    // canonical key order, never completion order.
+    let wide = run(8);
+    assert_eq!(a.len(), wide.len(), "worker count changed the event count");
+    assert!(a.iter().zip(wide.iter()).all(|(x, y)| x == y), "worker count reordered events");
 
     let summary = summarize(&a);
     assert!(summary.span("stage.sense").is_some());

@@ -1,0 +1,209 @@
+//! # idse-exec — deterministic parallel experiment execution
+//!
+//! Every number the scorecard aggregates (`S = ΣΣ U·W`) comes from
+//! independent simulated experiments: per-product evaluations, sensitivity
+//! sweep points, zero-loss throughput probes. Those jobs are pure
+//! functions of their inputs, so they can run on every core the machine
+//! has — *provided* nothing about scheduling ever reaches the results.
+//! This crate is the one place in the workspace where threads exist
+//! (enforced by the `thread-outside-exec` lint rule), and it is built so
+//! that output is **byte-identical at any worker count**:
+//!
+//! * jobs are identified by an ordered [`JobKey`] and executed from a
+//!   shared queue that idle workers steal from — dynamic load balancing
+//!   without any per-worker state that could leak into results;
+//! * each job gets its own derived RNG seed (a pure function of the plan's
+//!   master seed and the job's key via [`idse_sim::derive_seed`]) and its
+//!   own buffered telemetry recorder ([`idse_telemetry::JobRecorder`]);
+//! * results and telemetry buffers are merged in **canonical job-key
+//!   order** by [`reduce_in_order`], never in completion order.
+//!
+//! The serial path (`jobs = 1`, or one-element inputs) runs inline on the
+//! calling thread with no pool at all, and produces the same bytes.
+//!
+//! ```
+//! use idse_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let squares = exec.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+
+pub use plan::{ExperimentPlan, Job, JobCtx, JobKey, JobResult};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size pool of workers for deterministic parallel maps.
+///
+/// The executor owns no threads between calls: each [`Executor::par_map`]
+/// spins up a scoped pool (on the vendored `crossbeam` shim over
+/// `std::thread::scope`), drains the job queue, joins every worker, and
+/// merges the results in index order. `workers == 1` bypasses the pool
+/// entirely — the serial reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Default for Executor {
+    /// The auto-sized executor (`Executor::new(0)`).
+    fn default() -> Self {
+        Executor::new(0)
+    }
+}
+
+impl Executor {
+    /// An executor with `jobs` workers; `0` means "one per available
+    /// core" (`std::thread::available_parallelism`).
+    pub fn new(jobs: usize) -> Self {
+        let workers = if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs
+        };
+        Executor { workers }
+    }
+
+    /// The single-worker executor: everything runs inline on the calling
+    /// thread, in canonical order, with no pool.
+    pub fn serial() -> Self {
+        Executor { workers: 1 }
+    }
+
+    /// How many workers a `par_map` may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `items` in parallel; the output is in input order and
+    /// byte-identical for any worker count.
+    ///
+    /// `f` receives `(index, &item)` and must be a pure function of them
+    /// (plus captured shared state it only reads). Workers claim the next
+    /// unclaimed index from a shared queue, so a slow job never stalls the
+    /// rest of the batch; completion order is then erased by sorting the
+    /// `(index, output)` pairs back into index order.
+    pub fn par_map<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(usize, &T) -> O + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, O)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut completed = Vec::new();
+                        loop {
+                            // Steal the next unclaimed job from the shared
+                            // queue; Relaxed suffices — the only contended
+                            // state is the claim counter itself, and job
+                            // results flow back through the join.
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            completed.push((i, f(i, &items[i])));
+                        }
+                        completed
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("executor worker does not panic")).collect()
+        })
+        .expect("executor scope does not panic");
+
+        reduce_in_order(per_worker.into_iter().flatten().collect(), n)
+    }
+}
+
+/// The deterministic reduce step: erase completion order.
+///
+/// Takes the `(index, output)` pairs of a completed batch — in whatever
+/// order workers finished them — and returns the outputs in index order.
+/// Panics (via `assert!`) unless the indices are exactly `0..expected`,
+/// each present once: a job that ran twice or never is a scheduling bug
+/// that must never be silently papered over by a lossy merge.
+pub fn reduce_in_order<O>(mut completed: Vec<(usize, O)>, expected: usize) -> Vec<O> {
+    assert_eq!(completed.len(), expected, "every job must complete exactly once");
+    completed.sort_by_key(|&(i, _)| i);
+    for (slot, &(i, _)) in completed.iter().enumerate() {
+        assert_eq!(slot, i, "job indices must be dense and unique");
+    }
+    completed.into_iter().map(|(_, output)| output).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let exec = Executor::new(8);
+        let out = exec.par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |_: usize, &x: &u64| {
+            // A float reduction whose result would expose any reordering.
+            (0..x).map(|k| (k as f64).sqrt()).sum::<f64>()
+        };
+        let serial = Executor::serial().par_map(&items, f);
+        for workers in [2, 3, 8, 64] {
+            let parallel = Executor::new(workers).par_map(&items, f);
+            assert_eq!(serial, parallel, "{workers} workers changed the bytes");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let exec = Executor::new(4);
+        let empty: Vec<u32> = vec![];
+        assert!(exec.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.par_map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn auto_sizing_never_yields_zero_workers() {
+        assert!(Executor::new(0).workers() >= 1);
+        assert_eq!(Executor::new(5).workers(), 5);
+        assert_eq!(Executor::serial().workers(), 1);
+    }
+
+    #[test]
+    fn reduce_in_order_sorts_completion_order_away() {
+        let completed = vec![(2, "c"), (0, "a"), (1, "b")];
+        assert_eq!(reduce_in_order(completed, 3), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every job must complete exactly once")]
+    fn reduce_rejects_missing_jobs() {
+        reduce_in_order(vec![(0, ())], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and unique")]
+    fn reduce_rejects_duplicate_indices() {
+        reduce_in_order(vec![(0, ()), (0, ())], 2);
+    }
+}

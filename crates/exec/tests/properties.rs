@@ -1,0 +1,53 @@
+//! Property tests for the deterministic reduce step.
+//!
+//! The invariant the whole crate rests on: `reduce_in_order` erases job
+//! completion order. Whatever permutation the scheduler produces, the
+//! reduce returns exactly the outputs in index order.
+
+use idse_exec::reduce_in_order;
+use proptest::prelude::*;
+
+proptest! {
+    /// Reducing any permutation of a completed batch yields the same bytes.
+    #[test]
+    fn reduce_is_permutation_invariant(
+        outputs in prop::collection::vec(any::<u64>(), 1..64),
+        swaps in prop::collection::vec(any::<prop::sample::Index>(), 0..256),
+    ) {
+        let n = outputs.len();
+        // The canonical completion record: job i produced outputs[i].
+        let mut completed: Vec<(usize, u64)> =
+            outputs.iter().copied().enumerate().collect();
+        // Scramble completion order with an arbitrary swap sequence — a
+        // stand-in for any scheduler interleaving.
+        for pair in swaps.chunks(2) {
+            if let [a, b] = pair {
+                completed.swap(a.index(n), b.index(n));
+            }
+        }
+        let reduced = reduce_in_order(completed, n);
+        prop_assert_eq!(reduced, outputs);
+    }
+
+    /// The reduce never invents, drops, or reorders payloads even when the
+    /// payloads themselves collide (duplicate values under distinct indices).
+    #[test]
+    fn reduce_handles_colliding_payloads(
+        value in any::<u32>(),
+        n in 1usize..32,
+        swaps in prop::collection::vec(any::<prop::sample::Index>(), 0..128),
+    ) {
+        let mut completed: Vec<(usize, (usize, u32))> =
+            (0..n).map(|i| (i, (i, value))).collect();
+        for pair in swaps.chunks(2) {
+            if let [a, b] = pair {
+                completed.swap(a.index(n), b.index(n));
+            }
+        }
+        let reduced = reduce_in_order(completed, n);
+        for (slot, &(origin, v)) in reduced.iter().enumerate() {
+            prop_assert_eq!(slot, origin);
+            prop_assert_eq!(v, value);
+        }
+    }
+}

@@ -38,7 +38,7 @@ pub mod time;
 pub use event::{EventQueue, Scheduled};
 pub use host::{AuditLevel, HostCpu};
 pub use link::{Link, LinkConfig};
-pub use rng::RngStream;
+pub use rng::{derive_seed, RngStream};
 pub use time::{SimDuration, SimTime};
 
 /// A world that a [`Simulation`] can advance: it receives each event in

@@ -31,8 +31,10 @@ pub struct RngStream {
 impl RngStream {
     /// Derive the stream named `label` from `master_seed`.
     pub fn derive(master_seed: u64, label: &str) -> Self {
-        let mixed = splitmix64(master_seed ^ fnv1a(label.as_bytes()));
-        Self { rng: StdRng::seed_from_u64(mixed), label: label.to_owned() }
+        Self {
+            rng: StdRng::seed_from_u64(derive_seed(master_seed, label)),
+            label: label.to_owned(),
+        }
     }
 
     /// Derive a child stream, e.g. one per simulated host.
@@ -130,6 +132,18 @@ impl RngStream {
     }
 }
 
+/// Derive the 64-bit seed of the stream named `label` under `master_seed`:
+/// `splitmix64(master_seed ⊕ fnv1a(label))`.
+///
+/// This is the exact derivation [`RngStream::derive`] uses, exposed so that
+/// job executors can hand each parallel job a seed that is a pure function
+/// of `(master seed, job label)` — independent of scheduling order, worker
+/// count, and how many seeds were derived before it. A job that later calls
+/// `RngStream::derive(master_seed, label)` observes the same stream.
+pub fn derive_seed(master_seed: u64, label: &str) -> u64 {
+    splitmix64(master_seed ^ fnv1a(label.as_bytes()))
+}
+
 /// FNV-1a hash of a byte string: stable across platforms and Rust versions
 /// (unlike `DefaultHasher`), which keeps seed derivation reproducible.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -170,6 +184,19 @@ mod tests {
             .filter(|_| a.uniform_u64(0, u64::MAX - 1) == b.uniform_u64(0, u64::MAX - 1))
             .count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_seed_matches_stream_derivation() {
+        // The public seed derivation and the stream constructor agree, so a
+        // job executor can pre-compute seeds without constructing streams.
+        let mut via_stream = RngStream::derive(99, "jobs/sweep/3");
+        let mut via_seed = RngStream::derive(99, "jobs/sweep/3");
+        assert_eq!(derive_seed(99, "jobs/sweep/3"), derive_seed(99, "jobs/sweep/3"));
+        assert_eq!(via_stream.uniform_u64(0, 1 << 40), via_seed.uniform_u64(0, 1 << 40));
+        // Distinct labels and distinct masters decorrelate.
+        assert_ne!(derive_seed(99, "jobs/sweep/3"), derive_seed(99, "jobs/sweep/4"));
+        assert_ne!(derive_seed(99, "jobs/sweep/3"), derive_seed(98, "jobs/sweep/3"));
     }
 
     #[test]

@@ -368,6 +368,69 @@ impl Telemetry {
             inner.lock().expect("telemetry sink lock").flush();
         }
     }
+
+    /// Record a pre-built event verbatim — scope and timestamp are taken
+    /// from the event, not from this handle. This is the replay primitive
+    /// behind [`JobRecorder::merge_into`]: buffered events keep the scope
+    /// they were recorded under when they are merged into a shared sink.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        self.record(event);
+    }
+}
+
+/// A per-job buffered recorder for deterministic parallel execution.
+///
+/// Concurrent jobs recording straight into one shared sink interleave by
+/// scheduling order, which would make the retained stream depend on the
+/// worker count. A `JobRecorder` gives each job a private bounded buffer
+/// instead: the job records through [`JobRecorder::handle`], and when the
+/// executor merges results in canonical job order it calls
+/// [`JobRecorder::merge_into`], replaying the buffered events into the
+/// shared sink. The merged stream is therefore byte-identical for any
+/// number of workers.
+///
+/// A recorder forked from a disabled parent is itself disabled and costs
+/// nothing.
+#[derive(Debug)]
+pub struct JobRecorder {
+    buffer: Option<MemorySink>,
+    handle: Telemetry,
+}
+
+impl JobRecorder {
+    /// Fork a buffered recorder from `parent`, tagging events with
+    /// `scope` (pass `parent.scope()` to inherit). Holds at most
+    /// `capacity` events; older events are evicted and counted.
+    pub fn fork(parent: &Telemetry, scope: &'static str, capacity: usize) -> Self {
+        if !parent.enabled() {
+            return JobRecorder { buffer: None, handle: Telemetry::disabled() };
+        }
+        let buffer = MemorySink::new(capacity);
+        let handle = Telemetry::new(buffer.clone()).with_scope(scope);
+        JobRecorder { buffer: Some(buffer), handle }
+    }
+
+    /// The recording handle the job should use.
+    pub fn handle(&self) -> Telemetry {
+        self.handle.clone()
+    }
+
+    /// Events evicted from the job buffer because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.buffer.as_ref().map_or(0, MemorySink::dropped)
+    }
+
+    /// Replay the buffered events, in recording order, into `target`.
+    /// Returns how many events were merged.
+    pub fn merge_into(self, target: &Telemetry) -> u64 {
+        let Some(buffer) = self.buffer else { return 0 };
+        let events = buffer.events();
+        for event in &events {
+            target.emit(*event);
+        }
+        events.len() as u64
+    }
 }
 
 pub mod summary;
@@ -482,6 +545,55 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains(r#""kind":"counter""#));
         assert!(lines[1].contains(r#""value":0.5"#));
+    }
+
+    #[test]
+    fn job_recorder_buffers_and_merges_in_order() {
+        let sink = MemorySink::new(64);
+        let parent = Telemetry::new(sink.clone());
+        let fork = JobRecorder::fork(&parent, "job-b", 16);
+        let handle = fork.handle();
+        handle.counter(5, "c", 1);
+        handle.gauge(7, "g", 2.0);
+        // Nothing reaches the parent until the merge.
+        assert_eq!(sink.len(), 0);
+        assert_eq!(fork.merge_into(&parent), 2);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "c");
+        assert_eq!(events[0].scope, "job-b", "merged events keep their recorded scope");
+        assert_eq!(events[1].name, "g");
+    }
+
+    #[test]
+    fn job_recorder_from_disabled_parent_is_disabled() {
+        let fork = JobRecorder::fork(&Telemetry::disabled(), "job", 16);
+        assert!(!fork.handle().enabled());
+        fork.handle().counter(1, "c", 1);
+        assert_eq!(fork.dropped(), 0);
+        assert_eq!(fork.merge_into(&Telemetry::disabled()), 0);
+    }
+
+    #[test]
+    fn job_recorder_buffer_is_bounded() {
+        let sink = MemorySink::new(64);
+        let parent = Telemetry::new(sink.clone());
+        let fork = JobRecorder::fork(&parent, "job", 2);
+        let handle = fork.handle();
+        for i in 0..5u64 {
+            handle.counter(i, "c", 1);
+        }
+        assert_eq!(fork.dropped(), 3);
+        assert_eq!(fork.merge_into(&parent), 2);
+        assert_eq!(sink.events()[0].at, 3);
+    }
+
+    #[test]
+    fn emit_preserves_event_scope() {
+        let sink = MemorySink::new(8);
+        let tel = Telemetry::new(sink.clone()).with_scope("mine");
+        tel.emit(Event { at: 9, name: "x", scope: "theirs", kind: EventKind::Counter, value: 1.0 });
+        assert_eq!(sink.events()[0].scope, "theirs");
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use idse_core::report::{render_comparison, render_ranking};
 use idse_core::{RequirementSet, Scorecard};
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_all, EvaluationConfig};
+use idse_eval::feeds::FeedConfig;
+use idse_eval::harness::EvaluationRequest;
 use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::sweep::SweepPlan;
 use idse_sim::SimDuration;
 
 fn main() {
@@ -26,23 +27,22 @@ fn main() {
     assert!(issues.is_empty(), "requirement issues: {issues:?}");
     let weights = requirements.derive();
 
-    // 2. Evaluate every candidate on the cluster testbed.
-    let config = EvaluationConfig {
-        feed: FeedConfig {
+    // 2. Evaluate every candidate on the cluster testbed. The jobs fan
+    //    out across cores; results are byte-identical at any width.
+    let request = EvaluationRequest::new()
+        .with_feed(FeedConfig {
             session_rate: 20.0,
             training_span: SimDuration::from_secs(15),
             test_span: SimDuration::from_secs(30),
             campaign_intensity: 1,
             seed: 0xc1u64,
-        },
-        needs: EnvironmentNeeds::realtime_cluster(2_000.0),
-        sweep_steps: 5,
-        max_throughput_factor: 64.0,
-        fp_budget: 0.2,
-        ..EvaluationConfig::default()
-    };
-    let feed = TestFeed::realtime_cluster(&config.feed);
-    let evals = evaluate_all(&feed, &config);
+        })
+        .with_needs(EnvironmentNeeds::realtime_cluster(2_000.0))
+        .with_sweep(SweepPlan::with_steps(5).with_fp_budget(0.2))
+        .with_max_throughput_factor(64.0)
+        .with_jobs(0);
+    let feed = request.build_feed();
+    let evals = request.evaluate_all(&feed);
     let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
 
     // 3. The verdict: each candidate against the standard.

@@ -6,23 +6,30 @@
 //! ```
 
 use idse_core::RequirementSet;
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_product, EvaluationConfig};
+use idse_eval::feeds::FeedConfig;
+use idse_eval::harness::EvaluationRequest;
 use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::sweep::SweepPlan;
 use idse_ids::products::{IdsProduct, ProductId};
 use idse_sim::SimDuration;
 
 fn main() {
-    // 1. A canned test feed: benign training traffic plus a labeled
-    //    attack campaign over a real-time cluster profile.
-    let feed_config = FeedConfig {
-        session_rate: 20.0,
-        training_span: SimDuration::from_secs(15),
-        test_span: SimDuration::from_secs(30),
-        campaign_intensity: 1,
-        seed: 7,
-    };
-    let feed = TestFeed::realtime_cluster(&feed_config);
+    // 1. Describe the evaluation: a canned test feed (benign training
+    //    traffic plus a labeled attack campaign over a real-time cluster
+    //    profile), the environment rubric, and the experiment shape.
+    let request = EvaluationRequest::new()
+        .with_feed(FeedConfig {
+            session_rate: 20.0,
+            training_span: SimDuration::from_secs(15),
+            test_span: SimDuration::from_secs(30),
+            campaign_intensity: 1,
+            seed: 7,
+        })
+        .with_needs(EnvironmentNeeds::realtime_cluster(2_000.0))
+        .with_sweep(SweepPlan::with_steps(5).with_fp_budget(0.2))
+        .with_max_throughput_factor(64.0)
+        .with_jobs(0); // one worker per core; the output is identical at any width
+    let feed = request.build_feed();
     println!(
         "feed: {} training packets, {} test packets ({} attack instances)",
         feed.training.len(),
@@ -32,16 +39,8 @@ fn main() {
 
     // 2. Evaluate a product: runs the Figure 4 sweep, accuracy, timing and
     //    throughput experiments, and fills a 52-metric scorecard.
-    let config = EvaluationConfig {
-        feed: feed_config,
-        needs: EnvironmentNeeds::realtime_cluster(2_000.0),
-        sweep_steps: 5,
-        max_throughput_factor: 64.0,
-        fp_budget: 0.2,
-        ..EvaluationConfig::default()
-    };
     let product = IdsProduct::model(ProductId::GuardSecure);
-    let eval = evaluate_product(&product, &feed, &config);
+    let eval = request.evaluate(&product, &feed);
     println!(
         "\n{}: operating sensitivity {:.2}, detection rate {:.2}, FP ratio {:.4}",
         eval.scorecard.system,

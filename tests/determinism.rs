@@ -1,64 +1,126 @@
 //! Scientific repeatability, end to end: the paper's methodology demands
 //! that evaluating the same product against the same standard twice gives
-//! the same answer — including across parallel execution.
+//! the same answer — and that the answer is byte-identical at any
+//! executor width, including through the deprecated serial entry points.
 
 use idse_core::RequirementSet;
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_all, evaluate_product, EvaluationConfig};
+use idse_eval::feeds::FeedConfig;
+use idse_eval::harness::EvaluationRequest;
 use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::sweep::{sweep, SweepPlan};
+use idse_exec::Executor;
 use idse_ids::products::{IdsProduct, ProductId};
 use idse_sim::SimDuration;
+use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 
-fn config() -> EvaluationConfig {
-    EvaluationConfig {
-        feed: FeedConfig {
+fn request() -> EvaluationRequest {
+    EvaluationRequest::new()
+        .with_feed(FeedConfig {
             session_rate: 12.0,
             training_span: SimDuration::from_secs(8),
             test_span: SimDuration::from_secs(18),
             campaign_intensity: 1,
             seed: 4242,
-        },
-        needs: EnvironmentNeeds::realtime_cluster(1_000.0),
-        sweep_steps: 3,
-        max_throughput_factor: 16.0,
-        fp_budget: 0.2,
-        ..EvaluationConfig::default()
+        })
+        .with_needs(EnvironmentNeeds::realtime_cluster(1_000.0))
+        .with_sweep(SweepPlan::with_steps(3).with_fp_budget(0.2))
+        .with_max_throughput_factor(16.0)
+}
+
+/// Everything observable about a full evaluation, as bytes.
+fn render(evals: &[idse_eval::harness::ProductEvaluation]) -> String {
+    let mut s = String::new();
+    for e in evals {
+        s.push_str(&serde_json::to_string(&e.scorecard).expect("scorecard serializes"));
+        s.push_str(&serde_json::to_string(&e.curve).expect("curve serializes"));
+        s.push_str(&format!(
+            "|{}|{:?}|{:?}|{:?}|{}|{}\n",
+            e.operating_sensitivity,
+            e.confusion,
+            e.throughput,
+            e.timing,
+            e.host_impact,
+            e.state_bytes
+        ));
     }
+    s
 }
 
 #[test]
-fn sequential_and_parallel_evaluations_agree() {
-    let cfg = config();
-    let feed = TestFeed::realtime_cluster(&cfg.feed);
+fn worker_count_never_changes_a_byte() {
+    let run = |jobs: usize| {
+        let req = request().with_jobs(jobs);
+        let feed = req.build_feed();
+        render(&req.evaluate_all(&feed))
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(8), "--jobs 8 changed the output");
+    assert_eq!(serial, run(0), "--jobs auto changed the output");
+}
 
-    let parallel = evaluate_all(&feed, &cfg);
-    for id in ProductId::ALL {
-        let sequential = evaluate_product(&IdsProduct::model(id), &feed, &cfg);
-        let from_parallel = parallel
-            .iter()
-            .find(|e| e.scorecard.system == sequential.scorecard.system)
-            .expect("present");
-        for (metric, score) in sequential.scorecard.iter() {
-            assert_eq!(
-                Some(score),
-                from_parallel.scorecard.get(metric),
-                "{id:?}/{metric:?} differs between sequential and parallel runs"
-            );
-        }
-        assert_eq!(sequential.operating_sensitivity, from_parallel.operating_sensitivity);
-        assert_eq!(sequential.confusion.detected_attacks, from_parallel.confusion.detected_attacks);
-    }
+#[test]
+#[allow(deprecated)]
+fn deprecated_serial_path_matches_the_parallel_executor() {
+    use idse_eval::harness::{evaluate_all, EvaluationConfig};
+
+    let req = request();
+    let legacy_cfg = EvaluationConfig {
+        feed: req.feed.clone(),
+        needs: req.needs.clone(),
+        sweep_steps: req.sweep.steps,
+        max_throughput_factor: req.max_throughput_factor,
+        fp_budget: req.sweep.fp_budget,
+        ..EvaluationConfig::default()
+    };
+    let feed = req.build_feed();
+    let legacy = render(&evaluate_all(&feed, &legacy_cfg));
+    let parallel = render(&req.with_jobs(8).evaluate_all(&feed));
+    assert_eq!(legacy, parallel, "the legacy serial path must match the executor byte-for-byte");
+}
+
+#[test]
+fn sweep_json_is_identical_at_any_width() {
+    let req = request();
+    let feed = req.build_feed();
+    let plan = SweepPlan::with_steps(4);
+    let product = IdsProduct::model(ProductId::FlowHunter);
+    let curve_json = |jobs: usize| {
+        serde_json::to_string(&sweep(&product, &feed, &plan, &Executor::new(jobs)))
+            .expect("curve serializes")
+    };
+    let serial = curve_json(1);
+    assert_eq!(serial, curve_json(4));
+    assert_eq!(serial, curve_json(16));
+}
+
+#[test]
+fn telemetry_summaries_are_identical_at_any_width() {
+    let run = |jobs: usize| {
+        let sink = MemorySink::new(1 << 20);
+        let req = request().with_telemetry(Telemetry::new(sink.clone())).with_jobs(jobs);
+        let feed = req.build_feed();
+        req.evaluate_all(&feed);
+        (sink.events(), sink.dropped())
+    };
+    let (serial, dropped) = run(1);
+    assert_eq!(dropped, 0, "test-sized run must fit the buffer");
+    let (wide, _) = run(8);
+    assert_eq!(serial.len(), wide.len(), "worker count changed the event count");
+    assert!(serial.iter().zip(wide.iter()).all(|(a, b)| a == b), "worker count reordered events");
+    let a = format!("{:?}", summarize(&serial));
+    let b = format!("{:?}", summarize(&wide));
+    assert_eq!(a, b, "summaries diverged across worker counts");
 }
 
 #[test]
 fn weighted_totals_are_bit_stable_across_runs() {
-    let cfg = config();
     let weights = RequirementSet::realtime_distributed().derive();
-    let totals = |()| -> Vec<f64> {
-        let feed = TestFeed::realtime_cluster(&cfg.feed);
-        evaluate_all(&feed, &cfg).iter().map(|e| weights.weighted_total(&e.scorecard)).collect()
+    let totals = |jobs: usize| -> Vec<f64> {
+        let req = request().with_jobs(jobs);
+        let feed = req.build_feed();
+        req.evaluate_all(&feed).iter().map(|e| weights.weighted_total(&e.scorecard)).collect()
     };
-    let a = totals(());
-    let b = totals(());
+    let a = totals(2);
+    let b = totals(2);
     assert_eq!(a, b, "identical inputs must give bit-identical verdicts");
 }

@@ -2,33 +2,32 @@
 //! to the Figure 5 weighted verdict, across every crate in the workspace.
 
 use idse_core::{RequirementSet, Scorecard, WeightSet};
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::harness::{evaluate_all, EvaluationConfig};
+use idse_eval::feeds::FeedConfig;
+use idse_eval::harness::EvaluationRequest;
 use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::sweep::SweepPlan;
 use idse_sim::SimDuration;
 
-fn quick_config() -> EvaluationConfig {
-    EvaluationConfig {
-        feed: FeedConfig {
+fn quick_request() -> EvaluationRequest {
+    EvaluationRequest::new()
+        .with_feed(FeedConfig {
             session_rate: 15.0,
             training_span: SimDuration::from_secs(10),
             test_span: SimDuration::from_secs(22),
             campaign_intensity: 1,
             seed: 2002,
-        },
-        needs: EnvironmentNeeds::realtime_cluster(1_500.0),
-        sweep_steps: 4,
-        max_throughput_factor: 32.0,
-        fp_budget: 0.2,
-        ..EvaluationConfig::default()
-    }
+        })
+        .with_needs(EnvironmentNeeds::realtime_cluster(1_500.0))
+        .with_sweep(SweepPlan::with_steps(4).with_fp_budget(0.2))
+        .with_max_throughput_factor(32.0)
+        .with_jobs(2)
 }
 
 #[test]
 fn full_methodology_produces_complete_weighted_verdicts() {
-    let config = quick_config();
-    let feed = TestFeed::realtime_cluster(&config.feed);
-    let evals = evaluate_all(&feed, &config);
+    let request = quick_request();
+    let feed = request.build_feed();
+    let evals = request.evaluate_all(&feed);
     assert_eq!(evals.len(), 4);
 
     // Every scorecard covers the whole 52-metric catalog.
@@ -72,9 +71,9 @@ fn rank(cards: &[&Scorecard], w: &WeightSet) -> Vec<String> {
 
 #[test]
 fn research_prototype_scores_below_commercial_products_on_logistics() {
-    let config = quick_config();
-    let feed = TestFeed::realtime_cluster(&config.feed);
-    let evals = evaluate_all(&feed, &config);
+    let request = quick_request();
+    let feed = request.build_feed();
+    let evals = request.evaluate_all(&feed);
     let by_name = |needle: &str| {
         evals.iter().find(|e| e.scorecard.system.contains(needle)).expect("product present")
     };
@@ -93,9 +92,9 @@ fn research_prototype_scores_below_commercial_products_on_logistics() {
 
 #[test]
 fn negative_weights_flip_a_preference() {
-    let config = quick_config();
-    let feed = TestFeed::realtime_cluster(&config.feed);
-    let evals = evaluate_all(&feed, &config);
+    let request = quick_request();
+    let feed = request.build_feed();
+    let evals = request.evaluate_all(&feed);
     let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();
 
     // Weight only Outsourced Solution, positively then negatively: the

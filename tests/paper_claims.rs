@@ -4,7 +4,8 @@
 
 use idse_eval::confusion::TransactionLedger;
 use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::sweep::sweep_product;
+use idse_eval::sweep::{sweep, SweepPlan};
+use idse_exec::Executor;
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
 use idse_ids::products::{IdsProduct, ProductId};
 use idse_ids::Sensitivity;
@@ -113,8 +114,10 @@ fn trust_exploit_is_the_hardest_class() {
 #[test]
 fn error_curves_move_as_figure4_draws_them() {
     let f = feed();
+    let plan = SweepPlan::with_steps(5);
+    let exec = Executor::new(2);
     for id in [ProductId::NidSentry, ProductId::GuardSecure, ProductId::FlowHunter] {
-        let curve = sweep_product(&IdsProduct::model(id), &f, 5);
+        let curve = sweep(&IdsProduct::model(id), &f, &plan, &exec);
         let first = curve.points.first().unwrap();
         let last = curve.points.last().unwrap();
         assert!(
