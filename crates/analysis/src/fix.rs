@@ -1,0 +1,276 @@
+//! `lint --fix`: mechanical cleanup of allow directives.
+//!
+//! Two fixes, both derived from the directive lifecycle the analysis
+//! already computes ([`crate::DirectiveStatus`]):
+//!
+//! * **unused** directives are deleted — the whole line when the comment
+//!   stands alone, just the trailing comment when it shares a line with
+//!   code;
+//! * **malformed** directives whose intent is recoverable (a known rule
+//!   name and a non-empty reason, however mangled the syntax) are
+//!   rewritten to the canonical form
+//!   `// idse-lint: allow(rule, reason = "...")`. Unrecoverable ones are
+//!   left alone so the `invalid-allow` error keeps pointing at them.
+//!
+//! Planning is pure (workspace in, edit list out); [`apply`] touches the
+//! filesystem and is only reached through `--fix --write` — the default
+//! `--fix` run prints the plan and changes nothing.
+
+use crate::rules::RuleId;
+use crate::{Analysis, DirectiveState, Workspace};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// How one line changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditKind {
+    /// Remove the line entirely (directive-only line).
+    DeleteLine,
+    /// Strip a trailing directive comment, keeping the code.
+    StripComment(String),
+    /// Rewrite the line (malformed directive normalized in place).
+    ReplaceLine(String),
+}
+
+/// One planned edit.
+#[derive(Debug, Clone)]
+pub struct Edit {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 0-based line index in the current file contents.
+    pub line: usize,
+    /// What happens to the line.
+    pub kind: EditKind,
+    /// Human description for the dry run.
+    pub note: String,
+}
+
+/// The full fix plan for a workspace.
+#[derive(Debug, Default)]
+pub struct FixPlan {
+    /// Edits in (file, line) order.
+    pub edits: Vec<Edit>,
+}
+
+impl FixPlan {
+    /// Whether there is nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Render the dry-run listing, one line per edit.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.edits {
+            let verb = match &e.kind {
+                EditKind::DeleteLine => "delete line",
+                EditKind::StripComment(_) => "strip trailing comment",
+                EditKind::ReplaceLine(_) => "normalize",
+            };
+            out.push_str(&format!("{}:{}: {} — {}\n", e.file, e.line + 1, verb, e.note));
+        }
+        out
+    }
+}
+
+/// Where the directive comment starts in a raw source line: the byte
+/// offset of the `//` that introduces the `idse-lint:` marker. Block
+/// comments are not auto-fixed.
+fn comment_start(raw: &str) -> Option<usize> {
+    let marker = raw.find("idse-lint:")?;
+    raw[..marker].rfind("//")
+}
+
+/// Relaxed re-parse of a mangled directive comment: recover (rule, reason)
+/// when the rule name is known and some reason text exists, whatever the
+/// punctuation around them.
+fn recover(comment: &str) -> Option<(RuleId, String)> {
+    let after = comment.split("idse-lint:").nth(1)?.trim_start();
+    let body = after.strip_prefix("allow")?.trim_start();
+    let body = body.strip_prefix('(').unwrap_or(body);
+    let inner = body.split(')').next().unwrap_or(body);
+    let (rule_part, reason_part) = inner.split_once(',')?;
+    let rule = RuleId::parse(rule_part.trim())?;
+    let mut r = reason_part.trim();
+    r = r.strip_prefix("reason").unwrap_or(r).trim_start();
+    r = r.strip_prefix(':').or_else(|| r.strip_prefix('=')).unwrap_or(r).trim();
+    let r = r.trim_matches('"').trim();
+    if r.is_empty() {
+        return None;
+    }
+    Some((rule, r.to_string()))
+}
+
+/// Build the fix plan from a completed analysis of `ws`.
+pub fn plan(ws: &Workspace, analysis: &Analysis) -> FixPlan {
+    let by_path: BTreeMap<&str, &str> =
+        ws.files.iter().map(|f| (f.path.as_str(), f.text.as_str())).collect();
+    let mut plan = FixPlan::default();
+    for d in &analysis.directives {
+        if d.state == DirectiveState::Used {
+            continue;
+        }
+        let Some(text) = by_path.get(d.file.as_str()) else { continue };
+        let Some(raw) = text.lines().nth(d.on_line) else { continue };
+        let Some(at) = comment_start(raw) else { continue };
+        let prefix = &raw[..at];
+        match d.state {
+            DirectiveState::Unused => {
+                let (kind, verb) = if prefix.trim().is_empty() {
+                    (EditKind::DeleteLine, "unused directive on its own line")
+                } else {
+                    (
+                        EditKind::StripComment(prefix.trim_end().to_string()),
+                        "unused directive trailing code",
+                    )
+                };
+                plan.edits.push(Edit {
+                    file: d.file.clone(),
+                    line: d.on_line,
+                    kind,
+                    note: format!("allow({}) suppressed nothing ({verb})", d.rule_name),
+                });
+            }
+            DirectiveState::Malformed => {
+                let Some((rule, reason)) = recover(&raw[at..]) else { continue };
+                let indent: String = if prefix.trim().is_empty() {
+                    prefix.to_string()
+                } else {
+                    format!("{} ", prefix.trim_end())
+                };
+                let fixed =
+                    format!("{indent}// idse-lint: allow({}, reason = \"{reason}\")", rule.name());
+                if fixed == raw {
+                    continue;
+                }
+                plan.edits.push(Edit {
+                    file: d.file.clone(),
+                    line: d.on_line,
+                    kind: EditKind::ReplaceLine(fixed),
+                    note: format!("rewrite malformed allow({}) to canonical form", rule.name()),
+                });
+            }
+            DirectiveState::Used => {}
+        }
+    }
+    plan.edits.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    plan
+}
+
+/// Apply a plan to the files under `root`. Edits within a file are applied
+/// bottom-up so earlier line numbers stay valid. Returns the number of
+/// edits applied.
+pub fn apply(plan: &FixPlan, root: &Path) -> std::io::Result<usize> {
+    let mut by_file: BTreeMap<&str, Vec<&Edit>> = BTreeMap::new();
+    for e in &plan.edits {
+        by_file.entry(e.file.as_str()).or_default().push(e);
+    }
+    let mut applied = 0usize;
+    for (file, mut edits) in by_file {
+        edits.sort_by_key(|e| std::cmp::Reverse(e.line));
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)?;
+        let had_trailing_newline = text.ends_with('\n');
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        for e in edits {
+            if e.line >= lines.len() {
+                continue;
+            }
+            match &e.kind {
+                EditKind::DeleteLine => {
+                    lines.remove(e.line);
+                }
+                EditKind::StripComment(code) | EditKind::ReplaceLine(code) => {
+                    lines[e.line] = code.clone();
+                }
+            }
+            applied += 1;
+        }
+        let mut out = lines.join("\n");
+        if had_trailing_newline {
+            out.push('\n');
+        }
+        std::fs::write(&path, out)?;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileKind;
+    use crate::{analyze_full, FileInput};
+    use idse_exec::Executor;
+    use std::collections::BTreeMap;
+
+    fn ws_of(text: &str) -> Workspace {
+        Workspace {
+            files: vec![FileInput {
+                path: "crates/simx/src/lib.rs".to_string(),
+                crate_name: "idse-sim".to_string(),
+                kind: FileKind::Library,
+                text: text.to_string(),
+            }],
+            deps: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn unused_directive_on_own_line_is_deleted() {
+        let ws = ws_of(
+            "// idse-lint: allow(wall-clock-in-sim, reason = \"speculative\")\npub fn f() {}\n",
+        );
+        let a = analyze_full(&ws, &Executor::serial());
+        let p = plan(&ws, &a);
+        assert_eq!(p.edits.len(), 1, "{}", p.render());
+        assert_eq!(p.edits[0].kind, EditKind::DeleteLine);
+        assert_eq!(p.edits[0].line, 0);
+    }
+
+    #[test]
+    fn unused_trailing_directive_strips_the_comment_only() {
+        let ws = ws_of("pub fn f() {} // idse-lint: allow(unseeded-entropy, reason = \"stale\")\n");
+        let a = analyze_full(&ws, &Executor::serial());
+        let p = plan(&ws, &a);
+        assert_eq!(p.edits.len(), 1, "{}", p.render());
+        assert_eq!(p.edits[0].kind, EditKind::StripComment("pub fn f() {}".to_string()));
+    }
+
+    #[test]
+    fn malformed_with_recoverable_intent_is_normalized() {
+        // Wrong reason punctuation (colon instead of `= "..."`).
+        let ws = ws_of(
+            "// idse-lint: allow(wall-clock-in-sim, reason: startup banner)\n\
+             pub fn f() -> u64 { let t = Instant::now(); 0 }\n",
+        );
+        let a = analyze_full(&ws, &Executor::serial());
+        let p = plan(&ws, &a);
+        assert_eq!(p.edits.len(), 1, "{}", p.render());
+        assert_eq!(
+            p.edits[0].kind,
+            EditKind::ReplaceLine(
+                "// idse-lint: allow(wall-clock-in-sim, reason = \"startup banner\")".to_string()
+            )
+        );
+    }
+
+    #[test]
+    fn unknown_rule_is_left_for_the_human() {
+        let ws = ws_of("// idse-lint: allow(no-such-rule, reason = \"hm\")\npub fn f() {}\n");
+        let a = analyze_full(&ws, &Executor::serial());
+        let p = plan(&ws, &a);
+        assert!(p.is_empty(), "{}", p.render());
+    }
+
+    #[test]
+    fn used_directives_are_never_touched() {
+        let ws = ws_of(
+            "// idse-lint: allow(wall-clock-in-sim, reason = \"boot only\")\n\
+             pub fn f() -> u64 { let t = Instant::now(); 0 }\n",
+        );
+        let a = analyze_full(&ws, &Executor::serial());
+        assert!(a.report.findings.is_empty(), "{:?}", a.report.findings);
+        let p = plan(&ws, &a);
+        assert!(p.is_empty(), "{}", p.render());
+    }
+}

@@ -1,12 +1,30 @@
 //! # idse-lint — workspace static analysis for determinism and real-time safety
 //!
-//! A self-contained, line-level static-analysis pass over the workspace
+//! A self-contained, two-phase static-analysis pass over the workspace
 //! source. No rustc plugin, no network dependencies — the same vendored-shim
 //! philosophy as `third_party/`: a small lexer (see [`source`]) feeds a rule
 //! engine (see [`rules`]) that enforces the properties the paper's scorecard
 //! methodology depends on. Identical inputs must yield byte-identical
 //! scores; these rules make the hazard classes that broke that property in
 //! PR 1 (hash-seeded iteration order) unrepresentable going forward.
+//!
+//! **Phase 1** scans each file independently — line rules, allow-directive
+//! validation, and extraction of a lightweight semantic model (see
+//! [`model`]): `fn`/`impl`/`mod` definitions, `use` imports, call-site
+//! tokens, and taint seeds. Files are independent, so this phase fans out
+//! through [`idse_exec::Executor::par_map`] and merges in submission order.
+//!
+//! **Phase 2** assembles the per-file models into a workspace call graph
+//! and propagates taint labels (see [`taint`]) backwards from every hazard
+//! token, so a function that merely *reaches* a wall clock, ambient
+//! entropy, a hash container, a panicking helper, or raw threads — at any
+//! depth, across crates — is flagged with the full call chain:
+//!
+//! ```text
+//! error[transitive-wall-clock-in-sim] crates/sim/src/lib.rs:4:24 — `step`
+//!   reaches wall-clock source `std::time::Instant::now` through 2 calls:
+//!   idse-sim::step -> idse-sim::util::now_ms -> std::time::Instant::now
+//! ```
 //!
 //! ## Escape hatch
 //!
@@ -18,25 +36,34 @@
 //! if weight == 0.0 { continue; }
 //! ```
 //!
-//! A directive with an unknown rule name or a missing/empty reason is
-//! itself an error (`invalid-allow`), and a directive that suppresses
-//! nothing is flagged (`unused-allow`) so stale suppressions get deleted.
+//! Transitive rules honor allows **at the taint source**: one directive on
+//! the hazard line (naming the transitive rule) shields every downstream
+//! caller, so an audited helper never needs N call-site suppressions. A
+//! directive with an unknown rule name or a missing/empty reason is itself
+//! an error (`invalid-allow`), and a directive that suppresses nothing is
+//! flagged (`unused-allow`) so stale suppressions get deleted.
 //!
 //! ## Determinism of the lint itself
 //!
 //! The lint practices what it enforces: the workspace walk is sorted, all
-//! aggregation uses ordered containers, and two runs over the same tree
-//! emit byte-identical JSON.
+//! aggregation uses ordered containers, the parallel scan merges in
+//! canonical order, and `--jobs N` output is byte-identical to serial for
+//! text, JSON, and SARIF alike.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fix;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod taint;
 
-use rules::{FileKind, LineCtx, RuleId, Severity};
+use idse_exec::Executor;
+use rules::{FileKind, LineCtx, RuleId, Severity, TaintLabel};
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -59,6 +86,10 @@ pub struct Finding {
     pub message: String,
     /// The offending source line (masked code channel), trimmed.
     pub excerpt: String,
+    /// For transitive findings: qualified names from the reporter down to
+    /// the taint source, ending with the hazard token. Empty for line
+    /// findings.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -197,44 +228,169 @@ impl Stats {
     }
 }
 
-/// Analyze one file's text. `file` is the workspace-relative display path.
-pub fn analyze_source(file: &str, crate_name: &str, kind: FileKind, text: &str) -> Report {
-    let lines = source::mask(text);
+/// Render the human findings listing plus the one-line summary, exactly as
+/// the `lint` binary prints it (and as CI diffs across `--jobs` values).
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "{}[{}] {}:{}:{} — {}",
+            f.severity, f.rule, f.file, f.line, f.column, f.message
+        );
+        if !f.excerpt.is_empty() {
+            let _ = writeln!(out, "    | {}", f.excerpt);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "lint: {} files scanned, {} errors, {} warnings, {} suppressed by allow",
+        report.files_scanned,
+        report.error_count(),
+        report.warning_count(),
+        report.suppressed.len()
+    );
+    out
+}
+
+/// One file of workspace input.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative display path.
+    pub path: String,
+    /// Owning crate package name (`workspace` for root tests/examples).
+    pub crate_name: String,
+    /// File kind.
+    pub kind: FileKind,
+    /// Full file text.
+    pub text: String,
+}
+
+/// The unit phase 2 operates on: every file plus the workspace dependency
+/// direction (crate → direct deps), which bounds cross-crate call edges.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Files in canonical (sorted-walk) order.
+    pub files: Vec<FileInput>,
+    /// Crate package name → direct dependency package names. A crate
+    /// absent from the map is unconstrained (fixture corpora, the root
+    /// `workspace` pseudo-crate).
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Lifecycle state of an allow directive after a full analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DirectiveState {
+    /// Suppressed at least one finding (directly or as a taint-source
+    /// shield).
+    Used,
+    /// Valid but suppressed nothing: `unused-allow` fires, `--fix`
+    /// deletes it.
+    Unused,
+    /// Failed validation: `invalid-allow` fires, `--fix` normalizes it
+    /// when the intent is recoverable.
+    Malformed,
+}
+
+/// Post-analysis status of one allow directive, for `lint --fix`.
+#[derive(Debug, Clone, Serialize)]
+pub struct DirectiveStatus {
+    /// Workspace-relative path of the file containing the directive.
+    pub file: String,
+    /// 0-based line the directive comment sits on.
+    pub on_line: usize,
+    /// Rule name as written (possibly unknown for malformed directives).
+    pub rule_name: String,
+    /// The written reason, when one parsed.
+    pub reason: Option<String>,
+    /// Lifecycle state.
+    pub state: DirectiveState,
+}
+
+/// Full analysis output: the report plus per-directive lifecycle, which
+/// `--fix` consumes.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The findings report.
+    pub report: Report,
+    /// Every allow directive in the workspace with its resolved state,
+    /// sorted by (file, line).
+    pub directives: Vec<DirectiveStatus>,
+}
+
+#[derive(Debug, Clone)]
+struct ValidDirective {
+    target: usize,
+    on_line: usize,
+    rule: RuleId,
+    reason: String,
+    used: bool,
+}
+
+#[derive(Debug)]
+struct FilePass {
+    report: Report,
+    valid: Vec<ValidDirective>,
+    malformed: Vec<(usize, String)>,
+    model: model::FileModel,
+    lines: Vec<source::Line>,
+    test_flags: Vec<bool>,
+}
+
+/// Phase 1 for one file: line rules, directive validation, model
+/// extraction. Pure function of the input — safe to fan out.
+fn analyze_file(file_idx: usize, input: &FileInput) -> FilePass {
+    let lines = source::mask(&input.text);
     let test_flags = source::test_regions(&lines);
     let directives = source::allow_directives(&lines);
+    let crate_name = input.crate_name.as_str();
+    let kind = input.kind;
 
     let mut report = Report { files_scanned: 1, ..Report::default() };
+    let mut valid: Vec<ValidDirective> = Vec::new();
+    let mut malformed: Vec<(usize, String)> = Vec::new();
 
     // Validate directives first: bad ones are findings in their own right
     // and never suppress anything.
-    let mut valid: Vec<(usize, RuleId, String, bool)> = Vec::new(); // (target, rule, reason, used)
     for d in &directives {
         match (RuleId::parse(&d.rule_name), &d.reason) {
             (Some(rule), Some(reason)) if !reason.trim().is_empty() => {
-                valid.push((d.target_line, rule, reason.clone(), false));
+                valid.push(ValidDirective {
+                    target: d.target_line,
+                    on_line: d.on_line,
+                    rule,
+                    reason: reason.clone(),
+                    used: false,
+                });
             }
-            (None, _) => report.findings.push(finding_at(
-                RuleId::InvalidAllow,
-                Severity::Error,
-                crate_name,
-                file,
-                d.on_line,
-                0,
-                format!("allow directive names unknown rule `{}`", d.rule_name),
-                &lines,
-            )),
-            (Some(_), _) => report.findings.push(finding_at(
-                RuleId::InvalidAllow,
-                Severity::Error,
-                crate_name,
-                file,
-                d.on_line,
-                0,
-                "allow directive requires a non-empty reason: \
-                 idse-lint: allow(rule, reason = \"...\")"
-                    .to_string(),
-                &lines,
-            )),
+            (None, _) => {
+                malformed.push((d.on_line, d.rule_name.clone()));
+                report.findings.push(finding_at(
+                    RuleId::InvalidAllow,
+                    Severity::Error,
+                    crate_name,
+                    &input.path,
+                    d.on_line,
+                    0,
+                    format!("allow directive names unknown rule `{}`", d.rule_name),
+                    &lines,
+                ));
+            }
+            (Some(_), _) => {
+                malformed.push((d.on_line, d.rule_name.clone()));
+                report.findings.push(finding_at(
+                    RuleId::InvalidAllow,
+                    Severity::Error,
+                    crate_name,
+                    &input.path,
+                    d.on_line,
+                    0,
+                    "allow directive requires a non-empty reason: \
+                     idse-lint: allow(rule, reason = \"...\")"
+                        .to_string(),
+                    &lines,
+                ));
+            }
         }
     }
 
@@ -250,38 +406,266 @@ pub fn analyze_source(file: &str, crate_name: &str, kind: FileKind, text: &str) 
                 hit.rule,
                 hit.severity,
                 crate_name,
-                file,
+                &input.path,
                 i,
                 hit.column,
                 hit.message,
                 &lines,
             );
-            match valid.iter_mut().find(|(target, rule, _, _)| *target == i && *rule == hit.rule) {
-                Some((_, _, reason, used)) => {
-                    *used = true;
-                    report.suppressed.push(Suppressed { finding: f, reason: reason.clone() });
+            match valid.iter_mut().find(|d| d.target == i && d.rule == hit.rule) {
+                Some(d) => {
+                    d.used = true;
+                    report.suppressed.push(Suppressed { finding: f, reason: d.reason.clone() });
                 }
                 None => report.findings.push(f),
             }
         }
     }
 
-    for (target, rule, _, used) in &valid {
-        if !used {
-            report.findings.push(finding_at(
-                RuleId::UnusedAllow,
-                Severity::Warn,
-                crate_name,
-                file,
-                *target,
-                0,
-                format!("allow({}) suppressed no finding: delete it", rule.name()),
-                &lines,
+    let model = model::extract(&input.path, crate_name, kind, file_idx, &lines, &test_flags);
+    FilePass { report, valid, malformed, model, lines, test_flags }
+}
+
+/// How an allow-at-source directive kills a taint seed.
+enum SeedKill {
+    /// Directive at the seed line names the transitive rule.
+    BySourceAllow(usize),
+    /// Directive at the seed line names the direct rule and already
+    /// suppressed the direct finding there.
+    ByDirectAllow,
+}
+
+fn seed_kill(passes: &[FilePass], label: TaintLabel, s: &model::SeedInfo) -> Option<SeedKill> {
+    let pass = passes.get(s.file)?;
+    for (di, d) in pass.valid.iter().enumerate() {
+        if d.target != s.line {
+            continue;
+        }
+        if d.rule == label.transitive_rule() {
+            return Some(SeedKill::BySourceAllow(di));
+        }
+        if d.rule == label.direct_rule() && d.used {
+            return Some(SeedKill::ByDirectAllow);
+        }
+    }
+    None
+}
+
+/// Analyze a workspace and also report directive lifecycle (for `--fix`).
+pub fn analyze_full(ws: &Workspace, exec: &Executor) -> Analysis {
+    // Phase 1: per-file, embarrassingly parallel, merged in submission
+    // order by par_map — the scan is byte-identical at any worker count.
+    let mut passes: Vec<FilePass> = exec.par_map(&ws.files, analyze_file);
+
+    // Phase 2: whole-workspace call graph and taint propagation (serial —
+    // the graph is one shared structure and the pass is cheap).
+    let metas: Vec<model::FileMeta> = ws
+        .files
+        .iter()
+        .map(|f| model::FileMeta {
+            path: f.path.clone(),
+            crate_name: f.crate_name.clone(),
+            kind: f.kind,
+        })
+        .collect();
+    let models: Vec<model::FileModel> = passes.iter().map(|p| p.model.clone()).collect();
+    let graph = model::assemble(&metas, &models, &ws.deps);
+
+    let mut extra_findings: Vec<Finding> = Vec::new();
+    let mut extra_suppressed: Vec<Suppressed> = Vec::new();
+
+    for label in TaintLabel::ALL {
+        // Live propagation: seeds not shielded by an allow at the source.
+        let live = taint::propagate(&graph, label, &|_, s| seed_kill(&passes, label, s).is_none());
+        let hits = {
+            let direct_covered = |id: usize| -> bool {
+                let Some(w) = &live[id] else { return false };
+                let s = &w.seed;
+                let meta = &metas[s.file];
+                let in_test = passes[s.file].test_flags.get(s.line).copied().unwrap_or(false);
+                label.applies(&meta.crate_name, meta.kind, in_test).is_some()
+            };
+            taint::transitive_hits(&graph, label, &live, &direct_covered)
+        };
+        for hit in hits {
+            let f = &graph.fns[hit.fn_id];
+            let file_idx = f.file;
+            let finding = Finding {
+                rule: label.transitive_rule().name().to_string(),
+                severity: hit.severity.label().to_string(),
+                crate_name: f.crate_name.clone(),
+                file: metas[file_idx].path.clone(),
+                line: hit.line + 1,
+                column: hit.column + 1,
+                message: hit.message,
+                excerpt: passes[file_idx]
+                    .lines
+                    .get(hit.line)
+                    .map(|l| l.code.trim().to_string())
+                    .unwrap_or_default(),
+                chain: hit.chain,
+            };
+            // A call-site allow naming the transitive rule suppresses the
+            // individual finding (source allows are preferred, but the
+            // escape hatch composes either way).
+            let dir = passes[file_idx]
+                .valid
+                .iter_mut()
+                .find(|d| d.target == hit.line && d.rule == label.transitive_rule());
+            match dir {
+                Some(d) => {
+                    d.used = true;
+                    extra_suppressed.push(Suppressed { finding, reason: d.reason.clone() });
+                }
+                None => extra_findings.push(finding),
+            }
+        }
+
+        // Shield accounting: a source allow earns "used" iff some in-scope
+        // function actually reaches its seed — otherwise it is stale and
+        // `unused-allow` fires.
+        let shielded = taint::propagate(&graph, label, &|_, s| {
+            matches!(seed_kill(&passes, label, s), Some(SeedKill::BySourceAllow(_)))
+        });
+        let reachers = taint::in_scope_reachers(&graph, label, &shielded);
+        let mut shield_uses: BTreeMap<(usize, usize), (Severity, model::SeedInfo, usize)> =
+            BTreeMap::new();
+        for id in reachers {
+            let w = shielded[id].as_ref().expect("reachers are tainted");
+            let Some(SeedKill::BySourceAllow(di)) = seed_kill(&passes, label, &w.seed) else {
+                continue;
+            };
+            let f = &graph.fns[id];
+            let severity = label
+                .applies(&f.crate_name, f.kind, f.in_test)
+                .expect("in_scope_reachers filters by scope");
+            shield_uses.entry((w.seed.file, di)).and_modify(|e| e.2 += 1).or_insert((
+                severity,
+                w.seed.clone(),
+                1,
             ));
+        }
+        for ((file_idx, di), (severity, s, n)) in shield_uses {
+            let excerpt = passes[file_idx]
+                .lines
+                .get(s.line)
+                .map(|l| l.code.trim().to_string())
+                .unwrap_or_default();
+            let plural = if n == 1 { "" } else { "s" };
+            let d = &mut passes[file_idx].valid[di];
+            d.used = true;
+            extra_suppressed.push(Suppressed {
+                finding: Finding {
+                    rule: label.transitive_rule().name().to_string(),
+                    severity: severity.label().to_string(),
+                    crate_name: metas[file_idx].crate_name.clone(),
+                    file: metas[file_idx].path.clone(),
+                    line: s.line + 1,
+                    column: s.column + 1,
+                    message: format!(
+                        "taint source `{}` allowed here: shields {n} in-scope function{plural} \
+                         from {}",
+                        s.token,
+                        label.transitive_rule().name(),
+                    ),
+                    excerpt,
+                    chain: Vec::new(),
+                },
+                reason: d.reason.clone(),
+            });
         }
     }
 
-    report
+    // Unused-allow sweep runs after phase 2: a directive may earn its keep
+    // only as a taint-source shield.
+    for (fi, pass) in passes.iter().enumerate() {
+        for d in &pass.valid {
+            if !d.used {
+                extra_findings.push(Finding {
+                    rule: RuleId::UnusedAllow.name().to_string(),
+                    severity: Severity::Warn.label().to_string(),
+                    crate_name: metas[fi].crate_name.clone(),
+                    file: metas[fi].path.clone(),
+                    line: d.target + 1,
+                    column: 1,
+                    message: format!("allow({}) suppressed no finding: delete it", d.rule.name()),
+                    excerpt: pass
+                        .lines
+                        .get(d.target)
+                        .map(|l| l.code.trim().to_string())
+                        .unwrap_or_default(),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Directive lifecycle for --fix.
+    let mut directives: Vec<DirectiveStatus> = Vec::new();
+    for (fi, pass) in passes.iter().enumerate() {
+        for d in &pass.valid {
+            directives.push(DirectiveStatus {
+                file: metas[fi].path.clone(),
+                on_line: d.on_line,
+                rule_name: d.rule.name().to_string(),
+                reason: Some(d.reason.clone()),
+                state: if d.used { DirectiveState::Used } else { DirectiveState::Unused },
+            });
+        }
+        for (on_line, rule_name) in &pass.malformed {
+            directives.push(DirectiveStatus {
+                file: metas[fi].path.clone(),
+                on_line: *on_line,
+                rule_name: rule_name.clone(),
+                reason: None,
+                state: DirectiveState::Malformed,
+            });
+        }
+    }
+    directives.sort_by(|a, b| (&a.file, a.on_line).cmp(&(&b.file, b.on_line)));
+
+    // Merge in canonical file order, then sort: the final report is a
+    // pure function of the workspace, independent of scheduling.
+    let mut report = Report::default();
+    for pass in passes {
+        report.absorb(pass.report);
+    }
+    report.findings.extend(extra_findings);
+    report.suppressed.extend(extra_suppressed);
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
+    });
+    report.suppressed.sort_by(|a, b| {
+        (&a.finding.file, a.finding.line, a.finding.column, &a.finding.rule).cmp(&(
+            &b.finding.file,
+            b.finding.line,
+            b.finding.column,
+            &b.finding.rule,
+        ))
+    });
+
+    Analysis { report, directives }
+}
+
+/// Analyze a workspace: the two-phase pass, report only.
+pub fn analyze(ws: &Workspace, exec: &Executor) -> Report {
+    analyze_full(ws, exec).report
+}
+
+/// Analyze one file's text. `file` is the workspace-relative display path.
+/// Single-file convenience over [`analyze`]: the call graph is built from
+/// this file alone.
+pub fn analyze_source(file: &str, crate_name: &str, kind: FileKind, text: &str) -> Report {
+    let ws = Workspace {
+        files: vec![FileInput {
+            path: file.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            text: text.to_string(),
+        }],
+        deps: BTreeMap::new(),
+    };
+    analyze(&ws, &Executor::serial())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -304,6 +688,7 @@ fn finding_at(
         column: column0 + 1,
         message,
         excerpt: lines.get(line0).map(|l| l.code.trim().to_string()).unwrap_or_default(),
+        chain: Vec::new(),
     }
 }
 
@@ -342,6 +727,38 @@ fn crate_package_name(crate_dir: &Path) -> String {
     crate_dir.file_name().and_then(|n| n.to_str()).unwrap_or("unknown").to_string()
 }
 
+/// Dependency keys from the `[dependencies]`/`[dev-dependencies]`/
+/// `[build-dependencies]` sections of a manifest. For this workspace the
+/// key *is* the package name.
+fn manifest_deps(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            let section = t.trim_matches(['[', ']']);
+            in_deps = matches!(section, "dependencies" | "dev-dependencies" | "build-dependencies");
+            if !in_deps {
+                for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+                    if let Some(name) = section.strip_prefix(prefix) {
+                        out.insert(name.trim_matches('"').to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        if in_deps {
+            if let Some((key, _)) = t.split_once('=') {
+                let k = key.trim().trim_matches('"');
+                if !k.is_empty() {
+                    out.insert(k.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
 fn walk_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if !dir.exists() {
         return Ok(());
@@ -364,12 +781,12 @@ fn walk_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-fn analyze_tree(
+fn load_tree(
     root: &Path,
     dir: &Path,
     crate_name: &str,
     crate_root: &Path,
-    report: &mut Report,
+    ws: &mut Workspace,
 ) -> std::io::Result<()> {
     let mut files = Vec::new();
     walk_rust_files(dir, &mut files)?;
@@ -378,39 +795,46 @@ fn analyze_tree(
         let kind = classify(rel_in_crate);
         let display = path.strip_prefix(root).unwrap_or(&path).display().to_string();
         let text = std::fs::read_to_string(&path)?;
-        report.absorb(analyze_source(&display, crate_name, kind, &text));
+        ws.files.push(FileInput { path: display, crate_name: crate_name.to_string(), kind, text });
     }
     Ok(())
 }
 
-/// Run the full pass over a workspace rooted at `root`: every crate under
+/// Load a workspace rooted at `root` into memory: every crate under
 /// `crates/` (its `src/`, `tests/`, `benches/`), plus the root `examples/`
-/// and `tests/` trees. `third_party/` shims and fixture corpora are out of
-/// scope by construction.
-pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
-
+/// and `tests/` trees, and the dependency direction from each crate's
+/// manifest. `third_party/` shims and fixture corpora are out of scope by
+/// construction.
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut ws = Workspace::default();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> =
         std::fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
     crate_dirs.sort();
     for crate_dir in crate_dirs.into_iter().filter(|p| p.is_dir()) {
         let name = crate_package_name(&crate_dir);
+        if let Ok(manifest) = std::fs::read_to_string(crate_dir.join("Cargo.toml")) {
+            ws.deps.insert(name.clone(), manifest_deps(&manifest));
+        }
         for sub in ["src", "tests", "benches"] {
-            analyze_tree(root, &crate_dir.join(sub), &name, &crate_dir, &mut report)?;
+            load_tree(root, &crate_dir.join(sub), &name, &crate_dir, &mut ws)?;
         }
     }
     for sub in ["examples", "tests"] {
-        analyze_tree(root, &root.join(sub), "workspace", root, &mut report)?;
+        load_tree(root, &root.join(sub), "workspace", root, &mut ws)?;
     }
+    Ok(ws)
+}
 
-    report.findings.sort_by(|a, b| {
-        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
-    });
-    report
-        .suppressed
-        .sort_by(|a, b| (&a.finding.file, a.finding.line).cmp(&(&b.finding.file, b.finding.line)));
-    Ok(report)
+/// Run the full pass over a workspace rooted at `root`, serially.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    run_workspace_with(root, &Executor::serial())
+}
+
+/// Run the full pass over a workspace rooted at `root` on the given
+/// executor. Byte-identical to [`run_workspace`] at any worker count.
+pub fn run_workspace_with(root: &Path, exec: &Executor) -> std::io::Result<Report> {
+    Ok(analyze(&load_workspace(root)?, exec))
 }
 
 #[cfg(test)]
@@ -452,6 +876,17 @@ mod tests {
     }
 
     #[test]
+    fn manifest_deps_reads_section_keys() {
+        let toml = "[package]\nname = \"idse-eval\"\n\n[dependencies]\n\
+                    idse-sim = { workspace = true }\nserde = { workspace = true }\n\n\
+                    [dev-dependencies]\nproptest = { workspace = true }\n";
+        let deps = manifest_deps(toml);
+        assert!(deps.contains("idse-sim"));
+        assert!(deps.contains("proptest"));
+        assert!(!deps.contains("name"));
+    }
+
+    #[test]
     fn stats_counts_by_crate_and_rule() {
         let mut r = analyze_source(
             "a.rs",
@@ -483,5 +918,77 @@ mod tests {
             serde_json::to_string(&r.stats()).expect("stats serialize")
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn transitive_finding_carries_the_chain() {
+        // The seed lives in a tooling crate where the direct wall-clock
+        // rule does not apply: without the taint pass this launders the
+        // clock straight into the sim crate.
+        let ws = Workspace {
+            files: vec![
+                FileInput {
+                    path: "crates/simx/src/lib.rs".to_string(),
+                    crate_name: "idse-sim".to_string(),
+                    kind: FileKind::Library,
+                    text: "pub fn step() -> u64 { now_ms() }\n\
+                           fn now_ms() -> u64 { idse_timeutil::raw_clock() }\n"
+                        .to_string(),
+                },
+                FileInput {
+                    path: "crates/timeutil/src/lib.rs".to_string(),
+                    crate_name: "idse-timeutil".to_string(),
+                    kind: FileKind::Library,
+                    text: "pub fn raw_clock() -> u64 { let t = std::time::Instant::now(); 0 }\n"
+                        .to_string(),
+                },
+            ],
+            deps: BTreeMap::new(),
+        };
+        let r = analyze(&ws, &Executor::serial());
+        let direct: Vec<_> = r.findings.iter().filter(|f| f.rule == "wall-clock-in-sim").collect();
+        let trans: Vec<_> =
+            r.findings.iter().filter(|f| f.rule == "transitive-wall-clock-in-sim").collect();
+        assert!(direct.is_empty(), "{:?}", r.findings);
+        assert_eq!(trans.len(), 1, "{:?}", r.findings);
+        assert_eq!(
+            trans[0].chain,
+            vec!["idse-sim::now_ms", "idse-timeutil::raw_clock", "std::time::Instant::now"]
+        );
+        assert_eq!(trans[0].file, "crates/simx/src/lib.rs");
+        assert_eq!(trans[0].line, 2, "reported at now_ms's call site");
+    }
+
+    #[test]
+    fn allow_at_source_shields_downstream_and_is_used() {
+        // The hazard lives outside the report crates (no direct finding);
+        // a report-crate function reaches it; one allow at the source
+        // shields the downstream caller and counts as used.
+        let ws = Workspace {
+            files: vec![
+                FileInput {
+                    path: "crates/evalx/src/lib.rs".to_string(),
+                    crate_name: "idse-eval".to_string(),
+                    kind: FileKind::Library,
+                    text: "use idse_ids::bucket_count;\n\
+                           pub fn summarize() -> usize { bucket_count() }\n"
+                        .to_string(),
+                },
+                FileInput {
+                    path: "crates/idsx/src/lib.rs".to_string(),
+                    crate_name: "idse-ids".to_string(),
+                    kind: FileKind::Library,
+                    text: "// idse-lint: allow(transitive-unordered-iteration-in-report, reason = \"size query only, order never observed\")\n\
+                           pub fn bucket_count() -> usize { std::collections::HashMap::<u32, u32>::new().len() }\n"
+                        .to_string(),
+                },
+            ],
+            deps: BTreeMap::new(),
+        };
+        let a = analyze_full(&ws, &Executor::serial());
+        assert!(a.report.findings.is_empty(), "{:?}", a.report.findings);
+        assert_eq!(a.report.suppressed.len(), 1, "{:?}", a.report.suppressed);
+        assert!(a.report.suppressed[0].finding.message.contains("shields 1 in-scope function"));
+        assert!(a.directives.iter().all(|d| d.state == DirectiveState::Used), "{:?}", a.directives);
     }
 }

@@ -67,6 +67,16 @@ pub enum RuleId {
     SinkSideEffect,
     /// Raw threads/channels anywhere but the executor crate.
     ThreadOutsideExec,
+    /// Reaching a hash-container helper transitively from a report path.
+    TransitiveUnorderedIteration,
+    /// Reaching a wall-clock source transitively from a sim-clock crate.
+    TransitiveWallClock,
+    /// Reaching ambient entropy transitively from non-test code.
+    TransitiveUnseededEntropy,
+    /// Reaching a panicking helper transitively from library code.
+    TransitivePanic,
+    /// Reaching raw thread machinery transitively outside the executor.
+    TransitiveThreadOutsideExec,
     /// Malformed allow directive (unknown rule or missing reason).
     InvalidAllow,
     /// Allow directive that suppressed nothing.
@@ -75,7 +85,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in stable display order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 14] = [
         RuleId::UnorderedIterationInReport,
         RuleId::WallClockInSim,
         RuleId::UnseededEntropy,
@@ -83,6 +93,11 @@ impl RuleId {
         RuleId::FloatEqComparison,
         RuleId::SinkSideEffect,
         RuleId::ThreadOutsideExec,
+        RuleId::TransitiveUnorderedIteration,
+        RuleId::TransitiveWallClock,
+        RuleId::TransitiveUnseededEntropy,
+        RuleId::TransitivePanic,
+        RuleId::TransitiveThreadOutsideExec,
         RuleId::InvalidAllow,
         RuleId::UnusedAllow,
     ];
@@ -97,6 +112,11 @@ impl RuleId {
             RuleId::FloatEqComparison => "float-eq-comparison",
             RuleId::SinkSideEffect => "sink-side-effect",
             RuleId::ThreadOutsideExec => "thread-outside-exec",
+            RuleId::TransitiveUnorderedIteration => "transitive-unordered-iteration-in-report",
+            RuleId::TransitiveWallClock => "transitive-wall-clock-in-sim",
+            RuleId::TransitiveUnseededEntropy => "transitive-unseeded-entropy",
+            RuleId::TransitivePanic => "transitive-panic-in-library",
+            RuleId::TransitiveThreadOutsideExec => "transitive-thread-outside-exec",
             RuleId::InvalidAllow => "invalid-allow",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -137,6 +157,26 @@ impl RuleId {
                 "raw thread or channel use outside idse-exec: route parallelism \
                  through the executor so results merge in canonical job order"
             }
+            RuleId::TransitiveUnorderedIteration => {
+                "report-path function reaches a hash-container helper through the call \
+                 graph: fix the helper or allow at the taint source"
+            }
+            RuleId::TransitiveWallClock => {
+                "sim-crate function reaches a wall-clock source through the call graph: \
+                 sim time is the only clock, at any call depth"
+            }
+            RuleId::TransitiveUnseededEntropy => {
+                "non-test function reaches ambient entropy through the call graph: \
+                 thread a seeded RngStream down instead"
+            }
+            RuleId::TransitivePanic => {
+                "library function reaches a panicking helper through the call graph: \
+                 tiered like panic-in-library"
+            }
+            RuleId::TransitiveThreadOutsideExec => {
+                "function reaches raw thread machinery through the call graph without \
+                 going through the idse-exec executor"
+            }
             RuleId::InvalidAllow => {
                 "malformed idse-lint allow directive: unknown rule name or missing \
                  non-empty reason"
@@ -162,7 +202,7 @@ pub enum FileKind {
 }
 
 impl FileKind {
-    fn is_test(self) -> bool {
+    pub(crate) fn is_test(self) -> bool {
         matches!(self, FileKind::IntegrationTest)
     }
 }
@@ -194,6 +234,138 @@ const REPORT_CRATES: [&str; 2] = ["idse-eval", "idse-core"];
 /// Crates where sim time is the only legal clock.
 const SIM_CLOCK_CRATES: [&str; 4] = ["idse-sim", "idse-ids", "idse-net", "idse-telemetry"];
 
+/// The hazard classes the taint pass propagates along the call graph.
+///
+/// Each label pairs a *direct* rule (the line-level check that fires where
+/// the hazard token appears, when that location is in the rule's scope)
+/// with a *transitive* rule (fires on an in-scope function that merely
+/// *reaches* the hazard through calls). Both share one scope predicate —
+/// [`TaintLabel::applies`] — so a wrapper function can never launder a
+/// violation past the lint: the scope that bans the token also bans
+/// reaching it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum TaintLabel {
+    /// Hash-seeded container use (`HashMap`/`HashSet`).
+    UnorderedIter,
+    /// Wall-clock time (`Instant`/`SystemTime`/`UNIX_EPOCH`).
+    WallClock,
+    /// Ambient entropy (`thread_rng`/`from_entropy`/`RandomState`/`OsRng`).
+    Entropy,
+    /// Panicking calls (`panic!`/`todo!`/`unimplemented!`/`.unwrap()`).
+    MayPanic,
+    /// Raw thread/channel machinery outside the executor.
+    ThreadSpawn,
+}
+
+impl TaintLabel {
+    /// Every label, in stable order.
+    pub const ALL: [TaintLabel; 5] = [
+        TaintLabel::UnorderedIter,
+        TaintLabel::WallClock,
+        TaintLabel::Entropy,
+        TaintLabel::MayPanic,
+        TaintLabel::ThreadSpawn,
+    ];
+
+    /// Short kebab-case label name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaintLabel::UnorderedIter => "unordered-iter",
+            TaintLabel::WallClock => "wall-clock",
+            TaintLabel::Entropy => "entropy",
+            TaintLabel::MayPanic => "may-panic",
+            TaintLabel::ThreadSpawn => "thread-spawn",
+        }
+    }
+
+    /// The line-level rule that fires where the hazard token appears.
+    pub fn direct_rule(self) -> RuleId {
+        match self {
+            TaintLabel::UnorderedIter => RuleId::UnorderedIterationInReport,
+            TaintLabel::WallClock => RuleId::WallClockInSim,
+            TaintLabel::Entropy => RuleId::UnseededEntropy,
+            TaintLabel::MayPanic => RuleId::PanicInLibrary,
+            TaintLabel::ThreadSpawn => RuleId::ThreadOutsideExec,
+        }
+    }
+
+    /// The call-graph rule that fires where the hazard is merely reached.
+    pub fn transitive_rule(self) -> RuleId {
+        match self {
+            TaintLabel::UnorderedIter => RuleId::TransitiveUnorderedIteration,
+            TaintLabel::WallClock => RuleId::TransitiveWallClock,
+            TaintLabel::Entropy => RuleId::TransitiveUnseededEntropy,
+            TaintLabel::MayPanic => RuleId::TransitivePanic,
+            TaintLabel::ThreadSpawn => RuleId::TransitiveThreadOutsideExec,
+        }
+    }
+
+    /// Word-boundary tokens whose presence in a function body seeds this
+    /// label (see [`word_at`] semantics).
+    pub fn seed_words(self) -> &'static [&'static str] {
+        match self {
+            TaintLabel::UnorderedIter => &["HashMap", "HashSet"],
+            TaintLabel::WallClock => &["Instant", "SystemTime", "UNIX_EPOCH"],
+            TaintLabel::Entropy => &["thread_rng", "from_entropy", "RandomState", "OsRng"],
+            TaintLabel::MayPanic => &["panic!", "todo!", "unimplemented!"],
+            TaintLabel::ThreadSpawn => &[],
+        }
+    }
+
+    /// Raw substrings that seed this label (no word-boundary check).
+    pub fn seed_substrings(self) -> &'static [&'static str] {
+        match self {
+            TaintLabel::MayPanic => &[".unwrap()"],
+            TaintLabel::ThreadSpawn => &THREAD_TOKENS,
+            _ => &[],
+        }
+    }
+
+    /// Whether a taint seed may originate at this location at all.
+    /// Thread tokens inside `idse-exec` are the sanctioned implementation
+    /// of the executor, not a hazard; everything else seeds anywhere
+    /// outside test code.
+    pub fn seeds_in(self, crate_name: &str, in_test_code: bool) -> bool {
+        if in_test_code {
+            return false;
+        }
+        match self {
+            TaintLabel::ThreadSpawn => crate_name != "idse-exec",
+            _ => true,
+        }
+    }
+
+    /// The shared scope predicate: does this label's rule pair apply to
+    /// code at (crate, kind, test-region)? Returns the severity when it
+    /// does. This is the *same* policy for the direct and the transitive
+    /// rule — crate tiering included — which is what makes the transitive
+    /// variants an extension of the line rules rather than a new regime.
+    pub fn applies(self, crate_name: &str, kind: FileKind, in_test: bool) -> Option<Severity> {
+        let in_test_code = in_test || kind.is_test();
+        match self {
+            TaintLabel::UnorderedIter => {
+                (REPORT_CRATES.contains(&crate_name) && kind == FileKind::Library && !in_test_code)
+                    .then_some(Severity::Error)
+            }
+            TaintLabel::WallClock => {
+                SIM_CLOCK_CRATES.contains(&crate_name).then_some(Severity::Error)
+            }
+            TaintLabel::Entropy => (!in_test_code).then_some(Severity::Error),
+            TaintLabel::MayPanic => {
+                if kind != FileKind::Library || in_test_code {
+                    return None;
+                }
+                match crate_tier(crate_name) {
+                    Tier::Strict => Some(Severity::Error),
+                    Tier::Standard => Some(Severity::Warn),
+                    Tier::Tooling => None,
+                }
+            }
+            TaintLabel::ThreadSpawn => (crate_name != "idse-exec").then_some(Severity::Error),
+        }
+    }
+}
+
 /// Context for one line of one file.
 pub struct LineCtx<'a> {
     /// Package name of the owning crate (`workspace` for root tests/examples).
@@ -219,7 +391,7 @@ pub struct Hit {
     pub message: String,
 }
 
-fn word_at(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn word_at(code: &str, word: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(rel) = code[from..].find(word) {
         let at = from + rel;

@@ -1,0 +1,303 @@
+//! Phase-2 taint propagation over the assembled call graph.
+//!
+//! For each [`TaintLabel`], every function that carries a hazard token in
+//! its body (or a hazard-typed field on its `Self` type) is a *seed*;
+//! taint then flows backwards along call edges, so any function that can
+//! reach a seed — at any depth, across crates — is tainted. A tainted
+//! function in the label's scope ([`TaintLabel::applies`]) yields a
+//! transitive finding carrying the full witness chain down to the token.
+//!
+//! Determinism is structural: seeds initialize in ascending function id,
+//! the BFS frontier is processed in sorted order, reverse edges are
+//! sorted, and the *first* writer of a function's witness wins. The same
+//! graph therefore always produces the same witness for every function,
+//! and the same chains in the same order — which is what lets the
+//! parallel phase-1 scan feed a byte-identical phase 2.
+//!
+//! Reporting is *frontier-only*: if `a` calls `b` calls `c` and all three
+//! are in scope, only the deepest in-scope function actually adjacent to
+//! the hazard reports (with the chain showing the rest). Without this,
+//! one tainted leaf would fire once per ancestor and drown the signal in
+//! chain-length noise.
+
+use crate::model::{Graph, SeedInfo};
+use crate::rules::{Severity, TaintLabel};
+
+/// Why a function is tainted: the first edge of its witness path and the
+/// seed the path bottoms out in.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// `Some((callee, line, column))` when tainted through a call site;
+    /// `None` when the function carries the seed itself.
+    pub via: Option<(usize, usize, usize)>,
+    /// Global id of the function that owns the seed.
+    pub seed_owner: usize,
+    /// The seed at the bottom of the witness path.
+    pub seed: SeedInfo,
+    /// Calls between this function and the seed owner (0 = self-seeded).
+    pub depth: usize,
+}
+
+/// Propagate one label backwards from its active seeds; `seed_ok` decides
+/// which seeds participate (the caller filters out allow-at-source
+/// suppressions, or inverts the filter to measure what an allow is
+/// suppressing). Returns one optional witness per function.
+pub fn propagate(
+    graph: &Graph,
+    label: TaintLabel,
+    seed_ok: &dyn Fn(usize, &SeedInfo) -> bool,
+) -> Vec<Option<Witness>> {
+    let n = graph.fns.len();
+    let mut witness: Vec<Option<Witness>> = vec![None; n];
+
+    // Reverse adjacency, sorted for deterministic visitation.
+    let mut redges: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+    for (caller, edges) in graph.edges.iter().enumerate() {
+        for e in edges {
+            redges[e.callee].push((caller, e.line, e.column));
+        }
+    }
+    for r in &mut redges {
+        r.sort();
+        r.dedup();
+    }
+
+    let mut frontier: Vec<usize> = Vec::new();
+    for (id, w) in witness.iter_mut().enumerate() {
+        let seed = graph.seeds[id].iter().find(|s| s.label == label && seed_ok(id, s));
+        if let Some(seed) = seed {
+            *w = Some(Witness { via: None, seed_owner: id, seed: seed.clone(), depth: 0 });
+            frontier.push(id);
+        }
+    }
+
+    while !frontier.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &t in &frontier {
+            let (seed_owner, seed, depth) = {
+                let w = witness[t].as_ref().expect("frontier entries are tainted");
+                (w.seed_owner, w.seed.clone(), w.depth)
+            };
+            for &(caller, line, column) in &redges[t] {
+                if witness[caller].is_none() {
+                    witness[caller] = Some(Witness {
+                        via: Some((t, line, column)),
+                        seed_owner,
+                        seed: seed.clone(),
+                        depth: depth + 1,
+                    });
+                    next.push(caller);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+
+    witness
+}
+
+/// A transitive finding before allow-directive resolution.
+#[derive(Debug, Clone)]
+pub struct TransitiveHit {
+    /// Global id of the reporting function.
+    pub fn_id: usize,
+    /// Hazard class.
+    pub label: TaintLabel,
+    /// Severity from the shared scope predicate.
+    pub severity: Severity,
+    /// 0-based line of the witness call site in the reporter's file.
+    pub line: usize,
+    /// 0-based column of the witness call site.
+    pub column: usize,
+    /// Qualified names from the reporter down to the seed owner, then the
+    /// hazard token itself.
+    pub chain: Vec<String>,
+    /// Human message.
+    pub message: String,
+}
+
+fn hazard_phrase(label: TaintLabel) -> &'static str {
+    match label {
+        TaintLabel::UnorderedIter => "hash-container hazard",
+        TaintLabel::WallClock => "wall-clock source",
+        TaintLabel::Entropy => "ambient-entropy source",
+        TaintLabel::MayPanic => "panicking call",
+        TaintLabel::ThreadSpawn => "raw thread machinery",
+    }
+}
+
+/// Generate the transitive findings for one label from its witnesses.
+///
+/// `direct_covered(id)` must report whether the *direct* rule already
+/// fired at function `id`'s own seed location — the active direct finding
+/// is then the root-cause report for that path.
+///
+/// Reporting is frontier-only along the witness tree: walking each path
+/// from the seed upwards, the first function that is in scope and whose
+/// path below is not already accounted for (by a direct finding or a
+/// deeper transitive reporter) is the one that reports; everything above
+/// it inherits "accounted" and stays silent. Witness depth strictly
+/// decreases toward the seed, so one pass in ascending-depth order
+/// settles every function after its callee.
+pub fn transitive_hits(
+    graph: &Graph,
+    label: TaintLabel,
+    witness: &[Option<Witness>],
+    direct_covered: &dyn Fn(usize) -> bool,
+) -> Vec<TransitiveHit> {
+    let mut order: Vec<usize> = (0..witness.len()).filter(|&i| witness[i].is_some()).collect();
+    order.sort_by_key(|&i| (witness[i].as_ref().map(|w| w.depth).unwrap_or_default(), i));
+    let mut accounted = vec![false; witness.len()];
+    let mut out = Vec::new();
+    for id in order {
+        let w = witness[id].as_ref().expect("order holds tainted fns only");
+        let Some((callee, line, column)) = w.via else {
+            accounted[id] = direct_covered(id);
+            continue;
+        };
+        let f = &graph.fns[id];
+        let scope = label.applies(&f.crate_name, f.kind, f.in_test);
+        let reports = scope.is_some() && !accounted[callee];
+        accounted[id] = accounted[callee] || reports;
+        let Some(severity) = scope.filter(|_| reports) else { continue };
+        let mut chain = vec![f.qual.clone()];
+        let mut cur = id;
+        while let Some((next, _, _)) = witness[cur].as_ref().and_then(|w| w.via) {
+            chain.push(graph.fns[next].qual.clone());
+            cur = next;
+        }
+        chain.push(w.seed.token.clone());
+        let calls = if w.depth == 1 { "1 call".to_string() } else { format!("{} calls", w.depth) };
+        let message = format!(
+            "`{}` reaches {} `{}` through {}: {}",
+            f.name,
+            hazard_phrase(label),
+            w.seed.token,
+            calls,
+            chain.join(" -> "),
+        );
+        out.push(TransitiveHit { fn_id: id, label, severity, line, column, chain, message });
+    }
+    out.sort_by_key(|h| h.fn_id);
+    out
+}
+
+/// Function ids that are tainted *through a call* and sit in the label's
+/// scope — i.e. the functions an allow-at-source directive is shielding.
+/// Used to decide whether a source allow earned its keep.
+pub fn in_scope_reachers(
+    graph: &Graph,
+    label: TaintLabel,
+    witness: &[Option<Witness>],
+) -> Vec<usize> {
+    witness
+        .iter()
+        .enumerate()
+        .filter_map(|(id, w)| {
+            let w = w.as_ref()?;
+            w.via?;
+            let f = &graph.fns[id];
+            label.applies(&f.crate_name, f.kind, f.in_test).map(|_| id)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{assemble, extract, FileMeta};
+    use crate::rules::FileKind;
+    use crate::source;
+    use std::collections::BTreeMap;
+
+    fn graph_of(files: &[(&str, &str, &str)]) -> Graph {
+        let mut metas = Vec::new();
+        let mut models = Vec::new();
+        for (i, (path, crate_name, text)) in files.iter().enumerate() {
+            let lines = source::mask(text);
+            let flags = source::test_regions(&lines);
+            metas.push(FileMeta {
+                path: (*path).to_string(),
+                crate_name: (*crate_name).to_string(),
+                kind: FileKind::Library,
+            });
+            models.push(extract(path, crate_name, FileKind::Library, i, &lines, &flags));
+        }
+        assemble(&metas, &models, &BTreeMap::new())
+    }
+
+    #[test]
+    fn two_hop_chain_reaches_the_seed() {
+        let graph = graph_of(&[(
+            "crates/sim/src/lib.rs",
+            "idse-sim",
+            "pub fn step() -> u64 { now_ms() }\n\
+             fn now_ms() -> u64 { raw_clock() }\n\
+             fn raw_clock() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+        )]);
+        let w = propagate(&graph, TaintLabel::WallClock, &|_, _| true);
+        assert!(w.iter().all(|x| x.is_some()), "all three fns tainted");
+        assert_eq!(w[0].as_ref().map(|x| x.depth), Some(2));
+        // When raw_clock's direct finding covers it, that finding is the
+        // root-cause report and the whole chain stays silent.
+        let covered = transitive_hits(&graph, TaintLabel::WallClock, &w, &|id| id == 2);
+        assert!(covered.is_empty(), "{covered:?}");
+        // When it is not covered (the laundering case), the deepest
+        // in-scope caller reports with the full chain; step defers.
+        let hits = transitive_hits(&graph, TaintLabel::WallClock, &w, &|_| false);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].fn_id, 1);
+        assert_eq!(
+            hits[0].chain,
+            vec!["idse-sim::now_ms", "idse-sim::raw_clock", "std::time::Instant::now"]
+        );
+    }
+
+    #[test]
+    fn recursive_cycle_terminates_and_reports() {
+        let graph = graph_of(&[(
+            "crates/sim/src/lib.rs",
+            "idse-sim",
+            "pub fn ping(n: u64) -> u64 { if n == 0 { clock() } else { pong(n - 1) } }\n\
+             pub fn pong(n: u64) -> u64 { ping(n) }\n\
+             fn clock() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+        )]);
+        let w = propagate(&graph, TaintLabel::WallClock, &|_, _| true);
+        assert!(w[0].is_some() && w[1].is_some() && w[2].is_some());
+        // With the seed uncovered, ping is the frontier; pong defers to
+        // ping (an accounted path) even though the cycle points back.
+        let hits = transitive_hits(&graph, TaintLabel::WallClock, &w, &|_| false);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].fn_id, 0);
+    }
+
+    #[test]
+    fn seed_filter_removes_the_source() {
+        let graph = graph_of(&[(
+            "crates/sim/src/lib.rs",
+            "idse-sim",
+            "pub fn step() -> u64 { now_ms() }\n\
+             fn now_ms() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+        )]);
+        let w = propagate(&graph, TaintLabel::WallClock, &|_, _| false);
+        assert!(w.iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn out_of_scope_reachers_stay_silent() {
+        // A bench-tier crate reaching a wall clock is fine; wall-clock
+        // scope is the sim crates.
+        let graph = graph_of(&[(
+            "crates/bench/src/lib.rs",
+            "idse-bench",
+            "pub fn time_it() -> u64 { raw() }\n\
+             fn raw() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+        )]);
+        let w = propagate(&graph, TaintLabel::WallClock, &|_, _| true);
+        assert!(w[0].is_some());
+        let hits = transitive_hits(&graph, TaintLabel::WallClock, &w, &|_| false);
+        assert!(hits.is_empty());
+    }
+}

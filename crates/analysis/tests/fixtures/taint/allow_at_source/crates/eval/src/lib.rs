@@ -1,0 +1,5 @@
+use idse_ids::bucket_count;
+
+pub fn summarize() -> usize {
+    bucket_count()
+}

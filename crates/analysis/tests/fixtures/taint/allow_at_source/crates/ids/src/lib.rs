@@ -1,0 +1,5 @@
+pub fn bucket_count() -> usize {
+    // idse-lint: allow(transitive-unordered-iteration-in-report, reason = "size query only, order never observed")
+    let buckets: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    buckets.len()
+}

@@ -1,0 +1,8 @@
+pub fn wrap() -> u64 {
+    inner()
+}
+
+fn inner() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

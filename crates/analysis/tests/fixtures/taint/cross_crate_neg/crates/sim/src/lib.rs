@@ -1,0 +1,3 @@
+pub fn step() -> u64 {
+    idse_timeutil::wrap()
+}

@@ -1,0 +1,8 @@
+pub fn wrap() -> u64 {
+    inner()
+}
+
+fn inner() -> u64 {
+    static TICKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    TICKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+pub fn ping(n: u64) -> u64 {
+    if n == 0 {
+        idse_timeutil::clock()
+    } else {
+        pong(n - 1)
+    }
+}
+
+pub fn pong(n: u64) -> u64 {
+    ping(n)
+}

@@ -1,0 +1,4 @@
+pub fn clock() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

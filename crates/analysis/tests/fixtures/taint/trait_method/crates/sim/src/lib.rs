@@ -1,0 +1,5 @@
+use idse_timeutil::SysClock;
+
+pub fn advance(c: &SysClock) -> u64 {
+    c.tick_wallclock()
+}

@@ -1,0 +1,12 @@
+pub trait WallClock {
+    fn tick_wallclock(&self) -> u64;
+}
+
+pub struct SysClock;
+
+impl WallClock for SysClock {
+    fn tick_wallclock(&self) -> u64 {
+        let t = std::time::Instant::now();
+        t.elapsed().as_millis() as u64
+    }
+}

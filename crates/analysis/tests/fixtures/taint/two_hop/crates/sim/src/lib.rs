@@ -1,0 +1,12 @@
+pub fn step() -> u64 {
+    now_ms()
+}
+
+fn now_ms() -> u64 {
+    raw_clock()
+}
+
+fn raw_clock() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

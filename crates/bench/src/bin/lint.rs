@@ -2,31 +2,45 @@
 //!
 //! ```text
 //! cargo run -p idse-bench --bin lint                  # human output, exit 1 on errors
+//! cargo run -p idse-bench --bin lint -- --jobs 8      # parallel scan, identical bytes
 //! cargo run -p idse-bench --bin lint -- --json out.json
+//! cargo run -p idse-bench --bin lint -- --sarif lint.sarif
 //! cargo run -p idse-bench --bin lint -- --stats       # per-crate rule-hit counts
+//! cargo run -p idse-bench --bin lint -- --fix         # dry-run directive cleanup
+//! cargo run -p idse-bench --bin lint -- --fix --write # apply it
 //! cargo run -p idse-bench --bin lint -- --write-baseline lint-baseline.json
 //! ```
 //!
 //! Runs in CI between clippy and the test suite; exits nonzero when any
-//! error-severity finding is active. `--stats` prints the suppression-debt
-//! ledger (per-crate, per-rule error/warning/suppressed counts) so
-//! allowlist growth is visible over time; `--write-baseline` snapshots it
-//! to the committed `lint-baseline.json`.
+//! error-severity finding is active. `--jobs N` fans the per-file phase out
+//! over N workers (`0` = one per core) and is guaranteed byte-identical to
+//! serial for the text, JSON, and SARIF outputs — CI diffs them. `--stats`
+//! prints the suppression-debt ledger (per-crate, per-rule
+//! error/warning/suppressed counts) so allowlist growth is visible over
+//! time; `--write-baseline` snapshots it to the committed
+//! `lint-baseline.json`. `--fix` plans mechanical allow-directive cleanup
+//! (delete unused, normalize malformed) and only touches files with
+//! `--write`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
     root: PathBuf,
+    jobs: Option<usize>,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     stats: bool,
     write_baseline: Option<PathBuf>,
+    fix: bool,
+    write: bool,
     list_rules: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lint [--root DIR] [--json FILE|-] [--stats] [--write-baseline FILE] [--rules]"
+        "usage: lint [--root DIR] [--jobs N] [--json FILE|-] [--sarif FILE|-] [--stats]\n\
+         \x20           [--fix [--write]] [--write-baseline FILE] [--rules]"
     );
     std::process::exit(2);
 }
@@ -34,24 +48,39 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         root: workspace_root(),
+        jobs: None,
         json: None,
+        sarif: None,
         stats: false,
         write_baseline: None,
+        fix: false,
+        write: false,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => args.root = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.jobs = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--json" => args.json = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--sarif" => args.sarif = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--stats" => args.stats = true,
             "--write-baseline" => {
                 args.write_baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
             }
+            "--fix" => args.fix = true,
+            "--write" => args.write = true,
             "--rules" => args.list_rules = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if args.write && !args.fix {
+        eprintln!("lint: --write requires --fix");
+        std::process::exit(2);
     }
     args
 }
@@ -73,31 +102,77 @@ fn workspace_root() -> PathBuf {
     }
 }
 
+fn emit(path: &Path, what: &str, payload: &str) -> Result<(), ExitCode> {
+    if path == Path::new("-") {
+        println!("{payload}");
+        return Ok(());
+    }
+    std::fs::write(path, payload).map_err(|e| {
+        eprintln!("lint: failed to write {what} {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
     if args.list_rules {
         for rule in idse_lint::rules::RuleId::ALL {
-            println!("{:<32} {}", rule.name(), rule.description());
+            println!("{:<40} {}", rule.name(), rule.description());
         }
         return ExitCode::SUCCESS;
     }
 
-    let report = match idse_lint::run_workspace(&args.root) {
-        Ok(r) => r,
+    let ws = match idse_lint::load_workspace(&args.root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("lint: failed to scan {}: {e}", args.root.display());
             return ExitCode::from(2);
         }
     };
+    let exec = match args.jobs {
+        Some(n) => idse_exec::Executor::new(n),
+        None => idse_exec::Executor::serial(),
+    };
+    let analysis = idse_lint::analyze_full(&ws, &exec);
+
+    if args.fix {
+        let plan = idse_lint::fix::plan(&ws, &analysis);
+        if plan.is_empty() {
+            println!("lint --fix: nothing to do");
+            return ExitCode::SUCCESS;
+        }
+        print!("{}", plan.render());
+        if args.write {
+            match idse_lint::fix::apply(&plan, &args.root) {
+                Ok(n) => println!("lint --fix: applied {n} edit(s)"),
+                Err(e) => {
+                    eprintln!("lint: failed to apply fixes: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            println!(
+                "lint --fix: {} edit(s) planned (dry run; add --write to apply)",
+                plan.edits.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = analysis.report;
 
     if let Some(path) = &args.json {
         let payload = serde_json::to_string_pretty(&report).expect("report serializes");
-        if path == Path::new("-") {
-            println!("{payload}");
-        } else if let Err(e) = std::fs::write(path, payload) {
-            eprintln!("lint: failed to write {}: {e}", path.display());
-            return ExitCode::from(2);
+        if let Err(code) = emit(path, "json", &payload) {
+            return code;
+        }
+    }
+
+    if let Some(path) = &args.sarif {
+        let payload = idse_lint::sarif::to_sarif(&report);
+        if let Err(code) = emit(path, "sarif", &payload) {
+            return code;
         }
     }
 
@@ -109,24 +184,11 @@ fn main() -> ExitCode {
         }
     }
 
-    for f in &report.findings {
-        println!("{}[{}] {}:{}:{} — {}", f.severity, f.rule, f.file, f.line, f.column, f.message);
-        if !f.excerpt.is_empty() {
-            println!("    | {}", f.excerpt);
-        }
-    }
+    print!("{}", idse_lint::render_text(&report));
 
     if args.stats {
         print!("{}", report.stats().render_table());
     }
-
-    println!(
-        "lint: {} files scanned, {} errors, {} warnings, {} suppressed by allow",
-        report.files_scanned,
-        report.error_count(),
-        report.warning_count(),
-        report.suppressed.len()
-    );
 
     if report.has_errors() {
         ExitCode::FAILURE

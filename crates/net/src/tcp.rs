@@ -11,7 +11,7 @@
 use crate::flow::FlowKey;
 use crate::packet::{Ipv4Header, Packet, TcpFlags, TcpHeader};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -234,7 +234,9 @@ pub struct ConnRecord {
 /// balancers, and the substrate for sensor-side stream reassembly.
 #[derive(Debug, Default)]
 pub struct ConnTracker {
-    conns: HashMap<FlowKey, ConnRecord>,
+    // BTreeMap, not HashMap: `idse-eval` counts open streams through this
+    // tracker, and report paths must never observe hash-seeded state.
+    conns: BTreeMap<FlowKey, ConnRecord>,
     /// Count of completed (fully closed) connections, including reset ones.
     completed: u64,
 }
