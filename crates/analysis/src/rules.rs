@@ -221,9 +221,8 @@ pub enum Tier {
 /// Tier of a crate by package name.
 pub fn crate_tier(crate_name: &str) -> Tier {
     match crate_name {
-        "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" | "idse-exec" => {
-            Tier::Strict
-        }
+        "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" | "idse-exec"
+        | "idse-faults" => Tier::Strict,
         "idse-ids" | "idse-eval" | "idse-traffic" | "idse-attacks" => Tier::Standard,
         _ => Tier::Tooling,
     }
@@ -232,7 +231,8 @@ pub fn crate_tier(crate_name: &str) -> Tier {
 /// Crates whose report paths must iterate deterministically.
 const REPORT_CRATES: [&str; 2] = ["idse-eval", "idse-core"];
 /// Crates where sim time is the only legal clock.
-const SIM_CLOCK_CRATES: [&str; 4] = ["idse-sim", "idse-ids", "idse-net", "idse-telemetry"];
+const SIM_CLOCK_CRATES: [&str; 5] =
+    ["idse-sim", "idse-ids", "idse-net", "idse-telemetry", "idse-faults"];
 
 /// The hazard classes the taint pass propagates along the call graph.
 ///

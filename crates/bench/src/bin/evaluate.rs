@@ -147,8 +147,13 @@ fn main() {
             for eval in &evals {
                 let scoped: Vec<idse_telemetry::Event> =
                     events.iter().filter(|e| e.scope == eval.scorecard.system).copied().collect();
+                let mut summary = summarize(&scoped);
+                // The ring buffer is shared across scopes, so each
+                // per-product report carries the sink-wide eviction count:
+                // any drop anywhere means truncated statistics everywhere.
+                summary.dropped_events = telemetry_events_dropped;
                 idse_bench::outln!(out, "=== {} ===", eval.scorecard.system);
-                idse_bench::outln!(out, "{}", summarize(&scoped).render_text());
+                idse_bench::outln!(out, "{}", summary.render_text());
             }
         }
     }

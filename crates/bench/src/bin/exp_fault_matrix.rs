@@ -1,0 +1,76 @@
+//! Experiment X7 — fault-injection survivability matrix. Every product
+//! crossed with every [`fault_scenarios`] entry, so each Figure 2
+//! cardinality (LB 1c:M, Sensor M:M Analyzer, Analyzer M:1 Monitor,
+//! Monitor 1:1c Manager) is broken at least once and the four class-2
+//! survivability metrics are measured against a fault-free twin run.
+//!
+//! [`fault_scenarios`]: idse_eval::experiments::fault_scenarios
+
+use idse_bench::{cli, outln, table, STANDARD_SEED};
+use idse_eval::experiments::{fault_matrix_experiment, fault_scenarios};
+use idse_ids::products::IdsProduct;
+
+fn main() {
+    let (common, mut out) =
+        cli::shell("usage: exp_fault_matrix [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let seed = common.seed_or(STANDARD_SEED);
+    let exec = common.executor();
+
+    outln!(out, "=== Experiment X7: component x fault-type survivability matrix ===\n");
+    outln!(out, "Each cell replays the SAME seeded feed twice — once clean, once with the");
+    outln!(out, "scenario's fault plan — and condenses the pair into the four survivability");
+    outln!(out, "measures (retention / alert loss / reroute time / recovery), scored 0-4.\n");
+
+    let products = IdsProduct::all_models();
+    let scenarios = fault_scenarios();
+    let rows = fault_matrix_experiment(&products, &scenarios, 0.7, seed, &exec);
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.product.clone(),
+                r.scenario.clone(),
+                r.relation.clone(),
+                format!("{:.2}", r.survivability.detection_retention),
+                format!("{:.3}", r.survivability.alert_loss_ratio),
+                format!("{:.1} µs", r.survivability.mean_reroute.as_secs_f64() * 1e6),
+                format!("{:.2}", r.survivability.recovery_completeness),
+                r.scores.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("/"),
+                format!("{}/{}/{}", r.rerouted, r.replayed, r.lost_alerts),
+            ]
+        })
+        .collect();
+    outln!(
+        out,
+        "{}",
+        table(
+            &[
+                "Product",
+                "Scenario",
+                "Figure-2 relation",
+                "Retain",
+                "Loss",
+                "Reroute",
+                "Recover",
+                "Scores",
+                "Rerouted/Replayed/Lost",
+            ],
+            &table_rows
+        )
+    );
+    outln!(out, "Redundant fan-outs (M:M sensors, 1c:M load balancing) keep retention near 1.0");
+    outln!(out, "through single kills; the 1:1 stages (Monitor, Manager) lean on buffering and");
+    outln!(out, "replay instead, trading alert latency for loss. Degradation scenarios (CPU");
+    outln!(out, "steal, lossy tap, clock skew) erode retention without tripping any reroute.");
+    out.finish();
+
+    if common.json.is_some() {
+        common.write_json(&serde_json::json!({
+            "experiment": "X7 fault matrix",
+            "seed": seed,
+            "sensitivity": 0.7,
+            "rows": rows,
+        }));
+    }
+}

@@ -1,4 +1,5 @@
-//! The full metric catalog: all 52 metrics the paper defines.
+//! The full metric catalog: all 52 metrics the paper defines, plus the
+//! four-survivability extension of the architectural class (56 total).
 //!
 //! Descriptions for the table-selected metrics are the paper's own (Tables
 //! 1–3). The paper lists the remaining metrics by name only ("for
@@ -413,6 +414,62 @@ pub fn catalog() -> Vec<MetricDef> {
                 high: "Entirely passive and unaddressable.",
             },
         },
+        // --- Architectural, survivability family ---
+        // Measured by `idse-eval` from paired fault-free/fault-injected
+        // runs over a `idse-faults` plan; static architecture analysis
+        // provides the fallback score when no plan is supplied.
+        MetricDef {
+            id: MetricId::DetectionRetentionUnderFailure,
+            name: "Detection Retention Under Failure",
+            class: Architectural,
+            description: "Fraction of the true-attack alerts a healthy deployment raises that are still raised while components are crashed, links partitioned or hosts exhausted.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "A single component failure silences detection entirely.",
+                average: "Detection continues in degraded form; a majority of true alerts survive the fault window.",
+                high: "Redundant routing and buffering keep nearly every true alert through any single failure.",
+            },
+        },
+        MetricDef {
+            id: MetricId::AlertLossRatio,
+            name: "Alert Loss Ratio",
+            class: Architectural,
+            description: "Fraction of raised alerts that never become operator-visible because a fault ate them in transit (channel drops, dead monitor, overflowed buffers).",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Most alerts raised during a fault window are silently lost.",
+                average: "Bounded buffering saves some alerts; losses are visible but material.",
+                high: "Store-and-forward delivery loses essentially no alert across outages.",
+            },
+        },
+        MetricDef {
+            id: MetricId::MeanTimeToReroute,
+            name: "Mean Time to Reroute",
+            class: Architectural,
+            description: "Mean sim-time between a record meeting a crashed instance and a live peer accepting it (the M:M rerouting promise of the deployment architecture).",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "No rerouting: traffic for a dead instance is lost until repair.",
+                average: "Failover succeeds after retries costing milliseconds per record.",
+                high: "Near-instant failover: rerouting cost is microseconds and invisible at the monitor.",
+            },
+        },
+        MetricDef {
+            id: MetricId::RecoveryCompleteness,
+            name: "Recovery Completeness",
+            class: Architectural,
+            description: "Fraction of component crashes from which the deployment returns to full service within the observation window, state replayed.",
+            methods: ANALYSIS,
+            in_paper_table: false,
+            anchors: Anchors {
+                low: "Crashed components stay down; operators rebuild by hand.",
+                average: "Components restart but buffered state is partially lost.",
+                high: "Every crash self-recovers and replays its buffered state completely.",
+            },
+        },
         // ================= Performance (Table 3) =================
         MetricDef {
             id: MetricId::AnalysisOfCompromise,
@@ -720,11 +777,13 @@ mod tests {
 
     #[test]
     fn catalog_size_matches_paper_inventory() {
-        // 6+8 logistical, 8+8 architectural, 12+10 performance = 52.
+        // The paper's inventory — 6+8 logistical, 8+8 architectural,
+        // 12+10 performance = 52 — plus the four-survivability extension
+        // of the architectural class = 56.
         let all = catalog();
-        assert_eq!(all.len(), 52);
+        assert_eq!(all.len(), 56);
         assert_eq!(metrics_of_class(Logistical).len(), 14);
-        assert_eq!(metrics_of_class(Architectural).len(), 16);
+        assert_eq!(metrics_of_class(Architectural).len(), 20);
         assert_eq!(metrics_of_class(Performance).len(), 22);
     }
 

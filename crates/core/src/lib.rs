@@ -10,9 +10,11 @@
 //!
 //! 1. **Well-defined metrics** — [`catalog`] defines all 52 metrics the
 //!    paper lists (the tables' selected metrics *and* the ones named but
-//!    not shown), each observable, reproducible, quantifiable and
-//!    characteristic, grouped into the paper's three classes and annotated
-//!    with its observation methods and low/average/high anchor examples.
+//!    not shown) plus a four-metric survivability extension of the
+//!    architectural class (56 total), each observable, reproducible,
+//!    quantifiable and characteristic, grouped into the paper's three
+//!    classes and annotated with its observation methods and
+//!    low/average/high anchor examples.
 //! 2. **Discrete scoring** — [`score::DiscreteScore`] carries the 0–4
 //!    scale; a [`score::Scorecard`] is one product's complete rating.
 //! 3. **Flexible weighting** — [`score::WeightSet`] accepts any consistent
@@ -29,7 +31,7 @@
 //! ```
 //! use idse_core::{DiscreteScore, MetricId, RequirementSet, Scorecard};
 //!
-//! // Score a system on two metrics (normally idse-eval fills all 52).
+//! // Score a system on two metrics (normally idse-eval fills all 56).
 //! let mut card = Scorecard::new("ExampleIDS 1.0");
 //! card.set_with_note(MetricId::Timeliness, DiscreteScore::new(4), "mean 80 ms");
 //! card.set(MetricId::ObservedFalseNegativeRatio, DiscreteScore::new(2));

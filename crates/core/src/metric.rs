@@ -89,6 +89,14 @@ pub enum MetricId {
     ProcessSecurity,
     SignatureBased,
     Visibility,
+    // --- Architectural, survivability family (measured under injected
+    // faults; extends the paper's Table 2 architecture-fit class with the
+    // distributed-real-time survivability the Figure 2 cardinalities
+    // promise) ---
+    DetectionRetentionUnderFailure,
+    AlertLossRatio,
+    MeanTimeToReroute,
+    RecoveryCompleteness,
     // --- Performance, shown in Table 3 ---
     AnalysisOfCompromise,
     ErrorReportingAndRecovery,

@@ -242,9 +242,9 @@ mod tests {
     #[test]
     fn unscored_metrics_are_reported() {
         let mut card = Scorecard::new("X");
-        assert_eq!(card.unscored().len(), 52);
+        assert_eq!(card.unscored().len(), 56);
         card.set(MetricId::Timeliness, DiscreteScore::new(1));
-        assert_eq!(card.unscored().len(), 51);
+        assert_eq!(card.unscored().len(), 55);
         assert!(!card.unscored().contains(&MetricId::Timeliness));
     }
 
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn uniform_weighting_covers_catalog() {
         let w = WeightSet::uniform();
-        assert_eq!(w.iter().count(), 52);
-        assert_eq!(w.ideal_total(), 4.0 * 52.0);
+        assert_eq!(w.iter().count(), 56);
+        assert_eq!(w.ideal_total(), 4.0 * 56.0);
     }
 }

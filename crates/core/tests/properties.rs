@@ -9,7 +9,7 @@ fn all_ids() -> Vec<MetricId> {
 }
 
 fn arb_card() -> impl Strategy<Value = Scorecard> {
-    prop::collection::vec(0u8..=4, 52).prop_map(|scores| {
+    prop::collection::vec(0u8..=4, 56).prop_map(|scores| {
         let mut c = Scorecard::new("prop");
         for (id, s) in all_ids().into_iter().zip(scores) {
             c.set(id, DiscreteScore::new(s));
@@ -19,7 +19,7 @@ fn arb_card() -> impl Strategy<Value = Scorecard> {
 }
 
 fn arb_weights() -> impl Strategy<Value = WeightSet> {
-    prop::collection::vec(-5.0f64..5.0, 52).prop_map(|ws| {
+    prop::collection::vec(-5.0f64..5.0, 56).prop_map(|ws| {
         let mut w = WeightSet::new("prop");
         for (id, x) in all_ids().into_iter().zip(ws) {
             w.set(id, x);

@@ -1,14 +1,17 @@
-//! Experiments X2–X4: the paper's lessons learned, reproduced.
+//! Experiments X2–X4 and X7: the paper's lessons learned, reproduced,
+//! plus the fault-injection survivability matrix over the Figure 2
+//! cardinalities.
 
 use crate::confusion::TransactionLedger;
 use crate::feeds::{FeedConfig, TestFeed};
 use crate::sweep::{sweep, ErrorCurve, SweepPlan, SweepPoint};
 use idse_exec::Executor;
+use idse_faults::{FaultComponent, FaultKind, FaultPlan, Survivability};
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
 use idse_net::trace::AttackClass;
-use idse_sim::SimDuration;
+use idse_sim::{SimDuration, SimTime};
 use idse_traffic::generator::PayloadMode;
 use idse_traffic::{ArrivalProcess, BackgroundGenerator, GeneratorConfig, SiteProfile};
 use serde::Serialize;
@@ -226,6 +229,190 @@ pub fn operating_point_experiment(
     }
 }
 
+/// X7 — one fault scenario of the survivability matrix: a named fault
+/// plan plus the Figure 2 relation it stresses.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Scenario name (stable; keys the matrix row).
+    pub name: &'static str,
+    /// The Figure 2 cardinality the scenario breaks — e.g. the
+    /// LB 1c:M fan-out, or the Monitor 1:1c Manager link.
+    pub relation: &'static str,
+    /// The fault plan injected into the run.
+    pub plan: FaultPlan,
+}
+
+/// The standard X7 scenario set: every Figure 2 relation gets at least
+/// one kill-or-partition scenario, plus the degradation faults (CPU
+/// steal, clock skew, lossy tap). Timings assume the standard 50 s test
+/// span — each outage opens after the trace warms up and heals before it
+/// ends, so recovery behavior (replay, reroute-back) is exercised too.
+pub fn fault_scenarios() -> Vec<FaultScenario> {
+    let at = SimTime::from_secs(5);
+    let heal = Some(SimDuration::from_secs(20));
+    let crash =
+        |name: &'static str, relation: &'static str, component: FaultComponent| FaultScenario {
+            name,
+            relation,
+            plan: FaultPlan::new(name)
+                .with(at, FaultKind::Crash { component, restart_after: heal }),
+        };
+    vec![
+        // The four Figure 2 cardinalities, each killed in turn.
+        crash("lb-kill", "LB 1c:M Sensor", FaultComponent::LoadBalancer),
+        crash("sensor-kill", "Sensor M:M Analyzer", FaultComponent::Sensor(0)),
+        crash("analyzer-kill", "Sensor M:M Analyzer", FaultComponent::Analyzer(0)),
+        crash("monitor-kill", "Analyzer M:1 Monitor", FaultComponent::Monitor),
+        crash("manager-kill", "Monitor 1:1c Manager", FaultComponent::Manager),
+        // Substrate degradations.
+        FaultScenario {
+            name: "tap-partition",
+            relation: "Net 1:M Tap",
+            plan: FaultPlan::new("tap-partition").with(
+                SimTime::from_secs(10),
+                FaultKind::LinkPartition { duration: SimDuration::from_secs(5) },
+            ),
+        },
+        FaultScenario {
+            name: "tap-degrade",
+            relation: "Net 1:M Tap",
+            plan: FaultPlan::new("tap-degrade").with(
+                SimTime::from_secs(5),
+                FaultKind::LinkDegrade {
+                    loss_per_mille: 150,
+                    extra_latency: SimDuration::from_millis(2),
+                    duration: SimDuration::from_secs(30),
+                },
+            ),
+        },
+        FaultScenario {
+            name: "cpu-squeeze",
+            relation: "Host N:1 CPU",
+            plan: FaultPlan::new("cpu-squeeze").with(
+                at,
+                FaultKind::CpuExhaustion {
+                    steal_percent: 60,
+                    duration: SimDuration::from_secs(30),
+                },
+            ),
+        },
+        FaultScenario {
+            name: "clock-skew",
+            relation: "Analyzer M:1 Monitor",
+            plan: FaultPlan::new("clock-skew").with(
+                at,
+                FaultKind::ClockSkew {
+                    component: FaultComponent::Monitor,
+                    offset: SimDuration::from_millis(50),
+                },
+            ),
+        },
+        FaultScenario {
+            name: "alert-drop",
+            relation: "Monitor 1:1c Manager",
+            plan: FaultPlan::new("alert-drop").with(
+                SimTime::from_secs(10),
+                FaultKind::AlertChannelDrop { duration: SimDuration::from_secs(10) },
+            ),
+        },
+    ]
+}
+
+/// One cell of the X7 matrix: a product put through one fault scenario,
+/// condensed against its own fault-free baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrixRow {
+    /// Product name.
+    pub product: String,
+    /// Scenario name (see [`fault_scenarios`]).
+    pub scenario: String,
+    /// Figure 2 relation the scenario stresses.
+    pub relation: String,
+    /// The four survivability measures for this cell.
+    pub survivability: Survivability,
+    /// 0–4 rubric scores in catalog order: retention, alert loss,
+    /// reroute time, recovery completeness.
+    pub scores: [u8; 4],
+    /// Work items re-routed around a dead component.
+    pub rerouted: u64,
+    /// Alerts lost outright (dropped channel, dead unbuffered stage,
+    /// stranded replay buffers).
+    pub lost_alerts: u64,
+    /// Buffered items replayed after a restart.
+    pub replayed: u64,
+}
+
+/// Run the X7 component × fault-type grid: every product crossed with
+/// every scenario, in parallel on `exec`, each cell scored against that
+/// product's fault-free baseline run on the identical feed.
+///
+/// Rows come back in (product-major, scenario-minor) input order, so the
+/// matrix is byte-identical at any worker count.
+pub fn fault_matrix_experiment(
+    products: &[IdsProduct],
+    scenarios: &[FaultScenario],
+    sensitivity: f64,
+    seed: u64,
+    exec: &Executor,
+) -> Vec<FaultMatrixRow> {
+    let fc = FeedConfig {
+        session_rate: 25.0,
+        training_span: SimDuration::from_secs(25),
+        test_span: SimDuration::from_secs(50),
+        campaign_intensity: 1,
+        seed,
+    };
+    let feed = TestFeed::realtime_cluster(&fc);
+    let true_alerts = |alerts: &[idse_ids::alert::Alert]| {
+        alerts.iter().filter(|a| feed.test.records()[a.trigger].truth.is_some()).count() as u64
+    };
+    let run = |product: &IdsProduct, faults: Option<FaultPlan>| {
+        let config = RunConfig {
+            sensitivity: Sensitivity::new(sensitivity),
+            monitored_hosts: feed.servers.clone(),
+            faults,
+            ..RunConfig::default()
+        };
+        PipelineRunner::new(product.clone(), config)
+            .with_training(feed.training.clone())
+            .run(&feed.test)
+    };
+
+    // Fault-free twins first: one baseline per product, reused by every
+    // scenario in that product's row.
+    let baselines = exec.par_map(products, |_, p| true_alerts(&run(p, None).alerts));
+
+    let grid: Vec<(usize, usize)> =
+        (0..products.len()).flat_map(|p| (0..scenarios.len()).map(move |s| (p, s))).collect();
+    exec.par_map(&grid, |_, &(pi, si)| {
+        let product = &products[pi];
+        let scenario = &scenarios[si];
+        let faulted = run(product, Some(scenario.plan.clone()));
+        let s = Survivability::measure(
+            baselines[pi],
+            true_alerts(&faulted.alerts),
+            faulted.alerts.len() as u64,
+            &faulted.fault_stats,
+        );
+        let stats = faulted.fault_stats;
+        FaultMatrixRow {
+            product: product.id.name().to_owned(),
+            scenario: scenario.name.to_owned(),
+            relation: scenario.relation.to_owned(),
+            survivability: s,
+            scores: [
+                crate::measure::score_detection_retention(s.detection_retention).value(),
+                crate::measure::score_alert_loss(s.alert_loss_ratio).value(),
+                crate::measure::score_reroute_time(s.mean_reroute, stats.rerouted > 0).value(),
+                crate::measure::score_recovery_completeness(s.recovery_completeness).value(),
+            ],
+            rerouted: stats.rerouted,
+            lost_alerts: stats.lost_alerts,
+            replayed: stats.replayed,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +449,35 @@ mod tests {
             r.fp_mismatched > r.fp_matched,
             "training on the wrong site must raise false positives: {r:?}"
         );
+    }
+
+    #[test]
+    fn x7_matrix_covers_every_relation_deterministically() {
+        let products = [IdsProduct::model(ProductId::GuardSecure)];
+        let scenarios = fault_scenarios();
+        let rows = fault_matrix_experiment(&products, &scenarios, 0.7, 21, &Executor::new(4));
+        assert_eq!(rows.len(), scenarios.len());
+        for relation in [
+            "LB 1c:M Sensor",
+            "Sensor M:M Analyzer",
+            "Analyzer M:1 Monitor",
+            "Monitor 1:1c Manager",
+        ] {
+            assert!(
+                rows.iter().any(|r| r.relation == relation),
+                "Figure 2 relation {relation} has no scenario"
+            );
+        }
+        for r in &rows {
+            assert!(
+                (0.0..=1.0).contains(&r.survivability.detection_retention)
+                    && (0.0..=1.0).contains(&r.survivability.alert_loss_ratio),
+                "measures out of range: {r:?}"
+            );
+            assert!(r.scores.iter().all(|&s| s <= 4), "rubric scores are 0-4: {r:?}");
+        }
+        let serial = fault_matrix_experiment(&products, &scenarios, 0.7, 21, &Executor::serial());
+        assert_eq!(format!("{rows:?}"), format!("{serial:?}"), "worker count changed the matrix");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::timing::{timing_report, TimingReport};
 use crate::vendor::score_vendor_metrics;
 use idse_core::{MetricId, Scorecard};
 use idse_exec::{Executor, ExperimentPlan, JobKey};
+use idse_faults::{FaultPlan, Survivability};
 use idse_ids::pipeline::{PipelineOutcome, PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
@@ -70,6 +71,11 @@ pub struct EvaluationRequest {
     /// on the calling thread, `0` auto-sizes to the machine, any `N`
     /// produces byte-identical results.
     pub jobs: usize,
+    /// Fault plan for the survivability probe. When set, every product
+    /// additionally runs the operating point *under this plan* and the
+    /// four survivability metrics are measured against the fault-free
+    /// twin; when `None` they fall back to static architecture analysis.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EvaluationRequest {
@@ -81,6 +87,7 @@ impl Default for EvaluationRequest {
             max_throughput_factor: 256.0,
             telemetry: idse_telemetry::Telemetry::disabled(),
             jobs: 1,
+            fault_plan: None,
         }
     }
 }
@@ -138,6 +145,12 @@ impl EvaluationRequest {
     /// This request running on `jobs` workers (`0` = one per core).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// This request measuring survivability under `plan`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -244,6 +257,13 @@ impl EvaluationRequest {
                 name,
                 ProbeJob::Throughput { index },
             );
+            if self.fault_plan.is_some() {
+                probe_jobs.push_scoped(
+                    JobKey::new(name, "survive", 0),
+                    name,
+                    ProbeJob::Survive { index, sensitivity: operating[name] },
+                );
+            }
         }
         let probe_results = probe_jobs.run(&exec, &self.telemetry, |ctx, job| match *job {
             ProbeJob::Operate { index, sensitivity } => {
@@ -269,6 +289,24 @@ impl EvaluationRequest {
                 feed,
                 self.max_throughput_factor,
             )),
+            ProbeJob::Survive { index, sensitivity } => {
+                // The operating-point run again, this time with the fault
+                // plan injected. Survivability falls out of comparing it
+                // to the fault-free twin in the reduce.
+                let run_config = RunConfig {
+                    sensitivity: Sensitivity::new(sensitivity),
+                    monitored_hosts: feed.servers.clone(),
+                    auto_response: true,
+                    telemetry: ctx.telemetry.clone(),
+                    faults: self.fault_plan.clone(),
+                    ..RunConfig::default()
+                };
+                let outcome = PipelineRunner::new(products[index].clone(), run_config)
+                    .with_training(feed.training.clone())
+                    .run(&feed.test);
+                ctx.telemetry.span(0, outcome.finished_at.as_nanos(), "phase.survive_run");
+                ProbeOutput::Survive(Box::new(outcome))
+            }
         });
         let mut probes: BTreeMap<JobKey, ProbeOutput> =
             probe_results.into_iter().map(|r| (r.key, r.output)).collect();
@@ -286,6 +324,9 @@ impl EvaluationRequest {
                     .remove(&JobKey::new(name, "throughput", 0))
                     .and_then(ProbeOutput::into_throughput)
                     .expect("throughput probe completed under its key");
+                let faulted = probes
+                    .remove(&JobKey::new(name, "survive", 0))
+                    .and_then(ProbeOutput::into_survive);
                 self.telemetry.with_scope(name).gauge(
                     outcome.finished_at.as_nanos(),
                     "phase.throughput.zero_loss_pps",
@@ -300,6 +341,7 @@ impl EvaluationRequest {
                     operating[name],
                     *outcome,
                     throughput,
+                    faulted.map(|b| *b),
                 )
             })
             .collect()
@@ -317,6 +359,7 @@ impl EvaluationRequest {
         operating_sensitivity: f64,
         outcome: PipelineOutcome,
         throughput: ThroughputReport,
+        faulted: Option<PipelineOutcome>,
     ) -> ProductEvaluation {
         let confusion = ledger.score(&outcome.alerts);
         let timing = timing_report(&feed.test, &outcome);
@@ -452,6 +495,101 @@ impl EvaluationRequest {
             ),
         );
 
+        // The survivability family: measured from the faulted twin when a
+        // fault plan ran, otherwise scored by static architecture analysis
+        // (redundancy and failure behavior) so the card stays complete.
+        let survivability = faulted.as_ref().map(|f| {
+            let true_alerts = |o: &PipelineOutcome| {
+                o.alerts.iter().filter(|a| feed.test.records()[a.trigger].truth.is_some()).count()
+                    as u64
+            };
+            Survivability::measure(
+                true_alerts(&outcome),
+                true_alerts(f),
+                f.alerts.len() as u64,
+                &f.fault_stats,
+            )
+        });
+        match (&survivability, &faulted) {
+            (Some(s), Some(f)) => {
+                let plan_label = self
+                    .fault_plan
+                    .as_ref()
+                    .map(FaultPlan::label)
+                    .unwrap_or("fault plan")
+                    .to_owned();
+                card.set_with_note(
+                    MetricId::DetectionRetentionUnderFailure,
+                    measure::score_detection_retention(s.detection_retention),
+                    format!(
+                        "retained {:.2} of true alerts under '{plan_label}'",
+                        s.detection_retention
+                    ),
+                );
+                card.set_with_note(
+                    MetricId::AlertLossRatio,
+                    measure::score_alert_loss(s.alert_loss_ratio),
+                    format!(
+                        "lost {} of {} alerts ({:.3}) under '{plan_label}'",
+                        f.fault_stats.lost_alerts,
+                        f.alerts.len() as u64 + f.fault_stats.lost_alerts,
+                        s.alert_loss_ratio
+                    ),
+                );
+                card.set_with_note(
+                    MetricId::MeanTimeToReroute,
+                    measure::score_reroute_time(s.mean_reroute, f.fault_stats.rerouted > 0),
+                    format!("mean {} over {} reroutes", s.mean_reroute, f.fault_stats.rerouted),
+                );
+                card.set_with_note(
+                    MetricId::RecoveryCompleteness,
+                    measure::score_recovery_completeness(s.recovery_completeness),
+                    format!(
+                        "{} of {} crashes recovered, {} items replayed",
+                        f.fault_stats.recoveries_seen,
+                        f.fault_stats.crashes_seen,
+                        f.fault_stats.replayed
+                    ),
+                );
+            }
+            _ => {
+                let arch = &product.architecture;
+                let redundant = arch.sensors > 1 || arch.analyzers > 1;
+                let recovery = measure::score_error_recovery(arch.failure).value();
+                let static_note = "static architecture analysis; run with a fault plan to measure";
+                card.set_with_note(
+                    MetricId::DetectionRetentionUnderFailure,
+                    idse_core::DiscreteScore::new(match (redundant, recovery) {
+                        (true, 4) => 3,
+                        (true, _) => 2,
+                        (false, 4) => 2,
+                        (false, 2) => 1,
+                        _ => 0,
+                    }),
+                    static_note,
+                );
+                card.set_with_note(
+                    MetricId::AlertLossRatio,
+                    idse_core::DiscreteScore::new(match recovery {
+                        4 => 3,
+                        2 => 2,
+                        _ => 1,
+                    }),
+                    static_note,
+                );
+                card.set_with_note(
+                    MetricId::MeanTimeToReroute,
+                    idse_core::DiscreteScore::new(if redundant { 3 } else { 0 }),
+                    static_note,
+                );
+                card.set_with_note(
+                    MetricId::RecoveryCompleteness,
+                    idse_core::DiscreteScore::new(recovery),
+                    static_note,
+                );
+            }
+        }
+
         card.set_with_note(
             MetricId::EffectivenessOfGeneratedFilters,
             measure::score_response_interaction(
@@ -472,6 +610,7 @@ impl EvaluationRequest {
             timing,
             host_impact: outcome.host_impact,
             state_bytes: outcome.state_bytes,
+            survivability,
         }
     }
 }
@@ -483,6 +622,8 @@ enum ProbeJob {
     Operate { index: usize, sensitivity: f64 },
     /// The zero-loss / lethal-dose throughput searches.
     Throughput { index: usize },
+    /// The operating-point run under the request's fault plan.
+    Survive { index: usize, sensitivity: f64 },
 }
 
 /// What a probe produced.
@@ -490,20 +631,28 @@ enum ProbeJob {
 enum ProbeOutput {
     Operate(Box<PipelineOutcome>),
     Throughput(ThroughputReport),
+    Survive(Box<PipelineOutcome>),
 }
 
 impl ProbeOutput {
     fn into_operate(self) -> Option<Box<PipelineOutcome>> {
         match self {
             ProbeOutput::Operate(outcome) => Some(outcome),
-            ProbeOutput::Throughput(_) => None,
+            _ => None,
         }
     }
 
     fn into_throughput(self) -> Option<ThroughputReport> {
         match self {
             ProbeOutput::Throughput(report) => Some(report),
-            ProbeOutput::Operate(_) => None,
+            _ => None,
+        }
+    }
+
+    fn into_survive(self) -> Option<Box<PipelineOutcome>> {
+        match self {
+            ProbeOutput::Survive(outcome) => Some(outcome),
+            _ => None,
         }
     }
 }
@@ -513,7 +662,7 @@ impl ProbeOutput {
 pub struct ProductEvaluation {
     /// The product.
     pub product: IdsProduct,
-    /// The filled scorecard (all 52 metrics).
+    /// The filled scorecard (all 56 metrics).
     pub scorecard: Scorecard,
     /// Figure 4 curve.
     pub curve: ErrorCurve,
@@ -530,6 +679,8 @@ pub struct ProductEvaluation {
     pub host_impact: f64,
     /// Engine state bytes at the end of the run.
     pub state_bytes: usize,
+    /// Measured survivability, when the request carried a fault plan.
+    pub survivability: Option<Survivability>,
 }
 
 /// Evaluation parameters (pre-executor API).
@@ -578,6 +729,7 @@ impl From<&EvaluationConfig> for EvaluationRequest {
             max_throughput_factor: config.max_throughput_factor,
             telemetry: config.telemetry.clone(),
             jobs: 1,
+            fault_plan: None,
         }
     }
 }
@@ -628,7 +780,7 @@ mod tests {
         let eval = request.evaluate(&IdsProduct::model(ProductId::GuardSecure), &feed);
         let unscored = eval.scorecard.unscored();
         assert!(unscored.is_empty(), "unscored metrics: {unscored:?}");
-        assert_eq!(eval.scorecard.len(), 52);
+        assert_eq!(eval.scorecard.len(), 56);
     }
 
     #[test]
@@ -653,7 +805,7 @@ mod tests {
             evals.iter().map(|e| e.scorecard.system.clone()).collect();
         assert_eq!(names.len(), 4);
         for e in &evals {
-            assert_eq!(e.scorecard.len(), 52, "{}", e.scorecard.system);
+            assert_eq!(e.scorecard.len(), 56, "{}", e.scorecard.system);
         }
     }
 
@@ -680,6 +832,34 @@ mod tests {
         let serial = render(1);
         assert_eq!(serial, render(3));
         assert_eq!(serial, render(8));
+    }
+
+    #[test]
+    fn fault_plan_measures_survivability() {
+        use idse_faults::{FaultComponent, FaultKind, FaultPlan};
+        let plan = FaultPlan::new("eval-monitor-blink").with(
+            idse_sim::SimTime::from_secs(8),
+            FaultKind::Crash {
+                component: FaultComponent::Monitor,
+                restart_after: Some(SimDuration::from_secs(6)),
+            },
+        );
+        let request = quick_request().with_fault_plan(plan);
+        let feed = request.build_feed();
+        let eval = request.evaluate(&IdsProduct::model(ProductId::GuardSecure), &feed);
+        let s = eval.survivability.expect("fault plan yields a measured survivability");
+        assert!(s.detection_retention > 0.0, "recovered monitor keeps detections");
+        assert!((0.0..=1.0).contains(&s.alert_loss_ratio));
+        assert!((s.recovery_completeness - 1.0).abs() < 1e-12, "single crash recovers");
+        assert!(eval.scorecard.unscored().is_empty());
+        // The measured note replaces the static one.
+        let note = eval.scorecard.note(MetricId::RecoveryCompleteness).unwrap_or_default();
+        assert!(note.contains("crashes recovered"), "note: {note}");
+        // Still deterministic with the plan in play.
+        let again = request.evaluate(&IdsProduct::model(ProductId::GuardSecure), &feed);
+        for (id, score) in eval.scorecard.iter() {
+            assert_eq!(Some(score), again.scorecard.get(id), "{id:?} differs");
+        }
     }
 
     #[test]

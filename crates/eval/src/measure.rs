@@ -199,6 +199,65 @@ pub fn score_evidence_coverage(coverage: f64) -> DiscreteScore {
     })
 }
 
+/// Detection Retention Under Failure: true-alert fraction a faulted run
+/// keeps relative to its fault-free twin. The 0.95 bar mirrors the
+/// detection-rate ladder: survivability should cost no more than the
+/// engine's own error floor.
+pub fn score_detection_retention(retention: f64) -> DiscreteScore {
+    DiscreteScore::new(match retention {
+        x if x >= 0.95 => 4,
+        x if x >= 0.80 => 3,
+        x if x >= 0.60 => 2,
+        x if x >= 0.30 => 1,
+        _ => 0,
+    })
+}
+
+/// Alert Loss Ratio under faults: lower is better. The top grade requires
+/// near-lossless store-and-forward (≤1 %); losing a quarter of raised
+/// alerts or more is the bottom anchor.
+pub fn score_alert_loss(loss: f64) -> DiscreteScore {
+    DiscreteScore::new(match loss {
+        x if x <= 0.01 => 4,
+        x if x <= 0.05 => 3,
+        x if x <= 0.10 => 2,
+        x if x <= 0.25 => 1,
+        _ => 0,
+    })
+}
+
+/// Mean Time to Reroute around a crashed instance. Anchored on the
+/// real-time premise: sub-100 µs failover is invisible at the monitor;
+/// beyond 100 ms the fault window shows up in Timeliness.
+pub fn score_reroute_time(mean: SimDuration, any_rerouted: bool) -> DiscreteScore {
+    if !any_rerouted {
+        // Nothing ever rerouted: either nothing needed to (fine — treat
+        // as instant) — the caller distinguishes "couldn't" via the
+        // retention score, which a reroute-less single-instance
+        // architecture tanks.
+        return DiscreteScore::new(4);
+    }
+    DiscreteScore::new(match mean.as_secs_f64() {
+        x if x <= 100e-6 => 4,
+        x if x <= 1e-3 => 3,
+        x if x <= 10e-3 => 2,
+        x if x <= 100e-3 => 1,
+        _ => 0,
+    })
+}
+
+/// Recovery Completeness: recovered crashes / injected crashes, with
+/// state replay assumed measured into the retention score.
+pub fn score_recovery_completeness(fraction: f64) -> DiscreteScore {
+    DiscreteScore::new(match fraction {
+        x if x >= 0.99 => 4,
+        x if x >= 0.75 => 3,
+        x if x >= 0.50 => 2,
+        x if x > 0.0 => 1,
+        _ => 0,
+    })
+}
+
 /// SNMP interaction: capability with observed trap volume.
 pub fn score_snmp(capable: bool, traps_sent: u32) -> DiscreteScore {
     match (capable, traps_sent) {
@@ -305,6 +364,34 @@ mod tests {
         assert_eq!(score_evidence_coverage(0.4).value(), 2);
         assert_eq!(score_evidence_coverage(0.05).value(), 1);
         assert_eq!(score_evidence_coverage(0.0).value(), 0);
+    }
+
+    #[test]
+    fn survivability_ladders() {
+        assert_eq!(score_detection_retention(1.0).value(), 4);
+        assert_eq!(score_detection_retention(0.85).value(), 3);
+        assert_eq!(score_detection_retention(0.65).value(), 2);
+        assert_eq!(score_detection_retention(0.4).value(), 1);
+        assert_eq!(score_detection_retention(0.0).value(), 0);
+
+        assert_eq!(score_alert_loss(0.0).value(), 4);
+        assert_eq!(score_alert_loss(0.03).value(), 3);
+        assert_eq!(score_alert_loss(0.08).value(), 2);
+        assert_eq!(score_alert_loss(0.2).value(), 1);
+        assert_eq!(score_alert_loss(0.5).value(), 0);
+
+        assert_eq!(score_reroute_time(SimDuration::ZERO, false).value(), 4);
+        assert_eq!(score_reroute_time(SimDuration::from_micros(50), true).value(), 4);
+        assert_eq!(score_reroute_time(SimDuration::from_micros(500), true).value(), 3);
+        assert_eq!(score_reroute_time(SimDuration::from_millis(5), true).value(), 2);
+        assert_eq!(score_reroute_time(SimDuration::from_millis(50), true).value(), 1);
+        assert_eq!(score_reroute_time(SimDuration::from_secs(1), true).value(), 0);
+
+        assert_eq!(score_recovery_completeness(1.0).value(), 4);
+        assert_eq!(score_recovery_completeness(0.8).value(), 3);
+        assert_eq!(score_recovery_completeness(0.5).value(), 2);
+        assert_eq!(score_recovery_completeness(0.25).value(), 1);
+        assert_eq!(score_recovery_completeness(0.0).value(), 0);
     }
 
     #[test]

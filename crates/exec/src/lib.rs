@@ -36,7 +36,43 @@ pub mod plan;
 
 pub use plan::{ExperimentPlan, Job, JobCtx, JobKey, JobResult};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A job that panicked inside [`Executor::try_par_map`].
+///
+/// Panics are contained at the job boundary so one poisoned input cannot
+/// take down the whole batch (or the worker pool): every other job still
+/// runs and returns its normal output. The error carries the submission
+/// index and the panic payload's message, both pure functions of the
+/// input batch — so a failing batch is as deterministic as a passing one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim; anything else becomes a fixed placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Stringify a caught panic payload deterministically.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-size pool of workers for deterministic parallel maps.
 ///
@@ -94,36 +130,68 @@ impl Executor {
         O: Send,
         F: Fn(usize, &T) -> O + Sync,
     {
+        self.try_par_map(items, f)
+            .into_iter()
+            .map(|r| r.expect("par_map job panicked; use try_par_map to contain job panics"))
+            .collect()
+    }
+
+    /// Panic-containing variant of [`Executor::par_map`]: each job runs
+    /// under `catch_unwind`, and a panicking job yields
+    /// `Err(`[`JobPanic`]`)` in its submission slot instead of poisoning
+    /// the pool.
+    ///
+    /// The result vector is always `items.len()` long and in submission
+    /// order; one poisoned job of a batch leaves every other slot's bytes
+    /// identical to a run without it, at any worker count.
+    pub fn try_par_map<T, O, F>(&self, items: &[T], f: F) -> Vec<Result<O, JobPanic>>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(usize, &T) -> O + Sync,
+    {
+        // Contain the panic at the job boundary: the worker loop (and the
+        // serial path) below never unwinds through `run`, so the scope
+        // join stays infallible and the claim queue keeps draining.
+        let run = |i: usize, item: &T| -> Result<O, JobPanic> {
+            catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                .map_err(|payload| JobPanic { index: i, message: panic_message(payload) })
+        };
+
         let n = items.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            return items.iter().enumerate().map(|(i, item)| run(i, item)).collect();
         }
 
         let next = AtomicUsize::new(0);
-        let per_worker: Vec<Vec<(usize, O)>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|_| {
-                        let mut completed = Vec::new();
-                        loop {
-                            // Steal the next unclaimed job from the shared
-                            // queue; Relaxed suffices — the only contended
-                            // state is the claim counter itself, and job
-                            // results flow back through the join.
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
+        let per_worker: Vec<Vec<(usize, Result<O, JobPanic>)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut completed = Vec::new();
+                            loop {
+                                // Steal the next unclaimed job from the shared
+                                // queue; Relaxed suffices — the only contended
+                                // state is the claim counter itself, and job
+                                // results flow back through the join.
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                completed.push((i, run(i, &items[i])));
                             }
-                            completed.push((i, f(i, &items[i])));
-                        }
-                        completed
+                            completed
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("executor worker does not panic")).collect()
-        })
-        .expect("executor scope does not panic");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("executor worker does not panic"))
+                    .collect()
+            })
+            .expect("executor scope does not panic");
 
         reduce_in_order(per_worker.into_iter().flatten().collect(), n)
     }
@@ -205,5 +273,60 @@ mod tests {
     #[should_panic(expected = "dense and unique")]
     fn reduce_rejects_duplicate_indices() {
         reduce_in_order(vec![(0, ()), (0, ())], 2);
+    }
+
+    /// One poisoned job out of sixteen: the other fifteen still complete,
+    /// with byte-identical outputs at one worker and at eight.
+    #[test]
+    fn one_poisoned_job_leaves_the_rest_intact() {
+        let items: Vec<u64> = (0..16).collect();
+        let f = |_: usize, &x: &u64| {
+            assert!(x != 7, "poisoned input {x}");
+            (0..x).map(|k| (k as f64).sqrt()).sum::<f64>()
+        };
+
+        let serial = Executor::serial().try_par_map(&items, f);
+        let parallel = Executor::new(8).try_par_map(&items, f);
+        assert_eq!(serial, parallel, "worker count changed a faulted batch");
+
+        assert_eq!(serial.len(), 16);
+        for (i, slot) in serial.iter().enumerate() {
+            if i == 7 {
+                let err = slot.as_ref().expect_err("job 7 must be the poisoned one");
+                assert_eq!(err.index, 7);
+                assert!(err.message.contains("poisoned input 7"), "got: {}", err.message);
+            } else {
+                let clean = f(i, &items[i]);
+                assert_eq!(slot.as_ref().expect("healthy job completes"), &clean);
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_on_healthy_batches() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |i: usize, &x: &u64| i as u64 + x * x;
+        let tried: Vec<u64> = Executor::new(4)
+            .try_par_map(&items, f)
+            .into_iter()
+            .map(|r| r.expect("healthy batch"))
+            .collect();
+        assert_eq!(tried, Executor::new(4).par_map(&items, f));
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map job panicked")]
+    fn par_map_still_propagates_job_panics() {
+        let items = [1u32, 2, 3];
+        Executor::serial().par_map(&items, |_, &x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn job_panic_display_is_deterministic() {
+        let err = JobPanic { index: 3, message: "boom".to_string() };
+        assert_eq!(err.to_string(), "job 3 panicked: boom");
     }
 }

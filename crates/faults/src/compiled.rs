@@ -1,0 +1,344 @@
+//! The compiled fault schedule: a canonical interval table the pipeline
+//! queries once per event.
+//!
+//! Compilation normalizes a [`FaultPlan`] into per-category interval lists
+//! sorted by `(start, kind)`. Every query is a pure function of
+//! `(table, now, record index)` — nothing here holds mutable state, so two
+//! pipeline runs over the same plan cannot diverge however their jobs are
+//! scheduled.
+
+use crate::plan::{FaultComponent, FaultKind, FaultPlan};
+use idse_sim::{derive_seed, RngStream, SimDuration, SimTime};
+use serde::Serialize;
+
+/// One component outage: `[start, end)` (`end == SimTime::MAX` for a hang
+/// that never restarts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Outage {
+    /// Which instance is down.
+    pub component: FaultComponent,
+    /// Outage start.
+    pub start: SimTime,
+    /// Outage end (exclusive; `SimTime::MAX` = never recovers).
+    pub end: SimTime,
+}
+
+/// The queryable form of a [`FaultPlan`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CompiledFaults {
+    label: String,
+    seed: u64,
+    outages: Vec<Outage>,
+    partitions: Vec<(SimTime, SimTime)>,
+    degrades: Vec<(SimTime, SimTime, u16, SimDuration)>,
+    exhaustions: Vec<(SimTime, SimTime, u8)>,
+    skews: Vec<(FaultComponent, SimTime, SimDuration)>,
+    alert_drops: Vec<(SimTime, SimTime)>,
+}
+
+fn window(at: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+    (at, at.checked_add(duration).unwrap_or(SimTime::MAX))
+}
+
+impl CompiledFaults {
+    /// An empty schedule (what a fault-free run carries).
+    pub fn none() -> CompiledFaults {
+        CompiledFaults::default()
+    }
+
+    /// Compile `plan` — events are taken in canonical `(time, kind)`
+    /// order, so insertion order cannot reach any query answer.
+    pub fn compile(plan: &FaultPlan) -> CompiledFaults {
+        let mut c = CompiledFaults {
+            label: plan.label().to_owned(),
+            seed: plan.seed(),
+            ..CompiledFaults::default()
+        };
+        for event in plan.events() {
+            match event.kind {
+                FaultKind::Crash { component, restart_after } => {
+                    let end =
+                        restart_after.and_then(|d| event.at.checked_add(d)).unwrap_or(SimTime::MAX);
+                    c.outages.push(Outage { component, start: event.at, end });
+                }
+                FaultKind::LinkPartition { duration } => {
+                    c.partitions.push(window(event.at, duration));
+                }
+                FaultKind::LinkDegrade { loss_per_mille, extra_latency, duration } => {
+                    let (s, e) = window(event.at, duration);
+                    c.degrades.push((s, e, loss_per_mille.min(1000), extra_latency));
+                }
+                FaultKind::CpuExhaustion { steal_percent, duration } => {
+                    let (s, e) = window(event.at, duration);
+                    c.exhaustions.push((s, e, steal_percent.min(100)));
+                }
+                FaultKind::ClockSkew { component, offset } => {
+                    c.skews.push((component, event.at, offset));
+                }
+                FaultKind::AlertChannelDrop { duration } => {
+                    c.alert_drops.push(window(event.at, duration));
+                }
+            }
+        }
+        c
+    }
+
+    /// The source plan's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.partitions.is_empty()
+            && self.degrades.is_empty()
+            && self.exhaustions.is_empty()
+            && self.skews.is_empty()
+            && self.alert_drops.is_empty()
+    }
+
+    /// All compiled outages.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Whether `component` is down at `now`.
+    pub fn is_down(&self, component: FaultComponent, now: SimTime) -> bool {
+        self.outages.iter().any(|o| o.component == component && o.start <= now && now < o.end)
+    }
+
+    /// When the *current* outage of `component` ends, if it is down at
+    /// `now` and ever restarts.
+    pub fn restart_at(&self, component: FaultComponent, now: SimTime) -> Option<SimTime> {
+        self.outages
+            .iter()
+            .filter(|o| o.component == component && o.start <= now && now < o.end)
+            .map(|o| o.end)
+            .filter(|&end| end < SimTime::MAX)
+            .max()
+    }
+
+    /// Whether the tap feed is fully partitioned at `now`.
+    pub fn partitioned(&self, now: SimTime) -> bool {
+        self.partitions.iter().any(|&(s, e)| s <= now && now < e)
+    }
+
+    /// Active link degradation at `now`:
+    /// `(loss_per_mille, extra_latency)`. Overlapping windows compose as
+    /// the worst of each.
+    pub fn degrade(&self, now: SimTime) -> Option<(u16, SimDuration)> {
+        let mut worst: Option<(u16, SimDuration)> = None;
+        for &(s, e, loss, extra) in &self.degrades {
+            if s <= now && now < e {
+                let (l0, x0) = worst.unwrap_or((0, SimDuration::ZERO));
+                worst = Some((l0.max(loss), x0.max(extra)));
+            }
+        }
+        worst
+    }
+
+    /// Whether the degraded tap loses record `rec` arriving at `now`.
+    ///
+    /// The coin flip comes from a stream derived per record index, so the
+    /// answer depends only on `(plan label, rec)` — never on how many
+    /// other records were examined first.
+    pub fn degrade_drops(&self, now: SimTime, rec: u32) -> bool {
+        let Some((loss_per_mille, _)) = self.degrade(now) else {
+            return false;
+        };
+        if loss_per_mille == 0 {
+            return false;
+        }
+        let mut rng = RngStream::derive(derive_seed(self.seed, "link-loss"), &format!("rec/{rec}"));
+        rng.chance(f64::from(loss_per_mille) / 1000.0)
+    }
+
+    /// Percent of monitored-host CPU stolen by co-resident load at `now`
+    /// (the worst active window; 0 when none).
+    pub fn cpu_steal_percent(&self, now: SimTime) -> u8 {
+        self.exhaustions
+            .iter()
+            .filter(|&&(s, e, _)| s <= now && now < e)
+            .map(|&(_, _, p)| p)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Accumulated clock skew of `component` at `now` (skews are
+    /// permanent once effective and compose additively).
+    pub fn skew(&self, component: FaultComponent, now: SimTime) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &(c, at, offset) in &self.skews {
+            if c == component && at <= now {
+                total += offset;
+            }
+        }
+        total
+    }
+
+    /// Whether the alert channel drops everything at `now`.
+    pub fn alert_channel_down(&self, now: SimTime) -> bool {
+        self.alert_drops.iter().any(|&(s, e)| s <= now && now < e)
+    }
+
+    /// `(crashes started, crashes recovered)` within `[0, end]` — the
+    /// recovery-completeness numerator and denominator.
+    pub fn crash_recovery_counts(&self, end: SimTime) -> (u32, u32) {
+        let mut crashes = 0u32;
+        let mut recoveries = 0u32;
+        for o in &self.outages {
+            if o.start <= end {
+                crashes += 1;
+                if o.end <= end {
+                    recoveries += 1;
+                }
+            }
+        }
+        (crashes, recoveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let plan = FaultPlan::new("w").with(
+            t(5),
+            FaultKind::Crash { component: FaultComponent::Analyzer(0), restart_after: Some(d(3)) },
+        );
+        let c = plan.compile();
+        let a0 = FaultComponent::Analyzer(0);
+        assert!(!c.is_down(a0, t(4)));
+        assert!(c.is_down(a0, t(5)));
+        assert!(c.is_down(a0, SimTime::from_millis(7_999)));
+        assert!(!c.is_down(a0, t(8)), "restart boundary is exclusive");
+        assert!(!c.is_down(FaultComponent::Analyzer(1), t(6)));
+        assert_eq!(c.restart_at(a0, t(6)), Some(t(8)));
+        assert_eq!(c.restart_at(a0, t(9)), None);
+        assert_eq!(c.crash_recovery_counts(t(10)), (1, 1));
+        assert_eq!(c.crash_recovery_counts(t(6)), (1, 0));
+    }
+
+    #[test]
+    fn hang_never_restarts() {
+        let c = FaultPlan::new("h")
+            .with(
+                t(1),
+                FaultKind::Crash { component: FaultComponent::Monitor, restart_after: None },
+            )
+            .compile();
+        assert!(c.is_down(FaultComponent::Monitor, SimTime::from_secs(1_000_000)));
+        assert_eq!(c.restart_at(FaultComponent::Monitor, t(2)), None);
+        assert_eq!(c.crash_recovery_counts(t(100)), (1, 0));
+    }
+
+    #[test]
+    fn degrade_composes_worst_of_overlaps() {
+        let c = FaultPlan::new("d")
+            .with(
+                t(1),
+                FaultKind::LinkDegrade {
+                    loss_per_mille: 100,
+                    extra_latency: SimDuration::from_millis(10),
+                    duration: d(10),
+                },
+            )
+            .with(
+                t(5),
+                FaultKind::LinkDegrade {
+                    loss_per_mille: 50,
+                    extra_latency: SimDuration::from_millis(40),
+                    duration: d(2),
+                },
+            )
+            .compile();
+        assert_eq!(c.degrade(t(0)), None);
+        assert_eq!(c.degrade(t(2)), Some((100, SimDuration::from_millis(10))));
+        assert_eq!(c.degrade(t(6)), Some((100, SimDuration::from_millis(40))));
+    }
+
+    #[test]
+    fn loss_draws_are_per_record_and_label_stable() {
+        let mk = |label: &str| {
+            FaultPlan::new(label)
+                .with(
+                    t(0),
+                    FaultKind::LinkDegrade {
+                        loss_per_mille: 500,
+                        extra_latency: SimDuration::ZERO,
+                        duration: d(100),
+                    },
+                )
+                .compile()
+        };
+        let a = mk("loss");
+        let b = mk("loss");
+        let drops: Vec<bool> = (0..256).map(|r| a.degrade_drops(t(1), r)).collect();
+        // Pure function of (label, rec): identical on replay, regardless
+        // of query order.
+        let again: Vec<bool> = (0..256).rev().map(|r| b.degrade_drops(t(1), r)).collect();
+        assert_eq!(drops, again.into_iter().rev().collect::<Vec<_>>());
+        let dropped = drops.iter().filter(|&&x| x).count();
+        assert!((64..192).contains(&dropped), "~half of 256 should drop, got {dropped}");
+        let other = mk("different-label");
+        assert_ne!(
+            drops,
+            (0..256).map(|r| other.degrade_drops(t(1), r)).collect::<Vec<bool>>(),
+            "a different plan label must reshuffle the draws"
+        );
+    }
+
+    #[test]
+    fn cpu_steal_takes_the_worst_window() {
+        let c = FaultPlan::new("cpu")
+            .with(t(1), FaultKind::CpuExhaustion { steal_percent: 30, duration: d(10) })
+            .with(t(3), FaultKind::CpuExhaustion { steal_percent: 70, duration: d(2) })
+            .compile();
+        assert_eq!(c.cpu_steal_percent(t(0)), 0);
+        assert_eq!(c.cpu_steal_percent(t(2)), 30);
+        assert_eq!(c.cpu_steal_percent(t(4)), 70);
+        assert_eq!(c.cpu_steal_percent(t(6)), 30);
+    }
+
+    #[test]
+    fn skew_accumulates_once_effective() {
+        let m = FaultComponent::Monitor;
+        let c = FaultPlan::new("skew")
+            .with(
+                t(2),
+                FaultKind::ClockSkew { component: m, offset: SimDuration::from_millis(100) },
+            )
+            .with(t(5), FaultKind::ClockSkew { component: m, offset: SimDuration::from_millis(50) })
+            .compile();
+        assert_eq!(c.skew(m, t(1)), SimDuration::ZERO);
+        assert_eq!(c.skew(m, t(3)), SimDuration::from_millis(100));
+        assert_eq!(c.skew(m, t(6)), SimDuration::from_millis(150));
+        assert_eq!(c.skew(FaultComponent::Manager, t(6)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn partition_and_alert_drop_windows() {
+        let c = FaultPlan::new("p")
+            .with(t(2), FaultKind::LinkPartition { duration: d(3) })
+            .with(t(8), FaultKind::AlertChannelDrop { duration: d(1) })
+            .compile();
+        assert!(!c.partitioned(t(1)));
+        assert!(c.partitioned(t(3)));
+        assert!(!c.partitioned(t(5)));
+        assert!(c.alert_channel_down(SimTime::from_millis(8_500)));
+        assert!(!c.alert_channel_down(t(9)));
+        assert!(!c.is_empty());
+        assert!(CompiledFaults::none().is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! # idse-faults — deterministic fault injection and survivability scoring
+//!
+//! The paper evaluates IDSes *for distributed real-time systems*, and its
+//! class-2 Architectural metrics presume components can die: the Figure 2
+//! cardinalities mark the load balancer and management console conditional
+//! ("1c"), and Sensor M:M Analyzer promises that detection work can move
+//! between instances. This crate makes those promises testable: a
+//! [`FaultPlan`] is a declarative sim-time schedule of typed fault events —
+//! component crash/restart for each of the five Figure-1 stages, tap-link
+//! partition/loss/latency degradation, host CPU exhaustion, clock skew, and
+//! alert-channel drop — that `idse-ids::pipeline` injects into a run.
+//!
+//! Determinism is load-bearing, exactly as in the rest of the workspace:
+//!
+//! * a plan [`compile`](FaultPlan::compile)s to a canonical interval table
+//!   sorted by `(time, kind)`, so *insertion order never matters*;
+//! * every stochastic choice (scattered crash times, per-record loss draws)
+//!   is drawn from [`idse_sim::derive_seed`]-derived streams keyed by the
+//!   plan label and the record index, never from a shared stream whose
+//!   consumption order could depend on scheduling — a plan replays
+//!   byte-identically at any `--jobs N`.
+//!
+//! The run-side accounting lands in [`FaultStats`]; `idse-eval` pairs a
+//! faulted run with its fault-free twin and condenses both into a
+//! [`Survivability`] measure, which explicit rubrics convert into the four
+//! survivability scorecard metrics (detection retention under failure,
+//! alert-loss ratio, mean sim-time-to-reroute, recovery completeness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiled;
+pub mod plan;
+
+pub use compiled::CompiledFaults;
+pub use plan::{FaultComponent, FaultEvent, FaultKind, FaultPlan};
+
+use idse_sim::SimDuration;
+use serde::Serialize;
+
+/// Run-side fault accounting, produced by the pipeline while a
+/// [`CompiledFaults`] schedule is active. All zeros when no faults were
+/// injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Work items (records or detections) re-routed around a dead instance.
+    pub rerouted: u64,
+    /// Total extra sim-time paid by re-routing backoff.
+    pub reroute_delay_total: SimDuration,
+    /// Records that bypassed a dead load balancer straight to the sensors
+    /// (the optional "1c" side failing open).
+    pub lb_bypassed: u64,
+    /// Alerts/detections buffered across a downstream outage.
+    pub alerts_buffered: u64,
+    /// Buffered items successfully replayed after a restart.
+    pub replayed: u64,
+    /// Alerts/detections irrecoverably lost to a fault (hang with no
+    /// restart, bounded buffer overflow, alert-channel drop).
+    pub lost_alerts: u64,
+    /// Trace records lost before inspection to a link partition or loss
+    /// degradation.
+    pub lost_records: u64,
+    /// Alerts whose presentation timestamp was shifted by clock skew.
+    pub skewed_alerts: u64,
+    /// Injected crashes whose outage started within the run.
+    pub crashes_seen: u32,
+    /// Injected crashes whose component came back before the run ended.
+    pub recoveries_seen: u32,
+}
+
+impl FaultStats {
+    /// Mean extra sim-time per re-routed item (zero when nothing
+    /// re-routed).
+    pub fn mean_reroute(&self) -> SimDuration {
+        match self.reroute_delay_total.as_nanos().checked_div(self.rerouted) {
+            Some(mean) => SimDuration::from_nanos(mean),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Whether any fault left a mark on the run.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// The survivability measure: one faulted run condensed against its
+/// fault-free twin. Feeds the four class-2 survivability metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Survivability {
+    /// True-positive alerts under faults / true-positive alerts without,
+    /// clamped to `[0, 1]`. 1.0 = the faults cost no detections.
+    pub detection_retention: f64,
+    /// Alerts lost to faults / (alerts delivered + alerts lost) in the
+    /// faulted run. 0.0 = every surviving detection reached the operator.
+    pub alert_loss_ratio: f64,
+    /// Mean extra sim-time per re-routed work item.
+    pub mean_reroute: SimDuration,
+    /// Recovered crashes / injected crashes (1.0 when nothing crashed).
+    pub recovery_completeness: f64,
+}
+
+impl Survivability {
+    /// Condense a faulted run against its fault-free twin.
+    ///
+    /// `baseline_true_alerts` / `faulted_true_alerts` are ground-truth-
+    /// labeled alert counts from the two runs; `faulted_alerts` is the
+    /// faulted run's total delivered alert count; `stats` is the faulted
+    /// run's accounting.
+    pub fn measure(
+        baseline_true_alerts: u64,
+        faulted_true_alerts: u64,
+        faulted_alerts: u64,
+        stats: &FaultStats,
+    ) -> Survivability {
+        let detection_retention = if baseline_true_alerts == 0 {
+            1.0
+        } else {
+            (faulted_true_alerts as f64 / baseline_true_alerts as f64).min(1.0)
+        };
+        let alert_loss_ratio = {
+            let denom = faulted_alerts + stats.lost_alerts;
+            if denom == 0 {
+                0.0
+            } else {
+                stats.lost_alerts as f64 / denom as f64
+            }
+        };
+        let recovery_completeness = if stats.crashes_seen == 0 {
+            1.0
+        } else {
+            f64::from(stats.recoveries_seen) / f64::from(stats.crashes_seen)
+        };
+        Survivability {
+            detection_retention,
+            alert_loss_ratio,
+            mean_reroute: stats.mean_reroute(),
+            recovery_completeness,
+        }
+    }
+
+    /// The no-faults measure: perfect on every axis.
+    pub fn unchallenged() -> Survivability {
+        Survivability {
+            detection_retention: 1.0,
+            alert_loss_ratio: 0.0,
+            mean_reroute: SimDuration::ZERO,
+            recovery_completeness: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_reroute_divides_total_by_count() {
+        let stats = FaultStats {
+            rerouted: 4,
+            reroute_delay_total: SimDuration::from_micros(400),
+            ..FaultStats::default()
+        };
+        assert_eq!(stats.mean_reroute(), SimDuration::from_micros(100));
+        assert!(!stats.is_quiet());
+        assert!(FaultStats::default().is_quiet());
+        assert_eq!(FaultStats::default().mean_reroute(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn survivability_measures_retention_and_loss() {
+        let stats = FaultStats {
+            lost_alerts: 5,
+            crashes_seen: 2,
+            recoveries_seen: 1,
+            ..FaultStats::default()
+        };
+        let s = Survivability::measure(20, 15, 15, &stats);
+        assert!((s.detection_retention - 0.75).abs() < 1e-12);
+        assert!((s.alert_loss_ratio - 0.25).abs() < 1e-12);
+        assert!((s.recovery_completeness - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_runs_are_unchallenged() {
+        let s = Survivability::measure(0, 0, 0, &FaultStats::default());
+        assert_eq!(s, Survivability::unchallenged());
+    }
+
+    #[test]
+    fn retention_is_clamped_to_one() {
+        let s = Survivability::measure(10, 12, 12, &FaultStats::default());
+        assert!((s.detection_retention - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,258 @@
+//! Declarative fault plans: typed fault events on the sim-time axis.
+//!
+//! A [`FaultPlan`] is pure data — building one runs nothing. The pipeline
+//! consumes its [`compile`](FaultPlan::compile)d form; the canonical sort
+//! inside `compile` makes the plan's *insertion order immaterial*, which
+//! `tests/fault_determinism.rs` pins with a permutation proptest.
+
+use idse_sim::{derive_seed, RngStream, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Seed-derivation domain separating fault draws from every other
+/// consumer of the master seed.
+const FAULT_SEED_DOMAIN: &str = "idse-faults";
+
+/// A targetable component instance in the Figure-1 chain.
+///
+/// Indices address instances of the M-side stages (`Sensor(0)` is the
+/// first sensor); the 1-side stages are singletons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultComponent {
+    /// The (optional, "1c") load-balancing subprocess.
+    LoadBalancer,
+    /// Sensor instance `i`.
+    Sensor(u8),
+    /// Analyzer instance `i`.
+    Analyzer(u8),
+    /// The monitoring subprocess (the "1" in Analyzer M:1 Monitor).
+    Monitor,
+    /// The (optional, "1c") management console.
+    Manager,
+}
+
+impl FaultComponent {
+    /// Display name, e.g. `analyzer[0]`.
+    pub fn name(self) -> String {
+        match self {
+            FaultComponent::LoadBalancer => "load-balancer".to_owned(),
+            FaultComponent::Sensor(i) => format!("sensor[{i}]"),
+            FaultComponent::Analyzer(i) => format!("analyzer[{i}]"),
+            FaultComponent::Monitor => "monitor".to_owned(),
+            FaultComponent::Manager => "manager".to_owned(),
+        }
+    }
+}
+
+/// A typed fault. Quantities that feed random draws are integral so the
+/// kind itself is totally ordered (the canonical sort key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Kill a component; it restarts after `restart_after` (never, for
+    /// `None` — the paper's "hang" anchor).
+    Crash {
+        /// Which instance dies.
+        component: FaultComponent,
+        /// Downtime before the instance serves again (`None` = forever).
+        restart_after: Option<SimDuration>,
+    },
+    /// Fully partition the tap feed: no record reaches the sensors for
+    /// `duration`.
+    LinkPartition {
+        /// Partition length.
+        duration: SimDuration,
+    },
+    /// Degrade the tap feed: each record is independently lost with
+    /// probability `loss_per_mille`/1000 and survivors arrive
+    /// `extra_latency` late, for `duration`.
+    LinkDegrade {
+        /// Loss probability in thousandths (0–1000).
+        loss_per_mille: u16,
+        /// Added delivery delay for surviving records.
+        extra_latency: SimDuration,
+        /// Degradation length.
+        duration: SimDuration,
+    },
+    /// A co-resident workload steals `steal_percent` of every monitored
+    /// host's CPU for `duration` (host-agent inspection slows or sheds).
+    CpuExhaustion {
+        /// Percent of host CPU capacity stolen (0–100).
+        steal_percent: u8,
+        /// Exhaustion length.
+        duration: SimDuration,
+    },
+    /// The component's clock runs ahead: timestamps it assigns are shifted
+    /// by `offset` for the rest of the run.
+    ClockSkew {
+        /// Whose clock skews.
+        component: FaultComponent,
+        /// The (positive) skew.
+        offset: SimDuration,
+    },
+    /// The analyzer→monitor alert channel silently drops every alert for
+    /// `duration`.
+    AlertChannelDrop {
+        /// Drop-window length.
+        duration: SimDuration,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Sim-time the fault takes effect.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A declarative sim-time schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    label: String,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan. The label names the scenario and seeds every
+    /// stochastic draw the plan's faults make.
+    pub fn new(label: impl Into<String>) -> Self {
+        FaultPlan { label: label.into(), events: Vec::new() }
+    }
+
+    /// The scenario label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Schedule `kind` at `at` (builder form).
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Schedule `kind` at `at`.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// The scheduled events in canonical `(time, kind)` order — the order
+    /// they were inserted in is deliberately unobservable.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort();
+        events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The plan's derived seed: every stochastic draw a fault makes
+    /// (per-record link-loss coin flips) flows from this, so the draws are
+    /// a pure function of the label — never of scheduling.
+    pub fn seed(&self) -> u64 {
+        derive_seed(derive_seed(0, FAULT_SEED_DOMAIN), &self.label)
+    }
+
+    /// Compile to the canonical interval table the pipeline queries.
+    pub fn compile(&self) -> crate::CompiledFaults {
+        crate::CompiledFaults::compile(self)
+    }
+
+    /// A scenario with `components` each crashed once at a stochastic
+    /// time inside `[window_start, window_end)`, restarting after
+    /// `restart_after`. Times are drawn from streams derived via
+    /// [`idse_sim::derive_seed`] from `master_seed`, the plan label and
+    /// the component name — byte-identical on every replay, independent of
+    /// the slice order handed in.
+    pub fn scattered_crashes(
+        label: impl Into<String>,
+        master_seed: u64,
+        components: &[FaultComponent],
+        window_start: SimTime,
+        window_end: SimTime,
+        restart_after: Option<SimDuration>,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new(label);
+        let span = window_end.saturating_since(window_start).as_nanos();
+        for &component in components {
+            let mut rng = RngStream::derive(
+                derive_seed(master_seed, &plan.label),
+                &format!("{FAULT_SEED_DOMAIN}/crash/{}", component.name()),
+            );
+            let offset = if span == 0 { 0 } else { rng.uniform_u64(0, span) };
+            plan.push(
+                window_start + SimDuration::from_nanos(offset),
+                FaultKind::Crash { component, restart_after },
+            );
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_canonical_order() {
+        let a = FaultKind::LinkPartition { duration: SimDuration::from_secs(1) };
+        let b = FaultKind::Crash { component: FaultComponent::Monitor, restart_after: None };
+        let p1 = FaultPlan::new("x").with(SimTime::from_secs(5), a).with(SimTime::from_secs(2), b);
+        let p2 = FaultPlan::new("x").with(SimTime::from_secs(2), b).with(SimTime::from_secs(5), a);
+        assert_eq!(p1.events(), p2.events());
+        assert_eq!(p1.events()[0].at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn seed_depends_only_on_label() {
+        let p1 = FaultPlan::new("s").with(
+            SimTime::ZERO,
+            FaultKind::AlertChannelDrop { duration: SimDuration::from_secs(1) },
+        );
+        let p2 = FaultPlan::new("s");
+        assert_eq!(p1.seed(), p2.seed());
+        assert_ne!(p1.seed(), FaultPlan::new("t").seed());
+    }
+
+    #[test]
+    fn scattered_crashes_are_reproducible_and_slice_order_free() {
+        let comps =
+            [FaultComponent::Sensor(0), FaultComponent::Analyzer(1), FaultComponent::Monitor];
+        let rev: Vec<FaultComponent> = comps.iter().rev().copied().collect();
+        let window = (SimTime::from_secs(1), SimTime::from_secs(9));
+        let mk = |cs: &[FaultComponent]| {
+            FaultPlan::scattered_crashes("burst", 7, cs, window.0, window.1, None).events()
+        };
+        assert_eq!(mk(&comps), mk(&rev));
+        for e in mk(&comps) {
+            assert!(e.at >= window.0 && e.at < window.1, "{:?} outside window", e.at);
+        }
+        assert_ne!(
+            FaultPlan::scattered_crashes("burst", 7, &comps, window.0, window.1, None).events(),
+            FaultPlan::scattered_crashes("burst", 8, &comps, window.0, window.1, None).events(),
+            "a different master seed must move the crash times"
+        );
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let plan = FaultPlan::new("rt").with(
+            SimTime::from_secs(3),
+            FaultKind::LinkDegrade {
+                loss_per_mille: 250,
+                extra_latency: SimDuration::from_millis(5),
+                duration: SimDuration::from_secs(4),
+            },
+        );
+        let json = serde_json::to_string(&plan).expect("plan serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("plan deserializes");
+        assert_eq!(plan, back);
+    }
+}

@@ -28,6 +28,7 @@ use crate::engine::host_agent::{HostAgentConfig, HostAgentEngine};
 use crate::engine::signature::SignatureEngine;
 use crate::engine::{Detection, DetectionEngine, Sensitivity};
 use crate::products::IdsProduct;
+use idse_faults::{CompiledFaults, FaultComponent, FaultStats};
 use idse_net::trace::Trace;
 use idse_net::FlowKey;
 use idse_sim::stats::{DurationSummary, StageCounters};
@@ -35,6 +36,19 @@ use idse_sim::{AuditLevel, EventQueue, HostCpu, SimDuration, SimTime, Simulation
 use idse_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+
+/// Sim-time a rerouting stage pays per retry hop while hunting a live
+/// instance (bounded backoff: `hops * 250 µs`).
+const REROUTE_BACKOFF_NANOS: u64 = 250_000;
+
+/// Bounded capacity of each degraded-mode replay buffer. Alerts beyond
+/// this are lost, not queued — survivability is measured, not faked.
+const REPLAY_LIMIT: usize = 256;
+
+/// Backoff paid after `hops` failed routing attempts.
+fn reroute_backoff(hops: usize) -> SimDuration {
+    SimDuration::from_nanos(REROUTE_BACKOFF_NANOS * hops as u64)
+}
 
 /// Everything a run produces.
 #[derive(Debug)]
@@ -73,6 +87,9 @@ pub struct PipelineOutcome {
     pub host_impact: f64,
     /// Approximate engine state footprint in bytes (Data Storage).
     pub state_bytes: usize,
+    /// What the injected faults did to this run (all-zero when the run
+    /// carried no fault plan).
+    pub fault_stats: FaultStats,
     /// Virtual time the run finished.
     pub finished_at: SimTime,
 }
@@ -108,6 +125,11 @@ pub struct RunConfig {
     /// alert counters, engine match-latency spans and host-CPU samples.
     /// Recording is observation-only: it never changes the run.
     pub telemetry: Telemetry,
+    /// Fault plan injected into the run (`None` = healthy run). Crashes,
+    /// partitions and degradations fire on the sim-time axis; every
+    /// stochastic draw is derived from the plan label, so a faulted run
+    /// replays byte-identically under any scheduling.
+    pub faults: Option<idse_faults::FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -119,6 +141,7 @@ impl Default for RunConfig {
             auto_response: false,
             data_pool: crate::datapool::DataPoolFilter::everything(),
             telemetry: Telemetry::disabled(),
+            faults: None,
         }
     }
 }
@@ -167,6 +190,8 @@ enum Ev {
     AgentDone { rec: u32 },
     /// Analysis of a detection completes; monitor presents it.
     AnalyzerDone { rec: u32, observed: SimTime, det: Detection },
+    /// A crashed component restarts; buffered state replays.
+    Replay,
 }
 
 struct DeploymentWorld<'a> {
@@ -203,6 +228,17 @@ struct DeploymentWorld<'a> {
     blocked_benign: u64,
     rr_next: usize,
     telemetry: Telemetry,
+    // fault injection
+    faults: CompiledFaults,
+    fstats: FaultStats,
+    /// Detections awaiting an analyzer restart: `(rec, observed, det)`.
+    analyzer_replay: Vec<(u32, SimTime, Detection)>,
+    /// Alerts awaiting a monitor restart.
+    monitor_replay: Vec<(u32, SimTime, Detection)>,
+    /// Visible alerts the monitor holds for a crashed manager (1:1c).
+    console_replay: Vec<Alert>,
+    /// Restart instants already scheduled as [`Ev::Replay`].
+    replay_scheduled: Vec<SimTime>,
 }
 
 impl<'a> DeploymentWorld<'a> {
@@ -320,6 +356,16 @@ impl<'a> DeploymentWorld<'a> {
             blocked_benign: 0,
             rr_next: 0,
             telemetry: config.telemetry.clone(),
+            faults: config
+                .faults
+                .as_ref()
+                .map(|p| p.compile())
+                .unwrap_or_else(CompiledFaults::none),
+            fstats: FaultStats::default(),
+            analyzer_replay: Vec::new(),
+            monitor_replay: Vec::new(),
+            console_replay: Vec::new(),
+            replay_scheduled: Vec::new(),
         }
     }
 
@@ -327,6 +373,12 @@ impl<'a> DeploymentWorld<'a> {
         if let Some(lb) = self.lb.as_mut() {
             return lb.route(packet);
         }
+        self.fallback_sensor(packet)
+    }
+
+    /// LB-free routing — also the bypass path when an injected fault kills
+    /// the (optional, 1c) balancing subprocess.
+    fn fallback_sensor(&mut self, packet: &idse_net::Packet) -> usize {
         let n = self.sensors.len();
         match self.fallback_route {
             BalanceStrategy::None => 0,
@@ -336,6 +388,47 @@ impl<'a> DeploymentWorld<'a> {
                 let s = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % n;
                 s
+            }
+        }
+    }
+
+    /// Offer `rec` to `sensor` at `t`, walking to the next live instance
+    /// (the Sensor side of Figure 2's M:M promise) with per-hop retry
+    /// backoff when the preferred target is crashed.
+    fn offer_to_sensor(&mut self, t: SimTime, rec: u32, sensor: usize, queue: &mut EventQueue<Ev>) {
+        let n = self.sensors.len();
+        let mut target = None;
+        for hop in 0..n {
+            let cand = (sensor + hop) % n;
+            if !self.faults.is_down(FaultComponent::Sensor(cand as u8), t) {
+                target = Some((cand, hop));
+                break;
+            }
+        }
+        let Some((cand, hop)) = target else {
+            // Every sensor instance is down: the record is lost.
+            self.fstats.lost_records += 1;
+            self.telemetry.counter(t.as_nanos(), "fault.tap_drop", 1);
+            return;
+        };
+        let mut t = t;
+        if hop > 0 {
+            let backoff = reroute_backoff(hop);
+            self.fstats.rerouted += 1;
+            self.fstats.reroute_delay_total += backoff;
+            self.telemetry.counter(t.as_nanos(), "fault.reroute", 1);
+            t += backoff;
+        }
+        let record = &self.trace.records()[rec as usize];
+        let cost = self.sensor_cost(cand, &record.packet);
+        match self.sensors[cand].serve(t, cost) {
+            ServeOutcome::Done(done) => {
+                self.telemetry.span(t.as_nanos(), done.as_nanos(), "stage.sense");
+                queue.schedule(done, Ev::SensorDone { sensor: cand as u8, rec });
+            }
+            _ => {
+                // Sensor shed or down: packet unmonitored.
+                self.telemetry.counter(t.as_nanos(), "shed.sense", 1);
             }
         }
     }
@@ -356,6 +449,7 @@ impl<'a> DeploymentWorld<'a> {
         now: SimTime,
         rec: u32,
         sensor: usize,
+        observed: SimTime,
         detections: Vec<Detection>,
         queue: &mut EventQueue<Ev>,
     ) {
@@ -365,7 +459,7 @@ impl<'a> DeploymentWorld<'a> {
                 match self.sensors[sensor].serve(now, 400.0) {
                     ServeOutcome::Done(t) => {
                         self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.analyze");
-                        queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
+                        queue.schedule(t, Ev::AnalyzerDone { rec, observed, det });
                     }
                     _ => {
                         // Analysis backlog shed: detection lost.
@@ -373,16 +467,205 @@ impl<'a> DeploymentWorld<'a> {
                     }
                 }
             } else {
-                let a = sensor % self.analyzers.len();
-                match self.analyzers[a].serve(now, 400.0) {
-                    ServeOutcome::Done(t) => {
-                        self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.analyze");
-                        queue.schedule(t, Ev::AnalyzerDone { rec, observed: now, det });
-                    }
-                    _ => {
-                        self.telemetry.counter(now.as_nanos(), "shed.analyze", 1);
+                let n = self.analyzers.len();
+                let base = sensor % n;
+                let mut target = None;
+                for hop in 0..n {
+                    let cand = (base + hop) % n;
+                    if !self.faults.is_down(FaultComponent::Analyzer(cand as u8), now) {
+                        target = Some((cand, hop));
+                        break;
                     }
                 }
+                match target {
+                    Some((cand, hop)) => {
+                        let mut t = now;
+                        if hop > 0 {
+                            // Sensor M:M Analyzer: the sensor retries the
+                            // next live analyzer, paying backoff per hop.
+                            let backoff = reroute_backoff(hop);
+                            self.fstats.rerouted += 1;
+                            self.fstats.reroute_delay_total += backoff;
+                            self.telemetry.counter(now.as_nanos(), "fault.reroute", 1);
+                            t = now + backoff;
+                        }
+                        match self.analyzers[cand].serve(t, 400.0) {
+                            ServeOutcome::Done(done) => {
+                                self.telemetry.span(t.as_nanos(), done.as_nanos(), "stage.analyze");
+                                queue.schedule(done, Ev::AnalyzerDone { rec, observed, det });
+                            }
+                            _ => {
+                                self.telemetry.counter(t.as_nanos(), "shed.analyze", 1);
+                            }
+                        }
+                    }
+                    None => {
+                        // Every analyzer is down. Bounded buffering until
+                        // the earliest restart (state replay); a hang or a
+                        // full buffer loses the detection.
+                        let restart = (0..n)
+                            .filter_map(|i| {
+                                self.faults.restart_at(FaultComponent::Analyzer(i as u8), now)
+                            })
+                            .min();
+                        match restart {
+                            Some(at) if self.analyzer_replay.len() < REPLAY_LIMIT => {
+                                self.analyzer_replay.push((rec, observed, det));
+                                self.fstats.alerts_buffered += 1;
+                                self.telemetry.counter(now.as_nanos(), "fault.buffered", 1);
+                                self.schedule_replay(at, queue);
+                            }
+                            _ => {
+                                self.fstats.lost_alerts += 1;
+                                self.telemetry.counter(now.as_nanos(), "fault.alert_lost", 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedule a [`Ev::Replay`] at `at` once.
+    fn schedule_replay(&mut self, at: SimTime, queue: &mut EventQueue<Ev>) {
+        if !self.replay_scheduled.contains(&at) {
+            self.replay_scheduled.push(at);
+            queue.schedule(at, Ev::Replay);
+        }
+    }
+
+    /// The management console evaluates its response policy for an alert
+    /// made visible at `at`.
+    fn console_react(&mut self, at: SimTime, alert: &Alert) {
+        let blocked_before = self.console.blocked_sources().len();
+        self.console.react(alert);
+        let installed = at + self.console.response_delay();
+        self.telemetry.span(at.as_nanos(), installed.as_nanos(), "stage.manage");
+        if self.console.blocked_sources().len() > blocked_before {
+            self.telemetry.counter(installed.as_nanos(), "manage.block", 1);
+        }
+    }
+
+    /// Monitor-side presentation of a completed analysis, with every
+    /// monitor/manager-side fault applied: alert-channel drops, monitor
+    /// outage buffering (Analyzer M:1 Monitor), clock skew on the
+    /// presentation stamp, and manager-outage alert holding (Monitor 1:1c
+    /// Manager).
+    fn present_alert(
+        &mut self,
+        now: SimTime,
+        rec: u32,
+        observed: SimTime,
+        det: Detection,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        if self.faults.alert_channel_down(now) {
+            // The analyzer→monitor channel eats the alert silently.
+            self.fstats.lost_alerts += 1;
+            self.telemetry.counter(now.as_nanos(), "fault.alert_lost", 1);
+            return;
+        }
+        if self.faults.is_down(FaultComponent::Monitor, now) {
+            match self.faults.restart_at(FaultComponent::Monitor, now) {
+                Some(at) if self.monitor_replay.len() < REPLAY_LIMIT => {
+                    self.monitor_replay.push((rec, observed, det));
+                    self.fstats.alerts_buffered += 1;
+                    self.telemetry.counter(now.as_nanos(), "fault.buffered", 1);
+                    self.schedule_replay(at, queue);
+                }
+                _ => {
+                    self.fstats.lost_alerts += 1;
+                    self.telemetry.counter(now.as_nanos(), "fault.alert_lost", 1);
+                }
+            }
+            return;
+        }
+        let record = &self.trace.records()[rec as usize];
+        let alert = Alert {
+            raised_at: now, // monitor re-stamps on presentation
+            observed_at: observed,
+            trigger: rec as usize,
+            flow: FlowKey::of(&record.packet),
+            class_guess: det.class,
+            severity: det.severity,
+            source: det.source,
+            sensor: 0,
+            detector: det.detector.to_owned(),
+        };
+        // Injected clock skew shifts the monitor's presentation clock.
+        let skew = self.faults.skew(FaultComponent::Monitor, now);
+        if skew > SimDuration::ZERO {
+            self.fstats.skewed_alerts += 1;
+        }
+        match self.monitor.present(now + skew, alert) {
+            Some(visible) => {
+                self.telemetry.span(now.as_nanos(), visible.as_nanos(), "stage.monitor");
+                self.telemetry.counter(visible.as_nanos(), "pipeline.alert", 1);
+                if self.auto_response {
+                    let presented = self.monitor.alerts().last().cloned().expect("just presented");
+                    if self.faults.is_down(FaultComponent::Manager, visible) {
+                        // Monitor 1:1c Manager: the monitor holds
+                        // manager-bound alerts across the outage.
+                        match self.faults.restart_at(FaultComponent::Manager, visible) {
+                            Some(at) if self.console_replay.len() < REPLAY_LIMIT => {
+                                self.console_replay.push(presented);
+                                self.fstats.alerts_buffered += 1;
+                                self.telemetry.counter(visible.as_nanos(), "fault.buffered", 1);
+                                self.schedule_replay(at, queue);
+                            }
+                            _ => {
+                                // The optional manager never returns: the
+                                // operator still sees the alert; only the
+                                // automated response is lost.
+                                self.telemetry.counter(
+                                    visible.as_nanos(),
+                                    "fault.response_lost",
+                                    1,
+                                );
+                            }
+                        }
+                    } else {
+                        self.console_react(visible, &presented);
+                    }
+                }
+            }
+            None => {
+                self.telemetry.counter(now.as_nanos(), "shed.monitor", 1);
+            }
+        }
+    }
+
+    /// A restart instant: drain whichever bounded replay buffers' gating
+    /// component is back up.
+    fn run_replay(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let analyzers_up = (0..self.analyzers.len())
+            .any(|i| !self.faults.is_down(FaultComponent::Analyzer(i as u8), now));
+        if !self.analyzer_replay.is_empty() && analyzers_up {
+            let buffered = std::mem::take(&mut self.analyzer_replay);
+            self.fstats.replayed += buffered.len() as u64;
+            self.telemetry.counter(now.as_nanos(), "fault.replay", buffered.len() as u64);
+            for (rec, observed, det) in buffered {
+                // Re-dispatch on the restarted analyzers; the original
+                // sensing instant survives as `observed`.
+                self.dispatch_detections(now, rec, rec as usize, observed, vec![det], queue);
+            }
+        }
+        if !self.monitor_replay.is_empty() && !self.faults.is_down(FaultComponent::Monitor, now) {
+            let buffered = std::mem::take(&mut self.monitor_replay);
+            self.fstats.replayed += buffered.len() as u64;
+            self.telemetry.counter(now.as_nanos(), "fault.replay", buffered.len() as u64);
+            for (rec, observed, det) in buffered {
+                self.present_alert(now, rec, observed, det, queue);
+            }
+        }
+        if !self.console_replay.is_empty() && !self.faults.is_down(FaultComponent::Manager, now) {
+            let buffered = std::mem::take(&mut self.console_replay);
+            self.fstats.replayed += buffered.len() as u64;
+            self.telemetry.counter(now.as_nanos(), "fault.replay", buffered.len() as u64);
+            for mut alert in buffered {
+                // The restarted manager reacts on its own (restart) clock.
+                alert.raised_at = now;
+                self.console_react(now, &alert);
             }
         }
     }
@@ -420,9 +703,30 @@ impl<'a> DeploymentWorld<'a> {
             + self.analyzers.iter().map(|s| s.failures()).sum::<u32>()
             + self.lb.as_ref().map(|l| l.station.failures()).unwrap_or(0)
             + self.monitor.station.failures();
+        // Injected-fault accounting: recovery counts come straight off the
+        // compiled schedule; anything still in a replay buffer at end of
+        // run never reached its destination.
+        let (crashes, recoveries) = self.faults.crash_recovery_counts(finished_at);
+        self.fstats.crashes_seen = crashes;
+        self.fstats.recoveries_seen = recoveries;
+        let stranded = (self.analyzer_replay.len() + self.monitor_replay.len()) as u64;
+        self.fstats.lost_alerts += stranded;
+        let fault_down =
+            self.faults.outages().iter().any(|o| o.start <= finished_at && finished_at < o.end);
+        for o in self.faults.outages() {
+            if o.start <= finished_at {
+                self.telemetry.span(
+                    o.start.as_nanos(),
+                    o.end.min(finished_at).as_nanos(),
+                    "fault.outage",
+                );
+            }
+        }
+
         let ended_down = self.sensors.iter().any(|s| s.is_down(finished_at))
             || self.analyzers.iter().any(|s| s.is_down(finished_at))
-            || self.lb.as_ref().is_some_and(|l| l.station.is_down(finished_at));
+            || self.lb.as_ref().is_some_and(|l| l.station.is_down(finished_at))
+            || fault_down;
         if failures > 0 {
             self.telemetry.counter(
                 finished_at.as_nanos(),
@@ -462,6 +766,7 @@ impl<'a> DeploymentWorld<'a> {
             ended_down,
             host_impact,
             state_bytes,
+            fault_stats: self.fstats,
             finished_at,
         }
     }
@@ -487,6 +792,16 @@ impl World for DeploymentWorld<'_> {
                         }
                     }
                     return;
+                }
+
+                // Injected CPU exhaustion: a co-resident workload steals
+                // capacity on every monitored host while the window is
+                // active (and releases it after).
+                if !self.faults.is_empty() {
+                    let steal = self.faults.cpu_steal_percent(now);
+                    for cpu in self.host_cpus.values_mut() {
+                        cpu.set_contention_percent(steal);
+                    }
                 }
 
                 // Host agents observe from the host vantage, independent of
@@ -528,39 +843,53 @@ impl World for DeploymentWorld<'_> {
                     self.pool_excluded += 1;
                     return;
                 }
-                let sensor = self.route(packet);
+                // Injected tap faults: a partition loses the record
+                // outright; a degraded feed flips a per-record coin and
+                // delivers survivors late.
+                let mut t0 = now;
+                if !self.faults.is_empty() {
+                    if self.faults.partitioned(now) || self.faults.degrade_drops(now, rec) {
+                        self.fstats.lost_records += 1;
+                        self.telemetry.counter(now.as_nanos(), "fault.tap_drop", 1);
+                        return;
+                    }
+                    if let Some((_, extra)) = self.faults.degrade(now) {
+                        t0 = now + extra;
+                    }
+                }
+                let lb_down =
+                    self.lb.is_some() && self.faults.is_down(FaultComponent::LoadBalancer, t0);
+                let sensor =
+                    if lb_down { self.fallback_sensor(packet) } else { self.route(packet) };
                 // The LB station (if any) is the in-line element.
-                let deliver_at = if let Some(lb) = self.lb.as_mut() {
+                let deliver_at = if lb_down {
+                    // 1c:M fail-open: with the optional balancing
+                    // subprocess dead, the tap feeds the sensors directly
+                    // over the static fallback routing.
+                    self.fstats.lb_bypassed += 1;
+                    self.telemetry.counter(t0.as_nanos(), "fault.lb_bypass", 1);
+                    Some(t0)
+                } else if let Some(lb) = self.lb.as_mut() {
                     let cost = 20.0 + 0.05 * packet.payload.len() as f64;
-                    match lb.station.serve(now, cost) {
+                    match lb.station.serve(t0, cost) {
                         ServeOutcome::Done(t) => {
                             if self.tap == TapMode::Inline {
                                 self.induced_latency.record(t.saturating_since(now));
                             }
-                            self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.load_balance");
+                            self.telemetry.span(t0.as_nanos(), t.as_nanos(), "stage.load_balance");
                             Some(t)
                         }
                         _ => {
                             // LB shed: packet unmonitored (fail-open).
-                            self.telemetry.counter(now.as_nanos(), "shed.load_balance", 1);
+                            self.telemetry.counter(t0.as_nanos(), "shed.load_balance", 1);
                             None
                         }
                     }
                 } else {
-                    Some(now)
+                    Some(t0)
                 };
                 if let Some(t) = deliver_at {
-                    let cost = self.sensor_cost(sensor, packet);
-                    match self.sensors[sensor].serve(t, cost) {
-                        ServeOutcome::Done(done) => {
-                            self.telemetry.span(t.as_nanos(), done.as_nanos(), "stage.sense");
-                            queue.schedule(done, Ev::SensorDone { sensor: sensor as u8, rec });
-                        }
-                        _ => {
-                            // Sensor shed or down: packet unmonitored.
-                            self.telemetry.counter(t.as_nanos(), "shed.sense", 1);
-                        }
-                    }
+                    self.offer_to_sensor(t, rec, sensor, queue);
                 }
             }
 
@@ -582,7 +911,7 @@ impl World for DeploymentWorld<'_> {
                 if let Some(e) = self.sensor_ano[sensor].as_mut() {
                     detections.extend(e.inspect(now, &record.packet));
                 }
-                self.dispatch_detections(now, rec, sensor, detections, queue);
+                self.dispatch_detections(now, rec, sensor, now, detections, queue);
             }
 
             Ev::AgentDone { rec } => {
@@ -595,50 +924,17 @@ impl World for DeploymentWorld<'_> {
                 // Agent reports go to analyzer 0 (the aggregation point).
                 if !detections.is_empty() {
                     let sensor = 0;
-                    self.dispatch_detections(now, rec, sensor, detections, queue);
+                    self.dispatch_detections(now, rec, sensor, now, detections, queue);
                 }
             }
 
             Ev::AnalyzerDone { rec, observed, det } => {
-                let record = &self.trace.records()[rec as usize];
-                let alert = Alert {
-                    raised_at: now, // monitor re-stamps on presentation
-                    observed_at: observed,
-                    trigger: rec as usize,
-                    flow: FlowKey::of(&record.packet),
-                    class_guess: det.class,
-                    severity: det.severity,
-                    source: det.source,
-                    sensor: 0,
-                    detector: det.detector.to_owned(),
-                };
-                match self.monitor.present(now, alert) {
-                    Some(visible) => {
-                        self.telemetry.span(now.as_nanos(), visible.as_nanos(), "stage.monitor");
-                        self.telemetry.counter(visible.as_nanos(), "pipeline.alert", 1);
-                        if self.auto_response {
-                            let presented =
-                                self.monitor.alerts().last().cloned().expect("just presented");
-                            let blocked_before = self.console.blocked_sources().len();
-                            self.console.react(&presented);
-                            // The managing subprocess evaluates the
-                            // response policy for every visible alert.
-                            let installed = visible + self.console.response_delay();
-                            self.telemetry.span(
-                                visible.as_nanos(),
-                                installed.as_nanos(),
-                                "stage.manage",
-                            );
-                            if self.console.blocked_sources().len() > blocked_before {
-                                self.telemetry.counter(installed.as_nanos(), "manage.block", 1);
-                            }
-                        }
-                    }
-                    None => {
-                        self.telemetry.counter(now.as_nanos(), "shed.monitor", 1);
-                    }
-                }
+                self.present_alert(now, rec, observed, det, queue);
                 let _ = self.sensitivity;
+            }
+
+            Ev::Replay => {
+                self.run_replay(now, queue);
             }
         }
     }
@@ -863,6 +1159,152 @@ mod tests {
             .run(&benign(2, 10, 20.0));
         let s = summarize(&lb_sink.events());
         assert!(s.span("stage.load_balance").is_some(), "LB stage missing");
+    }
+
+    mod faults {
+        use super::*;
+        use idse_faults::{FaultComponent, FaultKind, FaultPlan};
+
+        fn run_with(plan: Option<FaultPlan>) -> PipelineOutcome {
+            let product = IdsProduct::model(ProductId::NidSentry);
+            let cfg = RunConfig {
+                sensitivity: Sensitivity::new(0.7),
+                faults: plan,
+                ..RunConfig::default()
+            };
+            PipelineRunner::new(product, cfg).with_training(benign(1, 10, 20.0)).run(&mixed(3, 30))
+        }
+
+        #[test]
+        fn unfaulted_runs_report_quiet_stats() {
+            let out = run_with(None);
+            assert!(out.fault_stats.is_quiet());
+            assert_eq!(out.fault_stats, FaultStats::default());
+        }
+
+        #[test]
+        fn monitor_outage_buffers_alerts_and_replays_on_restart() {
+            let baseline = run_with(None);
+            let plan = FaultPlan::new("monitor-blink").with(
+                SimTime::from_secs(5),
+                FaultKind::Crash {
+                    component: FaultComponent::Monitor,
+                    restart_after: Some(SimDuration::from_secs(10)),
+                },
+            );
+            let out = run_with(Some(plan));
+            assert!(out.fault_stats.alerts_buffered > 0, "outage window must buffer");
+            assert!(out.fault_stats.replayed > 0, "restart must replay the buffer");
+            assert_eq!(out.fault_stats.crashes_seen, 1);
+            assert_eq!(out.fault_stats.recoveries_seen, 1);
+            assert!(!out.ended_down, "recovered run must not end down");
+            // Buffering holds alerts; the bounded buffer may lose some,
+            // but the recovered pipeline keeps most of the detections.
+            assert!(!out.alerts.is_empty());
+            assert!(
+                out.alerts.len() + out.fault_stats.lost_alerts as usize
+                    >= baseline.alerts.len() / 2
+            );
+        }
+
+        #[test]
+        fn monitor_hang_loses_alerts_and_ends_down() {
+            let plan = FaultPlan::new("monitor-hang").with(
+                SimTime::ZERO,
+                FaultKind::Crash { component: FaultComponent::Monitor, restart_after: None },
+            );
+            let out = run_with(Some(plan));
+            assert!(out.alerts.is_empty(), "a hung monitor presents nothing");
+            assert!(out.fault_stats.lost_alerts > 0);
+            assert!(out.ended_down);
+            assert_eq!(out.fault_stats.recoveries_seen, 0);
+        }
+
+        #[test]
+        fn tap_partition_loses_records() {
+            let baseline = run_with(None);
+            let plan = FaultPlan::new("tap-partition").with(
+                SimTime::from_secs(5),
+                FaultKind::LinkPartition { duration: SimDuration::from_secs(10) },
+            );
+            let out = run_with(Some(plan));
+            assert!(out.fault_stats.lost_records > 0, "partition must eat records");
+            assert!(out.monitored < baseline.monitored);
+        }
+
+        #[test]
+        fn lb_kill_bypasses_and_detection_survives() {
+            // FlowHunter deploys the optional (1c) load balancer.
+            let product = IdsProduct::model(ProductId::FlowHunter);
+            let plan = FaultPlan::new("lb-kill").with(
+                SimTime::ZERO,
+                FaultKind::Crash { component: FaultComponent::LoadBalancer, restart_after: None },
+            );
+            let cfg = RunConfig {
+                sensitivity: Sensitivity::new(0.8),
+                faults: Some(plan),
+                ..RunConfig::default()
+            };
+            let out = PipelineRunner::new(product, cfg)
+                .with_training(benign(5, 15, 25.0))
+                .run(&mixed(4, 20));
+            assert!(out.fault_stats.lb_bypassed > 0, "dead LB must be bypassed");
+            assert!(!out.alerts.is_empty(), "fail-open keeps detection alive");
+        }
+
+        #[test]
+        fn sensor_crash_reroutes_to_live_instance() {
+            // GuardSecure fields several sensors; kill the first for a
+            // while and watch records hop to its neighbors.
+            let product = IdsProduct::model(ProductId::GuardSecure);
+            let plan = FaultPlan::new("sensor-kill").with(
+                SimTime::from_secs(2),
+                FaultKind::Crash {
+                    component: FaultComponent::Sensor(0),
+                    restart_after: Some(SimDuration::from_secs(20)),
+                },
+            );
+            let cfg = RunConfig {
+                sensitivity: Sensitivity::new(0.7),
+                faults: Some(plan),
+                ..RunConfig::default()
+            };
+            let out = PipelineRunner::new(product, cfg)
+                .with_training(benign(1, 10, 20.0))
+                .run(&mixed(3, 30));
+            assert!(out.fault_stats.rerouted > 0, "records must hop to a live sensor");
+            assert!(out.fault_stats.mean_reroute() > SimDuration::ZERO);
+            assert!(!out.alerts.is_empty(), "rerouted records still detect");
+        }
+
+        #[test]
+        fn faulted_runs_replay_byte_identically() {
+            let plan = || {
+                FaultPlan::new("replay-check")
+                    .with(
+                        SimTime::from_secs(3),
+                        FaultKind::LinkDegrade {
+                            loss_per_mille: 300,
+                            extra_latency: SimDuration::from_millis(2),
+                            duration: SimDuration::from_secs(8),
+                        },
+                    )
+                    .with(
+                        SimTime::from_secs(6),
+                        FaultKind::Crash {
+                            component: FaultComponent::Monitor,
+                            restart_after: Some(SimDuration::from_secs(5)),
+                        },
+                    )
+            };
+            let a = run_with(Some(plan()));
+            let b = run_with(Some(plan()));
+            assert_eq!(a.alerts, b.alerts);
+            assert_eq!(a.fault_stats, b.fault_stats);
+            assert_eq!(a.monitored, b.monitored);
+            assert_eq!(a.missed, b.missed);
+            assert!(!a.fault_stats.is_quiet());
+        }
     }
 
     #[test]

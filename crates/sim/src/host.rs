@@ -77,6 +77,9 @@ pub struct HostCpu {
     busy_until: SimTime,
     /// Longest tolerated backlog before rejecting work.
     max_backlog: SimDuration,
+    /// Fraction of capacity stolen by an injected co-resident load
+    /// (`idse-faults` CPU-exhaustion hook); 0 when unfaulted.
+    contention: f64,
     production_ops: f64,
     ids_ops: f64,
     audit_ops: f64,
@@ -93,6 +96,7 @@ impl HostCpu {
             audit: AuditLevel::Off,
             busy_until: SimTime::ZERO,
             max_backlog,
+            contention: 0.0,
             production_ops: 0.0,
             ids_ops: 0.0,
             audit_ops: 0.0,
@@ -108,6 +112,21 @@ impl HostCpu {
     /// Configured audit level.
     pub fn audit_level(&self) -> AuditLevel {
         self.audit
+    }
+
+    /// Fault-injection hook: a co-resident workload steals `percent` of
+    /// this host's capacity (clamped to 0–95 so the host never fully
+    /// stalls); subsequent work serves at the reduced rate. Pass 0 to
+    /// clear.
+    pub fn set_contention_percent(&mut self, percent: u8) {
+        self.contention = f64::from(percent.min(95)) / 100.0;
+    }
+
+    /// Injected contention as a percent of capacity (0 when unfaulted).
+    pub fn contention_percent(&self) -> u8 {
+        // Inverse of `set_contention_percent`'s exact /100.0; rounding
+        // guards against representation noise.
+        (self.contention * 100.0).round() as u8
     }
 
     /// Submit production work of `ops` units at `now`. Audit overhead is
@@ -138,7 +157,8 @@ impl HostCpu {
             return CpuVerdict::Overloaded;
         }
         let start = self.busy_until.max(now);
-        let service = SimDuration::from_secs_f64(ops / self.capacity_ops);
+        let effective = self.capacity_ops * (1.0 - self.contention);
+        let service = SimDuration::from_secs_f64(ops / effective);
         let done = start + service;
         self.busy_until = done;
         CpuVerdict::Completed { at: done }
@@ -252,6 +272,25 @@ mod tests {
         let now = SimTime::from_secs(1);
         assert!((cpu.utilization(now) - 0.8).abs() < 1e-12);
         assert!((cpu.ids_impact(now) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_slows_service_without_touching_accounting() {
+        let mut cpu = HostCpu::new(100.0, SimDuration::from_secs(10));
+        cpu.set_contention_percent(50);
+        assert_eq!(cpu.contention_percent(), 50);
+        // 50 ops at an effective 50 ops/s: one full second.
+        match cpu.execute_ids(SimTime::ZERO, 50.0) {
+            CpuVerdict::Completed { at } => assert_eq!(at, SimTime::from_secs(1)),
+            CpuVerdict::Overloaded => panic!("within backlog bound"),
+        }
+        // Impact is still denominated in nominal capacity.
+        assert!((cpu.ids_impact(SimTime::from_secs(1)) - 0.5).abs() < 1e-12);
+        cpu.set_contention_percent(0);
+        assert_eq!(cpu.contention_percent(), 0);
+        // The clamp keeps a fully-stolen host serving (slowly).
+        cpu.set_contention_percent(200);
+        assert_eq!(cpu.contention_percent(), 95);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! experiments push links and stages past saturation, so the buffer bound
 //! and drop accounting here must be exact.
 
+use crate::rng::RngStream;
 use crate::stats::StageCounters;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,12 @@ pub struct Link {
     counters: StageCounters,
     bytes_sent: u64,
     bytes_dropped: u64,
+    /// Injected partition window `[start, end)` (`idse-faults` hook).
+    partition: Option<(SimTime, SimTime)>,
+    /// Injected degradation: loss probability (per mille), added latency,
+    /// and the seeded stream the loss coin flips draw from.
+    degrade: Option<(u16, SimDuration, RngStream)>,
+    faulted_drops: u64,
 }
 
 impl Link {
@@ -99,7 +106,41 @@ impl Link {
             counters: StageCounters::default(),
             bytes_sent: 0,
             bytes_dropped: 0,
+            partition: None,
+            degrade: None,
+            faulted_drops: 0,
         }
+    }
+
+    /// Fault-injection hook: fully partition the link for `[start, end)`.
+    /// Frames offered inside the window are dropped and counted in
+    /// [`Link::faulted_drops`].
+    pub fn inject_partition(&mut self, start: SimTime, end: SimTime) {
+        self.partition = Some((start, end));
+    }
+
+    /// Fault-injection hook: until [`Link::clear_faults`], each offered
+    /// frame is independently lost with probability `loss_per_mille`/1000
+    /// (coin flips drawn from a stream derived from `seed` — replays are
+    /// byte-identical) and survivors arrive `extra_latency` late.
+    pub fn inject_degrade(&mut self, loss_per_mille: u16, extra_latency: SimDuration, seed: u64) {
+        self.degrade = Some((
+            loss_per_mille.min(1000),
+            extra_latency,
+            RngStream::derive(seed, "link-degrade"),
+        ));
+    }
+
+    /// Remove every injected fault.
+    pub fn clear_faults(&mut self) {
+        self.partition = None;
+        self.degrade = None;
+    }
+
+    /// Frames lost to injected faults (partition windows and loss
+    /// degradation) — a subset of `counters().dropped`.
+    pub fn faulted_drops(&self) -> u64 {
+        self.faulted_drops
     }
 
     /// Configured parameters.
@@ -112,6 +153,26 @@ impl Link {
     /// exceeded the buffer bound.
     pub fn offer(&mut self, now: SimTime, bytes: usize) -> LinkVerdict {
         self.counters.offered += 1;
+        if let Some((start, end)) = self.partition {
+            if start <= now && now < end {
+                self.counters.dropped += 1;
+                self.bytes_dropped += bytes as u64;
+                self.faulted_drops += 1;
+                return LinkVerdict::Dropped;
+            }
+        }
+        let mut fault_latency = SimDuration::ZERO;
+        if let Some((loss_per_mille, extra, rng)) = self.degrade.as_mut() {
+            // Offers are strictly sequential within a run, so advancing
+            // the stream per frame is scheduling-independent.
+            if rng.chance(f64::from(*loss_per_mille) / 1000.0) {
+                self.counters.dropped += 1;
+                self.bytes_dropped += bytes as u64;
+                self.faulted_drops += 1;
+                return LinkVerdict::Dropped;
+            }
+            fault_latency = *extra;
+        }
         // Backlog currently awaiting/under transmission, in time units.
         let backlog = self.busy_until.saturating_since(now);
         let backlog_bytes = backlog.as_secs_f64() * self.config.bandwidth_bps / 8.0;
@@ -125,7 +186,7 @@ impl Link {
         self.busy_until = done;
         self.counters.processed += 1;
         self.bytes_sent += bytes as u64;
-        LinkVerdict::Delivered { arrives_at: done + self.config.propagation }
+        LinkVerdict::Delivered { arrives_at: done + self.config.propagation + fault_latency }
     }
 
     /// When the transmitter becomes idle.
@@ -246,6 +307,42 @@ mod tests {
         l.offer(SimTime::ZERO, 125); // 1 ms busy
         let u = l.utilization(SimTime::from_millis(10));
         assert!((u - 0.1).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let mut l = link_1mbps();
+        l.inject_partition(SimTime::from_millis(10), SimTime::from_millis(20));
+        assert!(matches!(l.offer(SimTime::from_millis(5), 125), LinkVerdict::Delivered { .. }));
+        assert!(matches!(l.offer(SimTime::from_millis(15), 125), LinkVerdict::Dropped));
+        assert!(matches!(l.offer(SimTime::from_millis(25), 125), LinkVerdict::Delivered { .. }));
+        assert_eq!(l.faulted_drops(), 1);
+        l.inject_partition(SimTime::from_millis(30), SimTime::from_millis(40));
+        l.clear_faults();
+        assert!(matches!(l.offer(SimTime::from_millis(35), 125), LinkVerdict::Delivered { .. }));
+    }
+
+    #[test]
+    fn degrade_loses_frames_reproducibly_and_delays_survivors() {
+        let run = |seed: u64| {
+            let mut l = link_1mbps();
+            l.inject_degrade(300, SimDuration::from_millis(7), seed);
+            (0..200u64)
+                .map(|i| match l.offer(SimTime::from_millis(i * 50), 125) {
+                    LinkVerdict::Delivered { arrives_at } => arrives_at.as_nanos(),
+                    LinkVerdict::Dropped => 0,
+                })
+                .collect::<Vec<u64>>()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed must replay byte-identically");
+        assert_ne!(a, run(43), "a different seed must reshuffle the losses");
+        let lost = a.iter().filter(|&&x| x == 0).count();
+        assert!((30..90).contains(&lost), "~30% of 200 should drop, got {lost}");
+        // A surviving frame pays serialization + propagation + injected
+        // extra latency.
+        let first = a.iter().find(|&&x| x != 0).copied().expect("some frames survive");
+        assert!(first >= SimDuration::from_millis(7).as_nanos());
     }
 
     #[test]

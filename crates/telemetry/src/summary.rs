@@ -60,6 +60,12 @@ pub struct GaugeStats {
 pub struct TelemetrySummary {
     /// Sim-time extent of the observed events (first..last stamp).
     pub window_ns: u64,
+    /// Events the ring buffer evicted before this summary was taken —
+    /// nonzero means the statistics below describe a truncated window
+    /// and should be read with suspicion. Populated by
+    /// [`summarize_sink`]; plain [`summarize`] cannot see the sink and
+    /// leaves it 0.
+    pub dropped_events: u64,
     pub spans: Vec<SpanStats>,
     pub counters: Vec<CounterStats>,
     pub gauges: Vec<GaugeStats>,
@@ -88,6 +94,12 @@ impl TelemetrySummary {
             "telemetry summary (window {:.3} ms sim-time)\n",
             self.window_ns as f64 / 1e6
         ));
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "  dropped_events {:>26} (ring buffer evicted; stats cover a truncated window)\n",
+                self.dropped_events
+            ));
+        }
         if !self.spans.is_empty() {
             out.push_str(&format!(
                 "  {:<28} {:>8} {:>11} {:>11} {:>11} {:>11} {:>8}\n",
@@ -243,7 +255,27 @@ pub fn summarize(events: &[Event]) -> TelemetrySummary {
         })
         .collect();
 
-    TelemetrySummary { window_ns, spans, counters: counters.into_values().collect(), gauges }
+    TelemetrySummary {
+        window_ns,
+        dropped_events: 0,
+        spans,
+        counters: counters.into_values().collect(),
+        gauges,
+    }
+}
+
+/// Summarize a [`MemorySink`]'s current contents, including its eviction
+/// count as [`TelemetrySummary::dropped_events`].
+///
+/// Prefer this over `summarize(&sink.events())` when the sink is at hand:
+/// a summary that silently described a truncated event window used to be
+/// indistinguishable from a complete one.
+///
+/// [`MemorySink`]: crate::MemorySink
+pub fn summarize_sink(sink: &crate::MemorySink) -> TelemetrySummary {
+    let mut summary = summarize(&sink.events());
+    summary.dropped_events = sink.dropped();
+    summary
 }
 
 #[cfg(test)]
@@ -311,6 +343,25 @@ mod tests {
         assert!(text.contains("stage.sense"));
         assert!(text.contains("pipeline.alert"));
         assert!(text.contains("queue.depth"));
+    }
+
+    #[test]
+    fn sink_summary_surfaces_dropped_events() {
+        let sink = MemorySink::new(4);
+        let tel = Telemetry::new(sink.clone());
+        for i in 0..10 {
+            tel.counter(i, "pipeline.alert", 1);
+        }
+        let s = summarize_sink(&sink);
+        assert_eq!(s.dropped_events, 6);
+        assert!(s.render_text().contains("dropped_events"));
+
+        // A sink that never overflowed reports 0 and stays silent.
+        let quiet = MemorySink::new(64);
+        Telemetry::new(quiet.clone()).counter(1, "pipeline.alert", 1);
+        let q = summarize_sink(&quiet);
+        assert_eq!(q.dropped_events, 0);
+        assert!(!q.render_text().contains("dropped_events"));
     }
 
     #[test]

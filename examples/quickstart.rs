@@ -38,7 +38,7 @@ fn main() {
     );
 
     // 2. Evaluate a product: runs the Figure 4 sweep, accuracy, timing and
-    //    throughput experiments, and fills a 52-metric scorecard.
+    //    throughput experiments, and fills a 56-metric scorecard.
     let product = IdsProduct::model(ProductId::GuardSecure);
     let eval = request.evaluate(&product, &feed);
     println!(
