@@ -222,7 +222,7 @@ pub enum Tier {
 pub fn crate_tier(crate_name: &str) -> Tier {
     match crate_name {
         "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" | "idse-exec"
-        | "idse-faults" => Tier::Strict,
+        | "idse-faults" | "idse-store" => Tier::Strict,
         "idse-ids" | "idse-eval" | "idse-traffic" | "idse-attacks" => Tier::Standard,
         _ => Tier::Tooling,
     }
@@ -231,8 +231,8 @@ pub fn crate_tier(crate_name: &str) -> Tier {
 /// Crates whose report paths must iterate deterministically.
 const REPORT_CRATES: [&str; 2] = ["idse-eval", "idse-core"];
 /// Crates where sim time is the only legal clock.
-const SIM_CLOCK_CRATES: [&str; 5] =
-    ["idse-sim", "idse-ids", "idse-net", "idse-telemetry", "idse-faults"];
+const SIM_CLOCK_CRATES: [&str; 6] =
+    ["idse-sim", "idse-ids", "idse-net", "idse-telemetry", "idse-faults", "idse-store"];
 
 /// The hazard classes the taint pass propagates along the call graph.
 ///

@@ -5,6 +5,7 @@
 //!          [--weighting realtime|ecommerce|uniform] [--sweep STEPS]
 //!          [--intensity N] [--jobs N] [--json PATH]
 //!          [--telemetry-out PATH] [--telemetry-summary]
+//!          [--store DIR] [--stamp S] [--git-rev REV]
 //! ```
 //!
 //! Runs the canned-feed evaluation of all four products, prints the
@@ -22,6 +23,12 @@
 //! (per-stage spans, shed/alert counters, queue-depth and CPU gauges) as
 //! JSONL; with `--telemetry-summary` it prints a per-product per-stage
 //! aggregation after the ranking.
+//!
+//! With `--store DIR` the run is committed to the provenance-keyed run
+//! store at DIR (see `store --help` for querying). `--stamp` annotates
+//! the run header with an opaque timestamp and `--git-rev` folds a
+//! revision into provenance; both are caller-supplied, never read from
+//! the environment, so records stay byte-stable.
 
 use idse_bench::cli;
 use idse_bench::STANDARD_SEED;
@@ -29,7 +36,7 @@ use idse_core::report::{render_comparison, render_ranking};
 use idse_core::{RequirementSet, Scorecard, WeightSet};
 use idse_eval::feeds::{FeedConfig, TestFeed};
 use idse_eval::measure::EnvironmentNeeds;
-use idse_eval::EvaluationRequest;
+use idse_eval::{EvaluationRequest, Provenance, StoreSpec};
 use idse_sim::SimDuration;
 use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 use idse_traffic::SiteProfile;
@@ -41,7 +48,8 @@ const TELEMETRY_CAPACITY: usize = 1 << 21;
 const USAGE: &str = "usage: evaluate [--profile cluster|web|office] [--seed N] [--rate R]\n\
                      \x20               [--weighting realtime|ecommerce|uniform] [--sweep STEPS]\n\
                      \x20               [--intensity N] [--jobs N] [--json PATH]\n\
-                     \x20               [--telemetry-out PATH] [--telemetry-summary]";
+                     \x20               [--telemetry-out PATH] [--telemetry-summary]\n\
+                     \x20               [--store DIR] [--stamp S] [--git-rev REV]";
 
 fn main() {
     let mut args = cli::Args::parse(USAGE);
@@ -52,6 +60,9 @@ fn main() {
     let intensity: u32 = args.opt_parsed("--intensity").unwrap_or(2);
     let telemetry_out = args.opt("--telemetry-out");
     let telemetry_summary = args.flag("--telemetry-summary");
+    let store_dir = args.opt("--store");
+    let stamp = args.opt("--stamp");
+    let git_rev = args.opt("--git-rev");
     let common = args.finish();
     let seed = common.seed_or(STANDARD_SEED);
 
@@ -100,6 +111,16 @@ fn main() {
             sink.as_ref().map(|s| Telemetry::new(s.clone())).unwrap_or_else(Telemetry::disabled),
         )
         .with_jobs(common.jobs);
+    let request = match &store_dir {
+        Some(dir) => request.with_store_spec(
+            StoreSpec::new(dir)
+                .with_stamp(stamp.clone())
+                .with_git_rev(git_rev.clone())
+                .with_profile(profile.name.clone())
+                .with_weighting(weights.name.clone()),
+        ),
+        None => request,
+    };
 
     eprintln!(
         "evaluating 4 products on the {:?} profile (seed {:#x}, {} sweep steps, {} worker(s))…",
@@ -160,36 +181,30 @@ fn main() {
     out.finish();
 
     // The report deliberately omits the worker count: `--jobs` must never
-    // change a single output byte, so it is not provenance.
+    // change a single output byte, so it is not provenance. The manifest
+    // is the same `Provenance` the store's run headers carry, plus the
+    // report-only telemetry counters.
+    let mut provenance = Provenance::for_request(&request)
+        .with_profile(feed.profile.name.clone())
+        .with_weighting(weights.name.clone())
+        .with_git_rev(git_rev.clone())
+        .to_value();
+    if let serde_json::Value::Object(pairs) = &mut provenance {
+        pairs.push((
+            "telemetry".to_owned(),
+            serde_json::json!({
+                "enabled": telemetry_wanted,
+                "events_recorded": telemetry_events_recorded,
+                "events_dropped": telemetry_events_dropped,
+            }),
+        ));
+    }
     let report = serde_json::json!({
         "profile": feed.profile.name,
         "seed": seed,
         "weighting": weights.name,
         "standard": weights.ideal_total(),
-        "provenance": serde_json::json!({
-            "crate_version": env!("CARGO_PKG_VERSION"),
-            "seed": seed,
-            "profile": feed.profile.name,
-            "weighting": weights.name,
-            "feed": serde_json::json!({
-                "session_rate": request.feed.session_rate,
-                "training_span_s": request.feed.training_span.as_secs_f64(),
-                "test_span_s": request.feed.test_span.as_secs_f64(),
-                "campaign_intensity": request.feed.campaign_intensity,
-                "seed": request.feed.seed,
-            }),
-            "sensitivity_policy": serde_json::json!({
-                "rule": "min false-negative ratio within the false-positive budget",
-                "fp_budget": request.sweep.fp_budget,
-                "sweep_steps": request.sweep.steps,
-            }),
-            "timebase": "sim-time (deterministic virtual clock; wall time never enters a measurement)",
-            "telemetry": serde_json::json!({
-                "enabled": telemetry_wanted,
-                "events_recorded": telemetry_events_recorded,
-                "events_dropped": telemetry_events_dropped,
-            }),
-        }),
+        "provenance": provenance,
         "products": evals.iter().map(|e| serde_json::json!({
             "name": e.scorecard.system,
             "weighted_total": weights.weighted_total(&e.scorecard),

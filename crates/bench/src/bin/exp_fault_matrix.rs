@@ -4,15 +4,27 @@
 //! Monitor 1:1c Manager) is broken at least once and the four class-2
 //! survivability metrics are measured against a fault-free twin run.
 //!
+//! With `--store DIR` the matrix is committed to the provenance-keyed
+//! run store, one product key per cell (`product@scenario`), so
+//! `store diff` can compare survivability across commits.
+//!
 //! [`fault_scenarios`]: idse_eval::experiments::fault_scenarios
 
 use idse_bench::{cli, outln, table, STANDARD_SEED};
 use idse_eval::experiments::{fault_matrix_experiment, fault_scenarios};
+use idse_eval::provenance::{record_fault_matrix, StoreSpec};
 use idse_ids::products::IdsProduct;
 
+const USAGE: &str = "usage: exp_fault_matrix [--seed N] [--jobs N] [--json PATH] [--out PATH]\n\
+                     \x20                       [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) =
-        cli::shell("usage: exp_fault_matrix [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store_dir = args.opt("--store");
+    let stamp = args.opt("--stamp");
+    let git_rev = args.opt("--git-rev");
+    let common = args.finish();
+    let mut out = cli::Out::new(&common);
     let seed = common.seed_or(STANDARD_SEED);
     let exec = common.executor();
 
@@ -64,6 +76,22 @@ fn main() {
     outln!(out, "replay instead, trading alert latency for loss. Degradation scenarios (CPU");
     outln!(out, "steal, lossy tap, clock skew) erode retention without tripping any reroute.");
     out.finish();
+
+    if let Some(dir) = &store_dir {
+        let spec = StoreSpec::new(dir).with_stamp(stamp).with_git_rev(git_rev);
+        match record_fault_matrix(&spec, &scenarios, &rows, 0.7, seed) {
+            Ok(run) => eprintln!(
+                "recorded run {} ({} records) in {}",
+                run.header.run_id,
+                run.header.records,
+                spec.dir.display()
+            ),
+            Err(e) => {
+                eprintln!("error: run store recording failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if common.json.is_some() {
         common.write_json(&serde_json::json!({

@@ -151,6 +151,14 @@ impl Args {
         }
     }
 
+    /// Consume the next positional argument (the first remaining arg not
+    /// starting with `--`). Pull all `--` flags off first — a flag's
+    /// value would otherwise look positional.
+    pub fn positional(&mut self) -> Option<String> {
+        let i = self.rest.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.rest.remove(i))
+    }
+
     /// Consume the shared flags; error out on anything still unclaimed.
     pub fn finish(self) -> Common {
         match self.try_finish() {
@@ -298,6 +306,18 @@ mod tests {
         assert!(!args.flag("--verbose"), "flags consume");
         let common = args.try_finish().expect("only shared flags remain");
         assert_eq!(common.jobs, 2);
+    }
+
+    #[test]
+    fn positionals_come_off_in_order_after_flags() {
+        let mut args = Args::from_vec(vec_of(&["diff", "--dir", "runs", "rAAAA", "rBBBB"]));
+        let dir = args.opt("--dir");
+        assert_eq!(dir.as_deref(), Some("runs"));
+        assert_eq!(args.positional().as_deref(), Some("diff"));
+        assert_eq!(args.positional().as_deref(), Some("rAAAA"));
+        assert_eq!(args.positional().as_deref(), Some("rBBBB"));
+        assert_eq!(args.positional(), None);
+        args.try_finish().expect("nothing left over");
     }
 
     #[test]

@@ -771,6 +771,38 @@ pub fn metrics_of_class(class: MetricClass) -> Vec<MetricDef> {
     catalog().into_iter().filter(|m| m.class == class).collect()
 }
 
+/// A 64-bit FNV-1a fingerprint over every field of every catalog entry,
+/// in catalog order. Downstream stores stamp this into persisted run
+/// headers: any change to a metric's identity, wording, anchors, or
+/// table membership moves the fingerprint, so historical runs no longer
+/// claim comparability with the revised catalog.
+pub fn fingerprint() -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |text: &str| {
+        for byte in text.bytes().chain(std::iter::once(0x1f)) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix("idse-core-catalog/v1");
+    for def in catalog() {
+        mix(&format!("{:?}", def.id));
+        mix(def.name);
+        mix(def.class.name());
+        mix(def.description);
+        for method in def.methods {
+            mix(&format!("{method:?}"));
+        }
+        mix(if def.in_paper_table { "table" } else { "listed" });
+        mix(def.anchors.low);
+        mix(def.anchors.average);
+        mix(def.anchors.high);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -815,6 +847,12 @@ mod tests {
             assert!(!m.methods.is_empty(), "{}", m.name);
             assert!(!m.anchors.low.is_empty() && !m.anchors.high.is_empty(), "{}", m.name);
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(fingerprint(), fingerprint(), "pure function of the catalog");
+        assert_ne!(fingerprint(), 0xcbf2_9ce4_8422_2325, "mixes real content");
     }
 
     #[test]

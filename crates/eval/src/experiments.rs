@@ -342,6 +342,19 @@ pub struct FaultMatrixRow {
     pub replayed: u64,
 }
 
+/// The standard X7 feed: the scenario timings in [`fault_scenarios`]
+/// assume this 50 s test span. Exported so run provenance can state the
+/// exact feed the matrix ran on.
+pub fn fault_matrix_feed_config(seed: u64) -> FeedConfig {
+    FeedConfig {
+        session_rate: 25.0,
+        training_span: SimDuration::from_secs(25),
+        test_span: SimDuration::from_secs(50),
+        campaign_intensity: 1,
+        seed,
+    }
+}
+
 /// Run the X7 component × fault-type grid: every product crossed with
 /// every scenario, in parallel on `exec`, each cell scored against that
 /// product's fault-free baseline run on the identical feed.
@@ -355,13 +368,7 @@ pub fn fault_matrix_experiment(
     seed: u64,
     exec: &Executor,
 ) -> Vec<FaultMatrixRow> {
-    let fc = FeedConfig {
-        session_rate: 25.0,
-        training_span: SimDuration::from_secs(25),
-        test_span: SimDuration::from_secs(50),
-        campaign_intensity: 1,
-        seed,
-    };
+    let fc = fault_matrix_feed_config(seed);
     let feed = TestFeed::realtime_cluster(&fc);
     let true_alerts = |alerts: &[idse_ids::alert::Alert]| {
         alerts.iter().filter(|a| feed.test.records()[a.trigger].truth.is_some()).count() as u64

@@ -76,6 +76,12 @@ pub struct EvaluationRequest {
     /// four survivability metrics are measured against the fault-free
     /// twin; when `None` they fall back to static architecture analysis.
     pub fault_plan: Option<FaultPlan>,
+    /// Run store to record into. When set, every
+    /// [`EvaluationRequest::evaluate_products`] call commits its results
+    /// (all 56 discrete scores plus the continuous measurements, under a
+    /// provenance-keyed header) to the store after the reduce. Recording
+    /// failure degrades to a warning — observability never aborts a run.
+    pub store: Option<crate::provenance::StoreSpec>,
 }
 
 impl Default for EvaluationRequest {
@@ -88,6 +94,7 @@ impl Default for EvaluationRequest {
             telemetry: idse_telemetry::Telemetry::disabled(),
             jobs: 1,
             fault_plan: None,
+            store: None,
         }
     }
 }
@@ -151,6 +158,19 @@ impl EvaluationRequest {
     /// This request measuring survivability under `plan`.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// This request recording every evaluation into the run store at
+    /// `dir` (see [`crate::provenance`]).
+    pub fn with_store(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_store_spec(crate::provenance::StoreSpec::new(dir))
+    }
+
+    /// This request recording with a fully-annotated store spec (stamp,
+    /// git rev, profile/weighting labels).
+    pub fn with_store_spec(mut self, spec: crate::provenance::StoreSpec) -> Self {
+        self.store = Some(spec);
         self
     }
 
@@ -312,7 +332,7 @@ impl EvaluationRequest {
             probe_results.into_iter().map(|r| (r.key, r.output)).collect();
 
         // Reduce 2b: fill the scorecards in input product order.
-        products
+        let evaluations: Vec<ProductEvaluation> = products
             .iter()
             .map(|product| {
                 let name = product.id.name();
@@ -344,7 +364,22 @@ impl EvaluationRequest {
                     faulted.map(|b| *b),
                 )
             })
-            .collect()
+            .collect();
+
+        // Recording happens here, in the single-threaded reduce, so the
+        // store bytes are independent of the worker count by construction.
+        if let Some(spec) = &self.store {
+            match crate::provenance::record_evaluation(spec, self, &evaluations) {
+                Ok(run) => eprintln!(
+                    "recorded run {} ({} records) in {}",
+                    run.header.run_id,
+                    run.header.records,
+                    spec.dir.display()
+                ),
+                Err(e) => eprintln!("warning: run store recording failed: {e}"),
+            }
+        }
+        evaluations
     }
 
     /// The scorecard fill: convert one product's measurements through the
@@ -730,6 +765,7 @@ impl From<&EvaluationConfig> for EvaluationRequest {
             telemetry: config.telemetry.clone(),
             jobs: 1,
             fault_plan: None,
+            store: None,
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod harness;
 pub mod host_overhead;
 pub mod measure;
 pub mod operator;
+pub mod provenance;
 pub mod sweep;
 pub mod throughput;
 pub mod timing;
@@ -48,6 +49,7 @@ pub mod vendor;
 pub use confusion::{ConfusionCounts, TransactionLedger};
 pub use feeds::TestFeed;
 pub use harness::{EvaluationRequest, ProductEvaluation};
+pub use provenance::{record_evaluation, record_fault_matrix, Provenance, StoreSpec};
 pub use sweep::SweepPlan;
 
 #[allow(deprecated)]

@@ -1,0 +1,489 @@
+//! Shared run provenance and the bridge into `idse-store`.
+//!
+//! Two consumers need the same provenance document: the `evaluate --json`
+//! report manifest and the persisted run header in the store. This module
+//! holds the one [`Provenance`] struct both serialize, so the two can
+//! never drift, plus the recording glue ([`record_evaluation`],
+//! [`record_fault_matrix`]) that turns harness results into store runs.
+//!
+//! Everything here follows the harness's determinism contract: the worker
+//! count is deliberately *absent* (results are byte-identical at any
+//! `--jobs N`, attested by [`JOBS_INDEPENDENCE`]), wall time never
+//! appears, and timestamps only ride along as an opaque caller-supplied
+//! stamp that is excluded from run identity.
+
+use crate::experiments::{FaultMatrixRow, FaultScenario};
+use crate::feeds::FeedConfig;
+use crate::harness::{EvaluationRequest, ProductEvaluation};
+use crate::sweep::SweepPlan;
+use idse_faults::FaultPlan;
+use idse_store::{fnv64, RunDraft, RunStore, StoreError, StoredRun};
+use idse_telemetry::summary::summarize;
+use idse_telemetry::Telemetry;
+use serde::Serialize;
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// The jobs-independence attestation stamped into every run header: why
+/// the worker count is not part of provenance.
+pub const JOBS_INDEPENDENCE: &str = "scorecards, curves and telemetry are byte-identical at any \
+                                     --jobs N; the worker count changes only wall time and is \
+                                     deliberately excluded from provenance";
+
+/// The timebase attestation: no measurement ever reads the wall clock.
+pub const TIMEBASE: &str =
+    "sim-time (deterministic virtual clock; wall time never enters a measurement)";
+
+/// Feed parameters, flattened for the manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct FeedProvenance {
+    /// Sessions per second of background traffic.
+    pub session_rate: f64,
+    /// Training span, seconds.
+    pub training_span_s: f64,
+    /// Test span, seconds.
+    pub test_span_s: f64,
+    /// Attack-campaign intensity.
+    pub campaign_intensity: u32,
+    /// Feed seed (the master seed of the run).
+    pub seed: u64,
+}
+
+impl FeedProvenance {
+    /// Capture a [`FeedConfig`].
+    pub fn of(feed: &FeedConfig) -> Self {
+        FeedProvenance {
+            session_rate: feed.session_rate,
+            training_span_s: feed.training_span.as_secs_f64(),
+            test_span_s: feed.test_span.as_secs_f64(),
+            campaign_intensity: feed.campaign_intensity,
+            seed: feed.seed,
+        }
+    }
+}
+
+/// How the operating sensitivity was chosen.
+#[derive(Debug, Clone, Serialize)]
+pub struct SensitivityPolicy {
+    /// The selection rule, in words.
+    pub rule: String,
+    /// False-positive budget (budgeted sweeps only).
+    pub fp_budget: Option<f64>,
+    /// Sweep step count (budgeted sweeps only).
+    pub sweep_steps: Option<usize>,
+    /// Low end of the swept sensitivity range.
+    pub sweep_low: Option<f64>,
+    /// High end of the swept sensitivity range.
+    pub sweep_high: Option<f64>,
+    /// The pinned sensitivity (fixed-sensitivity experiments only).
+    pub fixed_sensitivity: Option<f64>,
+}
+
+impl SensitivityPolicy {
+    /// The harness's §3.3 policy: min false-negative ratio within the
+    /// false-positive budget, over `plan`'s sweep ladder.
+    pub fn budgeted(plan: &SweepPlan) -> Self {
+        SensitivityPolicy {
+            rule: "min false-negative ratio within the false-positive budget".to_owned(),
+            fp_budget: Some(plan.fp_budget),
+            sweep_steps: Some(plan.steps),
+            sweep_low: Some(plan.sensitivity_range.0),
+            sweep_high: Some(plan.sensitivity_range.1),
+            fixed_sensitivity: None,
+        }
+    }
+
+    /// A fixed operating sensitivity (the X7 fault matrix).
+    pub fn fixed(sensitivity: f64) -> Self {
+        SensitivityPolicy {
+            rule: "fixed operating sensitivity".to_owned(),
+            fp_budget: None,
+            sweep_steps: None,
+            sweep_low: None,
+            sweep_high: None,
+            fixed_sensitivity: Some(sensitivity),
+        }
+    }
+}
+
+/// Identity of one fault plan: label, event count, and a content hash so
+/// two runs claiming the same plan can be checked without replaying it.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultPlanProvenance {
+    /// The plan's label.
+    pub label: String,
+    /// Number of injected fault events.
+    pub events: usize,
+    /// FNV-1a over the plan's canonical JSON, 16 hex digits.
+    pub hash: String,
+}
+
+impl FaultPlanProvenance {
+    /// Capture one plan.
+    pub fn of(plan: &FaultPlan) -> Self {
+        let json = serde_json::to_string(plan).expect("a fault plan always serializes");
+        FaultPlanProvenance {
+            label: plan.label().to_owned(),
+            events: plan.len(),
+            hash: format!("{:016x}", fnv64(json.as_bytes())),
+        }
+    }
+}
+
+/// The provenance manifest: everything needed to reproduce a run, shared
+/// verbatim between `evaluate --json` and the store's run headers.
+#[derive(Debug, Clone, Serialize)]
+pub struct Provenance {
+    /// Workspace crate version.
+    pub crate_version: &'static str,
+    /// Master seed (equals the feed seed).
+    pub seed: u64,
+    /// Site profile name, when the caller selected one.
+    pub profile: Option<String>,
+    /// Weighting scheme name, when the caller selected one.
+    pub weighting: Option<String>,
+    /// Git revision of the working tree, when the caller passed one
+    /// (never read from the environment — determinism).
+    pub git_rev: Option<String>,
+    /// Feed parameters.
+    pub feed: FeedProvenance,
+    /// Operating-sensitivity selection policy.
+    pub sensitivity_policy: SensitivityPolicy,
+    /// Every fault plan in play (empty for fault-free runs).
+    pub fault_plans: Vec<FaultPlanProvenance>,
+    /// Why the worker count is absent ([`JOBS_INDEPENDENCE`]).
+    pub jobs_independence: &'static str,
+    /// The timebase attestation ([`TIMEBASE`]).
+    pub timebase: &'static str,
+}
+
+impl Provenance {
+    /// Capture an [`EvaluationRequest`]'s reproducibility surface.
+    pub fn for_request(request: &EvaluationRequest) -> Self {
+        Provenance {
+            crate_version: env!("CARGO_PKG_VERSION"),
+            seed: request.feed.seed,
+            profile: None,
+            weighting: None,
+            git_rev: None,
+            feed: FeedProvenance::of(&request.feed),
+            sensitivity_policy: SensitivityPolicy::budgeted(&request.sweep),
+            fault_plans: request.fault_plan.iter().map(FaultPlanProvenance::of).collect(),
+            jobs_independence: JOBS_INDEPENDENCE,
+            timebase: TIMEBASE,
+        }
+    }
+
+    /// This manifest with a site-profile name attached.
+    pub fn with_profile(mut self, profile: impl Into<String>) -> Self {
+        self.profile = Some(profile.into());
+        self
+    }
+
+    /// This manifest with a weighting-scheme name attached.
+    pub fn with_weighting(mut self, weighting: impl Into<String>) -> Self {
+        self.weighting = Some(weighting.into());
+        self
+    }
+
+    /// This manifest with a git revision attached (pass what your build
+    /// system knows; nothing is read from the environment).
+    pub fn with_git_rev(mut self, git_rev: Option<String>) -> Self {
+        self.git_rev = git_rev;
+        self
+    }
+
+    /// The manifest as a JSON value, field order fixed.
+    pub fn to_value(&self) -> Value {
+        serde_json::to_value(self).expect("provenance always serializes")
+    }
+}
+
+/// Where (and how) a run should be recorded.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSpec {
+    /// The store directory (`runs/` by convention).
+    pub dir: PathBuf,
+    /// Opaque timestamp to annotate the run header with (excluded from
+    /// run identity).
+    pub stamp: Option<String>,
+    /// Git revision to fold into provenance.
+    pub git_rev: Option<String>,
+    /// Site-profile name to fold into provenance.
+    pub profile: Option<String>,
+    /// Weighting-scheme name to fold into provenance.
+    pub weighting: Option<String>,
+}
+
+impl StoreSpec {
+    /// Record into `dir` with no annotations.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreSpec { dir: dir.into(), ..StoreSpec::default() }
+    }
+
+    /// This spec with a stamp.
+    pub fn with_stamp(mut self, stamp: Option<String>) -> Self {
+        self.stamp = stamp;
+        self
+    }
+
+    /// This spec with a git revision.
+    pub fn with_git_rev(mut self, git_rev: Option<String>) -> Self {
+        self.git_rev = git_rev;
+        self
+    }
+
+    /// This spec with a site-profile name.
+    pub fn with_profile(mut self, profile: impl Into<String>) -> Self {
+        self.profile = Some(profile.into());
+        self
+    }
+
+    /// This spec with a weighting-scheme name.
+    pub fn with_weighting(mut self, weighting: impl Into<String>) -> Self {
+        self.weighting = Some(weighting.into());
+        self
+    }
+
+    /// Apply this spec's annotations to a manifest.
+    fn annotate(&self, mut provenance: Provenance) -> Provenance {
+        if let Some(profile) = &self.profile {
+            provenance = provenance.with_profile(profile.clone());
+        }
+        if let Some(weighting) = &self.weighting {
+            provenance = provenance.with_weighting(weighting.clone());
+        }
+        provenance.with_git_rev(self.git_rev.clone())
+    }
+}
+
+/// Fold a run's telemetry into the header annotation: sink-wide counts
+/// plus one [`summarize`] report per product scope, keyed by product
+/// name in sorted order. `None` when telemetry was disabled or streaming.
+fn telemetry_annotation(telemetry: &Telemetry, products: &[&str]) -> Option<Value> {
+    let mut events = telemetry.snapshot_events()?;
+    events.sort_by_key(|e| e.scope);
+    let dropped = telemetry.dropped_events();
+    let mut sorted: Vec<&str> = products.to_vec();
+    sorted.sort_unstable();
+    let per_product: Vec<(String, Value)> = sorted
+        .iter()
+        .map(|name| {
+            let scoped: Vec<idse_telemetry::Event> =
+                events.iter().filter(|e| e.scope == *name).copied().collect();
+            let mut summary = summarize(&scoped);
+            // The ring buffer is shared across scopes: any eviction
+            // anywhere truncates every per-product view.
+            summary.dropped_events = dropped;
+            let value =
+                serde_json::to_value(&summary).expect("a telemetry summary always serializes");
+            ((*name).to_owned(), value)
+        })
+        .collect();
+    Some(Value::Object(vec![
+        ("events_recorded".to_owned(), Value::U64(events.len() as u64)),
+        ("events_dropped".to_owned(), Value::U64(dropped)),
+        ("per_product".to_owned(), Value::Object(per_product)),
+    ]))
+}
+
+/// Record one full evaluation (one record per product per metric: all 56
+/// discrete scores with their notes, plus the continuous measurements)
+/// into the store named by `spec`. Returns the committed run — identical
+/// inputs commit to the identical run id, so re-recording is a no-op.
+pub fn record_evaluation(
+    spec: &StoreSpec,
+    request: &EvaluationRequest,
+    evals: &[ProductEvaluation],
+) -> Result<StoredRun, StoreError> {
+    let provenance = spec.annotate(Provenance::for_request(request));
+    let mut draft = RunDraft::new("evaluate", provenance.to_value()).with_stamp(spec.stamp.clone());
+    let names: Vec<&str> = evals.iter().map(|e| e.scorecard.system.as_str()).collect();
+    if let Some(annotation) = telemetry_annotation(&request.telemetry, &names) {
+        draft = draft.with_telemetry(annotation);
+    }
+    for eval in evals {
+        let product = eval.scorecard.system.as_str();
+        for (id, score) in eval.scorecard.iter() {
+            let key = format!("{id:?}");
+            match eval.scorecard.note(id) {
+                Some(note) => draft.record_noted(product, &key, f64::from(score.value()), note)?,
+                None => draft.record(product, &key, f64::from(score.value()))?,
+            }
+        }
+        draft.record(product, "measure.operating_sensitivity", eval.operating_sensitivity)?;
+        draft.record(product, "measure.fp_ratio", eval.confusion.false_positive_ratio())?;
+        draft.record(product, "measure.fn_ratio", eval.confusion.false_negative_ratio())?;
+        draft.record(product, "measure.detection_rate", eval.confusion.detection_rate())?;
+        draft.record(product, "measure.zero_loss_pps", eval.throughput.zero_loss_pps)?;
+        if let Some(pps) = eval.throughput.lethal_dose_pps {
+            draft.record(product, "measure.lethal_dose_pps", pps)?;
+        }
+        draft.record(
+            product,
+            "measure.induced_latency_ms",
+            eval.timing.induced_latency_mean.as_millis_f64(),
+        )?;
+        draft.record(
+            product,
+            "measure.timeliness_ms",
+            eval.timing.timeliness_mean.as_millis_f64(),
+        )?;
+        draft.record(product, "measure.host_impact", eval.host_impact)?;
+        draft.record(product, "measure.state_bytes", eval.state_bytes as f64)?;
+        if let Some(s) = &eval.survivability {
+            draft.record(product, "measure.detection_retention", s.detection_retention)?;
+            draft.record(product, "measure.alert_loss_ratio", s.alert_loss_ratio)?;
+            draft.record(product, "measure.mean_reroute_us", s.mean_reroute.as_micros_f64())?;
+            draft.record(product, "measure.recovery_completeness", s.recovery_completeness)?;
+        }
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
+/// Record an X7 fault-matrix run: one product per matrix cell, keyed
+/// `product@scenario`, carrying the four survivability rubric scores and
+/// the raw fault measurements. The provenance lists every scenario's
+/// fault-plan hash.
+pub fn record_fault_matrix(
+    spec: &StoreSpec,
+    scenarios: &[FaultScenario],
+    rows: &[FaultMatrixRow],
+    sensitivity: f64,
+    seed: u64,
+) -> Result<StoredRun, StoreError> {
+    let feed = crate::experiments::fault_matrix_feed_config(seed);
+    let provenance = spec.annotate(Provenance {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        seed,
+        profile: None,
+        weighting: None,
+        git_rev: None,
+        feed: FeedProvenance::of(&feed),
+        sensitivity_policy: SensitivityPolicy::fixed(sensitivity),
+        fault_plans: scenarios.iter().map(|s| FaultPlanProvenance::of(&s.plan)).collect(),
+        jobs_independence: JOBS_INDEPENDENCE,
+        timebase: TIMEBASE,
+    });
+    let mut draft =
+        RunDraft::new("fault-matrix", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for row in rows {
+        let cell = format!("{}@{}", row.product, row.scenario);
+        let note = format!("relation {}", row.relation);
+        let discrete = [
+            "DetectionRetentionUnderFailure",
+            "AlertLossRatio",
+            "MeanTimeToReroute",
+            "RecoveryCompleteness",
+        ];
+        for (key, score) in discrete.iter().zip(row.scores) {
+            draft.record_noted(&cell, key, f64::from(score), note.clone())?;
+        }
+        let s = &row.survivability;
+        draft.record(&cell, "measure.detection_retention", s.detection_retention)?;
+        draft.record(&cell, "measure.alert_loss_ratio", s.alert_loss_ratio)?;
+        draft.record(&cell, "measure.mean_reroute_us", s.mean_reroute.as_micros_f64())?;
+        draft.record(&cell, "measure.recovery_completeness", s.recovery_completeness)?;
+        draft.record(&cell, "measure.rerouted", row.rerouted as f64)?;
+        draft.record(&cell, "measure.lost_alerts", row.lost_alerts as f64)?;
+        draft.record(&cell, "measure.replayed", row.replayed as f64)?;
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_sim::SimDuration;
+
+    fn spec(name: &str) -> StoreSpec {
+        let dir =
+            std::env::temp_dir().join(format!("idse-eval-prov-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        StoreSpec::new(dir)
+    }
+
+    fn quick_request() -> EvaluationRequest {
+        EvaluationRequest::new()
+            .with_feed(FeedConfig {
+                session_rate: 15.0,
+                training_span: SimDuration::from_secs(12),
+                test_span: SimDuration::from_secs(25),
+                campaign_intensity: 1,
+                seed: 42,
+            })
+            .with_sweep_steps(4)
+            .with_max_throughput_factor(32.0)
+            .with_fp_budget(0.2)
+    }
+
+    #[test]
+    fn provenance_round_trips_with_annotations() {
+        let p = Provenance::for_request(&quick_request())
+            .with_profile("cluster")
+            .with_weighting("realtime")
+            .with_git_rev(Some("abc123".into()));
+        let v = p.to_value();
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("profile").and_then(Value::as_str), Some("cluster"));
+        assert_eq!(v.get("git_rev").and_then(Value::as_str), Some("abc123"));
+        assert_eq!(
+            v.get("jobs_independence").and_then(Value::as_str),
+            Some(JOBS_INDEPENDENCE),
+            "the attestation is part of the manifest"
+        );
+        let policy = v.get("sensitivity_policy").expect("policy present");
+        assert_eq!(policy.get("sweep_steps").and_then(Value::as_u64), Some(4));
+        // Serialization is deterministic.
+        assert_eq!(
+            serde_json::to_string(&v).expect("serializes"),
+            serde_json::to_string(&p.to_value()).expect("serializes")
+        );
+    }
+
+    #[test]
+    fn recorded_evaluation_covers_all_metrics_and_is_idempotent() {
+        use idse_ids::products::{IdsProduct, ProductId};
+        let spec = spec("eval");
+        let request = quick_request();
+        let feed = request.build_feed();
+        let evals = vec![request.evaluate(&IdsProduct::model(ProductId::GuardSecure), &feed)];
+        let run = record_evaluation(&spec, &request, &evals).expect("run records");
+        assert!(run.created);
+        // 56 discrete + 9 measures (no fault plan, lethal dose may add one).
+        assert!(run.header.records >= 56 + 9, "records: {}", run.header.records);
+        assert_eq!(run.header.context, "evaluate");
+        let again = record_evaluation(&spec, &request, &evals).expect("re-record");
+        assert!(!again.created, "identical results dedupe to the same run");
+        assert_eq!(again.header.run_id, run.header.run_id);
+    }
+
+    #[test]
+    fn fault_matrix_records_one_cell_per_row() {
+        use idse_exec::Executor;
+        use idse_ids::products::{IdsProduct, ProductId};
+        let spec = spec("matrix");
+        let products = [IdsProduct::model(ProductId::GuardSecure)];
+        let scenarios: Vec<FaultScenario> =
+            crate::experiments::fault_scenarios().into_iter().take(2).collect();
+        let rows = crate::experiments::fault_matrix_experiment(
+            &products,
+            &scenarios,
+            0.7,
+            42,
+            &Executor::new(2),
+        );
+        let run = record_fault_matrix(&spec, &scenarios, &rows, 0.7, 42).expect("matrix records");
+        assert_eq!(run.header.context, "fault-matrix");
+        assert_eq!(run.header.products.len(), rows.len(), "one product key per cell");
+        assert!(run.header.products[0].contains('@'));
+        let plans = run
+            .header
+            .provenance
+            .get("fault_plans")
+            .and_then(Value::as_array)
+            .expect("plans listed");
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].get("hash").and_then(Value::as_str).map(str::len), Some(16));
+    }
+}

@@ -1,0 +1,319 @@
+//! Direction-aware scorecard diffing between two stored runs.
+//!
+//! A diff is computed over the union of (product, metric) pairs in the
+//! two runs. The registry's [`Direction`] supplies the regression sign:
+//! a false-positive ratio that *rises* regresses, a zero-loss throughput
+//! that *falls* regresses, and a neutral metric (operating sensitivity,
+//! worker counts) merely *changes*. Regressions carry a normalized
+//! severity — discrete deltas against the 0–4 rubric span, continuous
+//! deltas relative to the baseline value — so `top-regressions` ranks a
+//! 2-point rubric drop above a 0.1 ms latency wobble.
+
+use crate::registry::{lookup, Direction, ScoreKind};
+use crate::store::StoredRun;
+use std::collections::BTreeMap;
+
+/// The verdict on one (product, metric) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The value moved in the metric's unfavorable direction.
+    Regressed,
+    /// The value moved in the metric's favorable direction.
+    Improved,
+    /// Bit-identical values.
+    Unchanged,
+    /// The value moved, but the metric has no favorable direction.
+    Changed,
+    /// Present only in the second run.
+    Added,
+    /// Present only in the first run.
+    Removed,
+}
+
+impl Verdict {
+    /// Stable uppercase label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "IMPROVED",
+            Verdict::Unchanged => "UNCHANGED",
+            Verdict::Changed => "CHANGED",
+            Verdict::Added => "ADDED",
+            Verdict::Removed => "REMOVED",
+        }
+    }
+}
+
+/// One row of a run diff.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// The measured subject.
+    pub product: String,
+    /// The registry key.
+    pub metric: String,
+    /// The metric's unit (from whichever run recorded it).
+    pub unit: String,
+    /// The metric's aggregation direction.
+    pub direction: Direction,
+    /// Value in the first (baseline) run, if recorded there.
+    pub before: Option<f64>,
+    /// Value in the second (candidate) run, if recorded there.
+    pub after: Option<f64>,
+    /// Normalized regression magnitude; `0.0` unless the verdict is
+    /// [`Verdict::Regressed`]. Discrete scores normalize against the 0–4
+    /// rubric span, continuous measures against the baseline magnitude.
+    pub severity: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl DiffEntry {
+    /// `after - before`, when both sides recorded the metric.
+    pub fn delta(&self) -> Option<f64> {
+        match (self.before, self.after) {
+            (Some(b), Some(a)) => Some(a - b),
+            _ => None,
+        }
+    }
+
+    /// One fixed-format report line, byte-stable across platforms.
+    pub fn render(&self) -> String {
+        let side = |v: Option<f64>| match v {
+            Some(v) => format!("{v:?}"),
+            None => "-".to_owned(),
+        };
+        let movement = match self.delta() {
+            Some(d) => format!(" (delta {d:+?}, {})", self.direction.name()),
+            None => String::new(),
+        };
+        format!(
+            "{:<9} {} / {}: {} -> {} {}{}",
+            self.verdict.name(),
+            self.product,
+            self.metric,
+            side(self.before),
+            side(self.after),
+            self.unit,
+            movement,
+        )
+    }
+}
+
+/// A full diff between two stored runs.
+#[derive(Debug, Clone)]
+pub struct RunDiff {
+    /// The baseline run's id.
+    pub run_a: String,
+    /// The candidate run's id.
+    pub run_b: String,
+    /// Every (product, metric) in either run, in canonical order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl RunDiff {
+    /// How many entries carry `verdict`.
+    pub fn count(&self, verdict: Verdict) -> usize {
+        self.entries.iter().filter(|e| e.verdict == verdict).count()
+    }
+
+    /// Whether any entry regressed — the `--fail-on-regression` signal.
+    pub fn has_regressions(&self) -> bool {
+        self.entries.iter().any(|e| e.verdict == Verdict::Regressed)
+    }
+
+    /// The `n` worst regressions by normalized severity (ties broken by
+    /// canonical (product, metric) order, so output is deterministic).
+    pub fn top_regressions(&self, n: usize) -> Vec<&DiffEntry> {
+        let mut regressed: Vec<&DiffEntry> =
+            self.entries.iter().filter(|e| e.verdict == Verdict::Regressed).collect();
+        regressed.sort_by(|a, b| {
+            b.severity.partial_cmp(&a.severity).expect("severities are finite").then_with(|| {
+                (a.product.as_str(), a.metric.as_str())
+                    .cmp(&(b.product.as_str(), b.metric.as_str()))
+            })
+        });
+        regressed.truncate(n);
+        regressed
+    }
+
+    /// One-line summary: `3 regressed, 1 improved, 52 unchanged, …`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for verdict in [
+            Verdict::Regressed,
+            Verdict::Improved,
+            Verdict::Changed,
+            Verdict::Unchanged,
+            Verdict::Added,
+            Verdict::Removed,
+        ] {
+            let count = self.count(verdict);
+            if count > 0 || matches!(verdict, Verdict::Regressed | Verdict::Unchanged) {
+                parts.push(format!("{} {}", count, verdict.name().to_lowercase()));
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+fn bits_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn classify(direction: Direction, kind: ScoreKind, before: f64, after: f64) -> (Verdict, f64) {
+    if bits_equal(before, after) {
+        return (Verdict::Unchanged, 0.0);
+    }
+    let worsening = match direction {
+        Direction::HigherIsBetter => before - after,
+        Direction::LowerIsBetter => after - before,
+        Direction::Neutral => return (Verdict::Changed, 0.0),
+    };
+    if worsening > 0.0 {
+        let severity = match kind {
+            ScoreKind::Discrete => worsening / 4.0,
+            ScoreKind::Measure => worsening / before.abs().max(1e-9),
+        };
+        (Verdict::Regressed, severity)
+    } else {
+        (Verdict::Improved, 0.0)
+    }
+}
+
+/// One (before, after, unit) slot keyed by (product, metric) while the
+/// union of two runs is being assembled.
+type PairSlot = (Option<f64>, Option<f64>, String);
+
+/// Diff two stored runs over the union of their (product, metric) pairs.
+pub fn diff_runs(a: &StoredRun, b: &StoredRun) -> RunDiff {
+    let mut pairs: BTreeMap<(String, String), PairSlot> = BTreeMap::new();
+    for m in &a.metrics {
+        pairs.insert((m.product.clone(), m.metric.clone()), (Some(m.value), None, m.unit.clone()));
+    }
+    for m in &b.metrics {
+        let slot = pairs.entry((m.product.clone(), m.metric.clone())).or_insert((
+            None,
+            None,
+            m.unit.clone(),
+        ));
+        slot.1 = Some(m.value);
+    }
+    let entries = pairs
+        .into_iter()
+        .map(|((product, metric), (before, after, unit))| {
+            let entry = lookup(&metric);
+            let direction = entry.as_ref().map_or(Direction::Neutral, |e| e.direction);
+            let kind = entry.as_ref().map_or(ScoreKind::Measure, |e| e.kind);
+            let (verdict, severity) = match (before, after) {
+                (Some(x), Some(y)) => classify(direction, kind, x, y),
+                (Some(_), None) => (Verdict::Removed, 0.0),
+                (None, Some(_)) => (Verdict::Added, 0.0),
+                (None, None) => (Verdict::Unchanged, 0.0),
+            };
+            DiffEntry { product, metric, unit, direction, before, after, severity, verdict }
+        })
+        .collect();
+    RunDiff { run_a: a.header.run_id.clone(), run_b: b.header.run_id.clone(), entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunDraft;
+    use crate::store::RunStore;
+    use serde_json::json;
+
+    fn stored(name: &str, fill: impl FnOnce(&mut RunDraft)) -> StoredRun {
+        let dir = std::env::temp_dir().join(format!("idse-store-diff-{}", std::process::id()));
+        let store = RunStore::open(dir).unwrap();
+        let mut draft = RunDraft::new("evaluate", json!({ "fixture": name }));
+        fill(&mut draft);
+        store.commit(draft).unwrap()
+    }
+
+    #[test]
+    fn verdicts_follow_the_direction() {
+        let a = stored("dir-a", |d| {
+            d.record("P", "Timeliness", 4.0).unwrap(); // higher-is-better
+            d.record("P", "measure.fp_ratio", 0.05).unwrap(); // lower-is-better
+            d.record("P", "measure.zero_loss_pps", 1000.0).unwrap(); // higher-is-better
+            d.record("P", "measure.operating_sensitivity", 0.6).unwrap(); // neutral
+            d.record("P", "ClarityOfReports", 3.0).unwrap();
+            d.record("P", "measure.state_bytes", 4096.0).unwrap();
+        });
+        let b = stored("dir-b", |d| {
+            d.record("P", "Timeliness", 2.0).unwrap(); // fell → REGRESSED
+            d.record("P", "measure.fp_ratio", 0.10).unwrap(); // rose → REGRESSED
+            d.record("P", "measure.zero_loss_pps", 1200.0).unwrap(); // rose → IMPROVED
+            d.record("P", "measure.operating_sensitivity", 0.7).unwrap(); // moved → CHANGED
+            d.record("P", "ClarityOfReports", 3.0).unwrap(); // UNCHANGED
+            d.record("P", "measure.timeliness_ms", 80.0).unwrap(); // ADDED
+                                                                   // measure.state_bytes absent → REMOVED
+        });
+        let diff = diff_runs(&a, &b);
+        let verdict = |metric: &str| {
+            diff.entries.iter().find(|e| e.metric == metric).expect("metric diffed").verdict
+        };
+        assert_eq!(verdict("Timeliness"), Verdict::Regressed);
+        assert_eq!(verdict("measure.fp_ratio"), Verdict::Regressed);
+        assert_eq!(verdict("measure.zero_loss_pps"), Verdict::Improved);
+        assert_eq!(verdict("measure.operating_sensitivity"), Verdict::Changed);
+        assert_eq!(verdict("ClarityOfReports"), Verdict::Unchanged);
+        assert_eq!(verdict("measure.timeliness_ms"), Verdict::Added);
+        assert_eq!(verdict("measure.state_bytes"), Verdict::Removed);
+        assert!(diff.has_regressions());
+        assert_eq!(diff.count(Verdict::Regressed), 2);
+    }
+
+    #[test]
+    fn improvements_do_not_trip_the_gate() {
+        let a = stored("gate-a", |d| {
+            d.record("P", "Timeliness", 2.0).unwrap();
+            d.record("P", "measure.fp_ratio", 0.10).unwrap();
+        });
+        let b = stored("gate-b", |d| {
+            d.record("P", "Timeliness", 4.0).unwrap();
+            d.record("P", "measure.fp_ratio", 0.05).unwrap();
+        });
+        let diff = diff_runs(&a, &b);
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.count(Verdict::Improved), 2);
+        // Reversed, both regress.
+        assert_eq!(diff_runs(&b, &a).count(Verdict::Regressed), 2);
+    }
+
+    #[test]
+    fn top_regressions_rank_by_normalized_severity() {
+        let a = stored("rank-a", |d| {
+            d.record("P", "Timeliness", 4.0).unwrap();
+            d.record("P", "measure.induced_latency_ms", 100.0).unwrap();
+        });
+        let b = stored("rank-b", |d| {
+            d.record("P", "Timeliness", 1.0).unwrap(); // 3/4 of the rubric span
+            d.record("P", "measure.induced_latency_ms", 110.0).unwrap(); // +10 %
+        });
+        let diff = diff_runs(&a, &b);
+        let top = diff.top_regressions(10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].metric, "Timeliness", "rubric collapse outranks a 10 % wobble");
+        assert_eq!(top[1].metric, "measure.induced_latency_ms");
+        assert_eq!(diff.top_regressions(1).len(), 1);
+    }
+
+    #[test]
+    fn rendering_is_fixed_format() {
+        let a = stored("render-a", |d| {
+            d.record("P", "Timeliness", 4.0).unwrap();
+        });
+        let b = stored("render-b", |d| {
+            d.record("P", "Timeliness", 2.0).unwrap();
+        });
+        let diff = diff_runs(&a, &b);
+        let line = diff.entries[0].render();
+        assert_eq!(
+            line,
+            "REGRESSED P / Timeliness: 4.0 -> 2.0 score/0-4 (delta -2.0, higher-is-better)"
+        );
+        assert_eq!(diff.summary(), "1 regressed, 0 unchanged");
+    }
+}

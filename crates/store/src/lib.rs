@@ -1,0 +1,190 @@
+//! # idse-store — provenance-keyed run history for the evaluation platform
+//!
+//! The paper's methodology only pays off when scorecards are *comparable
+//! over time*: "did metric M regress since last week's commit?" is the
+//! question a procurement standard exists to answer. This crate persists
+//! every evaluation as an append-only, content-addressed run log and makes
+//! that question a query:
+//!
+//! * [`registry`] — the typed metric catalog: every discrete metric from
+//!   `idse-core`'s 56-entry catalog plus the continuous measurements the
+//!   harness records alongside them, each with a unit, a score kind, and
+//!   an aggregation **direction** ("is higher better"), so diffs know the
+//!   sign of a regression;
+//! * [`record`] — one JSONL record per (run, product, metric) under a
+//!   run-header record carrying full provenance (master seed, fault-plan
+//!   hash, sweep plan, git rev, catalog version, telemetry summary);
+//! * [`store`] — the `runs/` directory: content-hashed run ids, so
+//!   re-recording an unchanged run is a no-op and two stores agree on
+//!   identity without coordination;
+//! * [`diff`] — per-metric delta tables with direction-aware
+//!   REGRESSED / IMPROVED / CHANGED verdicts, the engine behind CI's
+//!   `store diff --fail-on-regression` gate.
+//!
+//! # Determinism contract
+//!
+//! Nothing in this crate reads a clock or an environment: run files are a
+//! pure function of the recorded values and the provenance handed in.
+//! Timestamps exist only as an opaque `--stamp` passthrough, excluded
+//! from the content hash, so a re-run of an unchanged evaluation maps to
+//! the *same* run id byte-for-byte at any `--jobs N`.
+//!
+//! ```
+//! use idse_store::{diff_runs, RunDraft, Verdict};
+//! use serde_json::json;
+//!
+//! let mut a = RunDraft::new("evaluate", json!({ "seed": 7u64 }));
+//! a.record("ExampleIDS", "Timeliness", 4.0).expect("known metric");
+//! let mut b = RunDraft::new("evaluate", json!({ "seed": 7u64 }));
+//! b.record("ExampleIDS", "Timeliness", 2.0).expect("known metric");
+//!
+//! let dir = std::env::temp_dir().join(format!("idse-store-doc-{}", std::process::id()));
+//! let store = idse_store::RunStore::open(&dir).expect("store opens");
+//! let ra = store.commit(a).expect("run commits");
+//! let rb = store.commit(b).expect("run commits");
+//! let diff = diff_runs(&ra, &rb);
+//! assert_eq!(diff.entries[0].verdict, Verdict::Regressed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod record;
+pub mod registry;
+pub mod store;
+
+pub use diff::{diff_runs, DiffEntry, RunDiff, Verdict};
+pub use record::{MetricRecord, RunDraft, RunHeader, SCHEMA_VERSION};
+pub use registry::{catalog_version, lookup, registry, Direction, MetricEntry, ScoreKind};
+pub use store::{HistoryPoint, RunStore, StoredRun};
+
+/// 64-bit FNV-1a over a byte string — the content hash behind run ids and
+/// the catalog fingerprint. Hand-rolled so the store stays dependency-free
+/// and two builds of the workspace agree on every id.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Everything that can go wrong talking to a run store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem trouble at `path`.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A run file line did not parse as a store record.
+    Parse {
+        /// File (and line, 1-based) the problem was found at.
+        at: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A metric key absent from the [`registry`].
+    UnknownMetric(String),
+    /// Two records for the same (product, metric) in one run.
+    DuplicateRecord {
+        /// The product both records name.
+        product: String,
+        /// The metric both records name.
+        metric: String,
+    },
+    /// A recorded value that is not representable (non-finite, or a
+    /// discrete score outside 0–4).
+    InvalidValue {
+        /// The metric the value was recorded for.
+        metric: String,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// A run reference that matched nothing in the store.
+    NotFound(String),
+    /// A run-id prefix that matched more than one run.
+    Ambiguous {
+        /// The ambiguous reference.
+        run_ref: String,
+        /// Every run id it matched.
+        matches: Vec<String>,
+    },
+    /// A run file whose recomputed content hash disagrees with its id —
+    /// the file was edited after it was recorded.
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// The id the content actually hashes to.
+        expected: String,
+    },
+    /// An empty draft: a run must carry at least one metric record.
+    EmptyRun,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{path}: {source}"),
+            StoreError::Parse { at, message } => write!(f, "{at}: {message}"),
+            StoreError::UnknownMetric(key) => {
+                write!(f, "unknown metric key {key:?} (not in the catalog registry)")
+            }
+            StoreError::DuplicateRecord { product, metric } => {
+                write!(f, "duplicate record for ({product:?}, {metric:?}) in one run")
+            }
+            StoreError::InvalidValue { metric, message } => {
+                write!(f, "invalid value for {metric:?}: {message}")
+            }
+            StoreError::NotFound(run_ref) => write!(f, "no run matches {run_ref:?}"),
+            StoreError::Ambiguous { run_ref, matches } => {
+                write!(f, "run ref {run_ref:?} is ambiguous: matches {}", matches.join(", "))
+            }
+            StoreError::Corrupt { path, expected } => write!(
+                f,
+                "{path}: content does not hash to its run id (got {expected}); \
+                 the file was modified after it was recorded"
+            ),
+            StoreError::EmptyRun => write!(f, "a run must contain at least one metric record"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = StoreError::UnknownMetric("measure.bogus".to_owned());
+        assert!(e.to_string().contains("measure.bogus"));
+        let e = StoreError::Ambiguous {
+            run_ref: "r1".to_owned(),
+            matches: vec!["r1a".to_owned(), "r1b".to_owned()],
+        };
+        assert!(e.to_string().contains("r1a, r1b"));
+    }
+}

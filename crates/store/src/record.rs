@@ -1,0 +1,417 @@
+//! Run records: the JSONL schema of one stored run.
+//!
+//! A run file is one header line followed by one line per
+//! (product, metric), in canonical `(product, metric)` order:
+//!
+//! ```text
+//! {"kind":"header","run_id":"r…","schema":1,"context":"evaluate",…}
+//! {"kind":"metric","product":"FlowHunter FH-9","metric":"AlertLossRatio","value":3.0,"unit":"score/0-4","note":"…"}
+//! ```
+//!
+//! The run id is the FNV-1a hash of the canonical body — context,
+//! catalog version, provenance, and every metric line — so identical
+//! results re-recorded anywhere map to the same id. The `stamp` (an
+//! opaque caller-supplied timestamp) and the telemetry summary are
+//! *annotations*: they ride in the header but are excluded from the
+//! hash, keeping records byte-stable under replay.
+
+use crate::registry::{lookup, ScoreKind};
+use crate::{fnv64, registry, StoreError};
+use serde_json::Value;
+
+/// Version of the run-file layout; bumped only on incompatible change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One (run, product, metric) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// The measured subject — a product name, or `product@scenario` for
+    /// fault-matrix cells, or a jobs configuration for bench runs.
+    pub product: String,
+    /// Registry key ([`crate::registry::MetricEntry::key`]).
+    pub metric: String,
+    /// The observed value (discrete scores are stored as their f64
+    /// embedding, 0.0–4.0).
+    pub value: f64,
+    /// Unit, copied from the registry at record time.
+    pub unit: String,
+    /// Free-form context (the scorecard note, typically).
+    pub note: Option<String>,
+}
+
+impl MetricRecord {
+    /// Render as one canonical JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut pairs = vec![
+            ("kind".to_owned(), Value::Str("metric".to_owned())),
+            ("product".to_owned(), Value::Str(self.product.clone())),
+            ("metric".to_owned(), Value::Str(self.metric.clone())),
+            ("value".to_owned(), Value::F64(self.value)),
+            ("unit".to_owned(), Value::Str(self.unit.clone())),
+        ];
+        if let Some(note) = &self.note {
+            pairs.push(("note".to_owned(), Value::Str(note.clone())));
+        }
+        serde_json::to_string(&Value::Object(pairs)).expect("a JSON value always serializes")
+    }
+}
+
+/// The run-header record: identity plus provenance.
+#[derive(Debug, Clone)]
+pub struct RunHeader {
+    /// Content-hashed id, `r` + 16 hex digits.
+    pub run_id: String,
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// What produced the run: `evaluate`, `fault-matrix`, `bench`, ….
+    pub context: String,
+    /// [`crate::registry::catalog_version`] at record time.
+    pub catalog_version: String,
+    /// Opaque caller-supplied timestamp; excluded from the run id.
+    pub stamp: Option<String>,
+    /// Distinct products recorded, sorted.
+    pub products: Vec<String>,
+    /// Number of metric records that follow the header.
+    pub records: u64,
+    /// Full provenance (seed, feed, policy, fault-plan hash, git rev…).
+    pub provenance: Value,
+    /// Folded telemetry summary; excluded from the run id.
+    pub telemetry: Option<Value>,
+}
+
+impl RunHeader {
+    /// Render as one canonical JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut pairs = vec![
+            ("kind".to_owned(), Value::Str("header".to_owned())),
+            ("run_id".to_owned(), Value::Str(self.run_id.clone())),
+            ("schema".to_owned(), Value::U64(self.schema)),
+            ("context".to_owned(), Value::Str(self.context.clone())),
+            ("catalog_version".to_owned(), Value::Str(self.catalog_version.clone())),
+            (
+                "stamp".to_owned(),
+                match &self.stamp {
+                    Some(s) => Value::Str(s.clone()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "products".to_owned(),
+                Value::Array(self.products.iter().map(|p| Value::Str(p.clone())).collect()),
+            ),
+            ("records".to_owned(), Value::U64(self.records)),
+            ("provenance".to_owned(), self.provenance.clone()),
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            pairs.push(("telemetry".to_owned(), telemetry.clone()));
+        }
+        serde_json::to_string(&Value::Object(pairs)).expect("a JSON value always serializes")
+    }
+}
+
+/// Render a complete run file (header + sorted metric lines).
+pub fn render_run(header: &RunHeader, metrics: &[MetricRecord]) -> String {
+    let mut text = String::with_capacity(128 * (metrics.len() + 1));
+    text.push_str(&header.to_jsonl());
+    text.push('\n');
+    for m in metrics {
+        text.push_str(&m.to_jsonl());
+        text.push('\n');
+    }
+    text
+}
+
+/// Compute the content-hashed run id over the canonical body. The stamp
+/// and telemetry annotations are deliberately excluded.
+pub fn run_id(
+    context: &str,
+    catalog_version: &str,
+    provenance: &Value,
+    metrics: &[MetricRecord],
+) -> String {
+    let mut body = String::with_capacity(128 * (metrics.len() + 2));
+    body.push_str("idse-store/run/v1\n");
+    body.push_str(context);
+    body.push('\n');
+    body.push_str(catalog_version);
+    body.push('\n');
+    body.push_str(&serde_json::to_string(provenance).expect("a JSON value always serializes"));
+    body.push('\n');
+    for m in metrics {
+        body.push_str(&m.to_jsonl());
+        body.push('\n');
+    }
+    format!("r{:016x}", fnv64(body.as_bytes()))
+}
+
+/// A run being assembled. [`RunDraft::record`] validates every key
+/// against the registry; [`crate::RunStore::commit`] canonicalizes and
+/// persists it.
+#[derive(Debug, Clone)]
+pub struct RunDraft {
+    pub(crate) context: String,
+    pub(crate) provenance: Value,
+    pub(crate) stamp: Option<String>,
+    pub(crate) telemetry: Option<Value>,
+    pub(crate) metrics: Vec<MetricRecord>,
+}
+
+impl RunDraft {
+    /// An empty draft for `context` with the given provenance document.
+    pub fn new(context: impl Into<String>, provenance: Value) -> Self {
+        RunDraft {
+            context: context.into(),
+            provenance,
+            stamp: None,
+            telemetry: None,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach an opaque timestamp (excluded from the run id).
+    pub fn with_stamp(mut self, stamp: Option<String>) -> Self {
+        self.stamp = stamp;
+        self
+    }
+
+    /// Attach a folded telemetry summary (excluded from the run id).
+    pub fn with_telemetry(mut self, telemetry: Value) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Record one observation. The key must exist in the registry; a
+    /// discrete metric must carry an integral value in 0–4; every value
+    /// must be finite.
+    pub fn record(&mut self, product: &str, metric: &str, value: f64) -> Result<(), StoreError> {
+        self.push(product, metric, value, None)
+    }
+
+    /// [`RunDraft::record`] with a free-form note attached.
+    pub fn record_noted(
+        &mut self,
+        product: &str,
+        metric: &str,
+        value: f64,
+        note: impl Into<String>,
+    ) -> Result<(), StoreError> {
+        self.push(product, metric, value, Some(note.into()))
+    }
+
+    fn push(
+        &mut self,
+        product: &str,
+        metric: &str,
+        value: f64,
+        note: Option<String>,
+    ) -> Result<(), StoreError> {
+        let entry = lookup(metric).ok_or_else(|| StoreError::UnknownMetric(metric.to_owned()))?;
+        if !value.is_finite() {
+            return Err(StoreError::InvalidValue {
+                metric: metric.to_owned(),
+                message: format!("{value:?} is not finite"),
+            });
+        }
+        if entry.kind == ScoreKind::Discrete {
+            let truncated = value as u8;
+            let integral_in_range =
+                (0.0..=4.0).contains(&value) && value.to_bits() == f64::from(truncated).to_bits();
+            if !integral_in_range {
+                return Err(StoreError::InvalidValue {
+                    metric: metric.to_owned(),
+                    message: format!("{value:?} is not an integral discrete score in 0–4"),
+                });
+            }
+        }
+        self.metrics.push(MetricRecord {
+            product: product.to_owned(),
+            metric: metric.to_owned(),
+            value,
+            unit: entry.unit.to_owned(),
+            note,
+        });
+        Ok(())
+    }
+
+    /// Number of metric records so far.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Sort records canonically, reject duplicates, compute the id, and
+    /// produce the header + records pair a store persists.
+    pub(crate) fn canonicalize(mut self) -> Result<(RunHeader, Vec<MetricRecord>), StoreError> {
+        if self.metrics.is_empty() {
+            return Err(StoreError::EmptyRun);
+        }
+        self.metrics.sort_by(|a, b| {
+            (a.product.as_str(), a.metric.as_str()).cmp(&(b.product.as_str(), b.metric.as_str()))
+        });
+        for pair in self.metrics.windows(2) {
+            if pair[0].product == pair[1].product && pair[0].metric == pair[1].metric {
+                return Err(StoreError::DuplicateRecord {
+                    product: pair[0].product.clone(),
+                    metric: pair[0].metric.clone(),
+                });
+            }
+        }
+        let mut products: Vec<String> = self.metrics.iter().map(|m| m.product.clone()).collect();
+        products.dedup();
+        let catalog_version = registry::catalog_version();
+        let id = run_id(&self.context, &catalog_version, &self.provenance, &self.metrics);
+        let header = RunHeader {
+            run_id: id,
+            schema: SCHEMA_VERSION,
+            context: self.context,
+            catalog_version,
+            stamp: self.stamp,
+            products,
+            records: self.metrics.len() as u64,
+            provenance: self.provenance,
+            telemetry: self.telemetry,
+        };
+        Ok((header, self.metrics))
+    }
+}
+
+/// One parsed line of a run file.
+#[derive(Debug, Clone)]
+pub enum RunRecord {
+    /// The first line.
+    Header(RunHeader),
+    /// Every subsequent line.
+    Metric(MetricRecord),
+}
+
+/// Parse one JSONL line. `at` names the file/line for error context.
+pub fn parse_line(line: &str, at: &str) -> Result<RunRecord, StoreError> {
+    let value: Value = serde_json::from_str(line).map_err(|e| StoreError::Parse {
+        at: at.to_owned(),
+        message: format!("not valid JSON: {e}"),
+    })?;
+    let parse = || -> Option<RunRecord> {
+        match value.get("kind")?.as_str()? {
+            "header" => Some(RunRecord::Header(RunHeader {
+                run_id: value.get("run_id")?.as_str()?.to_owned(),
+                schema: value.get("schema")?.as_u64()?,
+                context: value.get("context")?.as_str()?.to_owned(),
+                catalog_version: value.get("catalog_version")?.as_str()?.to_owned(),
+                stamp: match value.get("stamp")? {
+                    Value::Null => None,
+                    other => Some(other.as_str()?.to_owned()),
+                },
+                products: value
+                    .get("products")?
+                    .as_array()?
+                    .iter()
+                    .map(|p| p.as_str().map(str::to_owned))
+                    .collect::<Option<Vec<String>>>()?,
+                records: value.get("records")?.as_u64()?,
+                provenance: value.get("provenance")?.clone(),
+                telemetry: value.get("telemetry").cloned(),
+            })),
+            "metric" => Some(RunRecord::Metric(MetricRecord {
+                product: value.get("product")?.as_str()?.to_owned(),
+                metric: value.get("metric")?.as_str()?.to_owned(),
+                value: value.get("value")?.as_f64()?,
+                unit: value.get("unit")?.as_str()?.to_owned(),
+                note: match value.get("note") {
+                    None => None,
+                    Some(n) => Some(n.as_str()?.to_owned()),
+                },
+            })),
+            _ => None,
+        }
+    };
+    parse().ok_or_else(|| StoreError::Parse {
+        at: at.to_owned(),
+        message: "not a store record (bad or missing fields)".to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn draft() -> RunDraft {
+        let mut d = RunDraft::new("evaluate", json!({ "seed": 7u64 }));
+        d.record_noted("B prod", "Timeliness", 4.0, "mean 80 ms").unwrap();
+        d.record("A prod", "measure.fp_ratio", 0.0375).unwrap();
+        d.record("A prod", "Timeliness", 2.0).unwrap();
+        d
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_hashes_stably() {
+        let (h1, m1) = draft().canonicalize().unwrap();
+        let (h2, m2) = draft().with_stamp(Some("2026-08-08".into())).canonicalize().unwrap();
+        // Product-major, metric-minor order.
+        assert_eq!(m1[0].product, "A prod");
+        assert_eq!(m1[0].metric, "Timeliness");
+        assert_eq!(m1[1].metric, "measure.fp_ratio");
+        assert_eq!(m1[2].product, "B prod");
+        assert_eq!(h1.products, vec!["A prod".to_owned(), "B prod".to_owned()]);
+        assert_eq!(h1.records, 3);
+        // The stamp is an annotation: identical content, identical id.
+        assert_eq!(h1.run_id, h2.run_id);
+        assert_eq!(m1, m2);
+        assert!(h1.run_id.starts_with('r') && h1.run_id.len() == 17, "{}", h1.run_id);
+    }
+
+    #[test]
+    fn content_changes_move_the_id() {
+        let (base, _) = draft().canonicalize().unwrap();
+        let mut changed = draft();
+        changed.record("C prod", "measure.host_impact", 0.02).unwrap();
+        let (h, _) = changed.canonicalize().unwrap();
+        assert_ne!(base.run_id, h.run_id);
+        let other_prov = RunDraft::new("evaluate", json!({ "seed": 8u64 }));
+        let mut other_prov = other_prov;
+        other_prov.record("A prod", "Timeliness", 2.0).unwrap();
+        let (h2, _) = other_prov.canonicalize().unwrap();
+        assert_ne!(base.run_id, h2.run_id, "provenance is part of identity");
+    }
+
+    #[test]
+    fn validation_rejects_bad_records() {
+        let mut d = RunDraft::new("evaluate", Value::Null);
+        assert!(matches!(d.record("P", "measure.bogus", 1.0), Err(StoreError::UnknownMetric(_))));
+        assert!(matches!(d.record("P", "Timeliness", 2.5), Err(StoreError::InvalidValue { .. })));
+        assert!(matches!(d.record("P", "Timeliness", 5.0), Err(StoreError::InvalidValue { .. })));
+        assert!(matches!(
+            d.record("P", "measure.fp_ratio", f64::NAN),
+            Err(StoreError::InvalidValue { .. })
+        ));
+        assert!(RunDraft::new("evaluate", Value::Null).canonicalize().is_err());
+        d.record("P", "Timeliness", 3.0).unwrap();
+        d.record("P", "Timeliness", 3.0).unwrap();
+        assert!(matches!(d.canonicalize(), Err(StoreError::DuplicateRecord { .. })));
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let (header, metrics) = draft().with_stamp(Some("s1".into())).canonicalize().unwrap();
+        for record in std::iter::once(RunRecord::Header(header.clone()))
+            .chain(metrics.iter().cloned().map(RunRecord::Metric))
+        {
+            let line = match &record {
+                RunRecord::Header(h) => h.to_jsonl(),
+                RunRecord::Metric(m) => m.to_jsonl(),
+            };
+            let back = parse_line(&line, "test:1").unwrap();
+            let reline = match &back {
+                RunRecord::Header(h) => h.to_jsonl(),
+                RunRecord::Metric(m) => m.to_jsonl(),
+            };
+            assert_eq!(line, reline, "canonical lines re-render byte-identically");
+        }
+        assert!(parse_line("{\"kind\":\"mystery\"}", "test:1").is_err());
+        assert!(parse_line("not json", "test:1").is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The typed metric catalog registry.
+//!
+//! Modeled on clarium's `performance.metric_def` table: every metric the
+//! store will accept is declared up front with an id, a display name, a
+//! class, a unit, a score kind and — the part diffing depends on — an
+//! aggregation **direction**. A run record naming a key outside this
+//! registry is rejected at record time, so the store can never silently
+//! accumulate typo'd series.
+//!
+//! Two families of entries:
+//!
+//! * the **56 discrete metrics** generated from [`idse_core::catalog`]
+//!   (keyed by their `MetricId` variant name, e.g. `"Timeliness"`), all
+//!   scored 0–4 where higher is more favorable;
+//! * the **continuous measurements** the harness records alongside them
+//!   (keyed `measure.*` / `bench.*`), where direction varies: a
+//!   false-positive ratio regresses *upward*, a zero-loss throughput
+//!   regresses *downward*, and an operating sensitivity merely *changes*.
+
+use crate::fnv64;
+use idse_core::catalog::{catalog, fingerprint};
+
+/// Which way "better" points for a metric — the regression sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are more favorable (all discrete 0–4 scores,
+    /// throughput, detection rate).
+    HigherIsBetter,
+    /// Smaller values are more favorable (error ratios, latencies,
+    /// footprints, wall time).
+    LowerIsBetter,
+    /// Neither direction is a regression; a delta is just a change
+    /// (operating sensitivity, worker counts).
+    Neutral,
+}
+
+impl Direction {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher-is-better",
+            Direction::LowerIsBetter => "lower-is-better",
+            Direction::Neutral => "neutral",
+        }
+    }
+}
+
+/// How a metric's values are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreKind {
+    /// A 0–4 discrete rubric score ([`idse_core::DiscreteScore`]).
+    Discrete,
+    /// A continuous measured quantity.
+    Measure,
+}
+
+impl ScoreKind {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreKind::Discrete => "discrete",
+            ScoreKind::Measure => "measure",
+        }
+    }
+}
+
+/// One registry row: everything the store knows about a metric key.
+#[derive(Debug, Clone)]
+pub struct MetricEntry {
+    /// The record key (`MetricId` variant name, or `measure.*`/`bench.*`).
+    pub key: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Metric class: the paper's three classes for discrete metrics,
+    /// `Measurement`/`Benchmark` for the continuous families.
+    pub class: &'static str,
+    /// Unit the value is expressed in.
+    pub unit: &'static str,
+    /// Discrete rubric score or continuous measurement.
+    pub kind: ScoreKind,
+    /// Aggregation direction — the regression sign.
+    pub direction: Direction,
+}
+
+/// The continuous measurement keys the harness and benches record,
+/// alongside the discrete catalog. Key, name, unit, direction.
+const MEASURES: &[(&str, &str, &str, Direction)] = &[
+    ("measure.operating_sensitivity", "Operating sensitivity", "sensitivity", Direction::Neutral),
+    ("measure.fp_ratio", "False-positive ratio |D-A|/|T|", "ratio", Direction::LowerIsBetter),
+    ("measure.fn_ratio", "False-negative ratio |A-D|/|T|", "ratio", Direction::LowerIsBetter),
+    ("measure.detection_rate", "Detection rate", "ratio", Direction::HigherIsBetter),
+    ("measure.zero_loss_pps", "Zero-loss throughput", "pps", Direction::HigherIsBetter),
+    ("measure.lethal_dose_pps", "Network lethal dose", "pps", Direction::HigherIsBetter),
+    (
+        "measure.induced_latency_ms",
+        "Induced traffic latency (mean)",
+        "ms",
+        Direction::LowerIsBetter,
+    ),
+    ("measure.timeliness_ms", "Detection timeliness (mean)", "ms", Direction::LowerIsBetter),
+    ("measure.host_impact", "Monitored-host CPU impact", "fraction", Direction::LowerIsBetter),
+    ("measure.state_bytes", "Engine state size", "bytes", Direction::LowerIsBetter),
+    (
+        "measure.detection_retention",
+        "Detection retention under faults",
+        "ratio",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "measure.alert_loss_ratio",
+        "Alert loss ratio under faults",
+        "ratio",
+        Direction::LowerIsBetter,
+    ),
+    ("measure.mean_reroute_us", "Mean time to reroute", "us", Direction::LowerIsBetter),
+    ("measure.recovery_completeness", "Recovery completeness", "ratio", Direction::HigherIsBetter),
+    ("measure.rerouted", "Work items rerouted", "count", Direction::Neutral),
+    ("measure.replayed", "Buffered items replayed", "count", Direction::Neutral),
+    ("measure.lost_alerts", "Alerts lost to faults", "count", Direction::LowerIsBetter),
+    ("bench.wall_ms", "Benchmark wall time", "ms", Direction::LowerIsBetter),
+    ("bench.workers", "Resolved worker count", "count", Direction::Neutral),
+    ("bench.speedup", "Parallel speedup", "x", Direction::HigherIsBetter),
+];
+
+/// The complete registry: the 56 discrete catalog metrics (in catalog
+/// order) followed by the continuous measurement keys.
+pub fn registry() -> Vec<MetricEntry> {
+    let mut entries = Vec::with_capacity(80);
+    for def in catalog() {
+        entries.push(MetricEntry {
+            // The derive'd Debug name equals the serde name for unit
+            // variants, so registry keys match serialized MetricIds.
+            key: format!("{:?}", def.id),
+            name: def.name.to_owned(),
+            class: def.class.name(),
+            unit: "score/0-4",
+            kind: ScoreKind::Discrete,
+            direction: Direction::HigherIsBetter,
+        });
+    }
+    for &(key, name, unit, direction) in MEASURES {
+        entries.push(MetricEntry {
+            key: key.to_owned(),
+            name: name.to_owned(),
+            class: if key.starts_with("bench.") { "Benchmark" } else { "Measurement" },
+            unit,
+            kind: ScoreKind::Measure,
+            direction,
+        });
+    }
+    entries
+}
+
+/// Look up one registry entry by key.
+pub fn lookup(key: &str) -> Option<MetricEntry> {
+    registry().into_iter().find(|e| e.key == key)
+}
+
+/// The catalog version stamped into every run header: entry count plus a
+/// fingerprint over the full registry *and* the `idse-core` catalog
+/// export, so any change to a metric's identity, anchors, unit or
+/// direction produces runs that no longer claim comparability.
+pub fn catalog_version() -> String {
+    let mut acc = String::with_capacity(4096);
+    acc.push_str("idse-store-registry/v1\n");
+    acc.push_str(&format!("core-catalog {:016x}\n", fingerprint()));
+    let entries = registry();
+    for e in &entries {
+        acc.push_str(&format!(
+            "{}|{}|{}|{}|{}|{}\n",
+            e.key,
+            e.name,
+            e.class,
+            e.unit,
+            e.kind.name(),
+            e.direction.name()
+        ));
+    }
+    format!("c{}-{:016x}", entries.len(), fnv64(acc.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idse_core::MetricId;
+
+    #[test]
+    fn registry_covers_the_full_catalog_plus_measures() {
+        let entries = registry();
+        let discrete = entries.iter().filter(|e| e.kind == ScoreKind::Discrete).count();
+        assert_eq!(discrete, 56, "every catalog metric is registered");
+        assert_eq!(entries.len(), 56 + MEASURES.len());
+        // Keys are unique.
+        let keys: std::collections::BTreeSet<&str> =
+            entries.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys.len(), entries.len());
+    }
+
+    #[test]
+    fn discrete_keys_match_serialized_metric_ids() {
+        let serialized = serde_json::to_string(&MetricId::Timeliness).expect("id serializes");
+        assert_eq!(serialized, "\"Timeliness\"");
+        let entry = lookup("Timeliness").expect("Timeliness is registered");
+        assert_eq!(entry.unit, "score/0-4");
+        assert_eq!(entry.direction, Direction::HigherIsBetter);
+        assert_eq!(entry.class, "Performance");
+    }
+
+    #[test]
+    fn measures_carry_real_directions() {
+        assert_eq!(
+            lookup("measure.fp_ratio").expect("registered").direction,
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            lookup("measure.zero_loss_pps").expect("registered").direction,
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            lookup("measure.operating_sensitivity").expect("registered").direction,
+            Direction::Neutral
+        );
+        assert!(lookup("measure.no_such_key").is_none());
+    }
+
+    #[test]
+    fn catalog_version_is_stable_within_a_build() {
+        let v = catalog_version();
+        assert_eq!(v, catalog_version());
+        assert!(v.starts_with(&format!("c{}-", registry().len())), "{v}");
+    }
+}

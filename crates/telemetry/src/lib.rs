@@ -15,9 +15,11 @@
 //!   that drops its oldest events (and counts the drops) instead of
 //!   growing without limit during long sweeps.
 //!
-//! The crate is dependency-free: it cannot depend on `idse-sim` (which
-//! itself records into it), so timestamps are raw [`SimNanos`] — the
-//! same `u64` nanosecond value `idse_sim::SimTime::as_nanos` yields.
+//! The crate sits below the simulation: it cannot depend on `idse-sim`
+//! (which itself records into it), so timestamps are raw [`SimNanos`] —
+//! the same `u64` nanosecond value `idse_sim::SimTime::as_nanos` yields.
+//! Its only dependency is `serde`, so [`summary::TelemetrySummary`] can
+//! be folded into persisted run headers.
 //!
 //! # Anatomy
 //!
@@ -123,6 +125,20 @@ pub trait Sink: Send {
 
     /// Flush any buffered output (no-op for in-memory sinks).
     fn flush(&mut self) {}
+
+    /// A copy of the retained events, oldest first, when the sink keeps
+    /// any (streaming sinks return `None`). Lets a run fold its own
+    /// telemetry into a persisted summary without holding a second
+    /// reference to the concrete sink.
+    fn snapshot(&self) -> Option<Vec<Event>> {
+        None
+    }
+
+    /// How many events this sink has evicted or discarded (`0` for
+    /// unbounded or streaming sinks).
+    fn dropped_count(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every event. Lets benchmarks measure the overhead of the
@@ -192,6 +208,14 @@ impl Sink for MemorySink {
         }
         buf.events.push_back(*event);
     }
+
+    fn snapshot(&self) -> Option<Vec<Event>> {
+        Some(self.events())
+    }
+
+    fn dropped_count(&self) -> u64 {
+        self.dropped()
+    }
 }
 
 /// Streams each event as one JSON line to any writer.
@@ -246,6 +270,19 @@ impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
     fn flush(&mut self) {
         self.a.flush();
         self.b.flush();
+    }
+
+    fn snapshot(&self) -> Option<Vec<Event>> {
+        self.a.snapshot().or_else(|| self.b.snapshot())
+    }
+
+    fn dropped_count(&self) -> u64 {
+        // Both sides saw the same stream; report the retaining side.
+        match (self.a.snapshot().is_some(), self.b.snapshot().is_some()) {
+            (true, _) => self.a.dropped_count(),
+            (false, true) => self.b.dropped_count(),
+            (false, false) => self.a.dropped_count().max(self.b.dropped_count()),
+        }
     }
 }
 
@@ -367,6 +404,19 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             inner.lock().expect("telemetry sink lock").flush();
         }
+    }
+
+    /// A copy of the events the sink retains ([`Sink::snapshot`]):
+    /// `None` when disabled or when the sink streams without retaining.
+    pub fn snapshot_events(&self) -> Option<Vec<Event>> {
+        self.inner.as_ref().and_then(|inner| inner.lock().expect("telemetry sink lock").snapshot())
+    }
+
+    /// How many events the sink has discarded ([`Sink::dropped_count`]).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.lock().expect("telemetry sink lock").dropped_count())
     }
 
     /// Record a pre-built event verbatim — scope and timestamp are taken
@@ -594,6 +644,25 @@ mod tests {
         let tel = Telemetry::new(sink.clone()).with_scope("mine");
         tel.emit(Event { at: 9, name: "x", scope: "theirs", kind: EventKind::Counter, value: 1.0 });
         assert_eq!(sink.events()[0].scope, "theirs");
+    }
+
+    #[test]
+    fn snapshot_reaches_through_the_handle() {
+        let sink = MemorySink::new(2);
+        let tel = Telemetry::new(sink.clone());
+        for i in 0..3u64 {
+            tel.counter(i, "c", 1);
+        }
+        let events = tel.snapshot_events().expect("memory sink retains events");
+        assert_eq!(events.len(), 2);
+        assert_eq!(tel.dropped_events(), 1);
+        assert!(Telemetry::disabled().snapshot_events().is_none());
+        assert_eq!(Telemetry::disabled().dropped_events(), 0);
+        // A tee over memory + jsonl still exposes the retained side.
+        let mem = MemorySink::new(8);
+        let tee = Telemetry::new(TeeSink::new(mem.clone(), NoopSink));
+        tee.gauge(1, "g", 2.0);
+        assert_eq!(tee.snapshot_events().expect("tee retains via memory side").len(), 1);
     }
 
     #[test]

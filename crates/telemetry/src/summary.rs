@@ -16,10 +16,11 @@
 //! [`MemorySink`]: crate::MemorySink
 
 use crate::{Event, EventKind, SimNanos};
+use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Statistics for one named span (pipeline stage).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SpanStats {
     pub name: &'static str,
     pub count: u64,
@@ -34,7 +35,7 @@ pub struct SpanStats {
 }
 
 /// Statistics for one monotonic counter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CounterStats {
     pub name: &'static str,
     pub total: f64,
@@ -43,7 +44,7 @@ pub struct CounterStats {
 }
 
 /// Statistics for one sampled gauge.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GaugeStats {
     pub name: &'static str,
     pub samples: u64,
@@ -56,7 +57,7 @@ pub struct GaugeStats {
 }
 
 /// The aggregated view of one run's telemetry.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct TelemetrySummary {
     /// Sim-time extent of the observed events (first..last stamp).
     pub window_ns: u64,

@@ -1,0 +1,174 @@
+//! The run store is part of the reproducibility surface: recording the
+//! same evaluation at any executor width must produce byte-identical
+//! run files mapping onto one content-hashed id, and `store diff` must
+//! emit byte-stable reports whose REGRESSED verdicts follow each
+//! metric's registry direction — not the raw sign of the delta.
+
+use idse_eval::feeds::FeedConfig;
+use idse_eval::harness::EvaluationRequest;
+use idse_eval::measure::EnvironmentNeeds;
+use idse_eval::sweep::SweepPlan;
+use idse_sim::SimDuration;
+use idse_store::{diff_runs, RunDraft, RunStore, Verdict};
+use serde_json::json;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("idse-store-det-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The cheap evaluation request the determinism suite standardizes on.
+fn request() -> EvaluationRequest {
+    EvaluationRequest::new()
+        .with_feed(FeedConfig {
+            session_rate: 12.0,
+            training_span: SimDuration::from_secs(8),
+            test_span: SimDuration::from_secs(18),
+            campaign_intensity: 1,
+            seed: 4242,
+        })
+        .with_needs(EnvironmentNeeds::realtime_cluster(1_000.0))
+        .with_sweep(SweepPlan::with_steps(3).with_fp_budget(0.2))
+        .with_max_throughput_factor(16.0)
+}
+
+fn only_run_file(dir: &PathBuf) -> Vec<u8> {
+    let store = RunStore::open(dir).expect("store opens");
+    let ids = store.run_ids().expect("store lists");
+    assert_eq!(ids.len(), 1, "expected exactly one run in {}: {ids:?}", dir.display());
+    std::fs::read(dir.join(format!("{}.jsonl", ids[0]))).expect("run file reads")
+}
+
+#[test]
+fn recorded_runs_are_byte_identical_at_any_jobs() {
+    let dirs = [tmp("jobs1"), tmp("jobs8"), tmp("jobsauto")];
+    for (jobs, dir) in [1usize, 8, 0].into_iter().zip(&dirs) {
+        let req = request().with_jobs(jobs).with_store(dir);
+        let feed = req.build_feed();
+        req.evaluate_all(&feed);
+    }
+    let serial = only_run_file(&dirs[0]);
+    assert_eq!(serial, only_run_file(&dirs[1]), "--jobs 8 changed the stored bytes");
+    assert_eq!(serial, only_run_file(&dirs[2]), "--jobs auto changed the stored bytes");
+
+    // All widths recorded into one directory collapse onto a single
+    // file: the content hash is the identity, so re-recording is a
+    // no-op rather than a duplicate.
+    let shared = tmp("jobs-shared");
+    for jobs in [1usize, 8, 0] {
+        let req = request().with_jobs(jobs).with_store(&shared);
+        let feed = req.build_feed();
+        req.evaluate_all(&feed);
+    }
+    assert_eq!(only_run_file(&shared), serial, "shared-dir recording diverged");
+}
+
+/// A hand-seeded baseline: one discrete score, two directed measures,
+/// one neutral measure.
+fn baseline() -> RunDraft {
+    let mut d = RunDraft::new("evaluate", json!({ "fixture": "store_determinism", "seed": 1u64 }));
+    d.record("P", "Timeliness", 4.0).expect("valid record");
+    d.record("P", "measure.fp_ratio", 0.05).expect("valid record");
+    d.record("P", "measure.zero_loss_pps", 1000.0).expect("valid record");
+    d.record("P", "measure.operating_sensitivity", 0.7).expect("valid record");
+    d
+}
+
+/// Every delta favorable or neutral: a lower error ratio, a higher
+/// throughput, a moved-but-directionless sensitivity.
+fn improved() -> RunDraft {
+    let mut d = RunDraft::new("evaluate", json!({ "fixture": "store_determinism", "seed": 2u64 }));
+    d.record("P", "Timeliness", 4.0).expect("valid record");
+    d.record("P", "measure.fp_ratio", 0.04).expect("valid record");
+    d.record("P", "measure.zero_loss_pps", 1200.0).expect("valid record");
+    d.record("P", "measure.operating_sensitivity", 0.8).expect("valid record");
+    d
+}
+
+/// One true regression (the rubric drop). The fp ratio also *falls* —
+/// which is an improvement, and must not trip the gate.
+fn regressed() -> RunDraft {
+    let mut d = RunDraft::new("evaluate", json!({ "fixture": "store_determinism", "seed": 3u64 }));
+    d.record("P", "Timeliness", 2.0).expect("valid record");
+    d.record("P", "measure.fp_ratio", 0.04).expect("valid record");
+    d.record("P", "measure.zero_loss_pps", 1000.0).expect("valid record");
+    d.record("P", "measure.operating_sensitivity", 0.8).expect("valid record");
+    d
+}
+
+#[test]
+fn verdicts_follow_the_registry_direction() {
+    let store = RunStore::open(tmp("verdicts")).expect("store opens");
+    let a = store.commit(baseline()).expect("baseline commits");
+    let b = store.commit(regressed()).expect("candidate commits");
+    let diff = diff_runs(&a, &b);
+
+    let verdict = |metric: &str| {
+        diff.entries
+            .iter()
+            .find(|e| e.metric == metric)
+            .unwrap_or_else(|| panic!("{metric} missing from diff"))
+            .verdict
+    };
+    assert_eq!(verdict("Timeliness"), Verdict::Regressed, "the rubric drop is the regression");
+    assert_eq!(verdict("measure.fp_ratio"), Verdict::Improved, "a falling error ratio improves");
+    assert_eq!(verdict("measure.zero_loss_pps"), Verdict::Unchanged);
+    assert_eq!(
+        verdict("measure.operating_sensitivity"),
+        Verdict::Changed,
+        "neutral metrics only change"
+    );
+    assert!(diff.has_regressions());
+    assert_eq!(diff.count(Verdict::Regressed), 1, "exactly the perturbed metric regresses");
+
+    let up = diff_runs(&a, &store.commit(improved()).expect("improved commits"));
+    assert!(
+        !up.has_regressions(),
+        "favorable deltas must not read as regressions: {}",
+        up.summary()
+    );
+}
+
+fn store_cli(dir: &PathBuf, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_store"))
+        .arg("--dir")
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("store binary runs")
+}
+
+#[test]
+fn cli_gate_trips_only_on_direction_aware_regressions() {
+    let dir = tmp("cli-gate");
+    let store = RunStore::open(&dir).expect("store opens");
+    let a = store.commit(baseline()).expect("baseline commits").header.run_id;
+    let good = store.commit(improved()).expect("improved commits").header.run_id;
+    let bad = store.commit(regressed()).expect("regressed commits").header.run_id;
+
+    let pass = store_cli(&dir, &["diff", &a, &good, "--fail-on-regression"]);
+    assert!(pass.status.success(), "improvement-only diff must exit 0: {pass:?}");
+
+    let fail = store_cli(&dir, &["diff", &a, &bad, "--fail-on-regression"]);
+    assert_eq!(fail.status.code(), Some(1), "a regression must exit 1: {fail:?}");
+    let text = String::from_utf8(fail.stdout).expect("utf-8 report");
+    assert!(
+        text.contains(
+            "REGRESSED P / Timeliness: 4.0 -> 2.0 score/0-4 (delta -2.0, higher-is-better)"
+        ),
+        "rendered verdict drifted:\n{text}"
+    );
+    assert!(text.contains("IMPROVED"), "the favorable fp-ratio delta renders as IMPROVED:\n{text}");
+    assert!(text.contains("1 regressed"), "summary counts the single regression:\n{text}");
+
+    // Without the gate flag the same diff reports and exits 0.
+    let report_only = store_cli(&dir, &["diff", &a, &bad]);
+    assert!(report_only.status.success(), "diff without the gate is report-only: {report_only:?}");
+
+    // The report is byte-stable run-to-run.
+    let again = store_cli(&dir, &["diff", &a, &bad]);
+    assert_eq!(report_only.stdout, again.stdout, "diff output must be byte-stable");
+}
