@@ -1,0 +1,91 @@
+//! Incremental phase-1 cache: content-addressed per-file `FilePass`
+//! storage under `target/idse-lint-cache/`.
+//!
+//! Phase 1 (lexing, line rules, directive validation, model extraction)
+//! is a pure function of one file's text plus its workspace coordinates,
+//! so its output can be cached under a key derived from exactly those
+//! inputs: FNV-1a over the cache format version, the file's index, path,
+//! crate, kind, and full text. Warm runs load the serialized pass and
+//! skip re-lexing; any byte of drift — in the source, the lexer, the rule
+//! set, or the model shape — changes the key (via `CACHE_VERSION`) and
+//! forces a miss. Phases 2 and 3 always run, so a warm run's findings are
+//! byte-identical to a cold run's by construction: they consume the same
+//! `FilePass` values, only deserialized instead of recomputed.
+//!
+//! The cache is strictly best-effort: unreadable or stale entries are
+//! misses, write failures are ignored, and entries are written atomically
+//! (temp file + rename) so a concurrent reader never sees a torn entry.
+//! Keys are unique per file, so parallel writers never collide.
+
+use crate::{FileInput, FilePass};
+use std::path::{Path, PathBuf};
+
+/// Bump on ANY change to the lexer, line rules, allow-directive grammar,
+/// the semantic model, or the serialized shape of [`FilePass`]. A stale
+/// version must never deserialize into current-version structs.
+pub const CACHE_VERSION: u32 = 1;
+
+fn fnv_push(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+    // Length-delimit each field so ("ab","c") and ("a","bc") differ.
+    *h ^= bytes.len() as u64;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+/// A directory of cached phase-1 passes.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+/// Hit/miss counts from one cache-aware analysis run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Files whose phase-1 pass was loaded from the cache.
+    pub hits: usize,
+    /// Files analyzed from scratch (and stored for next time).
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: &Path) -> std::io::Result<Cache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Cache { dir: dir.to_path_buf() })
+    }
+
+    fn key(&self, file_idx: usize, input: &FileInput) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        fnv_push(&mut h, &CACHE_VERSION.to_le_bytes());
+        fnv_push(&mut h, &(file_idx as u64).to_le_bytes());
+        fnv_push(&mut h, input.path.as_bytes());
+        fnv_push(&mut h, input.crate_name.as_bytes());
+        fnv_push(&mut h, format!("{:?}", input.kind).as_bytes());
+        fnv_push(&mut h, input.text.as_bytes());
+        h
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Load the cached pass for this file, if present and intact.
+    pub(crate) fn load(&self, file_idx: usize, input: &FileInput) -> Option<FilePass> {
+        let text = std::fs::read_to_string(self.entry_path(self.key(file_idx, input))).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Store a freshly computed pass. Failures are swallowed: the cache
+    /// never makes a lint run fail, only faster.
+    pub(crate) fn store(&self, file_idx: usize, input: &FileInput, pass: &FilePass) {
+        let Ok(json) = serde_json::to_string(pass) else { return };
+        let key = self.key(file_idx, input);
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, self.entry_path(key));
+        }
+    }
+}

@@ -14,6 +14,15 @@
 //! tokens, and taint seeds. Files are independent, so this phase fans out
 //! through [`idse_exec::Executor::par_map`] and merges in submission order.
 //!
+//! **Phase 3** runs value dataflow (see [`dataflow`]) over the same
+//! models: seed lineage (`literal-seed`, `seed-label-reuse`,
+//! `seed-label-collision` — the last judged by *evaluating* the real
+//! `derive_seed` at lint time), reduction order over `par_map` output
+//! (`unordered-float-reduce`), and run-id hash purity
+//! (`impure-store-record`). Phase 1 results can be cached per file (see
+//! [`cache`]), so warm runs skip re-lexing unchanged files while staying
+//! byte-identical to cold runs.
+//!
 //! **Phase 2** assembles the per-file models into a workspace call graph
 //! and propagates taint labels (see [`taint`]) backwards from every hazard
 //! token, so a function that merely *reaches* a wall clock, ambient
@@ -53,6 +62,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod dataflow;
 pub mod fix;
 pub mod model;
 pub mod rules;
@@ -62,13 +73,13 @@ pub mod taint;
 
 use idse_exec::Executor;
 use rules::{FileKind, LineCtx, RuleId, Severity, TaintLabel};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// One reported finding.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Finding {
     /// Rule name (kebab-case, as used in allow directives).
     pub rule: String,
@@ -103,7 +114,7 @@ impl Finding {
 }
 
 /// A finding suppressed by a valid allow directive.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Suppressed {
     /// The finding that would have been reported.
     pub finding: Finding,
@@ -112,7 +123,7 @@ pub struct Suppressed {
 }
 
 /// Result of analyzing one file or a whole workspace.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Report {
     /// Active findings (not suppressed), in file/line order.
     pub findings: Vec<Finding>,
@@ -318,7 +329,7 @@ pub struct Analysis {
     pub directives: Vec<DirectiveStatus>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ValidDirective {
     target: usize,
     on_line: usize,
@@ -327,7 +338,7 @@ struct ValidDirective {
     used: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct FilePass {
     report: Report,
     valid: Vec<ValidDirective>,
@@ -453,9 +464,41 @@ fn seed_kill(passes: &[FilePass], label: TaintLabel, s: &model::SeedInfo) -> Opt
 
 /// Analyze a workspace and also report directive lifecycle (for `--fix`).
 pub fn analyze_full(ws: &Workspace, exec: &Executor) -> Analysis {
+    analyze_full_with_cache(ws, exec, None).0
+}
+
+/// [`analyze_full`] with an optional phase-1 cache. Cached files skip
+/// re-lexing; phases 2 and 3 always run, so the output is byte-identical
+/// to an uncached run. Returns the analysis plus hit/miss counts.
+pub fn analyze_full_with_cache(
+    ws: &Workspace,
+    exec: &Executor,
+    file_cache: Option<&cache::Cache>,
+) -> (Analysis, cache::CacheStats) {
     // Phase 1: per-file, embarrassingly parallel, merged in submission
     // order by par_map — the scan is byte-identical at any worker count.
-    let mut passes: Vec<FilePass> = exec.par_map(&ws.files, analyze_file);
+    // Cache keys are unique per file, so parallel stores never collide.
+    let results: Vec<(FilePass, bool)> = exec.par_map(&ws.files, |i, input| match file_cache {
+        Some(c) => match c.load(i, input) {
+            Some(pass) => (pass, true),
+            None => {
+                let pass = analyze_file(i, input);
+                c.store(i, input, &pass);
+                (pass, false)
+            }
+        },
+        None => (analyze_file(i, input), false),
+    });
+    let mut cache_stats = cache::CacheStats::default();
+    let mut passes: Vec<FilePass> = Vec::with_capacity(results.len());
+    for (pass, hit) in results {
+        if hit {
+            cache_stats.hits += 1;
+        } else {
+            cache_stats.misses += 1;
+        }
+        passes.push(pass);
+    }
 
     // Phase 2: whole-workspace call graph and taint propagation (serial —
     // the graph is one shared structure and the pass is cheap).
@@ -576,6 +619,61 @@ pub fn analyze_full(ws: &Workspace, exec: &Executor) -> Analysis {
         }
     }
 
+    // Phase 3: value dataflow over the same models — seed lineage,
+    // reduction order, store-record purity. Serial and deterministic.
+    let dataflow_hits = {
+        let views: Vec<dataflow::FileView<'_>> = metas
+            .iter()
+            .zip(passes.iter())
+            .map(|(meta, pass)| dataflow::FileView {
+                meta,
+                model: &pass.model,
+                lines: &pass.lines,
+                test_flags: &pass.test_flags,
+            })
+            .collect();
+        dataflow::analyze(&views)
+    };
+    for hit in dataflow_hits {
+        let finding = Finding {
+            rule: hit.rule.name().to_string(),
+            severity: hit.severity.label().to_string(),
+            crate_name: metas[hit.file].crate_name.clone(),
+            file: metas[hit.file].path.clone(),
+            line: hit.line + 1,
+            column: hit.column + 1,
+            message: hit.message,
+            excerpt: passes[hit.file]
+                .lines
+                .get(hit.line)
+                .map(|l| l.code.trim().to_string())
+                .unwrap_or_default(),
+            chain: hit.chain,
+        };
+        // An allow at the finding line suppresses the individual finding;
+        // an allow at the chain's origin (the binding, first label site,
+        // or taint source) shields every downstream finding — the same
+        // composition the taint rules offer.
+        if let Some(d) =
+            passes[hit.file].valid.iter_mut().find(|d| d.target == hit.line && d.rule == hit.rule)
+        {
+            d.used = true;
+            extra_suppressed.push(Suppressed { finding, reason: d.reason.clone() });
+            continue;
+        }
+        let shield =
+            hit.source.filter(|&(sf, sl)| (sf, sl) != (hit.file, hit.line)).and_then(|(sf, sl)| {
+                passes[sf].valid.iter_mut().find(|d| d.target == sl && d.rule == hit.rule)
+            });
+        match shield {
+            Some(d) => {
+                d.used = true;
+                extra_suppressed.push(Suppressed { finding, reason: d.reason.clone() });
+            }
+            None => extra_findings.push(finding),
+        }
+    }
+
     // Unused-allow sweep runs after phase 2: a directive may earn its keep
     // only as a taint-source shield.
     for (fi, pass) in passes.iter().enumerate() {
@@ -644,7 +742,7 @@ pub fn analyze_full(ws: &Workspace, exec: &Executor) -> Analysis {
         ))
     });
 
-    Analysis { report, directives }
+    (Analysis { report, directives }, cache_stats)
 }
 
 /// Analyze a workspace: the two-phase pass, report only.

@@ -27,10 +27,11 @@
 
 use crate::rules::{self, FileKind, TaintLabel};
 use crate::source::Line;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One function (or method) definition in the workspace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FnDef {
     /// Display-qualified name: `crate::module::[Type::]name`.
     pub qual: String,
@@ -53,7 +54,7 @@ pub struct FnDef {
 }
 
 /// How a call site names its callee.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum CalleeRef {
     /// Free or associated call written as a path: `foo(..)`, `a::b::f(..)`.
     Path(Vec<String>),
@@ -63,7 +64,7 @@ pub enum CalleeRef {
 
 /// One call site inside a function body (caller is file-local until
 /// assembly renumbers it).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CallSite {
     /// File-local index of the calling function.
     pub caller: usize,
@@ -76,7 +77,7 @@ pub struct CallSite {
 }
 
 /// A taint seed found inside a function body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LocalSeed {
     /// File-local index of the owning function.
     pub fn_local: usize,
@@ -92,7 +93,7 @@ pub struct LocalSeed {
 
 /// A taint seed found in a type declaration (struct/enum field of a hazard
 /// type): taints every method of the type in the same crate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TypeSeed {
     /// The struct/enum name.
     pub type_name: String,
@@ -107,7 +108,7 @@ pub struct TypeSeed {
 }
 
 /// Everything phase 1 learns about one file.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FileModel {
     /// Functions defined in the file, in definition order.
     pub fns: Vec<FnDef>,
@@ -119,6 +120,10 @@ pub struct FileModel {
     pub type_seeds: Vec<TypeSeed>,
     /// `use` imports: visible name → full path segments.
     pub imports: BTreeMap<String, Vec<String>>,
+    /// Per-line owning function (index into `fns`): the innermost `fn`
+    /// active on each line. The dataflow phase walks function bodies
+    /// through this map.
+    pub line_owners: Vec<Option<usize>>,
 }
 
 /// Module path of a file from its workspace-relative path: `src/lib.rs`
@@ -679,6 +684,7 @@ pub fn extract(
         }
     }
 
+    model.line_owners = line_fn;
     model
 }
 

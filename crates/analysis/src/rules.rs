@@ -29,10 +29,10 @@
 //!   `--jobs N` byte-identical. Ad-hoc `thread::spawn`/channel use
 //!   anywhere else reintroduces scheduling-dependent behavior.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Finding severity. Errors fail the build; warnings are debt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
     /// Reported, counted, but does not fail the run.
     Warn,
@@ -51,7 +51,7 @@ impl Severity {
 }
 
 /// Identity of a lint rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum RuleId {
     /// HashMap/HashSet in `idse-eval`/`idse-core` report paths.
     UnorderedIterationInReport,
@@ -77,6 +77,19 @@ pub enum RuleId {
     TransitivePanic,
     /// Reaching raw thread machinery transitively outside the executor.
     TransitiveThreadOutsideExec,
+    /// `seed_from_u64`/`StdRng` construction from a literal instead of
+    /// `derive_seed(master, label)`.
+    LiteralSeed,
+    /// One constant seed label used at two distinct construction sites in
+    /// the same crate.
+    SeedLabelReuse,
+    /// Two distinct constant labels whose `derive_seed` values collide.
+    SeedLabelCollision,
+    /// Float accumulation over `par_map` output outside `reduce_in_order`.
+    UnorderedFloatReduce,
+    /// Telemetry/stamp/wall-clock value reaching the canonical-record path
+    /// that feeds the store's run-id hash.
+    ImpureStoreRecord,
     /// Malformed allow directive (unknown rule or missing reason).
     InvalidAllow,
     /// Allow directive that suppressed nothing.
@@ -85,7 +98,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in stable display order.
-    pub const ALL: [RuleId; 14] = [
+    pub const ALL: [RuleId; 19] = [
         RuleId::UnorderedIterationInReport,
         RuleId::WallClockInSim,
         RuleId::UnseededEntropy,
@@ -98,6 +111,11 @@ impl RuleId {
         RuleId::TransitiveUnseededEntropy,
         RuleId::TransitivePanic,
         RuleId::TransitiveThreadOutsideExec,
+        RuleId::LiteralSeed,
+        RuleId::SeedLabelReuse,
+        RuleId::SeedLabelCollision,
+        RuleId::UnorderedFloatReduce,
+        RuleId::ImpureStoreRecord,
         RuleId::InvalidAllow,
         RuleId::UnusedAllow,
     ];
@@ -117,6 +135,11 @@ impl RuleId {
             RuleId::TransitiveUnseededEntropy => "transitive-unseeded-entropy",
             RuleId::TransitivePanic => "transitive-panic-in-library",
             RuleId::TransitiveThreadOutsideExec => "transitive-thread-outside-exec",
+            RuleId::LiteralSeed => "literal-seed",
+            RuleId::SeedLabelReuse => "seed-label-reuse",
+            RuleId::SeedLabelCollision => "seed-label-collision",
+            RuleId::UnorderedFloatReduce => "unordered-float-reduce",
+            RuleId::ImpureStoreRecord => "impure-store-record",
             RuleId::InvalidAllow => "invalid-allow",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -177,6 +200,26 @@ impl RuleId {
                 "function reaches raw thread machinery through the call graph without \
                  going through the idse-exec executor"
             }
+            RuleId::LiteralSeed => {
+                "RNG seeded from a literal value: every stream must derive its seed \
+                 via derive_seed(master, label) so the master seed reaches it"
+            }
+            RuleId::SeedLabelReuse => {
+                "constant seed label used at two distinct construction sites in one \
+                 crate: identical labels yield identical, correlated streams"
+            }
+            RuleId::SeedLabelCollision => {
+                "two distinct constant labels whose derive_seed values collide: the \
+                 streams are identical even though the labels differ"
+            }
+            RuleId::UnorderedFloatReduce => {
+                "float accumulation over par_map output outside reduce_in_order: \
+                 addition order is not associative, so --jobs N changes the result"
+            }
+            RuleId::ImpureStoreRecord => {
+                "stamp/telemetry/wall-clock value flows into a store record call: \
+                 run ids hash canonical content, which must exclude ambient inputs"
+            }
             RuleId::InvalidAllow => {
                 "malformed idse-lint allow directive: unknown rule name or missing \
                  non-empty reason"
@@ -187,7 +230,7 @@ impl RuleId {
 }
 
 /// What part of a crate a file belongs to. Rules scope themselves by kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FileKind {
     /// `src/**` (excluding `src/bin`): the library proper.
     Library,
@@ -243,7 +286,7 @@ const SIM_CLOCK_CRATES: [&str; 6] =
 /// [`TaintLabel::applies`] — so a wrapper function can never launder a
 /// violation past the lint: the scope that bans the token also bans
 /// reaching it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum TaintLabel {
     /// Hash-seeded container use (`HashMap`/`HashSet`).
     UnorderedIter,
@@ -420,7 +463,7 @@ fn first_word(code: &str, words: &'static [&'static str]) -> Option<(usize, &'st
     best
 }
 
-fn is_floatish_token(tok: &str) -> bool {
+pub(crate) fn is_floatish_token(tok: &str) -> bool {
     if tok.is_empty() {
         return false;
     }

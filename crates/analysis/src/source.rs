@@ -10,8 +10,10 @@
 //! honest: the classic failure mode of grep-based lint is matching
 //! inside literals.
 
+use serde::{Deserialize, Serialize};
+
 /// One physical source line, split into its lexical channels.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Line {
     /// Code with string/char-literal contents masked to spaces and
     /// comments removed. Delimiting quotes are kept so token boundaries
@@ -21,6 +23,13 @@ pub struct Line {
     /// leading slashes). Block-comment text is dropped: allow directives
     /// are line comments by definition.
     pub comment: String,
+    /// String literals that open *and* close on this line, as
+    /// `(column, content)` where `column` is the char offset of the
+    /// opening quote in the masked `code` channel and `content` is the
+    /// literal text as written (escape sequences are not decoded).
+    /// Multi-line literals are not recorded: the seed-label rules only
+    /// consume constant labels, which are single-line by convention.
+    pub literals: Vec<(usize, String)>,
 }
 
 enum LexState {
@@ -52,6 +61,9 @@ pub fn mask(text: &str) -> Vec<Line> {
     let mut lines: Vec<Line> = vec![Line::default()];
     let mut state = LexState::Code;
     let mut i = 0usize;
+    // In-flight string literal: (line index, opening-quote column,
+    // content so far). Dropped at close if the literal spanned lines.
+    let mut lit: Option<(usize, usize, String)> = None;
 
     macro_rules! cur {
         () => {
@@ -83,6 +95,7 @@ pub fn mask(text: &str) -> Vec<Line> {
                     state = LexState::BlockComment(1);
                     i += 2;
                 } else if c == '"' {
+                    lit = Some((lines.len() - 1, cur!().code.chars().count(), String::new()));
                     cur!().code.push('"');
                     state = LexState::Str;
                     i += 1;
@@ -91,16 +104,19 @@ pub fn mask(text: &str) -> Vec<Line> {
                     && is_raw_str_start(&chars, i).is_some()
                 {
                     let hashes = is_raw_str_start(&chars, i).unwrap_or(0);
+                    lit = Some((lines.len() - 1, cur!().code.chars().count(), String::new()));
                     cur!().code.push('"');
                     state = LexState::RawStr(hashes);
                     i += 2 + hashes as usize; // r, hashes, opening quote
                 } else if c == 'b' && next == Some('"') {
+                    lit = Some((lines.len() - 1, cur!().code.chars().count(), String::new()));
                     cur!().code.push('"');
                     state = LexState::Str;
                     i += 2;
                 } else if c == 'b' && next == Some('r') && is_raw_str_start(&chars, i + 1).is_some()
                 {
                     let hashes = is_raw_str_start(&chars, i + 1).unwrap_or(0);
+                    lit = Some((lines.len() - 1, cur!().code.chars().count(), String::new()));
                     cur!().code.push('"');
                     state = LexState::RawStr(hashes);
                     i += 3 + hashes as usize;
@@ -148,20 +164,34 @@ pub fn mask(text: &str) -> Vec<Line> {
             LexState::Str => {
                 if c == '\\' {
                     cur!().code.push(' ');
+                    if let Some((_, _, buf)) = lit.as_mut() {
+                        buf.push('\\');
+                    }
                     // Skip the escaped char unless it's the newline of a
                     // line continuation (newlines must reach the top-level
                     // handler to keep line numbers honest).
                     if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        if let Some((_, _, buf)) = lit.as_mut() {
+                            buf.push(chars[i + 1]);
+                        }
                         cur!().code.push(' ');
                         i += 2;
                     } else {
                         i += 1;
                     }
                 } else if c == '"' {
+                    if let Some((ln, col, content)) = lit.take() {
+                        if ln + 1 == lines.len() {
+                            cur!().literals.push((col, content));
+                        }
+                    }
                     cur!().code.push('"');
                     state = LexState::Code;
                     i += 1;
                 } else {
+                    if let Some((_, _, buf)) = lit.as_mut() {
+                        buf.push(c);
+                    }
                     cur!().code.push(' ');
                     i += 1;
                 }
@@ -170,14 +200,25 @@ pub fn mask(text: &str) -> Vec<Line> {
                 if c == '"' {
                     let closes = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
                     if closes {
+                        if let Some((ln, col, content)) = lit.take() {
+                            if ln + 1 == lines.len() {
+                                cur!().literals.push((col, content));
+                            }
+                        }
                         cur!().code.push('"');
                         state = LexState::Code;
                         i += 1 + hashes as usize;
                     } else {
+                        if let Some((_, _, buf)) = lit.as_mut() {
+                            buf.push(c);
+                        }
                         cur!().code.push(' ');
                         i += 1;
                     }
                 } else {
+                    if let Some((_, _, buf)) = lit.as_mut() {
+                        buf.push(c);
+                    }
                     cur!().code.push(' ');
                     i += 1;
                 }
@@ -407,6 +448,32 @@ mod tests {
         assert_eq!(dirs[0].reason.as_deref(), Some("exact zero sentinel"));
         assert_eq!(dirs[1].rule_name, "panic-in-library");
         assert_eq!(dirs[1].target_line, 2);
+    }
+
+    #[test]
+    fn single_line_literals_are_captured_with_columns() {
+        let lines = mask("derive(master, \"traffic\");\nlet r = r#\"raw one\"#;\n");
+        let lits: Vec<&str> = lines[0].literals.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lits, vec!["traffic"]);
+        let (col, _) = lines[0].literals[0];
+        assert_eq!(lines[0].code.chars().nth(col), Some('"'));
+        let raw: Vec<&str> = lines[1].literals.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(raw, vec!["raw one"]);
+    }
+
+    #[test]
+    fn multi_line_literals_are_not_captured() {
+        let lines = mask("let s = \"spans\nlines\";\nafter(\"ok\");\n");
+        assert!(lines[0].literals.is_empty());
+        assert!(lines[1].literals.is_empty());
+        assert_eq!(lines[2].literals.len(), 1);
+        assert_eq!(lines[2].literals[0].1, "ok");
+    }
+
+    #[test]
+    fn escaped_content_is_recorded_as_written() {
+        let lines = mask("f(\"a\\\"b\");\n");
+        assert_eq!(lines[0].literals[0].1, "a\\\"b");
     }
 
     #[test]

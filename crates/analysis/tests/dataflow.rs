@@ -1,0 +1,402 @@
+//! End-to-end tests for phase 3, the value-dataflow rules: one positive
+//! and one negative fixture per rule, witness chains, tier policy,
+//! allow + shield composition, SARIF coverage — and the incremental
+//! phase-1 cache: cold vs warm runs must emit byte-identical text, JSON,
+//! and SARIF at any worker count, including after touching one file.
+
+use idse_exec::Executor;
+use idse_lint::cache::Cache;
+use idse_lint::rules::FileKind;
+use idse_lint::{
+    analyze_full_with_cache, analyze_source, load_workspace, render_text, Report, Workspace,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn lint_fixture(name: &str, crate_name: &str, kind: FileKind) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} must be readable: {e}"));
+    analyze_source(name, crate_name, kind, &text)
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+// --- literal-seed ---
+
+#[test]
+fn literal_seed_positive() {
+    let r = lint_fixture("seed_literal_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["literal-seed"; 3], "{:?}", rules_of(&r));
+    // Direct literal: owner and sink token in the chain.
+    let direct = &r.findings[0];
+    assert_eq!(direct.chain, vec!["idse-sim::seed_literal_pos::direct", "seed_from_u64(42)"]);
+    // Through a local binding: the let step is the witness.
+    let via_let = &r.findings[1];
+    assert!(via_let.chain.iter().any(|s| s == "let seed = 0xdead_beef"), "{:?}", via_let.chain);
+    // Through a helper function: the helper's literal body is the witness.
+    let via_fn = &r.findings[2];
+    assert!(
+        via_fn.chain.iter().any(|s| s == "idse-sim::seed_literal_pos::default_seed -> 7"),
+        "{:?}",
+        via_fn.chain
+    );
+}
+
+#[test]
+fn literal_seed_negative() {
+    let r = lint_fixture("seed_literal_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn literal_seed_tier_policy() {
+    // Standard-tier crates warn; tooling crates are out of scope.
+    let r = lint_fixture("seed_literal_pos.rs", "idse-eval", FileKind::Library);
+    assert!(!r.findings.is_empty());
+    assert!(r.findings.iter().all(|f| f.severity == "warning"), "{:?}", r.findings);
+    let r = lint_fixture("seed_literal_pos.rs", "idse-bench", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+// --- seed-label-reuse ---
+
+#[test]
+fn seed_label_reuse_positive() {
+    let r = lint_fixture("seed_reuse_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["seed-label-reuse"; 2], "{:?}", rules_of(&r));
+    // Literal labels: the second site reports, naming the first.
+    let lit = &r.findings[0];
+    assert!(lit.message.contains("\"stream\""), "{}", lit.message);
+    assert!(lit.message.contains("seed_reuse_pos.rs:6"), "{}", lit.message);
+    assert_eq!(
+        lit.chain,
+        vec![
+            "idse-sim::seed_reuse_pos::traffic_stream",
+            "idse-sim::seed_reuse_pos::attack_stream",
+            "label \"stream\""
+        ]
+    );
+    // Const-resolved labels are caught the same way.
+    let konst = &r.findings[1];
+    assert!(konst.message.contains("\"queue\""), "{}", konst.message);
+    assert_eq!(konst.chain[1], "idse-sim::seed_reuse_pos::egress");
+}
+
+#[test]
+fn seed_label_reuse_negative() {
+    let r = lint_fixture("seed_reuse_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn seed_label_reuse_allow_at_first_site_shields_every_later_site() {
+    let src =
+        "// idse-lint: allow(seed-label-reuse, reason = \"twin streams, A/B determinism check\")\n\
+               pub fn a(m: u64) -> u64 { derive_seed(m, \"s\") }\n\
+               pub fn b(m: u64) -> u64 { derive_seed(m, \"s\") }\n\
+               pub fn c(m: u64) -> u64 { derive_seed(m, \"s\") }\n";
+    let r = analyze_source("x.rs", "idse-sim", FileKind::Library, src);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+    assert_eq!(r.suppressed.len(), 2, "{:?}", r.suppressed);
+    assert!(r.suppressed.iter().all(|s| s.reason.contains("twin streams")));
+}
+
+#[test]
+fn seed_label_reuse_allow_at_finding_line() {
+    let src = "pub fn a(m: u64) -> u64 { derive_seed(m, \"s\") }\n\
+               // idse-lint: allow(seed-label-reuse, reason = \"mirror stream on purpose\")\n\
+               pub fn b(m: u64) -> u64 { derive_seed(m, \"s\") }\n";
+    let r = analyze_source("x.rs", "idse-sim", FileKind::Library, src);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+    assert_eq!(r.suppressed.len(), 1);
+}
+
+// --- seed-label-collision ---
+
+#[test]
+fn seed_label_collision_positive() {
+    let r = lint_fixture("seed_collision_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["seed-label-collision"; 2], "{:?}", rules_of(&r));
+    for f in &r.findings {
+        assert_eq!(f.severity, "error");
+        assert!(f.message.contains("L39218a36c129be09"), "{}", f.message);
+        assert!(f.message.contains("Lb29619b0f43f11e9"), "{}", f.message);
+        // The witness is the evaluated derivation, not a heuristic.
+        assert!(
+            f.chain.last().expect("chain is non-empty").starts_with("derive_seed -> 0x"),
+            "{:?}",
+            f.chain
+        );
+    }
+}
+
+#[test]
+fn seed_label_collision_negative() {
+    let r = lint_fixture("seed_collision_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn seed_label_collision_fires_in_any_tier() {
+    // Unlike reuse, a collision is an error even in tooling crates: the
+    // derivation is broken wherever it runs.
+    let r = lint_fixture("seed_collision_pos.rs", "idse-bench", FileKind::Library);
+    assert!(r.has_errors(), "{:?}", rules_of(&r));
+}
+
+// --- unordered-float-reduce ---
+
+#[test]
+fn unordered_float_reduce_positive() {
+    let r = lint_fixture("float_reduce_pos.rs", "idse-eval", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["unordered-float-reduce"; 3], "{:?}", rules_of(&r));
+    // The loop accumulation carries the binding provenance in its chain.
+    let looped = &r.findings[0];
+    assert_eq!(looped.chain[0], "idse-eval::float_reduce_pos::loop_accumulate");
+    assert!(looped.chain[1].starts_with("par_map output `parts`"), "{:?}", looped.chain);
+    assert!(looped.excerpt.contains("+="), "{}", looped.excerpt);
+    // Iterator sum and fold are both caught.
+    assert!(r.findings.iter().any(|f| f.excerpt.contains("sum::<f64>")));
+    assert!(r.findings.iter().any(|f| f.excerpt.contains(".fold(0.0")));
+}
+
+#[test]
+fn unordered_float_reduce_negative() {
+    let r = lint_fixture("float_reduce_neg.rs", "idse-eval", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn unordered_float_reduce_is_legal_inside_the_executor_crate() {
+    // idse-exec owns the canonical-order merge; its internals are exempt.
+    let r = lint_fixture("float_reduce_pos.rs", "idse-exec", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn unordered_float_reduce_shield_at_the_binding() {
+    let src = "pub fn t(exec: &Executor, xs: &[f64]) -> f64 {\n\
+               \x20   // idse-lint: allow(unordered-float-reduce, reason = \"abs-tolerance comparison downstream\")\n\
+               \x20   let parts = exec.par_map(xs, |_, x| x * 2.0);\n\
+               \x20   let a = parts.iter().sum::<f64>();\n\
+               \x20   let b = parts.iter().fold(0.0, |acc, x| acc + x);\n\
+               \x20   a + b\n\
+               }\n";
+    let r = analyze_source("x.rs", "idse-eval", FileKind::Library, src);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+    assert_eq!(r.suppressed.len(), 2, "one allow at the binding shields both reductions");
+}
+
+// --- impure-store-record ---
+
+#[test]
+fn impure_store_record_positive() {
+    let r = lint_fixture("store_record_pos.rs", "idse-store", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["impure-store-record"; 2], "{:?}", rules_of(&r));
+    let stamp = &r.findings[0];
+    assert!(stamp.message.contains("--stamp"), "{}", stamp.message);
+    assert_eq!(stamp.chain[0], "idse-store::store_record_pos::commit_run");
+    assert!(stamp.chain[1].starts_with("--stamp CLI value `stamp`"), "{:?}", stamp.chain);
+    assert_eq!(stamp.chain[2], "RunDraft::new(..)");
+    let telemetry = &r.findings[1];
+    assert!(telemetry.chain[1].starts_with("telemetry summary `summary`"), "{:?}", telemetry.chain);
+    assert_eq!(telemetry.chain[2], "record(..)");
+}
+
+#[test]
+fn impure_store_record_negative() {
+    // Identical sources routed through with_stamp/with_telemetry — the
+    // hash-excluded annotation channels — are sanctioned.
+    let r = lint_fixture("store_record_neg.rs", "idse-store", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn impure_store_record_catches_wall_clock_values_in_any_tier() {
+    let src = "pub fn ship(store: &RunStore) -> u64 {\n\
+               \x20   let when = SystemTime::now();\n\
+               \x20   let draft = RunDraft::new(\"exp\", \"m\", when);\n\
+               \x20   store.commit(draft)\n\
+               }\n";
+    let r = analyze_source("x.rs", "idse-bench", FileKind::Library, src);
+    assert_eq!(rules_of(&r), vec!["impure-store-record"], "{:?}", rules_of(&r));
+    assert!(r.findings[0].chain[1].starts_with("wall-clock value `when`"));
+}
+
+// --- SARIF carries the new rules ---
+
+#[test]
+fn sarif_lists_the_dataflow_rules_and_their_findings() {
+    let r = lint_fixture("seed_collision_pos.rs", "idse-sim", FileKind::Library);
+    let sarif = idse_lint::sarif::to_sarif(&r);
+    for rule in [
+        "literal-seed",
+        "seed-label-reuse",
+        "seed-label-collision",
+        "unordered-float-reduce",
+        "impure-store-record",
+    ] {
+        assert!(sarif.contains(&format!("\"{rule}\"")), "rules table misses {rule}");
+    }
+    assert!(sarif.contains("derive_seed"), "finding message survives into SARIF");
+}
+
+// --- incremental cache: byte identity and invalidation ---
+
+/// A scratch workspace with enough surface to exercise line rules, taint,
+/// and every dataflow rule at once.
+fn write_cache_workspace(dir: &Path) {
+    let sim = dir.join("crates/sim/src");
+    let eval = dir.join("crates/eval/src");
+    std::fs::create_dir_all(&sim).expect("scratch dirs create");
+    std::fs::create_dir_all(&eval).expect("scratch dirs create");
+    std::fs::write(
+        dir.join("crates/sim/Cargo.toml"),
+        "[package]\nname = \"idse-sim\"\n\n[dependencies]\n",
+    )
+    .expect("manifest writes");
+    std::fs::write(
+        dir.join("crates/eval/Cargo.toml"),
+        "[package]\nname = \"idse-eval\"\n\n[dependencies]\nidse-sim = { path = \"../sim\" }\n",
+    )
+    .expect("manifest writes");
+    std::fs::write(
+        sim.join("lib.rs"),
+        "pub fn a(m: u64) -> u64 { derive_seed(m, \"stream\") }\n\
+         pub fn b(m: u64) -> u64 { derive_seed(m, \"stream\") }\n\
+         pub fn c() -> u64 { StdRng::seed_from_u64(9) }\n",
+    )
+    .expect("lib writes");
+    std::fs::write(
+        eval.join("lib.rs"),
+        "pub fn t(exec: &Executor, xs: &[f64]) -> f64 {\n\
+         \x20   let parts = exec.par_map(xs, |_, x| x * 2.0);\n\
+         \x20   parts.iter().sum::<f64>()\n\
+         }\n",
+    )
+    .expect("lib writes");
+}
+
+/// All three output formats plus cache stats for one run.
+fn cached_outputs(
+    root: &Path,
+    exec: &Executor,
+    cache: Option<&Cache>,
+) -> (String, String, String, usize, usize) {
+    let ws = load_workspace(root).expect("workspace loads");
+    let (analysis, stats) = analyze_full_with_cache(&ws, exec, cache);
+    let report = analysis.report;
+    let text = render_text(&report);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let sarif = idse_lint::sarif::to_sarif(&report);
+    (text, json, sarif, stats.hits, stats.misses)
+}
+
+#[test]
+fn warm_cache_is_byte_identical_and_invalidates_per_file() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-cache-identity");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_cache_workspace(&dir);
+    let cache_dir = dir.join("cache");
+    let cache = Cache::open(&cache_dir).expect("cache opens");
+
+    // Cold: everything misses and the findings match an uncached run.
+    let uncached = cached_outputs(&dir, &Executor::serial(), None);
+    let cold = cached_outputs(&dir, &Executor::serial(), Some(&cache));
+    assert_eq!(cold.4, 2, "two files analyzed cold");
+    assert_eq!((&cold.0, &cold.1, &cold.2), (&uncached.0, &uncached.1, &uncached.2));
+    assert!(cold.0.contains("seed-label-reuse"), "{}", cold.0);
+    assert!(cold.0.contains("literal-seed"), "{}", cold.0);
+    assert!(cold.0.contains("unordered-float-reduce"), "{}", cold.0);
+
+    // Warm: everything hits, bytes identical, at any worker count.
+    for exec in [Executor::serial(), Executor::new(1), Executor::new(4)] {
+        let warm = cached_outputs(&dir, &exec, Some(&cache));
+        assert_eq!((warm.3, warm.4), (2, 0), "warm run hits every file");
+        assert_eq!((&warm.0, &warm.1, &warm.2), (&cold.0, &cold.1, &cold.2));
+    }
+
+    // Touch one file: exactly that file misses, and the output tracks the
+    // edit — stale entries must not leak old findings.
+    std::fs::write(
+        dir.join("crates/eval/src/lib.rs"),
+        "pub fn t(exec: &Executor, xs: &[f64]) -> f64 {\n\
+         \x20   let parts = exec.par_map(xs, |i, x| (i, x * 2.0));\n\
+         \x20   let ordered = reduce_in_order(parts, xs.len());\n\
+         \x20   ordered.iter().fold(0.0, |acc, x| acc + x)\n\
+         }\n",
+    )
+    .expect("edit writes");
+    let touched = cached_outputs(&dir, &Executor::new(4), Some(&cache));
+    assert_eq!((touched.3, touched.4), (1, 1), "one hit, one miss after the edit");
+    let fresh = cached_outputs(&dir, &Executor::serial(), None);
+    assert_eq!((&touched.0, &touched.1, &touched.2), (&fresh.0, &fresh.1, &fresh.2));
+    assert!(!touched.0.contains("unordered-float-reduce"), "fixed file is clean: {}", touched.0);
+    assert!(touched.0.contains("seed-label-reuse"), "untouched findings survive: {}", touched.0);
+}
+
+#[test]
+fn corrupt_cache_entries_are_treated_as_misses() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-cache-corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_cache_workspace(&dir);
+    let cache_dir = dir.join("cache");
+    let cache = Cache::open(&cache_dir).expect("cache opens");
+    let cold = cached_outputs(&dir, &Executor::serial(), Some(&cache));
+    for entry in std::fs::read_dir(&cache_dir).expect("cache dir lists") {
+        std::fs::write(entry.expect("entry").path(), "{ truncated").expect("corrupt writes");
+    }
+    let recovered = cached_outputs(&dir, &Executor::serial(), Some(&cache));
+    assert_eq!((recovered.3, recovered.4), (0, 2), "corrupt entries re-analyze");
+    assert_eq!((&recovered.0, &recovered.1, &recovered.2), (&cold.0, &cold.1, &cold.2));
+}
+
+// --- determinism across worker counts, fixtures in one workspace ---
+
+fn dataflow_fixture_workspace() -> Workspace {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut ws = Workspace::default();
+    for (name, crate_name) in [
+        ("seed_literal_pos.rs", "idse-sim"),
+        ("seed_reuse_pos.rs", "idse-sim"),
+        ("seed_collision_pos.rs", "idse-sim"),
+        ("float_reduce_pos.rs", "idse-eval"),
+        ("store_record_pos.rs", "idse-store"),
+    ] {
+        ws.files.push(idse_lint::FileInput {
+            path: name.to_string(),
+            crate_name: crate_name.to_string(),
+            kind: FileKind::Library,
+            text: std::fs::read_to_string(base.join(name)).expect("fixture reads"),
+        });
+    }
+    ws
+}
+
+proptest! {
+    /// Dataflow findings are a pure function of the workspace: any worker
+    /// count emits the same bytes as serial for every output format.
+    #[test]
+    fn dataflow_findings_are_stable_across_worker_counts(jobs in 1usize..=16) {
+        let ws = dataflow_fixture_workspace();
+        let serial = idse_lint::analyze(&ws, &Executor::serial());
+        let parallel = idse_lint::analyze(&ws, &Executor::new(jobs));
+        prop_assert_eq!(render_text(&serial), render_text(&parallel));
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&serial).expect("serializes"),
+            serde_json::to_string_pretty(&parallel).expect("serializes")
+        );
+        prop_assert_eq!(
+            idse_lint::sarif::to_sarif(&serial),
+            idse_lint::sarif::to_sarif(&parallel)
+        );
+    }
+}

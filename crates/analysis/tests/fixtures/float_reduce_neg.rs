@@ -1,0 +1,22 @@
+//! Negative twin for `unordered-float-reduce`: the sanctioned patterns —
+//! routing through `reduce_in_order` before accumulating, and integer
+//! accumulation (associative, order-independent).
+
+pub fn canonical_total(exec: &Executor, xs: &[f64]) -> f64 {
+    let parts = exec.par_map(xs, |i, x| (i, x * 2.0));
+    let ordered = reduce_in_order(parts, xs.len());
+    let mut total = 0.0;
+    for p in &ordered {
+        total += *p;
+    }
+    total
+}
+
+pub fn integer_count(exec: &Executor, xs: &[u32]) -> u64 {
+    let parts = exec.par_map(xs, |_, x| x + 1);
+    let mut n = 0u64;
+    for p in &parts {
+        n += u64::from(*p);
+    }
+    n
+}

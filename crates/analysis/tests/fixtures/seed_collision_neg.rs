@@ -1,0 +1,10 @@
+//! Negative twin for `seed-label-collision`: distinct labels with
+//! distinct derivations — the ordinary case.
+
+pub fn traffic_stream(master: u64) -> u64 {
+    derive_seed(master, "traffic")
+}
+
+pub fn attack_stream(master: u64) -> u64 {
+    derive_seed(master, "attacks")
+}

@@ -1,0 +1,12 @@
+//! Positive fixture for `seed-label-collision`: two distinct labels whose
+//! FNV-1a hashes (and therefore derive_seed values, SplitMix64 being a
+//! bijection) collide — the streams are identical for every master seed.
+//! The pair was found by birthday search over FNV-1a-64.
+
+pub fn traffic_stream(master: u64) -> u64 {
+    derive_seed(master, "L39218a36c129be09")
+}
+
+pub fn attack_stream(master: u64) -> u64 {
+    derive_seed(master, "Lb29619b0f43f11e9")
+}

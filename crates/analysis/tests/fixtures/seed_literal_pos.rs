@@ -1,0 +1,23 @@
+//! Positive fixture for `literal-seed`: RNG streams constructed straight
+//! from integer literals — directly, through a local binding, and through
+//! a helper function — instead of a derive_seed(master, label) derivation.
+
+pub fn direct() -> u64 {
+    let rng = StdRng::seed_from_u64(42);
+    rng.next()
+}
+
+pub fn via_let() -> u64 {
+    let seed = 0xdead_beef;
+    let rng = StdRng::seed_from_u64(seed);
+    rng.next()
+}
+
+fn default_seed() -> u64 {
+    7
+}
+
+pub fn via_fn() -> u64 {
+    let rng = StdRng::seed_from_u64(default_seed());
+    rng.next()
+}

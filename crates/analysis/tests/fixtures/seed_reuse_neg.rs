@@ -1,0 +1,26 @@
+//! Negative twin for `seed-label-reuse`: every construction site has its
+//! own label, and test code may reuse labels freely.
+
+pub fn traffic_stream(master: u64) -> u64 {
+    derive_seed(master, "traffic")
+}
+
+pub fn attack_stream(master: u64) -> u64 {
+    derive_seed(master, "attacks")
+}
+
+const QUEUE_LABEL: &str = "queue";
+
+pub fn ingress(master: u64) -> u64 {
+    derive_seed(master, QUEUE_LABEL)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reuse_in_tests_is_legal() {
+        let a = derive_seed(0, "traffic");
+        let b = derive_seed(0, "traffic");
+        assert_eq!(a, b);
+    }
+}

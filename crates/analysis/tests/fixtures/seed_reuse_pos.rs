@@ -1,0 +1,21 @@
+//! Positive fixture for `seed-label-reuse`: one constant label at two
+//! distinct construction sites — once as a string literal, once through a
+//! shared `const` — so the two "independent" streams draw identical bits.
+
+pub fn traffic_stream(master: u64) -> u64 {
+    derive_seed(master, "stream")
+}
+
+pub fn attack_stream(master: u64) -> u64 {
+    derive_seed(master, "stream")
+}
+
+const QUEUE_LABEL: &str = "queue";
+
+pub fn ingress(master: u64) -> u64 {
+    derive_seed(master, QUEUE_LABEL)
+}
+
+pub fn egress(master: u64) -> u64 {
+    derive_seed(master, QUEUE_LABEL)
+}

@@ -1,0 +1,15 @@
+//! Negative twin for `impure-store-record`: the same ambient inputs
+//! routed through `with_stamp`/`with_telemetry` — the annotation channels
+//! the run-id hash deliberately excludes.
+
+pub fn commit_run(args: &Args, store: &RunStore) -> u64 {
+    let stamp = args.opt("--stamp");
+    let draft = RunDraft::new("evaluate", "hybrid", "x7").with_stamp(stamp);
+    store.commit(draft)
+}
+
+pub fn record_metrics(events: &Telemetry, draft: &mut RunDraft) {
+    draft.record("detection.rate", 0.97);
+    let summary = events.summarize();
+    draft.with_telemetry(summary);
+}

@@ -1,0 +1,14 @@
+//! Positive fixture for `impure-store-record`: ambient inputs — the
+//! `--stamp` CLI value and a telemetry summary — flowing into the
+//! canonical-record path whose content the run-id hash covers.
+
+pub fn commit_run(args: &Args, store: &RunStore) -> u64 {
+    let stamp = args.opt("--stamp");
+    let draft = RunDraft::new("evaluate", "hybrid", stamp);
+    store.commit(draft)
+}
+
+pub fn record_metrics(events: &Telemetry, draft: &mut RunDraft) {
+    let summary = events.summarize();
+    draft.record("telemetry.events", summary);
+}

@@ -6,9 +6,15 @@
 //! suites: signature-only, anomaly-only, and the parallel hybrid. The
 //! hybrid unions the detection coverage and pays for it in per-packet
 //! inspection cost — measurably lower zero-loss throughput.
+//!
+//! With `--store DIR` the three mechanism rows are committed to the
+//! provenance-keyed run store, one product key per mechanism, so
+//! `store history measure.zero_loss_pps --product "hybrid (parallel)"`
+//! tracks the hybrid's inspection cost across commits.
 
 use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
 use idse_eval::confusion::TransactionLedger;
+use idse_eval::provenance::{record_hybrid_taxonomy, HybridTaxonomyRow, StoreSpec};
 use idse_eval::throughput::throughput_search;
 use idse_ids::engine::anomaly::AnomalyConfig;
 use idse_ids::engine::signature::SignatureConfig;
@@ -23,10 +29,17 @@ fn variant(engines: EngineSuite) -> IdsProduct {
     p
 }
 
+const USAGE: &str = "usage: exp_hybrid_taxonomy [--seed N] [--jobs N] [--out PATH]\n\
+                     \x20                          [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) =
-        cli::shell("usage: exp_hybrid_taxonomy [--seed N] [--jobs N] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store_dir = args.opt("--store");
+    let stamp = args.opt("--stamp");
+    let git_rev = args.opt("--git-rev");
+    let common = args.finish();
     common.deny_json("exp_hybrid_taxonomy");
+    let mut out = cli::Out::new(&common);
 
     outln!(out, "=== §2.1 taxonomy: signature vs anomaly vs parallel hybrid ===\n");
     outln!(out, "Identical architecture (4 load-balanced sensors); only the detection");
@@ -110,4 +123,31 @@ fn main() {
     outln!(out, "false-positive sources, while its per-packet cost — both engines run on");
     outln!(out, "every packet — buys the lowest zero-loss throughput of the three.");
     out.finish();
+
+    if let Some(dir) = &store_dir {
+        let spec = StoreSpec::new(dir).with_stamp(stamp).with_git_rev(git_rev);
+        let store_rows: Vec<HybridTaxonomyRow> = suites
+            .iter()
+            .zip(&probes)
+            .map(|((label, _), (c, tp))| HybridTaxonomyRow {
+                mechanism: (*label).to_owned(),
+                detection_rate: c.detection_rate(),
+                fp_ratio: c.false_positive_ratio(),
+                zero_loss_pps: tp.zero_loss_pps,
+                alerts: c.alert_count,
+            })
+            .collect();
+        match record_hybrid_taxonomy(&spec, &request, 0.8, &store_rows) {
+            Ok(run) => eprintln!(
+                "recorded run {} ({} records) in {}",
+                run.header.run_id,
+                run.header.records,
+                spec.dir.display()
+            ),
+            Err(e) => {
+                eprintln!("error: run store recording failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -9,6 +9,7 @@
 //! cargo run -p idse-bench --bin lint -- --fix         # dry-run directive cleanup
 //! cargo run -p idse-bench --bin lint -- --fix --write # apply it
 //! cargo run -p idse-bench --bin lint -- --write-baseline lint-baseline.json
+//! cargo run -p idse-bench --bin lint -- --no-cache     # force full re-extraction
 //! ```
 //!
 //! Runs in CI between clippy and the test suite; exits nonzero when any
@@ -20,7 +21,11 @@
 //! time; `--write-baseline` snapshots it to the committed
 //! `lint-baseline.json`. `--fix` plans mechanical allow-directive cleanup
 //! (delete unused, normalize malformed) and only touches files with
-//! `--write`.
+//! `--write`. Per-file models are cached content-addressed under
+//! `<root>/target/idse-lint-cache/` (override with `--cache-dir DIR`,
+//! disable with `--no-cache`): a warm scan re-extracts only changed files
+//! and is byte-identical to cold; the wall time and hit/miss counts print
+//! to stderr so they never perturb the diffable stdout.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,12 +40,15 @@ struct Args {
     fix: bool,
     write: bool,
     list_rules: bool,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lint [--root DIR] [--jobs N] [--json FILE|-] [--sarif FILE|-] [--stats]\n\
-         \x20           [--fix [--write]] [--write-baseline FILE] [--rules]"
+         \x20           [--fix [--write]] [--write-baseline FILE] [--rules]\n\
+         \x20           [--cache-dir DIR] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -56,6 +64,8 @@ fn parse_args() -> Args {
         fix: false,
         write: false,
         list_rules: false,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,6 +84,10 @@ fn parse_args() -> Args {
             "--fix" => args.fix = true,
             "--write" => args.write = true,
             "--rules" => args.list_rules = true,
+            "--cache-dir" => {
+                args.cache_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--no-cache" => args.no_cache = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -134,7 +148,30 @@ fn main() -> ExitCode {
         Some(n) => idse_exec::Executor::new(n),
         None => idse_exec::Executor::serial(),
     };
-    let analysis = idse_lint::analyze_full(&ws, &exec);
+    // Incremental phase-1 cache, on by default under target/. The cache
+    // only changes wall time, never findings; timing goes to stderr so the
+    // stdout byte-diff across --jobs values stays clean.
+    let cache_dir = match (&args.cache_dir, args.no_cache) {
+        (_, true) => None,
+        (Some(dir), false) => Some(dir.clone()),
+        (None, false) => Some(args.root.join("target").join("idse-lint-cache")),
+    };
+    let file_cache = cache_dir.and_then(|dir| match idse_lint::cache::Cache::open(&dir) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!("lint: cache disabled ({}: {e})", dir.display());
+            None
+        }
+    });
+    let started = std::time::Instant::now();
+    let (analysis, cache_stats) =
+        idse_lint::analyze_full_with_cache(&ws, &exec, file_cache.as_ref());
+    eprintln!(
+        "lint: analyzed in {} ms ({} cached, {} analyzed)",
+        started.elapsed().as_millis(),
+        cache_stats.hits,
+        cache_stats.misses
+    );
 
     if args.fix {
         let plan = idse_lint::fix::plan(&ws, &analysis);

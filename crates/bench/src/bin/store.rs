@@ -3,7 +3,7 @@
 //! ```text
 //! store [--dir DIR] list
 //! store [--dir DIR] show <run>
-//! store [--dir DIR] history <metric> [--product P]
+//! store [--dir DIR] history <metric> [--product P] [--sparkline]
 //! store [--dir DIR] diff <run-A> <run-B> [--fail-on-regression]
 //! store [--dir DIR] top-regressions <run-A> <run-B> [-n K]
 //! store [--dir DIR] bench-import <file> [--stamp S]
@@ -25,7 +25,7 @@ use serde_json::Value;
 const USAGE: &str = "usage: store [--dir DIR] <command> [args]\n\
                      \x20 list                                        all stored runs\n\
                      \x20 show <run>                                  one run in full\n\
-                     \x20 history <metric> [--product P]              a metric across runs\n\
+                     \x20 history <metric> [--product P] [--sparkline] a metric across runs\n\
                      \x20 diff <run-A> <run-B> [--fail-on-regression] direction-aware scorecard diff\n\
                      \x20 top-regressions <run-A> <run-B> [-n K]      worst regressions by severity\n\
                      \x20 bench-import <file> [--stamp S]             fold a BENCH_*.json into the store\n\
@@ -53,6 +53,7 @@ fn main() {
     let product = args.opt("--product");
     let stamp = args.opt("--stamp");
     let fail_on_regression = args.flag("--fail-on-regression");
+    let spark = args.flag("--sparkline");
     let top_n: usize = args.opt_parsed("-n").unwrap_or(10);
     // Shared value-taking flags must come off before the positionals —
     // a flag's value would otherwise be claimed as an operand.
@@ -132,24 +133,33 @@ fn main() {
         "history" => {
             let metric = need(operands.first().cloned(), "a metric key");
             let points = store.history(&metric, product.as_deref()).unwrap_or_else(|e| fail(e));
-            let rows: Vec<Vec<String>> = points
-                .iter()
-                .map(|p| {
-                    vec![
-                        p.run_id.clone(),
-                        p.context.clone(),
-                        p.stamp.clone().unwrap_or_else(|| "-".to_owned()),
-                        p.product.clone(),
-                        format!("{:?}", p.value),
-                        p.unit.clone(),
-                    ]
-                })
-                .collect();
-            outln!(
-                out,
-                "{}",
-                table(&["Run", "Context", "Stamp", "Product", "Value", "Unit"], &rows)
-            );
+            if spark {
+                // Shape view: one bar per stored run, oldest on the left,
+                // grouped per product — trend at a glance instead of a
+                // table of floats.
+                for line in idse_store::history_sparklines(&points) {
+                    outln!(out, "{line}");
+                }
+            } else {
+                let rows: Vec<Vec<String>> = points
+                    .iter()
+                    .map(|p| {
+                        vec![
+                            p.run_id.clone(),
+                            p.context.clone(),
+                            p.stamp.clone().unwrap_or_else(|| "-".to_owned()),
+                            p.product.clone(),
+                            format!("{:?}", p.value),
+                            p.unit.clone(),
+                        ]
+                    })
+                    .collect();
+                outln!(
+                    out,
+                    "{}",
+                    table(&["Run", "Context", "Stamp", "Product", "Value", "Unit"], &rows)
+                );
+            }
             outln!(out, "{} points for {}", points.len(), metric);
         }
         "diff" => {
@@ -205,8 +215,9 @@ fn main() {
 /// Fold one `BENCH_*.json` report into a `bench`-context run: the
 /// `runs` array becomes per-`jobs=N` wall-time/worker records (its
 /// original order preserved as `runs_order` in the provenance), a
-/// `speedup` field becomes an `overall` record, and every other field
-/// rides along as provenance.
+/// `speedup` field becomes an `overall` record, `lint_cold_ms` /
+/// `lint_warm_ms` become `lint` records (staying in provenance so the
+/// export round-trips), and every other field rides along as provenance.
 fn bench_import(
     store: &RunStore,
     file: &str,
@@ -253,6 +264,16 @@ fn bench_import(
             "speedup" => {
                 let speedup = value.as_f64().ok_or_else(|| bad("\"speedup\" must be numeric"))?;
                 draft_metrics.push(("overall".to_owned(), "bench.speedup", speedup));
+            }
+            // Lint-cache wall times double as records (so `store diff`
+            // sees them) and stay in provenance verbatim (so the export
+            // reproduces the report byte-for-byte).
+            "lint_cold_ms" | "lint_warm_ms" => {
+                let wall = value.as_f64().ok_or_else(|| bad("lint wall times must be numeric"))?;
+                let metric =
+                    if key == "lint_cold_ms" { "bench.lint_cold_ms" } else { "bench.lint_warm_ms" };
+                draft_metrics.push(("lint".to_owned(), metric, wall));
+                provenance.push((key.clone(), value.clone()));
             }
             _ => provenance.push((key.clone(), value.clone())),
         }

@@ -4,7 +4,8 @@
 //! report manifest and the persisted run header in the store. This module
 //! holds the one [`Provenance`] struct both serialize, so the two can
 //! never drift, plus the recording glue ([`record_evaluation`],
-//! [`record_fault_matrix`]) that turns harness results into store runs.
+//! [`record_fault_matrix`], [`record_hybrid_taxonomy`]) that turns
+//! harness results into store runs.
 //!
 //! Everything here follows the harness's determinism contract: the worker
 //! count is deliberately *absent* (results are byte-identical at any
@@ -391,6 +392,63 @@ pub fn record_fault_matrix(
     RunStore::open(&spec.dir)?.commit(draft)
 }
 
+/// One mechanism row of the §2.1 taxonomy ablation: the confusion and
+/// throughput measures for one engine suite run over the standard feed.
+#[derive(Debug, Clone, Serialize)]
+pub struct HybridTaxonomyRow {
+    /// The mechanism label (`signature-only`, `anomaly-only`, …) — the
+    /// product key the row's records are stored under.
+    pub mechanism: String,
+    /// Detection rate |D∩A|/|A|.
+    pub detection_rate: f64,
+    /// False-positive ratio |D−A|/|T|.
+    pub fp_ratio: f64,
+    /// Zero-loss throughput, packets per second.
+    pub zero_loss_pps: f64,
+    /// Raw alert count, noted on the detection-rate record.
+    pub alerts: usize,
+}
+
+/// Record a §2.1 taxonomy-ablation run: one product key per detection
+/// mechanism, carrying its confusion and throughput measures at the fixed
+/// operating sensitivity. Same feed, same seed, three engine suites — so
+/// `store history measure.zero_loss_pps --product "hybrid (parallel)"`
+/// tracks the hybrid's inspection cost across commits.
+pub fn record_hybrid_taxonomy(
+    spec: &StoreSpec,
+    request: &EvaluationRequest,
+    sensitivity: f64,
+    rows: &[HybridTaxonomyRow],
+) -> Result<StoredRun, StoreError> {
+    let provenance = spec.annotate(Provenance {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        seed: request.feed.seed,
+        profile: None,
+        weighting: None,
+        git_rev: None,
+        feed: FeedProvenance::of(&request.feed),
+        sensitivity_policy: SensitivityPolicy::fixed(sensitivity),
+        fault_plans: Vec::new(),
+        jobs_independence: JOBS_INDEPENDENCE,
+        timebase: TIMEBASE,
+    });
+    let mut draft =
+        RunDraft::new("hybrid-taxonomy", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for row in rows {
+        let product = row.mechanism.as_str();
+        draft.record_noted(
+            product,
+            "measure.detection_rate",
+            row.detection_rate,
+            format!("{} alerts", row.alerts),
+        )?;
+        draft.record(product, "measure.fp_ratio", row.fp_ratio)?;
+        draft.record(product, "measure.zero_loss_pps", row.zero_loss_pps)?;
+        draft.record(product, "measure.operating_sensitivity", sensitivity)?;
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +514,41 @@ mod tests {
         let again = record_evaluation(&spec, &request, &evals).expect("re-record");
         assert!(!again.created, "identical results dedupe to the same run");
         assert_eq!(again.header.run_id, run.header.run_id);
+    }
+
+    #[test]
+    fn hybrid_taxonomy_records_one_product_per_mechanism() {
+        let spec = spec("taxonomy");
+        let request = quick_request();
+        let rows = vec![
+            HybridTaxonomyRow {
+                mechanism: "signature-only".to_owned(),
+                detection_rate: 0.62,
+                fp_ratio: 0.01,
+                zero_loss_pps: 9000.0,
+                alerts: 41,
+            },
+            HybridTaxonomyRow {
+                mechanism: "hybrid (parallel)".to_owned(),
+                detection_rate: 0.91,
+                fp_ratio: 0.03,
+                zero_loss_pps: 5200.0,
+                alerts: 77,
+            },
+        ];
+        let run = record_hybrid_taxonomy(&spec, &request, 0.8, &rows).expect("taxonomy records");
+        assert_eq!(run.header.context, "hybrid-taxonomy");
+        assert_eq!(run.header.products, vec!["hybrid (parallel)", "signature-only"]);
+        assert_eq!(run.header.records, 8, "four measures per mechanism");
+        let rate = run.get("signature-only", "measure.detection_rate").expect("recorded");
+        assert_eq!(rate.note.as_deref(), Some("41 alerts"));
+        assert_eq!(
+            run.header.provenance.get("seed").and_then(Value::as_u64),
+            Some(42),
+            "feed provenance rides along"
+        );
+        let again = record_hybrid_taxonomy(&spec, &request, 0.8, &rows).expect("re-record");
+        assert!(!again.created, "identical results dedupe to the same run");
     }
 
     #[test]

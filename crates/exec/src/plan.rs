@@ -158,6 +158,19 @@ impl<T> ExperimentPlan<T> {
         for pair in ordered.windows(2) {
             assert!(pair[0].key != pair[1].key, "duplicate job key {}", pair[0].key);
         }
+        // Distinct keys can still join to one label when a subject or
+        // stage contains '/' — ("a/b","c",0) and ("a","b/c",0) both label
+        // "a/b/c/0" — and identical labels mean identical derived seeds.
+        let mut labels: Vec<String> = ordered.iter().map(|j| j.key.label()).collect();
+        labels.sort_unstable();
+        for pair in labels.windows(2) {
+            assert!(
+                pair[0] != pair[1],
+                "job keys collide after label join: {} — a '/' inside a subject or stage \
+                 makes distinct keys derive identical seeds",
+                pair[0]
+            );
+        }
 
         let completed = exec.par_map(&ordered, |index, job| {
             let scope = job.scope.unwrap_or_else(|| parent.scope());
@@ -251,6 +264,15 @@ mod tests {
     #[should_panic(expected = "duplicate job key")]
     fn duplicate_keys_are_rejected() {
         let plan = plan_of(&[("a", "sweep", 0), ("a", "sweep", 0)]);
+        plan.run(&Executor::serial(), &Telemetry::disabled(), |_, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "collide after label join")]
+    fn label_join_collisions_are_rejected() {
+        // Distinct keys, identical "subject/stage/point" label — the
+        // derived seeds would silently coincide.
+        let plan = plan_of(&[("a/b", "c", 0), ("a", "b/c", 0)]);
         plan.run(&Executor::serial(), &Telemetry::disabled(), |_, _| ());
     }
 }

@@ -19,7 +19,9 @@
 //!   identity without coordination;
 //! * [`diff`] — per-metric delta tables with direction-aware
 //!   REGRESSED / IMPROVED / CHANGED verdicts, the engine behind CI's
-//!   `store diff --fail-on-regression` gate.
+//!   `store diff --fail-on-regression` gate;
+//! * [`spark`] — unicode sparklines over a metric's history, one bar per
+//!   stored run, so trend shape is visible straight from the terminal.
 //!
 //! # Determinism contract
 //!
@@ -52,11 +54,13 @@
 pub mod diff;
 pub mod record;
 pub mod registry;
+pub mod spark;
 pub mod store;
 
 pub use diff::{diff_runs, DiffEntry, RunDiff, Verdict};
 pub use record::{MetricRecord, RunDraft, RunHeader, SCHEMA_VERSION};
 pub use registry::{catalog_version, lookup, registry, Direction, MetricEntry, ScoreKind};
+pub use spark::{history_sparklines, sparkline};
 pub use store::{HistoryPoint, RunStore, StoredRun};
 
 /// 64-bit FNV-1a over a byte string — the content hash behind run ids and

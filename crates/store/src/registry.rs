@@ -120,6 +120,8 @@ const MEASURES: &[(&str, &str, &str, Direction)] = &[
     ("bench.wall_ms", "Benchmark wall time", "ms", Direction::LowerIsBetter),
     ("bench.workers", "Resolved worker count", "count", Direction::Neutral),
     ("bench.speedup", "Parallel speedup", "x", Direction::HigherIsBetter),
+    ("bench.lint_cold_ms", "Lint cold wall time", "ms", Direction::LowerIsBetter),
+    ("bench.lint_warm_ms", "Lint warm wall time", "ms", Direction::LowerIsBetter),
 ];
 
 /// The complete registry: the 56 discrete catalog metrics (in catalog
