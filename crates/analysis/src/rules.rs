@@ -90,6 +90,9 @@ pub enum RuleId {
     /// Telemetry/stamp/wall-clock value reaching the canonical-record path
     /// that feeds the store's run-id hash.
     ImpureStoreRecord,
+    /// Materializing a whole test feed in experiment-surface code
+    /// (bins/examples) instead of streaming it.
+    MaterializedFeedInExperiment,
     /// Malformed allow directive (unknown rule or missing reason).
     InvalidAllow,
     /// Allow directive that suppressed nothing.
@@ -98,7 +101,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in stable display order.
-    pub const ALL: [RuleId; 19] = [
+    pub const ALL: [RuleId; 20] = [
         RuleId::UnorderedIterationInReport,
         RuleId::WallClockInSim,
         RuleId::UnseededEntropy,
@@ -116,6 +119,7 @@ impl RuleId {
         RuleId::SeedLabelCollision,
         RuleId::UnorderedFloatReduce,
         RuleId::ImpureStoreRecord,
+        RuleId::MaterializedFeedInExperiment,
         RuleId::InvalidAllow,
         RuleId::UnusedAllow,
     ];
@@ -140,6 +144,7 @@ impl RuleId {
             RuleId::SeedLabelCollision => "seed-label-collision",
             RuleId::UnorderedFloatReduce => "unordered-float-reduce",
             RuleId::ImpureStoreRecord => "impure-store-record",
+            RuleId::MaterializedFeedInExperiment => "materialized-feed-in-experiment",
             RuleId::InvalidAllow => "invalid-allow",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -220,6 +225,11 @@ impl RuleId {
                 "stamp/telemetry/wall-clock value flows into a store record call: \
                  run ids hash canonical content, which must exclude ambient inputs"
             }
+            RuleId::MaterializedFeedInExperiment => {
+                "experiment code materializes the whole test feed: prefer the streaming \
+                 path (evaluate_stream / ShardFeed), which is O(chunk) memory at any \
+                 scale, or allowlist a deliberately small materialized run with a reason"
+            }
             RuleId::InvalidAllow => {
                 "malformed idse-lint allow directive: unknown rule name or missing \
                  non-empty reason"
@@ -265,8 +275,8 @@ pub enum Tier {
 pub fn crate_tier(crate_name: &str) -> Tier {
     match crate_name {
         "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" | "idse-exec"
-        | "idse-faults" | "idse-store" => Tier::Strict,
-        "idse-ids" | "idse-eval" | "idse-traffic" | "idse-attacks" => Tier::Standard,
+        | "idse-faults" | "idse-store" | "idse-traffic" => Tier::Strict,
+        "idse-ids" | "idse-eval" | "idse-attacks" => Tier::Standard,
         _ => Tier::Tooling,
     }
 }
@@ -682,6 +692,25 @@ pub fn check_line(ctx: &LineCtx<'_>) -> Vec<Hit> {
                         .to_string(),
                 });
             }
+        }
+    }
+
+    // materialized-feed-in-experiment: experiment-surface code (bins and
+    // examples) building the whole test trace in memory. The streaming
+    // path stays O(chunk) at any scale; a deliberately small materialized
+    // run is fine, but must say so in an allow reason.
+    if matches!(ctx.kind, FileKind::Bin | FileKind::Example) && !in_test_code {
+        if let Some((at, w)) = first_substring(code, &["TestFeed::build(", ".build_feed()"]) {
+            hits.push(Hit {
+                rule: RuleId::MaterializedFeedInExperiment,
+                severity: Severity::Warn,
+                column: at,
+                message: format!(
+                    "`{w}` materializes the whole test feed in experiment code: prefer \
+                     the streaming path (evaluate_stream / ShardFeed) for scale, or \
+                     allowlist a deliberately small materialized run with a reason"
+                ),
+            });
         }
     }
 

@@ -199,6 +199,40 @@ fn unused_allow_is_flagged() {
 }
 
 #[test]
+fn materialized_feed_positive() {
+    let r = lint_fixture("materialized_feed_pos.rs", "idse-bench", FileKind::Bin);
+    assert!(!r.has_errors(), "materialized-feed-in-experiment is warn severity");
+    assert!(
+        r.findings.iter().all(|f| f.rule == "materialized-feed-in-experiment"),
+        "{:?}",
+        rules_of(&r)
+    );
+    // Both the request helper and the direct constructor are caught.
+    assert_eq!(r.findings.len(), 2, "{:?}", rules_of(&r));
+}
+
+#[test]
+fn materialized_feed_negative() {
+    let r = lint_fixture("materialized_feed_neg.rs", "idse-bench", FileKind::Bin);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+    // The deliberately small materialized run is suppressed with a reason.
+    assert_eq!(r.suppressed.len(), 1);
+    assert!(!r.suppressed[0].reason.trim().is_empty());
+}
+
+#[test]
+fn materialized_feed_is_scoped_to_experiment_surfaces() {
+    // Library code implements the materialized path; only bins/examples
+    // (the experiment surface) are nudged toward the stream.
+    let r = lint_fixture("materialized_feed_pos.rs", "idse-eval", FileKind::Library);
+    assert!(
+        r.findings.iter().all(|f| f.rule != "materialized-feed-in-experiment"),
+        "{:?}",
+        rules_of(&r)
+    );
+}
+
+#[test]
 fn fixture_reports_are_deterministic() {
     let run = || {
         let mut all = Report::default();

@@ -1,0 +1,11 @@
+//! Negative twin for `materialized-feed-in-experiment`: the streaming
+//! path (constant memory at any scale), plus an allowlisted deliberately
+//! small materialized run.
+
+fn main() {
+    let request = EvaluationRequest::new().with_feed(FeedConfig::builder().build());
+    let evals = request.evaluate_stream(&products(), 0.6);
+    // idse-lint: allow(materialized-feed-in-experiment, reason = "canned 20-second demo feed: the sweep walkthrough needs the trace")
+    let feed = request.build_feed();
+    run(&evals, &feed);
+}

@@ -1,0 +1,10 @@
+//! Positive fixture for `materialized-feed-in-experiment`: experiment
+//! binaries building the whole test trace in memory — at scale this is
+//! O(records), while the streaming path stays O(chunk).
+
+fn main() {
+    let request = EvaluationRequest::new().with_feed(FeedConfig::builder().build());
+    let feed = request.build_feed();
+    let direct = TestFeed::build(&SiteProfile::realtime_cluster(), &request.feed);
+    run(&feed, &direct);
+}

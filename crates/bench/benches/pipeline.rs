@@ -10,13 +10,15 @@ use idse_ids::Sensitivity;
 use idse_sim::SimDuration;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let feed = TestFeed::ecommerce(&FeedConfig {
-        session_rate: 20.0,
-        training_span: SimDuration::from_secs(8),
-        test_span: SimDuration::from_secs(15),
-        campaign_intensity: 1,
-        seed: 77,
-    });
+    let feed = TestFeed::ecommerce(
+        &FeedConfig::builder()
+            .session_rate(20.0)
+            .training_span(SimDuration::from_secs(8))
+            .test_span(SimDuration::from_secs(15))
+            .campaign_intensity(1)
+            .seed(77)
+            .build(),
+    );
     let mut group = c.benchmark_group("pipeline_run");
     group.sample_size(10);
     group.throughput(Throughput::Elements(feed.test.len() as u64));
@@ -44,13 +46,15 @@ fn bench_generation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("background_15s_ecommerce", |b| {
         b.iter(|| {
-            TestFeed::ecommerce(&FeedConfig {
-                session_rate: 20.0,
-                training_span: SimDuration::from_secs(5),
-                test_span: SimDuration::from_secs(15),
-                campaign_intensity: 1,
-                seed: 5,
-            })
+            TestFeed::ecommerce(
+                &FeedConfig::builder()
+                    .session_rate(20.0)
+                    .training_span(SimDuration::from_secs(5))
+                    .test_span(SimDuration::from_secs(15))
+                    .campaign_intensity(1)
+                    .seed(5)
+                    .build(),
+            )
             .test
             .len()
         })

@@ -27,13 +27,15 @@ fn run_once(feed: &TestFeed, telemetry: Telemetry) -> usize {
 }
 
 fn bench_telemetry_overhead(c: &mut Criterion) {
-    let feed = TestFeed::ecommerce(&FeedConfig {
-        session_rate: 20.0,
-        training_span: SimDuration::from_secs(8),
-        test_span: SimDuration::from_secs(15),
-        campaign_intensity: 1,
-        seed: 77,
-    });
+    let feed = TestFeed::ecommerce(
+        &FeedConfig::builder()
+            .session_rate(20.0)
+            .training_span(SimDuration::from_secs(8))
+            .test_span(SimDuration::from_secs(15))
+            .campaign_intensity(1)
+            .seed(77)
+            .build(),
+    );
     let mut group = c.benchmark_group("telemetry_overhead");
     group.sample_size(10);
     group.throughput(Throughput::Elements(feed.test.len() as u64));

@@ -96,13 +96,15 @@ fn main() {
     let telemetry_wanted = telemetry_out.is_some() || telemetry_summary;
     let sink = telemetry_wanted.then(|| MemorySink::new(TELEMETRY_CAPACITY));
     let request = EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: rate,
-            training_span: SimDuration::from_secs(20),
-            test_span: SimDuration::from_secs(45),
-            campaign_intensity: intensity,
-            seed,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(rate)
+                .training_span(SimDuration::from_secs(20))
+                .test_span(SimDuration::from_secs(45))
+                .campaign_intensity(intensity)
+                .seed(seed)
+                .build(),
+        )
         .with_needs(needs)
         .with_sweep_steps(sweep)
         .with_max_throughput_factor(4096.0)
@@ -129,6 +131,7 @@ fn main() {
         sweep,
         request.executor().workers()
     );
+    // idse-lint: allow(materialized-feed-in-experiment, reason = "45-second canned methodology run: sweep curves and timing joins need the trace")
     let feed = TestFeed::build(profile, &request.feed);
     let evals = request.evaluate_all(&feed);
     let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();

@@ -39,13 +39,15 @@ pub const STANDARD_SEED: u64 = 0x2002_0415;
 /// the shared `--seed`/`--jobs` flags.
 pub fn standard_setup_with(seed: u64, jobs: usize) -> (TestFeed, EvaluationRequest) {
     let request = EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 25.0,
-            training_span: SimDuration::from_secs(20),
-            test_span: SimDuration::from_secs(45),
-            campaign_intensity: 2,
-            seed,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(25.0)
+                .training_span(SimDuration::from_secs(20))
+                .test_span(SimDuration::from_secs(45))
+                .campaign_intensity(2)
+                .seed(seed)
+                .build(),
+        )
         .with_needs(EnvironmentNeeds::realtime_cluster(3_000.0))
         .with_sweep_steps(7)
         .with_max_throughput_factor(4096.0)

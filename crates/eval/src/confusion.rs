@@ -17,7 +17,7 @@
 //! attack instances missed — the Venn regions of Figure 3.
 
 use idse_ids::Alert;
-use idse_net::trace::{AttackClass, Trace};
+use idse_net::trace::{AttackClass, Trace, TraceRecord};
 use idse_net::FlowKey;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -175,6 +175,168 @@ impl ConfusionCounts {
         self.per_class
             .get(&class)
             .map(|&(d, t)| if t == 0 { 1.0 } else { f64::from(d) / f64::from(t) })
+    }
+}
+
+/// Stable 64-bit hash of a flow key (FNV-1a over the canonical fields).
+///
+/// [`StreamLedger`] counts distinct benign flows through these hashes so
+/// a million-flow run costs 8 bytes per flow instead of a `FlowKey` set.
+/// Deterministic across runs and processes; collision odds at 10⁷ flows
+/// are ~10⁻⁶ and cannot vary between runs of the same feed.
+pub fn flow_hash(flow: &FlowKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(flow.protocol.number());
+    for b in flow.src.octets() {
+        eat(b);
+    }
+    for b in flow.src_port.to_be_bytes() {
+        eat(b);
+    }
+    for b in flow.dst.octets() {
+        eat(b);
+    }
+    for b in flow.dst_port.to_be_bytes() {
+        eat(b);
+    }
+    h
+}
+
+/// Constant-memory transaction ledger for streamed feeds.
+///
+/// [`TransactionLedger`] indexes every record so alert triggers can be
+/// joined back to transactions — O(trace) memory a streaming run cannot
+/// afford. A `StreamLedger` instead observes records as they flow past,
+/// holding only the attack-instance table (small) and one 64-bit hash
+/// per distinct benign flow. Alerts are joined through the pipeline's
+/// own channels (`PipelineOutcome::alert_truths` and [`Alert::flow`])
+/// rather than a record index.
+///
+/// Flow-key shards never split a host pair, so per-shard ledgers merge
+/// losslessly: [`StreamLedger::merge`] of the shard ledgers equals the
+/// ledger of the unsharded stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamLedger {
+    /// Attack instance ids with class (the `A` universe).
+    attacks: BTreeMap<u32, AttackClass>,
+    /// Hashes of distinct benign canonical flows; sorted+deduped
+    /// amortized, with `pending` unsorted entries at the tail.
+    flow_hashes: Vec<u64>,
+    pending: usize,
+    records: u64,
+}
+
+impl StreamLedger {
+    /// How many unsorted tail entries trigger a compaction.
+    const COMPACT_EVERY: usize = 1 << 16;
+
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one streamed record.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        match rec.truth {
+            Some(t) => {
+                self.attacks.insert(t.attack_id, t.class);
+            }
+            None => {
+                self.flow_hashes.push(flow_hash(&FlowKey::of(&rec.packet).canonical()));
+                self.pending += 1;
+                if self.pending >= Self::COMPACT_EVERY {
+                    self.compact();
+                }
+            }
+        }
+    }
+
+    /// Observe a chunk of streamed records.
+    pub fn observe_chunk(&mut self, records: &[TraceRecord]) {
+        for rec in records {
+            self.observe(rec);
+        }
+    }
+
+    fn compact(&mut self) {
+        self.flow_hashes.sort_unstable();
+        self.flow_hashes.dedup();
+        self.pending = 0;
+    }
+
+    /// Fold another shard's ledger into this one.
+    pub fn merge(&mut self, other: StreamLedger) {
+        self.attacks.extend(other.attacks);
+        self.flow_hashes.extend(other.flow_hashes);
+        self.records += other.records;
+        self.compact();
+    }
+
+    /// Records observed (packets, not transactions).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Actual intrusions `|A|`.
+    pub fn attack_count(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// Distinct benign flows seen so far.
+    pub fn benign_count(&mut self) -> usize {
+        self.compact();
+        self.flow_hashes.len()
+    }
+
+    /// Total transactions `|T|`.
+    pub fn total(&mut self) -> usize {
+        self.benign_count() + self.attacks.len()
+    }
+
+    /// The attack-instance table.
+    pub fn attacks(&self) -> &BTreeMap<u32, AttackClass> {
+        &self.attacks
+    }
+
+    /// Score a run from pre-joined alert facts: the set of attack ids
+    /// with at least one alert (from `PipelineOutcome::alert_truths`) and
+    /// the distinct benign flows falsely flagged (from [`Alert::flow`]).
+    pub fn score(
+        &mut self,
+        detected: &BTreeSet<u32>,
+        flagged_benign: usize,
+        alert_count: usize,
+    ) -> ConfusionCounts {
+        let missed: Vec<(u32, AttackClass)> = self
+            .attacks
+            .iter()
+            .filter(|(id, _)| !detected.contains(id))
+            .map(|(&id, &c)| (id, c))
+            .collect();
+        let mut per_class: BTreeMap<AttackClass, (u32, u32)> = BTreeMap::new();
+        let mut detected_attacks = 0usize;
+        for (&id, &class) in &self.attacks {
+            let e = per_class.entry(class).or_insert((0, 0));
+            e.1 += 1;
+            if detected.contains(&id) {
+                e.0 += 1;
+                detected_attacks += 1;
+            }
+        }
+        ConfusionCounts {
+            transactions: self.total(),
+            actual_attacks: self.attacks.len(),
+            detected_attacks,
+            false_positives: flagged_benign,
+            missed_attacks: missed,
+            per_class,
+            alert_count,
+        }
     }
 }
 
@@ -339,5 +501,103 @@ mod tests {
         let c = ledger.score(&[alert_on(999)]);
         assert_eq!(c.false_positives, 0);
         assert_eq!(c.detected_attacks, 0);
+    }
+
+    #[test]
+    fn stream_ledger_counts_like_the_materialized_ledger() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        for chunk in [1usize, 3, 64] {
+            let mut sl = StreamLedger::new();
+            for c in t.records().chunks(chunk) {
+                sl.observe_chunk(c);
+            }
+            assert_eq!(sl.benign_count(), ledger.benign_count());
+            assert_eq!(sl.attack_count(), ledger.attack_count());
+            assert_eq!(sl.total(), ledger.total());
+            assert_eq!(sl.records(), t.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stream_ledger_scores_like_the_materialized_ledger() {
+        let t = sample_trace();
+        let ledger = TransactionLedger::of(&t);
+        // Alerts on records 0 and 1 (one benign flow) and 4 (attack 1).
+        let triggers = [0usize, 1, 4];
+        let alerts: Vec<Alert> = triggers.iter().map(|&i| alert_on(i)).collect();
+        let reference = ledger.score(&alerts);
+
+        // The streaming join: truth and flow come off the trigger records
+        // as the pipeline hands them back, never through a trace index.
+        let mut sl = StreamLedger::new();
+        sl.observe_chunk(t.records());
+        let mut detected = BTreeSet::new();
+        let mut flagged = BTreeSet::new();
+        for &i in &triggers {
+            match t.records()[i].truth {
+                Some(g) => {
+                    detected.insert(g.attack_id);
+                }
+                None => {
+                    flagged.insert(FlowKey::of(&t.records()[i].packet).canonical());
+                }
+            }
+        }
+        let counts = sl.score(&detected, flagged.len(), alerts.len());
+        assert_eq!(counts.transactions, reference.transactions);
+        assert_eq!(counts.actual_attacks, reference.actual_attacks);
+        assert_eq!(counts.detected_attacks, reference.detected_attacks);
+        assert_eq!(counts.false_positives, reference.false_positives);
+        assert_eq!(counts.missed_attacks, reference.missed_attacks);
+        assert_eq!(counts.per_class, reference.per_class);
+        assert_eq!(
+            counts.false_positive_ratio().to_bits(),
+            reference.false_positive_ratio().to_bits()
+        );
+        assert_eq!(
+            counts.false_negative_ratio().to_bits(),
+            reference.false_negative_ratio().to_bits()
+        );
+    }
+
+    #[test]
+    fn shard_ledgers_merge_losslessly() {
+        use idse_traffic::flow_shard;
+        let t = sample_trace();
+        let shards = 3u32;
+        let mut parts: Vec<StreamLedger> = (0..shards).map(|_| StreamLedger::new()).collect();
+        for rec in t.records() {
+            let s = flow_shard(rec.packet.ip.src, rec.packet.ip.dst, shards) as usize;
+            parts[s].observe(rec);
+        }
+        let mut merged = StreamLedger::new();
+        for p in parts {
+            merged.merge(p);
+        }
+        let mut whole = StreamLedger::new();
+        whole.observe_chunk(t.records());
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.benign_count(), whole.benign_count());
+        assert_eq!(merged.attacks(), whole.attacks());
+        assert_eq!(merged.records(), whole.records());
+    }
+
+    #[test]
+    fn flow_hash_is_direction_stable_after_canonicalization() {
+        let p = pkt(1000);
+        let fwd = FlowKey::of(&p).canonical();
+        // The reverse direction canonicalizes to the same key, hence hash.
+        let rev = FlowKey {
+            protocol: fwd.protocol,
+            src: fwd.dst,
+            src_port: fwd.dst_port,
+            dst: fwd.src,
+            dst_port: fwd.src_port,
+        }
+        .canonical();
+        assert_eq!(flow_hash(&fwd), flow_hash(&rev));
+        // And distinct flows get distinct hashes.
+        assert_ne!(flow_hash(&fwd), flow_hash(&FlowKey::of(&pkt(2000)).canonical()));
     }
 }

@@ -125,13 +125,13 @@ pub fn site_profile_experiment(
     seed: u64,
     exec: &Executor,
 ) -> Vec<SiteProfileRow> {
-    let fc = FeedConfig {
-        session_rate: 25.0,
-        training_span: SimDuration::from_secs(25),
-        test_span: SimDuration::from_secs(50),
-        campaign_intensity: 1,
-        seed,
-    };
+    let fc = FeedConfig::builder()
+        .session_rate(25.0)
+        .training_span(SimDuration::from_secs(25))
+        .test_span(SimDuration::from_secs(50))
+        .campaign_intensity(1)
+        .seed(seed)
+        .build();
     let cluster = TestFeed::realtime_cluster(&fc);
     let web = TestFeed::ecommerce(&fc);
     let ledger = TransactionLedger::of(&cluster.test);
@@ -190,13 +190,13 @@ pub fn operating_point_experiment(
     seed: u64,
     exec: &Executor,
 ) -> OperatingPointReport {
-    let fc = FeedConfig {
-        session_rate: 25.0,
-        training_span: SimDuration::from_secs(25),
-        test_span: SimDuration::from_secs(50),
-        campaign_intensity: 2,
-        seed,
-    };
+    let fc = FeedConfig::builder()
+        .session_rate(25.0)
+        .training_span(SimDuration::from_secs(25))
+        .test_span(SimDuration::from_secs(50))
+        .campaign_intensity(2)
+        .seed(seed)
+        .build();
     let feed = TestFeed::realtime_cluster(&fc);
     let plan = SweepPlan::with_steps(9).with_fp_budget(fp_budget);
     let curve = sweep(product, &feed, &plan, exec);
@@ -346,13 +346,13 @@ pub struct FaultMatrixRow {
 /// assume this 50 s test span. Exported so run provenance can state the
 /// exact feed the matrix ran on.
 pub fn fault_matrix_feed_config(seed: u64) -> FeedConfig {
-    FeedConfig {
-        session_rate: 25.0,
-        training_span: SimDuration::from_secs(25),
-        test_span: SimDuration::from_secs(50),
-        campaign_intensity: 1,
-        seed,
-    }
+    FeedConfig::builder()
+        .session_rate(25.0)
+        .training_span(SimDuration::from_secs(25))
+        .test_span(SimDuration::from_secs(50))
+        .campaign_intensity(1)
+        .seed(seed)
+        .build()
 }
 
 /// Run the X7 component × fault-type grid: every product crossed with

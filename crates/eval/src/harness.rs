@@ -155,6 +155,18 @@ impl EvaluationRequest {
         self
     }
 
+    /// This request consuming its feed as a chunked stream: records are
+    /// generated `chunk_records` at a time and the run is sharded
+    /// `shards` ways by flow key (see [`crate::streaming`]). Pure
+    /// configuration sugar over the feed fields — chunk size never
+    /// changes the bytes produced, and any [`EvaluationRequest::jobs`]
+    /// setting yields byte-identical scorecards for a fixed shard count.
+    pub fn with_stream(mut self, chunk_records: usize, shards: u32) -> Self {
+        self.feed.chunk_records = chunk_records.max(1);
+        self.feed.shards = shards.max(1);
+        self
+    }
+
     /// This request measuring survivability under `plan`.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -718,76 +730,6 @@ pub struct ProductEvaluation {
     pub survivability: Option<Survivability>,
 }
 
-/// Evaluation parameters (pre-executor API).
-#[deprecated(since = "0.2.0", note = "use `EvaluationRequest`")]
-#[derive(Debug, Clone)]
-pub struct EvaluationConfig {
-    /// Feed parameters.
-    pub feed: FeedConfig,
-    /// Environment the rubrics compare against.
-    pub needs: EnvironmentNeeds,
-    /// Sensitivity steps in the Figure 4 sweep.
-    pub sweep_steps: usize,
-    /// Ceiling for the throughput searches (time-compression factor).
-    pub max_throughput_factor: f64,
-    /// False-positive budget for operating-point selection.
-    pub fp_budget: f64,
-    /// Telemetry handle.
-    pub telemetry: idse_telemetry::Telemetry,
-}
-
-#[allow(deprecated)]
-impl Default for EvaluationConfig {
-    fn default() -> Self {
-        Self {
-            feed: FeedConfig::default(),
-            needs: EnvironmentNeeds::realtime_cluster(2_000.0),
-            sweep_steps: 7,
-            max_throughput_factor: 256.0,
-            fp_budget: 0.15,
-            telemetry: idse_telemetry::Telemetry::disabled(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<&EvaluationConfig> for EvaluationRequest {
-    fn from(config: &EvaluationConfig) -> Self {
-        EvaluationRequest {
-            feed: config.feed.clone(),
-            needs: config.needs.clone(),
-            sweep: SweepPlan {
-                steps: config.sweep_steps,
-                fp_budget: config.fp_budget,
-                ..SweepPlan::default()
-            },
-            max_throughput_factor: config.max_throughput_factor,
-            telemetry: config.telemetry.clone(),
-            jobs: 1,
-            fault_plan: None,
-            store: None,
-        }
-    }
-}
-
-/// Evaluate one product against a feed (serial legacy path).
-#[deprecated(since = "0.2.0", note = "use `EvaluationRequest::evaluate`")]
-#[allow(deprecated)]
-pub fn evaluate_product(
-    product: &IdsProduct,
-    feed: &TestFeed,
-    config: &EvaluationConfig,
-) -> ProductEvaluation {
-    EvaluationRequest::from(config).evaluate(product, feed)
-}
-
-/// Evaluate all four products against one feed (serial legacy path).
-#[deprecated(since = "0.2.0", note = "use `EvaluationRequest::evaluate_all`")]
-#[allow(deprecated)]
-pub fn evaluate_all(feed: &TestFeed, config: &EvaluationConfig) -> Vec<ProductEvaluation> {
-    EvaluationRequest::from(config).evaluate_all(feed)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,13 +738,15 @@ mod tests {
 
     fn quick_request() -> EvaluationRequest {
         EvaluationRequest::new()
-            .with_feed(FeedConfig {
-                session_rate: 15.0,
-                training_span: SimDuration::from_secs(12),
-                test_span: SimDuration::from_secs(25),
-                campaign_intensity: 1,
-                seed: 42,
-            })
+            .with_feed(
+                FeedConfig::builder()
+                    .session_rate(15.0)
+                    .training_span(SimDuration::from_secs(12))
+                    .test_span(SimDuration::from_secs(25))
+                    .campaign_intensity(1)
+                    .seed(42)
+                    .build(),
+            )
             .with_needs(EnvironmentNeeds::realtime_cluster(1_500.0))
             .with_sweep_steps(4)
             .with_max_throughput_factor(32.0)
@@ -895,29 +839,6 @@ mod tests {
         let again = request.evaluate(&IdsProduct::model(ProductId::GuardSecure), &feed);
         for (id, score) in eval.scorecard.iter() {
             assert_eq!(Some(score), again.scorecard.get(id), "{id:?} differs");
-        }
-    }
-
-    #[test]
-    fn deprecated_config_path_matches_request_path() {
-        #[allow(deprecated)]
-        let config = EvaluationConfig {
-            feed: quick_request().feed,
-            needs: EnvironmentNeeds::realtime_cluster(1_500.0),
-            sweep_steps: 4,
-            max_throughput_factor: 32.0,
-            fp_budget: 0.2,
-            telemetry: idse_telemetry::Telemetry::disabled(),
-        };
-        let request = quick_request();
-        let feed = request.build_feed();
-        let product = IdsProduct::model(ProductId::FlowHunter);
-        #[allow(deprecated)]
-        let legacy = evaluate_product(&product, &feed, &config);
-        let current = request.evaluate(&product, &feed);
-        assert_eq!(legacy.operating_sensitivity, current.operating_sensitivity);
-        for (id, s) in legacy.scorecard.iter() {
-            assert_eq!(Some(s), current.scorecard.get(id), "{id:?} differs across API paths");
         }
     }
 }

@@ -27,7 +27,9 @@
 //!   sensitivity;
 //! * [`evidence`] — alert-adjacent packet capture under a byte budget,
 //!   with the forensic-coverage measure behind §3.3's "logging of
-//!   historical traffic is also key".
+//!   historical traffic is also key";
+//! * [`streaming`] — constant-memory chunked evaluation over
+//!   `RecordStream` feeds, sharded by flow key across workers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,16 +43,15 @@ pub mod host_overhead;
 pub mod measure;
 pub mod operator;
 pub mod provenance;
+pub mod streaming;
 pub mod sweep;
 pub mod throughput;
 pub mod timing;
 pub mod vendor;
 
-pub use confusion::{ConfusionCounts, TransactionLedger};
-pub use feeds::TestFeed;
+pub use confusion::{ConfusionCounts, StreamLedger, TransactionLedger};
+pub use feeds::{FeedConfig, FeedConfigBuilder, TestFeed};
 pub use harness::{EvaluationRequest, ProductEvaluation};
 pub use provenance::{record_evaluation, record_fault_matrix, Provenance, StoreSpec};
+pub use streaming::{ShardOutcome, StreamEvaluation, StreamScorecard};
 pub use sweep::SweepPlan;
-
-#[allow(deprecated)]
-pub use harness::{evaluate_all, evaluate_product, EvaluationConfig};

@@ -48,6 +48,14 @@ pub struct FeedProvenance {
     pub campaign_intensity: u32,
     /// Feed seed (the master seed of the run).
     pub seed: u64,
+    /// Host-count override for scaled profiles (`None` = preset).
+    pub hosts: Option<u32>,
+    /// Stream chunk size. Pure batching — recorded for reproduction
+    /// commands, but guaranteed not to affect any produced byte.
+    pub chunk_records: usize,
+    /// Flow-key shard count. Part of the experiment identity: a sharded
+    /// pipeline sees only its shard's cross-flow context.
+    pub shards: u32,
 }
 
 impl FeedProvenance {
@@ -59,6 +67,9 @@ impl FeedProvenance {
             test_span_s: feed.test_span.as_secs_f64(),
             campaign_intensity: feed.campaign_intensity,
             seed: feed.seed,
+            hosts: feed.hosts,
+            chunk_records: feed.chunk_records,
+            shards: feed.shards,
         }
     }
 }
@@ -463,13 +474,15 @@ mod tests {
 
     fn quick_request() -> EvaluationRequest {
         EvaluationRequest::new()
-            .with_feed(FeedConfig {
-                session_rate: 15.0,
-                training_span: SimDuration::from_secs(12),
-                test_span: SimDuration::from_secs(25),
-                campaign_intensity: 1,
-                seed: 42,
-            })
+            .with_feed(
+                FeedConfig::builder()
+                    .session_rate(15.0)
+                    .training_span(SimDuration::from_secs(12))
+                    .test_span(SimDuration::from_secs(25))
+                    .campaign_intensity(1)
+                    .seed(42)
+                    .build(),
+            )
             .with_sweep_steps(4)
             .with_max_throughput_factor(32.0)
             .with_fp_budget(0.2)

@@ -195,12 +195,6 @@ pub fn sweep(
     ErrorCurve { product: product.id.name().to_owned(), points }
 }
 
-/// Sweep one product over `steps` sensitivity settings in `[0, 1]`.
-#[deprecated(since = "0.2.0", note = "use `sweep` with a `SweepPlan` and an `idse_exec::Executor`")]
-pub fn sweep_product(product: &IdsProduct, feed: &TestFeed, steps: usize) -> ErrorCurve {
-    sweep(product, feed, &SweepPlan::with_steps(steps), &Executor::serial())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,13 +203,15 @@ mod tests {
     use idse_sim::SimDuration;
 
     fn small_feed() -> TestFeed {
-        TestFeed::ecommerce(&FeedConfig {
-            session_rate: 15.0,
-            training_span: SimDuration::from_secs(15),
-            test_span: SimDuration::from_secs(30),
-            campaign_intensity: 1,
-            seed: 7,
-        })
+        TestFeed::ecommerce(
+            &FeedConfig::builder()
+                .session_rate(15.0)
+                .training_span(SimDuration::from_secs(15))
+                .test_span(SimDuration::from_secs(30))
+                .campaign_intensity(1)
+                .seed(7)
+                .build(),
+        )
     }
 
     #[test]
@@ -230,16 +226,15 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_sweep_product_matches_planned_sweep() {
+    fn parallel_sweep_is_byte_identical_to_serial() {
         let feed = small_feed();
         let product = IdsProduct::model(ProductId::NidSentry);
-        #[allow(deprecated)]
-        let legacy = sweep_product(&product, &feed, 4);
+        let serial = sweep(&product, &feed, &SweepPlan::with_steps(4), &Executor::serial());
         let planned = sweep(&product, &feed, &SweepPlan::with_steps(4), &Executor::new(4));
         assert_eq!(
-            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&serial).unwrap(),
             serde_json::to_string(&planned).unwrap(),
-            "parallel sweep must be byte-identical to the legacy serial sweep"
+            "parallel sweep must be byte-identical to the serial sweep"
         );
     }
 

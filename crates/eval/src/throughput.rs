@@ -135,13 +135,15 @@ mod tests {
     use idse_sim::SimDuration;
 
     fn tiny_feed() -> TestFeed {
-        TestFeed::ecommerce(&FeedConfig {
-            session_rate: 10.0,
-            training_span: SimDuration::from_secs(8),
-            test_span: SimDuration::from_secs(15),
-            campaign_intensity: 1,
-            seed: 3,
-        })
+        TestFeed::ecommerce(
+            &FeedConfig::builder()
+                .session_rate(10.0)
+                .training_span(SimDuration::from_secs(8))
+                .test_span(SimDuration::from_secs(15))
+                .campaign_intensity(1)
+                .seed(3)
+                .build(),
+        )
     }
 
     #[test]

@@ -54,13 +54,15 @@ mod tests {
     use idse_ids::Sensitivity;
 
     fn feed() -> TestFeed {
-        TestFeed::ecommerce(&FeedConfig {
-            session_rate: 15.0,
-            training_span: SimDuration::from_secs(10),
-            test_span: SimDuration::from_secs(30),
-            campaign_intensity: 1,
-            seed: 21,
-        })
+        TestFeed::ecommerce(
+            &FeedConfig::builder()
+                .session_rate(15.0)
+                .training_span(SimDuration::from_secs(10))
+                .test_span(SimDuration::from_secs(30))
+                .campaign_intensity(1)
+                .seed(21)
+                .build(),
+        )
     }
 
     #[test]

@@ -11,13 +11,15 @@ use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 
 fn request(telemetry: Telemetry) -> EvaluationRequest {
     EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 12.0,
-            training_span: SimDuration::from_secs(8),
-            test_span: SimDuration::from_secs(18),
-            campaign_intensity: 1,
-            seed: 20_020_415,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(12.0)
+                .training_span(SimDuration::from_secs(8))
+                .test_span(SimDuration::from_secs(18))
+                .campaign_intensity(1)
+                .seed(20_020_415)
+                .build(),
+        )
         .with_sweep_steps(3)
         .with_max_throughput_factor(16.0)
         .with_telemetry(telemetry)

@@ -29,7 +29,7 @@ use crate::engine::signature::SignatureEngine;
 use crate::engine::{Detection, DetectionEngine, Sensitivity};
 use crate::products::IdsProduct;
 use idse_faults::{CompiledFaults, FaultComponent, FaultStats};
-use idse_net::trace::Trace;
+use idse_net::trace::{GroundTruth, Trace, TraceRecord};
 use idse_net::FlowKey;
 use idse_sim::stats::{DurationSummary, StageCounters};
 use idse_sim::{AuditLevel, EventQueue, HostCpu, SimDuration, SimTime, Simulation, World};
@@ -55,6 +55,14 @@ fn reroute_backoff(hops: usize) -> SimDuration {
 pub struct PipelineOutcome {
     /// Operator-visible alerts.
     pub alerts: Vec<Alert>,
+    /// Ground truth of each alert's trigger record, parallel to `alerts`.
+    /// Streaming consumers score from this without re-materializing the
+    /// trace to join `Alert::trigger` back to records.
+    pub alert_truths: Vec<Option<GroundTruth>>,
+    /// Peak number of trace records held live at once. Equals the trace
+    /// length for monolithic runs; stays O(in-flight) for chunked sessions
+    /// — the bounded-RSS evidence.
+    pub window_peak: usize,
     /// Total packets offered.
     pub offered: u64,
     /// Packets inspected by at least one engine.
@@ -166,17 +174,60 @@ impl PipelineRunner {
         self
     }
 
-    /// Run `trace` through the deployment.
+    /// Run `trace` through the deployment — a one-chunk [`PipelineSession`].
     pub fn run(&self, trace: &Trace) -> PipelineOutcome {
-        let mut world =
-            DeploymentWorld::build(&self.product, &self.config, self.training.as_ref(), trace);
+        let mut session = self.session();
+        session.push_chunk(trace.records());
+        session.finish()
+    }
+
+    /// Open a chunked session: records are fed incrementally with
+    /// [`PipelineSession::push_chunk`] and the deployment holds only the
+    /// records still in flight, so memory stays O(chunk + in-flight)
+    /// regardless of the total run length. Feeding the whole trace as one
+    /// chunk is byte-identical to feeding it in any chunking (the event
+    /// kernel dispatches inputs ahead of same-instant derived events, so
+    /// arrival order matches a fully pre-scheduled run).
+    pub fn session(&self) -> PipelineSession {
+        let world = DeploymentWorld::build(&self.product, &self.config, self.training.as_ref());
         let mut sim = Simulation::new();
         sim.set_telemetry(self.config.telemetry.clone());
-        for (i, rec) in trace.records().iter().enumerate() {
-            sim.queue_mut().schedule(rec.at, Ev::Arrive(i as u32));
+        PipelineSession { world, sim, next_index: 0 }
+    }
+}
+
+/// An in-progress chunked pipeline run. See [`PipelineRunner::session`].
+pub struct PipelineSession {
+    world: DeploymentWorld,
+    sim: Simulation<Ev>,
+    next_index: u32,
+}
+
+impl PipelineSession {
+    /// Feed the next chunk of trace records (must continue the global
+    /// time-sorted order). The simulation first drains everything strictly
+    /// earlier than the chunk's first record, then admits the records as
+    /// input events — so no stage ever sees a packet out of order.
+    pub fn push_chunk(&mut self, records: &[TraceRecord]) {
+        let Some(first) = records.first() else { return };
+        self.sim.run_before(&mut self.world, first.at);
+        for rec in records {
+            let idx = self.next_index;
+            self.next_index += 1;
+            self.world.admit(idx, rec.clone());
+            self.sim.queue_mut().schedule_input(rec.at, Ev::Arrive(idx));
         }
-        sim.run_to_completion(&mut world);
-        world.finish(sim.now())
+    }
+
+    /// Records fed so far.
+    pub fn fed(&self) -> u64 {
+        u64::from(self.next_index)
+    }
+
+    /// Drain every remaining event and produce the outcome.
+    pub fn finish(mut self) -> PipelineOutcome {
+        self.sim.run_to_completion(&mut self.world);
+        self.world.finish(self.sim.now())
     }
 }
 
@@ -194,8 +245,68 @@ enum Ev {
     Replay,
 }
 
-struct DeploymentWorld<'a> {
-    trace: &'a Trace,
+/// One live record with its scope flag and reference count.
+struct WindowEntry {
+    record: TraceRecord,
+    in_scope: bool,
+    monitored: bool,
+    /// Outstanding holds: the pending `Arrive`, every scheduled event
+    /// carrying this record's index, and every replay-buffer slot. The
+    /// entry is evicted when the count returns to zero.
+    refs: u32,
+}
+
+/// The bounded set of records currently in flight through the deployment.
+/// Each record enters with one reference (its pending `Arrive`), gains one
+/// per scheduled follow-up event or replay-buffer hold, and is dropped as
+/// soon as nothing references it — the constant-memory substitute for
+/// borrowing the whole trace.
+#[derive(Default)]
+struct RecordWindow {
+    entries: BTreeMap<u32, WindowEntry>,
+    peak: usize,
+}
+
+impl RecordWindow {
+    fn insert(&mut self, idx: u32, record: TraceRecord, in_scope: bool) {
+        let prev =
+            self.entries.insert(idx, WindowEntry { record, in_scope, monitored: false, refs: 1 });
+        debug_assert!(prev.is_none(), "record index {idx} admitted twice");
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    fn record(&self, idx: u32) -> &TraceRecord {
+        &self.entries.get(&idx).expect("record still referenced").record
+    }
+
+    fn in_scope(&self, idx: u32) -> bool {
+        self.entries.get(&idx).expect("record still referenced").in_scope
+    }
+
+    /// Mark inspected; returns true on the first marking of an in-scope
+    /// record (the `monitored` counter's increment condition).
+    fn mark_monitored(&mut self, idx: u32) -> bool {
+        let e = self.entries.get_mut(&idx).expect("record still referenced");
+        let first = !e.monitored && e.in_scope;
+        e.monitored = true;
+        first
+    }
+
+    fn retain(&mut self, idx: u32) {
+        self.entries.get_mut(&idx).expect("record still referenced").refs += 1;
+    }
+
+    fn release(&mut self, idx: u32) {
+        let e = self.entries.get_mut(&idx).expect("record still referenced");
+        e.refs -= 1;
+        if e.refs == 0 {
+            self.entries.remove(&idx);
+        }
+    }
+}
+
+struct DeploymentWorld {
+    window: RecordWindow,
     tap: TapMode,
     lb: Option<LoadBalancer>,
     /// Routing used when no LB station exists.
@@ -219,9 +330,12 @@ struct DeploymentWorld<'a> {
     /// of the product's monitoring scope (a host IDS's throughput is
     /// denominated in host data, per Table 2's System Throughput note).
     has_network_engines: bool,
-    // accounting
-    in_scope: Vec<bool>,
-    monitored_flags: Vec<bool>,
+    monitored_set: std::collections::HashSet<Ipv4Addr>,
+    // accounting (all incremental: the full trace is never held)
+    offered: u64,
+    monitored: u64,
+    attack_sources: std::collections::HashSet<Ipv4Addr>,
+    alert_truths: Vec<Option<GroundTruth>>,
     pool_excluded: u64,
     induced_latency: DurationSummary,
     blocked_attack: u64,
@@ -241,13 +355,8 @@ struct DeploymentWorld<'a> {
     replay_scheduled: Vec<SimTime>,
 }
 
-impl<'a> DeploymentWorld<'a> {
-    fn build(
-        product: &IdsProduct,
-        config: &RunConfig,
-        training: Option<&Trace>,
-        trace: &'a Trace,
-    ) -> Self {
+impl DeploymentWorld {
+    fn build(product: &IdsProduct, config: &RunConfig, training: Option<&Trace>) -> Self {
         let arch = &product.architecture;
         let mk_station = |name: &'static str, cap: f64, backlog: SimDuration| {
             ServiceStation::new(name, cap, backlog, arch.lethal_drop_ratio, arch.failure)
@@ -320,18 +429,9 @@ impl<'a> DeploymentWorld<'a> {
             product.engines.signature.is_some() || product.engines.anomaly.is_some();
         let monitored_set: std::collections::HashSet<Ipv4Addr> =
             config.monitored_hosts.iter().copied().collect();
-        let in_scope: Vec<bool> = trace
-            .records()
-            .iter()
-            .map(|r| {
-                has_network_engines
-                    || monitored_set.contains(&r.packet.ip.dst)
-                    || monitored_set.contains(&r.packet.ip.src)
-            })
-            .collect();
 
         Self {
-            trace,
+            window: RecordWindow::default(),
             tap: arch.tap,
             lb,
             fallback_route: arch.balance,
@@ -348,8 +448,11 @@ impl<'a> DeploymentWorld<'a> {
             sensitivity: config.sensitivity,
             data_pool: config.data_pool.clone(),
             has_network_engines,
-            in_scope,
-            monitored_flags: vec![false; trace.len()],
+            monitored_set,
+            offered: 0,
+            monitored: 0,
+            attack_sources: std::collections::HashSet::new(),
+            alert_truths: Vec::new(),
             pool_excluded: 0,
             induced_latency: DurationSummary::new(),
             blocked_attack: 0,
@@ -367,6 +470,23 @@ impl<'a> DeploymentWorld<'a> {
             console_replay: Vec::new(),
             replay_scheduled: Vec::new(),
         }
+    }
+
+    /// Admit one trace record into the live window, doing the per-record
+    /// accounting the monolithic path used to precompute over the whole
+    /// trace: monitoring scope, the offered count, and attack sources (for
+    /// collateral-damage attribution).
+    fn admit(&mut self, idx: u32, record: TraceRecord) {
+        let in_scope = self.has_network_engines
+            || self.monitored_set.contains(&record.packet.ip.dst)
+            || self.monitored_set.contains(&record.packet.ip.src);
+        if in_scope {
+            self.offered += 1;
+        }
+        if record.truth.is_some() {
+            self.attack_sources.insert(record.packet.ip.src);
+        }
+        self.window.insert(idx, record, in_scope);
     }
 
     fn route(&mut self, packet: &idse_net::Packet) -> usize {
@@ -419,11 +539,11 @@ impl<'a> DeploymentWorld<'a> {
             self.telemetry.counter(t.as_nanos(), "fault.reroute", 1);
             t += backoff;
         }
-        let record = &self.trace.records()[rec as usize];
-        let cost = self.sensor_cost(cand, &record.packet);
+        let cost = self.sensor_cost(cand, &self.window.record(rec).packet);
         match self.sensors[cand].serve(t, cost) {
             ServeOutcome::Done(done) => {
                 self.telemetry.span(t.as_nanos(), done.as_nanos(), "stage.sense");
+                self.window.retain(rec);
                 queue.schedule(done, Ev::SensorDone { sensor: cand as u8, rec });
             }
             _ => {
@@ -459,6 +579,7 @@ impl<'a> DeploymentWorld<'a> {
                 match self.sensors[sensor].serve(now, 400.0) {
                     ServeOutcome::Done(t) => {
                         self.telemetry.span(now.as_nanos(), t.as_nanos(), "stage.analyze");
+                        self.window.retain(rec);
                         queue.schedule(t, Ev::AnalyzerDone { rec, observed, det });
                     }
                     _ => {
@@ -492,6 +613,7 @@ impl<'a> DeploymentWorld<'a> {
                         match self.analyzers[cand].serve(t, 400.0) {
                             ServeOutcome::Done(done) => {
                                 self.telemetry.span(t.as_nanos(), done.as_nanos(), "stage.analyze");
+                                self.window.retain(rec);
                                 queue.schedule(done, Ev::AnalyzerDone { rec, observed, det });
                             }
                             _ => {
@@ -510,6 +632,7 @@ impl<'a> DeploymentWorld<'a> {
                             .min();
                         match restart {
                             Some(at) if self.analyzer_replay.len() < REPLAY_LIMIT => {
+                                self.window.retain(rec);
                                 self.analyzer_replay.push((rec, observed, det));
                                 self.fstats.alerts_buffered += 1;
                                 self.telemetry.counter(now.as_nanos(), "fault.buffered", 1);
@@ -568,6 +691,7 @@ impl<'a> DeploymentWorld<'a> {
         if self.faults.is_down(FaultComponent::Monitor, now) {
             match self.faults.restart_at(FaultComponent::Monitor, now) {
                 Some(at) if self.monitor_replay.len() < REPLAY_LIMIT => {
+                    self.window.retain(rec);
                     self.monitor_replay.push((rec, observed, det));
                     self.fstats.alerts_buffered += 1;
                     self.telemetry.counter(now.as_nanos(), "fault.buffered", 1);
@@ -580,7 +704,8 @@ impl<'a> DeploymentWorld<'a> {
             }
             return;
         }
-        let record = &self.trace.records()[rec as usize];
+        let record = self.window.record(rec);
+        let truth = record.truth;
         let alert = Alert {
             raised_at: now, // monitor re-stamps on presentation
             observed_at: observed,
@@ -599,6 +724,8 @@ impl<'a> DeploymentWorld<'a> {
         }
         match self.monitor.present(now + skew, alert) {
             Some(visible) => {
+                // One truth entry per stored alert, in presentation order.
+                self.alert_truths.push(truth);
                 self.telemetry.span(now.as_nanos(), visible.as_nanos(), "stage.monitor");
                 self.telemetry.counter(visible.as_nanos(), "pipeline.alert", 1);
                 if self.auto_response {
@@ -648,6 +775,7 @@ impl<'a> DeploymentWorld<'a> {
                 // Re-dispatch on the restarted analyzers; the original
                 // sensing instant survives as `observed`.
                 self.dispatch_detections(now, rec, rec as usize, observed, vec![det], queue);
+                self.window.release(rec);
             }
         }
         if !self.monitor_replay.is_empty() && !self.faults.is_down(FaultComponent::Monitor, now) {
@@ -656,6 +784,7 @@ impl<'a> DeploymentWorld<'a> {
             self.telemetry.counter(now.as_nanos(), "fault.replay", buffered.len() as u64);
             for (rec, observed, det) in buffered {
                 self.present_alert(now, rec, observed, det, queue);
+                self.window.release(rec);
             }
         }
         if !self.console_replay.is_empty() && !self.faults.is_down(FaultComponent::Manager, now) {
@@ -671,13 +800,8 @@ impl<'a> DeploymentWorld<'a> {
     }
 
     fn finish(mut self, finished_at: SimTime) -> PipelineOutcome {
-        let monitored = self
-            .monitored_flags
-            .iter()
-            .zip(self.in_scope.iter())
-            .filter(|&(&m, &s)| m && s)
-            .count() as u64;
-        let offered = self.in_scope.iter().filter(|&&s| s).count() as u64;
+        let monitored = self.monitored;
+        let offered = self.offered;
         let blocked_total = self.blocked_attack + self.blocked_benign + self.pool_excluded;
         let missed = offered - monitored - blocked_total.min(offered - monitored);
 
@@ -736,22 +860,21 @@ impl<'a> DeploymentWorld<'a> {
         }
 
         // Collateral damage: blocked sources that never sent attack
-        // packets.
-        let mut attack_sources = std::collections::HashSet::new();
-        for r in self.trace.records() {
-            if r.truth.is_some() {
-                attack_sources.insert(r.packet.ip.src);
-            }
-        }
+        // packets (attack sources were accumulated record by record on
+        // admission).
         let collateral = self
             .console
             .blocked_sources()
             .iter()
-            .filter(|(src, _)| !attack_sources.contains(src))
+            .filter(|(src, _)| !self.attack_sources.contains(src))
             .count();
 
+        let alerts = self.monitor.take_alerts();
+        debug_assert_eq!(alerts.len(), self.alert_truths.len());
         PipelineOutcome {
-            alerts: self.monitor.take_alerts(),
+            alerts,
+            alert_truths: self.alert_truths,
+            window_peak: self.window.peak,
             offered,
             monitored,
             missed,
@@ -772,20 +895,45 @@ impl<'a> DeploymentWorld<'a> {
     }
 }
 
-impl World for DeploymentWorld<'_> {
+impl World for DeploymentWorld {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        // Every record-carrying event holds one window reference; release
+        // it when the handler finishes, whichever path it took. Follow-up
+        // events and replay-buffer slots take their own holds.
+        let held = match &event {
+            Ev::Arrive(rec)
+            | Ev::SensorDone { rec, .. }
+            | Ev::AgentDone { rec }
+            | Ev::AnalyzerDone { rec, .. } => Some(*rec),
+            Ev::Replay => None,
+        };
+        self.dispatch_event(now, event, queue);
+        if let Some(rec) = held {
+            self.window.release(rec);
+        }
+    }
+}
+
+impl DeploymentWorld {
+    fn dispatch_event(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
         match event {
             Ev::Arrive(rec) => {
-                let record = &self.trace.records()[rec as usize];
-                let packet = &record.packet;
+                // Clone the handles out of the window (the payload is
+                // shared, not copied) so the stations below can borrow
+                // `self` mutably.
+                let record = self.window.record(rec);
+                let truth = record.truth;
+                let packet = record.packet.clone();
+                let packet = &packet;
+                let in_scope = self.window.in_scope(rec);
 
                 // Perimeter auto-response: blocked sources never reach the
                 // protected network (nor the IDS).
                 if self.auto_response && self.console.is_blocked(now, packet.ip.src) {
-                    if self.in_scope[rec as usize] {
-                        if record.truth.is_some() {
+                    if in_scope {
+                        if truth.is_some() {
                             self.blocked_attack += 1;
                         } else {
                             self.blocked_benign += 1;
@@ -820,6 +968,7 @@ impl World for DeploymentWorld<'_> {
                             let cpu = self.host_cpus.get_mut(&h).expect("host exists");
                             match cpu.execute_ids(now, cost) {
                                 idse_sim::host::CpuVerdict::Completed { at } => {
+                                    self.window.retain(rec);
                                     queue.schedule(at, Ev::AgentDone { rec });
                                 }
                                 idse_sim::host::CpuVerdict::Overloaded => {
@@ -832,7 +981,7 @@ impl World for DeploymentWorld<'_> {
                     }
                 }
 
-                if self.sensors.is_empty() || !self.in_scope[rec as usize] {
+                if self.sensors.is_empty() || !in_scope {
                     return;
                 }
                 // Data-pool selection: out-of-pool packets are neither
@@ -894,31 +1043,35 @@ impl World for DeploymentWorld<'_> {
             }
 
             Ev::SensorDone { sensor, rec } => {
-                let record = &self.trace.records()[rec as usize];
+                let record = self.window.record(rec);
+                let at = record.at;
+                let packet = record.packet.clone();
                 // For host-agent-only products the network station is just
                 // the report aggregation point — passing it is not
                 // inspection.
-                if self.has_network_engines {
-                    self.monitored_flags[rec as usize] = true;
+                if self.has_network_engines && self.window.mark_monitored(rec) {
+                    self.monitored += 1;
                 }
                 let sensor = sensor as usize;
                 // Match latency: trace-record timestamp → engines run.
-                self.telemetry.span(record.at.as_nanos(), now.as_nanos(), "engine.match");
+                self.telemetry.span(at.as_nanos(), now.as_nanos(), "engine.match");
                 let mut detections = Vec::new();
                 if let Some(e) = self.sensor_sig[sensor].as_mut() {
-                    detections.extend(e.inspect(now, &record.packet));
+                    detections.extend(e.inspect(now, &packet));
                 }
                 if let Some(e) = self.sensor_ano[sensor].as_mut() {
-                    detections.extend(e.inspect(now, &record.packet));
+                    detections.extend(e.inspect(now, &packet));
                 }
                 self.dispatch_detections(now, rec, sensor, now, detections, queue);
             }
 
             Ev::AgentDone { rec } => {
-                let record = &self.trace.records()[rec as usize];
-                self.monitored_flags[rec as usize] = true;
+                let packet = self.window.record(rec).packet.clone();
+                if self.window.mark_monitored(rec) {
+                    self.monitored += 1;
+                }
                 let detections = match self.agents.as_mut() {
-                    Some(agent) => agent.inspect(now, &record.packet),
+                    Some(agent) => agent.inspect(now, &packet),
                     None => Vec::new(),
                 };
                 // Agent reports go to analyzer 0 (the aggregation point).
@@ -998,6 +1151,60 @@ mod tests {
         let attributed =
             out.alerts.iter().filter(|a| trace.records()[a.trigger].truth.is_some()).count();
         assert!(attributed > 0);
+    }
+
+    #[test]
+    fn chunked_session_is_byte_identical_to_monolithic() {
+        let trace = mixed(3, 30);
+        let product = IdsProduct::model(ProductId::NidSentry);
+        let mk = || {
+            PipelineRunner::new(
+                product.clone(),
+                RunConfig { sensitivity: Sensitivity::new(0.7), ..RunConfig::default() },
+            )
+            .with_training(benign(1, 10, 20.0))
+        };
+        let mono = mk().run(&trace);
+        assert!(!mono.alerts.is_empty());
+        for chunk in [1usize, 97, 4096] {
+            let mut session = mk().session();
+            for c in trace.records().chunks(chunk) {
+                session.push_chunk(c);
+            }
+            let out = session.finish();
+            assert_eq!(out.alerts, mono.alerts, "chunk size {chunk} changed the alerts");
+            assert_eq!(out.alert_truths, mono.alert_truths);
+            assert_eq!(out.offered, mono.offered);
+            assert_eq!(out.monitored, mono.monitored);
+            assert_eq!(out.missed, mono.missed);
+            assert_eq!(out.blocked, mono.blocked);
+            assert_eq!(out.finished_at, mono.finished_at);
+            // Small chunks keep the live window far below the trace length.
+            if chunk < trace.len() / 4 {
+                assert!(
+                    out.window_peak < trace.len() / 2,
+                    "window peak {} vs trace {}",
+                    out.window_peak,
+                    trace.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alert_truths_join_alerts_to_ground_truth() {
+        let trace = mixed(7, 30);
+        let product = IdsProduct::model(ProductId::NidSentry);
+        let out = PipelineRunner::new(
+            product,
+            RunConfig { sensitivity: Sensitivity::new(0.7), ..RunConfig::default() },
+        )
+        .with_training(benign(1, 10, 20.0))
+        .run(&trace);
+        assert_eq!(out.alerts.len(), out.alert_truths.len());
+        for (alert, truth) in out.alerts.iter().zip(out.alert_truths.iter()) {
+            assert_eq!(trace.records()[alert.trigger].truth, *truth);
+        }
     }
 
     #[test]

@@ -5,16 +5,33 @@
 //! every entry carries a monotonically increasing sequence number that breaks
 //! ties. This is what makes whole-testbed runs bit-reproducible across
 //! processes and platforms.
+//!
+//! Entries additionally carry a *dispatch class*: among events at the same
+//! instant, lower classes dispatch first regardless of insertion order.
+//! External inputs (scheduled with [`EventQueue::schedule_input`]) use class
+//! 0; everything else class 1. A driver that feeds inputs incrementally —
+//! chunk by chunk rather than all upfront — therefore dispatches in exactly
+//! the order a fully pre-scheduled run would: in an upfront schedule every
+//! input already outranks every derived event at the same instant by
+//! sequence number, so the class bit changes nothing for monolithic runs
+//! while making chunked runs order-identical to them.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Dispatch class of external-input events ([`EventQueue::schedule_input`]).
+pub const CLASS_INPUT: u8 = 0;
+/// Dispatch class of ordinary events ([`EventQueue::schedule`]).
+pub const CLASS_DERIVED: u8 = 1;
 
 /// An event payload together with its dispatch time.
 #[derive(Debug)]
 pub struct Scheduled<E> {
     /// Virtual time at which the event fires.
     pub at: SimTime,
+    /// Dispatch class; among same-time events, lower classes fire first.
+    pub class: u8,
     /// Insertion sequence number; unique per queue, used to break ties.
     pub seq: u64,
     /// The application event.
@@ -23,7 +40,7 @@ pub struct Scheduled<E> {
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.class == other.class && self.seq == other.seq
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -37,7 +54,11 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -62,9 +83,21 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` to fire at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.push(at, CLASS_DERIVED, event);
+    }
+
+    /// Schedule an external-input event at `at`. Among events at the same
+    /// instant, inputs dispatch before everything scheduled with
+    /// [`EventQueue::schedule`], mirroring a run where all inputs were
+    /// enqueued upfront (and therefore held the lowest sequence numbers).
+    pub fn schedule_input(&mut self, at: SimTime, event: E) {
+        self.push(at, CLASS_INPUT, event);
+    }
+
+    fn push(&mut self, at: SimTime, class: u8, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.heap.push(Scheduled { at, class, seq, event });
     }
 
     /// The earliest pending event, if any.
@@ -117,6 +150,30 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inputs_outrank_derived_events_at_the_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, "derived-a");
+        q.schedule_input(t, "input-late");
+        q.schedule(t, "derived-b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        // The input fires first despite being scheduled second; the derived
+        // events keep their insertion order among themselves.
+        assert_eq!(order, vec!["input-late", "derived-a", "derived-b"]);
+    }
+
+    #[test]
+    fn input_ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.schedule_input(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

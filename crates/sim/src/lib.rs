@@ -116,9 +116,33 @@ impl<E> Simulation<E> {
     where
         W: World<Event = E>,
     {
+        self.drain(world, until, true)
+    }
+
+    /// Run until the queue is exhausted or the next event's timestamp is at
+    /// or beyond `before` — the strict counterpart of [`Self::run_until`].
+    ///
+    /// Chunked drivers need this: before scheduling the next chunk of input
+    /// events starting at time `t`, they drain everything strictly earlier
+    /// than `t` and leave events *at* `t` queued, so that the new inputs
+    /// (which outrank same-time derived events, see
+    /// [`EventQueue::schedule_input`]) still dispatch in the order a fully
+    /// pre-scheduled run would have used. Returns the number of events
+    /// dispatched by this call.
+    pub fn run_before<W>(&mut self, world: &mut W, before: SimTime) -> u64
+    where
+        W: World<Event = E>,
+    {
+        self.drain(world, before, false)
+    }
+
+    fn drain<W>(&mut self, world: &mut W, limit: SimTime, inclusive: bool) -> u64
+    where
+        W: World<Event = E>,
+    {
         let mut count = 0;
         while let Some(&Scheduled { at, .. }) = self.queue.peek() {
-            if at > until {
+            if at > limit || (!inclusive && at == limit) {
                 break;
             }
             let ev = self.queue.pop().expect("peeked event must pop");
@@ -205,6 +229,22 @@ mod tests {
         let n = sim.run_until(&mut w, SimTime::from_micros(15));
         assert_eq!(n, 1);
         assert_eq!(sim.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn run_before_stops_short_of_the_boundary() {
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule(SimTime::from_micros(10), 1);
+        sim.queue_mut().schedule(SimTime::from_micros(20), 2);
+        sim.queue_mut().schedule(SimTime::from_micros(20), 3);
+        let mut w = Counter { fired: vec![], respawn: false };
+        // Strict: the events at exactly 20 µs stay queued.
+        assert_eq!(sim.run_before(&mut w, SimTime::from_micros(20)), 1);
+        assert_eq!(sim.queue_mut().len(), 2);
+        // Inclusive run picks them up in insertion order.
+        assert_eq!(sim.run_until(&mut w, SimTime::from_micros(20)), 2);
+        let order: Vec<u32> = w.fired.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
     }
 
     #[test]

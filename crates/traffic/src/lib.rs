@@ -21,6 +21,8 @@
 //!   ([`profiles`]),
 //! * a session-level background generator that emits labeled-benign traces
 //!   ([`generator`]),
+//! * a pull-based, constant-memory streaming variant of the generator with
+//!   flow-key sharding for multi-worker runs ([`stream`]),
 //! * content-realism measures used to verify the generators do what the
 //!   methodology demands ([`realism`]).
 
@@ -32,7 +34,9 @@ pub mod generator;
 pub mod payload;
 pub mod profiles;
 pub mod realism;
+pub mod stream;
 
 pub use arrival::ArrivalProcess;
 pub use generator::{BackgroundGenerator, GeneratorConfig};
 pub use profiles::{AppProtocol, SiteProfile};
+pub use stream::{flow_shard, RecordStream, StreamConfig, StreamError, DEFAULT_CHUNK_RECORDS};

@@ -142,6 +142,22 @@ impl SiteProfile {
         }
     }
 
+    /// The real-time cluster profile scaled to `hosts` mutually trusting
+    /// hosts. Small counts keep the classic `/24` block; anything larger
+    /// widens to a `/16` so ROADMAP-scale runs (10k hosts) have real,
+    /// distinct addresses rather than a 254-host wraparound.
+    pub fn realtime_cluster_scaled(hosts: u32) -> Self {
+        let hosts = hosts.clamp(2, 65_000);
+        let block = if hosts <= 254 { "10.10.0.0/24" } else { "10.10.0.0/16" };
+        let mut p = Self::realtime_cluster();
+        p.name = format!("realtime-cluster-{hosts}h");
+        p.clients = block.parse().expect("static CIDR");
+        p.servers = p.clients;
+        p.client_hosts = hosts;
+        p.server_hosts = hosts;
+        p
+    }
+
     /// A general office LAN: balanced mix, moderate host counts.
     pub fn office_lan() -> Self {
         Self {
@@ -216,6 +232,18 @@ mod tests {
         assert!(AppProtocol::Http.is_tcp());
         assert!(!AppProtocol::Dns.is_tcp());
         assert_eq!(AppProtocol::IcmpEcho.server_port(), 0);
+    }
+
+    #[test]
+    fn scaled_cluster_widens_its_block_when_needed() {
+        let small = SiteProfile::realtime_cluster_scaled(64);
+        assert_eq!(small.client_hosts, 64);
+        assert_eq!(small.clients, "10.10.0.0/24".parse().unwrap());
+        let big = SiteProfile::realtime_cluster_scaled(10_000);
+        assert_eq!(big.client_hosts, 10_000);
+        assert_eq!(big.clients, "10.10.0.0/16".parse().unwrap());
+        assert_eq!(big.clients, big.servers);
+        assert_eq!(big.mix, SiteProfile::realtime_cluster().mix);
     }
 
     #[test]

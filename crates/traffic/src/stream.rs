@@ -1,0 +1,759 @@
+//! Pull-based, constant-memory background-traffic streaming.
+//!
+//! [`BackgroundGenerator`](crate::generator::BackgroundGenerator)
+//! materializes its whole trace before anyone can look at the first packet,
+//! which caps experiments at container RSS. A [`RecordStream`] produces the
+//! same *kind* of traffic — session-oriented, content-realistic, labeled
+//! benign — as a lazy iterator of record chunks whose memory footprint is
+//! O(sessions in flight), independent of the total run length. That is the
+//! prerequisite for the ROADMAP's million-flow runs: the Figure-1 pipeline
+//! can consume chunks as they are produced and never hold the full trace.
+//!
+//! # Determinism contract
+//!
+//! The record sequence is a pure function of `(profile, config, seed)`:
+//!
+//! * Generation is sliced into fixed 1-second windows of virtual time.
+//!   Slice `i` re-derives its RNG as `derive_seed(seed, "chunk/{i}")`, so a
+//!   slice's arrivals depend on nothing but the slice index — no generator
+//!   state is carried between slices.
+//! * Every session draws from its own child stream
+//!   (`chunk/{i}/sess-{j}`), so skipping a session (flow-key sharding)
+//!   never perturbs any other session's bytes.
+//! * The consumer-facing chunk size ([`StreamConfig::chunk_records`]) is
+//!   pure batching over that sequence: any chunk size yields the same
+//!   records in the same order, byte for byte.
+//!
+//! # Flow-key sharding
+//!
+//! A stream can be restricted to one shard of the flow space
+//! ([`StreamConfig::with_shard`]): sessions whose canonical (unordered)
+//! host pair hashes to another shard are skipped — address draws only, no
+//! payload synthesis — so `shards` workers can each generate exactly their
+//! own slice of one giant run. The union of all shards is exactly the
+//! unsharded stream, and both directions of a flow always land in the same
+//! shard.
+
+use crate::arrival::ArrivalProcess;
+use crate::generator::{GeneratorConfig, PayloadMode};
+use crate::payload;
+use crate::profiles::AppProtocol;
+use idse_net::packet::{IcmpHeader, IcmpKind, Ipv4Header, Packet, UdpHeader};
+use idse_net::tcp::{synthesize_session, Exchange, SessionSpec};
+use idse_net::trace::{Trace, TraceRecord};
+use idse_sim::{RngStream, SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+/// Width of one generation slice of virtual time. Internal constant: it is
+/// part of the stream's byte-level definition and never varies with the
+/// consumer's chunk size.
+const SLICE_NANOS: u64 = 1_000_000_000;
+
+/// Default records per yielded chunk.
+pub const DEFAULT_CHUNK_RECORDS: usize = 8192;
+
+/// Streaming configuration: the generator parameters plus the stream knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// What traffic to generate (profile, arrival process, span, seed,
+    /// payload mode).
+    pub generator: GeneratorConfig,
+    /// Records per yielded chunk (consumer batching only — never affects
+    /// the bytes produced).
+    pub chunk_records: usize,
+    /// Total flow-key shards the run is split into.
+    pub shards: u32,
+    /// Which shard this stream emits (`0..shards`).
+    pub shard: u32,
+}
+
+impl StreamConfig {
+    /// Stream `generator`'s traffic unsharded, with the default chunk size.
+    pub fn new(generator: GeneratorConfig) -> Self {
+        Self { generator, chunk_records: DEFAULT_CHUNK_RECORDS, shards: 1, shard: 0 }
+    }
+
+    /// Set the consumer-facing chunk size (clamped to at least 1 record).
+    pub fn with_chunk_records(mut self, records: usize) -> Self {
+        self.chunk_records = records.max(1);
+        self
+    }
+
+    /// Restrict the stream to flow-key shard `shard` of `shards`.
+    pub fn with_shard(mut self, shard: u32, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self.shard = shard.min(self.shards - 1);
+        self
+    }
+}
+
+/// Why a [`RecordStream`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The arrival process carries state across time slices (ON/OFF), so
+    /// its slices cannot be generated independently.
+    UnsupportedArrivals,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnsupportedArrivals => {
+                write!(f, "streaming supports Poisson and Constant arrivals only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// The flow-key shard a packet between `a` and `b` belongs to: an FNV-1a
+/// hash of the *unordered* host pair, so both directions of every flow —
+/// and every session between the same two hosts — land in the same shard.
+pub fn flow_shard(a: Ipv4Addr, b: Ipv4Addr, shards: u32) -> u32 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut h: u64 = 0xcbf29ce484222325;
+    for byte in lo.octets().into_iter().chain(hi.octets()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % u64::from(shards.max(1))) as u32
+}
+
+/// One admitted session's remaining packets, ordered by next-packet time
+/// with the global admission sequence breaking ties — exactly the order a
+/// stable sort of the fully materialized trace would produce.
+struct InFlight {
+    seq: u64,
+    next: usize,
+    packets: Vec<(SimTime, Packet)>,
+}
+
+impl InFlight {
+    fn head_at(&self) -> SimTime {
+        self.packets[self.next].0
+    }
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other.head_at().cmp(&self.head_at()).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A lazy, chunked, deterministic benign-traffic stream.
+///
+/// Iterating yields `Vec<TraceRecord>` chunks in global time order (ties
+/// broken by generation sequence, matching a stable sort). See the module
+/// docs for the determinism contract.
+#[derive(Debug)]
+pub struct RecordStream {
+    config: StreamConfig,
+    protos: Vec<AppProtocol>,
+    weights: Vec<f64>,
+    /// Current slice index and its sorted arrival instants.
+    slice: u64,
+    n_slices: u64,
+    slice_rng: RngStream,
+    arrivals: Vec<SimTime>,
+    next_arrival: usize,
+    /// Sessions admitted but not fully emitted.
+    in_flight: BinaryHeap<InFlight>,
+    session_seq: u64,
+    emitted: u64,
+}
+
+impl std::fmt::Debug for InFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InFlight")
+            .field("seq", &self.seq)
+            .field("remaining", &(self.packets.len() - self.next))
+            .finish()
+    }
+}
+
+impl RecordStream {
+    /// Build the stream for `config`. Fails for arrival processes whose
+    /// slices cannot be generated independently (ON/OFF).
+    pub fn new(config: StreamConfig) -> Result<Self, StreamError> {
+        match config.generator.arrivals {
+            ArrivalProcess::Poisson { .. } | ArrivalProcess::Constant { .. } => {}
+            ArrivalProcess::OnOff { .. } => return Err(StreamError::UnsupportedArrivals),
+        }
+        let span = config.generator.span.as_nanos();
+        let n_slices = span.div_ceil(SLICE_NANOS);
+        let (protos, weights) = config.generator.profile.mix_weights();
+        let mut stream = Self {
+            slice_rng: RngStream::derive(config.generator.seed, "chunk/0"),
+            config,
+            protos,
+            weights,
+            slice: 0,
+            n_slices,
+            arrivals: Vec::new(),
+            next_arrival: 0,
+            in_flight: BinaryHeap::new(),
+            session_seq: 0,
+            emitted: 0,
+        };
+        if n_slices > 0 {
+            stream.load_slice(0);
+        }
+        Ok(stream)
+    }
+
+    /// Records emitted so far (across all chunks).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Drain the stream into a fully materialized trace. This is the only
+    /// sanctioned materialized path: it is by construction a `collect()` of
+    /// the stream, so it costs O(total records) memory.
+    pub fn collect_trace(self) -> Trace {
+        let mut trace = Trace::new();
+        for chunk in self {
+            for rec in chunk {
+                trace.push(rec);
+            }
+        }
+        trace.finish();
+        trace
+    }
+
+    /// The straightforward O(total-records) implementation of the same byte
+    /// sequence: admit every session up front in generation order, then
+    /// stable-sort all packets by time — exactly what the materializing
+    /// generator does. This is the oracle the streaming merge is proven
+    /// against (see the crate's property tests); experiments should iterate
+    /// or [`Self::collect_trace`] instead.
+    pub fn materialize(config: &StreamConfig) -> Result<Trace, StreamError> {
+        let mut stream = RecordStream::new(config.clone())?;
+        loop {
+            if stream.next_arrival < stream.arrivals.len() {
+                stream.admit_next();
+            } else if stream.slice + 1 < stream.n_slices {
+                let next = stream.slice + 1;
+                stream.load_slice(next);
+            } else {
+                break;
+            }
+        }
+        let mut sessions: Vec<InFlight> = stream.in_flight.into_vec();
+        sessions.sort_by_key(|s| s.seq);
+        let mut trace = Trace::new();
+        for s in sessions {
+            for (at, packet) in s.packets {
+                trace.push(TraceRecord { at, packet, truth: None });
+            }
+        }
+        trace.finish();
+        Ok(trace)
+    }
+
+    /// Load slice `i`: derive its RNG and draw its sorted arrival instants.
+    fn load_slice(&mut self, i: u64) {
+        self.slice = i;
+        self.slice_rng = RngStream::derive(self.config.generator.seed, &format!("chunk/{i}"));
+        self.next_arrival = 0;
+        self.arrivals.clear();
+        let slice_start = i * SLICE_NANOS;
+        let span = self.config.generator.span.as_nanos();
+        let slice_end = ((i + 1) * SLICE_NANOS).min(span);
+        let width_secs = (slice_end - slice_start) as f64 / 1e9;
+        match self.config.generator.arrivals {
+            ArrivalProcess::Poisson { rate } => {
+                if rate > 0.0 && width_secs > 0.0 {
+                    let k = poisson(&mut self.slice_rng, rate * width_secs);
+                    self.arrivals.reserve(k as usize);
+                    for _ in 0..k {
+                        let offset = (self.slice_rng.unit() * width_secs * 1e9) as u64;
+                        self.arrivals
+                            .push(SimTime::from_nanos(slice_start + offset.min(SLICE_NANOS - 1)));
+                    }
+                    // Stable by draw order: equal instants keep their draw
+                    // sequence, which is what the session child labels key on.
+                    self.arrivals.sort();
+                }
+            }
+            ArrivalProcess::Constant { rate } => {
+                if rate > 0.0 {
+                    // The k-th arrival (k >= 1) lands at k * gap.
+                    let gap = 1e9 / rate;
+                    let mut k = (slice_start as f64 / gap) as u64;
+                    loop {
+                        k += 1;
+                        let t = (k as f64 * gap) as u64;
+                        if t < slice_start {
+                            continue;
+                        }
+                        if t >= slice_end {
+                            break;
+                        }
+                        self.arrivals.push(SimTime::from_nanos(t));
+                    }
+                }
+            }
+            // Rejected in `new`.
+            ArrivalProcess::OnOff { .. } => {}
+        }
+    }
+
+    /// Admit the next arrival of the current slice: derive the session's
+    /// isolated stream, test shard membership on the address draws alone,
+    /// and synthesize its packets only if it belongs to this stream.
+    fn admit_next(&mut self) {
+        let start = self.arrivals[self.next_arrival];
+        let j = self.next_arrival;
+        self.next_arrival += 1;
+        let mut srng = self.slice_rng.child(&format!("sess-{j}"));
+        let profile = &self.config.generator.profile;
+        let client = {
+            let n = srng.uniform_u64(1, profile.client_hosts.max(2) as u64) as u32;
+            profile.clients.host(n)
+        };
+        let mut server = {
+            let n = srng.uniform_u64(1, profile.server_hosts.max(2) as u64) as u32;
+            profile.servers.host(n)
+        };
+        // In the intra-cluster case client and server blocks coincide;
+        // avoid degenerate self-talk (same rule as the materializing
+        // generator).
+        if server == client {
+            server = profile.servers.host(u32::from(server).wrapping_add(1) & 0xff | 1);
+        }
+        if self.config.shards > 1
+            && flow_shard(client, server, self.config.shards) != self.config.shard
+        {
+            return; // another worker's session; no payload draws burned
+        }
+        let proto = self.protos[srng.pick_weighted(&self.weights)];
+        let session_id = (self.slice as u32).wrapping_mul(65_537).wrapping_add(j as u32);
+        let packets =
+            synthesize(&self.config.generator, start, proto, client, server, session_id, &mut srng);
+        if !packets.is_empty() {
+            self.in_flight.push(InFlight { seq: self.session_seq, next: 0, packets });
+        }
+        self.session_seq += 1;
+    }
+
+    /// The earliest instant any not-yet-admitted session could start: the
+    /// next arrival of the current slice, or the start of the next slice.
+    /// `None` once every slice is exhausted.
+    fn frontier(&self) -> Option<SimTime> {
+        if self.next_arrival < self.arrivals.len() {
+            Some(self.arrivals[self.next_arrival])
+        } else if self.slice + 1 < self.n_slices {
+            Some(SimTime::from_nanos((self.slice + 1) * SLICE_NANOS))
+        } else {
+            None
+        }
+    }
+
+    /// Produce the next record in global time order, if any.
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            let frontier = self.frontier();
+            if let Some(top) = self.in_flight.peek() {
+                // Safe to emit: every future session starts at or after the
+                // frontier, and at equal instants the admitted session (lower
+                // generation sequence) sorts first anyway.
+                if frontier.is_none_or(|f| top.head_at() <= f) {
+                    let mut top = self.in_flight.pop()?;
+                    let (at, packet) = top.packets[top.next].clone();
+                    top.next += 1;
+                    if top.next < top.packets.len() {
+                        self.in_flight.push(top);
+                    }
+                    self.emitted += 1;
+                    return Some(TraceRecord { at, packet, truth: None });
+                }
+            }
+            if self.next_arrival < self.arrivals.len() {
+                self.admit_next();
+            } else if self.slice + 1 < self.n_slices {
+                let next = self.slice + 1;
+                self.load_slice(next);
+            } else {
+                return None;
+            }
+        }
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = Vec<TraceRecord>;
+
+    fn next(&mut self) -> Option<Vec<TraceRecord>> {
+        let mut chunk = Vec::with_capacity(self.config.chunk_records);
+        while chunk.len() < self.config.chunk_records {
+            match self.next_record() {
+                Some(rec) => chunk.push(rec),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+/// Poisson draw via Knuth's product method, chunked so `exp(-λ)` never
+/// underflows for large rates (a Poisson(λ₁+λ₂) is the sum of independent
+/// Poisson(λ₁) and Poisson(λ₂) draws).
+fn poisson(rng: &mut RngStream, lambda: f64) -> u64 {
+    let mut remaining = lambda.max(0.0);
+    let mut total = 0u64;
+    while remaining > 0.0 {
+        let step = remaining.min(500.0);
+        remaining -= step;
+        let limit = (-step).exp();
+        let mut p = 1.0;
+        let mut k = 0u64;
+        loop {
+            p *= rng.unit();
+            if p <= limit {
+                break;
+            }
+            k += 1;
+        }
+        total += k;
+    }
+    total
+}
+
+/// Synthesize one session's packets, all times non-decreasing from `start`.
+/// Every draw comes from `srng` (or a named child of it), so the session is
+/// a pure function of its `chunk/{i}/sess-{j}` lineage.
+fn synthesize(
+    cfg: &GeneratorConfig,
+    start: SimTime,
+    proto: AppProtocol,
+    client: Ipv4Addr,
+    server: Ipv4Addr,
+    session_id: u32,
+    srng: &mut RngStream,
+) -> Vec<(SimTime, Packet)> {
+    let mut gap_rng = srng.child("gaps");
+    let mut noise_rng = srng.child("noise");
+    let base = cfg.mean_turnaround.as_secs_f64() * 0.5; // fixed half-mean floor
+    let mut next_gap = move || SimDuration::from_secs_f64(base + gap_rng.exponential(1.0 / base));
+    let randomize = |bytes: Vec<u8>, noise: &mut RngStream| match cfg.payload_mode {
+        PayloadMode::Realistic => bytes,
+        PayloadMode::RandomBytes => payload::random_bytes(noise, bytes.len()),
+    };
+
+    let mut out = Vec::new();
+    match proto {
+        AppProtocol::Dns => {
+            let q = randomize(payload::dns_query(srng), &mut noise_rng);
+            let resp_len = q.len() + 16;
+            let resp = randomize(payload::random_bytes(srng, resp_len), &mut noise_rng);
+            let sport = 1024 + (srng.uniform_u64(0, 60000) as u16).min(60000);
+            out.push((
+                start,
+                Packet::udp(
+                    Ipv4Header::simple(client, server),
+                    UdpHeader { src_port: sport, dst_port: 53 },
+                    q,
+                ),
+            ));
+            out.push((
+                start + next_gap(),
+                Packet::udp(
+                    Ipv4Header::simple(server, client),
+                    UdpHeader { src_port: 53, dst_port: sport },
+                    resp,
+                ),
+            ));
+        }
+        AppProtocol::ClusterTelemetry => {
+            // A burst of 4–12 telemetry datagrams, one direction.
+            let n = 4 + srng.index(9);
+            let source_id = srng.uniform_u64(0, 64) as u16;
+            let mut t = start;
+            for k in 0..n {
+                let body = randomize(
+                    payload::cluster_telemetry(
+                        srng,
+                        session_id.wrapping_mul(100) + k as u32,
+                        source_id,
+                    ),
+                    &mut noise_rng,
+                );
+                out.push((
+                    t,
+                    Packet::udp(
+                        Ipv4Header::simple(client, server),
+                        UdpHeader { src_port: 7100, dst_port: 7100 },
+                        body,
+                    ),
+                ));
+                t += SimDuration::from_micros(200 + srng.uniform_u64(0, 400));
+            }
+        }
+        AppProtocol::IcmpEcho => {
+            let body = randomize(vec![0x20; 32], &mut noise_rng);
+            let ident = srng.uniform_u64(0, 0x10000) as u16;
+            out.push((
+                start,
+                Packet::icmp(
+                    Ipv4Header::simple(client, server),
+                    IcmpHeader { kind: IcmpKind::EchoRequest, ident, seq: 1 },
+                    body.clone(),
+                ),
+            ));
+            out.push((
+                start + next_gap(),
+                Packet::icmp(
+                    Ipv4Header::simple(server, client),
+                    IcmpHeader { kind: IcmpKind::EchoReply, ident, seq: 1 },
+                    body,
+                ),
+            ));
+        }
+        tcp_proto => {
+            let exchanges = tcp_exchanges(cfg, tcp_proto, srng, &mut noise_rng);
+            let spec = SessionSpec {
+                client,
+                client_port: 1024 + (srng.uniform_u64(0, 60000) as u16),
+                server,
+                server_port: tcp_proto.server_port(),
+                client_isn: srng.uniform_u64(0, u32::MAX as u64) as u32,
+                server_isn: srng.uniform_u64(0, u32::MAX as u64) as u32,
+                mss: 1460,
+            };
+            let segs = synthesize_session(&spec, &exchanges);
+            let mut t = start;
+            for (_, p) in segs {
+                out.push((t, p));
+                t += next_gap();
+            }
+        }
+    }
+    out
+}
+
+/// TCP application exchanges for `proto` (mirrors the materializing
+/// generator's content model, drawn from the session's isolated stream).
+fn tcp_exchanges(
+    cfg: &GeneratorConfig,
+    proto: AppProtocol,
+    rng: &mut RngStream,
+    noise: &mut RngStream,
+) -> Vec<Exchange> {
+    let mut ex: Vec<Exchange> = match proto {
+        AppProtocol::Http => {
+            let req = payload::http_request(rng);
+            let size =
+                rng.pareto(cfg.profile.mean_response_bytes as f64 * 0.5, 1.5).min(65536.0) as usize;
+            let resp = payload::http_response(rng, size);
+            vec![Exchange::to_server(req), Exchange::to_client(resp)]
+        }
+        AppProtocol::Smtp => {
+            let mut ex = Vec::new();
+            for _ in 0..3 + rng.index(3) {
+                ex.push(Exchange::to_server(payload::smtp_command(rng)));
+                ex.push(Exchange::to_client(b"250 OK\r\n".to_vec()));
+            }
+            ex
+        }
+        AppProtocol::Ftp => {
+            let mut ex = Vec::new();
+            for _ in 0..2 + rng.index(4) {
+                ex.push(Exchange::to_server(payload::ftp_command(rng)));
+                ex.push(Exchange::to_client(b"200 Command okay.\r\n".to_vec()));
+            }
+            ex
+        }
+        AppProtocol::Auth => {
+            let user = payload::background_user(rng);
+            let failed = rng.chance(cfg.profile.benign_login_failure_rate);
+            let mut ex = Vec::new();
+            if failed {
+                ex.push(Exchange::to_server(payload::login_attempt(user, false)));
+            }
+            ex.push(Exchange::to_server(payload::login_attempt(user, true)));
+            ex.push(Exchange::to_client(b"$ ".to_vec()));
+            ex
+        }
+        AppProtocol::NfsRpc => {
+            let mut ex = Vec::new();
+            for _ in 0..1 + rng.index(4) {
+                ex.push(Exchange::to_server(payload::nfs_rpc(rng)));
+                ex.push(Exchange::to_client(payload::random_bytes(rng, 128)));
+            }
+            ex
+        }
+        // Non-TCP protocols are handled in `synthesize`; emitting nothing
+        // keeps this total without a panic path in library code.
+        _ => Vec::new(),
+    };
+    if cfg.payload_mode == PayloadMode::RandomBytes {
+        for e in &mut ex {
+            e.data = payload::random_bytes(noise, e.data.len());
+        }
+    }
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::SiteProfile;
+
+    fn config(seed: u64, secs: u64, rate: f64) -> StreamConfig {
+        StreamConfig::new(GeneratorConfig::new(
+            SiteProfile::realtime_cluster(),
+            ArrivalProcess::Poisson { rate },
+            SimDuration::from_secs(secs),
+            seed,
+        ))
+    }
+
+    fn assert_traces_equal(a: &Trace, b: &Trace) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.records().iter().zip(b.records().iter()) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.packet, y.packet);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_deterministic() {
+        let a = RecordStream::new(config(11, 8, 30.0)).unwrap().collect_trace();
+        let b = RecordStream::new(config(11, 8, 30.0)).unwrap().collect_trace();
+        assert!(a.len() > 100, "got {}", a.len());
+        let times: Vec<_> = a.records().iter().map(|r| r.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "stream must be time-sorted");
+        assert_traces_equal(&a, &b);
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_bytes() {
+        let base = RecordStream::new(config(7, 6, 25.0)).unwrap().collect_trace();
+        for chunk in [1usize, 64, 4096] {
+            let t = RecordStream::new(config(7, 6, 25.0).with_chunk_records(chunk))
+                .unwrap()
+                .collect_trace();
+            assert_traces_equal(&base, &t);
+        }
+    }
+
+    #[test]
+    fn incremental_merge_matches_stable_sort_reference() {
+        for seed in [1u64, 9, 1234] {
+            let cfg = config(seed, 5, 40.0);
+            let streamed = RecordStream::new(cfg.clone()).unwrap().collect_trace();
+            let reference = RecordStream::materialize(&cfg).unwrap();
+            assert_traces_equal(&streamed, &reference);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_stream_exactly() {
+        let cfg = config(3, 6, 30.0);
+        let full = RecordStream::new(cfg.clone()).unwrap().collect_trace();
+        let shards = 4u32;
+        let mut merged = Trace::new();
+        for s in 0..shards {
+            let part =
+                RecordStream::new(cfg.clone().with_shard(s, shards)).unwrap().collect_trace();
+            for r in part.records() {
+                assert_eq!(
+                    flow_shard(r.packet.ip.src, r.packet.ip.dst, shards),
+                    s,
+                    "record leaked into the wrong shard"
+                );
+                merged.push(r.clone());
+            }
+        }
+        merged.finish();
+        assert_traces_equal(&full, &merged);
+    }
+
+    #[test]
+    fn constant_arrivals_stream_exactly() {
+        let cfg = StreamConfig::new(GeneratorConfig::new(
+            SiteProfile::office_lan(),
+            ArrivalProcess::Constant { rate: 10.0 },
+            SimDuration::from_secs(4),
+            5,
+        ));
+        let t = RecordStream::new(cfg).unwrap().collect_trace();
+        assert!(!t.is_empty());
+        let times: Vec<_> = t.records().iter().map(|r| r.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn onoff_arrivals_are_rejected() {
+        let cfg = StreamConfig::new(GeneratorConfig::new(
+            SiteProfile::office_lan(),
+            ArrivalProcess::OnOff { on_rate: 50.0, mean_on: 1.0, mean_off: 2.0 },
+            SimDuration::from_secs(4),
+            5,
+        ));
+        assert_eq!(RecordStream::new(cfg).err(), Some(StreamError::UnsupportedArrivals));
+    }
+
+    #[test]
+    fn poisson_sampler_tracks_the_mean() {
+        let mut rng = RngStream::derive(1, "poisson");
+        for lambda in [0.5, 20.0, 2000.0] {
+            let n = 400;
+            let mean = (0..n).map(|_| poisson(&mut rng, lambda)).sum::<u64>() as f64 / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.2, "poisson({lambda}) mean {mean}");
+        }
+    }
+
+    #[test]
+    fn flow_shard_is_direction_independent() {
+        let a = Ipv4Addr::new(10, 10, 0, 3);
+        let b = Ipv4Addr::new(10, 10, 0, 9);
+        for shards in [1u32, 2, 7, 16] {
+            assert_eq!(flow_shard(a, b, shards), flow_shard(b, a, shards));
+            assert!(flow_shard(a, b, shards) < shards);
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_sessions_in_flight() {
+        // 30 s at 50 sessions/s: the in-flight heap must stay tiny compared
+        // to the total session count.
+        let mut stream = RecordStream::new(config(21, 30, 50.0)).unwrap();
+        let mut max_in_flight = 0usize;
+        let mut total = 0usize;
+        while let Some(chunk) = stream.next() {
+            total += chunk.len();
+            max_in_flight = max_in_flight.max(stream.in_flight.len());
+        }
+        assert!(total > 5_000, "got {total}");
+        assert!(
+            max_in_flight < 200,
+            "in-flight sessions {max_in_flight} should be far below total {total}"
+        );
+    }
+}

@@ -1,9 +1,13 @@
 //! Property-based tests for the traffic generators: determinism, content
 //! realism, and structural invariants over arbitrary seeds and rates.
 
+use idse_net::trace::Trace;
 use idse_sim::{RngStream, SimDuration, SimTime};
 use idse_traffic::generator::PayloadMode;
-use idse_traffic::{ArrivalProcess, BackgroundGenerator, GeneratorConfig, SiteProfile};
+use idse_traffic::{
+    flow_shard, ArrivalProcess, BackgroundGenerator, GeneratorConfig, RecordStream, SiteProfile,
+    StreamConfig,
+};
 use proptest::prelude::*;
 
 fn profiles() -> impl Strategy<Value = SiteProfile> {
@@ -90,6 +94,60 @@ proptest! {
             let arr = process.arrivals(start, span, &mut rng);
             prop_assert!(arr.windows(2).all(|w| w[0] <= w[1]));
             prop_assert!(arr.iter().all(|&t| t >= start && t < start + span));
+        }
+    }
+
+    /// `collect()`-ing the stream equals the materialized oracle byte for
+    /// byte, at every chunk size — the tentpole determinism contract: the
+    /// chunk size is pure batching and never changes the bytes produced.
+    #[test]
+    fn stream_collect_matches_materialized(profile in profiles(), seed in any::<u64>(), rate in 5.0f64..30.0) {
+        let cfg = StreamConfig::new(GeneratorConfig::new(
+            profile,
+            ArrivalProcess::Poisson { rate },
+            SimDuration::from_secs(4),
+            seed,
+        ));
+        let oracle = RecordStream::materialize(&cfg).unwrap();
+        for chunk in [1usize, 64, 4096] {
+            let streamed = RecordStream::new(cfg.clone().with_chunk_records(chunk))
+                .unwrap()
+                .collect_trace();
+            prop_assert_eq!(streamed.len(), oracle.len());
+            for (x, y) in streamed.records().iter().zip(oracle.records().iter()) {
+                prop_assert_eq!(x.at, y.at);
+                prop_assert_eq!(&x.packet, &y.packet);
+                prop_assert_eq!(&x.truth, &y.truth);
+            }
+        }
+    }
+
+    /// Flow-key shards partition the stream exactly: every record lands in
+    /// its own shard and the merged shards reproduce the unsharded bytes.
+    #[test]
+    fn stream_shards_partition(seed in any::<u64>(), shards in 2u32..6) {
+        let cfg = StreamConfig::new(GeneratorConfig::new(
+            SiteProfile::realtime_cluster(),
+            ArrivalProcess::Poisson { rate: 20.0 },
+            SimDuration::from_secs(4),
+            seed,
+        ));
+        let full = RecordStream::new(cfg.clone()).unwrap().collect_trace();
+        let mut merged = Trace::new();
+        for s in 0..shards {
+            let part = RecordStream::new(cfg.clone().with_shard(s, shards))
+                .unwrap()
+                .collect_trace();
+            for r in part.records() {
+                prop_assert_eq!(flow_shard(r.packet.ip.src, r.packet.ip.dst, shards), s);
+                merged.push(r.clone());
+            }
+        }
+        merged.finish();
+        prop_assert_eq!(merged.len(), full.len());
+        for (x, y) in merged.records().iter().zip(full.records().iter()) {
+            prop_assert_eq!(x.at, y.at);
+            prop_assert_eq!(&x.packet, &y.packet);
         }
     }
 

@@ -14,13 +14,15 @@ use idse_ids::products::{IdsProduct, ProductId};
 use idse_sim::SimDuration;
 
 fn main() {
-    let feed = TestFeed::realtime_cluster(&FeedConfig {
-        session_rate: 20.0,
-        training_span: SimDuration::from_secs(15),
-        test_span: SimDuration::from_secs(40),
-        campaign_intensity: 2,
-        seed: 99,
-    });
+    let feed = TestFeed::realtime_cluster(
+        &FeedConfig::builder()
+            .session_rate(20.0)
+            .training_span(SimDuration::from_secs(15))
+            .test_span(SimDuration::from_secs(40))
+            .campaign_intensity(2)
+            .seed(99)
+            .build(),
+    );
     let product = IdsProduct::model(ProductId::FlowHunter);
     // The nine sweep points are independent jobs; fan them out one per
     // core — the curve is byte-identical at any worker count.

@@ -30,17 +30,20 @@ fn main() {
     // 2. Evaluate every candidate on the cluster testbed. The jobs fan
     //    out across cores; results are byte-identical at any width.
     let request = EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 20.0,
-            training_span: SimDuration::from_secs(15),
-            test_span: SimDuration::from_secs(30),
-            campaign_intensity: 1,
-            seed: 0xc1u64,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(20.0)
+                .training_span(SimDuration::from_secs(15))
+                .test_span(SimDuration::from_secs(30))
+                .campaign_intensity(1)
+                .seed(0xc1u64)
+                .build(),
+        )
         .with_needs(EnvironmentNeeds::realtime_cluster(2_000.0))
         .with_sweep(SweepPlan::with_steps(5).with_fp_budget(0.2))
         .with_max_throughput_factor(64.0)
         .with_jobs(0);
+    // idse-lint: allow(materialized-feed-in-experiment, reason = "small canned procurement run: the full sweep methodology needs the trace")
     let feed = request.build_feed();
     let evals = request.evaluate_all(&feed);
     let cards: Vec<&Scorecard> = evals.iter().map(|e| &e.scorecard).collect();

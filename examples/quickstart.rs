@@ -18,17 +18,20 @@ fn main() {
     //    traffic plus a labeled attack campaign over a real-time cluster
     //    profile), the environment rubric, and the experiment shape.
     let request = EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 20.0,
-            training_span: SimDuration::from_secs(15),
-            test_span: SimDuration::from_secs(30),
-            campaign_intensity: 1,
-            seed: 7,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(20.0)
+                .training_span(SimDuration::from_secs(15))
+                .test_span(SimDuration::from_secs(30))
+                .campaign_intensity(1)
+                .seed(7)
+                .build(),
+        )
         .with_needs(EnvironmentNeeds::realtime_cluster(2_000.0))
         .with_sweep(SweepPlan::with_steps(5).with_fp_budget(0.2))
         .with_max_throughput_factor(64.0)
         .with_jobs(0); // one worker per core; the output is identical at any width
+                       // idse-lint: allow(materialized-feed-in-experiment, reason = "30-second demo feed: the walkthrough prints trace sizes and sweeps the curve")
     let feed = request.build_feed();
     println!(
         "feed: {} training packets, {} test packets ({} attack instances)",

@@ -11,13 +11,15 @@ use idse_sim::SimDuration;
 
 #[test]
 fn full_feed_round_trips_through_json() {
-    let feed = TestFeed::ecommerce(&FeedConfig {
-        session_rate: 15.0,
-        training_span: SimDuration::from_secs(5),
-        test_span: SimDuration::from_secs(15),
-        campaign_intensity: 1,
-        seed: 8,
-    });
+    let feed = TestFeed::ecommerce(
+        &FeedConfig::builder()
+            .session_rate(15.0)
+            .training_span(SimDuration::from_secs(5))
+            .test_span(SimDuration::from_secs(15))
+            .campaign_intensity(1)
+            .seed(8)
+            .build(),
+    );
     let json = feed.test.to_json();
     let reloaded = Trace::from_json(&json).expect("valid JSON");
     assert_eq!(reloaded.len(), feed.test.len());
@@ -31,13 +33,15 @@ fn full_feed_round_trips_through_json() {
 
 #[test]
 fn reloaded_dataset_replays_identically() {
-    let feed = TestFeed::ecommerce(&FeedConfig {
-        session_rate: 15.0,
-        training_span: SimDuration::from_secs(5),
-        test_span: SimDuration::from_secs(15),
-        campaign_intensity: 1,
-        seed: 9,
-    });
+    let feed = TestFeed::ecommerce(
+        &FeedConfig::builder()
+            .session_rate(15.0)
+            .training_span(SimDuration::from_secs(5))
+            .test_span(SimDuration::from_secs(15))
+            .campaign_intensity(1)
+            .seed(9)
+            .build(),
+    );
     let reloaded = Trace::from_json(&feed.test.to_json()).expect("valid");
     let run = |trace: &Trace| {
         PipelineRunner::new(
@@ -61,13 +65,15 @@ fn reloaded_dataset_replays_identically() {
 fn wire_encoding_round_trips_an_entire_trace() {
     // Every packet the generators can emit must survive the byte-level
     // codec with checksums verified.
-    let feed = TestFeed::realtime_cluster(&FeedConfig {
-        session_rate: 10.0,
-        training_span: SimDuration::from_secs(4),
-        test_span: SimDuration::from_secs(10),
-        campaign_intensity: 1,
-        seed: 10,
-    });
+    let feed = TestFeed::realtime_cluster(
+        &FeedConfig::builder()
+            .session_rate(10.0)
+            .training_span(SimDuration::from_secs(4))
+            .test_span(SimDuration::from_secs(10))
+            .campaign_intensity(1)
+            .seed(10)
+            .build(),
+    );
     let mut encoded = 0u64;
     for rec in feed.test.records() {
         // Fragments carry partial transport payloads; the codec encodes

@@ -1,7 +1,7 @@
 //! Scientific repeatability, end to end: the paper's methodology demands
 //! that evaluating the same product against the same standard twice gives
 //! the same answer — and that the answer is byte-identical at any
-//! executor width, including through the deprecated serial entry points.
+//! executor width, for both the materialized and the streaming paths.
 
 use idse_core::RequirementSet;
 use idse_eval::feeds::FeedConfig;
@@ -15,13 +15,15 @@ use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
 
 fn request() -> EvaluationRequest {
     EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 12.0,
-            training_span: SimDuration::from_secs(8),
-            test_span: SimDuration::from_secs(18),
-            campaign_intensity: 1,
-            seed: 4242,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(12.0)
+                .training_span(SimDuration::from_secs(8))
+                .test_span(SimDuration::from_secs(18))
+                .campaign_intensity(1)
+                .seed(4242)
+                .build(),
+        )
         .with_needs(EnvironmentNeeds::realtime_cluster(1_000.0))
         .with_sweep(SweepPlan::with_steps(3).with_fp_budget(0.2))
         .with_max_throughput_factor(16.0)
@@ -59,23 +61,25 @@ fn worker_count_never_changes_a_byte() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_serial_path_matches_the_parallel_executor() {
-    use idse_eval::harness::{evaluate_all, EvaluationConfig};
-
-    let req = request();
-    let legacy_cfg = EvaluationConfig {
-        feed: req.feed.clone(),
-        needs: req.needs.clone(),
-        sweep_steps: req.sweep.steps,
-        max_throughput_factor: req.max_throughput_factor,
-        fp_budget: req.sweep.fp_budget,
-        ..EvaluationConfig::default()
+fn streaming_scorecards_are_identical_at_any_width_and_chunk_size() {
+    // The RecordStream evaluation path: one job per (product, shard),
+    // merged in shard order. Worker count and chunk size must never
+    // change a byte of the merged scorecard.
+    let product = IdsProduct::model(ProductId::FlowHunter);
+    let run = |jobs: usize, chunk: usize| {
+        request()
+            .with_jobs(jobs)
+            .with_stream(chunk, 2)
+            .evaluate_stream(std::slice::from_ref(&product), 0.6)
+            .pop()
+            .expect("one product evaluated")
+            .scorecard
+            .to_json()
     };
-    let feed = req.build_feed();
-    let legacy = render(&evaluate_all(&feed, &legacy_cfg));
-    let parallel = render(&req.with_jobs(8).evaluate_all(&feed));
-    assert_eq!(legacy, parallel, "the legacy serial path must match the executor byte-for-byte");
+    let baseline = run(1, 1024);
+    assert_eq!(baseline, run(8, 1024), "--jobs 8 changed the streaming scorecard");
+    assert_eq!(baseline, run(4, 64), "chunk size 64 changed the streaming scorecard");
+    assert_eq!(baseline, run(0, 4096), "--jobs auto changed the streaming scorecard");
 }
 
 #[test]

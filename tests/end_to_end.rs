@@ -10,13 +10,15 @@ use idse_sim::SimDuration;
 
 fn quick_request() -> EvaluationRequest {
     EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 15.0,
-            training_span: SimDuration::from_secs(10),
-            test_span: SimDuration::from_secs(22),
-            campaign_intensity: 1,
-            seed: 2002,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(15.0)
+                .training_span(SimDuration::from_secs(10))
+                .test_span(SimDuration::from_secs(22))
+                .campaign_intensity(1)
+                .seed(2002)
+                .build(),
+        )
         .with_needs(EnvironmentNeeds::realtime_cluster(1_500.0))
         .with_sweep(SweepPlan::with_steps(4).with_fp_budget(0.2))
         .with_max_throughput_factor(32.0)

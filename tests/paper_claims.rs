@@ -13,13 +13,15 @@ use idse_net::trace::AttackClass;
 use idse_sim::SimDuration;
 
 fn feed() -> TestFeed {
-    TestFeed::realtime_cluster(&FeedConfig {
-        session_rate: 20.0,
-        training_span: SimDuration::from_secs(15),
-        test_span: SimDuration::from_secs(35),
-        campaign_intensity: 2,
-        seed: 0xbeef,
-    })
+    TestFeed::realtime_cluster(
+        &FeedConfig::builder()
+            .session_rate(20.0)
+            .training_span(SimDuration::from_secs(15))
+            .test_span(SimDuration::from_secs(35))
+            .campaign_intensity(2)
+            .seed(0xbeef)
+            .build(),
+    )
 }
 
 fn confusion_at(feed: &TestFeed, id: ProductId, s: f64) -> idse_eval::confusion::ConfusionCounts {

@@ -23,13 +23,15 @@ fn tmp(name: &str) -> PathBuf {
 /// The cheap evaluation request the determinism suite standardizes on.
 fn request() -> EvaluationRequest {
     EvaluationRequest::new()
-        .with_feed(FeedConfig {
-            session_rate: 12.0,
-            training_span: SimDuration::from_secs(8),
-            test_span: SimDuration::from_secs(18),
-            campaign_intensity: 1,
-            seed: 4242,
-        })
+        .with_feed(
+            FeedConfig::builder()
+                .session_rate(12.0)
+                .training_span(SimDuration::from_secs(8))
+                .test_span(SimDuration::from_secs(18))
+                .campaign_intensity(1)
+                .seed(4242)
+                .build(),
+        )
         .with_needs(EnvironmentNeeds::realtime_cluster(1_000.0))
         .with_sweep(SweepPlan::with_steps(3).with_fp_budget(0.2))
         .with_max_throughput_factor(16.0)
