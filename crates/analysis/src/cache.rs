@@ -23,7 +23,11 @@ use std::path::{Path, PathBuf};
 /// Bump on ANY change to the lexer, line rules, allow-directive grammar,
 /// the semantic model, or the serialized shape of [`FilePass`]. A stale
 /// version must never deserialize into current-version structs.
-pub const CACHE_VERSION: u32 = 1;
+///
+/// v2: the v4 performance phase added `FileModel::loops` and the
+/// `// idse-lint: hot` directive channel, so v1 entries (no loop model)
+/// must read as misses.
+pub const CACHE_VERSION: u32 = 2;
 
 fn fnv_push(h: &mut u64, bytes: &[u8]) {
     for &b in bytes {

@@ -23,6 +23,16 @@
 //! [`cache`]), so warm runs skip re-lexing unchanged files while staying
 //! byte-identical to cold runs.
 //!
+//! **Phase 4** is the performance pass (see [`perf`]): phase 1's loop
+//! model (header text, bound provenance, nesting, spans) marks hot roots
+//! — per-record/per-byte loops in the hot-path crates, or any loop
+//! annotated `// idse-lint: hot` — and hotness propagates *forward* over
+//! the phase-2 call graph, so helpers called per record inherit the
+//! loop's temperature. Five rules fire on hot code
+//! (`alloc-in-hot-loop`, `quadratic-accumulation`, `per-byte-dispatch`,
+//! `hot-loop-rederive`, `collect-in-hot-path`), each with a witness
+//! chain hot-root → call chain → site, priced by `BENCH_hotpath.json`.
+//!
 //! **Phase 2** assembles the per-file models into a workspace call graph
 //! and propagates taint labels (see [`taint`]) backwards from every hazard
 //! token, so a function that merely *reaches* a wall clock, ambient
@@ -66,6 +76,7 @@ pub mod cache;
 pub mod dataflow;
 pub mod fix;
 pub mod model;
+pub mod perf;
 pub mod rules;
 pub mod sarif;
 pub mod source;
@@ -620,7 +631,10 @@ pub fn analyze_full_with_cache(
     }
 
     // Phase 3: value dataflow over the same models — seed lineage,
-    // reduction order, store-record purity. Serial and deterministic.
+    // reduction order, store-record purity. Phase 4: hot-path
+    // performance over the loop model and the phase-2 call graph. Both
+    // serial and deterministic; their hits share one reporting path
+    // (allow at the finding line, shield at the chain's origin).
     let dataflow_hits = {
         let views: Vec<dataflow::FileView<'_>> = metas
             .iter()
@@ -632,7 +646,9 @@ pub fn analyze_full_with_cache(
                 test_flags: &pass.test_flags,
             })
             .collect();
-        dataflow::analyze(&views)
+        let mut hits = dataflow::analyze(&views);
+        hits.extend(perf::analyze(&views, &graph));
+        hits
     };
     for hit in dataflow_hits {
         let finding = Finding {

@@ -1,0 +1,574 @@
+//! Phase-4 hot-path performance analysis over the loop model.
+//!
+//! The paper's metrics are comparable only if every experiment pays the
+//! same, predictable cost per record. ROADMAP item 2 names the two loops
+//! every run multiplies — the signature engine's per-byte scan and the
+//! DES kernel's per-event dispatch — and `BENCH_hotpath.json` prices
+//! them. This phase keeps those paths clean *statically*:
+//!
+//! 1. **Loop model** — phase 1's brace tracker records every loop with
+//!    its header text (bound provenance), nesting depth, and span
+//!    ([`crate::model::LoopInfo`]).
+//! 2. **Hot roots** — a loop is hot when it lives in library code of a
+//!    hot-path crate (`idse-ids`, `idse-sim`, `idse-traffic`, `idse-net`)
+//!    and its header names per-record or per-byte input, or when the
+//!    author marks it with `// idse-lint: hot`.
+//! 3. **Transitive hotness** — everything *reachable* from a hot loop
+//!    over the phase-2 call graph is hot, forward-propagated with
+//!    first-writer-wins witnesses (the mirror image of the backwards
+//!    taint pass). A helper called per record cannot launder an
+//!    allocation out of the loop body.
+//!
+//! On that model run five rules (`alloc-in-hot-loop`,
+//! `quadratic-accumulation`, `per-byte-dispatch`, `hot-loop-rederive`,
+//! `collect-in-hot-path`), each carrying a witness chain from the hot
+//! root through the call chain to the offending site. Findings reuse the
+//! phase-3 plumbing: an allow at the finding line suppresses one finding;
+//! an allow at the *hot-root loop header* shields every downstream
+//! finding it reaches, exactly like a taint-source shield.
+//!
+//! The pass is serial and deterministic: roots in (file, header-line)
+//! order, propagation frontiers sorted, findings sorted by
+//! (file, line, column, rule), all grouping in `BTreeMap`s.
+
+use crate::dataflow::{DataflowHit, FileView};
+use crate::model::{Graph, LoopInfo, LoopKind};
+use crate::rules::{self, RuleId, Severity, Tier};
+use crate::source;
+use std::collections::BTreeSet;
+
+/// Crates whose library loops are hot-root candidates by heuristic.
+const HOT_CRATES: [&str; 4] = ["idse-ids", "idse-sim", "idse-traffic", "idse-net"];
+
+/// Header words that mark a per-record loop (the unit the evaluation
+/// streams: records, packets, events, flows, chunks, transactions).
+const PER_RECORD_WORDS: [&str; 16] = [
+    "record",
+    "records",
+    "rec",
+    "recs",
+    "packet",
+    "packets",
+    "event",
+    "events",
+    "flow",
+    "flows",
+    "chunk",
+    "chunks",
+    "transaction",
+    "transactions",
+    "alert",
+    "alerts",
+];
+
+/// Header words that mark a per-byte scan loop (the signature engine's
+/// innermost unit).
+const PER_BYTE_WORDS: [&str; 4] = ["byte", "bytes", "payload", "haystack"];
+
+/// What a hot loop iterates over — per-byte loops additionally enable
+/// `per-byte-dispatch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Heat {
+    PerRecord,
+    PerByte,
+}
+
+impl Heat {
+    fn unit(self) -> &'static str {
+        match self {
+            Heat::PerRecord => "record",
+            Heat::PerByte => "byte",
+        }
+    }
+}
+
+/// One hot-root loop: `loop_idx` indexes `files[file].model.loops`.
+#[derive(Debug, Clone)]
+struct HotRoot {
+    file: usize,
+    loop_idx: usize,
+    heat: Heat,
+}
+
+/// Why a function is hot: the root it is reached from and the call edge
+/// that first marked it (None for the seed callees invoked directly from
+/// the hot loop body — their `via` is the loop itself).
+#[derive(Debug, Clone)]
+struct HotWitness {
+    root: usize,
+    /// `(caller fn id, call line, call column)` of the marking edge, when
+    /// the caller is itself a hot function (depth ≥ 2).
+    via: Option<(usize, usize, usize)>,
+    depth: usize,
+}
+
+/// Tiered severity for perf rules: substrate crates error, harness crates
+/// warn, tooling crates are out of scope.
+fn perf_severity(crate_name: &str) -> Option<Severity> {
+    match rules::crate_tier(crate_name) {
+        Tier::Strict => Some(Severity::Error),
+        Tier::Standard => Some(Severity::Warn),
+        Tier::Tooling => None,
+    }
+}
+
+fn in_test(view: &FileView<'_>, line: usize) -> bool {
+    view.test_flags.get(line).copied().unwrap_or(false) || view.meta.kind.is_test()
+}
+
+/// Heat of a loop header by its bound words, if any.
+fn header_heat(head: &str) -> Option<Heat> {
+    if PER_BYTE_WORDS.iter().any(|w| rules::word_at(head, w).is_some()) {
+        return Some(Heat::PerByte);
+    }
+    if PER_RECORD_WORDS.iter().any(|w| rules::word_at(head, w).is_some()) {
+        return Some(Heat::PerRecord);
+    }
+    None
+}
+
+/// Collect hot roots: heuristic roots in hot-crate library files, plus
+/// every loop marked `// idse-lint: hot` (any non-test file, any crate).
+fn hot_roots(files: &[FileView<'_>]) -> Vec<HotRoot> {
+    let mut out = Vec::new();
+    for (fi, view) in files.iter().enumerate() {
+        let annotated: BTreeSet<usize> =
+            source::hot_directives(view.lines).into_iter().map(|d| d.target_line).collect();
+        let heuristic_file = HOT_CRATES.contains(&view.meta.crate_name.as_str())
+            && matches!(view.meta.kind, rules::FileKind::Library);
+        for (li, l) in view.model.loops.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            let heat = if annotated.contains(&l.line) {
+                Some(header_heat(&l.head).unwrap_or(Heat::PerRecord))
+            } else if heuristic_file {
+                header_heat(&l.head)
+            } else {
+                None
+            };
+            if let Some(heat) = heat {
+                out.push(HotRoot { file: fi, loop_idx: li, heat });
+            }
+        }
+    }
+    out
+}
+
+/// A performance token found on one line: `(column, display, rule)`.
+type PerfToken = (usize, &'static str, RuleId);
+
+/// Allocation tokens: every record/byte pays the allocator.
+const ALLOC_TOKENS: [(&str, &str); 9] = [
+    ("Vec::new(", "Vec::new"),
+    ("vec!", "vec!"),
+    ("String::new(", "String::new"),
+    ("format!(", "format!"),
+    ("Box::new(", "Box::new"),
+    (".to_string(", "to_string"),
+    (".to_owned(", "to_owned"),
+    (".to_vec(", "to_vec"),
+    (".clone(", "clone"),
+];
+
+/// Scan one masked code line for hot-path tokens (allocation, seed
+/// re-derivation, Vec materialization), earliest occurrence per rule.
+fn hot_line_tokens(code: &str) -> Vec<PerfToken> {
+    let mut out: Vec<PerfToken> = Vec::new();
+    let mut alloc: Option<(usize, &'static str)> = None;
+    for (pat, display) in ALLOC_TOKENS {
+        if let Some(at) = code.find(pat) {
+            if alloc.is_none_or(|(b, _)| at < b) {
+                alloc = Some((at, display));
+            }
+        }
+    }
+    if let Some((at, display)) = alloc {
+        out.push((at, display, RuleId::AllocInHotLoop));
+    }
+    for pat in ["derive_seed(", "RngStream::derive("] {
+        if let Some(at) = code.find(pat) {
+            // The defining `fn derive_seed` header is not a call site.
+            if !code[..at].trim_end().ends_with("fn") {
+                out.push((at, pat.trim_end_matches('('), RuleId::HotLoopRederive));
+            }
+            break;
+        }
+    }
+    if let Some(at) = code.find(".collect::<Vec") {
+        out.push((at, "collect::<Vec<_>>", RuleId::CollectInHotPath));
+    } else if let Some(at) = code.find(".collect(") {
+        if code.contains("Vec<") {
+            out.push((at, "collect", RuleId::CollectInHotPath));
+        }
+    }
+    out.sort_by_key(|&(col, _, rule)| (col, rule));
+    out
+}
+
+/// Dispatch token inside a per-byte scan loop: a `match` or trait-object
+/// call, the branchy per-byte decision the ROADMAP item-2 DFA removes.
+fn dispatch_token(code: &str) -> Option<(usize, &'static str)> {
+    if let Some(at) = rules::word_at(code, "match") {
+        return Some((at, "match"));
+    }
+    if let Some(at) = code.find("dyn ") {
+        return Some((at, "dyn"));
+    }
+    None
+}
+
+/// The container a loop is bounded by: the receiver of `.len()` in the
+/// header, or (for `for` loops) the first identifier of the iterated
+/// expression.
+fn bound_container(l: &LoopInfo) -> Option<String> {
+    if let Some(at) = l.head.find(".len()") {
+        let pre = &l.head[..at];
+        let start = pre.rfind(|c: char| !(c.is_alphanumeric() || c == '_')).map_or(0, |p| p + 1);
+        let x = &pre[start..];
+        if !x.is_empty() {
+            return Some(x.to_string());
+        }
+    }
+    if l.kind != LoopKind::For {
+        return None;
+    }
+    let at = rules::word_at(&l.head, "in")?;
+    let rest = l.head[at + 2..].trim_start().trim_start_matches(['&', '(']).trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(rest.len());
+    let x = &rest[..end];
+    (!x.is_empty() && x.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_'))
+        .then(|| x.to_string())
+}
+
+/// Whether `code` calls a growth method (`push`/`push_str`/`insert`/
+/// `extend`) *on* `x` itself — `x` must sit at a word boundary and not be
+/// a field of some other receiver (`ws.files.push` does not grow `files`).
+fn grows_receiver(code: &str, x: &str) -> bool {
+    const GROW_CALLS: [&str; 4] = [".push(", ".push_str(", ".insert(", ".extend("];
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(x) {
+        let at = from + rel;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '.'));
+        let after = &code[at + x.len()..];
+        if before_ok && GROW_CALLS.iter().any(|p| after.starts_with(p)) {
+            return true;
+        }
+        from = at + x.len().max(1);
+    }
+    false
+}
+
+/// The qualified name of the function owning `line`, or a locator.
+fn owner_qual(view: &FileView<'_>, line: usize) -> String {
+    view.model
+        .line_owners
+        .get(line)
+        .copied()
+        .flatten()
+        .and_then(|local| view.model.fns.get(local))
+        .map(|f| f.qual.clone())
+        .unwrap_or_else(|| format!("{}:{}", view.meta.path, line + 1))
+}
+
+fn loop_locator(view: &FileView<'_>, l: &LoopInfo) -> String {
+    format!("hot loop `{}` ({}:{})", l.head, view.meta.path, l.line + 1)
+}
+
+/// Per-file offsets of global function ids, mirroring `assemble`'s
+/// numbering (fns concatenated in file order).
+fn fn_bases(files: &[FileView<'_>]) -> Vec<usize> {
+    let mut base = vec![0usize; files.len()];
+    let mut acc = 0usize;
+    for (fi, v) in files.iter().enumerate() {
+        base[fi] = acc;
+        acc += v.model.fns.len();
+    }
+    base
+}
+
+/// Forward hotness propagation: seed every function called from a hot
+/// loop body, then walk `graph.edges` forward, first-writer-wins, in
+/// sorted frontier order — every function reachable from a hot loop gets
+/// exactly one deterministic witness back to its root.
+fn propagate_hot(
+    files: &[FileView<'_>],
+    graph: &Graph,
+    roots: &[HotRoot],
+    base: &[usize],
+) -> Vec<Option<HotWitness>> {
+    let mut hot: Vec<Option<HotWitness>> = vec![None; graph.fns.len()];
+    let mut frontier: Vec<usize> = Vec::new();
+    for (ri, root) in roots.iter().enumerate() {
+        let view = &files[root.file];
+        let l = &view.model.loops[root.loop_idx];
+        let Some(owner_local) = l.fn_local else { continue };
+        let owner = base[root.file] + owner_local;
+        for e in &graph.edges[owner] {
+            if e.line < l.line || e.line > l.end_line {
+                continue;
+            }
+            let callee = &graph.fns[e.callee];
+            if callee.in_test || hot[e.callee].is_some() {
+                continue;
+            }
+            hot[e.callee] = Some(HotWitness { root: ri, via: None, depth: 1 });
+            frontier.push(e.callee);
+        }
+    }
+    frontier.sort_unstable();
+    frontier.dedup();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &cur in &frontier {
+            let (root, depth) = {
+                let w = hot[cur].as_ref().expect("frontier entries are hot");
+                (w.root, w.depth)
+            };
+            for e in &graph.edges[cur] {
+                if graph.fns[e.callee].in_test || hot[e.callee].is_some() {
+                    continue;
+                }
+                hot[e.callee] =
+                    Some(HotWitness { root, via: Some((cur, e.line, e.column)), depth: depth + 1 });
+                next.push(e.callee);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    hot
+}
+
+/// `quadratic-accumulation` over the whole loop model — independent of
+/// hotness: O(n²) growth is a bug at any temperature.
+fn check_quadratic(files: &[FileView<'_>], out: &mut Vec<DataflowHit>) {
+    for (fi, view) in files.iter().enumerate() {
+        let Some(severity) = perf_severity(&view.meta.crate_name) else { continue };
+        for l in &view.model.loops {
+            if l.in_test {
+                continue;
+            }
+            let bound = bound_container(l);
+            for li in l.line..=l.end_line.min(view.lines.len().saturating_sub(1)) {
+                if in_test(view, li) {
+                    continue;
+                }
+                let code = &view.lines[li].code;
+                let qual = owner_qual(view, li);
+                let head_shift = code.find(".insert(0,").or_else(|| code.find(".remove(0)"));
+                if let Some(at) = head_shift {
+                    out.push(DataflowHit {
+                        rule: RuleId::QuadraticAccumulation,
+                        severity,
+                        file: fi,
+                        line: li,
+                        column: at,
+                        message: "head insert/remove inside a loop shifts the whole \
+                                  container every iteration: O(n\u{b2}); work at the tail \
+                                  and reverse once"
+                            .to_string(),
+                        chain: vec![
+                            qual.clone(),
+                            loop_chain_entry(view, l),
+                            code.trim().to_string(),
+                        ],
+                        source: shield_source(fi, l, li),
+                    });
+                    continue;
+                }
+                let Some(x) = bound.as_deref() else { continue };
+                // (a) a `for` loop growing the very container it iterates:
+                // the bound is a moving target, so the walk re-covers old
+                // ground. `while x.len() < target { x.push(..) }` is the
+                // *linear* fill idiom and stays exempt.
+                let self_growth = l.kind == LoopKind::For && grows_receiver(code, x);
+                // (b) bulk growth copying a slice *of the bound input* per
+                // iteration (the vendored-serde_json bug class): each turn
+                // re-copies a prefix/suffix whose length tracks the bound.
+                let slice_growth = (code.contains(".push_str(")
+                    || code.contains(".extend(")
+                    || code.contains("+="))
+                    && code.contains(&format!("{x}["))
+                    && code.contains("..");
+                if self_growth || slice_growth {
+                    let verb = if self_growth {
+                        format!("grows `{x}`, the container its own bound `{}` walks", l.head)
+                    } else {
+                        format!("copies a slice of `{x}` per iteration of `{}`", l.head)
+                    };
+                    out.push(DataflowHit {
+                        rule: RuleId::QuadraticAccumulation,
+                        severity,
+                        file: fi,
+                        line: li,
+                        column: 0,
+                        message: format!(
+                            "loop body {verb}: O(n\u{b2}) accumulation; reserve up front \
+                             or append at the tail"
+                        ),
+                        chain: vec![qual, loop_chain_entry(view, l), code.trim().to_string()],
+                        source: shield_source(fi, l, li),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn loop_chain_entry(view: &FileView<'_>, l: &LoopInfo) -> String {
+    format!("loop `{}` ({}:{})", l.head, view.meta.path, l.line + 1)
+}
+
+/// Shield origin for a loop-scoped finding: the loop header line, unless
+/// the finding *is* the header line (then allow-at-line is the only hatch).
+fn shield_source(fi: usize, l: &LoopInfo, finding_line: usize) -> Option<(usize, usize)> {
+    (finding_line != l.line).then_some((fi, l.line))
+}
+
+/// Run the performance phase: hot roots, forward hotness propagation, and
+/// the five perf rules. Findings come back in deterministic
+/// (file, line, column, rule) order; `source` is the hot-root loop header
+/// so one allow there shields every downstream finding.
+pub fn analyze(files: &[FileView<'_>], graph: &Graph) -> Vec<DataflowHit> {
+    let mut out: Vec<DataflowHit> = Vec::new();
+    let roots = hot_roots(files);
+    let base = fn_bases(files);
+    let mut seen: BTreeSet<(usize, usize, usize, RuleId)> = BTreeSet::new();
+
+    // Direct findings: scan every hot-loop span line for perf tokens.
+    for root in &roots {
+        let view = &files[root.file];
+        let l = &view.model.loops[root.loop_idx];
+        let Some(severity) = perf_severity(&view.meta.crate_name) else { continue };
+        for li in l.line..=l.end_line.min(view.lines.len().saturating_sub(1)) {
+            if in_test(view, li) {
+                continue;
+            }
+            let code = &view.lines[li].code;
+            let mut tokens = hot_line_tokens(code);
+            if root.heat == Heat::PerByte && view.meta.crate_name == "idse-ids" {
+                if let Some((col, tok)) = dispatch_token(code) {
+                    tokens.push((col, tok, RuleId::PerByteDispatch));
+                }
+            }
+            for (col, tok, rule) in tokens {
+                if !seen.insert((root.file, li, col, rule)) {
+                    continue;
+                }
+                let unit = root.heat.unit();
+                let message = match rule {
+                    RuleId::AllocInHotLoop => format!(
+                        "heap allocation `{tok}` inside hot loop `{}`: runs per {unit}; \
+                         hoist the buffer out of the loop and reuse it",
+                        l.head
+                    ),
+                    RuleId::HotLoopRederive => format!(
+                        "`{tok}` inside hot loop `{}`: re-derives seed state per {unit}; \
+                         hoist the derivation per chunk and reuse the stream",
+                        l.head
+                    ),
+                    RuleId::PerByteDispatch => format!(
+                        "per-byte scan loop `{}` dispatches through `{tok}`: one branchy \
+                         decision per input byte; compile to a table-driven DFA \
+                         (ROADMAP item 2)",
+                        l.head
+                    ),
+                    _ => format!(
+                        "`{tok}` inside hot loop `{}`: materializes an intermediate Vec \
+                         per {unit}; iterate lazily so memory stays O(chunk)",
+                        l.head
+                    ),
+                };
+                out.push(DataflowHit {
+                    rule,
+                    severity,
+                    file: root.file,
+                    line: li,
+                    column: col,
+                    message,
+                    chain: vec![
+                        owner_qual(view, l.line),
+                        loop_locator(view, l),
+                        code.trim().to_string(),
+                    ],
+                    source: shield_source(root.file, l, li),
+                });
+            }
+        }
+    }
+
+    // Transitive findings: every function reachable from a hot loop is
+    // hot; scan its whole body, chain the witness back to the root.
+    let hot = propagate_hot(files, graph, &roots, &base);
+    for (fi, view) in files.iter().enumerate() {
+        let Some(severity) = perf_severity(&view.meta.crate_name) else { continue };
+        for (local, f) in view.model.fns.iter().enumerate() {
+            let id = base[fi] + local;
+            let Some(w) = &hot[id] else { continue };
+            let root = &roots[w.root];
+            let root_view = &files[root.file];
+            let root_loop = &root_view.model.loops[root.loop_idx];
+            // Walk the witness back to the root's owner for the chain.
+            let mut ids = vec![id];
+            let mut cur = id;
+            while let Some((caller, _, _)) = hot[cur].as_ref().and_then(|w| w.via) {
+                ids.push(caller);
+                cur = caller;
+            }
+            if let Some(owner_local) = root_loop.fn_local {
+                ids.push(base[root.file] + owner_local);
+            }
+            ids.reverse();
+            let fn_chain: Vec<String> = ids.iter().map(|&i| graph.fns[i].qual.clone()).collect();
+            for (li, owner) in view.model.line_owners.iter().enumerate() {
+                if *owner != Some(local) || in_test(view, li) {
+                    continue;
+                }
+                let code = &view.lines[li].code;
+                for (col, tok, rule) in hot_line_tokens(code) {
+                    if !seen.insert((fi, li, col, rule)) {
+                        continue;
+                    }
+                    let mut chain = vec![loop_locator(root_view, root_loop)];
+                    chain.extend(fn_chain.iter().cloned());
+                    chain.push(format!("{tok} ({}:{})", view.meta.path, li + 1));
+                    let what = match rule {
+                        RuleId::AllocInHotLoop => "allocates",
+                        RuleId::HotLoopRederive => "re-derives seed state",
+                        _ => "materializes an intermediate Vec",
+                    };
+                    out.push(DataflowHit {
+                        rule,
+                        severity,
+                        file: fi,
+                        line: li,
+                        column: col,
+                        message: format!(
+                            "`{}` {what} (`{tok}`) on a hot path: reached from hot loop \
+                             `{}` ({}:{}) through {} call{}",
+                            f.name,
+                            root_loop.head,
+                            root_view.meta.path,
+                            root_loop.line + 1,
+                            w.depth,
+                            if w.depth == 1 { "" } else { "s" },
+                        ),
+                        chain,
+                        source: Some((root.file, root_loop.line)),
+                    });
+                }
+            }
+        }
+    }
+
+    check_quadratic(files, &mut out);
+    out.sort_by_key(|a| (a.file, a.line, a.column, a.rule));
+    out.dedup_by_key(|a| (a.file, a.line, a.column, a.rule));
+    out
+}

@@ -93,6 +93,16 @@ pub enum RuleId {
     /// Materializing a whole test feed in experiment-surface code
     /// (bins/examples) instead of streaming it.
     MaterializedFeedInExperiment,
+    /// Heap allocation inside a hot loop (per-record/per-byte path).
+    AllocInHotLoop,
+    /// Container growth inside a loop bounded by the grown input's length.
+    QuadraticAccumulation,
+    /// Match-on-enum or trait-object dispatch inside a per-byte scan loop.
+    PerByteDispatch,
+    /// Seed/hash-state re-derivation inside a per-record loop.
+    HotLoopRederive,
+    /// Materializing an intermediate `Vec` inside a hot function.
+    CollectInHotPath,
     /// Malformed allow directive (unknown rule or missing reason).
     InvalidAllow,
     /// Allow directive that suppressed nothing.
@@ -101,7 +111,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in stable display order.
-    pub const ALL: [RuleId; 20] = [
+    pub const ALL: [RuleId; 25] = [
         RuleId::UnorderedIterationInReport,
         RuleId::WallClockInSim,
         RuleId::UnseededEntropy,
@@ -120,6 +130,11 @@ impl RuleId {
         RuleId::UnorderedFloatReduce,
         RuleId::ImpureStoreRecord,
         RuleId::MaterializedFeedInExperiment,
+        RuleId::AllocInHotLoop,
+        RuleId::QuadraticAccumulation,
+        RuleId::PerByteDispatch,
+        RuleId::HotLoopRederive,
+        RuleId::CollectInHotPath,
         RuleId::InvalidAllow,
         RuleId::UnusedAllow,
     ];
@@ -145,6 +160,11 @@ impl RuleId {
             RuleId::UnorderedFloatReduce => "unordered-float-reduce",
             RuleId::ImpureStoreRecord => "impure-store-record",
             RuleId::MaterializedFeedInExperiment => "materialized-feed-in-experiment",
+            RuleId::AllocInHotLoop => "alloc-in-hot-loop",
+            RuleId::QuadraticAccumulation => "quadratic-accumulation",
+            RuleId::PerByteDispatch => "per-byte-dispatch",
+            RuleId::HotLoopRederive => "hot-loop-rederive",
+            RuleId::CollectInHotPath => "collect-in-hot-path",
             RuleId::InvalidAllow => "invalid-allow",
             RuleId::UnusedAllow => "unused-allow",
         }
@@ -229,6 +249,31 @@ impl RuleId {
                 "experiment code materializes the whole test feed: prefer the streaming \
                  path (evaluate_stream / ShardFeed), which is O(chunk) memory at any \
                  scale, or allowlist a deliberately small materialized run with a reason"
+            }
+            RuleId::AllocInHotLoop => {
+                "heap allocation inside a hot loop: every record/byte pays the \
+                 allocator; hoist the buffer out of the loop and reuse it \
+                 (BENCH_hotpath.json prices the per-record cost)"
+            }
+            RuleId::QuadraticAccumulation => {
+                "container grows inside a loop bounded by the same input's length: \
+                 O(n\u{b2}) accumulation, the vendored-serde_json bug class; reserve \
+                 up front or append at the tail"
+            }
+            RuleId::PerByteDispatch => {
+                "per-byte scan loop dispatches through a match or trait object: one \
+                 branchy decision per input byte; compile to a table-driven DFA \
+                 (ROADMAP item 2) so each byte costs one load"
+            }
+            RuleId::HotLoopRederive => {
+                "seed or hash-state derivation inside a per-record loop: \
+                 derive_seed/RngStream::derive hash their label every call; hoist \
+                 the derivation per chunk and reuse the stream"
+            }
+            RuleId::CollectInHotPath => {
+                "hot-path function materializes an intermediate Vec: the streaming \
+                 API suffices; iterate lazily so memory stays O(chunk) and the \
+                 allocator stays off the per-record path"
             }
             RuleId::InvalidAllow => {
                 "malformed idse-lint allow directive: unknown rule name or missing \

@@ -349,6 +349,39 @@ pub fn allow_directives(lines: &[Line]) -> Vec<AllowDirective> {
     out
 }
 
+/// A parsed `// idse-lint: hot` directive: the author asserts the
+/// targeted loop is a hot path even though no heuristic marks it.
+#[derive(Debug, Clone)]
+pub struct HotDirective {
+    /// Line (0-based) the directive was written on.
+    pub on_line: usize,
+    /// Line (0-based) of the loop header the directive marks.
+    pub target_line: usize,
+}
+
+/// Extract `// idse-lint: hot` directives. Targeting works exactly like
+/// allow directives: trailing → own line, comment-only line → next line.
+pub fn hot_directives(lines: &[Line]) -> Vec<HotDirective> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(after_tag) = line.comment.split("idse-lint:").nth(1) else {
+            continue;
+        };
+        let word = after_tag.trim();
+        let tail_ok = |r: &str| !r.starts_with(|c: char| c.is_alphanumeric() || c == '_');
+        if !word.strip_prefix("hot").is_some_and(|r| r.is_empty() || tail_ok(r)) {
+            continue;
+        }
+        let target_line = if line.code.trim().is_empty() {
+            (i + 1).min(lines.len().saturating_sub(1))
+        } else {
+            i
+        };
+        out.push(HotDirective { on_line: i, target_line });
+    }
+    out
+}
+
 fn parse_allow_comment(comment: &str) -> Option<(String, Option<String>)> {
     let after_tag = comment.split("idse-lint:").nth(1)?;
     let body = after_tag.trim_start().strip_prefix("allow(")?;
@@ -474,6 +507,16 @@ mod tests {
     fn escaped_content_is_recorded_as_written() {
         let lines = mask("f(\"a\\\"b\");\n");
         assert_eq!(lines[0].literals[0].1, "a\\\"b");
+    }
+
+    #[test]
+    fn hot_directive_trailing_and_preceding() {
+        let src = "for b in bytes { // idse-lint: hot\n}\n// idse-lint: hot (demux loop)\nwhile q.pop() {\n}\n// idse-lint: hotel\nx();\n";
+        let dirs = hot_directives(&mask(src));
+        assert_eq!(dirs.len(), 2, "{dirs:?}");
+        assert_eq!(dirs[0].target_line, 0);
+        assert_eq!(dirs[1].on_line, 2);
+        assert_eq!(dirs[1].target_line, 3);
     }
 
     #[test]

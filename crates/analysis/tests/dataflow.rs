@@ -359,6 +359,61 @@ fn corrupt_cache_entries_are_treated_as_misses() {
     assert_eq!((&recovered.0, &recovered.1, &recovered.2), (&cold.0, &cold.1, &cold.2));
 }
 
+/// The key an old cache format version would have used for this file:
+/// same length-delimited FNV-1a, version field pinned to `version`.
+fn versioned_key(version: u32, file_idx: usize, input: &idse_lint::FileInput) -> u64 {
+    fn push(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+        *h ^= bytes.len() as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut h: u64 = 0xcbf29ce484222325;
+    push(&mut h, &version.to_le_bytes());
+    push(&mut h, &(file_idx as u64).to_le_bytes());
+    push(&mut h, input.path.as_bytes());
+    push(&mut h, input.crate_name.as_bytes());
+    push(&mut h, format!("{:?}", input.kind).as_bytes());
+    push(&mut h, input.text.as_bytes());
+    h
+}
+
+#[test]
+fn stale_cache_version_entries_are_misses() {
+    // v2 of the cache format added the loop model and hot directives; a
+    // v1 entry must never deserialize into current-version structs. The
+    // version is part of the key, so planted v1 entries — even ones that
+    // would parse as JSON — read as misses and the run re-analyzes.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-cache-stale-version");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_cache_workspace(&dir);
+    let cache_dir = dir.join("cache");
+    let cache = Cache::open(&cache_dir).expect("cache opens");
+    let ws = load_workspace(&dir).expect("workspace loads");
+    assert_eq!(ws.files.len(), 2);
+    for (idx, input) in ws.files.iter().enumerate() {
+        let key = versioned_key(1, idx, input);
+        std::fs::write(cache_dir.join(format!("{key:016x}.json")), "{\"pre_loop_model\":true}")
+            .expect("stale entry writes");
+    }
+    let uncached = cached_outputs(&dir, &Executor::serial(), None);
+    let run = cached_outputs(&dir, &Executor::serial(), Some(&cache));
+    assert_eq!((run.3, run.4), (0, 2), "stale-version entries never hit");
+    assert_eq!((&run.0, &run.1, &run.2), (&uncached.0, &uncached.1, &uncached.2));
+    // The run stored current-version entries alongside the stale ones
+    // (4 files total), and a second warm run hits only the new pair.
+    let entries = std::fs::read_dir(&cache_dir)
+        .expect("cache dir lists")
+        .filter(|e| e.as_ref().is_ok_and(|e| e.path().extension().is_some_and(|x| x == "json")))
+        .count();
+    assert_eq!(entries, 4, "stale and fresh entries coexist under distinct keys");
+    let warm = cached_outputs(&dir, &Executor::serial(), Some(&cache));
+    assert_eq!((warm.3, warm.4), (2, 0), "fresh entries hit on the next run");
+    assert_eq!((&warm.0, &warm.1, &warm.2), (&uncached.0, &uncached.1, &uncached.2));
+}
+
 // --- determinism across worker counts, fixtures in one workspace ---
 
 fn dataflow_fixture_workspace() -> Workspace {
@@ -370,6 +425,11 @@ fn dataflow_fixture_workspace() -> Workspace {
         ("seed_collision_pos.rs", "idse-sim"),
         ("float_reduce_pos.rs", "idse-eval"),
         ("store_record_pos.rs", "idse-store"),
+        // Phase-4 coverage: direct hot-loop findings, a two-hop
+        // transitive chain, and the hotness-independent quadratic rule.
+        ("hot_alloc_pos.rs", "idse-sim"),
+        ("hot_transitive_pos.rs", "idse-sim"),
+        ("quadratic_pos.rs", "idse-eval"),
     ] {
         ws.files.push(idse_lint::FileInput {
             path: name.to_string(),

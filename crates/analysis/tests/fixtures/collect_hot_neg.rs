@@ -1,0 +1,15 @@
+//! Negative fixture for `collect-in-hot-path`: lazy iteration inside the
+//! hot loop, and a one-shot collect outside any hot context.
+
+pub fn batch(flows: &[Flow]) -> usize {
+    let mut n = 0;
+    for flow in flows {
+        n += flow.ports.iter().filter(|p| **p > 1024).count();
+    }
+    n
+}
+
+pub fn ids_once(all: &[Flow]) -> Vec<u32> {
+    let ids: Vec<u32> = all.iter().map(|f| f.id).collect();
+    ids
+}

@@ -1,0 +1,19 @@
+//! Positive fixture for `collect-in-hot-path`: materializing an
+//! intermediate `Vec` for every streamed flow.
+
+pub fn batch(flows: &[Flow]) -> usize {
+    let mut n = 0;
+    for flow in flows {
+        let owned: Vec<u16> = flow.ports.iter().copied().collect();
+        n += owned.len();
+    }
+    n
+}
+
+pub fn widen(chunks: &[Chunk]) -> usize {
+    let mut n = 0;
+    for chunk in chunks {
+        n += chunk.rows.iter().collect::<Vec<_>>().len();
+    }
+    n
+}

@@ -1,0 +1,26 @@
+//! Negative fixture for `alloc-in-hot-loop`: the buffer is hoisted out of
+//! the hot loop and reused; pre-sizing with `with_capacity` is the
+//! blessed pattern. Test code is exempt.
+
+pub fn label_records(records: &[Record]) -> u64 {
+    let mut buf = Vec::with_capacity(64);
+    let mut total = 0;
+    for rec in records {
+        buf.clear();
+        buf.extend_from_slice(&rec.payload);
+        total += buf.len() as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_test_loops_is_fine() {
+        let records = vec![1u64, 2, 3];
+        for rec in &records {
+            let label = format!("rec-{rec}");
+            assert!(!label.is_empty());
+        }
+    }
+}

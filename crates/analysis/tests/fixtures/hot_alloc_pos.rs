@@ -1,0 +1,20 @@
+//! Positive fixture for `alloc-in-hot-loop`: per-record heap allocation
+//! inside a heuristically hot loop (the header names the streamed unit).
+
+pub fn label_records(records: &[Record]) -> u64 {
+    let mut total = 0;
+    for rec in records {
+        let label = format!("rec-{}", rec.id);
+        total += label.len() as u64;
+    }
+    total
+}
+
+pub fn copy_packets(packets: &[Packet]) -> usize {
+    let mut n = 0;
+    for packet in packets {
+        let owned = packet.payload.to_vec();
+        n += owned.len();
+    }
+    n
+}

@@ -1,0 +1,21 @@
+//! Annotation fixture: the loop header names no streamed unit, so only
+//! the explicit `// idse-lint: hot` directive makes it a hot root.
+
+pub fn pump(work: &[Job]) -> u64 {
+    let mut acc = 0;
+    // idse-lint: hot
+    for job in work {
+        let copy = job.data.to_vec();
+        acc += copy.len() as u64;
+    }
+    acc
+}
+
+pub fn pump_cold(work: &[Job]) -> u64 {
+    let mut acc = 0;
+    for job in work {
+        let copy = job.data.to_vec();
+        acc += copy.len() as u64;
+    }
+    acc
+}

@@ -1,0 +1,16 @@
+//! Negative fixture for `hot-loop-rederive`: the stream is derived once
+//! per chunk and reused across records, and a `fn derive_seed` header is
+//! a definition, not a call site.
+
+pub fn derive_seed(seed: u64, label: &str, i: u64) -> u64 {
+    seed ^ (label.len() as u64) ^ i
+}
+
+pub fn emit(events: &[Event], chunk_seed: u64) -> u64 {
+    let stream = RngStream::derive(chunk_seed, "emit");
+    let mut acc = 0;
+    for ev in events {
+        acc += stream.mix(ev.id);
+    }
+    acc
+}

@@ -1,0 +1,19 @@
+//! Positive fixture for `hot-loop-rederive`: re-deriving seed state for
+//! every record instead of hoisting the derivation per chunk.
+
+pub fn emit(events: &[Event]) -> u64 {
+    let mut acc = 0;
+    for ev in events {
+        let stream = RngStream::derive(ev.id, "emit");
+        acc += stream.next_u64();
+    }
+    acc
+}
+
+pub fn mix(records: &[Record]) -> u64 {
+    let mut acc = 0;
+    for rec in records {
+        acc ^= derive_seed(rec.seed, "mix", rec.idx);
+    }
+    acc
+}

@@ -1,0 +1,17 @@
+//! Shield fixture: one allow directive at the hot-root loop header
+//! shields every downstream perf finding that root reaches — the same
+//! composition the taint rules offer at a hazard source.
+
+pub fn pump(work: &[Job]) -> u64 {
+    let mut acc = 0;
+    // idse-lint: hot
+    for job in work { // idse-lint: allow(alloc-in-hot-loop, reason = "audited: jobs are tiny and the arena amortizes the copies")
+        acc += expand(job);
+    }
+    acc
+}
+
+fn expand(job: &Job) -> u64 {
+    let copy = job.data.to_vec();
+    copy.len() as u64
+}

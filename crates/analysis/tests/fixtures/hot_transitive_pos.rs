@@ -1,0 +1,20 @@
+//! Transitive-hotness fixture: the allocation sits two calls away from
+//! the hot loop, and the finding's witness chain walks hot-root ->
+//! call chain -> allocation site.
+
+pub fn drive(events: &[Event]) -> u64 {
+    let mut acc = 0;
+    for ev in events {
+        acc += admit(ev);
+    }
+    acc
+}
+
+fn admit(ev: &Event) -> u64 {
+    stamp(ev)
+}
+
+fn stamp(ev: &Event) -> u64 {
+    let label = ev.name.to_string();
+    label.len() as u64
+}

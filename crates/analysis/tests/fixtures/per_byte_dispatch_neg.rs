@@ -1,0 +1,22 @@
+//! Negative fixture for `per-byte-dispatch`: a table-driven per-byte
+//! scan (no branchy decision), and a per-record loop where `match` is
+//! fine — the rule is scoped to per-byte loops.
+
+pub fn scan(haystack: &[u8], table: &[u8; 256]) -> u32 {
+    let mut hits = 0;
+    for &b in haystack {
+        hits += u32::from(table[b as usize]);
+    }
+    hits
+}
+
+pub fn route(records: &[Record]) -> u32 {
+    let mut n = 0;
+    for rec in records {
+        match rec.kind {
+            0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}

@@ -1,0 +1,27 @@
+//! Positive fixture for `per-byte-dispatch`: a per-byte scan loop making
+//! a branchy `match` decision for every input byte — the shape ROADMAP
+//! item 2's table-driven DFA removes.
+
+enum Class {
+    Delim,
+    Other,
+}
+
+fn classify(b: u8) -> Class {
+    if b == b'/' || b == b' ' {
+        Class::Delim
+    } else {
+        Class::Other
+    }
+}
+
+pub fn scan(haystack: &[u8]) -> u32 {
+    let mut hits = 0;
+    for &b in haystack {
+        match classify(b) {
+            Class::Delim => hits += 1,
+            Class::Other => {}
+        }
+    }
+    hits
+}

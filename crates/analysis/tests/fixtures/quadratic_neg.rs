@@ -1,0 +1,25 @@
+//! Negative fixture for `quadratic-accumulation`: linear fill-until-target
+//! loops, tail pushes into a different container, and one-shot bulk
+//! extends are all linear.
+
+pub fn fill(target: usize) -> Vec<u64> {
+    let mut chunk = Vec::with_capacity(target);
+    while chunk.len() < target {
+        chunk.push(chunk.len() as u64);
+    }
+    chunk
+}
+
+pub fn tail_copy(vals: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(vals.len());
+    for v in vals {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn single_suffix(input: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&input[1..]);
+    out
+}

@@ -1,0 +1,25 @@
+//! Positive fixture for `quadratic-accumulation`: head insertion in a
+//! loop, a `for` loop growing its own bound, and per-iteration slice
+//! copies of the bound input (the vendored-serde_json bug class).
+
+pub fn reverse_build(vals: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for v in vals {
+        out.insert(0, *v);
+    }
+    out
+}
+
+pub fn echo_growth(items: &mut Vec<u64>) {
+    for i in 0..items.len() {
+        items.push(items[i]);
+    }
+}
+
+pub fn prefix_copies(input: &str) -> String {
+    let mut out = String::new();
+    for i in 0..input.len() {
+        out.push_str(&input[..i]);
+    }
+    out
+}

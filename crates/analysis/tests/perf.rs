@@ -1,0 +1,265 @@
+//! End-to-end tests for phase 4, the hot-path performance pass: one
+//! positive and one negative fixture per rule, tier policy, the
+//! `// idse-lint: hot` annotation channel, transitive hotness with a
+//! two-hop witness chain, and allow/shield composition at the hot-root
+//! loop header.
+
+use idse_lint::rules::FileKind;
+use idse_lint::{analyze_source, Report};
+use std::path::Path;
+
+fn lint_fixture(name: &str, crate_name: &str, kind: FileKind) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} must be readable: {e}"));
+    analyze_source(name, crate_name, kind, &text)
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+// --- alloc-in-hot-loop ---
+
+#[test]
+fn alloc_in_hot_loop_positive() {
+    let r = lint_fixture("hot_alloc_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["alloc-in-hot-loop"; 2], "{:?}", rules_of(&r));
+    // The witness chain walks owner -> hot root -> allocation site
+    // (string literals arrive masked from the lexer).
+    let f = &r.findings[0];
+    assert!(f.message.contains("`format!`"), "{}", f.message);
+    assert!(f.message.contains("runs per record"), "{}", f.message);
+    assert_eq!(
+        f.chain,
+        vec![
+            "idse-sim::hot_alloc_pos::label_records",
+            "hot loop `for rec in records` (hot_alloc_pos.rs:6)",
+            "let label = format!(\"      \", rec.id);",
+        ]
+    );
+    let g = &r.findings[1];
+    assert!(g.message.contains("`to_vec`"), "{}", g.message);
+    assert!(
+        g.chain.iter().any(|s| s == "hot loop `for packet in packets` (hot_alloc_pos.rs:15)"),
+        "{:?}",
+        g.chain
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_negative() {
+    // Hoisted buffer + with_capacity is the blessed pattern; test loops
+    // are exempt even when they allocate per record.
+    let r = lint_fixture("hot_alloc_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn perf_tier_policy() {
+    // Standard-tier crates warn; tooling crates are out of scope even
+    // when the loop is red hot.
+    let r = lint_fixture("hot_alloc_pos.rs", "idse-ids", FileKind::Library);
+    assert!(!r.findings.is_empty());
+    assert!(r.findings.iter().all(|f| f.severity == "warning"), "{:?}", r.findings);
+    let r = lint_fixture("hot_alloc_pos.rs", "idse-bench", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+#[test]
+fn hot_heuristic_needs_a_hot_crate() {
+    // Without an annotation, per-record loops outside the hot-path
+    // crates (idse-ids/sim/traffic/net) are not roots.
+    let r = lint_fixture("hot_alloc_pos.rs", "idse-eval", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+// --- quadratic-accumulation ---
+
+#[test]
+fn quadratic_accumulation_positive() {
+    let r = lint_fixture("quadratic_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["quadratic-accumulation"; 3], "{:?}", rules_of(&r));
+    // Head insertion: shifts the whole container per iteration.
+    assert!(r.findings[0].message.contains("head insert/remove"), "{}", r.findings[0].message);
+    assert!(r.findings[0].chain.iter().any(|s| s == "out.insert(0, *v);"));
+    // Growing the loop's own bound.
+    let own = &r.findings[1];
+    assert!(own.message.contains("grows `items`"), "{}", own.message);
+    assert!(
+        own.chain.iter().any(|s| s == "loop `for i in 0..items.len()` (quadratic_pos.rs:14)"),
+        "{:?}",
+        own.chain
+    );
+    // Per-iteration slice copies of the bound input.
+    assert!(
+        r.findings[2].message.contains("copies a slice of `input`"),
+        "{}",
+        r.findings[2].message
+    );
+}
+
+#[test]
+fn quadratic_accumulation_negative() {
+    // `while x.len() < target { x.push(..) }` is the linear fill idiom;
+    // tail pushes into another container and one-shot extends are linear.
+    let r = lint_fixture("quadratic_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+// --- per-byte-dispatch ---
+
+#[test]
+fn per_byte_dispatch_positive() {
+    let r = lint_fixture("per_byte_dispatch_pos.rs", "idse-ids", FileKind::Library);
+    assert_eq!(rules_of(&r), vec!["per-byte-dispatch"], "{:?}", rules_of(&r));
+    let f = &r.findings[0];
+    assert_eq!(f.severity, "warning");
+    assert!(f.message.contains("per input byte"), "{}", f.message);
+    assert!(f.message.contains("table-driven DFA"), "{}", f.message);
+    assert!(
+        f.chain.iter().any(|s| s == "hot loop `for &b in haystack` (per_byte_dispatch_pos.rs:20)"),
+        "{:?}",
+        f.chain
+    );
+}
+
+#[test]
+fn per_byte_dispatch_negative() {
+    // Table-driven scans carry no branchy decision, and `match` in a
+    // per-record loop is out of the rule's (per-byte) scope.
+    let r = lint_fixture("per_byte_dispatch_neg.rs", "idse-ids", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+// --- hot-loop-rederive ---
+
+#[test]
+fn hot_loop_rederive_positive() {
+    let r = lint_fixture("hot_rederive_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["hot-loop-rederive"; 2], "{:?}", rules_of(&r));
+    assert!(r.findings[0].message.contains("`RngStream::derive`"), "{}", r.findings[0].message);
+    assert!(r.findings[0].message.contains("per record"), "{}", r.findings[0].message);
+    assert!(r.findings[1].message.contains("`derive_seed`"), "{}", r.findings[1].message);
+}
+
+#[test]
+fn hot_loop_rederive_negative() {
+    // A `fn derive_seed` definition header is not a call site, and a
+    // per-chunk derivation hoisted above the loop is the fix.
+    let r = lint_fixture("hot_rederive_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+// --- collect-in-hot-path ---
+
+#[test]
+fn collect_in_hot_path_positive() {
+    let r = lint_fixture("collect_hot_pos.rs", "idse-sim", FileKind::Library);
+    assert!(r.has_errors());
+    assert_eq!(rules_of(&r), vec!["collect-in-hot-path"; 2], "{:?}", rules_of(&r));
+    assert!(r.findings[0].message.contains("intermediate Vec"), "{}", r.findings[0].message);
+    assert!(r.findings[1].message.contains("`collect::<Vec<_>>`"), "{}", r.findings[1].message);
+}
+
+#[test]
+fn collect_in_hot_path_negative() {
+    // Lazy iteration in the hot loop and a one-shot collect outside any
+    // hot context are both fine.
+    let r = lint_fixture("collect_hot_neg.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+}
+
+// --- transitive hotness ---
+
+#[test]
+fn transitive_hotness_walks_the_call_chain() {
+    // The allocation sits two calls from the hot loop; the finding lands
+    // at the allocation site with a chain hot root -> drive -> admit ->
+    // stamp -> token.
+    let r = lint_fixture("hot_transitive_pos.rs", "idse-sim", FileKind::Library);
+    assert_eq!(rules_of(&r), vec!["alloc-in-hot-loop"], "{:?}", rules_of(&r));
+    let f = &r.findings[0];
+    assert_eq!(f.line, 18);
+    assert!(f.message.contains("`stamp` allocates"), "{}", f.message);
+    assert!(f.message.contains("through 2 calls"), "{}", f.message);
+    assert_eq!(
+        f.chain,
+        vec![
+            "hot loop `for ev in events` (hot_transitive_pos.rs:7)",
+            "idse-sim::hot_transitive_pos::drive",
+            "idse-sim::hot_transitive_pos::admit",
+            "idse-sim::hot_transitive_pos::stamp",
+            "to_string (hot_transitive_pos.rs:18)",
+        ]
+    );
+}
+
+// --- `// idse-lint: hot` annotation channel ---
+
+#[test]
+fn hot_annotation_marks_a_root_anywhere() {
+    // The header names no streamed unit and the crate is not a hot-path
+    // crate: only the annotated loop becomes a root.
+    let r = lint_fixture("hot_annotation_pos.rs", "idse-eval", FileKind::Library);
+    assert_eq!(rules_of(&r), vec!["alloc-in-hot-loop"], "{:?}", rules_of(&r));
+    let f = &r.findings[0];
+    assert_eq!((f.line, f.severity.as_str()), (8, "warning"));
+    assert!(
+        f.chain.iter().any(|s| s == "hot loop `for job in work` (hot_annotation_pos.rs:7)"),
+        "{:?}",
+        f.chain
+    );
+}
+
+// --- allow/shield composition at the hot root ---
+
+#[test]
+fn allow_at_hot_root_shields_downstream_findings() {
+    // One allow at the hot-root loop header suppresses the transitive
+    // allocation finding it reaches — and counts as used, so no
+    // unused-allow fires either.
+    let r = lint_fixture("hot_shield.rs", "idse-sim", FileKind::Library);
+    assert!(r.findings.is_empty(), "{:?}", rules_of(&r));
+    assert_eq!(r.suppressed.len(), 1, "{:?}", r.suppressed);
+    let s = &r.suppressed[0];
+    assert_eq!(s.finding.rule, "alloc-in-hot-loop");
+    assert_eq!(s.reason, "audited: jobs are tiny and the arena amortizes the copies");
+}
+
+// --- SARIF carries the perf rules ---
+
+#[test]
+fn sarif_covers_perf_rules() {
+    use idse_exec::Executor;
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut ws = idse_lint::Workspace::default();
+    for name in [
+        "hot_alloc_pos.rs",
+        "quadratic_pos.rs",
+        "per_byte_dispatch_pos.rs",
+        "hot_rederive_pos.rs",
+        "collect_hot_pos.rs",
+    ] {
+        ws.files.push(idse_lint::FileInput {
+            path: name.to_string(),
+            crate_name: "idse-ids".to_string(),
+            kind: FileKind::Library,
+            text: std::fs::read_to_string(base.join(name)).expect("fixture reads"),
+        });
+    }
+    let report = idse_lint::analyze(&ws, &Executor::serial());
+    let sarif = idse_lint::sarif::to_sarif(&report);
+    for rule in [
+        "alloc-in-hot-loop",
+        "quadratic-accumulation",
+        "per-byte-dispatch",
+        "hot-loop-rederive",
+        "collect-in-hot-path",
+    ] {
+        assert!(sarif.contains(&format!("\"{rule}\"")), "rules table misses {rule}");
+    }
+}

@@ -275,6 +275,15 @@ fn bench_import(
                 draft_metrics.push(("lint".to_owned(), metric, wall));
                 provenance.push((key.clone(), value.clone()));
             }
+            // Hot-path throughputs (BENCH_hotpath.json): `hotpath`
+            // records for `store diff`, provenance for the round-trip.
+            "engine_mb_s" | "sim_events_s" => {
+                let rate = value.as_f64().ok_or_else(|| bad("throughputs must be numeric"))?;
+                let metric =
+                    if key == "engine_mb_s" { "bench.engine_mb_s" } else { "bench.sim_events_s" };
+                draft_metrics.push(("hotpath".to_owned(), metric, rate));
+                provenance.push((key.clone(), value.clone()));
+            }
             _ => provenance.push((key.clone(), value.clone())),
         }
     }

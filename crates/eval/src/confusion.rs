@@ -345,7 +345,7 @@ impl StreamLedger {
 pub fn alerts_by_detector(alerts: &[Alert]) -> BTreeMap<String, usize> {
     let mut m = BTreeMap::new();
     for a in alerts {
-        *m.entry(a.detector.clone()).or_insert(0) += 1;
+        *m.entry(a.detector.clone().into_owned()).or_insert(0) += 1;
     }
     m
 }

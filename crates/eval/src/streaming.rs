@@ -163,7 +163,7 @@ pub fn run_shard(
     let mut ledger = StreamLedger::new();
     for chunk in ShardFeed::new(profile, config, shard) {
         ledger.observe_chunk(&chunk);
-        session.push_chunk(&chunk);
+        session.push_chunk(chunk);
     }
     let outcome = session.finish();
 

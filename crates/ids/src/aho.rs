@@ -149,8 +149,18 @@ impl AhoCorasick {
     }
 
     /// The distinct pattern ids occurring in `haystack`, sorted.
+    ///
+    /// Walks the automaton directly rather than going through
+    /// [`find_all`](Self::find_all): the per-packet hot path needs only
+    /// pattern ids, so building (and throwing away) a `Match` per
+    /// occurrence would pay an extra allocation per packet.
     pub fn matching_patterns(&self, haystack: &[u8]) -> Vec<u32> {
-        let mut ids: Vec<u32> = self.find_all(haystack).iter().map(|m| m.pattern).collect();
+        let mut ids: Vec<u32> = Vec::with_capacity(4);
+        let mut s = 0usize;
+        for &b in haystack {
+            s = self.next[s * 256 + b as usize] as usize;
+            ids.extend_from_slice(&self.outputs[s]);
+        }
         ids.sort_unstable();
         ids.dedup();
         ids

@@ -9,6 +9,7 @@ use idse_net::trace::AttackClass;
 use idse_net::FlowKey;
 use idse_sim::SimTime;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Alert severity, as presented to the monitoring console.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -54,8 +55,10 @@ pub struct Alert {
     pub source: DetectionSource,
     /// Sensor that observed the trigger (index within the deployment).
     pub sensor: usize,
-    /// Short rule/detector name for reports.
-    pub detector: String,
+    /// Short rule/detector name for reports. `Cow` so the per-alert path
+    /// borrows the engines' `&'static str` names instead of allocating;
+    /// deserialization still yields owned strings.
+    pub detector: Cow<'static, str>,
 }
 
 impl Alert {

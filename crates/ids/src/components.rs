@@ -523,7 +523,7 @@ mod tests {
             severity,
             source: DetectionSource::Signature,
             sensor: 0,
-            detector: "t".to_owned(),
+            detector: "t".into(),
         }
     }
 

@@ -116,8 +116,10 @@ fn prefix24(addr: Ipv4Addr) -> u32 {
 /// Extract printable tokens of length ≥ 4 from a payload (path components,
 /// identifiers).
 fn tokens(payload: &[u8]) -> Vec<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut cur = Vec::new();
+    // Pre-sized: called per record on the anomaly hot path, so growth by
+    // repeated doubling would reallocate for every payload.
+    let mut out = Vec::with_capacity(payload.len() / 8 + 1);
+    let mut cur = Vec::with_capacity(16);
     for &b in payload {
         if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
             cur.push(b.to_ascii_lowercase());

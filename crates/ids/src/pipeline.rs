@@ -177,7 +177,7 @@ impl PipelineRunner {
     /// Run `trace` through the deployment — a one-chunk [`PipelineSession`].
     pub fn run(&self, trace: &Trace) -> PipelineOutcome {
         let mut session = self.session();
-        session.push_chunk(trace.records());
+        session.push_chunk(trace.records().iter().cloned());
         session.finish()
     }
 
@@ -208,14 +208,16 @@ impl PipelineSession {
     /// time-sorted order). The simulation first drains everything strictly
     /// earlier than the chunk's first record, then admits the records as
     /// input events — so no stage ever sees a packet out of order.
-    pub fn push_chunk(&mut self, records: &[TraceRecord]) {
-        let Some(first) = records.first() else { return };
+    pub fn push_chunk(&mut self, records: impl IntoIterator<Item = TraceRecord>) {
+        let mut records = records.into_iter().peekable();
+        let Some(first) = records.peek() else { return };
         self.sim.run_before(&mut self.world, first.at);
         for rec in records {
             let idx = self.next_index;
             self.next_index += 1;
-            self.world.admit(idx, rec.clone());
-            self.sim.queue_mut().schedule_input(rec.at, Ev::Arrive(idx));
+            let at = rec.at;
+            self.world.admit(idx, rec);
+            self.sim.queue_mut().schedule_input(at, Ev::Arrive(idx));
         }
     }
 
@@ -570,7 +572,7 @@ impl DeploymentWorld {
         rec: u32,
         sensor: usize,
         observed: SimTime,
-        detections: Vec<Detection>,
+        detections: impl IntoIterator<Item = Detection>,
         queue: &mut EventQueue<Ev>,
     ) {
         for det in detections {
@@ -715,7 +717,7 @@ impl DeploymentWorld {
             severity: det.severity,
             source: det.source,
             sensor: 0,
-            detector: det.detector.to_owned(),
+            detector: det.detector.into(),
         };
         // Injected clock skew shifts the monitor's presentation clock.
         let skew = self.faults.skew(FaultComponent::Monitor, now);
@@ -774,7 +776,14 @@ impl DeploymentWorld {
             for (rec, observed, det) in buffered {
                 // Re-dispatch on the restarted analyzers; the original
                 // sensing instant survives as `observed`.
-                self.dispatch_detections(now, rec, rec as usize, observed, vec![det], queue);
+                self.dispatch_detections(
+                    now,
+                    rec,
+                    rec as usize,
+                    observed,
+                    std::iter::once(det),
+                    queue,
+                );
                 self.window.release(rec);
             }
         }
@@ -1169,7 +1178,7 @@ mod tests {
         for chunk in [1usize, 97, 4096] {
             let mut session = mk().session();
             for c in trace.records().chunks(chunk) {
-                session.push_chunk(c);
+                session.push_chunk(c.iter().cloned());
             }
             let out = session.finish();
             assert_eq!(out.alerts, mono.alerts, "chunk size {chunk} changed the alerts");

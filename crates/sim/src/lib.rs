@@ -141,6 +141,11 @@ impl<E> Simulation<E> {
         W: World<Event = E>,
     {
         let mut count = 0;
+        // Per-event dispatch: everything here runs once per simulated
+        // event, millions of times per run (`bench.sim_events_s` prices
+        // it). The header names no per-record input, so mark it for the
+        // lint's performance phase explicitly.
+        // idse-lint: hot
         while let Some(&Scheduled { at, .. }) = self.queue.peek() {
             if at > limit || (!inclusive && at == limit) {
                 break;

@@ -122,6 +122,8 @@ const MEASURES: &[(&str, &str, &str, Direction)] = &[
     ("bench.speedup", "Parallel speedup", "x", Direction::HigherIsBetter),
     ("bench.lint_cold_ms", "Lint cold wall time", "ms", Direction::LowerIsBetter),
     ("bench.lint_warm_ms", "Lint warm wall time", "ms", Direction::LowerIsBetter),
+    ("bench.engine_mb_s", "Signature-engine scan throughput", "MiB/s", Direction::HigherIsBetter),
+    ("bench.sim_events_s", "Sim kernel dispatch throughput", "events/s", Direction::HigherIsBetter),
 ];
 
 /// The complete registry: the 56 discrete catalog metrics (in catalog

@@ -127,13 +127,15 @@ pub fn flow_shard(a: Ipv4Addr, b: Ipv4Addr, shards: u32) -> u32 {
 /// stable sort of the fully materialized trace would produce.
 struct InFlight {
     seq: u64,
-    next: usize,
-    packets: Vec<(SimTime, Packet)>,
+    // An owning iterator rather than Vec + cursor: emission *moves* each
+    // packet out (no per-record clone on the streaming hot path), and the
+    // heap invariant only ever holds non-empty sessions.
+    packets: std::vec::IntoIter<(SimTime, Packet)>,
 }
 
 impl InFlight {
     fn head_at(&self) -> SimTime {
-        self.packets[self.next].0
+        self.packets.as_slice()[0].0
     }
 }
 
@@ -181,7 +183,7 @@ impl std::fmt::Debug for InFlight {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InFlight")
             .field("seq", &self.seq)
-            .field("remaining", &(self.packets.len() - self.next))
+            .field("remaining", &self.packets.len())
             .finish()
     }
 }
@@ -351,7 +353,7 @@ impl RecordStream {
         let packets =
             synthesize(&self.config.generator, start, proto, client, server, session_id, &mut srng);
         if !packets.is_empty() {
-            self.in_flight.push(InFlight { seq: self.session_seq, next: 0, packets });
+            self.in_flight.push(InFlight { seq: self.session_seq, packets: packets.into_iter() });
         }
         self.session_seq += 1;
     }
@@ -379,9 +381,9 @@ impl RecordStream {
                 // generation sequence) sorts first anyway.
                 if frontier.is_none_or(|f| top.head_at() <= f) {
                     let mut top = self.in_flight.pop()?;
-                    let (at, packet) = top.packets[top.next].clone();
-                    top.next += 1;
-                    if top.next < top.packets.len() {
+                    let (at, packet) =
+                        top.packets.next().expect("in-flight sessions are non-empty");
+                    if !top.packets.as_slice().is_empty() {
                         self.in_flight.push(top);
                     }
                     self.emitted += 1;

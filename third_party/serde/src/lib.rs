@@ -322,6 +322,12 @@ impl Serialize for String {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone().into_owned()))
+    }
+}
+
 impl Serialize for char {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
         s.serialize_value(Value::Str(self.to_string()))
@@ -581,6 +587,12 @@ impl<'de> Deserialize<'de> for String {
             Value::Str(s) => Ok(s),
             other => Err(de::Error::custom(format!("expected string, found {}", other.kind()))),
         }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::borrow::Cow<'_, str> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        String::deserialize(d).map(std::borrow::Cow::Owned)
     }
 }
 
