@@ -320,7 +320,7 @@ pub enum Tier {
 pub fn crate_tier(crate_name: &str) -> Tier {
     match crate_name {
         "idse-sim" | "idse-net" | "idse-core" | "idse-telemetry" | "idse-lint" | "idse-exec"
-        | "idse-faults" | "idse-store" | "idse-traffic" => Tier::Strict,
+        | "idse-faults" | "idse-store" | "idse-traffic" | "idse-daemon" => Tier::Strict,
         "idse-ids" | "idse-eval" | "idse-attacks" => Tier::Standard,
         _ => Tier::Tooling,
     }
@@ -329,8 +329,15 @@ pub fn crate_tier(crate_name: &str) -> Tier {
 /// Crates whose report paths must iterate deterministically.
 const REPORT_CRATES: [&str; 2] = ["idse-eval", "idse-core"];
 /// Crates where sim time is the only legal clock.
-const SIM_CLOCK_CRATES: [&str; 6] =
-    ["idse-sim", "idse-ids", "idse-net", "idse-telemetry", "idse-faults", "idse-store"];
+const SIM_CLOCK_CRATES: [&str; 7] = [
+    "idse-sim",
+    "idse-ids",
+    "idse-net",
+    "idse-telemetry",
+    "idse-faults",
+    "idse-store",
+    "idse-daemon",
+];
 
 /// The hazard classes the taint pass propagates along the call graph.
 ///

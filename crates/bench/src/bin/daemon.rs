@@ -1,0 +1,179 @@
+//! The continuous evaluation service CLI.
+//!
+//! Three modes over the same line-delimited JSON protocol:
+//!
+//! * `serve`  — run the live daemon on a Unix-domain socket.
+//! * `replay` — run a protocol script with no socket: same state
+//!   machine, deterministic output (the CI/test surface).
+//! * `client` — send requests to a live daemon and print the responses
+//!   (waits for the socket to appear, so CI can start both at once).
+
+use idse_bench::cli;
+use idse_daemon::{replay, DaemonConfig, DaemonCore};
+
+const USAGE: &str = "usage: daemon serve  --socket PATH [--queue N] [--journal PATH]\n\
+                     \x20      daemon replay SCRIPT.jsonl [--queue N] [--journal PATH]\n\
+                     \x20      daemon client --socket PATH REQUEST-JSON [REQUEST-JSON ...]\n\
+                     \n\
+                     \x20 --queue N     queued+running jobs admitted at once (default 4)\n\
+                     \x20 --journal P   crash-safe job journal (resume queued work on restart)\n\
+                     \x20 --jobs N      worker threads per evaluation (shared flag)";
+
+fn main() {
+    let mut args = cli::Args::parse(USAGE);
+    let socket = args.opt("--socket");
+    let queue: usize = args.opt_parsed("--queue").unwrap_or(4);
+    let journal = args.opt("--journal");
+    // Shared value-taking flags must come off before the positionals —
+    // a flag's value would otherwise be claimed as an operand.
+    let jobs: Option<usize> = args.opt_parsed("--jobs");
+    let out_path = args.opt("--out");
+    let command = args.positional();
+    let operands: Vec<String> = std::iter::from_fn(|| args.positional()).collect();
+    let mut common = args.finish();
+    if let Some(jobs) = jobs {
+        common.jobs = jobs;
+    }
+    common.out = out_path;
+    common.deny_json("daemon");
+
+    let mut config = DaemonConfig::default().with_queue_capacity(queue).with_jobs(common.jobs);
+    if let Some(path) = &journal {
+        config = config.with_journal(path);
+    }
+
+    match command.as_deref() {
+        Some("serve") => serve(config, socket),
+        Some("replay") => run_replay(config, &common, &operands),
+        Some("client") => client(socket, &operands),
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn open_core(config: DaemonConfig) -> DaemonCore {
+    match DaemonCore::new(config) {
+        Ok(core) => core,
+        Err(e) => {
+            eprintln!("error: opening daemon state: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(unix)]
+fn serve(config: DaemonConfig, socket: Option<String>) {
+    let Some(socket) = socket else {
+        eprintln!("error: serve requires --socket PATH");
+        std::process::exit(2);
+    };
+    let core = open_core(config);
+    eprintln!("daemon: listening on {socket}");
+    if let Err(e) = idse_daemon::server::serve(core, std::path::Path::new(&socket)) {
+        eprintln!("error: daemon terminated: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("daemon: shut down cleanly");
+}
+
+#[cfg(not(unix))]
+fn serve(_config: DaemonConfig, _socket: Option<String>) {
+    eprintln!("error: the live daemon needs Unix-domain sockets; use `daemon replay`");
+    std::process::exit(2);
+}
+
+fn run_replay(config: DaemonConfig, common: &cli::Common, operands: &[String]) {
+    let [script] = operands else {
+        eprintln!("error: replay requires exactly one SCRIPT.jsonl path");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(script) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: reading {script:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut core = open_core(config);
+    let lines = match replay(&mut core, &text) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("error: replay journal failure: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut out = cli::Out::new(common);
+    for line in &lines {
+        idse_bench::outln!(out, "{line}");
+    }
+    out.finish();
+}
+
+#[cfg(unix)]
+fn client(socket: Option<String>, operands: &[String]) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let Some(socket) = socket else {
+        eprintln!("error: client requires --socket PATH");
+        std::process::exit(2);
+    };
+    if operands.is_empty() {
+        eprintln!("error: client requires at least one REQUEST-JSON operand");
+        std::process::exit(2);
+    }
+    let mut all_ok = true;
+    for request in operands {
+        // One request per connection: send, half-close, stream responses
+        // to EOF. Waits up to ~10s for the daemon socket to appear.
+        let mut stream = None;
+        for _ in 0..5000 {
+            match UnixStream::connect(&socket) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => idse_exec::breathe(),
+            }
+        }
+        let Some(mut stream) = stream else {
+            eprintln!("error: could not connect to {socket}");
+            std::process::exit(1);
+        };
+        if let Err(e) =
+            writeln!(stream, "{request}").and_then(|()| stream.shutdown(std::net::Shutdown::Write))
+        {
+            eprintln!("error: sending request: {e}");
+            std::process::exit(1);
+        }
+        for line in BufReader::new(stream).lines() {
+            match line {
+                Ok(line) => {
+                    if line.contains("\"ok\":false") {
+                        all_ok = false;
+                    }
+                    println!("{line}");
+                }
+                Err(e) => {
+                    eprintln!("error: reading response: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(unix))]
+fn client(_socket: Option<String>, _operands: &[String]) {
+    eprintln!("error: the daemon client needs Unix-domain sockets");
+    std::process::exit(2);
+}

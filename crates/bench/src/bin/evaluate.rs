@@ -33,13 +33,10 @@
 use idse_bench::cli;
 use idse_bench::STANDARD_SEED;
 use idse_core::report::{render_comparison, render_ranking};
-use idse_core::{RequirementSet, Scorecard, WeightSet};
-use idse_eval::feeds::{FeedConfig, TestFeed};
-use idse_eval::measure::EnvironmentNeeds;
-use idse_eval::{EvaluationRequest, Provenance, StoreSpec};
-use idse_sim::SimDuration;
+use idse_core::{Scorecard, WeightSet};
+use idse_eval::feeds::TestFeed;
+use idse_eval::{JobSpec, Provenance, StoreRequest};
 use idse_telemetry::{summary::summarize, MemorySink, Telemetry};
-use idse_traffic::SiteProfile;
 
 /// Ring-buffer capacity for `--telemetry-out`/`--telemetry-summary`: four
 /// products' instrumented operating runs, with headroom.
@@ -66,28 +63,37 @@ fn main() {
     let common = args.finish();
     let seed = common.seed_or(STANDARD_SEED);
 
-    if sweep < 2 {
-        eprintln!("error: --sweep must be at least 2");
-        std::process::exit(2);
-    }
-    let (profile, needs) = match profile_name.as_str() {
-        "cluster" => (SiteProfile::realtime_cluster(), EnvironmentNeeds::realtime_cluster(3_000.0)),
-        "web" => (SiteProfile::ecommerce_web(), EnvironmentNeeds::ecommerce(3_000.0)),
-        "office" => (SiteProfile::office_lan(), EnvironmentNeeds::ecommerce(1_500.0)),
-        other => {
-            eprintln!("error: unknown profile {other:?} (cluster|web|office)");
+    // The CLI flags become a service job spec: the daemon's `submit`
+    // payload takes the same shape, and both entry points turn a spec into
+    // a request through `JobSpec::to_request` — the byte-identity
+    // chokepoint.
+    let spec = JobSpec {
+        kind: Some("evaluate".to_owned()),
+        profile: Some(profile_name),
+        weighting: Some(weighting),
+        seed: Some(seed),
+        rate: Some(rate),
+        sweep: Some(sweep),
+        intensity: Some(intensity),
+        store: store_dir.map(|dir| StoreRequest {
+            dir,
+            stamp: stamp.clone(),
+            git_rev: git_rev.clone(),
+        }),
+        ..JobSpec::default()
+    };
+    let (profile, weights, request) = match spec.site().and_then(|(profile, _)| {
+        let weights = spec.weights()?;
+        let request = spec.to_request()?;
+        Ok((profile, weights, request))
+    }) {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
-    let weights: WeightSet = match weighting.as_str() {
-        "realtime" => RequirementSet::realtime_distributed().derive(),
-        "ecommerce" => RequirementSet::ecommerce_site().derive(),
-        "uniform" => WeightSet::uniform(),
-        other => {
-            eprintln!("error: unknown weighting {other:?} (realtime|ecommerce|uniform)");
-            std::process::exit(2);
-        }
-    };
+    let weights: WeightSet = weights;
 
     // One shared ring buffer receives all four products' event streams.
     // Scopes keep them separable; the executor merges each job's buffer in
@@ -95,34 +101,11 @@ fn main() {
     // the JSONL layout identical to the historical per-product grouping.
     let telemetry_wanted = telemetry_out.is_some() || telemetry_summary;
     let sink = telemetry_wanted.then(|| MemorySink::new(TELEMETRY_CAPACITY));
-    let request = EvaluationRequest::new()
-        .with_feed(
-            FeedConfig::builder()
-                .session_rate(rate)
-                .training_span(SimDuration::from_secs(20))
-                .test_span(SimDuration::from_secs(45))
-                .campaign_intensity(intensity)
-                .seed(seed)
-                .build(),
-        )
-        .with_needs(needs)
-        .with_sweep_steps(sweep)
-        .with_max_throughput_factor(4096.0)
-        .with_fp_budget(0.15)
+    let request = request
         .with_telemetry(
             sink.as_ref().map(|s| Telemetry::new(s.clone())).unwrap_or_else(Telemetry::disabled),
         )
         .with_jobs(common.jobs);
-    let request = match &store_dir {
-        Some(dir) => request.with_store_spec(
-            StoreSpec::new(dir)
-                .with_stamp(stamp.clone())
-                .with_git_rev(git_rev.clone())
-                .with_profile(profile.name.clone())
-                .with_weighting(weights.name.clone()),
-        ),
-        None => request,
-    };
 
     eprintln!(
         "evaluating 4 products on the {:?} profile (seed {:#x}, {} sweep steps, {} worker(s))…",

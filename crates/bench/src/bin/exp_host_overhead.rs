@@ -4,14 +4,22 @@
 
 use idse_bench::{cli, outln, table};
 use idse_eval::host_overhead::host_overhead_experiment;
+use idse_eval::provenance::record_host_overhead;
 use idse_sim::SimDuration;
 
+const USAGE: &str = "usage: exp_host_overhead [--seed N] [--out PATH]\n\
+                     \x20                        [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) = cli::shell("usage: exp_host_overhead [--seed N] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store = cli::store_spec(&mut args);
+    let common = args.finish();
     common.deny_json("exp_host_overhead");
+    let mut out = cli::Out::new(&common);
     let seed = common.seed_or(0x0b35);
 
     outln!(out, "=== Experiment X1: host audit/monitoring overhead (§2.1) ===\n");
+    let mut sections = Vec::new();
     for load in [0.3, 0.6, 0.95] {
         outln!(out, "--- production load ≈ {:.0}% of host capacity ---", load * 100.0);
         let rows = host_overhead_experiment(load, SimDuration::from_secs(40), 800.0, seed);
@@ -34,10 +42,15 @@ fn main() {
                 &table_rows
             )
         );
+        sections.push((load, rows));
     }
     outln!(out, "Paper's cited figures: nominal logging 3–5% of host resources; DoD C2-level");
     outln!(out, "(Controlled Access Protection) up to 20% — 'obviously a concern for real-time");
     outln!(out, "systems'. The saturated-host rows reproduce those shares; lighter loads scale");
     outln!(out, "them proportionally.");
     out.finish();
+
+    if let Some(spec) = &store {
+        cli::report_store_result(spec, record_host_overhead(spec, seed, &sections));
+    }
 }

@@ -5,11 +5,17 @@
 
 use idse_bench::{cli, outln, table};
 use idse_eval::experiments::operating_point_experiment;
+use idse_eval::provenance::record_operating_point;
 use idse_ids::products::{IdsProduct, ProductId};
 
+const USAGE: &str = "usage: exp_operating_point [--seed N] [--jobs N] [--json PATH] [--out PATH]\n\
+                     \x20                          [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) =
-        cli::shell("usage: exp_operating_point [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store = cli::store_spec(&mut args);
+    let common = args.finish();
+    let mut out = cli::Out::new(&common);
     let seed = common.seed_or(0x0b35);
     let exec = common.executor();
 
@@ -60,5 +66,9 @@ fn main() {
 
     if common.json.is_some() {
         common.write_json(&serde_json::json!({ "seed": seed, "reports": reports }));
+    }
+
+    if let Some(spec) = &store {
+        cli::report_store_result(spec, record_operating_point(spec, seed, 0.2, &reports));
     }
 }

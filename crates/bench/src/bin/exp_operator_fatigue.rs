@@ -6,18 +6,25 @@
 
 use idse_bench::{cli, outln, standard_setup_with, table, STANDARD_SEED};
 use idse_eval::operator::{fatigue_sweep, OperatorModel};
+use idse_eval::provenance::record_operator_fatigue;
 use idse_ids::products::{IdsProduct, ProductId};
 
+const USAGE: &str = "usage: exp_operator_fatigue [--seed N] [--jobs N] [--out PATH]\n\
+                     \x20                           [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) =
-        cli::shell("usage: exp_operator_fatigue [--seed N] [--jobs N] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store = cli::store_spec(&mut args);
+    let common = args.finish();
     common.deny_json("exp_operator_fatigue");
+    let mut out = cli::Out::new(&common);
 
     outln!(
         out,
         "=== Future work: operator fatigue and the human-constrained operating point ===\n"
     );
-    let (feed, _request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
+    let (feed, request) = standard_setup_with(common.seed_or(STANDARD_SEED), common.jobs);
+    let mut sections = Vec::new();
 
     // The 45-second canned feed stands for one watch hour of traffic.
     for (label, operator) in [
@@ -65,10 +72,15 @@ fn main() {
             best_effective.sensitivity,
             best_effective.effective_detection,
         );
+        sections.push((label.to_owned(), rows));
     }
     outln!(out, "When the alert stream exceeds the triage budget, added sensitivity buys");
     outln!(out, "machine detections that no human ever reads. A procurer sizing a watch floor");
     outln!(out, "should weight Observed False Positive Ratio by this capacity — the human");
     outln!(out, "dimension the paper left for future work, as a measurable quantity.");
     out.finish();
+
+    if let Some(spec) = &store {
+        cli::report_store_result(spec, record_operator_fatigue(spec, &request, &sections));
+    }
 }

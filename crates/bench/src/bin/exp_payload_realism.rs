@@ -4,13 +4,19 @@
 
 use idse_bench::{cli, outln, table};
 use idse_eval::experiments::payload_realism_experiment;
+use idse_eval::provenance::{record_payload_realism, PayloadStatsRow};
 use idse_ids::products::IdsProduct;
 use idse_sim::RngStream;
 use idse_traffic::realism::{byte_entropy, printable_fraction, realism_score};
 
+const USAGE: &str = "usage: exp_payload_realism [--seed N] [--jobs N] [--json PATH] [--out PATH]\n\
+                     \x20                          [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) =
-        cli::shell("usage: exp_payload_realism [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store = cli::store_spec(&mut args);
+    let common = args.finish();
+    let mut out = cli::Out::new(&common);
     let seed = common.seed_or(0x0b35);
     let exec = common.executor();
 
@@ -90,5 +96,23 @@ fn main() {
 
     if common.json.is_some() {
         common.write_json(&serde_json::json!({ "seed": seed, "rows": rows }));
+    }
+
+    if let Some(spec) = &store {
+        let stats = [
+            PayloadStatsRow {
+                load: "realistic".to_owned(),
+                byte_entropy: re,
+                printable_fraction: rp,
+                realism_score: rs,
+            },
+            PayloadStatsRow {
+                load: "random bytes".to_owned(),
+                byte_entropy: ne,
+                printable_fraction: np,
+                realism_score: ns,
+            },
+        ];
+        cli::report_store_result(spec, record_payload_realism(spec, seed, 0.8, &stats, &rows));
     }
 }

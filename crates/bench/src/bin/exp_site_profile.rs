@@ -6,11 +6,17 @@
 
 use idse_bench::{cli, outln, table};
 use idse_eval::experiments::site_profile_experiment;
+use idse_eval::provenance::record_site_profile;
 use idse_ids::products::IdsProduct;
 
+const USAGE: &str = "usage: exp_site_profile [--seed N] [--jobs N] [--json PATH] [--out PATH]\n\
+                     \x20                       [--store DIR] [--stamp S] [--git-rev REV]";
+
 fn main() {
-    let (common, mut out) =
-        cli::shell("usage: exp_site_profile [--seed N] [--jobs N] [--json PATH] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store = cli::store_spec(&mut args);
+    let common = args.finish();
+    let mut out = cli::Out::new(&common);
     let seed = common.seed_or(0x0b35);
     let exec = common.executor();
 
@@ -54,5 +60,9 @@ fn main() {
 
     if common.json.is_some() {
         common.write_json(&serde_json::json!({ "seed": seed, "rows": rows }));
+    }
+
+    if let Some(spec) = &store {
+        cli::report_store_result(spec, record_site_profile(spec, seed, 0.7, &rows));
     }
 }

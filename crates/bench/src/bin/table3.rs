@@ -5,10 +5,17 @@ use idse_bench::{cli, outln, standard_evaluation_with, table, STANDARD_SEED};
 use idse_core::catalog::metrics_of_class;
 use idse_core::report::render_metric_table;
 use idse_core::MetricClass;
+use idse_eval::record_evaluation;
+
+const USAGE: &str = "usage: table3 [--seed N] [--jobs N] [--out PATH]\n\
+                     \x20             [--store DIR] [--stamp S] [--git-rev REV]";
 
 fn main() {
-    let (common, mut out) = cli::shell("usage: table3 [--seed N] [--jobs N] [--out PATH]");
+    let mut args = cli::Args::parse(USAGE);
+    let store = cli::store_spec(&mut args);
+    let common = args.finish();
     common.deny_json("table3");
+    let mut out = cli::Out::new(&common);
 
     outln!(out, "=== Paper Table 3: Selected Performance Metrics ===\n");
     outln!(out, "{}", render_metric_table(MetricClass::Performance, true));
@@ -21,7 +28,7 @@ fn main() {
     outln!(out, "{}\n", named.join(", "));
 
     outln!(out, "=== Scores ===\n");
-    let (_feed, _request, evals) =
+    let (feed, request, evals) =
         standard_evaluation_with(common.seed_or(STANDARD_SEED), common.jobs);
     let metrics = metrics_of_class(MetricClass::Performance);
     let mut headers: Vec<&str> = vec!["Metric"];
@@ -80,4 +87,9 @@ fn main() {
         }
     }
     out.finish();
+
+    if let Some(spec) = &store {
+        let spec = spec.clone().with_profile(feed.profile.name.clone());
+        cli::report_store_result(&spec, record_evaluation(&spec, &request, &evals));
+    }
 }

@@ -260,6 +260,37 @@ pub fn shell(usage: &str) -> (Common, Out) {
     (common, out)
 }
 
+/// Pull the shared `--store DIR [--stamp S] [--git-rev REV]` triple off
+/// `args`, returning an annotated [`idse_eval::StoreSpec`] when
+/// `--store` was given. The stamp and revision flags are consumed either
+/// way so they never leak to [`Args::finish`] as unknown flags.
+pub fn store_spec(args: &mut Args) -> Option<idse_eval::StoreSpec> {
+    let dir = args.opt("--store");
+    let stamp = args.opt("--stamp");
+    let git_rev = args.opt("--git-rev");
+    dir.map(|dir| idse_eval::StoreSpec::new(dir).with_stamp(stamp).with_git_rev(git_rev))
+}
+
+/// Print the committed-run confirmation every recording binary shares, or
+/// exit 1 when the store rejected the run.
+pub fn report_store_result(
+    spec: &idse_eval::StoreSpec,
+    result: Result<idse_store::StoredRun, idse_store::StoreError>,
+) {
+    match result {
+        Ok(run) => eprintln!(
+            "recorded run {} ({} records) in {}",
+            run.header.run_id,
+            run.header.records,
+            spec.dir.display()
+        ),
+        Err(e) => {
+            eprintln!("error: run store recording failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,8 @@ use idse_eval::TestFeed;
 use idse_sim::SimDuration;
 
 /// The canonical master seed for the paper artifacts (the workshop date).
-pub const STANDARD_SEED: u64 = 0x2002_0415;
+/// Defined next to the job specs so daemon submissions and the CLIs agree.
+pub use idse_eval::service::STANDARD_SEED;
 
 /// The standard evaluation setup shared by the table/figure binaries so
 /// every artifact is computed from the same canned feed, parameterized by

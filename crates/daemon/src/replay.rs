@@ -1,0 +1,48 @@
+//! Socketless protocol replay — the deterministic test surface.
+//!
+//! A replay script is the wire protocol verbatim: one JSON request per
+//! line (blank lines and `#` comments skipped). Submitted jobs queue but
+//! do not run until a `drain` request or a graceful `shutdown` executes
+//! them synchronously, in submission order — so a script's output is a
+//! pure function of its text, the specs' seeds, and the worker count,
+//! and the byte-identity test can compare a daemon run against a direct
+//! CLI run with no timing involved.
+
+use crate::core::DaemonCore;
+use crate::protocol::{error_line, line, Request};
+
+/// Run a protocol script against a core, returning every response line
+/// in order. I/O errors are journal failures — nothing else here touches
+/// the filesystem.
+pub fn replay(core: &mut DaemonCore, script: &str) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for text in script.lines() {
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let request = match Request::parse(text) {
+            Ok(request) => request,
+            Err(e) => {
+                out.push(error_line(&e));
+                continue;
+            }
+        };
+        match request {
+            Request::Drain => {
+                let drained = core.run_until_idle()?;
+                out.push(line(&serde_json::json!({ "ok": true, "drained": drained })));
+            }
+            Request::Shutdown { graceful } => {
+                // Mark intent first so the drain below runs with submits
+                // already refused, then drain in submission order.
+                out.extend(core.handle(Request::Shutdown { graceful }));
+                if graceful {
+                    core.run_until_idle()?;
+                }
+            }
+            other => out.extend(core.handle(other)),
+        }
+    }
+    Ok(out)
+}

@@ -125,13 +125,7 @@ pub fn site_profile_experiment(
     seed: u64,
     exec: &Executor,
 ) -> Vec<SiteProfileRow> {
-    let fc = FeedConfig::builder()
-        .session_rate(25.0)
-        .training_span(SimDuration::from_secs(25))
-        .test_span(SimDuration::from_secs(50))
-        .campaign_intensity(1)
-        .seed(seed)
-        .build();
+    let fc = site_profile_feed_config(seed);
     let cluster = TestFeed::realtime_cluster(&fc);
     let web = TestFeed::ecommerce(&fc);
     let ledger = TransactionLedger::of(&cluster.test);
@@ -190,13 +184,7 @@ pub fn operating_point_experiment(
     seed: u64,
     exec: &Executor,
 ) -> OperatingPointReport {
-    let fc = FeedConfig::builder()
-        .session_rate(25.0)
-        .training_span(SimDuration::from_secs(25))
-        .test_span(SimDuration::from_secs(50))
-        .campaign_intensity(2)
-        .seed(seed)
-        .build();
+    let fc = operating_point_feed_config(seed);
     let feed = TestFeed::realtime_cluster(&fc);
     let plan = SweepPlan::with_steps(9).with_fp_budget(fp_budget);
     let curve = sweep(product, &feed, &plan, exec);
@@ -340,6 +328,30 @@ pub struct FaultMatrixRow {
     pub lost_alerts: u64,
     /// Buffered items replayed after a restart.
     pub replayed: u64,
+}
+
+/// The X3 site-profile feed parameters. Exported so run provenance can
+/// state the exact feed the mismatch experiment ran on.
+pub fn site_profile_feed_config(seed: u64) -> FeedConfig {
+    FeedConfig::builder()
+        .session_rate(25.0)
+        .training_span(SimDuration::from_secs(25))
+        .test_span(SimDuration::from_secs(50))
+        .campaign_intensity(1)
+        .seed(seed)
+        .build()
+}
+
+/// The X4 operating-point feed parameters. Exported so run provenance can
+/// state the exact feed the sweep ran on.
+pub fn operating_point_feed_config(seed: u64) -> FeedConfig {
+    FeedConfig::builder()
+        .session_rate(25.0)
+        .training_span(SimDuration::from_secs(25))
+        .test_span(SimDuration::from_secs(50))
+        .campaign_intensity(2)
+        .seed(seed)
+        .build()
 }
 
 /// The standard X7 feed: the scenario timings in [`fault_scenarios`]

@@ -28,7 +28,7 @@ use crate::throughput::{throughput_search, ThroughputReport};
 use crate::timing::{timing_report, TimingReport};
 use crate::vendor::score_vendor_metrics;
 use idse_core::{MetricId, Scorecard};
-use idse_exec::{Executor, ExperimentPlan, JobKey};
+use idse_exec::{CancelToken, Cancelled, Executor, ExperimentPlan, JobKey};
 use idse_faults::{FaultPlan, Survivability};
 use idse_ids::pipeline::{PipelineOutcome, PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
@@ -218,6 +218,24 @@ impl EvaluationRequest {
         products: &[IdsProduct],
         feed: &TestFeed,
     ) -> Vec<ProductEvaluation> {
+        self.evaluate_products_cancellable(products, feed, &CancelToken::new())
+            .expect("a fresh token never cancels")
+    }
+
+    /// [`EvaluationRequest::evaluate_products`] with cooperative
+    /// cancellation.
+    ///
+    /// The batch path's safe points are job boundaries: the token is
+    /// polled before each sweep point and each measured probe, and
+    /// between the two phases. Telemetry recorded by jobs that ran before
+    /// the cancel is flushed in canonical order; nothing is recorded to
+    /// the run store unless the evaluation completes.
+    pub fn evaluate_products_cancellable(
+        &self,
+        products: &[IdsProduct],
+        feed: &TestFeed,
+        cancel: &CancelToken,
+    ) -> Result<Vec<ProductEvaluation>, Cancelled> {
         self.sweep.validate();
         let exec = self.executor();
         let ledger = TransactionLedger::of(&feed.test);
@@ -233,13 +251,15 @@ impl EvaluationRequest {
                 );
             }
         }
-        let sweep_results = sweep_jobs.run(&exec, &self.telemetry, |ctx, &(_, s)| {
-            let product = products
-                .iter()
-                .find(|p| p.id.name() == ctx.key.subject)
-                .expect("job subject names an input product");
-            measure_sweep_point(product, feed, &ledger, s)
-        });
+        let sweep_results =
+            sweep_jobs.run_cancellable(&exec, &self.telemetry, cancel, |ctx, &(_, s)| {
+                cancel.guard()?;
+                let product = products
+                    .iter()
+                    .find(|p| p.id.name() == ctx.key.subject)
+                    .expect("job subject names an input product");
+                Ok(measure_sweep_point(product, feed, &ledger, s))
+            })?;
 
         // Reduce 2a: assemble each product's curve (results arrive keyed
         // and ordered, so this is a grouping, not a sort) and pick the
@@ -297,49 +317,58 @@ impl EvaluationRequest {
                 );
             }
         }
-        let probe_results = probe_jobs.run(&exec, &self.telemetry, |ctx, job| match *job {
-            ProbeJob::Operate { index, sensitivity } => {
-                // The accuracy/response run at the operating point, with
-                // automated response armed so filter effectiveness is
-                // observable. Per-stage spans land in this job's buffer
-                // under the product's scope.
-                let run_config = RunConfig {
-                    sensitivity: Sensitivity::new(sensitivity),
-                    monitored_hosts: feed.servers.clone(),
-                    auto_response: true,
-                    telemetry: ctx.telemetry.clone(),
-                    ..RunConfig::default()
-                };
-                let outcome = PipelineRunner::new(products[index].clone(), run_config)
-                    .with_training(feed.training.clone())
-                    .run(&feed.test);
-                ctx.telemetry.span(0, outcome.finished_at.as_nanos(), "phase.operating_run");
-                ProbeOutput::Operate(Box::new(outcome))
-            }
-            ProbeJob::Throughput { index } => ProbeOutput::Throughput(throughput_search(
-                &products[index],
-                feed,
-                self.max_throughput_factor,
-            )),
-            ProbeJob::Survive { index, sensitivity } => {
-                // The operating-point run again, this time with the fault
-                // plan injected. Survivability falls out of comparing it
-                // to the fault-free twin in the reduce.
-                let run_config = RunConfig {
-                    sensitivity: Sensitivity::new(sensitivity),
-                    monitored_hosts: feed.servers.clone(),
-                    auto_response: true,
-                    telemetry: ctx.telemetry.clone(),
-                    faults: self.fault_plan.clone(),
-                    ..RunConfig::default()
-                };
-                let outcome = PipelineRunner::new(products[index].clone(), run_config)
-                    .with_training(feed.training.clone())
-                    .run(&feed.test);
-                ctx.telemetry.span(0, outcome.finished_at.as_nanos(), "phase.survive_run");
-                ProbeOutput::Survive(Box::new(outcome))
-            }
-        });
+        cancel.guard()?;
+        let probe_results =
+            probe_jobs.run_cancellable(&exec, &self.telemetry, cancel, |ctx, job| {
+                cancel.guard()?;
+                Ok(match *job {
+                    ProbeJob::Operate { index, sensitivity } => {
+                        // The accuracy/response run at the operating point, with
+                        // automated response armed so filter effectiveness is
+                        // observable. Per-stage spans land in this job's buffer
+                        // under the product's scope.
+                        let run_config = RunConfig {
+                            sensitivity: Sensitivity::new(sensitivity),
+                            monitored_hosts: feed.servers.clone(),
+                            auto_response: true,
+                            telemetry: ctx.telemetry.clone(),
+                            ..RunConfig::default()
+                        };
+                        let outcome = PipelineRunner::new(products[index].clone(), run_config)
+                            .with_training(feed.training.clone())
+                            .run(&feed.test);
+                        ctx.telemetry.span(
+                            0,
+                            outcome.finished_at.as_nanos(),
+                            "phase.operating_run",
+                        );
+                        ProbeOutput::Operate(Box::new(outcome))
+                    }
+                    ProbeJob::Throughput { index } => ProbeOutput::Throughput(throughput_search(
+                        &products[index],
+                        feed,
+                        self.max_throughput_factor,
+                    )),
+                    ProbeJob::Survive { index, sensitivity } => {
+                        // The operating-point run again, this time with the fault
+                        // plan injected. Survivability falls out of comparing it
+                        // to the fault-free twin in the reduce.
+                        let run_config = RunConfig {
+                            sensitivity: Sensitivity::new(sensitivity),
+                            monitored_hosts: feed.servers.clone(),
+                            auto_response: true,
+                            telemetry: ctx.telemetry.clone(),
+                            faults: self.fault_plan.clone(),
+                            ..RunConfig::default()
+                        };
+                        let outcome = PipelineRunner::new(products[index].clone(), run_config)
+                            .with_training(feed.training.clone())
+                            .run(&feed.test);
+                        ctx.telemetry.span(0, outcome.finished_at.as_nanos(), "phase.survive_run");
+                        ProbeOutput::Survive(Box::new(outcome))
+                    }
+                })
+            })?;
         let mut probes: BTreeMap<JobKey, ProbeOutput> =
             probe_results.into_iter().map(|r| (r.key, r.output)).collect();
 
@@ -391,7 +420,7 @@ impl EvaluationRequest {
                 Err(e) => eprintln!("warning: run store recording failed: {e}"),
             }
         }
-        evaluations
+        Ok(evaluations)
     }
 
     /// The scorecard fill: convert one product's measurements through the

@@ -29,7 +29,9 @@
 //!   with the forensic-coverage measure behind §3.3's "logging of
 //!   historical traffic is also key";
 //! * [`streaming`] — constant-memory chunked evaluation over
-//!   `RecordStream` feeds, sharded by flow key across workers.
+//!   `RecordStream` feeds, sharded by flow key across workers;
+//! * [`service`] — serde job specs shared by the `evaluate` CLI and the
+//!   evaluation daemon, so both entry points build identical requests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ pub mod host_overhead;
 pub mod measure;
 pub mod operator;
 pub mod provenance;
+pub mod service;
 pub mod streaming;
 pub mod sweep;
 pub mod throughput;
@@ -53,5 +56,6 @@ pub use confusion::{ConfusionCounts, StreamLedger, TransactionLedger};
 pub use feeds::{FeedConfig, FeedConfigBuilder, TestFeed};
 pub use harness::{EvaluationRequest, ProductEvaluation};
 pub use provenance::{record_evaluation, record_fault_matrix, Provenance, StoreSpec};
+pub use service::{JobKind, JobSpec, SpecError, StoreRequest, STANDARD_SEED};
 pub use streaming::{ShardOutcome, StreamEvaluation, StreamScorecard};
 pub use sweep::SweepPlan;

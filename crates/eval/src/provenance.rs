@@ -460,6 +460,223 @@ pub fn record_hybrid_taxonomy(
     RunStore::open(&spec.dir)?.commit(draft)
 }
 
+/// Record an X1 host-overhead run: one product key per audit level per
+/// production load (`{level}@load{load}`), carrying the measured CPU
+/// shares and the surviving production rate. The experiment drives a
+/// synthetic host event stream, not a traffic feed, so only the seed in
+/// the feed provenance is meaningful.
+pub fn record_host_overhead(
+    spec: &StoreSpec,
+    seed: u64,
+    sections: &[(f64, Vec<crate::host_overhead::OverheadRow>)],
+) -> Result<StoredRun, StoreError> {
+    let provenance = spec.annotate(Provenance {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        seed,
+        profile: None,
+        weighting: None,
+        git_rev: None,
+        feed: FeedProvenance::of(&FeedConfig::builder().seed(seed).build()),
+        sensitivity_policy: SensitivityPolicy {
+            rule: "not applicable (synthetic host load, no detection sweep)".to_owned(),
+            fp_budget: None,
+            sweep_steps: None,
+            sweep_low: None,
+            sweep_high: None,
+            fixed_sensitivity: None,
+        },
+        fault_plans: Vec::new(),
+        jobs_independence: JOBS_INDEPENDENCE,
+        timebase: TIMEBASE,
+    });
+    let mut draft =
+        RunDraft::new("host-overhead", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for (load, rows) in sections {
+        for row in rows {
+            let cell = format!("{}@load{load:.2}", row.level);
+            draft.record(&cell, "measure.audit_share", row.audit_share)?;
+            draft.record(&cell, "measure.agent_share", row.with_agent_share)?;
+            draft.record(
+                &cell,
+                "measure.production_events_per_sec",
+                row.production_events_per_sec,
+            )?;
+        }
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
+/// Record an X4 operating-point run: per product, an `@eer` cell (the
+/// equal-error-rate crossing, when it exists) and an `@low-fn` cell (the
+/// §3.3 distributed operating point within the FP budget), each with the
+/// trust-exploit detection rate measured at that setting.
+pub fn record_operating_point(
+    spec: &StoreSpec,
+    seed: u64,
+    fp_budget: f64,
+    reports: &[crate::experiments::OperatingPointReport],
+) -> Result<StoredRun, StoreError> {
+    let plan = SweepPlan::with_steps(9).with_fp_budget(fp_budget);
+    let provenance = spec.annotate(Provenance {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        seed,
+        profile: None,
+        weighting: None,
+        git_rev: None,
+        feed: FeedProvenance::of(&crate::experiments::operating_point_feed_config(seed)),
+        sensitivity_policy: SensitivityPolicy::budgeted(&plan),
+        fault_plans: Vec::new(),
+        jobs_independence: JOBS_INDEPENDENCE,
+        timebase: TIMEBASE,
+    });
+    let mut draft =
+        RunDraft::new("operating-point", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for report in reports {
+        if let Some((sensitivity, rate)) = report.eer_point {
+            let cell = format!("{}@eer", report.product);
+            draft.record(&cell, "measure.eer_sensitivity", sensitivity)?;
+            draft.record(&cell, "measure.eer_rate", rate)?;
+            if let Some(trust) = report.trust_detection_at_eer {
+                draft.record(&cell, "measure.trust_detection", trust)?;
+            }
+        }
+        if let Some(point) = &report.low_fn_point {
+            let cell = format!("{}@low-fn", report.product);
+            draft.record(&cell, "measure.operating_sensitivity", point.sensitivity)?;
+            draft.record(&cell, "measure.fp_ratio", point.false_positive_ratio)?;
+            draft.record(&cell, "measure.fn_ratio", point.false_negative_ratio)?;
+            if let Some(trust) = report.trust_detection_at_low_fn {
+                draft.record(&cell, "measure.trust_detection", trust)?;
+            }
+        }
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
+/// Record an operator-fatigue run: one cell per operator model per swept
+/// sensitivity (`{operator}@s{sensitivity}`), carrying alert volume,
+/// triage throughput, and the machine vs human-constrained detection
+/// rates whose divergence is the experiment's point.
+pub fn record_operator_fatigue(
+    spec: &StoreSpec,
+    request: &EvaluationRequest,
+    sections: &[(String, Vec<crate::operator::FatigueRow>)],
+) -> Result<StoredRun, StoreError> {
+    let provenance = spec.annotate(Provenance::for_request(request));
+    let mut draft =
+        RunDraft::new("operator-fatigue", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for (operator, rows) in sections {
+        for row in rows {
+            let cell = format!("{operator}@s{:.2}", row.sensitivity);
+            draft.record(&cell, "measure.alerts", row.alerts as f64)?;
+            draft.record(&cell, "measure.triaged", row.triaged as f64)?;
+            draft.record(&cell, "measure.detection_rate", row.machine_detection)?;
+            draft.record(&cell, "measure.effective_detection", row.effective_detection)?;
+        }
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
+/// Content statistics for one payload load in the X2 realism experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct PayloadStatsRow {
+    /// Load label (`realistic`, `random bytes`) — stored under the
+    /// product key `payload:{label}`.
+    pub load: String,
+    /// Shannon entropy over payload bytes, bits per byte.
+    pub byte_entropy: f64,
+    /// Fraction of printable ASCII bytes.
+    pub printable_fraction: f64,
+    /// The realism score the generator targets.
+    pub realism_score: f64,
+}
+
+/// Record an X2 payload-realism run: content statistics per load
+/// (`payload:{label}` cells) plus per-product `@realistic` / `@random`
+/// cells carrying alert volume and inspection cost under each load.
+pub fn record_payload_realism(
+    spec: &StoreSpec,
+    seed: u64,
+    sensitivity: f64,
+    stats: &[PayloadStatsRow],
+    rows: &[crate::experiments::RealismRow],
+) -> Result<StoredRun, StoreError> {
+    let provenance = spec.annotate(Provenance {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        seed,
+        profile: None,
+        weighting: None,
+        git_rev: None,
+        // X2 generates its two loads directly (identical timing and
+        // sizes, different payload content); the session rate and span
+        // here mirror that generator setup.
+        feed: FeedProvenance::of(
+            &FeedConfig::builder()
+                .session_rate(25.0)
+                .training_span(idse_sim::SimDuration::from_secs(25))
+                .test_span(idse_sim::SimDuration::from_secs(25))
+                .seed(seed)
+                .build(),
+        ),
+        sensitivity_policy: SensitivityPolicy::fixed(sensitivity),
+        fault_plans: Vec::new(),
+        jobs_independence: JOBS_INDEPENDENCE,
+        timebase: TIMEBASE,
+    });
+    let mut draft =
+        RunDraft::new("payload-realism", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for stat in stats {
+        let cell = format!("payload:{}", stat.load);
+        draft.record(&cell, "measure.byte_entropy", stat.byte_entropy)?;
+        draft.record(&cell, "measure.printable_fraction", stat.printable_fraction)?;
+        draft.record(&cell, "measure.realism_score", stat.realism_score)?;
+    }
+    for row in rows {
+        let realistic = format!("{}@realistic", row.product);
+        draft.record(&realistic, "measure.alerts_per_kpkt", row.alerts_per_kpkt_realistic)?;
+        draft.record(&realistic, "measure.ops_per_pkt", row.cost_realistic)?;
+        let random = format!("{}@random", row.product);
+        draft.record(&random, "measure.alerts_per_kpkt", row.alerts_per_kpkt_random)?;
+        draft.record(&random, "measure.ops_per_pkt", row.cost_random)?;
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
+/// Record an X3 site-profile-mismatch run: per product, `@matched`
+/// (trained on cluster traffic) and `@mismatched` (trained on e-commerce
+/// traffic) cells, each carrying the false-positive ratio and detection
+/// rate on the identical cluster test feed.
+pub fn record_site_profile(
+    spec: &StoreSpec,
+    seed: u64,
+    sensitivity: f64,
+    rows: &[crate::experiments::SiteProfileRow],
+) -> Result<StoredRun, StoreError> {
+    let provenance = spec.annotate(Provenance {
+        crate_version: env!("CARGO_PKG_VERSION"),
+        seed,
+        profile: None,
+        weighting: None,
+        git_rev: None,
+        feed: FeedProvenance::of(&crate::experiments::site_profile_feed_config(seed)),
+        sensitivity_policy: SensitivityPolicy::fixed(sensitivity),
+        fault_plans: Vec::new(),
+        jobs_independence: JOBS_INDEPENDENCE,
+        timebase: TIMEBASE,
+    });
+    let mut draft =
+        RunDraft::new("site-profile", provenance.to_value()).with_stamp(spec.stamp.clone());
+    for row in rows {
+        let matched = format!("{}@matched", row.product);
+        draft.record(&matched, "measure.fp_ratio", row.fp_matched)?;
+        draft.record(&matched, "measure.detection_rate", row.detection_matched)?;
+        let mismatched = format!("{}@mismatched", row.product);
+        draft.record(&mismatched, "measure.fp_ratio", row.fp_mismatched)?;
+        draft.record(&mismatched, "measure.detection_rate", row.detection_mismatched)?;
+    }
+    RunStore::open(&spec.dir)?.commit(draft)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +779,108 @@ mod tests {
         );
         let again = record_hybrid_taxonomy(&spec, &request, 0.8, &rows).expect("re-record");
         assert!(!again.created, "identical results dedupe to the same run");
+    }
+
+    #[test]
+    fn experiment_recorders_commit_cell_keyed_runs() {
+        use crate::experiments::{OperatingPointReport, RealismRow, SiteProfileRow};
+        use crate::host_overhead::OverheadRow;
+        use crate::operator::FatigueRow;
+        use crate::sweep::{ErrorCurve, SweepPoint};
+
+        let overhead = record_host_overhead(
+            &spec("overhead"),
+            42,
+            &[(
+                0.3,
+                vec![OverheadRow {
+                    level: "nominal",
+                    audit_share: 0.04,
+                    with_agent_share: 0.06,
+                    production_events_per_sec: 28_000.0,
+                }],
+            )],
+        )
+        .expect("overhead records");
+        assert_eq!(overhead.header.context, "host-overhead");
+        assert_eq!(overhead.header.products, vec!["nominal@load0.30"]);
+        assert_eq!(overhead.header.records, 3);
+
+        let report = OperatingPointReport {
+            product: "GuardSecure GS-5".to_owned(),
+            curve: ErrorCurve { product: "GuardSecure GS-5".to_owned(), points: Vec::new() },
+            eer_point: Some((0.55, 0.08)),
+            low_fn_point: Some(SweepPoint {
+                sensitivity: 0.85,
+                false_positive_ratio: 0.15,
+                false_negative_ratio: 0.02,
+                alerts: 120,
+            }),
+            trust_detection_at_eer: Some(0.5),
+            trust_detection_at_low_fn: Some(0.9),
+        };
+        let op = record_operating_point(&spec("op-point"), 42, 0.2, &[report])
+            .expect("operating point records");
+        assert_eq!(op.header.context, "operating-point");
+        assert_eq!(op.header.products, vec!["GuardSecure GS-5@eer", "GuardSecure GS-5@low-fn"]);
+        assert_eq!(op.header.records, 7);
+
+        let fatigue = record_operator_fatigue(
+            &spec("fatigue"),
+            &quick_request(),
+            &[(
+                "single watchstander".to_owned(),
+                vec![FatigueRow {
+                    sensitivity: 0.5,
+                    alerts: 80,
+                    triaged: 40,
+                    machine_detection: 0.8,
+                    effective_detection: 0.4,
+                }],
+            )],
+        )
+        .expect("fatigue records");
+        assert_eq!(fatigue.header.products, vec!["single watchstander@s0.50"]);
+        assert_eq!(fatigue.header.records, 4);
+
+        let realism = record_payload_realism(
+            &spec("realism"),
+            42,
+            0.8,
+            &[PayloadStatsRow {
+                load: "realistic".to_owned(),
+                byte_entropy: 5.1,
+                printable_fraction: 0.93,
+                realism_score: 0.9,
+            }],
+            &[RealismRow {
+                product: "NidSentry NS-5".to_owned(),
+                alerts_per_kpkt_realistic: 2.0,
+                alerts_per_kpkt_random: 0.1,
+                cost_realistic: 900.0,
+                cost_random: 400.0,
+            }],
+        )
+        .expect("realism records");
+        assert_eq!(realism.header.context, "payload-realism");
+        assert_eq!(realism.header.records, 3 + 4);
+        assert!(realism.header.products.contains(&"payload:realistic".to_owned()));
+
+        let site = record_site_profile(
+            &spec("site"),
+            42,
+            0.7,
+            &[SiteProfileRow {
+                product: "FlowHunter FH-9".to_owned(),
+                fp_matched: 0.01,
+                fp_mismatched: 0.2,
+                detection_matched: 0.8,
+                detection_mismatched: 0.6,
+            }],
+        )
+        .expect("site profile records");
+        assert_eq!(site.header.products.len(), 2, "matched and mismatched cells");
+        assert_eq!(site.header.records, 4);
     }
 
     #[test]

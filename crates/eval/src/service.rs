@@ -1,0 +1,395 @@
+//! Job specs — the serde bridge between the evaluation service and
+//! [`EvaluationRequest`].
+//!
+//! The daemon's `submit` payload and the `evaluate` CLI's flags must
+//! construct *the same request*, or "a daemon-submitted job produces the
+//! same store bytes as a direct `evaluate --store` run" would be a
+//! coincidence instead of a property. This module is that single source:
+//! a [`JobSpec`] carries the caller-supplied knobs (everything optional,
+//! with the CLI's documented defaults), and [`JobSpec::to_request`] is
+//! the one place those knobs become a request. The `evaluate` binary
+//! builds its request through the same path, so the two entry points
+//! cannot drift.
+//!
+//! Specs are plain serde values: they ride the daemon's line-delimited
+//! JSON protocol, land verbatim in the journal for crash-safe restart,
+//! and round-trip losslessly.
+
+use crate::feeds::FeedConfig;
+use crate::harness::EvaluationRequest;
+use crate::measure::EnvironmentNeeds;
+use crate::provenance::StoreSpec;
+use idse_core::{RequirementSet, WeightSet};
+use idse_faults::FaultPlan;
+use idse_ids::products::{IdsProduct, ProductId};
+use idse_sim::SimDuration;
+use idse_traffic::SiteProfile;
+use serde::{Deserialize, Serialize};
+
+/// The canned methodology seed every CLI defaults to (`evaluate`,
+/// `stream`, the `table*` and `exp_*` experiments, and daemon job specs
+/// with no explicit seed).
+pub const STANDARD_SEED: u64 = 0x2002_0415;
+
+/// A spec failed validation (unknown profile, malformed knob, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which evaluation path a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// The classic materialized harness: full sweep, operating point,
+    /// throughput searches, all 56 metrics, optional store recording.
+    Evaluate,
+    /// The constant-memory streaming path at a fixed sensitivity.
+    Stream,
+}
+
+impl JobKind {
+    /// Stable lowercase name (the `kind` field's wire value).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Evaluate => "evaluate",
+            JobKind::Stream => "stream",
+        }
+    }
+}
+
+/// Store recording knobs carried by a job spec (the `--store`,
+/// `--stamp`, `--git-rev` flags in wire form).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StoreRequest {
+    /// Run-store directory.
+    pub dir: String,
+    /// Opaque caller-supplied stamp for the run header.
+    pub stamp: Option<String>,
+    /// Revision folded into provenance.
+    pub git_rev: Option<String>,
+}
+
+/// One evaluation job, as submitted over the service protocol.
+///
+/// Every field is optional on the wire (the vendored serde shim defaults
+/// missing fields), and the defaults are exactly the `evaluate` /
+/// `stream` CLI defaults, resolved in one place by the accessors below.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobSpec {
+    /// `"evaluate"` (default) or `"stream"`.
+    pub kind: Option<String>,
+    /// Site profile: `cluster` (default), `web` or `office`.
+    pub profile: Option<String>,
+    /// Scorecard weighting: `realtime` (default), `ecommerce` or
+    /// `uniform`.
+    pub weighting: Option<String>,
+    /// Product selectors (`nid`, `guard`, `flow`, `agent`); absent or
+    /// empty means all four modeled products.
+    pub products: Option<Vec<String>>,
+    /// Master feed seed; defaults to [`STANDARD_SEED`].
+    pub seed: Option<u64>,
+    /// Session arrival rate (sessions/s). Defaults: 25 for `evaluate`,
+    /// 25 000 for `stream`.
+    pub rate: Option<f64>,
+    /// Sensitivity sweep steps (`evaluate` only, default 7, min 2).
+    pub sweep: Option<usize>,
+    /// Attack-campaign intensity (default 2).
+    pub intensity: Option<u32>,
+    /// Fixed sensitivity for the streaming path (default 0.6).
+    pub sensitivity: Option<f64>,
+    /// Stream length in transactions (`stream` only, default 1 000 000).
+    pub transactions: Option<u64>,
+    /// Host-population override (`stream` only).
+    pub hosts: Option<u32>,
+    /// Stream chunk size in records (default
+    /// [`idse_traffic::DEFAULT_CHUNK_RECORDS`]).
+    pub chunk_records: Option<usize>,
+    /// Flow-key shard count (`stream` only, default 8).
+    pub shards: Option<u32>,
+    /// Fault plan for the survivability probe.
+    pub fault_plan: Option<FaultPlan>,
+    /// Run-store recording (`evaluate` jobs only).
+    pub store: Option<StoreRequest>,
+}
+
+impl JobSpec {
+    /// An empty `evaluate` spec (every knob at its CLI default).
+    pub fn evaluate() -> Self {
+        JobSpec { kind: Some("evaluate".to_owned()), ..JobSpec::default() }
+    }
+
+    /// An empty `stream` spec.
+    pub fn stream() -> Self {
+        JobSpec { kind: Some("stream".to_owned()), ..JobSpec::default() }
+    }
+
+    /// The resolved job kind.
+    pub fn job_kind(&self) -> Result<JobKind, SpecError> {
+        match self.kind.as_deref().unwrap_or("") {
+            "" | "evaluate" => Ok(JobKind::Evaluate),
+            "stream" => Ok(JobKind::Stream),
+            other => Err(SpecError::new(format!("unknown job kind {other:?} (evaluate|stream)"))),
+        }
+    }
+
+    /// The resolved master seed.
+    pub fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or(STANDARD_SEED)
+    }
+
+    /// The resolved streaming sensitivity.
+    pub fn resolved_sensitivity(&self) -> f64 {
+        self.sensitivity.unwrap_or(0.6)
+    }
+
+    /// The site profile and the environment needs it is scored against —
+    /// the `--profile` match of the `evaluate` CLI.
+    pub fn site(&self) -> Result<(SiteProfile, EnvironmentNeeds), SpecError> {
+        match self.profile.as_deref().unwrap_or("") {
+            "" | "cluster" => {
+                Ok((SiteProfile::realtime_cluster(), EnvironmentNeeds::realtime_cluster(3_000.0)))
+            }
+            "web" => Ok((SiteProfile::ecommerce_web(), EnvironmentNeeds::ecommerce(3_000.0))),
+            "office" => Ok((SiteProfile::office_lan(), EnvironmentNeeds::ecommerce(1_500.0))),
+            other => Err(SpecError::new(format!("unknown profile {other:?} (cluster|web|office)"))),
+        }
+    }
+
+    /// The scorecard weighting — the `--weighting` match of the
+    /// `evaluate` CLI.
+    pub fn weights(&self) -> Result<WeightSet, SpecError> {
+        match self.weighting.as_deref().unwrap_or("") {
+            "" | "realtime" => Ok(RequirementSet::realtime_distributed().derive()),
+            "ecommerce" => Ok(RequirementSet::ecommerce_site().derive()),
+            "uniform" => Ok(WeightSet::uniform()),
+            other => Err(SpecError::new(format!(
+                "unknown weighting {other:?} (realtime|ecommerce|uniform)"
+            ))),
+        }
+    }
+
+    /// The products this job evaluates, in selector order (all four
+    /// models when no selector is given).
+    pub fn resolve_products(&self) -> Result<Vec<IdsProduct>, SpecError> {
+        let selectors = self.products.as_deref().unwrap_or(&[]);
+        if selectors.is_empty() {
+            return Ok(IdsProduct::all_models());
+        }
+        selectors
+            .iter()
+            .map(|name| {
+                let id = match name.as_str() {
+                    "nid" => ProductId::NidSentry,
+                    "guard" => ProductId::GuardSecure,
+                    "flow" => ProductId::FlowHunter,
+                    "agent" => ProductId::AgentWatch,
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown product {other:?} (nid|guard|flow|agent)"
+                        )))
+                    }
+                };
+                Ok(IdsProduct::model(id))
+            })
+            .collect()
+    }
+
+    /// A short human label for job listings and journal lines.
+    pub fn label(&self) -> String {
+        let kind = self.job_kind().map(JobKind::name).unwrap_or("invalid");
+        format!("{kind} seed={:#x}", self.resolved_seed())
+    }
+
+    /// Build the [`EvaluationRequest`] this spec describes.
+    ///
+    /// This is the byte-identity chokepoint: the `evaluate` CLI routes
+    /// its flags through here too, so a daemon-submitted spec and a
+    /// direct CLI run construct provably identical requests (telemetry
+    /// handles and worker counts are attached afterwards by each caller —
+    /// neither may change an output byte).
+    pub fn to_request(&self) -> Result<EvaluationRequest, SpecError> {
+        let kind = self.job_kind()?;
+        let (profile, needs) = self.site()?;
+        let weights = self.weights()?;
+        self.resolve_products()?;
+        let seed = self.resolved_seed();
+        let request = match kind {
+            JobKind::Evaluate => {
+                let sweep = self.sweep.unwrap_or(7);
+                if sweep < 2 {
+                    return Err(SpecError::new("sweep must be at least 2"));
+                }
+                let request = EvaluationRequest::new()
+                    .with_feed(
+                        FeedConfig::builder()
+                            .session_rate(self.rate.unwrap_or(25.0))
+                            .training_span(SimDuration::from_secs(20))
+                            .test_span(SimDuration::from_secs(45))
+                            .campaign_intensity(self.intensity.unwrap_or(2))
+                            .seed(seed)
+                            .build(),
+                    )
+                    .with_needs(needs)
+                    .with_sweep_steps(sweep)
+                    .with_max_throughput_factor(4096.0)
+                    .with_fp_budget(0.15);
+                match &self.store {
+                    Some(store) if store.dir.is_empty() => {
+                        return Err(SpecError::new("store.dir must not be empty"));
+                    }
+                    Some(store) => request.with_store_spec(
+                        StoreSpec::new(&store.dir)
+                            .with_stamp(store.stamp.clone())
+                            .with_git_rev(store.git_rev.clone())
+                            .with_profile(profile.name.clone())
+                            .with_weighting(weights.name.clone()),
+                    ),
+                    None => request,
+                }
+            }
+            JobKind::Stream => {
+                if self.store.is_some() {
+                    return Err(SpecError::new("store recording is not supported for stream jobs"));
+                }
+                if self.sweep.is_some() {
+                    return Err(SpecError::new(
+                        "stream jobs run at a fixed sensitivity, not a sweep",
+                    ));
+                }
+                let mut builder = FeedConfig::builder()
+                    .session_rate(self.rate.unwrap_or(25_000.0))
+                    .transactions(self.transactions.unwrap_or(1_000_000))
+                    .campaign_intensity(self.intensity.unwrap_or(2))
+                    .seed(seed)
+                    .chunk_records(
+                        self.chunk_records.unwrap_or(idse_traffic::DEFAULT_CHUNK_RECORDS),
+                    )
+                    .shards(self.shards.unwrap_or(8));
+                if let Some(hosts) = self.hosts {
+                    builder = builder.hosts(hosts);
+                }
+                EvaluationRequest::new().with_feed(builder.build())
+            }
+        };
+        Ok(match &self.fault_plan {
+            Some(plan) => request.with_fault_plan(plan.clone()),
+            None => request,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_cli_default_evaluate_run() {
+        let spec: JobSpec = serde_json::from_str("{}").expect("empty spec parses");
+        assert_eq!(spec.job_kind().expect("valid"), JobKind::Evaluate);
+        assert_eq!(spec.resolved_seed(), STANDARD_SEED);
+        let request = spec.to_request().expect("default spec is valid");
+        assert_eq!(request.feed.seed, STANDARD_SEED);
+        assert_eq!(request.feed.session_rate, 25.0);
+        assert_eq!(request.sweep.steps, 7);
+        assert_eq!(request.max_throughput_factor, 4096.0);
+        assert!(request.store.is_none());
+        assert_eq!(spec.resolve_products().expect("valid").len(), 4);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec = JobSpec {
+            kind: Some("stream".to_owned()),
+            products: Some(vec!["flow".to_owned()]),
+            seed: Some(7),
+            rate: Some(5_000.0),
+            transactions: Some(100_000),
+            hosts: Some(1_000),
+            shards: Some(4),
+            ..JobSpec::default()
+        };
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: JobSpec = serde_json::from_str(&json).expect("spec parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn stream_spec_mirrors_the_stream_cli_defaults() {
+        let spec = JobSpec::stream();
+        let request = spec.to_request().expect("valid");
+        assert_eq!(request.feed.session_rate, 25_000.0);
+        assert_eq!(request.feed.chunk_records, idse_traffic::DEFAULT_CHUNK_RECORDS);
+        assert_eq!(request.feed.shards, 8);
+        assert_eq!(spec.resolved_sensitivity(), 0.6);
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_with_reasons() {
+        let bad_kind = JobSpec { kind: Some("batch".to_owned()), ..JobSpec::default() };
+        assert!(bad_kind.to_request().expect_err("rejected").to_string().contains("job kind"));
+
+        let bad_profile = JobSpec { profile: Some("lab".to_owned()), ..JobSpec::default() };
+        assert!(bad_profile.to_request().expect_err("rejected").to_string().contains("profile"));
+
+        let bad_sweep = JobSpec { sweep: Some(1), ..JobSpec::default() };
+        assert!(bad_sweep.to_request().expect_err("rejected").to_string().contains("sweep"));
+
+        let stream_store = JobSpec {
+            kind: Some("stream".to_owned()),
+            store: Some(StoreRequest { dir: "runs".to_owned(), ..StoreRequest::default() }),
+            ..JobSpec::default()
+        };
+        assert!(stream_store.to_request().expect_err("rejected").to_string().contains("store"));
+
+        let bad_product = JobSpec { products: Some(vec!["nope".to_owned()]), ..JobSpec::default() };
+        assert!(bad_product
+            .resolve_products()
+            .expect_err("rejected")
+            .to_string()
+            .contains("product"));
+    }
+
+    #[test]
+    fn store_annotations_match_the_evaluate_cli() {
+        let spec = JobSpec {
+            store: Some(StoreRequest {
+                dir: "runs-dir".to_owned(),
+                stamp: Some("s1".to_owned()),
+                git_rev: Some("abc".to_owned()),
+            }),
+            ..JobSpec::evaluate()
+        };
+        let request = spec.to_request().expect("valid");
+        let store = request.store.expect("store spec attached");
+        assert_eq!(store.dir, std::path::PathBuf::from("runs-dir"));
+    }
+
+    #[test]
+    fn fault_plans_ride_the_spec() {
+        use idse_faults::{FaultComponent, FaultKind};
+        let plan = FaultPlan::new("spec-blink").with(
+            idse_sim::SimTime::from_secs(8),
+            FaultKind::Crash { component: FaultComponent::Monitor, restart_after: None },
+        );
+        let spec = JobSpec { fault_plan: Some(plan.clone()), ..JobSpec::evaluate() };
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back: JobSpec = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.fault_plan.as_ref().map(FaultPlan::label), Some("spec-blink"));
+        let request = back.to_request().expect("valid");
+        assert_eq!(request.fault_plan.map(|p| p.label().to_owned()), Some("spec-blink".to_owned()));
+    }
+}

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use crate::confusion::{ConfusionCounts, StreamLedger};
 use crate::feeds::{FeedConfig, TestFeed};
 use crate::harness::EvaluationRequest;
-use idse_exec::{ExperimentPlan, JobKey};
+use idse_exec::{CancelToken, Cancelled, ExperimentPlan, JobKey};
 use idse_ids::pipeline::{PipelineRunner, RunConfig};
 use idse_ids::products::IdsProduct;
 use idse_ids::Sensitivity;
@@ -150,11 +150,44 @@ pub fn run_shard(
     shard: u32,
     telemetry: idse_telemetry::Telemetry,
 ) -> ShardOutcome {
+    run_shard_cancellable(
+        product,
+        profile,
+        config,
+        training,
+        sensitivity,
+        shard,
+        telemetry,
+        &CancelToken::new(),
+    )
+    .expect("a fresh token never cancels")
+}
+
+/// [`run_shard`] with a cooperative cancellation point at every chunk
+/// boundary.
+///
+/// The token is checked *between* chunks — never mid-chunk — so a
+/// cancelled shard stops at a deterministic record boundary: everything
+/// observed so far (including the `stream.chunk.records` progress
+/// counters in `telemetry`) is a pure function of the feed and the
+/// checkpoint count, and the partial telemetry is flushed by the plan's
+/// cancellable reduce.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard_cancellable(
+    product: &IdsProduct,
+    profile: &idse_traffic::SiteProfile,
+    config: &FeedConfig,
+    training: &Trace,
+    sensitivity: f64,
+    shard: u32,
+    telemetry: idse_telemetry::Telemetry,
+    cancel: &CancelToken,
+) -> Result<ShardOutcome, Cancelled> {
     let run_config = RunConfig {
         sensitivity: Sensitivity::new(sensitivity),
         monitored_hosts: TestFeed::server_hosts(profile),
         auto_response: true,
-        telemetry,
+        telemetry: telemetry.clone(),
         ..RunConfig::default()
     };
     let runner = PipelineRunner::new(product.clone(), run_config).with_training(training.clone());
@@ -162,8 +195,12 @@ pub fn run_shard(
     let mut session = runner.session();
     let mut ledger = StreamLedger::new();
     for chunk in ShardFeed::new(profile, config, shard) {
+        cancel.guard()?;
         ledger.observe_chunk(&chunk);
+        let progress_at = chunk.last().map(|r| r.at.as_nanos()).unwrap_or(0);
+        let records = chunk.len() as u64;
         session.push_chunk(chunk);
+        telemetry.counter(progress_at, "stream.chunk.records", records);
     }
     let outcome = session.finish();
 
@@ -179,7 +216,7 @@ pub fn run_shard(
             }
         }
     }
-    ShardOutcome {
+    Ok(ShardOutcome {
         shard,
         ledger,
         detected,
@@ -191,7 +228,7 @@ pub fn run_shard(
         blocked: outcome.blocked,
         window_peak: outcome.window_peak,
         finished_at: outcome.finished_at,
-    }
+    })
 }
 
 /// The merged, serializable result of one product's streaming run.
@@ -279,6 +316,25 @@ impl EvaluationRequest {
         products: &[IdsProduct],
         sensitivity: f64,
     ) -> Vec<StreamEvaluation> {
+        self.evaluate_stream_cancellable(products, sensitivity, &CancelToken::new())
+            .expect("a fresh token never cancels")
+    }
+
+    /// [`EvaluationRequest::evaluate_stream`] with cooperative
+    /// cancellation: the token is polled at every chunk boundary of every
+    /// `(product, shard)` job (see [`run_shard_cancellable`]) and between
+    /// job claims on the executor.
+    ///
+    /// On cancellation the partial telemetry of every job that ran —
+    /// including the per-chunk `stream.chunk.records` progress counters of
+    /// the job that observed the cancel — is flushed into the request's
+    /// sink in canonical job order before `Err(Cancelled)` is returned.
+    pub fn evaluate_stream_cancellable(
+        &self,
+        products: &[IdsProduct],
+        sensitivity: f64,
+        cancel: &CancelToken,
+    ) -> Result<Vec<StreamEvaluation>, Cancelled> {
         let exec = self.executor();
         let profile = TestFeed::realtime_cluster_profile(&self.feed);
         let training = RecordStream::new(TestFeed::training_stream(&profile, &self.feed))
@@ -295,21 +351,23 @@ impl EvaluationRequest {
                 );
             }
         }
-        let results = plan.run(&exec, &self.telemetry, |ctx, &(index, shard)| {
-            run_shard(
-                &products[index],
-                &profile,
-                &self.feed,
-                &training,
-                sensitivity,
-                shard,
-                ctx.telemetry.clone(),
-            )
-        });
+        let results =
+            plan.run_cancellable(&exec, &self.telemetry, cancel, |ctx, &(index, shard)| {
+                run_shard_cancellable(
+                    &products[index],
+                    &profile,
+                    &self.feed,
+                    &training,
+                    sensitivity,
+                    shard,
+                    ctx.telemetry.clone(),
+                    cancel,
+                )
+            })?;
         let mut outcomes: BTreeMap<JobKey, ShardOutcome> =
             results.into_iter().map(|r| (r.key, r.output)).collect();
 
-        products
+        Ok(products
             .iter()
             .map(|product| {
                 let name = product.id.name();
@@ -322,7 +380,7 @@ impl EvaluationRequest {
                     .collect();
                 self.merge_shards(name, shard_outcomes)
             })
-            .collect()
+            .collect())
     }
 
     /// Deterministic reduce: fold shard outcomes (in shard order) into one
@@ -479,6 +537,51 @@ mod tests {
         assert_eq!(baseline, render(4, 512), "worker count changed the bytes");
         assert_eq!(baseline, render(2, 64), "chunk size changed the bytes");
         assert_eq!(baseline, render(8, 4096), "chunk size changed the bytes");
+    }
+
+    #[test]
+    fn cancellation_stops_at_a_chunk_boundary_with_partial_telemetry_flushed() {
+        use idse_telemetry::{MemorySink, Telemetry};
+        let product = IdsProduct::model(ProductId::NidSentry);
+        let run_cancelled = || {
+            let sink = MemorySink::new(1 << 14);
+            let request = EvaluationRequest::new()
+                .with_feed(small_config(1, 128))
+                .with_telemetry(Telemetry::new(sink.clone()));
+            // The fuse trips on the third chunk-boundary checkpoint: two
+            // chunks are processed, the third is never pushed.
+            let token = CancelToken::after_checkpoints(3);
+            let outcome =
+                request.evaluate_stream_cancellable(std::slice::from_ref(&product), 0.7, &token);
+            assert!(outcome.is_err(), "the armed fuse cancels the run");
+            sink.events().iter().map(|e| e.to_jsonl()).collect::<Vec<_>>()
+        };
+        let events = run_cancelled();
+        let chunks: Vec<&String> =
+            events.iter().filter(|l| l.contains("stream.chunk.records")).collect();
+        assert_eq!(chunks.len(), 2, "exactly the pre-cancel chunk progress is flushed");
+        assert!(!events.is_empty(), "partial telemetry reaches the sink on cancellation");
+        assert_eq!(events, run_cancelled(), "a cancelled run is still deterministic");
+    }
+
+    #[test]
+    fn cancellable_stream_with_fresh_token_matches_evaluate_stream() {
+        let product = IdsProduct::model(ProductId::NidSentry);
+        let request = EvaluationRequest::new().with_feed(small_config(2, 256));
+        let direct = request
+            .evaluate_stream(std::slice::from_ref(&product), 0.7)
+            .pop()
+            .expect("one eval")
+            .scorecard
+            .to_json();
+        let cancellable = request
+            .evaluate_stream_cancellable(std::slice::from_ref(&product), 0.7, &CancelToken::new())
+            .expect("never cancelled")
+            .pop()
+            .expect("one eval")
+            .scorecard
+            .to_json();
+        assert_eq!(direct, cancellable);
     }
 
     #[test]

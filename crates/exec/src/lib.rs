@@ -32,8 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod plan;
 
+pub use cancel::{CancelToken, Cancelled, SlotGuard, SlotPool};
 pub use plan::{ExperimentPlan, Job, JobCtx, JobKey, JobResult};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -195,6 +197,114 @@ impl Executor {
 
         reduce_in_order(per_worker.into_iter().flatten().collect(), n)
     }
+
+    /// Cancellable variant of [`Executor::try_par_map`]: workers stop
+    /// *claiming* new jobs once `cancel` observes cancellation, and every
+    /// never-claimed slot comes back as `None`.
+    ///
+    /// Jobs that were already claimed run to completion — cancellation is
+    /// cooperative, so `f` itself should poll the token at its safe points
+    /// (the streaming path checks at chunk boundaries) and encode an early
+    /// stop in its output type. Which slots are `None` is deterministic on
+    /// the serial path (a prefix of completed jobs, then `None`s); under a
+    /// pool it depends on which claims raced the flag, which is why every
+    /// deterministic cancellation test pins `--jobs 1` or uses a
+    /// checkpoint fuse the jobs burn themselves.
+    pub fn try_par_map_with_cancel<T, O, F>(
+        &self,
+        items: &[T],
+        cancel: &CancelToken,
+        f: F,
+    ) -> Vec<Option<Result<O, JobPanic>>>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(usize, &T) -> O + Sync,
+    {
+        let run = |i: usize, item: &T| -> Result<O, JobPanic> {
+            catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                .map_err(|payload| JobPanic { index: i, message: panic_message(payload) })
+        };
+
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| if cancel.is_cancelled() { None } else { Some(run(i, item)) })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, Result<O, JobPanic>)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut completed = Vec::new();
+                            loop {
+                                if cancel.is_cancelled() {
+                                    break;
+                                }
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                completed.push((i, run(i, &items[i])));
+                            }
+                            completed
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("executor worker does not panic"))
+                    .collect()
+            })
+            .expect("executor scope does not panic");
+
+        let mut slots: Vec<Option<Result<O, JobPanic>>> = (0..n).map(|_| None).collect();
+        for (i, result) in per_worker.into_iter().flatten() {
+            assert!(slots[i].is_none(), "job {i} completed twice");
+            slots[i] = Some(result);
+        }
+        slots
+    }
+}
+
+/// Run `worker` on a scoped helper thread while `foreground` runs on the
+/// calling thread; returns both results after the worker joins.
+///
+/// This exists for the evaluation daemon: its socket accept loop and its
+/// job runner are two long-lived loops, and the `thread-outside-exec` lint
+/// rule confines thread spawning to this crate. The scope guarantees the
+/// worker cannot outlive the borrows it captures, and a worker panic
+/// propagates after `foreground` returns rather than being silently lost.
+pub fn with_worker<R, S>(
+    worker: impl FnOnce() -> R + Send,
+    foreground: impl FnOnce() -> S,
+) -> (R, S)
+where
+    R: Send,
+{
+    crossbeam::thread::scope(|scope| {
+        let handle = scope.spawn(move |_| worker());
+        let fg = foreground();
+        let bg = handle.join().expect("background worker does not panic");
+        (bg, fg)
+    })
+    .expect("worker scope does not panic")
+}
+
+/// Park the calling thread for one polling interval (a few milliseconds).
+///
+/// Polling loops that wait on cross-thread state (the daemon's
+/// non-blocking accept loop, a drain loop waiting for a runner) call this
+/// between probes instead of spinning. Centralized here so the interval is
+/// one knob and no other crate needs a thread API for it.
+pub fn breathe() {
+    std::thread::sleep(std::time::Duration::from_millis(2));
 }
 
 /// The deterministic reduce step: erase completion order.
@@ -328,5 +438,111 @@ mod tests {
     fn job_panic_display_is_deterministic() {
         let err = JobPanic { index: 3, message: "boom".to_string() };
         assert_eq!(err.to_string(), "job 3 panicked: boom");
+    }
+
+    #[test]
+    fn uncancelled_map_matches_try_par_map() {
+        let items: Vec<u64> = (0..32).collect();
+        let f = |i: usize, &x: &u64| i as u64 + x;
+        for workers in [1, 4] {
+            let slots =
+                Executor::new(workers).try_par_map_with_cancel(&items, &CancelToken::new(), f);
+            let outputs: Vec<u64> = slots
+                .into_iter()
+                .map(|s| s.expect("no slot skipped").expect("no job panicked"))
+                .collect();
+            assert_eq!(outputs, Executor::new(workers).par_map(&items, f));
+        }
+    }
+
+    #[test]
+    fn serial_cancellation_stops_at_a_deterministic_boundary() {
+        // The fuse trips inside job 2's checkpoint; jobs 3.. are never
+        // claimed. Serial path, so the split point is exact.
+        let token = CancelToken::after_checkpoints(3);
+        let items: Vec<u64> = (0..8).collect();
+        let slots = Executor::serial().try_par_map_with_cancel(&items, &token, |_, &x| {
+            token.checkpoint();
+            x * 10
+        });
+        let done: Vec<Option<u64>> =
+            slots.into_iter().map(|s| s.map(|r| r.expect("no panics"))).collect();
+        assert_eq!(done, vec![Some(0), Some(10), Some(20), None, None, None, None, None]);
+    }
+
+    #[test]
+    fn pre_cancelled_batches_run_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1, 4] {
+            let slots =
+                Executor::new(workers).try_par_map_with_cancel(&[1u32, 2, 3], &token, |_, &x| x);
+            assert!(slots.iter().all(Option::is_none), "{workers} workers ran a cancelled batch");
+        }
+    }
+
+    #[test]
+    fn parallel_cancellation_keeps_completed_slots_intact() {
+        let token = CancelToken::after_checkpoints(5);
+        let items: Vec<u64> = (0..64).collect();
+        let slots = Executor::new(4).try_par_map_with_cancel(&items, &token, |i, &x| {
+            token.checkpoint();
+            assert_eq!(i as u64, x);
+            x + 100
+        });
+        assert_eq!(slots.len(), 64);
+        let completed = slots.iter().flatten().count();
+        assert!(completed < 64, "the fuse stopped the batch early");
+        for (i, slot) in slots.into_iter().enumerate() {
+            if let Some(result) = slot {
+                assert_eq!(result.expect("no panics"), i as u64 + 100);
+            }
+        }
+    }
+
+    /// The satellite fix end-to-end: a batch with a cancelled tail *and* a
+    /// poisoned job releases every slot it claimed, so a follow-up plan in
+    /// the same process gets the full queue capacity back.
+    #[test]
+    fn cancelled_and_poisoned_jobs_release_their_slots() {
+        let pool = SlotPool::new(4);
+        let token = CancelToken::after_checkpoints(2);
+        let items: Vec<u64> = (0..4).collect();
+        let slots = Executor::serial().try_par_map_with_cancel(&items, &token, |i, &x| {
+            let _slot = pool.try_acquire().expect("admission bounded by the pool");
+            token.checkpoint();
+            assert!(i != 1, "poisoned input");
+            x
+        });
+        // Job 0 completed, job 1 panicked (guard dropped during unwind),
+        // job 2 tripped the fuse, job 3 was never claimed.
+        assert!(slots[0].as_ref().expect("ran").is_ok());
+        assert!(slots[1].as_ref().expect("ran").is_err());
+        assert!(slots[3].is_none());
+        assert_eq!(pool.in_use(), 0, "every claimed slot was released");
+
+        // Follow-up plan in the same process: full capacity is available.
+        let followup =
+            Executor::serial().try_par_map_with_cancel(&items, &CancelToken::new(), |_, &x| {
+                let _slot = pool.try_acquire().expect("freed capacity is claimable");
+                x * 2
+            });
+        let outputs: Vec<u64> =
+            followup.into_iter().map(|s| s.expect("ran").expect("clean")).collect();
+        assert_eq!(outputs, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn with_worker_returns_both_sides() {
+        let flag = AtomicUsize::new(0);
+        let (bg, fg) = with_worker(
+            || {
+                flag.store(7, Ordering::Relaxed);
+                "worker"
+            },
+            || "foreground",
+        );
+        assert_eq!((bg, fg), ("worker", "foreground"));
+        assert_eq!(flag.load(Ordering::Relaxed), 7);
     }
 }

@@ -153,24 +153,7 @@ impl<T> ExperimentPlan<T> {
         O: Send,
         F: Fn(&JobCtx<'_>, &T) -> O + Sync,
     {
-        let mut ordered: Vec<&Job<T>> = self.jobs.iter().collect();
-        ordered.sort_by(|a, b| a.key.cmp(&b.key));
-        for pair in ordered.windows(2) {
-            assert!(pair[0].key != pair[1].key, "duplicate job key {}", pair[0].key);
-        }
-        // Distinct keys can still join to one label when a subject or
-        // stage contains '/' — ("a/b","c",0) and ("a","b/c",0) both label
-        // "a/b/c/0" — and identical labels mean identical derived seeds.
-        let mut labels: Vec<String> = ordered.iter().map(|j| j.key.label()).collect();
-        labels.sort_unstable();
-        for pair in labels.windows(2) {
-            assert!(
-                pair[0] != pair[1],
-                "job keys collide after label join: {} — a '/' inside a subject or stage \
-                 makes distinct keys derive identical seeds",
-                pair[0]
-            );
-        }
+        let ordered = self.ordered_jobs();
 
         let completed = exec.par_map(&ordered, |index, job| {
             let scope = job.scope.unwrap_or_else(|| parent.scope());
@@ -195,6 +178,95 @@ impl<T> ExperimentPlan<T> {
                 JobResult { key: job.key.clone(), output }
             })
             .collect()
+    }
+
+    /// Cancellable variant of [`ExperimentPlan::run`].
+    ///
+    /// Jobs return `Result<O, Cancelled>` and should poll `cancel` at
+    /// their safe points (the streaming path checks at chunk boundaries);
+    /// once the token trips, unstarted jobs are never claimed. Telemetry
+    /// from every job that *did* run — including the one that observed the
+    /// cancellation mid-flight — is still merged into `parent` in
+    /// canonical key order, so a cancelled run flushes a deterministic
+    /// partial event stream rather than dropping it.
+    ///
+    /// Returns `Err(Cancelled)` if any job was skipped or stopped early;
+    /// `Ok` results are exactly [`ExperimentPlan::run`]'s, in canonical
+    /// key order. A panicking job propagates its panic, as with `run`.
+    pub fn run_cancellable<O, F>(
+        &self,
+        exec: &Executor,
+        parent: &Telemetry,
+        cancel: &crate::CancelToken,
+        f: F,
+    ) -> Result<Vec<JobResult<O>>, crate::Cancelled>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&JobCtx<'_>, &T) -> Result<O, crate::Cancelled> + Sync,
+    {
+        let ordered = self.ordered_jobs();
+
+        let completed = exec.try_par_map_with_cancel(&ordered, cancel, |index, job| {
+            let scope = job.scope.unwrap_or_else(|| parent.scope());
+            let recorder = JobRecorder::fork(parent, scope, self.job_telemetry_capacity);
+            let ctx = JobCtx {
+                key: &job.key,
+                index,
+                seed: derive_seed(self.master_seed, &job.key.label()),
+                telemetry: recorder.handle(),
+            };
+            (f(&ctx, &job.input), recorder)
+        });
+
+        let mut results = Vec::with_capacity(ordered.len());
+        let mut stopped = false;
+        for (slot, job) in completed.into_iter().zip(ordered) {
+            match slot {
+                None => stopped = true,
+                Some(Err(job_panic)) => {
+                    // idse-lint: allow(panic-in-library, reason = "re-raises a job panic the executor contained for slot accounting; swallowing it would report a poisoned run as a clean cancellation")
+                    panic!("plan job panicked; contain it inside the job: {job_panic}")
+                }
+                Some(Ok((output, recorder))) => {
+                    // Flush partial telemetry even for the job that hit
+                    // the cancellation point — canonical order is intact
+                    // because slots are walked in key order.
+                    recorder.merge_into(parent);
+                    match output {
+                        Ok(output) => results.push(JobResult { key: job.key.clone(), output }),
+                        Err(crate::Cancelled) => stopped = true,
+                    }
+                }
+            }
+        }
+        if stopped || cancel.is_cancelled() {
+            return Err(crate::Cancelled);
+        }
+        Ok(results)
+    }
+
+    /// Sort jobs into canonical key order and reject ambiguous identities.
+    fn ordered_jobs(&self) -> Vec<&Job<T>> {
+        let mut ordered: Vec<&Job<T>> = self.jobs.iter().collect();
+        ordered.sort_by(|a, b| a.key.cmp(&b.key));
+        for pair in ordered.windows(2) {
+            assert!(pair[0].key != pair[1].key, "duplicate job key {}", pair[0].key);
+        }
+        // Distinct keys can still join to one label when a subject or
+        // stage contains '/' — ("a/b","c",0) and ("a","b/c",0) both label
+        // "a/b/c/0" — and identical labels mean identical derived seeds.
+        let mut labels: Vec<String> = ordered.iter().map(|j| j.key.label()).collect();
+        labels.sort_unstable();
+        for pair in labels.windows(2) {
+            assert!(
+                pair[0] != pair[1],
+                "job keys collide after label join: {} — a '/' inside a subject or stage \
+                 makes distinct keys derive identical seeds",
+                pair[0]
+            );
+        }
+        ordered
     }
 }
 
@@ -265,6 +337,53 @@ mod tests {
     fn duplicate_keys_are_rejected() {
         let plan = plan_of(&[("a", "sweep", 0), ("a", "sweep", 0)]);
         plan.run(&Executor::serial(), &Telemetry::disabled(), |_, _| ());
+    }
+
+    #[test]
+    fn run_cancellable_matches_run_when_never_cancelled() {
+        let plan = plan_of(&[("b", "sweep", 1), ("a", "sweep", 0), ("a", "operate", 0)]);
+        let baseline =
+            plan.run(&Executor::serial(), &Telemetry::disabled(), |ctx, &input| (ctx.seed, input));
+        for workers in [1, 4] {
+            let cancellable = plan
+                .run_cancellable(
+                    &Executor::new(workers),
+                    &Telemetry::disabled(),
+                    &crate::CancelToken::new(),
+                    |ctx, &input| Ok((ctx.seed, input)),
+                )
+                .expect("uncancelled plan completes");
+            let pairs: Vec<_> = cancellable.iter().map(|r| (&r.key, r.output)).collect();
+            let base: Vec<_> = baseline.iter().map(|r| (&r.key, r.output)).collect();
+            assert_eq!(pairs, base, "{workers} workers changed the bytes");
+        }
+    }
+
+    #[test]
+    fn cancellation_flushes_partial_telemetry_in_key_order() {
+        let sink = MemorySink::new(1 << 12);
+        let parent = Telemetry::new(sink.clone());
+        let mut plan = ExperimentPlan::new(0);
+        for point in 0..5u32 {
+            plan.push_scoped(JobKey::new("p", "stage", point), "s", point);
+        }
+        // The fuse trips inside job 2: jobs 0 and 1 complete, job 2 stops
+        // after recording its first event, jobs 3 and 4 never run.
+        let token = crate::CancelToken::after_checkpoints(3);
+        let outcome = plan.run_cancellable(&Executor::serial(), &parent, &token, |ctx, &point| {
+            ctx.telemetry.counter(u64::from(point), "job.start", u64::from(point));
+            token.guard()?;
+            ctx.telemetry.counter(u64::from(point), "job.end", u64::from(point));
+            Ok(point)
+        });
+        assert!(outcome.is_err(), "the tripped fuse cancels the plan");
+        let names: Vec<String> =
+            sink.events().iter().map(|e| format!("{}@{}", e.name, e.at)).collect();
+        assert_eq!(
+            names,
+            vec!["job.start@0", "job.end@0", "job.start@1", "job.end@1", "job.start@2"],
+            "partial telemetry is flushed deterministically up to the cancellation point"
+        );
     }
 
     #[test]

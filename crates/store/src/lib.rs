@@ -21,7 +21,11 @@
 //!   REGRESSED / IMPROVED / CHANGED verdicts, the engine behind CI's
 //!   `store diff --fail-on-regression` gate;
 //! * [`spark`] — unicode sparklines over a metric's history, one bar per
-//!   stored run, so trend shape is visible straight from the terminal.
+//!   stored run, so trend shape is visible straight from the terminal;
+//! * [`journal`] — the evaluation daemon's append-only job journal:
+//!   line-at-a-time JSONL transitions with crash recovery (torn trailing
+//!   line tolerated, `Running` jobs re-marked `Aborted`, `Queued` jobs
+//!   resumed).
 //!
 //! # Determinism contract
 //!
@@ -52,12 +56,14 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod journal;
 pub mod record;
 pub mod registry;
 pub mod spark;
 pub mod store;
 
 pub use diff::{diff_runs, DiffEntry, RunDiff, Verdict};
+pub use journal::{JobState, Journal, JournalEntry, JournaledJob};
 pub use record::{MetricRecord, RunDraft, RunHeader, SCHEMA_VERSION};
 pub use registry::{catalog_version, lookup, registry, Direction, MetricEntry, ScoreKind};
 pub use spark::{history_sparklines, sparkline};

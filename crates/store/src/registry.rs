@@ -117,6 +117,40 @@ const MEASURES: &[(&str, &str, &str, Direction)] = &[
     ("measure.rerouted", "Work items rerouted", "count", Direction::Neutral),
     ("measure.replayed", "Buffered items replayed", "count", Direction::Neutral),
     ("measure.lost_alerts", "Alerts lost to faults", "count", Direction::LowerIsBetter),
+    (
+        "measure.audit_share",
+        "Host CPU share of audit logging",
+        "fraction",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "measure.agent_share",
+        "Host CPU share of audit + agent analysis",
+        "fraction",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "measure.production_events_per_sec",
+        "Production events completed per second",
+        "events/s",
+        Direction::HigherIsBetter,
+    ),
+    ("measure.eer_sensitivity", "Equal-error-rate sensitivity", "sensitivity", Direction::Neutral),
+    ("measure.eer_rate", "Equal error rate", "ratio", Direction::LowerIsBetter),
+    ("measure.trust_detection", "Trust-exploit detection rate", "ratio", Direction::HigherIsBetter),
+    ("measure.alerts", "Raw alert volume", "count", Direction::Neutral),
+    ("measure.triaged", "Alerts triaged within operator budget", "count", Direction::Neutral),
+    (
+        "measure.effective_detection",
+        "Human-constrained effective detection",
+        "ratio",
+        Direction::HigherIsBetter,
+    ),
+    ("measure.alerts_per_kpkt", "Alerts per thousand packets", "alerts/kpkt", Direction::Neutral),
+    ("measure.ops_per_pkt", "Inspection cost per packet", "ops/pkt", Direction::LowerIsBetter),
+    ("measure.byte_entropy", "Payload byte entropy", "bits", Direction::Neutral),
+    ("measure.printable_fraction", "Printable payload fraction", "fraction", Direction::Neutral),
+    ("measure.realism_score", "Payload realism score", "score", Direction::HigherIsBetter),
     ("bench.wall_ms", "Benchmark wall time", "ms", Direction::LowerIsBetter),
     ("bench.workers", "Resolved worker count", "count", Direction::Neutral),
     ("bench.speedup", "Parallel speedup", "x", Direction::HigherIsBetter),

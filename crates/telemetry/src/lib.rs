@@ -218,6 +218,77 @@ impl Sink for MemorySink {
     }
 }
 
+/// A drainable event channel for *live* streaming to a consumer on
+/// another thread (the evaluation daemon's `watch` feed).
+///
+/// Producers record through the [`Sink`] impl; a consumer periodically
+/// calls [`ChannelSink::drain`], which *removes* the buffered events and
+/// hands them over, oldest first. Unlike [`MemorySink`], this sink is a
+/// conveyor, not a recorder: [`Sink::snapshot`] intentionally returns
+/// `None`, because what a snapshot would see depends on how recently the
+/// consumer drained — a wall-clock accident that must never leak into a
+/// persisted run header. The buffer is bounded; when the consumer falls
+/// behind, the oldest undelivered events are dropped and counted.
+#[derive(Debug, Clone)]
+pub struct ChannelSink {
+    shared: Arc<Mutex<MemoryBuffer>>,
+}
+
+impl ChannelSink {
+    /// A channel buffering at most `capacity` undelivered events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ChannelSink {
+            shared: Arc::new(Mutex::new(MemoryBuffer {
+                events: std::collections::VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Take every buffered event, oldest first, leaving the channel
+    /// empty. Returns an empty vector when nothing arrived since the
+    /// last drain.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut buf = self.shared.lock().expect("telemetry channel lock");
+        buf.events.drain(..).collect()
+    }
+
+    /// Undelivered events currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("telemetry channel lock").events.len()
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the consumer fell behind.
+    pub fn dropped(&self) -> u64 {
+        self.shared.lock().expect("telemetry channel lock").dropped
+    }
+}
+
+impl Sink for ChannelSink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.shared.lock().expect("telemetry channel lock");
+        if buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(*event);
+    }
+
+    // snapshot() stays `None` (the trait default): a drained channel's
+    // contents are timing-dependent, so nothing here may feed a
+    // deterministic run summary.
+
+    fn dropped_count(&self) -> u64 {
+        self.dropped()
+    }
+}
+
 /// Streams each event as one JSON line to any writer.
 pub struct JsonlSink<W: Write + Send> {
     out: W,
@@ -663,6 +734,38 @@ mod tests {
         let tee = Telemetry::new(TeeSink::new(mem.clone(), NoopSink));
         tee.gauge(1, "g", 2.0);
         assert_eq!(tee.snapshot_events().expect("tee retains via memory side").len(), 1);
+    }
+
+    #[test]
+    fn channel_sink_drains_in_order_and_then_is_empty() {
+        let chan = ChannelSink::new(16);
+        let tel = Telemetry::new(chan.clone()).with_scope("job-1");
+        tel.counter(1, "a", 1);
+        tel.gauge(2, "b", 0.5);
+        assert_eq!(chan.len(), 2);
+        let first = chan.drain();
+        assert_eq!(first.len(), 2);
+        assert_eq!((first[0].name, first[0].scope), ("a", "job-1"));
+        assert_eq!(first[1].name, "b");
+        assert!(chan.is_empty());
+        assert!(chan.drain().is_empty(), "a second drain sees nothing new");
+        tel.counter(3, "c", 1);
+        assert_eq!(chan.drain().len(), 1, "later events arrive in the next drain");
+    }
+
+    #[test]
+    fn channel_sink_never_snapshots_and_bounds_its_lag() {
+        let chan = ChannelSink::new(2);
+        let tel = Telemetry::new(chan.clone());
+        for i in 0..5u64 {
+            tel.counter(i, "c", 1);
+        }
+        assert!(tel.snapshot_events().is_none(), "a conveyor must not feed run summaries");
+        assert_eq!(chan.dropped(), 3);
+        assert_eq!(tel.dropped_events(), 3);
+        let survivors = chan.drain();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors[0].at, 3, "oldest undelivered events are the ones dropped");
     }
 
     #[test]
